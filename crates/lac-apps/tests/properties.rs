@@ -1,0 +1,134 @@
+//! Property-based tests of the application kernels: the dual-branch
+//! invariants every kernel must uphold regardless of input.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use lac_apps::{
+    output_shift, FilterApp, FilterKind, FirApp, FirKind, FirStageMode, InverseK2jApp, JpegApp,
+    JpegMode, Kernel, StageMode,
+};
+use lac_data::{synth_image, synth_signal, IkDataset};
+use lac_hw::{catalog, Multiplier};
+use lac_tensor::{Graph, Var};
+
+fn forward<K: Kernel>(app: &K, sample: &K::Sample, mult_name: &str) -> Vec<f64> {
+    let m = app.adapt(&catalog::by_name(mult_name).unwrap());
+    let mults: Vec<Arc<dyn Multiplier>> = vec![m; app.num_stages()];
+    let coeffs = app.init_coeffs(&mults);
+    let g = Graph::new();
+    let vars: Vec<Var> = coeffs.iter().map(|c| g.var(c.clone())).collect();
+    app.forward_approx(&g, sample, &vars, &mults).value().into_data()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every filter kernel under exact hardware reproduces its reference
+    /// bit-for-bit on any image seed.
+    #[test]
+    fn filters_exact_hw_equals_reference(seed in any::<u64>()) {
+        let img = synth_image(32, 32, seed);
+        for kind in [FilterKind::GaussianBlur, FilterKind::EdgeDetection, FilterKind::Sharpening] {
+            let app = FilterApp::new(kind, StageMode::Single);
+            prop_assert_eq!(
+                forward(&app, &img, "exact16u"),
+                app.reference(&img).into_data(),
+                "{:?}", kind
+            );
+        }
+    }
+
+    /// Filter outputs always stay within the pixel range under any
+    /// catalog multiplier.
+    #[test]
+    fn filter_outputs_in_pixel_range(seed in any::<u64>(), unit in 0usize..11) {
+        let img = synth_image(32, 32, seed);
+        let name = lac_hw::catalog::PAPER_NAMES[unit];
+        let app = FilterApp::new(FilterKind::Sharpening, StageMode::Single);
+        let out = forward(&app, &img, name);
+        for &v in &out {
+            prop_assert!((0.0..=255.0).contains(&v), "{name} produced {v}");
+        }
+    }
+
+    /// JPEG outputs stay within the pixel range and have full length for
+    /// any unit and image.
+    #[test]
+    fn jpeg_outputs_valid(seed in any::<u64>(), unit in 0usize..11) {
+        let img = synth_image(32, 32, seed);
+        let name = lac_hw::catalog::PAPER_NAMES[unit];
+        let app = JpegApp::new(JpegMode::Single);
+        let out = forward(&app, &img, name);
+        prop_assert_eq!(out.len(), 1024);
+        for &v in &out {
+            prop_assert!((0.0..=255.0).contains(&v), "{name} produced {v}");
+        }
+    }
+
+    /// The FIR kernel under exact hardware reproduces its reference on
+    /// any signal.
+    #[test]
+    fn fir_exact_hw_equals_reference(seed in any::<u64>()) {
+        let signal = synth_signal(128, seed);
+        for kind in [FirKind::LowPass9, FirKind::HighBoost5] {
+            let app = FirApp::new(kind, FirStageMode::Single);
+            prop_assert_eq!(
+                forward(&app, &signal, "exact16u"),
+                app.reference(&signal).into_data(),
+                "{:?}", kind
+            );
+        }
+    }
+
+    /// Inversek2j outputs are finite angles for every unit and sample.
+    #[test]
+    fn ik_outputs_finite(seed in any::<u64>(), unit in 0usize..11) {
+        let ds = IkDataset::generate(1, 1, seed);
+        let name = lac_hw::catalog::PAPER_NAMES[unit];
+        let app = InverseK2jApp::new();
+        let out = forward(&app, &ds.train[0], name);
+        prop_assert_eq!(out.len(), 2);
+        for &v in &out {
+            prop_assert!(v.is_finite(), "{name} produced {v}");
+            prop_assert!((-7.0..=7.0).contains(&v), "{name} angle {v} out of range");
+        }
+    }
+
+    /// output_shift covers the worst-case gain: 255 * gain / 2^shift <= 255
+    /// and the shift is minimal (halving it would overflow).
+    #[test]
+    fn output_shift_is_minimal_cover(taps in proptest::collection::vec(-64.0f64..64.0, 9)) {
+        let taps: Vec<f64> = taps.iter().map(|t| t.round()).collect();
+        let shift = output_shift(&taps);
+        let pos: f64 = taps.iter().filter(|&&t| t > 0.0).sum();
+        let neg: f64 = -taps.iter().filter(|&&t| t < 0.0).sum::<f64>();
+        let gain = pos.max(neg).max(1.0);
+        prop_assert!(gain / 2f64.powi(shift as i32) <= 1.0 + 1e-12);
+        if shift > 0 {
+            prop_assert!(gain / 2f64.powi(shift as i32 - 1) > 1.0);
+        }
+    }
+
+    /// Coefficient bounds always fit the adapted multiplier's operand
+    /// range for every kernel.
+    #[test]
+    fn coeff_bounds_fit_operand_ranges(unit in 0usize..11) {
+        let name = lac_hw::catalog::PAPER_NAMES[unit];
+        let raw = catalog::by_name(name).unwrap();
+
+        let app = FilterApp::new(FilterKind::EdgeDetection, StageMode::Single);
+        let m = app.adapt(&raw);
+        let (lo_m, hi_m) = m.operand_range();
+        for (lo, hi) in app.coeff_bounds(std::slice::from_ref(&m)) {
+            prop_assert!(lo >= lo_m as f64 && hi <= hi_m as f64);
+        }
+
+        let jpeg = JpegApp::new(JpegMode::Single);
+        let m = jpeg.adapt(&raw);
+        let (lo_m, hi_m) = m.operand_range();
+        for (lo, hi) in jpeg.coeff_bounds(std::slice::from_ref(&m)) {
+            prop_assert!(lo >= lo_m as f64 && hi <= hi_m as f64);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the datapath building blocks: exact vs approximate
+//! convolution, straight-through quantization, and gate operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lac_hw::{catalog, LutMultiplier};
+use lac_tensor::{Graph, Tensor};
+use std::hint::black_box;
+
+fn bench_blocks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datapath");
+    let img = Tensor::from_vec((0..1024).map(|i| (i % 251) as f64).collect(), &[32, 32]);
+    let kernel = Tensor::from_vec(vec![1.0, 2.0, 1.0, 2.0, 4.0, 2.0, 1.0, 2.0, 1.0], &[3, 3]);
+    let mult = LutMultiplier::maybe_wrap(catalog::by_name("ETM8-k4").unwrap());
+
+    group.bench_function("conv2d/exact", |b| {
+        b.iter(|| {
+            let g = Graph::new();
+            let x = g.var(img.clone());
+            let k = g.var(kernel.clone());
+            black_box(x.conv2d(&k).value())
+        })
+    });
+    group.bench_function("conv2d/approx", |b| {
+        b.iter(|| {
+            let g = Graph::new();
+            let x = g.var(img.clone());
+            let k = g.var(kernel.clone());
+            black_box(x.approx_conv2d(&k, &mult).value())
+        })
+    });
+    group.bench_function("quantize_ste/1k", |b| {
+        let w = Tensor::from_vec((0..1024).map(|i| i as f64 * 0.37 - 150.0).collect(), &[1024]);
+        b.iter(|| {
+            let g = Graph::new();
+            let v = g.var(w.clone());
+            black_box(v.quantize_ste(-255.0, 255.0).value())
+        })
+    });
+    group.bench_function("backward/conv_mse", |b| {
+        b.iter(|| {
+            let g = Graph::new();
+            let x = g.var(img.clone());
+            let k = g.var(kernel.clone());
+            let t = g.constant(img.clone());
+            let loss = x.approx_conv2d(&k, &mult).mse_loss(&t);
+            let grads = g.backward(&loss);
+            black_box(grads.get(&k))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_blocks);
+criterion_main!(benches);

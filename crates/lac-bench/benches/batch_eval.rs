@@ -1,0 +1,29 @@
+//! Scaling of batch evaluation with worker threads (crossbeam scoped
+//! threads standing in for the paper's multi-core simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lac_apps::{FilterApp, FilterKind, Kernel, StageMode};
+use lac_core::batch_outputs;
+use lac_data::ImageDataset;
+use lac_hw::{catalog, LutMultiplier};
+use std::hint::black_box;
+
+fn bench_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_eval");
+    let data = ImageDataset::generate(32, 2, 32, 32, 1);
+    let app = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
+    let m = app.adapt(&LutMultiplier::maybe_wrap(catalog::by_name("DRUM16-4").unwrap()));
+    let mults = vec![m];
+    let coeffs = app.init_coeffs(&mults);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("blur32imgs/{threads}threads"), |b| {
+            b.iter(|| {
+                black_box(batch_outputs(&app, &coeffs, &mults, &data.train, threads))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threads);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Multiplier evaluation throughput: direct behavioral models vs
+//! LUT-accelerated wrappers (the "parallel versions of the approximate
+//! multipliers" engineering of Section III-D).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lac_hw::{catalog, LutMultiplier, Multiplier};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn operands(n: usize, hi: i64) -> Vec<(i64, i64)> {
+    // Deterministic pseudo-random operand stream.
+    let mut x: u64 = 0x12345678;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = (x >> 16) as i64 % (hi + 1);
+            let b = (x >> 40) as i64 % (hi + 1);
+            (a, b)
+        })
+        .collect()
+}
+
+fn bench_units(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mul_throughput");
+    for name in ["ETM8-k4", "mul8u_JV3", "kulkarni8u"] {
+        let raw = catalog::by_name(name).unwrap();
+        let (_, hi) = raw.operand_range();
+        let ops = operands(4096, hi);
+        group.bench_function(format!("{name}/behavioral"), |b| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for &(x, y) in &ops {
+                    acc = acc.wrapping_add(raw.multiply_raw(black_box(x), black_box(y)));
+                }
+                acc
+            })
+        });
+        let lut: Arc<dyn Multiplier> = Arc::new(LutMultiplier::new(raw));
+        group.bench_function(format!("{name}/lut"), |b| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for &(x, y) in &ops {
+                    acc = acc.wrapping_add(lut.multiply_raw(black_box(x), black_box(y)));
+                }
+                acc
+            })
+        });
+    }
+    // 16-bit units run behavioral-only (tables would be 16 GiB).
+    for name in ["DRUM16-6", "mul16s_GAT"] {
+        let raw = catalog::by_name(name).unwrap();
+        let (_, hi) = raw.operand_range();
+        let ops = operands(4096, hi);
+        group.bench_function(format!("{name}/behavioral"), |b| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for &(x, y) in &ops {
+                    acc = acc.wrapping_add(raw.multiply_raw(black_box(x), black_box(y)));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_units);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Cost of one fixed-hardware LAC training step (forward + backward +
+//! Adam) per application kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lac_apps::{FilterApp, FilterKind, InverseK2jApp, JpegApp, JpegMode, Kernel, StageMode};
+use lac_core::{batch_grads, batch_references};
+use lac_data::{IkDataset, ImageDataset};
+use lac_hw::{catalog, LutMultiplier};
+use std::hint::black_box;
+
+fn bench_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_step");
+    let images = ImageDataset::generate(8, 2, 32, 32, 1);
+
+    let blur = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
+    let m = blur.adapt(&LutMultiplier::maybe_wrap(catalog::by_name("ETM8-k4").unwrap()));
+    let mults = vec![m];
+    let coeffs = blur.init_coeffs(&mults);
+    let refs = batch_references(&blur, &images.train);
+    group.bench_function("blur/8imgs", |b| {
+        b.iter(|| {
+            black_box(batch_grads(&blur, &coeffs, &mults, &images.train, &refs, 1))
+        })
+    });
+
+    let jpeg = JpegApp::new(JpegMode::Single);
+    let m = jpeg.adapt(&LutMultiplier::maybe_wrap(catalog::by_name("mul8u_FTA").unwrap()));
+    let mults = vec![m];
+    let coeffs = jpeg.init_coeffs(&mults);
+    let refs = batch_references(&jpeg, &images.train);
+    group.bench_function("jpeg/8imgs", |b| {
+        b.iter(|| {
+            black_box(batch_grads(&jpeg, &coeffs, &mults, &images.train, &refs, 1))
+        })
+    });
+
+    let ik = InverseK2jApp::new();
+    let ikdata = IkDataset::generate(64, 8, 1);
+    let m = ik.adapt(&catalog::by_name("DRUM16-4").unwrap());
+    let mults = vec![m];
+    let coeffs = ik.init_coeffs(&mults);
+    let refs = batch_references(&ik, &ikdata.train);
+    group.bench_function("inversek2j/64samples", |b| {
+        b.iter(|| {
+            black_box(batch_grads(&ik, &coeffs, &mults, &ikdata.train, &refs, 1))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Error-profile atlas: the input-dependence that motivates LAC
+//! (Section II-A of the paper), rendered per catalog unit.
+//!
+//! For each multiplier: summary error statistics, the "quiet fraction" of
+//! the operand plane (where LAC can park coefficients), the error
+//! concentration, and an ASCII error heatmap.
+//!
+//! Run with: `cargo run --release -p lac-bench --bin error_profiles`
+
+use lac_bench::Report;
+use lac_hw::{catalog, characterize, ErrorMap};
+
+fn main() {
+    let mut report = Report::new(
+        "error_profiles",
+        &["multiplier", "mre", "quiet_frac_1pct", "concentration", "err_rate"],
+    );
+    let mut names: Vec<&str> = catalog::PAPER_NAMES.to_vec();
+    names.extend(["kulkarni8u", "mitchell16u", "ssm16-8"]);
+    for name in names {
+        let m = catalog::by_name(name).expect("catalog unit");
+        let stats = characterize(&*m, 50_000, lac_bench::seed());
+        let map = ErrorMap::compute(&*m, 24);
+        report.row(&[
+            name.to_owned(),
+            format!("{:.5}", stats.mre),
+            format!("{:.3}", map.quiet_fraction(0.01)),
+            format!("{:.1}", map.concentration()),
+            format!("{:.3}", stats.error_rate),
+        ]);
+        println!("--- {name} (relative-error heatmap, operand plane, darker = worse)");
+        println!("{}", map.to_ascii());
+    }
+    println!("Error-profile summary\n");
+    report.emit();
+}

@@ -1,0 +1,103 @@
+//! Fig. 10: accuracy-constrained search on Gaussian blur — minimize area
+//! subject to an SSIM target, comparing three methods:
+//!
+//! 1. **no LAC** — pick the smallest multiplier whose *untrained* quality
+//!    satisfies the target;
+//! 2. **NAS** — the accuracy-constrained binarized-gate search
+//!    (Eqs. 4–5);
+//! 3. **brute force** — train every candidate with fixed-hardware LAC,
+//!    then pick the smallest satisfying unit.
+//!
+//! The paper's shape: without LAC the satisfying set is scarce (large
+//! areas or nothing); NAS and brute force reach the same, much smaller
+//! area.
+//!
+//! Run with: `cargo run --release -p lac-bench --bin fig10`
+//! (`LAC_QUICK=1` for a fast smoke run)
+
+use lac_bench::driver::{brute_force_all, nas_accuracy, untrained_all, AppId};
+use lac_bench::Report;
+use lac_core::brute_force_min_area;
+use lac_hw::catalog;
+
+fn main() {
+    let app = AppId::Blur;
+    let targets = [0.90, 0.95, 0.98, 0.995];
+    let areas: Vec<(String, f64)> = catalog::paper_multipliers()
+        .iter()
+        .map(|m| (m.name().to_owned(), m.metadata().area))
+        .collect();
+    let area_of = |name: &str| {
+        areas.iter().find(|(n, _)| n == name).map(|(_, a)| *a).unwrap_or(f64::NAN)
+    };
+
+    eprintln!("[fig10] evaluating untrained qualities ...");
+    let untrained = untrained_all(app);
+    eprintln!("[fig10] running brute-force training of all candidates ...");
+    let bf = brute_force_all(app);
+    let direction = app.metric().direction();
+
+    let mut report = Report::new(
+        "fig10",
+        &["ssim_target", "method", "chosen", "area", "achieved_quality"],
+    );
+    for &target in &targets {
+        // Method 1: no LAC.
+        let no_lac = untrained
+            .iter()
+            .filter(|(_, q)| !direction.is_better(target, *q))
+            .min_by(|a, b| area_of(&a.0).total_cmp(&area_of(&b.0)));
+        match no_lac {
+            Some((name, q)) => report.row(&[
+                format!("{target:.3}"),
+                "no-LAC".to_owned(),
+                name.clone(),
+                format!("{:.2}", area_of(name)),
+                format!("{q:.4}"),
+            ]),
+            None => report.row(&[
+                format!("{target:.3}"),
+                "no-LAC".to_owned(),
+                "(none)".to_owned(),
+                "-".to_owned(),
+                "-".to_owned(),
+            ]),
+        }
+
+        // Method 2: accuracy-constrained NAS.
+        eprintln!("[fig10] NAS for target {target} ...");
+        // δ = 200: the hinge must dominate the (≤ ~1.0) area term so a
+        // cheap-but-violating unit can never win on area alone (the
+        // paper: "both parameters ought to be determined by
+        // experimentation").
+        let nas = nas_accuracy(app, target, 200.0, 2.0);
+        report.row(&[
+            format!("{target:.3}"),
+            "NAS".to_owned(),
+            nas.chosen_name().to_owned(),
+            format!("{:.2}", nas.area),
+            format!("{:.4}", nas.quality),
+        ]);
+
+        // Method 3: brute force + min-area selection.
+        let candidates: Vec<_> = catalog::paper_multipliers();
+        match brute_force_min_area(&bf, &candidates, target, direction) {
+            Some(i) => report.row(&[
+                format!("{target:.3}"),
+                "brute-force".to_owned(),
+                bf.results[i].multiplier.clone(),
+                format!("{:.2}", candidates[i].metadata().area),
+                format!("{:.4}", bf.results[i].after),
+            ]),
+            None => report.row(&[
+                format!("{target:.3}"),
+                "brute-force".to_owned(),
+                "(none)".to_owned(),
+                "-".to_owned(),
+                "-".to_owned(),
+            ]),
+        }
+    }
+    println!("Fig. 10: accuracy-constrained area minimization (Gaussian blur)\n");
+    report.emit();
+}

@@ -1,0 +1,81 @@
+//! Fig. 12: serial multi-hardware NAS on the 3-stage JPEG pipeline
+//! (γ = 1.0, δ = 300), swept over mean-area budgets and compared against
+//! single-multiplier trained-hardware points.
+//!
+//! The paper's shape: mixing multipliers across the dct / dequant / idct
+//! stages fills the Pareto gaps between single-multiplier points — for a
+//! PSNR target between two single-hardware points, the mixed
+//! configuration needs less area.
+//!
+//! Run with: `cargo run --release -p lac-bench --bin fig12`
+//! (`LAC_QUICK=1` for a fast smoke run)
+
+use lac_apps::{JpegApp, JpegMode};
+use lac_bench::driver::{fixed_all, AppId};
+use lac_bench::{adapted_catalog, Report};
+use lac_core::{search_multi, MultiObjective};
+use lac_hw::catalog;
+
+fn main() {
+    let (sizing, lr) = AppId::Jpeg.sizing();
+    // 3 gates x 11 candidates need far more sampling than one fixed run.
+    let cfg = {
+        let base = sizing.config(lr);
+        let epochs = base.epochs * 6;
+        base.epochs(epochs)
+    };
+    let data = sizing.image_dataset();
+    let app = JpegApp::new(JpegMode::ThreeStage);
+    let candidates = adapted_catalog(&app);
+
+    let mut report = Report::new(
+        "fig12",
+        &["method", "area_budget", "mean_area", "psnr_db", "dct", "dequant", "idct", "seconds"],
+    );
+
+    eprintln!("[fig12] single-multiplier trained points ...");
+    let singles = fixed_all(AppId::Jpeg);
+    let single_areas: Vec<f64> =
+        catalog::paper_multipliers().iter().map(|m| m.metadata().area).collect();
+    for (r, &area) in singles.iter().zip(&single_areas) {
+        report.row(&[
+            "trained-single".to_owned(),
+            "-".to_owned(),
+            format!("{area:.3}"),
+            format!("{:.2}", r.after),
+            r.multiplier.clone(),
+            r.multiplier.clone(),
+            r.multiplier.clone(),
+            format!("{:.1}", r.seconds),
+        ]);
+    }
+
+    // Serial NAS sweep (paper hyperparameters: γ=1.0, δ=300).
+    let budgets = [0.10, 0.20, 0.35, 0.55, 0.80];
+    for &budget in &budgets {
+        eprintln!("[fig12] serial NAS, mean area <= {budget} ...");
+        let result = search_multi(
+            &app,
+            &candidates,
+            &data.train,
+            &data.test,
+            &cfg,
+            1.0,
+            MultiObjective::AreaConstrained { area_threshold: budget, gamma: 1.0, delta: 300.0 },
+        );
+        let stages: Vec<String> = result.assignment().into_iter().map(|(_, m)| m).collect();
+        report.row(&[
+            "serial-NAS".to_owned(),
+            format!("{budget:.2}"),
+            format!("{:.3}", result.area),
+            format!("{:.2}", result.quality),
+            stages[0].clone(),
+            stages[1].clone(),
+            stages[2].clone(),
+            format!("{:.1}", result.seconds),
+        ]);
+    }
+
+    println!("Fig. 12: serial multi-hardware NAS on 3-stage JPEG\n");
+    report.emit();
+}

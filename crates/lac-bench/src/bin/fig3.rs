@@ -1,0 +1,52 @@
+//! Fig. 3: fixed-hardware LAC quality improvements — every application
+//! trained for every Table I multiplier, before vs after.
+//!
+//! The paper reports mean improvements of +0.28/+0.20/+0.24 SSIM for the
+//! three filters, +1.73/+1.36 dB for DCT/DFT, and −0.054 relative error
+//! for Inversek2j. Expect the same *shape* here: LAC never hurts, and the
+//! cheaper/noisier the multiplier, the larger the gain.
+//!
+//! Run with: `cargo run --release -p lac-bench --bin fig3`
+//! (`LAC_QUICK=1` for a fast smoke run)
+
+use lac_bench::driver::{fixed_all, AppId};
+use lac_bench::Report;
+use lac_metrics::MetricDirection;
+
+fn main() {
+    let mut report = Report::new(
+        "fig3",
+        &["application", "metric", "multiplier", "before", "after", "improvement", "seconds"],
+    );
+    for app in AppId::all() {
+        eprintln!("[fig3] training {} ...", app.display());
+        let results = fixed_all(app);
+        let direction = app.metric().direction();
+        let mut improvements = Vec::new();
+        for r in &results {
+            let improvement = match direction {
+                MetricDirection::HigherIsBetter => r.after - r.before,
+                MetricDirection::LowerIsBetter => r.before - r.after,
+            };
+            improvements.push(improvement);
+            report.row(&[
+                app.display().to_owned(),
+                app.metric_label().to_owned(),
+                r.multiplier.clone(),
+                format!("{:.4}", r.before),
+                format!("{:.4}", r.after),
+                format!("{:+.4}", improvement),
+                format!("{:.1}", r.seconds),
+            ]);
+        }
+        let mean: f64 = improvements.iter().sum::<f64>() / improvements.len() as f64;
+        eprintln!(
+            "[fig3] {}: mean {} improvement {:+.4}",
+            app.display(),
+            app.metric_label(),
+            mean
+        );
+    }
+    println!("Fig. 3: fixed-hardware LAC quality before/after training\n");
+    report.emit();
+}

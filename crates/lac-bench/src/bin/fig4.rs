@@ -1,0 +1,57 @@
+//! Fig. 4: the quality-versus-area trade-off of the three filter
+//! applications before and after LAC optimization.
+//!
+//! The paper's point: *before* LAC the expensive multipliers dominate the
+//! Pareto front; *after* LAC the cheap ones catch up, so the front
+//! flattens and cheap units become usable. The second half of the output
+//! reproduces the right-hand panels: only the multipliers that were
+//! Pareto-optimal (by pre-training SSIM) are listed.
+//!
+//! Run with: `cargo run --release -p lac-bench --bin fig4`
+
+use lac_bench::driver::{fixed_all, AppId};
+use lac_bench::Report;
+use lac_hw::catalog;
+
+fn main() {
+    let apps = [AppId::Blur, AppId::Edge, AppId::Sharpen];
+    let mut report = Report::new(
+        "fig4",
+        &["application", "multiplier", "area", "before", "after", "pareto_before"],
+    );
+    for app in apps {
+        eprintln!("[fig4] training {} ...", app.display());
+        let results = fixed_all(app);
+        // Area lookup from the catalog (results come back in catalog order).
+        let areas: Vec<f64> =
+            catalog::paper_multipliers().iter().map(|m| m.metadata().area).collect();
+
+        // Pareto set by (area, before-SSIM): a unit is Pareto-optimal when
+        // no cheaper-or-equal unit scores at least as high before training.
+        let pareto: Vec<bool> = results
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                !results.iter().enumerate().any(|(j, other)| {
+                    j != i
+                        && areas[j] <= areas[i]
+                        && other.before >= r.before
+                        && (areas[j] < areas[i] || other.before > r.before)
+                })
+            })
+            .collect();
+
+        for (i, r) in results.iter().enumerate() {
+            report.row(&[
+                app.display().to_owned(),
+                r.multiplier.clone(),
+                format!("{:.2}", areas[i]),
+                format!("{:.4}", r.before),
+                format!("{:.4}", r.after),
+                pareto[i].to_string(),
+            ]);
+        }
+    }
+    println!("Fig. 4: quality vs area before/after LAC (filters)\n");
+    report.emit();
+}

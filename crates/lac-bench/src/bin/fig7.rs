@@ -1,0 +1,50 @@
+//! Fig. 7: trained-hardware LAC search results — the binarized-gate NAS
+//! must find the multiplier whose *post-training* quality is best, and
+//! its co-trained quality must be close to the dedicated fixed-hardware
+//! training of that unit.
+//!
+//! Run with: `cargo run --release -p lac-bench --bin fig7`
+//! (`LAC_QUICK=1` for a fast smoke run)
+
+use lac_bench::driver::{fixed_one, nas_search, AppId};
+use lac_bench::Report;
+use lac_core::Constraint;
+
+fn main() {
+    let mut report = Report::new(
+        "fig7",
+        &[
+            "application",
+            "metric",
+            "nas_choice",
+            "nas_quality",
+            "fixed_quality_of_choice",
+            "nas_seconds",
+        ],
+    );
+    for app in AppId::all() {
+        eprintln!("[fig7] searching {} ...", app.display());
+        let nas = nas_search(app, Constraint::None, 2.0);
+        // Dedicated fixed-hardware training of the chosen unit, for the
+        // "NAS does not degrade the best path" comparison.
+        let dedicated = fixed_one(app, nas.chosen_name());
+        report.row(&[
+            app.display().to_owned(),
+            app.metric_label().to_owned(),
+            nas.chosen_name().to_owned(),
+            format!("{:.4}", nas.quality),
+            format!("{:.4}", dedicated.after),
+            format!("{:.1}", nas.seconds),
+        ]);
+        eprintln!(
+            "[fig7] {}: chose {} ({} {:.4}, dedicated {:.4})",
+            app.display(),
+            nas.chosen_name(),
+            app.metric_label(),
+            nas.quality,
+            dedicated.after
+        );
+    }
+    println!("Fig. 7: NAS hardware search vs dedicated fixed-hardware training\n");
+    report.emit();
+}

@@ -1,0 +1,35 @@
+//! Fig. 8: area-constrained trained-hardware search — for a sweep of area
+//! budgets, the NAS (over the budget-pruned candidate set) finds the best
+//! post-training quality achievable within the budget.
+//!
+//! Run with: `cargo run --release -p lac-bench --bin fig8`
+//! (`LAC_QUICK=1` for a fast smoke run)
+
+use lac_bench::driver::{nas_search, AppId};
+use lac_bench::Report;
+use lac_core::Constraint;
+
+fn main() {
+    // Budgets spanning Table I's area spectrum (0.03 .. 1.01).
+    let budgets = [0.05, 0.10, 0.15, 0.30, 0.50, 1.10];
+    let mut report = Report::new(
+        "fig8",
+        &["application", "area_budget", "chosen", "chosen_area", "quality", "seconds"],
+    );
+    for app in AppId::all() {
+        for &budget in &budgets {
+            eprintln!("[fig8] {} area<={budget} ...", app.display());
+            let nas = nas_search(app, Constraint::Area(budget), 2.0);
+            report.row(&[
+                app.display().to_owned(),
+                format!("{budget:.2}"),
+                nas.chosen_name().to_owned(),
+                format!("{:.2}", nas.area),
+                format!("{:.4}", nas.quality),
+                format!("{:.1}", nas.seconds),
+            ]);
+        }
+    }
+    println!("Fig. 8: area-constrained search (quality per area budget)\n");
+    report.emit();
+}

@@ -1,0 +1,38 @@
+//! Power-constrained trained-hardware search — the paper states that
+//! "power constraints generate similar results" to the area-constrained
+//! search of Fig. 8; this binary verifies that claim on our substrate.
+//!
+//! Run with: `cargo run --release -p lac-bench --bin fig8_power`
+//! (`LAC_QUICK=1` for a fast smoke run)
+
+use lac_bench::driver::{nas_search, AppId};
+use lac_bench::Report;
+use lac_core::Constraint;
+
+fn main() {
+    // Budgets spanning Table I's power spectrum (0.02 .. 0.89).
+    let budgets = [0.03, 0.05, 0.10, 0.30, 0.90];
+    let mut report = Report::new(
+        "fig8_power",
+        &["application", "power_budget", "chosen", "chosen_power", "quality", "seconds"],
+    );
+    for app in [AppId::Blur, AppId::Edge, AppId::Sharpen, AppId::Ik] {
+        for &budget in &budgets {
+            eprintln!("[fig8_power] {} power<={budget} ...", app.display());
+            let nas = nas_search(app, Constraint::Power(budget), 2.0);
+            let power = lac_hw::catalog::by_name(nas.chosen_name())
+                .map(|m| m.metadata().power)
+                .unwrap_or(f64::NAN);
+            report.row(&[
+                app.display().to_owned(),
+                format!("{budget:.2}"),
+                nas.chosen_name().to_owned(),
+                format!("{power:.2}"),
+                format!("{:.4}", nas.quality),
+                format!("{:.1}", nas.seconds),
+            ]);
+        }
+    }
+    println!("Power-constrained search (paper: 'power constraints generate similar results')\n");
+    report.emit();
+}

@@ -1,0 +1,39 @@
+//! Fig. 9: delay-constrained trained-hardware search on the three filter
+//! applications, using the Table III delays (the EvoApprox subset — the
+//! only units with published delays, as in the paper).
+//!
+//! Run with: `cargo run --release -p lac-bench --bin fig9`
+//! (`LAC_QUICK=1` for a fast smoke run)
+
+use lac_bench::driver::{nas_search, AppId};
+use lac_bench::Report;
+use lac_core::Constraint;
+
+fn main() {
+    // Thresholds spanning Table III's delays (0.58 .. 2.95).
+    let budgets = [0.60, 0.90, 1.00, 1.40, 2.60, 3.00];
+    let apps = [AppId::Blur, AppId::Edge, AppId::Sharpen];
+    let mut report = Report::new(
+        "fig9",
+        &["application", "delay_budget", "chosen", "chosen_delay", "quality", "seconds"],
+    );
+    for app in apps {
+        for &budget in &budgets {
+            eprintln!("[fig9] {} delay<={budget} ...", app.display());
+            let nas = nas_search(app, Constraint::Delay(budget), 2.0);
+            let delay = lac_hw::catalog::by_name(nas.chosen_name())
+                .and_then(|m| m.metadata().delay)
+                .unwrap_or(f64::NAN);
+            report.row(&[
+                app.display().to_owned(),
+                format!("{budget:.2}"),
+                nas.chosen_name().to_owned(),
+                format!("{delay:.2}"),
+                format!("{:.4}", nas.quality),
+                format!("{:.1}", nas.seconds),
+            ]);
+        }
+    }
+    println!("Fig. 9: delay-constrained search (filters, Table III delays)\n");
+    report.emit();
+}

@@ -1,0 +1,42 @@
+//! Table I + Table III: the multiplier catalog with its normalized
+//! area/power/delay metadata, augmented with measured error statistics
+//! (exhaustive for 8-bit units, 100k-sample for 16-bit units).
+//!
+//! Run with: `cargo run --release -p lac-bench --bin table1`
+
+use lac_bench::{fmt_opt, Report};
+use lac_hw::{catalog, characterize};
+
+fn main() {
+    let mut report = Report::new(
+        "table1",
+        &[
+            "multiplier",
+            "bits",
+            "sign",
+            "area",
+            "power",
+            "delay",
+            "mre",
+            "err_rate",
+            "wce",
+        ],
+    );
+    for mult in catalog::paper_multipliers() {
+        let md = mult.metadata();
+        let stats = characterize(&*mult, 100_000, lac_bench::seed());
+        report.row(&[
+            mult.name().to_owned(),
+            mult.bits().to_string(),
+            mult.signedness().to_string(),
+            format!("{:.2}", md.area),
+            format!("{:.2}", md.power),
+            fmt_opt(md.delay),
+            format!("{:.5}", stats.mre),
+            format!("{:.3}", stats.error_rate),
+            stats.wce.to_string(),
+        ]);
+    }
+    println!("Table I / Table III: multiplier summary (normalized to exact 16-bit)\n");
+    report.emit();
+}

@@ -1,0 +1,62 @@
+//! Table II: application summary — coefficient structure, signedness,
+//! stage decomposition, and quality metric of each kernel.
+//!
+//! Run with: `cargo run --release -p lac-bench --bin table2`
+
+use lac_apps::{
+    DftApp, FilterApp, FilterKind, InverseK2jApp, JpegApp, JpegMode, Kernel, StageMode,
+};
+use lac_bench::Report;
+
+fn main() {
+    let mut report = Report::new(
+        "table2",
+        &["application", "coefficients", "signed", "stages", "metric"],
+    );
+
+    let filters = [
+        (FilterKind::GaussianBlur, "3x3"),
+        (FilterKind::EdgeDetection, "3x3"),
+        (FilterKind::Sharpening, "3x3"),
+    ];
+    for (kind, coeffs) in filters {
+        let app = FilterApp::new(kind, StageMode::Single);
+        report.row(&[
+            app.name().to_owned(),
+            coeffs.to_owned(),
+            kind.is_signed().to_string(),
+            app.num_stages().to_string(),
+            "SSIM".to_owned(),
+        ]);
+    }
+
+    let jpeg = JpegApp::new(JpegMode::ThreeStage);
+    report.row(&[
+        jpeg.name().to_owned(),
+        "8x8 (x2)".to_owned(),
+        "true".to_owned(),
+        format!("{} ({})", jpeg.num_stages(), jpeg.stage_names().join("/")),
+        "PSNR".to_owned(),
+    ]);
+
+    let dft = DftApp::new();
+    report.row(&[
+        dft.name().to_owned(),
+        "12x12 (complex)".to_owned(),
+        "true".to_owned(),
+        dft.num_stages().to_string(),
+        "PSNR".to_owned(),
+    ]);
+
+    let ik = InverseK2jApp::new();
+    report.row(&[
+        ik.name().to_owned(),
+        "4".to_owned(),
+        "true".to_owned(),
+        ik.num_stages().to_string(),
+        "relative error".to_owned(),
+    ]);
+
+    println!("Table II: application summary\n");
+    report.emit();
+}

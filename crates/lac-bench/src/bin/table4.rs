@@ -1,0 +1,110 @@
+//! Table IV: runtime comparison — NAS vs brute-force vs greedy search on
+//! Gaussian blur and JPEG, in both trained-hardware (single gate) and
+//! multi-hardware setups.
+//!
+//! The paper's shape: NAS is ~3–5× faster than brute force for the single
+//! gate; for multi-hardware, brute force is combinatorially infeasible
+//! (`k^n` configurations — estimated, as in the paper) and greedy costs a
+//! large multiple of NAS.
+//!
+//! Run with: `cargo run --release -p lac-bench --bin table4`
+//! (`LAC_QUICK=1` for a fast smoke run)
+
+use lac_apps::{FilterApp, FilterKind, JpegApp, JpegMode, Kernel, StageMode};
+use lac_bench::driver::{brute_force_all, nas_search_budgeted, AppId};
+use lac_bench::{adapted_catalog, quick, Report};
+use lac_core::{greedy_multi, search_multi, Constraint, MultiObjective};
+
+fn single_and_multi<K1: Kernel<Sample = lac_data::GrayImage> + Sync>(
+    report: &mut Report,
+    label: &str,
+    app_id: AppId,
+    multi_kernel: &K1,
+    objective: MultiObjective,
+) {
+    // Trained-hardware (single gate): NAS vs brute force. Greedy on a
+    // single layer equals brute force, as the paper notes. The runtime
+    // comparison uses the *same* per-iteration budget for NAS as one
+    // fixed-hardware training run, so the speedup reflects the paper's
+    // setup (NAS trains only two sampled paths per iteration while brute
+    // force trains all k candidates to convergence).
+    eprintln!("[table4] {label}: single-gate NAS ...");
+    let nas = nas_search_budgeted(app_id, Constraint::None, 2.0, 1);
+    eprintln!("[table4] {label}: brute force ...");
+    let bf = brute_force_all(app_id);
+    report.row(&[
+        label.to_owned(),
+        "trained-hardware".to_owned(),
+        format!("{:.0}", nas.seconds),
+        format!("{:.0}", bf.seconds),
+        format!("{:.0}", bf.seconds),
+        format!("{:.1}x", bf.seconds / nas.seconds.max(1e-9)),
+    ]);
+
+    // Multi-hardware: NAS vs greedy; brute force is k^n — estimated.
+    let (sizing, lr) = app_id.sizing();
+    let cfg = sizing.config(lr);
+    let data = sizing.image_dataset();
+    let candidates = adapted_catalog(multi_kernel);
+    eprintln!("[table4] {label}: multi-hardware NAS ...");
+    let multi = search_multi(
+        multi_kernel,
+        &candidates,
+        &data.train,
+        &data.test,
+        &cfg,
+        1.0,
+        objective,
+    );
+    eprintln!("[table4] {label}: greedy stage-by-stage ...");
+    let greedy_cfg =
+        sizing.config(lr).epochs(if quick() { 2 } else { sizing.epochs / 4 });
+    let greedy = greedy_multi(
+        multi_kernel,
+        &candidates,
+        &data.train,
+        &data.test,
+        &greedy_cfg,
+        objective,
+    );
+    // Brute force over k^n full trainings, estimated from one fixed run.
+    let per_config = bf.seconds / candidates.len() as f64;
+    let configs = (candidates.len() as f64).powi(multi_kernel.num_stages() as i32);
+    let bf_estimate = per_config * configs;
+    report.row(&[
+        label.to_owned(),
+        "multi-hardware".to_owned(),
+        format!("{:.0}", multi.seconds),
+        format!("~{:.2e} (est)", bf_estimate),
+        format!("{:.0}", greedy.seconds),
+        format!("{:.1}x (greedy)", greedy.seconds / multi.seconds.max(1e-9)),
+    ]);
+}
+
+fn main() {
+    let mut report = Report::new(
+        "table4",
+        &["application", "setup", "nas_sec", "brute_force_sec", "greedy_sec", "speedup"],
+    );
+
+    let blur = FilterApp::new(FilterKind::GaussianBlur, StageMode::PerTap);
+    single_and_multi(
+        &mut report,
+        "gaussian-blur",
+        AppId::Blur,
+        &blur,
+        MultiObjective::AreaConstrained { area_threshold: 0.12, gamma: 0.9, delta: 20.0 },
+    );
+
+    let jpeg = JpegApp::new(JpegMode::ThreeStage);
+    single_and_multi(
+        &mut report,
+        "jpeg",
+        AppId::Jpeg,
+        &jpeg,
+        MultiObjective::AreaConstrained { area_threshold: 0.5, gamma: 1.0, delta: 300.0 },
+    );
+
+    println!("Table IV: runtime comparison (NAS vs brute force vs greedy)\n");
+    report.emit();
+}

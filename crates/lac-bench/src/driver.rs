@@ -1,0 +1,392 @@
+//! Uniform drivers over the six paper applications.
+//!
+//! The applications have two sample types (images and inverse-kinematics
+//! targets), so the experiment binaries dispatch through [`AppId`] and a
+//! handful of monomorphized helpers instead of trait objects.
+
+use std::sync::Arc;
+
+use lac_apps::{
+    DftApp, FilterApp, FilterKind, InverseK2jApp, JpegApp, JpegMode, Kernel, Metric, StageMode,
+};
+use lac_core::{
+    brute_force, search_accuracy_constrained, search_single, train_fixed, BruteForceResult,
+    Constraint, FixedResult, NasResult,
+};
+use lac_hw::Multiplier;
+
+use crate::{adapted_catalog, Sizing};
+
+/// The six applications of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppId {
+    /// Gaussian blur (3×3, unsigned, SSIM).
+    Blur,
+    /// Sobel edge detection (3×3, signed, SSIM).
+    Edge,
+    /// Laplacian sharpening (3×3, signed, SSIM).
+    Sharpen,
+    /// JPEG compression through the 8×8 DCT (PSNR).
+    Jpeg,
+    /// 12×12 complex DFT (PSNR).
+    Dft,
+    /// Inversek2j (relative error).
+    Ik,
+}
+
+impl AppId {
+    /// All six applications in the paper's figure order.
+    pub fn all() -> [AppId; 6] {
+        [AppId::Blur, AppId::Edge, AppId::Sharpen, AppId::Jpeg, AppId::Dft, AppId::Ik]
+    }
+
+    /// Display name matching the paper's sub-figure captions.
+    pub fn display(self) -> &'static str {
+        match self {
+            AppId::Blur => "gaussian-blur",
+            AppId::Edge => "edge-detection",
+            AppId::Sharpen => "image-sharpening",
+            AppId::Jpeg => "jpeg-dct",
+            AppId::Dft => "dft",
+            AppId::Ik => "inversek2j",
+        }
+    }
+
+    /// The application's quality metric label.
+    pub fn metric_label(self) -> &'static str {
+        match self {
+            AppId::Blur | AppId::Edge | AppId::Sharpen => "SSIM",
+            AppId::Jpeg | AppId::Dft => "PSNR(dB)",
+            AppId::Ik => "rel-err",
+        }
+    }
+
+    /// Default sizing and learning rate per application.
+    pub fn sizing(self) -> (Sizing, f64) {
+        match self {
+            AppId::Blur | AppId::Edge | AppId::Sharpen => (Sizing::images(240, 16), 2.0),
+            AppId::Jpeg => (Sizing::images(160, 8), 2.0),
+            AppId::Dft => (Sizing::images(120, 16), 2.0),
+            AppId::Ik => (Sizing::ik(120, 64), 50.0),
+        }
+    }
+
+    /// The metric object of the kernel (for direction checks).
+    pub fn metric(self) -> Metric {
+        match self {
+            AppId::Blur | AppId::Edge | AppId::Sharpen => Metric::Ssim { width: 32, height: 32 },
+            AppId::Jpeg | AppId::Dft => Metric::Psnr,
+            AppId::Ik => Metric::RelativeError,
+        }
+    }
+}
+
+/// Dispatch a monomorphized closure for the application, handing it the
+/// kernel, train/test samples, config, and adapted catalog.
+macro_rules! dispatch {
+    ($app:expr, $body:ident) => {{
+        let (sizing, lr) = $app.sizing();
+        let cfg = sizing.config(lr);
+        match $app {
+            AppId::Blur => {
+                let kernel = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
+                let ds = sizing.image_dataset();
+                $body(&kernel, &ds.train, &ds.test, cfg)
+            }
+            AppId::Edge => {
+                let kernel = FilterApp::new(FilterKind::EdgeDetection, StageMode::Single);
+                let ds = sizing.image_dataset();
+                $body(&kernel, &ds.train, &ds.test, cfg)
+            }
+            AppId::Sharpen => {
+                let kernel = FilterApp::new(FilterKind::Sharpening, StageMode::Single);
+                let ds = sizing.image_dataset();
+                $body(&kernel, &ds.train, &ds.test, cfg)
+            }
+            AppId::Jpeg => {
+                let kernel = JpegApp::new(JpegMode::Single);
+                let ds = sizing.image_dataset();
+                $body(&kernel, &ds.train, &ds.test, cfg)
+            }
+            AppId::Dft => {
+                let kernel = DftApp::new();
+                let ds = sizing.image_dataset();
+                $body(&kernel, &ds.train, &ds.test, cfg)
+            }
+            AppId::Ik => {
+                let kernel = InverseK2jApp::new();
+                let ds = sizing.ik_dataset();
+                $body(&kernel, &ds.train, &ds.test, cfg)
+            }
+        }
+    }};
+}
+
+/// Fixed-hardware LAC (Fig. 3): train the application for every Table I
+/// multiplier and return `(multiplier name, result)` pairs.
+pub fn fixed_all(app: AppId) -> Vec<FixedResult> {
+    fn body<K: Kernel + Sync>(
+        kernel: &K,
+        train: &[K::Sample],
+        test: &[K::Sample],
+        cfg: lac_core::TrainConfig,
+    ) -> Vec<FixedResult> {
+        adapted_catalog(kernel)
+            .iter()
+            .map(|m| train_fixed(kernel, m, train, test, &cfg))
+            .collect()
+    }
+    dispatch!(app, body)
+}
+
+/// Fixed-hardware LAC for one named multiplier.
+pub fn fixed_one(app: AppId, mult_name: &str) -> FixedResult {
+    fn shim<K: Kernel + Sync>(
+        kernel: &K,
+        train: &[K::Sample],
+        test: &[K::Sample],
+        cfg: lac_core::TrainConfig,
+        name: &str,
+    ) -> FixedResult {
+        let raw = lac_hw::catalog::by_name(name).expect("catalog unit");
+        let mult = kernel.adapt(&lac_hw::LutMultiplier::maybe_wrap(raw));
+        train_fixed(kernel, &mult, train, test, &cfg)
+    }
+    let name = mult_name;
+    let (sizing, lr) = app.sizing();
+    let cfg = sizing.config(lr);
+    match app {
+        AppId::Blur => {
+            let kernel = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
+            let ds = sizing.image_dataset();
+            shim(&kernel, &ds.train, &ds.test, cfg, name)
+        }
+        AppId::Edge => {
+            let kernel = FilterApp::new(FilterKind::EdgeDetection, StageMode::Single);
+            let ds = sizing.image_dataset();
+            shim(&kernel, &ds.train, &ds.test, cfg, name)
+        }
+        AppId::Sharpen => {
+            let kernel = FilterApp::new(FilterKind::Sharpening, StageMode::Single);
+            let ds = sizing.image_dataset();
+            shim(&kernel, &ds.train, &ds.test, cfg, name)
+        }
+        AppId::Jpeg => {
+            let kernel = JpegApp::new(JpegMode::Single);
+            let ds = sizing.image_dataset();
+            shim(&kernel, &ds.train, &ds.test, cfg, name)
+        }
+        AppId::Dft => {
+            let kernel = DftApp::new();
+            let ds = sizing.image_dataset();
+            shim(&kernel, &ds.train, &ds.test, cfg, name)
+        }
+        AppId::Ik => {
+            let kernel = InverseK2jApp::new();
+            let ds = sizing.ik_dataset();
+            shim(&kernel, &ds.train, &ds.test, cfg, name)
+        }
+    }
+}
+
+/// Untrained ("traditional setup") quality for every Table I multiplier.
+pub fn untrained_all(app: AppId) -> Vec<(String, f64)> {
+    fn body<K: Kernel + Sync>(
+        kernel: &K,
+        _train: &[K::Sample],
+        test: &[K::Sample],
+        cfg: lac_core::TrainConfig,
+    ) -> Vec<(String, f64)> {
+        let refs = lac_core::batch_references(kernel, test);
+        adapted_catalog(kernel)
+            .iter()
+            .map(|m| {
+                let mults: Vec<Arc<dyn Multiplier>> =
+                    vec![Arc::clone(m); kernel.num_stages()];
+                let coeffs = kernel.init_coeffs(&mults);
+                let q = lac_core::quality(
+                    kernel,
+                    &coeffs,
+                    &mults,
+                    test,
+                    &refs,
+                    cfg.effective_threads(),
+                );
+                (m.name().to_owned(), q)
+            })
+            .collect()
+    }
+    dispatch!(app, body)
+}
+
+/// NAS iteration budget: a multiple of the fixed-training epochs, since
+/// each iteration trains only the two sampled paths (the paper's NAS runs
+/// used roughly a third of the brute-force budget; this keeps the best
+/// path trained enough to compare against dedicated training).
+const NAS_EPOCH_FACTOR: usize = 3;
+
+/// Single-gate NAS under an optional constraint (Figs. 7–9), at the
+/// default iteration budget (`NAS_EPOCH_FACTOR` × the fixed-training
+/// epochs).
+pub fn nas_search(app: AppId, constraint: Constraint, gate_lr: f64) -> NasResult {
+    nas_search_budgeted(app, constraint, gate_lr, NAS_EPOCH_FACTOR)
+}
+
+/// Single-gate NAS with an explicit iteration-budget factor (Table IV's
+/// runtime comparison uses factor 1: the same budget as one fixed run).
+pub fn nas_search_budgeted(
+    app: AppId,
+    constraint: Constraint,
+    gate_lr: f64,
+    epoch_factor: usize,
+) -> NasResult {
+    fn inner<K: Kernel + Sync>(
+        kernel: &K,
+        train: &[K::Sample],
+        test: &[K::Sample],
+        cfg: lac_core::TrainConfig,
+        constraint: Constraint,
+        gate_lr: f64,
+    ) -> NasResult {
+        let candidates = lac_core::prune(&adapted_catalog(kernel), constraint);
+        assert!(
+            !candidates.is_empty(),
+            "constraint {constraint:?} admits no candidates for {}",
+            kernel.name()
+        );
+        search_single(kernel, &candidates, train, test, &cfg, gate_lr)
+    }
+    let (sizing, lr) = app.sizing();
+    let cfg = {
+        let base = sizing.config(lr);
+        let epochs = base.epochs * epoch_factor.max(1);
+        base.epochs(epochs)
+    };
+    match app {
+        AppId::Blur => {
+            let kernel = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
+            let ds = sizing.image_dataset();
+            inner(&kernel, &ds.train, &ds.test, cfg, constraint, gate_lr)
+        }
+        AppId::Edge => {
+            let kernel = FilterApp::new(FilterKind::EdgeDetection, StageMode::Single);
+            let ds = sizing.image_dataset();
+            inner(&kernel, &ds.train, &ds.test, cfg, constraint, gate_lr)
+        }
+        AppId::Sharpen => {
+            let kernel = FilterApp::new(FilterKind::Sharpening, StageMode::Single);
+            let ds = sizing.image_dataset();
+            inner(&kernel, &ds.train, &ds.test, cfg, constraint, gate_lr)
+        }
+        AppId::Jpeg => {
+            let kernel = JpegApp::new(JpegMode::Single);
+            let ds = sizing.image_dataset();
+            inner(&kernel, &ds.train, &ds.test, cfg, constraint, gate_lr)
+        }
+        AppId::Dft => {
+            let kernel = DftApp::new();
+            let ds = sizing.image_dataset();
+            inner(&kernel, &ds.train, &ds.test, cfg, constraint, gate_lr)
+        }
+        AppId::Ik => {
+            let kernel = InverseK2jApp::new();
+            let ds = sizing.ik_dataset();
+            inner(&kernel, &ds.train, &ds.test, cfg, constraint, gate_lr)
+        }
+    }
+}
+
+/// Accuracy-constrained single-gate NAS (Fig. 10).
+pub fn nas_accuracy(app: AppId, target: f64, delta: f64, gate_lr: f64) -> NasResult {
+    fn inner<K: Kernel + Sync>(
+        kernel: &K,
+        train: &[K::Sample],
+        test: &[K::Sample],
+        cfg: lac_core::TrainConfig,
+        target: f64,
+        delta: f64,
+        gate_lr: f64,
+    ) -> NasResult {
+        let candidates = adapted_catalog(kernel);
+        search_accuracy_constrained(
+            kernel, &candidates, train, test, &cfg, gate_lr, target, delta,
+        )
+    }
+    let (sizing, lr) = app.sizing();
+    let cfg = {
+        let base = sizing.config(lr);
+        let epochs = base.epochs * NAS_EPOCH_FACTOR;
+        base.epochs(epochs)
+    };
+    match app {
+        AppId::Blur => {
+            let kernel = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
+            let ds = sizing.image_dataset();
+            inner(&kernel, &ds.train, &ds.test, cfg, target, delta, gate_lr)
+        }
+        AppId::Edge => {
+            let kernel = FilterApp::new(FilterKind::EdgeDetection, StageMode::Single);
+            let ds = sizing.image_dataset();
+            inner(&kernel, &ds.train, &ds.test, cfg, target, delta, gate_lr)
+        }
+        AppId::Sharpen => {
+            let kernel = FilterApp::new(FilterKind::Sharpening, StageMode::Single);
+            let ds = sizing.image_dataset();
+            inner(&kernel, &ds.train, &ds.test, cfg, target, delta, gate_lr)
+        }
+        AppId::Jpeg => {
+            let kernel = JpegApp::new(JpegMode::Single);
+            let ds = sizing.image_dataset();
+            inner(&kernel, &ds.train, &ds.test, cfg, target, delta, gate_lr)
+        }
+        AppId::Dft => {
+            let kernel = DftApp::new();
+            let ds = sizing.image_dataset();
+            inner(&kernel, &ds.train, &ds.test, cfg, target, delta, gate_lr)
+        }
+        AppId::Ik => {
+            let kernel = InverseK2jApp::new();
+            let ds = sizing.ik_dataset();
+            inner(&kernel, &ds.train, &ds.test, cfg, target, delta, gate_lr)
+        }
+    }
+}
+
+/// Brute-force per-candidate training (Fig. 10 / Table IV baseline).
+pub fn brute_force_all(app: AppId) -> BruteForceResult {
+    fn body<K: Kernel + Sync>(
+        kernel: &K,
+        train: &[K::Sample],
+        test: &[K::Sample],
+        cfg: lac_core::TrainConfig,
+    ) -> BruteForceResult {
+        let candidates = adapted_catalog(kernel);
+        brute_force(kernel, &candidates, train, test, &cfg)
+    }
+    dispatch!(app, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_ids_enumerate_table2() {
+        assert_eq!(AppId::all().len(), 6);
+        let names: Vec<&str> = AppId::all().iter().map(|a| a.display()).collect();
+        assert!(names.contains(&"jpeg-dct"));
+        assert!(names.contains(&"inversek2j"));
+    }
+
+    #[test]
+    fn metric_labels_match_directions() {
+        use lac_metrics::MetricDirection;
+        for app in AppId::all() {
+            let d = app.metric().direction();
+            match app {
+                AppId::Ik => assert_eq!(d, MetricDirection::LowerIsBetter),
+                _ => assert_eq!(d, MetricDirection::HigherIsBetter),
+            }
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Minimal flag parsing for the `lac` CLI (no external dependencies).
+
+use lac_core::{Constraint, TrainConfig};
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Optimizer steps (0 = per-application default).
+    pub epochs: usize,
+    /// Learning rate (0.0 = per-application default).
+    pub lr: f64,
+    /// Training samples (images; ×10 for inversek2j).
+    pub train: usize,
+    /// Test samples.
+    pub test: usize,
+    /// Random seed.
+    pub seed: u64,
+    /// Use multi-start training.
+    pub multistart: bool,
+    /// Area budget for search.
+    pub area: Option<f64>,
+    /// Power budget for search.
+    pub power: Option<f64>,
+    /// Delay budget for search.
+    pub delay: Option<f64>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            epochs: 0,
+            lr: 0.0,
+            train: 100,
+            test: 20,
+            seed: 42,
+            multistart: false,
+            area: None,
+            power: None,
+            delay: None,
+        }
+    }
+}
+
+impl Options {
+    /// Parse `--flag value` pairs (plus the bare `--multistart`).
+    pub fn parse(args: &[String]) -> Result<Options, String> {
+        let mut opts = Options::default();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next().map(String::as_str).ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--epochs" => opts.epochs = parse_num(value("--epochs")?)?,
+                "--lr" => opts.lr = parse_float(value("--lr")?)?,
+                "--train" => opts.train = parse_num(value("--train")?)?,
+                "--test" => opts.test = parse_num(value("--test")?)?,
+                "--seed" => opts.seed = parse_num(value("--seed")?)? as u64,
+                "--area" => opts.area = Some(parse_float(value("--area")?)?),
+                "--power" => opts.power = Some(parse_float(value("--power")?)?),
+                "--delay" => opts.delay = Some(parse_float(value("--delay")?)?),
+                "--multistart" => opts.multistart = true,
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        if opts.train == 0 || opts.test == 0 {
+            return Err("--train and --test must be positive".into());
+        }
+        Ok(opts)
+    }
+
+    /// Build a training config with per-application defaults.
+    pub fn config(&self, app: &str) -> TrainConfig {
+        let (default_epochs, default_lr, minibatch) = match app {
+            "jpeg" => (160, 2.0, 8),
+            "inversek2j" => (120, 50.0, 64),
+            _ => (240, 2.0, 16),
+        };
+        let epochs = if self.epochs > 0 { self.epochs } else { default_epochs };
+        let lr = if self.lr > 0.0 { self.lr } else { default_lr };
+        TrainConfig::new().epochs(epochs).learning_rate(lr).minibatch(minibatch).seed(self.seed)
+    }
+
+    /// The search constraint implied by the budget flags.
+    pub fn constraint(&self) -> Constraint {
+        if let Some(a) = self.area {
+            Constraint::Area(a)
+        } else if let Some(p) = self.power {
+            Constraint::Power(p)
+        } else if let Some(d) = self.delay {
+            Constraint::Delay(d)
+        } else {
+            Constraint::None
+        }
+    }
+}
+
+fn parse_num(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("`{s}` is not a valid integer"))
+}
+
+fn parse_float(s: &str) -> Result<f64, String> {
+    s.parse().map_err(|_| format!("`{s}` is not a valid number"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let o = Options::parse(&[]).unwrap();
+        assert_eq!(o.train, 100);
+        assert_eq!(o.seed, 42);
+        assert!(!o.multistart);
+        assert!(matches!(o.constraint(), Constraint::None));
+    }
+
+    #[test]
+    fn parses_flags() {
+        let o = Options::parse(&strs(&[
+            "--epochs", "50", "--lr", "1.5", "--area", "0.2", "--multistart", "--seed", "7",
+        ]))
+        .unwrap();
+        assert_eq!(o.epochs, 50);
+        assert_eq!(o.lr, 1.5);
+        assert!(o.multistart);
+        assert_eq!(o.seed, 7);
+        assert!(matches!(o.constraint(), Constraint::Area(a) if a == 0.2));
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        assert!(Options::parse(&strs(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(Options::parse(&strs(&["--epochs"])).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_number() {
+        assert!(Options::parse(&strs(&["--epochs", "many"])).is_err());
+    }
+
+    #[test]
+    fn config_defaults_per_app() {
+        let o = Options::parse(&[]).unwrap();
+        assert_eq!(o.config("jpeg").epochs, 160);
+        assert_eq!(o.config("blur").epochs, 240);
+        assert_eq!(o.config("inversek2j").lr, 50.0);
+        // Explicit flags override.
+        let o = Options::parse(&strs(&["--epochs", "5", "--lr", "9.0"])).unwrap();
+        assert_eq!(o.config("jpeg").epochs, 5);
+        assert_eq!(o.config("jpeg").lr, 9.0);
+    }
+}

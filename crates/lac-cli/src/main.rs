@@ -1,0 +1,216 @@
+//! `lac` — command-line interface to the LAC library.
+//!
+//! ```text
+//! lac-cli list                      list the multiplier catalog
+//! lac-cli characterize <mult>       error statistics + heatmap of a unit
+//! lac-cli train <app> <mult> [opts] fixed-hardware LAC training
+//! lac-cli search <app> [opts]       binarized-gate hardware search
+//! ```
+//!
+//! Applications: `blur`, `edge`, `sharpen`, `jpeg`, `dft`, `inversek2j`.
+//! Options: `--epochs N`, `--lr X`, `--train N`, `--test N`, `--seed N`,
+//! `--area X` / `--power X` / `--delay X` (search budgets),
+//! `--multistart` (train with power-of-two restarts).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use lac_apps::{
+    DftApp, FilterApp, FilterKind, InverseK2jApp, JpegApp, JpegMode, Kernel, StageMode,
+};
+use lac_core::{
+    prune, search_single, train_fixed, train_fixed_multistart, Constraint, TrainConfig,
+};
+use lac_data::{IkDataset, ImageDataset};
+use lac_hw::{catalog, characterize, ErrorMap, LutMultiplier, Multiplier};
+
+mod args;
+use args::Options;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  lac-cli list
+  lac-cli characterize <multiplier>
+  lac-cli train <app> <multiplier> [--epochs N] [--lr X] [--train N] [--test N]
+                                   [--seed N] [--multistart]
+  lac-cli search <app> [--area X | --power X | --delay X] [--epochs N] [--lr X]
+                       [--train N] [--test N] [--seed N]
+
+apps: blur | edge | sharpen | jpeg | dft | inversek2j";
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some(command) = argv.first() else {
+        return Err("missing command".into());
+    };
+    match command.as_str() {
+        "list" => cmd_list(),
+        "characterize" => {
+            let name = argv.get(1).ok_or("characterize needs a multiplier name")?;
+            cmd_characterize(name)
+        }
+        "train" => {
+            let app = argv.get(1).ok_or("train needs an application")?;
+            let mult = argv.get(2).ok_or("train needs a multiplier name")?;
+            let opts = Options::parse(&argv[3..])?;
+            cmd_train(app, mult, &opts)
+        }
+        "search" => {
+            let app = argv.get(1).ok_or("search needs an application")?;
+            let opts = Options::parse(&argv[2..])?;
+            cmd_search(app, &opts)
+        }
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("{:<12} {:>5} {:>9} {:>6} {:>6} {:>6}", "name", "bits", "sign", "area", "power", "delay");
+    for m in catalog::paper_multipliers() {
+        let md = m.metadata();
+        println!(
+            "{:<12} {:>5} {:>9} {:>6.2} {:>6.2} {:>6}",
+            m.name(),
+            m.bits(),
+            m.signedness().to_string(),
+            md.area,
+            md.power,
+            md.delay.map(|d| format!("{d:.2}")).unwrap_or_else(|| "-".into()),
+        );
+    }
+    println!("\nextras: {}", catalog::EXTRA_NAMES.join(", "));
+    Ok(())
+}
+
+fn cmd_characterize(name: &str) -> Result<(), String> {
+    let m = catalog::by_name(name).ok_or_else(|| format!("unknown multiplier `{name}`"))?;
+    let stats = characterize(&*m, 100_000, 42);
+    println!("{name}: {stats}");
+    let map = ErrorMap::compute(&*m, 24);
+    println!(
+        "quiet fraction (<1% rel err): {:.3}   concentration: {:.1}",
+        map.quiet_fraction(0.01),
+        map.concentration()
+    );
+    println!("\nrelative-error heatmap (operand plane, darker = worse):");
+    println!("{}", map.to_ascii());
+    Ok(())
+}
+
+fn resolve_mult(name: &str) -> Result<Arc<dyn Multiplier>, String> {
+    catalog::by_name(name)
+        .map(LutMultiplier::maybe_wrap)
+        .ok_or_else(|| format!("unknown multiplier `{name}`"))
+}
+
+/// Monomorphized train/search drivers per application.
+macro_rules! with_app {
+    ($app:expr, $opts:expr, |$kernel:ident, $train:ident, $test:ident| $body:expr) => {{
+        match $app {
+            "blur" => {
+                let $kernel = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
+                let ds = ImageDataset::generate($opts.train, $opts.test, 32, 32, $opts.seed);
+                let ($train, $test) = (ds.train, ds.test);
+                $body
+            }
+            "edge" => {
+                let $kernel = FilterApp::new(FilterKind::EdgeDetection, StageMode::Single);
+                let ds = ImageDataset::generate($opts.train, $opts.test, 32, 32, $opts.seed);
+                let ($train, $test) = (ds.train, ds.test);
+                $body
+            }
+            "sharpen" => {
+                let $kernel = FilterApp::new(FilterKind::Sharpening, StageMode::Single);
+                let ds = ImageDataset::generate($opts.train, $opts.test, 32, 32, $opts.seed);
+                let ($train, $test) = (ds.train, ds.test);
+                $body
+            }
+            "jpeg" => {
+                let $kernel = JpegApp::new(JpegMode::Single);
+                let ds = ImageDataset::generate($opts.train, $opts.test, 32, 32, $opts.seed);
+                let ($train, $test) = (ds.train, ds.test);
+                $body
+            }
+            "dft" => {
+                let $kernel = DftApp::new();
+                let ds = ImageDataset::generate($opts.train, $opts.test, 32, 32, $opts.seed);
+                let ($train, $test) = (ds.train, ds.test);
+                $body
+            }
+            "inversek2j" => {
+                let $kernel = InverseK2jApp::new();
+                let ds = IkDataset::generate($opts.train * 10, $opts.test * 10, $opts.seed);
+                let ($train, $test) = (ds.train, ds.test);
+                $body
+            }
+            other => return Err(format!("unknown application `{other}`")),
+        }
+    }};
+}
+
+fn cmd_train(app: &str, mult_name: &str, opts: &Options) -> Result<(), String> {
+    let raw = resolve_mult(mult_name)?;
+    let config = opts.config(app);
+    with_app!(app, opts, |kernel, train, test| {
+        let mult = kernel.adapt(&raw);
+        let result = if opts.multistart {
+            train_fixed_multistart(&kernel, &mult, &train, &test, &config, &[0, 3, 6])
+        } else {
+            train_fixed(&kernel, &mult, &train, &test, &config)
+        };
+        println!(
+            "{} on {}: {:.4} -> {:.4} ({:+.4}) in {:.1}s",
+            kernel.name(),
+            mult_name,
+            result.before,
+            result.after,
+            result.after - result.before,
+            result.seconds
+        );
+        Ok(())
+    })
+}
+
+fn cmd_search(app: &str, opts: &Options) -> Result<(), String> {
+    let config = opts.config(app);
+    let constraint = opts.constraint();
+    with_app!(app, opts, |kernel, train, test| {
+        let candidates: Vec<Arc<dyn Multiplier>> = catalog::paper_multipliers_accelerated()
+            .iter()
+            .map(|m| kernel.adapt(m))
+            .collect();
+        let admitted = prune(&candidates, constraint);
+        if admitted.is_empty() {
+            return Err(format!("constraint {constraint:?} admits no candidates"));
+        }
+        println!("searching {} candidates under {constraint:?} ...", admitted.len());
+        let result = search_single(&kernel, &admitted, &train, &test, &config, 2.0);
+        for (name, p) in result.candidates.iter().zip(&result.probabilities) {
+            println!("  {name:<12} {p:.3}");
+        }
+        println!(
+            "chosen: {} (area {:.2})  quality {:.4}  in {:.1}s",
+            result.chosen_name(),
+            result.area,
+            result.quality,
+            result.seconds
+        );
+        Ok(())
+    })
+}

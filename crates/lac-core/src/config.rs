@@ -1,0 +1,143 @@
+//! Training configuration.
+
+/// Hyperparameters shared by every LAC trainer.
+///
+/// # Examples
+///
+/// ```
+/// use lac_core::TrainConfig;
+///
+/// let cfg = TrainConfig::new().epochs(200).learning_rate(1.5).seed(7);
+/// assert_eq!(cfg.epochs, 200);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of optimizer steps.
+    pub epochs: usize,
+    /// Adam learning rate, in coefficient units (Adam is scale-free).
+    pub lr: f64,
+    /// Samples per step; `None` uses the full training set every step.
+    pub minibatch: Option<usize>,
+    /// Seed for stochastic components (NAS path sampling, minibatch
+    /// rotation).
+    pub seed: u64,
+    /// Worker threads for batch evaluation. 0 selects the available
+    /// parallelism.
+    pub threads: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { epochs: 120, lr: 1.0, minibatch: None, seed: 0, threads: 0 }
+    }
+}
+
+impl TrainConfig {
+    /// The default configuration (120 epochs, lr 1.0, full batch).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the number of optimizer steps.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Set the Adam learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive rate.
+    pub fn learning_rate(mut self, lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+        self
+    }
+
+    /// Limit each step to a rotating minibatch of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero size.
+    pub fn minibatch(mut self, size: usize) -> Self {
+        assert!(size > 0, "minibatch size must be positive");
+        self.minibatch = Some(size);
+        self
+    }
+
+    /// Set the random seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the number of evaluation threads (0 = auto).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The effective worker-thread count.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+
+    /// The sample indices for step `step` of a training set of `n`
+    /// samples: either all of them or a rotating minibatch window.
+    pub fn step_indices(&self, step: usize, n: usize) -> Vec<usize> {
+        match self.minibatch {
+            None => (0..n).collect(),
+            Some(m) if m >= n => (0..n).collect(),
+            Some(m) => {
+                let start = (step * m) % n;
+                (0..m).map(|i| (start + i) % n).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let cfg = TrainConfig::new().epochs(10).learning_rate(0.5).minibatch(4).seed(3).threads(2);
+        assert_eq!(cfg.epochs, 10);
+        assert_eq!(cfg.lr, 0.5);
+        assert_eq!(cfg.minibatch, Some(4));
+        assert_eq!(cfg.seed, 3);
+        assert_eq!(cfg.effective_threads(), 2);
+    }
+
+    #[test]
+    fn full_batch_indices() {
+        let cfg = TrainConfig::new();
+        assert_eq!(cfg.step_indices(5, 4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn minibatch_rotates_deterministically() {
+        let cfg = TrainConfig::new().minibatch(2);
+        assert_eq!(cfg.step_indices(0, 5), vec![0, 1]);
+        assert_eq!(cfg.step_indices(1, 5), vec![2, 3]);
+        assert_eq!(cfg.step_indices(2, 5), vec![4, 0]);
+    }
+
+    #[test]
+    fn oversized_minibatch_degrades_to_full_batch() {
+        let cfg = TrainConfig::new().minibatch(10);
+        assert_eq!(cfg.step_indices(3, 4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_zero_minibatch() {
+        let _ = TrainConfig::new().minibatch(0);
+    }
+}

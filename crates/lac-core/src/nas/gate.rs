@@ -1,0 +1,257 @@
+//! The binarized gate of trained-hardware LAC (Section IV, after
+//! ProxylessNAS).
+//!
+//! A [`BinaryGate`] holds one architecture weight per hardware candidate.
+//! A softmax turns the weights into sampling probabilities; training
+//! updates the weights from sampled-path losses:
+//!
+//! * **two-path mode** (single-gate search, Fig. 6): two paths are sampled
+//!   per iteration, both paths' application coefficients are trained, and
+//!   the gate gradient is the ProxylessNAS pairwise estimator
+//!   `dL/dα_i = q_i (1 - q_i)(L_i - L_j)` on the pair-renormalized
+//!   probabilities `q`;
+//! * **single-path mode** (multi-hardware NAS): one path per gate is
+//!   sampled and the weights follow a score-function (REINFORCE) update
+//!   with a running-mean baseline.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A binarized architecture gate over `k` hardware candidates.
+#[derive(Debug, Clone)]
+pub struct BinaryGate {
+    weights: Vec<f64>,
+    lr: f64,
+    baseline: Option<f64>,
+}
+
+impl BinaryGate {
+    /// Create a gate over `k` candidates with uniform initial weights
+    /// ("the binarized gate is initialized with the same weight value
+    /// assigned to each path").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 1` or `lr <= 0`.
+    pub fn new(k: usize, lr: f64) -> Self {
+        assert!(k >= 1, "gate needs at least one candidate");
+        assert!(lr > 0.0, "gate learning rate must be positive");
+        BinaryGate { weights: vec![0.0; k], lr, baseline: None }
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when the gate has no candidates (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Raw architecture weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Softmax sampling probabilities.
+    pub fn probabilities(&self) -> Vec<f64> {
+        let max = self.weights.iter().fold(f64::NEG_INFINITY, |m, &w| m.max(w));
+        let exps: Vec<f64> = self.weights.iter().map(|&w| (w - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        exps.into_iter().map(|e| e / sum).collect()
+    }
+
+    /// The currently preferred candidate (argmax weight).
+    pub fn best(&self) -> usize {
+        self.weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("gate has candidates")
+    }
+
+    /// Sample one candidate index by probability.
+    pub fn sample_one(&self, rng: &mut StdRng) -> usize {
+        let p = self.probabilities();
+        sample_index(&p, rng)
+    }
+
+    /// Sample two distinct candidate indices by probability (the paper's
+    /// "we sample two of the paths in each cycle").
+    ///
+    /// # Panics
+    ///
+    /// Panics for gates with fewer than two candidates.
+    pub fn sample_two(&self, rng: &mut StdRng) -> (usize, usize) {
+        assert!(self.len() >= 2, "two-path sampling needs at least two candidates");
+        let p = self.probabilities();
+        let first = sample_index(&p, rng);
+        let mut q = p;
+        q[first] = 0.0;
+        let sum: f64 = q.iter().sum();
+        for v in &mut q {
+            *v /= sum;
+        }
+        let second = sample_index(&q, rng);
+        (first, second)
+    }
+
+    /// Two-path ProxylessNAS update: paths `i` and `j` were evaluated with
+    /// losses `loss_i` and `loss_j` (lower is better). The pairwise
+    /// gradient shifts weight toward the lower-loss path, scaled by the
+    /// pair-renormalized probabilities.
+    pub fn update_two_path(&mut self, i: usize, j: usize, loss_i: f64, loss_j: f64) {
+        assert_ne!(i, j, "two-path update needs distinct paths");
+        let p = self.probabilities();
+        let qi = p[i] / (p[i] + p[j]);
+        let qj = 1.0 - qi;
+        // Normalize the loss difference so the step size is insensitive to
+        // the absolute loss scale of the application.
+        let scale = loss_i.abs().max(loss_j.abs()).max(1e-12);
+        let diff = (loss_i - loss_j) / scale;
+        let grad_i = qi * qj * diff;
+        self.weights[i] -= self.lr * grad_i;
+        self.weights[j] += self.lr * grad_i;
+    }
+
+    /// Add `amount` to candidate `i`'s raw weight (used by final
+    /// selectors that override the argmax after verification).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn nudge(&mut self, i: usize, amount: f64) {
+        self.weights[i] += amount;
+    }
+
+    /// Single-path score-function update: candidate `i` was sampled and
+    /// achieved `loss` (lower is better). Uses a running-mean baseline to
+    /// reduce variance.
+    pub fn update_single_path(&mut self, i: usize, loss: f64) {
+        let baseline = match self.baseline {
+            Some(b) => {
+                let b = 0.9 * b + 0.1 * loss;
+                self.baseline = Some(b);
+                b
+            }
+            None => {
+                self.baseline = Some(loss);
+                loss
+            }
+        };
+        let scale = baseline.abs().max(loss.abs()).max(1e-12);
+        let advantage = (baseline - loss) / scale; // positive when better
+        let p = self.probabilities();
+        for (k, w) in self.weights.iter_mut().enumerate() {
+            let indicator = if k == i { 1.0 } else { 0.0 };
+            *w += self.lr * advantage * (indicator - p[k]);
+        }
+    }
+}
+
+fn sample_index(p: &[f64], rng: &mut StdRng) -> usize {
+    let u: f64 = rng.random_range(0.0..1.0);
+    let mut acc = 0.0;
+    for (i, &pi) in p.iter().enumerate() {
+        acc += pi;
+        if u < acc {
+            return i;
+        }
+    }
+    p.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_initialization() {
+        let gate = BinaryGate::new(4, 0.1);
+        let p = gate.probabilities();
+        assert!(p.iter().all(|&v| (v - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut gate = BinaryGate::new(5, 0.5);
+        gate.update_single_path(2, 1.0);
+        gate.update_single_path(3, 100.0);
+        let p = gate.probabilities();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_path_update_prefers_lower_loss() {
+        let mut gate = BinaryGate::new(3, 0.5);
+        for _ in 0..50 {
+            gate.update_two_path(0, 1, 1.0, 10.0);
+        }
+        assert_eq!(gate.best(), 0);
+        let p = gate.probabilities();
+        assert!(p[0] > 0.8, "preferred path probability {p:?}");
+    }
+
+    #[test]
+    fn single_path_update_converges_to_best() {
+        let mut gate = BinaryGate::new(4, 0.3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let losses = [5.0, 1.0, 9.0, 4.0];
+        for _ in 0..500 {
+            let i = gate.sample_one(&mut rng);
+            gate.update_single_path(i, losses[i]);
+        }
+        assert_eq!(gate.best(), 1);
+    }
+
+    #[test]
+    fn sample_two_returns_distinct_paths() {
+        let gate = BinaryGate::new(3, 0.1);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let (i, j) = gate.sample_two(&mut rng);
+            assert_ne!(i, j);
+            assert!(i < 3 && j < 3);
+        }
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let gate = BinaryGate::new(6, 0.1);
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            assert_eq!(gate.sample_two(&mut a), gate.sample_two(&mut b));
+        }
+    }
+
+    #[test]
+    fn sampling_respects_probabilities() {
+        let mut gate = BinaryGate::new(2, 1.0);
+        for _ in 0..30 {
+            gate.update_two_path(0, 1, 0.1, 10.0);
+        }
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..1000).filter(|_| gate.sample_one(&mut rng) == 0).count();
+        assert!(hits > 800, "only {hits}/1000 samples hit the dominant path");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two candidates")]
+    fn two_path_sampling_needs_two_candidates() {
+        let gate = BinaryGate::new(1, 0.1);
+        let mut rng = StdRng::seed_from_u64(0);
+        gate.sample_two(&mut rng);
+    }
+
+    #[test]
+    fn degenerate_single_candidate_gate() {
+        let gate = BinaryGate::new(1, 0.1);
+        assert_eq!(gate.best(), 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(gate.sample_one(&mut rng), 0);
+    }
+}

@@ -1,0 +1,5 @@
+//! Neural-architecture-search components of trained-hardware LAC.
+
+pub mod gate;
+pub mod multi;
+pub mod single;

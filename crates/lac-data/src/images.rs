@@ -1,0 +1,343 @@
+//! Seeded procedural image generation.
+//!
+//! The LAC paper trains on 100 CIFAR-10 images and tests on 20. CIFAR-10
+//! is not redistributable inside this repository, so this module generates
+//! CIFAR-like 32×32 grayscale images procedurally (see `DESIGN.md` §4.2):
+//! each image is a seeded mixture of a smooth background gradient, a few
+//! soft blobs, a few hard-edged rectangles/strips, and mild texture noise —
+//! reproducing the smooth-region-plus-edge structure that image filters,
+//! DCT and DFT quality actually depend on.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A grayscale image with `u8`-range samples stored as `f64`.
+///
+/// Samples are guaranteed to lie in `[0, 255]` and to be integral, so the
+/// image can feed fixed-point datapaths directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    pixels: Vec<f64>,
+}
+
+impl GrayImage {
+    /// Create an image from pre-quantized pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len() != width * height` or any pixel is outside
+    /// `[0, 255]`.
+    pub fn from_pixels(width: usize, height: usize, pixels: Vec<f64>) -> Self {
+        assert_eq!(pixels.len(), width * height, "pixel count mismatch");
+        assert!(
+            pixels.iter().all(|&p| (0.0..=255.0).contains(&p)),
+            "pixels must lie in [0, 255]"
+        );
+        GrayImage { width, height, pixels }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Row-major pixel samples.
+    pub fn pixels(&self) -> &[f64] {
+        &self.pixels
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn at(&self, x: usize, y: usize) -> f64 {
+        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Serialize as a binary PGM (P5) byte stream, for eyeballing outputs.
+    pub fn to_pgm(&self) -> Vec<u8> {
+        let mut out = format!("P5\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.extend(self.pixels.iter().map(|&p| p.round().clamp(0.0, 255.0) as u8));
+        out
+    }
+
+    /// Parse a binary PGM (P5) byte stream, the inverse of
+    /// [`GrayImage::to_pgm`] — so real images can be fed to the kernels.
+    ///
+    /// Supports `#` comment lines in the header and requires an 8-bit
+    /// maxval.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the bytes are not a well-formed 8-bit P5
+    /// stream.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lac_data::{synth_image, GrayImage};
+    ///
+    /// let img = synth_image(16, 16, 1);
+    /// let round_trip = GrayImage::from_pgm(&img.to_pgm()).unwrap();
+    /// assert_eq!(round_trip, img);
+    /// ```
+    pub fn from_pgm(bytes: &[u8]) -> Result<GrayImage, String> {
+        // Header: magic, width, height, maxval as whitespace-separated
+        // tokens, with # comments running to end of line.
+        let mut pos = 0usize;
+        let mut tokens = Vec::new();
+        while tokens.len() < 4 {
+            let b = *bytes.get(pos).ok_or("truncated PGM header")?;
+            match b {
+                b'#' => {
+                    while *bytes.get(pos).ok_or("unterminated comment")? != b'\n' {
+                        pos += 1;
+                    }
+                }
+                b' ' | b'\t' | b'\r' | b'\n' => pos += 1,
+                _ => {
+                    let start = pos;
+                    while pos < bytes.len() && !bytes[pos].is_ascii_whitespace() {
+                        pos += 1;
+                    }
+                    tokens.push(
+                        std::str::from_utf8(&bytes[start..pos])
+                            .map_err(|_| "non-ASCII header token".to_string())?
+                            .to_owned(),
+                    );
+                }
+            }
+        }
+        if tokens[0] != "P5" {
+            return Err(format!("expected P5 magic, got `{}`", tokens[0]));
+        }
+        let width: usize = tokens[1].parse().map_err(|_| "bad width".to_string())?;
+        let height: usize = tokens[2].parse().map_err(|_| "bad height".to_string())?;
+        if tokens[3] != "255" {
+            return Err(format!("only 8-bit PGM supported, maxval {}", tokens[3]));
+        }
+        // Exactly one whitespace byte separates the header from the raster.
+        pos += 1;
+        let raster = bytes.get(pos..pos + width * height).ok_or("truncated PGM raster")?;
+        Ok(GrayImage {
+            width,
+            height,
+            pixels: raster.iter().map(|&b| b as f64).collect(),
+        })
+    }
+}
+
+/// Generate one CIFAR-like grayscale image of the given size.
+///
+/// Deterministic in `seed`.
+///
+/// # Examples
+///
+/// ```
+/// use lac_data::synth_image;
+///
+/// let img = synth_image(32, 32, 7);
+/// assert_eq!(img.pixels().len(), 1024);
+/// assert_eq!(img, synth_image(32, 32, 7));
+/// ```
+pub fn synth_image(width: usize, height: usize, seed: u64) -> GrayImage {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1));
+    let mut px = vec![0f64; width * height];
+
+    // Smooth background gradient with a random orientation and offset.
+    let theta: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+    let (gx, gy) = (theta.cos(), theta.sin());
+    let base: f64 = rng.random_range(60.0..180.0);
+    let amp: f64 = rng.random_range(20.0..70.0);
+    for y in 0..height {
+        for x in 0..width {
+            let u = (x as f64 / width as f64 - 0.5) * gx + (y as f64 / height as f64 - 0.5) * gy;
+            px[y * width + x] = base + amp * u * 2.0;
+        }
+    }
+
+    // Soft Gaussian blobs (object-like smooth structure).
+    for _ in 0..rng.random_range(2..5usize) {
+        let cx: f64 = rng.random_range(0.0..width as f64);
+        let cy: f64 = rng.random_range(0.0..height as f64);
+        let sigma: f64 = rng.random_range(2.0..(width as f64 / 3.0));
+        let weight: f64 = rng.random_range(-80.0..80.0);
+        for y in 0..height {
+            for x in 0..width {
+                let d2 = ((x as f64 - cx).powi(2) + (y as f64 - cy).powi(2)) / (2.0 * sigma * sigma);
+                px[y * width + x] += weight * (-d2).exp();
+            }
+        }
+    }
+
+    // Hard-edged rectangles (edge structure for the Sobel/Laplacian apps).
+    for _ in 0..rng.random_range(1..4usize) {
+        let x0 = rng.random_range(0..width);
+        let y0 = rng.random_range(0..height);
+        let w = rng.random_range(3..width / 2 + 3).min(width - x0);
+        let h = rng.random_range(3..height / 2 + 3).min(height - y0);
+        let delta: f64 = rng.random_range(-70.0..70.0);
+        for y in y0..y0 + h {
+            for x in x0..x0 + w {
+                px[y * width + x] += delta;
+            }
+        }
+    }
+
+    // Mild texture noise.
+    let noise_amp: f64 = rng.random_range(2.0..9.0);
+    for p in &mut px {
+        *p += rng.random_range(-noise_amp..noise_amp);
+    }
+
+    // Quantize into the u8 range.
+    for p in &mut px {
+        *p = p.round().clamp(0.0, 255.0);
+    }
+    GrayImage { width, height, pixels: px }
+}
+
+/// The image dataset split used throughout the paper's experiments:
+/// 100 training and 20 test images (Section III-C).
+#[derive(Debug, Clone)]
+pub struct ImageDataset {
+    /// Training images.
+    pub train: Vec<GrayImage>,
+    /// Held-out test images.
+    pub test: Vec<GrayImage>,
+}
+
+impl ImageDataset {
+    /// Generate the paper's 100-train / 20-test split at 32×32, seeded.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lac_data::ImageDataset;
+    ///
+    /// let ds = ImageDataset::paper_split(42);
+    /// assert_eq!(ds.train.len(), 100);
+    /// assert_eq!(ds.test.len(), 20);
+    /// ```
+    pub fn paper_split(seed: u64) -> Self {
+        Self::generate(100, 20, 32, 32, seed)
+    }
+
+    /// Generate an arbitrary split.
+    pub fn generate(train: usize, test: usize, width: usize, height: usize, seed: u64) -> Self {
+        let train_imgs =
+            (0..train).map(|i| synth_image(width, height, seed ^ (i as u64) << 1)).collect();
+        let test_imgs = (0..test)
+            .map(|i| synth_image(width, height, seed ^ 0xdead_0000 ^ (i as u64) << 1))
+            .collect();
+        ImageDataset { train: train_imgs, test: test_imgs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn images_are_deterministic_in_seed() {
+        assert_eq!(synth_image(32, 32, 5), synth_image(32, 32, 5));
+        assert_ne!(synth_image(32, 32, 5), synth_image(32, 32, 6));
+    }
+
+    #[test]
+    fn pixels_are_integral_u8_range() {
+        let img = synth_image(32, 32, 11);
+        for &p in img.pixels() {
+            assert!((0.0..=255.0).contains(&p));
+            assert_eq!(p, p.round());
+        }
+    }
+
+    #[test]
+    fn images_have_natural_image_statistics() {
+        // Natural-image proxies: nontrivial dynamic range and high
+        // neighboring-pixel correlation.
+        for seed in 0..10u64 {
+            let img = synth_image(32, 32, seed);
+            let pixels = img.pixels();
+            let mean = pixels.iter().sum::<f64>() / pixels.len() as f64;
+            let var = pixels.iter().map(|&p| (p - mean).powi(2)).sum::<f64>()
+                / pixels.len() as f64;
+            assert!(var > 50.0, "seed {seed}: variance {var} too flat");
+
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for y in 0..32 {
+                for x in 0..31 {
+                    let a = img.at(x, y) - mean;
+                    let b = img.at(x + 1, y) - mean;
+                    num += a * b;
+                    den += a * a;
+                }
+            }
+            let corr = num / den.max(1e-9);
+            assert!(corr > 0.6, "seed {seed}: neighbor correlation {corr} too low");
+        }
+    }
+
+    #[test]
+    fn dataset_split_sizes_and_disjoint_seeds() {
+        let ds = ImageDataset::paper_split(1);
+        assert_eq!(ds.train.len(), 100);
+        assert_eq!(ds.test.len(), 20);
+        // Train and test come from different seed namespaces.
+        assert_ne!(ds.train[0], ds.test[0]);
+    }
+
+    #[test]
+    fn pgm_header_and_size() {
+        let img = synth_image(8, 4, 3);
+        let pgm = img.to_pgm();
+        assert!(pgm.starts_with(b"P5\n8 4\n255\n"));
+        assert_eq!(pgm.len(), b"P5\n8 4\n255\n".len() + 32);
+    }
+
+    #[test]
+    fn pgm_round_trip() {
+        let img = synth_image(20, 14, 8);
+        let parsed = GrayImage::from_pgm(&img.to_pgm()).unwrap();
+        assert_eq!(parsed, img);
+    }
+
+    #[test]
+    fn pgm_parses_comments() {
+        let mut bytes = b"P5\n# a comment\n2 2\n# another\n255\n".to_vec();
+        bytes.extend([10u8, 20, 30, 40]);
+        let img = GrayImage::from_pgm(&bytes).unwrap();
+        assert_eq!(img.pixels(), &[10.0, 20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn pgm_rejects_garbage() {
+        assert!(GrayImage::from_pgm(b"P6\n2 2\n255\n....").is_err());
+        assert!(GrayImage::from_pgm(b"P5\n2 2\n65535\n").is_err());
+        assert!(GrayImage::from_pgm(b"P5\n9 9\n255\nxx").is_err());
+        assert!(GrayImage::from_pgm(b"").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn at_bounds_checked() {
+        synth_image(8, 8, 0).at(8, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pixels must lie")]
+    fn from_pixels_validates_range() {
+        GrayImage::from_pixels(1, 1, vec![300.0]);
+    }
+}

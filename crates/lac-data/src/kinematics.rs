@@ -1,0 +1,161 @@
+//! Synthetic Inversek2j samples.
+//!
+//! AxBench's `inversek2j` benchmark computes the inverse kinematics of a
+//! 2-joint robotic arm; its dataset is a set of reachable end-effector
+//! targets. The AxBench generator draws joint angles uniformly and computes
+//! the corresponding `(x, y)` via forward kinematics — reproduced here with
+//! a fixed seed (1000 train / 200 test samples, Section III-C).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Link lengths of the 2-joint arm, matching AxBench's defaults.
+pub const LINK1: f64 = 0.5;
+/// Length of the second link.
+pub const LINK2: f64 = 0.5;
+
+/// One end-effector target with its ground-truth joint angles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IkSample {
+    /// Target x coordinate.
+    pub x: f64,
+    /// Target y coordinate.
+    pub y: f64,
+    /// Ground-truth shoulder angle (radians).
+    pub theta1: f64,
+    /// Ground-truth elbow angle (radians).
+    pub theta2: f64,
+}
+
+/// Forward kinematics of the 2-joint arm: joint angles to end-effector
+/// position.
+///
+/// # Examples
+///
+/// ```
+/// use lac_data::{forward_kinematics, LINK1, LINK2};
+///
+/// let (x, y) = forward_kinematics(0.0, 0.0);
+/// assert!((x - (LINK1 + LINK2)).abs() < 1e-12);
+/// assert!(y.abs() < 1e-12);
+/// ```
+pub fn forward_kinematics(theta1: f64, theta2: f64) -> (f64, f64) {
+    let x = LINK1 * theta1.cos() + LINK2 * (theta1 + theta2).cos();
+    let y = LINK1 * theta1.sin() + LINK2 * (theta1 + theta2).sin();
+    (x, y)
+}
+
+/// Reference (exact) inverse kinematics for the 2-joint arm.
+///
+/// Returns `(theta1, theta2)` for a reachable target, the elbow-down
+/// solution.
+///
+/// # Panics
+///
+/// Panics if the target is outside the reachable annulus.
+pub fn inverse_kinematics(x: f64, y: f64) -> (f64, f64) {
+    let d2 = x * x + y * y;
+    let c2 = (d2 - LINK1 * LINK1 - LINK2 * LINK2) / (2.0 * LINK1 * LINK2);
+    assert!(
+        (-1.0 - 1e-9..=1.0 + 1e-9).contains(&c2),
+        "target ({x}, {y}) unreachable: cos(theta2) = {c2}"
+    );
+    let theta2 = c2.clamp(-1.0, 1.0).acos();
+    let theta1 = y.atan2(x) - (LINK2 * theta2.sin()).atan2(LINK1 + LINK2 * theta2.cos());
+    (theta1, theta2)
+}
+
+/// An Inversek2j dataset split.
+#[derive(Debug, Clone)]
+pub struct IkDataset {
+    /// Training samples.
+    pub train: Vec<IkSample>,
+    /// Held-out test samples.
+    pub test: Vec<IkSample>,
+}
+
+impl IkDataset {
+    /// Generate the paper's 1000-train / 200-test split, seeded.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lac_data::IkDataset;
+    ///
+    /// let ds = IkDataset::paper_split(9);
+    /// assert_eq!(ds.train.len(), 1000);
+    /// assert_eq!(ds.test.len(), 200);
+    /// ```
+    pub fn paper_split(seed: u64) -> Self {
+        Self::generate(1000, 200, seed)
+    }
+
+    /// Generate an arbitrary split.
+    ///
+    /// Samples are drawn exactly as AxBench does: joint angles uniform in
+    /// a safe sub-range, targets via forward kinematics — so every target
+    /// is reachable by construction.
+    pub fn generate(train: usize, test: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x517c_c1b7_2722_0a95));
+        let mut draw = |n: usize| {
+            (0..n)
+                .map(|_| {
+                    // Keep away from the workspace boundary singularities,
+                    // as the AxBench generator does.
+                    let theta1: f64 = rng.random_range(0.1..std::f64::consts::FRAC_PI_2);
+                    let theta2: f64 = rng.random_range(0.1..std::f64::consts::FRAC_PI_2);
+                    let (x, y) = forward_kinematics(theta1, theta2);
+                    IkSample { x, y, theta1, theta2 }
+                })
+                .collect::<Vec<_>>()
+        };
+        let train = draw(train);
+        let test = draw(test);
+        IkDataset { train, test }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_recovers_forward() {
+        for &(t1, t2) in &[(0.3, 0.7), (0.5, 1.2), (1.0, 0.2), (0.11, 1.5)] {
+            let (x, y) = forward_kinematics(t1, t2);
+            let (r1, r2) = inverse_kinematics(x, y);
+            assert!((r1 - t1).abs() < 1e-9, "theta1 {r1} vs {t1}");
+            assert!((r2 - t2).abs() < 1e-9, "theta2 {r2} vs {t2}");
+        }
+    }
+
+    #[test]
+    fn dataset_targets_are_reachable_and_consistent() {
+        let ds = IkDataset::generate(50, 10, 3);
+        for s in ds.train.iter().chain(&ds.test) {
+            let (t1, t2) = inverse_kinematics(s.x, s.y);
+            assert!((t1 - s.theta1).abs() < 1e-9);
+            assert!((t2 - s.theta2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dataset_is_deterministic() {
+        let a = IkDataset::generate(10, 5, 7);
+        let b = IkDataset::generate(10, 5, 7);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn paper_split_sizes() {
+        let ds = IkDataset::paper_split(0);
+        assert_eq!((ds.train.len(), ds.test.len()), (1000, 200));
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable")]
+    fn unreachable_target_panics() {
+        inverse_kinematics(5.0, 5.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Seeded synthetic datasets for the LAC reproduction.
+//!
+//! The paper evaluates on CIFAR-10 images (100 train / 20 test) and the
+//! AxBench Inversek2j dataset (1000 train / 200 test). Neither dataset can
+//! be redistributed here, so this crate generates statistically faithful,
+//! fully deterministic substitutes (see `DESIGN.md` §4):
+//!
+//! * [`ImageDataset`] — CIFAR-like 32×32 grayscale images built from
+//!   gradients, blobs, hard edges and texture noise;
+//! * [`IkDataset`] — reachable 2-joint arm targets drawn exactly the way
+//!   the AxBench generator draws them.
+//!
+//! # Quick start
+//!
+//! ```
+//! use lac_data::{ImageDataset, IkDataset};
+//!
+//! let images = ImageDataset::paper_split(42);
+//! assert_eq!(images.train.len(), 100);
+//!
+//! let ik = IkDataset::paper_split(42);
+//! assert_eq!(ik.test.len(), 200);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod images;
+mod kinematics;
+mod signals;
+
+pub use images::{synth_image, GrayImage, ImageDataset};
+pub use kinematics::{
+    forward_kinematics, inverse_kinematics, IkDataset, IkSample, LINK1, LINK2,
+};
+pub use signals::{synth_signal, SignalDataset};

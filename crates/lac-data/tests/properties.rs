@@ -1,0 +1,72 @@
+//! Property-based tests of the synthetic dataset generators.
+
+use proptest::prelude::*;
+
+use lac_data::{
+    forward_kinematics, inverse_kinematics, synth_image, synth_signal, IkDataset, LINK1, LINK2,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Images are valid 8-bit rasters for any seed and size.
+    #[test]
+    fn images_are_valid_rasters(seed in any::<u64>(), w in 8usize..40, h in 8usize..40) {
+        let img = synth_image(w, h, seed);
+        prop_assert_eq!(img.width(), w);
+        prop_assert_eq!(img.height(), h);
+        for &p in img.pixels() {
+            prop_assert!((0.0..=255.0).contains(&p));
+            prop_assert_eq!(p, p.round());
+        }
+    }
+
+    /// The PGM encoding round-trips dimensions and payload size.
+    #[test]
+    fn pgm_sizes(seed in any::<u64>()) {
+        let img = synth_image(16, 12, seed);
+        let pgm = img.to_pgm();
+        let header = format!("P5\n16 12\n255\n");
+        prop_assert!(pgm.starts_with(header.as_bytes()));
+        prop_assert_eq!(pgm.len(), header.len() + 16 * 12);
+    }
+
+    /// Inverse kinematics inverts forward kinematics over the generator's
+    /// angle range.
+    #[test]
+    fn ik_round_trip(t1 in 0.1f64..1.57, t2 in 0.1f64..1.57) {
+        let (x, y) = forward_kinematics(t1, t2);
+        let (r1, r2) = inverse_kinematics(x, y);
+        prop_assert!((r1 - t1).abs() < 1e-9);
+        prop_assert!((r2 - t2).abs() < 1e-9);
+    }
+
+    /// Every generated IK target lies inside the reachable annulus.
+    #[test]
+    fn ik_targets_reachable(seed in any::<u64>()) {
+        let ds = IkDataset::generate(16, 4, seed);
+        for s in ds.train.iter().chain(&ds.test) {
+            let d = (s.x * s.x + s.y * s.y).sqrt();
+            prop_assert!(d <= LINK1 + LINK2 + 1e-12);
+            prop_assert!(d >= (LINK1 - LINK2).abs() - 1e-12);
+        }
+    }
+
+    /// Signals are valid 8-bit sample streams for any seed.
+    #[test]
+    fn signals_are_valid(seed in any::<u64>(), len in 16usize..512) {
+        let s = synth_signal(len, seed);
+        prop_assert_eq!(s.len(), len);
+        for &v in &s {
+            prop_assert!((0.0..=255.0).contains(&v));
+            prop_assert_eq!(v, v.round());
+        }
+    }
+
+    /// Generators are pure functions of their seed.
+    #[test]
+    fn generators_are_deterministic(seed in any::<u64>()) {
+        prop_assert_eq!(synth_image(24, 24, seed), synth_image(24, 24, seed));
+        prop_assert_eq!(synth_signal(64, seed), synth_signal(64, seed));
+    }
+}

@@ -1,0 +1,190 @@
+//! Approximate adders.
+//!
+//! The LAC paper evaluates multipliers only ("they add the most energy and
+//! time delay costs"), but the EvoApprox library it draws units from is a
+//! library of approximate *adders and* multipliers. These models are
+//! provided as an extension so downstream users can study LAC-style
+//! coefficient training against approximate accumulation as well.
+
+use std::fmt;
+
+/// A behavioral model of a (possibly approximate) integer adder.
+///
+/// # Examples
+///
+/// ```
+/// use lac_hw::adders::{Adder, LowerOrAdder};
+///
+/// let a = LowerOrAdder::new(8, 2);
+/// // Low 2 bits are OR-ed instead of added.
+/// assert_eq!(a.add(0b0000_0001, 0b0000_0001), 0b0000_0001);
+/// assert_eq!(a.add(0b0000_0100, 0b0000_0100), 0b0000_1000);
+/// ```
+pub trait Adder: Send + Sync + fmt::Debug {
+    /// Human-readable unit name.
+    fn name(&self) -> &str;
+
+    /// Operand bit width.
+    fn bits(&self) -> u32;
+
+    /// Add two unsigned in-range operands.
+    fn add(&self, a: i64, b: i64) -> i64;
+
+    /// Signed error versus exact addition.
+    fn error_at(&self, a: i64, b: i64) -> i64 {
+        self.add(a, b) - (a + b)
+    }
+}
+
+/// An exact ripple-carry adder reference model.
+#[derive(Debug, Clone)]
+pub struct ExactAdder {
+    name: String,
+    bits: u32,
+}
+
+impl ExactAdder {
+    /// Create an exact adder of the given width.
+    pub fn new(bits: u32) -> Self {
+        ExactAdder { name: format!("add{bits}u"), bits }
+    }
+}
+
+impl Adder for ExactAdder {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn add(&self, a: i64, b: i64) -> i64 {
+        a + b
+    }
+}
+
+/// The Lower-part OR Adder (LOA): the low `k` bits are computed by a
+/// bitwise OR (no carry chain), the high bits by an exact adder whose
+/// carry-in is the AND of the operands' bit `k - 1`.
+#[derive(Debug, Clone)]
+pub struct LowerOrAdder {
+    name: String,
+    bits: u32,
+    k: u32,
+}
+
+impl LowerOrAdder {
+    /// Create a LOA with a `k`-bit OR section.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < k < bits`.
+    pub fn new(bits: u32, k: u32) -> Self {
+        assert!(k > 0 && k < bits, "LOA requires 0 < k < bits, got bits={bits} k={k}");
+        LowerOrAdder { name: format!("LOA{bits}-{k}"), bits, k }
+    }
+}
+
+impl Adder for LowerOrAdder {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn add(&self, a: i64, b: i64) -> i64 {
+        let k = self.k;
+        let mask = (1i64 << k) - 1;
+        let low = (a | b) & mask;
+        let carry_in = ((a >> (k - 1)) & (b >> (k - 1))) & 1;
+        let high = (a >> k) + (b >> k) + carry_in;
+        (high << k) | low
+    }
+}
+
+/// A truncated adder: the low `k` bits of the sum are forced to a constant
+/// all-ones fill and no carries propagate out of them.
+#[derive(Debug, Clone)]
+pub struct TruncatedAdder {
+    name: String,
+    bits: u32,
+    k: u32,
+}
+
+impl TruncatedAdder {
+    /// Create a truncated adder with a `k`-bit constant section.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < k < bits`.
+    pub fn new(bits: u32, k: u32) -> Self {
+        assert!(k > 0 && k < bits, "truncated adder requires 0 < k < bits");
+        TruncatedAdder { name: format!("TRA{bits}-{k}"), bits, k }
+    }
+}
+
+impl Adder for TruncatedAdder {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn add(&self, a: i64, b: i64) -> i64 {
+        let k = self.k;
+        let fill = (1i64 << k) - 1;
+        let high = (a >> k) + (b >> k);
+        (high << k) | fill
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loa_exact_when_low_bits_disjoint() {
+        let a = LowerOrAdder::new(8, 3);
+        // Disjoint low bits and no carry from bit k-1: OR == ADD.
+        assert_eq!(a.add(0b101, 0b010), 0b111);
+        assert_eq!(a.error_at(0b101, 0b010), 0);
+    }
+
+    #[test]
+    fn loa_error_bounded_by_low_section() {
+        let adder = LowerOrAdder::new(8, 4);
+        for a in 0..256 {
+            for b in 0..256 {
+                assert!(adder.error_at(a, b).abs() < (1 << 4), "{a}+{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_adder_error_bounded() {
+        let adder = TruncatedAdder::new(8, 3);
+        for a in 0..256 {
+            for b in 0..256 {
+                assert!(adder.error_at(a, b).abs() <= 2 * ((1 << 3) - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn exact_adder_is_exact() {
+        let adder = ExactAdder::new(8);
+        assert_eq!(adder.add(200, 55), 255);
+        assert_eq!(adder.error_at(13, 29), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "LOA requires")]
+    fn loa_rejects_full_or() {
+        LowerOrAdder::new(8, 8);
+    }
+}

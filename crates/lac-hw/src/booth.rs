@@ -1,0 +1,201 @@
+//! Approximate radix-4 (modified) Booth multiplier.
+//!
+//! Radix-4 Booth recoding halves the number of partial products of a
+//! signed multiplier; approximate variants simplify the recoder for the
+//! least-significant digit groups. This model implements the common
+//! "truncated Booth" approximation: the lowest `approx_digits` Booth
+//! digits use a simplified encoder that drops the ±1 terms (keeping only
+//! 0 and ±2 outputs), which removes the hard-to-generate odd partial
+//! products for those digits — a real design point distinct from the
+//! column/row truncations elsewhere in this crate because its error
+//! depends on the *Booth digit pattern* of one operand.
+
+use crate::mult::{HwMetadata, Multiplier, Signedness};
+
+/// Approximate radix-4 Booth multiplier.
+///
+/// # Examples
+///
+/// ```
+/// use lac_hw::{BoothMultiplier, Multiplier};
+///
+/// // Exact when no low Booth digit of the first operand is odd (±1):
+/// // 8 recodes as digits (0, -2, 1, 0), and only the third digit is odd,
+/// // which is outside the two approximated groups.
+/// let m = BoothMultiplier::new(8, 2);
+/// assert_eq!(m.multiply(0, 77), 0);
+/// assert_eq!(m.multiply(8, 9), 72);
+/// // -4 recodes as (0, -1, 0, 0): the odd digit falls in the simplified
+/// // groups and is dropped, so the approximate product is 0.
+/// assert_eq!(m.multiply(-4, 9), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoothMultiplier {
+    name: String,
+    bits: u32,
+    approx_digits: u32,
+    metadata: HwMetadata,
+}
+
+impl BoothMultiplier {
+    /// Create a `bits`-wide Booth multiplier whose lowest `approx_digits`
+    /// Booth digits use the simplified (±1-dropping) encoder.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= bits <= 32` and
+    /// `approx_digits <= ceil(bits / 2)`.
+    pub fn new(bits: u32, approx_digits: u32) -> Self {
+        let digits = bits.div_ceil(2);
+        assert!((2..=32).contains(&bits), "Booth width must be in 2..=32, got {bits}");
+        assert!(
+            approx_digits <= digits,
+            "only {digits} Booth digits exist at {bits} bits, got {approx_digits}"
+        );
+        // Booth halves the partial-product rows; the simplified encoder
+        // trims a further slice proportional to the approximate digits.
+        let scale = (bits as f64 / 16.0).powi(2);
+        let trim = 1.0 - 0.25 * approx_digits as f64 / digits as f64;
+        BoothMultiplier {
+            name: format!("booth{bits}s-a{approx_digits}"),
+            bits,
+            approx_digits,
+            metadata: HwMetadata::new(scale * 0.55 * trim, scale * 0.50 * trim),
+        }
+    }
+
+    /// Radix-4 Booth digits of `x` (LSB group first), each in `-2..=2`.
+    fn digits(&self, x: i64) -> Vec<i64> {
+        let n = self.bits.div_ceil(2);
+        let mut digits = Vec::with_capacity(n as usize);
+        // Two's-complement digit extraction: d_k = -2*b_{2k+1} + b_{2k} + b_{2k-1}.
+        let bit = |i: i32| -> i64 {
+            if i < 0 {
+                0
+            } else {
+                (x >> i) & 1
+            }
+        };
+        for k in 0..n as i32 {
+            let d = -2 * bit(2 * k + 1) + bit(2 * k) + bit(2 * k - 1);
+            digits.push(d);
+        }
+        digits
+    }
+}
+
+impl Multiplier for BoothMultiplier {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn signedness(&self) -> Signedness {
+        Signedness::Signed
+    }
+
+    fn multiply_raw(&self, a: i64, b: i64) -> i64 {
+        // Operand A is Booth-recoded; B is the multiplicand.
+        let mut acc = 0i64;
+        for (k, &d) in self.digits(a).iter().enumerate() {
+            let d_eff = if (k as u32) < self.approx_digits {
+                // Simplified low-digit encoder: drop the odd (+/-1) partial
+                // products; even digits pass through.
+                match d {
+                    1 | -1 => 0,
+                    other => other,
+                }
+            } else {
+                d
+            };
+            acc += d_eff * b << (2 * k);
+        }
+        acc
+    }
+
+    fn metadata(&self) -> HwMetadata {
+        self.metadata
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_approx_digits_is_exact_over_grid() {
+        let m = BoothMultiplier::new(8, 0);
+        for a in -127i64..=127 {
+            for b in (-127i64..=127).step_by(7) {
+                assert_eq!(m.multiply_raw(a, b), a * b, "{a}x{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sixteen_bit_exact_encoder_spot_checks() {
+        let m = BoothMultiplier::new(16, 0);
+        for &(a, b) in &[(12345i64, -321i64), (-32767, 32767), (1, -1), (0, 999)] {
+            assert_eq!(m.multiply_raw(a, b), a * b, "{a}x{b}");
+        }
+    }
+
+    #[test]
+    fn approximation_error_only_from_low_odd_digits() {
+        let m = BoothMultiplier::new(8, 2);
+        for a in -127i64..=127 {
+            let digits = m.digits(a);
+            let has_low_odd = digits.iter().take(2).any(|d| d.abs() == 1);
+            for b in (-127i64..=127).step_by(11) {
+                let erroneous = m.multiply_raw(a, b) != a * b;
+                if erroneous {
+                    assert!(has_low_odd, "unexpected error at {a}x{b}: digits {digits:?}");
+                }
+                if !has_low_odd {
+                    assert_eq!(m.multiply_raw(a, b), a * b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn error_bounded_by_dropped_digit_weight() {
+        // Dropping +/-1 digits in groups 0..k loses at most sum 4^i * |b|.
+        let m = BoothMultiplier::new(8, 2);
+        let bound_factor: i64 = 1 + 4;
+        for a in (-127i64..=127).step_by(3) {
+            for b in (-127i64..=127).step_by(5) {
+                let err = (m.multiply_raw(a, b) - a * b).abs();
+                assert!(err <= bound_factor * b.abs(), "{a}x{b} err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_approx_digits_means_cheaper_metadata() {
+        let exact = BoothMultiplier::new(16, 0).metadata();
+        let a2 = BoothMultiplier::new(16, 2).metadata();
+        let a4 = BoothMultiplier::new(16, 4).metadata();
+        assert!(a2.area < exact.area);
+        assert!(a4.area < a2.area);
+    }
+
+    #[test]
+    fn digits_recode_correctly() {
+        let m = BoothMultiplier::new(8, 0);
+        // Reconstruction: x == sum d_k * 4^k for in-range signed values.
+        for x in -127i64..=127 {
+            let v: i64 = m.digits(x).iter().enumerate().map(|(k, &d)| d << (2 * k)).sum();
+            assert_eq!(v, x, "recode of {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Booth digits exist")]
+    fn rejects_too_many_approx_digits() {
+        BoothMultiplier::new(8, 5);
+    }
+}

@@ -1,0 +1,204 @@
+//! The Dynamic Range Unbiased Multiplier (DRUM) of Hashemi, Bahar & Reda
+//! (ICCAD 2015).
+//!
+//! DRUM exploits the observation that only the `k` bits below each
+//! operand's leading one carry significant information. Each operand is
+//! reduced to a `k`-bit mantissa anchored at its leading one, with the
+//! discarded tail replaced by setting the mantissa's LSB to one — an
+//! *unbiasing* trick that makes the expected error of the truncation
+//! approximately zero. The two mantissas are multiplied exactly in a small
+//! `k × k` core and the result is shifted back into place.
+//!
+//! Relative error is bounded and roughly uniform across the operand range
+//! (unlike ETM or Kulkarni whose error is concentrated), which is why the
+//! paper cites DRUM as the "low average error, error on more inputs" end of
+//! the approximate-multiplier spectrum.
+
+use crate::mult::{HwMetadata, Multiplier, Signedness};
+
+/// Behavioral Dynamic Range Unbiased Multiplier.
+///
+/// # Examples
+///
+/// ```
+/// use lac_hw::{DrumMultiplier, Multiplier};
+///
+/// let m = DrumMultiplier::new(16, 6);
+/// // Operands that fit in k bits are exact.
+/// assert_eq!(m.multiply(63, 63), 63 * 63);
+/// // Wide operands are approximated with small relative error.
+/// let (a, b) = (40000, 51234);
+/// let rel = (m.multiply(a, b) - a * b).abs() as f64 / (a * b) as f64;
+/// assert!(rel < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DrumMultiplier {
+    name: String,
+    bits: u32,
+    k: u32,
+    metadata: HwMetadata,
+}
+
+impl DrumMultiplier {
+    /// Create a `bits`-wide DRUM with a `k`-bit exact core (the paper uses
+    /// 16-bit DRUM with `k = 4` and `k = 6`).
+    ///
+    /// Metadata uses the Table I figures for the paper's variants and a
+    /// core-width scaling estimate otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= k <= bits <= 32`.
+    pub fn new(bits: u32, k: u32) -> Self {
+        assert!(
+            k >= 2 && k <= bits && bits <= 32,
+            "DRUM requires 2 <= k <= bits <= 32, got bits={bits} k={k}"
+        );
+        let metadata = match (bits, k) {
+            (16, 4) => HwMetadata::new(0.25, 0.12),
+            (16, 6) => HwMetadata::new(0.39, 0.29),
+            _ => {
+                let scale = (k as f64 / 16.0).powi(2);
+                // Leading-one detectors and shifters add overhead on top of
+                // the k x k core.
+                HwMetadata::new(scale + 0.15, scale + 0.08)
+            }
+        };
+        DrumMultiplier { name: format!("DRUM{bits}-{k}"), bits, k, metadata }
+    }
+
+    /// The exact-core width `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Reduce an operand to its unbiased `k`-bit mantissa and shift amount.
+    fn reduce(&self, x: i64) -> (i64, u32) {
+        debug_assert!(x >= 0);
+        if x == 0 {
+            return (0, 0);
+        }
+        let leading = 63 - x.leading_zeros(); // position of the leading one
+        if leading < self.k {
+            return (x, 0); // fits in the core: exact
+        }
+        let shift = leading + 1 - self.k;
+        let mantissa = (x >> shift) | 1; // set LSB: the unbiasing trick
+        (mantissa, shift)
+    }
+}
+
+impl Multiplier for DrumMultiplier {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn signedness(&self) -> Signedness {
+        Signedness::Unsigned
+    }
+
+    fn multiply_raw(&self, a: i64, b: i64) -> i64 {
+        let (ma, sa) = self.reduce(a);
+        let (mb, sb) = self.reduce(b);
+        (ma * mb) << (sa + sb)
+    }
+
+    fn metadata(&self) -> HwMetadata {
+        self.metadata
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_for_small_operands() {
+        let m = DrumMultiplier::new(16, 6);
+        for a in 0..64 {
+            for b in 0..64 {
+                assert_eq!(m.multiply(a, b), a * b);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_annihilates() {
+        let m = DrumMultiplier::new(16, 4);
+        for b in [0, 1, 255, 65535] {
+            assert_eq!(m.multiply(0, b), 0);
+            assert_eq!(m.multiply(b, 0), 0);
+        }
+    }
+
+    #[test]
+    fn relative_error_bound() {
+        // DRUM's worst-case relative error per operand is about 2^-(k-1);
+        // for the product (1 + 2^-(k-1))^2 - 1 = 2^-(k-2) + 2^-(2k-2).
+        for k in [4u32, 6] {
+            let m = DrumMultiplier::new(16, k);
+            let per_op = 2f64.powi(-(k as i32 - 1));
+            let bound = (1.0 + per_op) * (1.0 + per_op) - 1.0;
+            for &a in &[100i64, 1000, 12345, 65535, 40000, 257] {
+                for &b in &[99i64, 2048, 65535, 300, 7777] {
+                    let rel = (m.multiply(a, b) - a * b).abs() as f64 / (a * b) as f64;
+                    assert!(rel <= bound, "k={k} rel={rel} at {a}x{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn error_is_roughly_unbiased() {
+        // Averaged over a uniform operand sample, the signed error should be
+        // far below the MAE (the point of forcing the mantissa LSB to one).
+        let m = DrumMultiplier::new(16, 4);
+        let (mut sum_err, mut sum_abs, mut n) = (0f64, 0f64, 0u64);
+        let mut x: u64 = 0x243f6a8885a308d3;
+        let mut next = || {
+            // xorshift64* : deterministic operand sampling
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            (x.wrapping_mul(0x2545f4914f6cdd1d) >> 48) as i64
+        };
+        for _ in 0..20000 {
+            let (a, b) = (next(), next());
+            let e = m.error_at(a, b) as f64;
+            sum_err += e;
+            sum_abs += e.abs();
+            n += 1;
+        }
+        let bias = (sum_err / n as f64).abs();
+        let mae = sum_abs / n as f64;
+        assert!(mae > 0.0);
+        assert!(bias < 0.15 * mae, "bias {bias} too large vs MAE {mae}");
+    }
+
+    #[test]
+    fn mantissa_reduction_properties() {
+        let m = DrumMultiplier::new(16, 4);
+        let (mant, shift) = m.reduce(0b1011_0110);
+        assert_eq!(mant, 0b1011); // top 4 bits, LSB already 1
+        assert_eq!(shift, 4);
+        let (mant, shift) = m.reduce(0b1010_0000);
+        assert_eq!(mant, 0b1011); // LSB forced to 1
+        assert_eq!(shift, 4);
+    }
+
+    #[test]
+    fn paper_variants_metadata() {
+        assert_eq!(DrumMultiplier::new(16, 4).metadata(), HwMetadata::new(0.25, 0.12));
+        assert_eq!(DrumMultiplier::new(16, 6).metadata(), HwMetadata::new(0.39, 0.29));
+    }
+
+    #[test]
+    #[should_panic(expected = "DRUM requires")]
+    fn rejects_tiny_core() {
+        DrumMultiplier::new(16, 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! Error-map analysis: where in the operand plane a multiplier is wrong.
+//!
+//! The LAC paper's motivating observation (Section II-A) is that
+//! approximate-multiplier error is strongly *input-dependent* — the
+//! Kulkarni multiplier errs only on `3 × 3` two-bit slices, ETM only when
+//! a high section is active, DRUM everywhere but mildly. [`ErrorMap`]
+//! quantifies that structure: a coarse 2-D histogram of relative error
+//! over the operand plane, plus summary statistics of how *concentrated*
+//! the error is — the property LAC exploits when it steers coefficients
+//! into the quiet regions.
+
+use crate::mult::Multiplier;
+
+/// A coarse 2-D map of mean relative error over the operand plane.
+#[derive(Debug, Clone)]
+pub struct ErrorMap {
+    resolution: usize,
+    cells: Vec<f64>,
+}
+
+impl ErrorMap {
+    /// Compute a `resolution × resolution` error map of `mult`.
+    ///
+    /// Cell `(r, c)` holds the mean relative error over the operand
+    /// rectangle it covers (sampled on a uniform sub-grid so wide units
+    /// stay cheap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution` is zero.
+    pub fn compute(mult: &dyn Multiplier, resolution: usize) -> Self {
+        assert!(resolution > 0, "resolution must be positive");
+        let (lo, hi) = mult.operand_range();
+        let span = (hi - lo + 1) as f64;
+        let cell_span = span / resolution as f64;
+        // Per-cell sub-sampling grid: enough points for stable means.
+        let sub = 8usize;
+        let mut cells = vec![0.0; resolution * resolution];
+        for r in 0..resolution {
+            for c in 0..resolution {
+                let mut total = 0.0;
+                let mut n = 0u32;
+                for si in 0..sub {
+                    for sj in 0..sub {
+                        let a = lo + ((r as f64 + (si as f64 + 0.5) / sub as f64) * cell_span)
+                            as i64;
+                        let b = lo + ((c as f64 + (sj as f64 + 0.5) / sub as f64) * cell_span)
+                            as i64;
+                        let a = a.clamp(lo, hi);
+                        let b = b.clamp(lo, hi);
+                        let exact = a * b;
+                        if exact != 0 {
+                            let err = (mult.multiply(a, b) - exact).abs() as f64
+                                / exact.abs() as f64;
+                            total += err;
+                            n += 1;
+                        }
+                    }
+                }
+                cells[r * resolution + c] = if n > 0 { total / n as f64 } else { 0.0 };
+            }
+        }
+        ErrorMap { resolution, cells }
+    }
+
+    /// Map resolution (cells per axis).
+    pub fn resolution(&self) -> usize {
+        self.resolution
+    }
+
+    /// Mean relative error of cell `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn at(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.resolution && col < self.resolution, "cell out of range");
+        self.cells[row * self.resolution + col]
+    }
+
+    /// Mean relative error over the whole map.
+    pub fn mean(&self) -> f64 {
+        self.cells.iter().sum::<f64>() / self.cells.len() as f64
+    }
+
+    /// Maximum cell error.
+    pub fn max(&self) -> f64 {
+        self.cells.iter().fold(0.0f64, |m, &v| m.max(v))
+    }
+
+    /// Fraction of cells whose error is below `threshold` — the "quiet
+    /// area" LAC can steer coefficients into.
+    pub fn quiet_fraction(&self, threshold: f64) -> f64 {
+        let quiet = self.cells.iter().filter(|&&v| v < threshold).count();
+        quiet as f64 / self.cells.len() as f64
+    }
+
+    /// Error concentration: max cell error divided by mean cell error.
+    /// Near 1 for uniform-error units (DRUM), large for units with
+    /// hotspots (Kulkarni, operand-masking).
+    pub fn concentration(&self) -> f64 {
+        let mean = self.mean();
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.max() / mean
+        }
+    }
+
+    /// Render the map as ASCII art (` .:-=+*#%@` ramp), one row per line.
+    pub fn to_ascii(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let max = self.max().max(1e-12);
+        let mut out = String::with_capacity(self.resolution * (self.resolution + 1));
+        for r in 0..self.resolution {
+            for c in 0..self.resolution {
+                let v = self.at(r, c) / max;
+                let idx = ((v * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+                out.push(RAMP[idx] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn exact_unit_has_empty_map() {
+        let m = catalog::by_name("exact8u").unwrap();
+        let map = ErrorMap::compute(&*m, 8);
+        assert_eq!(map.mean(), 0.0);
+        assert_eq!(map.max(), 0.0);
+        assert_eq!(map.quiet_fraction(1e-9), 1.0);
+    }
+
+    #[test]
+    fn etm_error_is_concentrated_off_origin() {
+        // ETM is exact when both operands are below 2^k: the low-low cell
+        // must be much quieter than the high-high cell.
+        let m = catalog::by_name("ETM8-k4").unwrap();
+        let map = ErrorMap::compute(&*m, 16);
+        let low = map.at(0, 0);
+        let high = map.at(15, 15);
+        assert!(low < high, "low-low {low} vs high-high {high}");
+    }
+
+    #[test]
+    fn drum_error_is_unconcentrated() {
+        let drum = catalog::by_name("DRUM16-4").unwrap();
+        let kr3 = catalog::by_name("mul8s_1KR3").unwrap();
+        let map_drum = ErrorMap::compute(&*drum, 12);
+        let map_kr3 = ErrorMap::compute(&*kr3, 12);
+        // DRUM: "lowers average error at the cost of introducing error in
+        // more multiplications" — less concentrated than operand masking.
+        assert!(
+            map_drum.concentration() < map_kr3.concentration(),
+            "DRUM {} vs 1KR3 {}",
+            map_drum.concentration(),
+            map_kr3.concentration()
+        );
+    }
+
+    #[test]
+    fn quiet_fraction_is_monotone_in_threshold() {
+        let m = catalog::by_name("mul8u_FTA").unwrap();
+        let map = ErrorMap::compute(&*m, 10);
+        let q1 = map.quiet_fraction(0.001);
+        let q2 = map.quiet_fraction(0.01);
+        let q3 = map.quiet_fraction(0.1);
+        assert!(q1 <= q2 && q2 <= q3);
+    }
+
+    #[test]
+    fn ascii_rendering_has_expected_shape() {
+        let m = catalog::by_name("kulkarni8u").unwrap();
+        let map = ErrorMap::compute(&*m, 8);
+        let art = map.to_ascii();
+        assert_eq!(art.lines().count(), 8);
+        assert!(art.lines().all(|l| l.len() == 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell out of range")]
+    fn at_is_bounds_checked() {
+        let m = catalog::by_name("exact8u").unwrap();
+        ErrorMap::compute(&*m, 4).at(4, 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! The Error-Tolerant Multiplier (ETM) of Kyaw, Goh & Yeo (EDSSC 2010).
+//!
+//! ETM splits each `w`-bit operand at bit `k` into a *multiplication*
+//! section (high `w - k` bits) and a *non-multiplication* section (low `k`
+//! bits):
+//!
+//! * if both high sections are all-zero, the low sections are multiplied
+//!   exactly — small operands are error-free;
+//! * otherwise only the high sections are multiplied, and the lower product
+//!   bits are *estimated* without multiplication: bit `k + i` of the product
+//!   is the OR of the operands' low bits `a_i | b_i`, and the bottom `k`
+//!   bits are set to all ones (the original circuit's constant-one fill,
+//!   which halves the expected truncation error).
+//!
+//! The resulting error is strongly input dependent — exact below `2^k`,
+//! positive-leaning above — which is precisely the kind of structure LAC
+//! exploits by nudging coefficients toward the exact region.
+
+use crate::mult::{HwMetadata, Multiplier, Signedness};
+
+/// Behavioral Error-Tolerant Multiplier.
+///
+/// # Examples
+///
+/// ```
+/// use lac_hw::{EtmMultiplier, Multiplier};
+///
+/// let m = EtmMultiplier::new(8, 4);
+/// // Both operands below 2^k = 16: exact.
+/// assert_eq!(m.multiply(9, 13), 117);
+/// // Larger operands: approximate.
+/// assert_ne!(m.multiply(200, 200), 200 * 200);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EtmMultiplier {
+    name: String,
+    bits: u32,
+    split: u32,
+    metadata: HwMetadata,
+}
+
+impl EtmMultiplier {
+    /// Create a `bits`-wide ETM split at bit `split` (the paper uses
+    /// `k = 4` for both the 8-bit and 16-bit variants).
+    ///
+    /// Metadata uses the Table I figures for the paper's two variants
+    /// (`(8, 4)` and `(16, 4)`); other configurations get an estimate that
+    /// scales the exact multiplier of the truncated width.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < split < bits <= 32`.
+    pub fn new(bits: u32, split: u32) -> Self {
+        assert!(
+            split > 0 && split < bits && bits <= 32,
+            "ETM split must satisfy 0 < split < bits <= 32, got bits={bits} split={split}"
+        );
+        let metadata = match (bits, split) {
+            // Table I of the LAC paper (the 8-bit row label is OCR-garbled;
+            // both ETM rows carry the same normalized numbers).
+            (8, 4) | (16, 4) => HwMetadata::new(0.14, 0.04),
+            _ => {
+                // An ETM only multiplies the (bits - split)-wide sections.
+                let scale = ((bits - split) as f64 / 16.0).powi(2);
+                HwMetadata::new(scale * 1.1, scale * 1.1)
+            }
+        };
+        EtmMultiplier { name: format!("ETM{bits}-k{split}"), bits, split, metadata }
+    }
+
+    /// The split position `k`.
+    pub fn split(&self) -> u32 {
+        self.split
+    }
+}
+
+impl Multiplier for EtmMultiplier {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn signedness(&self) -> Signedness {
+        Signedness::Unsigned
+    }
+
+    fn multiply_raw(&self, a: i64, b: i64) -> i64 {
+        let k = self.split;
+        let mask = (1i64 << k) - 1;
+        let (ah, al) = (a >> k, a & mask);
+        let (bh, bl) = (b >> k, b & mask);
+        if ah == 0 && bh == 0 {
+            // Multiplication section inactive: low sections multiply exactly.
+            return al * bl;
+        }
+        // Multiplication section: exact product of the high parts.
+        let high = (ah * bh) << (2 * k);
+        // Non-multiplication section: OR-estimated mid bits, ones fill below.
+        let mid = (al | bl) << k;
+        let fill = mask;
+        high + mid + fill
+    }
+
+    fn metadata(&self) -> HwMetadata {
+        self.metadata
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_when_both_operands_small() {
+        let m = EtmMultiplier::new(8, 4);
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(m.multiply(a, b), a * b, "{a}x{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_when_either_high_section_active() {
+        let m = EtmMultiplier::new(8, 4);
+        // a has an active high section, so even b = 1 goes through the
+        // estimated path.
+        assert_eq!(m.multiply(16, 1), (1 * 0) << 8 | (0 | 1) << 4 | 0xf);
+    }
+
+    #[test]
+    fn error_bounded_by_cross_terms() {
+        // Dropping the cross terms aH*bL and aL*bH and estimating the low
+        // bits bounds |error| by (aH*bL + aL*bH) * 2^k + 2^2k.
+        let m = EtmMultiplier::new(8, 4);
+        for a in 0..256i64 {
+            for b in 0..256i64 {
+                let (ah, al) = (a >> 4, a & 0xf);
+                let (bh, bl) = (b >> 4, b & 0xf);
+                let bound = ((ah * bl + al * bh) << 4) + (1 << 8);
+                assert!(
+                    m.error_at(a, b).abs() <= bound,
+                    "error {} exceeds bound {} at {a}x{b}",
+                    m.error_at(a, b),
+                    bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_variants_metadata() {
+        assert_eq!(EtmMultiplier::new(8, 4).metadata(), HwMetadata::new(0.14, 0.04));
+        assert_eq!(EtmMultiplier::new(16, 4).metadata(), HwMetadata::new(0.14, 0.04));
+    }
+
+    #[test]
+    fn sixteen_bit_small_operands_exact() {
+        let m = EtmMultiplier::new(16, 4);
+        assert_eq!(m.multiply(15, 15), 225);
+        // b's high section is active, so even a = 0 takes the estimated
+        // path: high product 0, mid OR of low nibbles (0), ones fill 0xf.
+        assert_eq!(m.multiply(0, 40000), 0xf);
+    }
+
+    #[test]
+    fn zero_times_large_is_small_error() {
+        // With one zero operand and the other large, ETM yields the
+        // OR/fill estimate only — error at most 2^2k - 1.
+        let m = EtmMultiplier::new(8, 4);
+        for b in 16..256i64 {
+            let e = m.error_at(0, b).abs();
+            assert!(e < 256, "error {e} at 0x{b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "split must satisfy")]
+    fn rejects_bad_split() {
+        EtmMultiplier::new(8, 8);
+    }
+}

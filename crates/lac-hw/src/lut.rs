@@ -1,0 +1,176 @@
+//! Lookup-table acceleration for narrow multipliers.
+//!
+//! Training repeatedly evaluates the same behavioral model over the full
+//! 8-bit operand grid; precomputing the 256 x 256 product table turns every
+//! multiply into a single indexed load. This mirrors the paper's "parallel
+//! versions of the approximate multipliers" engineering (Section III-D):
+//! the goal is simulation throughput, not a change in semantics.
+
+use std::sync::Arc;
+
+use crate::mult::{HwMetadata, Multiplier, Signedness};
+
+/// Maximum operand width for which a full product table is built.
+///
+/// A 10-bit signed table is ~2^22 entries (32 MiB of `i64`); anything wider
+/// is cheaper to evaluate directly.
+pub const MAX_LUT_BITS: u32 = 10;
+
+/// A multiplier wrapper that memoizes the full product table of a narrow
+/// unit and answers every multiplication from it.
+///
+/// Semantics are identical to the wrapped unit (verified by construction:
+/// the table is filled by calling the inner model).
+///
+/// # Examples
+///
+/// ```
+/// use lac_hw::{EtmMultiplier, LutMultiplier, Multiplier};
+/// use std::sync::Arc;
+///
+/// let inner = Arc::new(EtmMultiplier::new(8, 4));
+/// let fast = LutMultiplier::new(inner.clone());
+/// assert_eq!(fast.multiply(200, 17), inner.multiply(200, 17));
+/// ```
+#[derive(Clone)]
+pub struct LutMultiplier {
+    inner: Arc<dyn Multiplier>,
+    lo: i64,
+    side: usize,
+    table: Arc<[i64]>,
+}
+
+impl std::fmt::Debug for LutMultiplier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LutMultiplier")
+            .field("inner", &self.inner.name())
+            .field("entries", &self.table.len())
+            .finish()
+    }
+}
+
+impl LutMultiplier {
+    /// Build the full product table of `inner`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inner.bits() > MAX_LUT_BITS`; use
+    /// [`LutMultiplier::maybe_wrap`] to fall back gracefully.
+    pub fn new(inner: Arc<dyn Multiplier>) -> Self {
+        assert!(
+            inner.bits() <= MAX_LUT_BITS,
+            "refusing to tabulate {}-bit multiplier {} (> {MAX_LUT_BITS} bits)",
+            inner.bits(),
+            inner.name()
+        );
+        let (lo, hi) = inner.operand_range();
+        let side = (hi - lo + 1) as usize;
+        let mut table = Vec::with_capacity(side * side);
+        for a in lo..=hi {
+            for b in lo..=hi {
+                table.push(inner.multiply_raw(a, b));
+            }
+        }
+        LutMultiplier { inner, lo, side, table: table.into() }
+    }
+
+    /// Wrap `inner` in a LUT when it is narrow enough, otherwise return it
+    /// unchanged.
+    pub fn maybe_wrap(inner: Arc<dyn Multiplier>) -> Arc<dyn Multiplier> {
+        if inner.bits() <= MAX_LUT_BITS {
+            Arc::new(LutMultiplier::new(inner))
+        } else {
+            inner
+        }
+    }
+
+    /// The wrapped behavioral model.
+    pub fn inner(&self) -> &Arc<dyn Multiplier> {
+        &self.inner
+    }
+}
+
+impl Multiplier for LutMultiplier {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn bits(&self) -> u32 {
+        self.inner.bits()
+    }
+
+    fn signedness(&self) -> Signedness {
+        self.inner.signedness()
+    }
+
+    fn operand_range(&self) -> (i64, i64) {
+        self.inner.operand_range()
+    }
+
+    fn multiply_raw(&self, a: i64, b: i64) -> i64 {
+        let ia = (a - self.lo) as usize;
+        let ib = (b - self.lo) as usize;
+        self.table[ia * self.side + ib]
+    }
+
+    fn metadata(&self) -> HwMetadata {
+        self.inner.metadata()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::etm::EtmMultiplier;
+    use crate::kulkarni::KulkarniMultiplier;
+    use crate::mult::ExactMultiplier;
+
+    #[test]
+    fn lut_matches_inner_exhaustively() {
+        let inner = Arc::new(KulkarniMultiplier::new(8));
+        let lut = LutMultiplier::new(inner.clone());
+        for a in 0..256 {
+            for b in 0..256 {
+                assert_eq!(lut.multiply(a, b), inner.multiply(a, b), "{a}x{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn lut_matches_signed_inner() {
+        let inner: Arc<dyn Multiplier> =
+            Arc::new(ExactMultiplier::new(8, Signedness::Signed));
+        let lut = LutMultiplier::new(inner.clone());
+        for a in [-127i64, -1, 0, 1, 127] {
+            for b in [-127i64, -64, 0, 64, 127] {
+                assert_eq!(lut.multiply(a, b), a * b);
+            }
+        }
+    }
+
+    #[test]
+    fn maybe_wrap_leaves_wide_units_alone() {
+        let wide: Arc<dyn Multiplier> =
+            Arc::new(ExactMultiplier::new(16, Signedness::Unsigned));
+        let wrapped = LutMultiplier::maybe_wrap(wide.clone());
+        assert_eq!(wrapped.name(), wide.name());
+        assert_eq!(wrapped.multiply(1234, 4321), 1234 * 4321);
+    }
+
+    #[test]
+    fn lut_preserves_metadata_and_identity() {
+        let inner = Arc::new(EtmMultiplier::new(8, 4));
+        let lut = LutMultiplier::new(inner.clone());
+        assert_eq!(lut.name(), inner.name());
+        assert_eq!(lut.metadata(), inner.metadata());
+        assert_eq!(lut.bits(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to tabulate")]
+    fn rejects_wide_units() {
+        let wide: Arc<dyn Multiplier> =
+            Arc::new(ExactMultiplier::new(16, Signedness::Unsigned));
+        let _ = LutMultiplier::new(wide);
+    }
+}

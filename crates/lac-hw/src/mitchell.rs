@@ -1,0 +1,271 @@
+//! Two further classic approximate-multiplier families, provided as
+//! catalog extras beyond the paper's Table I set:
+//!
+//! * [`MitchellMultiplier`] — Mitchell's logarithmic multiplier (1962):
+//!   both operands are converted to piecewise-linear base-2 logarithms,
+//!   added, and converted back. Error is always non-positive, worst
+//!   (≈ −11%) when both fractional parts are near 0.5, and zero when both
+//!   operands are powers of two — a strongly structured profile that LAC
+//!   coefficient training can exploit by preferring power-of-two-adjacent
+//!   coefficients.
+//! * [`SsmMultiplier`] — a static segment multiplier (Narayanamoorthy et
+//!   al.): each operand contributes either its high or its low `k`-bit
+//!   segment, selected by whether any high bit is set — a cheaper,
+//!   coarser cousin of DRUM's dynamic leading-one detection.
+
+use crate::mult::{HwMetadata, Multiplier, Signedness};
+
+/// Mitchell's logarithmic multiplier.
+///
+/// # Examples
+///
+/// ```
+/// use lac_hw::{MitchellMultiplier, Multiplier};
+///
+/// let m = MitchellMultiplier::new(16);
+/// // Powers of two multiply exactly.
+/// assert_eq!(m.multiply(1024, 64), 1024 * 64);
+/// // Other operands underestimate by at most ~11.1%.
+/// let (a, b) = (3000, 700);
+/// let err = (a * b - m.multiply(a, b)) as f64 / (a * b) as f64;
+/// assert!((0.0..0.112).contains(&err));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MitchellMultiplier {
+    name: String,
+    bits: u32,
+    metadata: HwMetadata,
+}
+
+impl MitchellMultiplier {
+    /// Create a Mitchell multiplier of the given width.
+    ///
+    /// Metadata estimate: a logarithmic multiplier replaces the partial
+    /// product array with leading-one detectors, shifters and one adder —
+    /// roughly a fifth of the area/power of the exact unit at equal width.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= bits <= 32`.
+    pub fn new(bits: u32) -> Self {
+        assert!((2..=32).contains(&bits), "Mitchell width must be in 2..=32, got {bits}");
+        let scale = (bits as f64 / 16.0).powi(2);
+        MitchellMultiplier {
+            name: format!("mitchell{bits}u"),
+            bits,
+            metadata: HwMetadata::new(scale * 0.20, scale * 0.15),
+        }
+    }
+}
+
+impl Multiplier for MitchellMultiplier {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn signedness(&self) -> Signedness {
+        Signedness::Unsigned
+    }
+
+    fn multiply_raw(&self, a: i64, b: i64) -> i64 {
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        let ka = 63 - a.leading_zeros() as i64; // floor(log2 a)
+        let kb = 63 - b.leading_zeros() as i64;
+        // Integer form of Mitchell's piecewise-linear antilog:
+        // carry-free sum of the fractional parts decides the segment.
+        let frac_sum = ((a - (1 << ka)) << kb) + ((b - (1 << kb)) << ka);
+        if frac_sum < (1 << (ka + kb)) {
+            // 2^(ka+kb) (1 + fa + fb)
+            (1 << (ka + kb)) + frac_sum
+        } else {
+            // 2^(ka+kb+1) (fa + fb)
+            2 * frac_sum
+        }
+    }
+
+    fn metadata(&self) -> HwMetadata {
+        self.metadata
+    }
+}
+
+/// A static segment multiplier with `k`-bit segments.
+///
+/// # Examples
+///
+/// ```
+/// use lac_hw::{Multiplier, SsmMultiplier};
+///
+/// let m = SsmMultiplier::new(16, 8);
+/// // Operands inside the low segment multiply exactly.
+/// assert_eq!(m.multiply(200, 140), 200 * 140);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SsmMultiplier {
+    name: String,
+    bits: u32,
+    k: u32,
+    metadata: HwMetadata,
+}
+
+impl SsmMultiplier {
+    /// Create a `bits`-wide SSM with `k`-bit segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bits/2 <= k < bits` (segments must cover the word).
+    pub fn new(bits: u32, k: u32) -> Self {
+        assert!(
+            k >= bits / 2 && k < bits,
+            "SSM segments must satisfy bits/2 <= k < bits, got bits={bits} k={k}"
+        );
+        let scale = (k as f64 / 16.0).powi(2);
+        SsmMultiplier {
+            name: format!("ssm{bits}-{k}"),
+            bits,
+            k,
+            metadata: HwMetadata::new(scale + 0.05, scale + 0.03),
+        }
+    }
+
+    /// Segment an operand: `(segment value, left shift)`.
+    fn segment(&self, x: i64) -> (i64, u32) {
+        let high_mask = ((1i64 << self.bits) - 1) & !((1i64 << self.k) - 1);
+        if x & high_mask == 0 {
+            (x & ((1 << self.k) - 1), 0)
+        } else {
+            let shift = self.bits - self.k;
+            (x >> shift, shift)
+        }
+    }
+}
+
+impl Multiplier for SsmMultiplier {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    fn signedness(&self) -> Signedness {
+        Signedness::Unsigned
+    }
+
+    fn multiply_raw(&self, a: i64, b: i64) -> i64 {
+        let (sa, sha) = self.segment(a);
+        let (sb, shb) = self.segment(b);
+        (sa * sb) << (sha + shb)
+    }
+
+    fn metadata(&self) -> HwMetadata {
+        self.metadata
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mitchell_exact_on_powers_of_two() {
+        let m = MitchellMultiplier::new(16);
+        for &a in &[1i64, 2, 4, 256, 16384] {
+            for &b in &[1i64, 8, 32, 1024] {
+                assert_eq!(m.multiply(a, b), a * b, "{a}x{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mitchell_never_overestimates() {
+        let m = MitchellMultiplier::new(8);
+        for a in 0..256 {
+            for b in 0..256 {
+                assert!(m.multiply(a, b) <= a * b, "{a}x{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mitchell_worst_case_relative_error() {
+        // Mitchell's analytic worst case is (fa + fb = 1): error factor
+        // about 1/8 at the segment seam, bounded by 11.2%.
+        let m = MitchellMultiplier::new(16);
+        for a in (3..65536i64).step_by(997) {
+            for b in (3..65536i64).step_by(991) {
+                let rel = (a * b - m.multiply(a, b)) as f64 / (a * b) as f64;
+                assert!(rel <= 0.112, "{a}x{b} rel={rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn mitchell_zero_annihilates() {
+        let m = MitchellMultiplier::new(16);
+        assert_eq!(m.multiply(0, 999), 0);
+        assert_eq!(m.multiply(999, 0), 0);
+    }
+
+    #[test]
+    fn ssm_exact_in_low_segment() {
+        let m = SsmMultiplier::new(16, 8);
+        for a in (0..256).step_by(17) {
+            for b in (0..256).step_by(13) {
+                assert_eq!(m.multiply(a, b), a * b);
+            }
+        }
+    }
+
+    #[test]
+    fn ssm_truncates_high_segment_tail() {
+        let m = SsmMultiplier::new(16, 8);
+        // 0x1234 has high bits set: segment = 0x12, shift 8.
+        assert_eq!(m.multiply(0x1234, 1), (0x12) << 8);
+    }
+
+    #[test]
+    fn ssm_relative_error_bound_and_boundary_weakness() {
+        // Static segmentation keeps the high 8 bits whenever any of them
+        // is set, so an operand just above the boundary (e.g. 300) retains
+        // only one or two significant bits: per-operand relative error can
+        // approach 50% there — SSM's documented weakness versus DRUM —
+        // and shrinks as operands grow into the segment.
+        let m = SsmMultiplier::new(16, 8);
+        let rel_op = |x: i64| {
+            let (seg, sh) = m.segment(x);
+            (x - (seg << sh)).abs() as f64 / x as f64
+        };
+        for x in [257i64, 300, 511, 5000, 40000, 65535] {
+            assert!(rel_op(x) < 0.5, "operand {x} rel {}", rel_op(x));
+        }
+        assert!(rel_op(511) > 0.4, "boundary weakness should be visible");
+        assert!(rel_op(65535) < 0.01, "large operands keep 8 significant bits");
+        // Product error is bounded by the combined per-operand errors.
+        for &a in &[300i64, 511, 5000, 65535] {
+            for &b in &[2i64, 700, 32768] {
+                let rel = (a * b - m.multiply(a, b)).abs() as f64 / (a * b) as f64;
+                let bound = rel_op(a) + rel_op(b) + rel_op(a) * rel_op(b) + 1e-12;
+                assert!(rel <= bound, "{a}x{b} rel={rel} bound={bound}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "SSM segments")]
+    fn ssm_rejects_uncovering_segments() {
+        SsmMultiplier::new(16, 4);
+    }
+
+    #[test]
+    fn metadata_is_cheaper_than_exact() {
+        assert!(MitchellMultiplier::new(16).metadata().area < 0.5);
+        assert!(SsmMultiplier::new(16, 8).metadata().area < 0.5);
+    }
+}

@@ -1,0 +1,504 @@
+//! Gate-level structural models of multipliers.
+//!
+//! The behavioral models in the rest of this crate specify *what* an
+//! approximate multiplier computes; this module can also specify *how*:
+//! a [`Netlist`] is a combinational circuit of two-input gates that is
+//! simulated bit-accurately, whose area/power/delay metadata is **derived
+//! from the structure** (gate count and critical path) instead of quoted
+//! from a table.
+//!
+//! Provided builders:
+//!
+//! * [`array_multiplier`] — the classic carry-save array multiplier;
+//! * [`truncated_array_multiplier`] — the same array with the lowest
+//!   product columns' partial products removed (the mechanism behind the
+//!   `mul8u_*` behavioral stand-ins, here realized structurally);
+//! * [`broken_carry_array_multiplier`] — an array whose lowest rows are
+//!   dropped, matching [`crate::evo::RowTruncatedMultiplier`].
+//!
+//! Equivalence between the structural and behavioral models is asserted
+//! in this module's tests, closing the loop on the `DESIGN.md`
+//! substitution argument: our stand-ins are not ad-hoc formulas, they are
+//! the behavior of concrete cut-down circuits.
+
+use crate::mult::{HwMetadata, Multiplier, Signedness};
+
+/// Identifier of a node inside a [`Netlist`].
+pub type NodeId = usize;
+
+/// A combinational gate (or input / constant) in a netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateOp {
+    /// Constant zero.
+    Zero,
+    /// Constant one.
+    One,
+    /// Bit `n` of the first operand.
+    InputA(u32),
+    /// Bit `n` of the second operand.
+    InputB(u32),
+    /// Two-input AND.
+    And(NodeId, NodeId),
+    /// Two-input OR.
+    Or(NodeId, NodeId),
+    /// Two-input XOR.
+    Xor(NodeId, NodeId),
+    /// Inverter.
+    Not(NodeId),
+}
+
+/// A combinational circuit with two `bits`-wide operands and a
+/// `2 * bits`-wide product output.
+///
+/// Nodes are stored in topological order by construction (every gate's
+/// fan-in indices precede it), so evaluation is a single forward sweep.
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    bits: u32,
+    nodes: Vec<GateOp>,
+    outputs: Vec<NodeId>,
+}
+
+impl Netlist {
+    /// Operand width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of logic gates (AND/OR/XOR/NOT), excluding inputs and
+    /// constants — the area proxy.
+    pub fn gate_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|op| {
+                matches!(op, GateOp::And(..) | GateOp::Or(..) | GateOp::Xor(..) | GateOp::Not(..))
+            })
+            .count()
+    }
+
+    /// Logic depth of the deepest output cone — the delay proxy.
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.nodes.len()];
+        for (i, op) in self.nodes.iter().enumerate() {
+            depth[i] = match *op {
+                GateOp::Zero | GateOp::One | GateOp::InputA(_) | GateOp::InputB(_) => 0,
+                GateOp::And(x, y) | GateOp::Or(x, y) | GateOp::Xor(x, y) => {
+                    1 + depth[x].max(depth[y])
+                }
+                GateOp::Not(x) => 1 + depth[x],
+            };
+        }
+        self.outputs.iter().map(|&o| depth[o]).max().unwrap_or(0)
+    }
+
+    /// Evaluate the circuit for unsigned operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if operands exceed the operand width.
+    pub fn evaluate(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < (1u64 << self.bits) && b < (1u64 << self.bits));
+        let mut values = vec![false; self.nodes.len()];
+        for (i, op) in self.nodes.iter().enumerate() {
+            values[i] = match *op {
+                GateOp::Zero => false,
+                GateOp::One => true,
+                GateOp::InputA(bit) => (a >> bit) & 1 == 1,
+                GateOp::InputB(bit) => (b >> bit) & 1 == 1,
+                GateOp::And(x, y) => values[x] & values[y],
+                GateOp::Or(x, y) => values[x] | values[y],
+                GateOp::Xor(x, y) => values[x] ^ values[y],
+                GateOp::Not(x) => !values[x],
+            };
+        }
+        let mut out = 0u64;
+        for (pos, &node) in self.outputs.iter().enumerate() {
+            if values[node] {
+                out |= 1 << pos;
+            }
+        }
+        out
+    }
+}
+
+/// Incremental netlist construction with adder helpers.
+#[derive(Debug)]
+pub struct NetlistBuilder {
+    bits: u32,
+    nodes: Vec<GateOp>,
+}
+
+impl NetlistBuilder {
+    /// Start a netlist for `bits`-wide operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 32`.
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=32).contains(&bits), "netlist width must be in 1..=32, got {bits}");
+        NetlistBuilder { bits, nodes: Vec::new() }
+    }
+
+    fn push(&mut self, op: GateOp) -> NodeId {
+        self.nodes.push(op);
+        self.nodes.len() - 1
+    }
+
+    /// Constant-zero node.
+    pub fn zero(&mut self) -> NodeId {
+        self.push(GateOp::Zero)
+    }
+
+    /// Constant-one node.
+    pub fn one(&mut self) -> NodeId {
+        self.push(GateOp::One)
+    }
+
+    /// Bit `bit` of operand A.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= bits`.
+    pub fn input_a(&mut self, bit: u32) -> NodeId {
+        assert!(bit < self.bits, "input bit {bit} out of range");
+        self.push(GateOp::InputA(bit))
+    }
+
+    /// Bit `bit` of operand B.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= bits`.
+    pub fn input_b(&mut self, bit: u32) -> NodeId {
+        assert!(bit < self.bits, "input bit {bit} out of range");
+        self.push(GateOp::InputB(bit))
+    }
+
+    /// AND gate.
+    pub fn and(&mut self, x: NodeId, y: NodeId) -> NodeId {
+        self.push(GateOp::And(x, y))
+    }
+
+    /// OR gate.
+    pub fn or(&mut self, x: NodeId, y: NodeId) -> NodeId {
+        self.push(GateOp::Or(x, y))
+    }
+
+    /// XOR gate.
+    pub fn xor(&mut self, x: NodeId, y: NodeId) -> NodeId {
+        self.push(GateOp::Xor(x, y))
+    }
+
+    /// Inverter.
+    pub fn not(&mut self, x: NodeId) -> NodeId {
+        self.push(GateOp::Not(x))
+    }
+
+    /// Half adder: returns `(sum, carry)`.
+    pub fn half_adder(&mut self, x: NodeId, y: NodeId) -> (NodeId, NodeId) {
+        (self.xor(x, y), self.and(x, y))
+    }
+
+    /// Full adder: returns `(sum, carry)`.
+    pub fn full_adder(&mut self, x: NodeId, y: NodeId, c: NodeId) -> (NodeId, NodeId) {
+        let s1 = self.xor(x, y);
+        let sum = self.xor(s1, c);
+        let c1 = self.and(x, y);
+        let c2 = self.and(s1, c);
+        let carry = self.or(c1, c2);
+        (sum, carry)
+    }
+
+    /// Finish the netlist with the product bits, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any output id is out of range.
+    pub fn finish(self, outputs: Vec<NodeId>) -> Netlist {
+        for &o in &outputs {
+            assert!(o < self.nodes.len(), "output node {o} out of range");
+        }
+        Netlist { bits: self.bits, nodes: self.nodes, outputs }
+    }
+}
+
+/// Build an unsigned array multiplier, optionally dropping partial
+/// products: `keep(i, j)` decides whether the partial product
+/// `a_i · b_j` is generated (dropped terms are tied to zero).
+pub fn array_multiplier_with(bits: u32, keep: impl Fn(u32, u32) -> bool) -> Netlist {
+    let mut b = NetlistBuilder::new(bits);
+    let zero = b.zero();
+
+    // Partial-product matrix.
+    let mut pp = vec![vec![zero; bits as usize]; bits as usize];
+    for i in 0..bits {
+        for j in 0..bits {
+            if keep(i, j) {
+                let ai = b.input_a(i);
+                let bj = b.input_b(j);
+                pp[i as usize][j as usize] = b.and(ai, bj);
+            }
+        }
+    }
+
+    // Column-wise carry-save reduction: gather column terms, then reduce
+    // each column with full/half adders, pushing carries to the next.
+    let cols = (2 * bits) as usize;
+    let mut columns: Vec<Vec<NodeId>> = vec![Vec::new(); cols];
+    for i in 0..bits as usize {
+        for j in 0..bits as usize {
+            if pp[i][j] != zero {
+                columns[i + j].push(pp[i][j]);
+            }
+        }
+    }
+    let mut outputs = Vec::with_capacity(cols);
+    for c in 0..cols {
+        let mut terms = std::mem::take(&mut columns[c]);
+        while terms.len() > 1 {
+            if terms.len() >= 3 {
+                let (x, y, z) = (terms.remove(0), terms.remove(0), terms.remove(0));
+                let (sum, carry) = b.full_adder(x, y, z);
+                terms.push(sum);
+                if c + 1 < cols {
+                    columns[c + 1].push(carry);
+                }
+            } else {
+                let (x, y) = (terms.remove(0), terms.remove(0));
+                let (sum, carry) = b.half_adder(x, y);
+                terms.push(sum);
+                if c + 1 < cols {
+                    columns[c + 1].push(carry);
+                }
+            }
+        }
+        outputs.push(terms.pop().unwrap_or(zero));
+    }
+    b.finish(outputs)
+}
+
+/// The exact unsigned array multiplier.
+pub fn array_multiplier(bits: u32) -> Netlist {
+    array_multiplier_with(bits, |_, _| true)
+}
+
+/// Array multiplier with every partial product in columns below
+/// `cut_columns` removed — the structural form of column truncation.
+pub fn truncated_array_multiplier(bits: u32, cut_columns: u32) -> Netlist {
+    array_multiplier_with(bits, move |i, j| i + j >= cut_columns)
+}
+
+/// Array multiplier whose lowest `broken_rows` rows (low bits of operand
+/// A) are dropped — the structural form of row truncation.
+pub fn broken_carry_array_multiplier(bits: u32, broken_rows: u32) -> Netlist {
+    array_multiplier_with(bits, move |i, _| i >= broken_rows)
+}
+
+/// A [`Multiplier`] backed by gate-level simulation of a [`Netlist`],
+/// with area and delay metadata derived from the structure.
+///
+/// Area/power are the gate count relative to the exact 16-bit array
+/// multiplier's gate count; delay is the logic depth relative to the
+/// exact 16-bit array's depth — the same normalization convention as
+/// Table I.
+///
+/// # Examples
+///
+/// ```
+/// use lac_hw::netlist::{array_multiplier, NetlistMultiplier};
+/// use lac_hw::Multiplier;
+///
+/// let exact = NetlistMultiplier::new("net8u", array_multiplier(8));
+/// assert_eq!(exact.multiply(203, 97), 203 * 97);
+/// assert!(exact.metadata().area < 1.0); // quarter-ish of a 16-bit array
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetlistMultiplier {
+    name: String,
+    netlist: Netlist,
+    metadata: HwMetadata,
+}
+
+impl NetlistMultiplier {
+    /// Wrap a netlist as a catalog-compatible multiplier.
+    pub fn new(name: &str, netlist: Netlist) -> Self {
+        // Normalization reference: the exact 16-bit array.
+        let reference = array_multiplier(16);
+        let ref_gates = reference.gate_count() as f64;
+        let ref_depth = reference.depth() as f64;
+        let area = netlist.gate_count() as f64 / ref_gates;
+        let delay = netlist.depth() as f64 / ref_depth;
+        NetlistMultiplier {
+            name: name.to_owned(),
+            metadata: HwMetadata::with_delay(area, area, delay),
+            netlist,
+        }
+    }
+
+    /// The underlying circuit.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+}
+
+impl Multiplier for NetlistMultiplier {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn bits(&self) -> u32 {
+        self.netlist.bits()
+    }
+
+    fn signedness(&self) -> Signedness {
+        Signedness::Unsigned
+    }
+
+    fn multiply_raw(&self, a: i64, b: i64) -> i64 {
+        self.netlist.evaluate(a as u64, b as u64) as i64
+    }
+
+    fn metadata(&self) -> HwMetadata {
+        self.metadata
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evo::{RowTruncatedMultiplier, TruncatedMultiplier};
+    use crate::mult::HwMetadata;
+
+    #[test]
+    fn exact_array_multiplies_exhaustively_4bit() {
+        let net = array_multiplier(4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                assert_eq!(net.evaluate(a, b), a * b, "{a}x{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_array_multiplies_8bit_grid() {
+        let net = array_multiplier(8);
+        for a in (0..256u64).step_by(7) {
+            for b in (0..256u64).step_by(11) {
+                assert_eq!(net.evaluate(a, b), a * b, "{a}x{b}");
+            }
+        }
+        assert_eq!(net.evaluate(255, 255), 255 * 255);
+    }
+
+    #[test]
+    fn structural_truncation_matches_behavioral_model() {
+        // The netlist with cut columns computes exactly the behavioral
+        // column-truncated product (uncompensated).
+        for cut in [3u32, 6, 9] {
+            let net = truncated_array_multiplier(8, cut);
+            let behavioral = TruncatedMultiplier::new(
+                "ref",
+                8,
+                Signedness::Unsigned,
+                cut,
+                false,
+                HwMetadata::new(0.0, 0.0),
+            );
+            for a in (0..256i64).step_by(5) {
+                for b in (0..256i64).step_by(3) {
+                    assert_eq!(
+                        net.evaluate(a as u64, b as u64) as i64,
+                        behavioral.multiply(a, b),
+                        "cut={cut} {a}x{b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn structural_broken_rows_match_behavioral_model() {
+        for rows in [2u32, 4] {
+            let net = broken_carry_array_multiplier(8, rows);
+            let behavioral = RowTruncatedMultiplier::new(
+                "ref",
+                8,
+                Signedness::Unsigned,
+                rows,
+                HwMetadata::new(0.0, 0.0),
+            );
+            for a in (0..256i64).step_by(3) {
+                for b in (0..256i64).step_by(7) {
+                    assert_eq!(
+                        net.evaluate(a as u64, b as u64) as i64,
+                        behavioral.multiply(a, b),
+                        "rows={rows} {a}x{b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_saves_gates_and_depth() {
+        let exact = array_multiplier(8);
+        let cut6 = truncated_array_multiplier(8, 6);
+        let cut9 = truncated_array_multiplier(8, 9);
+        assert!(cut6.gate_count() < exact.gate_count());
+        assert!(cut9.gate_count() < cut6.gate_count());
+        assert!(cut9.depth() <= exact.depth());
+    }
+
+    #[test]
+    fn derived_metadata_tracks_structure() {
+        let exact8 = NetlistMultiplier::new("net8", array_multiplier(8));
+        let exact16 = NetlistMultiplier::new("net16", array_multiplier(16));
+        // The 16-bit array is the normalization reference.
+        assert!((exact16.metadata().area - 1.0).abs() < 1e-12);
+        assert!((exact16.metadata().delay.unwrap() - 1.0).abs() < 1e-12);
+        // An 8-bit array is roughly a quarter the area of a 16-bit one.
+        let a8 = exact8.metadata().area;
+        assert!((0.15..0.35).contains(&a8), "8-bit relative area {a8}");
+        // Structural area ordering mirrors the aggressiveness of the cut.
+        let jv3_like = NetlistMultiplier::new("cut9", truncated_array_multiplier(8, 9));
+        let fta_like = NetlistMultiplier::new("cut6", truncated_array_multiplier(8, 6));
+        assert!(jv3_like.metadata().area < fta_like.metadata().area);
+        assert!(fta_like.metadata().area < a8);
+    }
+
+    #[test]
+    fn netlist_multiplier_is_catalog_compatible() {
+        let m = NetlistMultiplier::new("net8u", truncated_array_multiplier(8, 6));
+        assert_eq!(m.bits(), 8);
+        assert_eq!(m.operand_range(), (0, 255));
+        // Clamping works through the default trait plumbing.
+        assert_eq!(m.multiply(300, 1), m.multiply(255, 1));
+    }
+
+    #[test]
+    fn depth_of_trivial_netlists() {
+        let mut b = NetlistBuilder::new(2);
+        let x = b.input_a(0);
+        let y = b.input_b(0);
+        let g = b.and(x, y);
+        let net = b.finish(vec![g]);
+        assert_eq!(net.depth(), 1);
+        assert_eq!(net.gate_count(), 1);
+        assert_eq!(net.evaluate(1, 1), 1);
+        assert_eq!(net.evaluate(1, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn builder_validates_input_bits() {
+        let mut b = NetlistBuilder::new(4);
+        let _ = b.input_a(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "output node")]
+    fn finish_validates_outputs() {
+        let b = NetlistBuilder::new(4);
+        let _ = b.finish(vec![99]);
+    }
+}

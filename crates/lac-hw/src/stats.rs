@@ -1,0 +1,210 @@
+//! Error characterization of approximate multipliers.
+//!
+//! The "no-LAC" baseline of Fig. 10 selects hardware purely from error
+//! metrics like the ones computed here; they are also what EvoApprox
+//! publishes for each unit ("the well-defined error metrics provided a
+//! clear baseline", Section III-A).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::mult::Multiplier;
+
+/// Aggregate error statistics of a multiplier over its operand space.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorStats {
+    /// Mean signed error (bias).
+    pub mean_error: f64,
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Mean relative error, over pairs with a nonzero exact product.
+    pub mre: f64,
+    /// Worst-case absolute error.
+    pub wce: i64,
+    /// Fraction of operand pairs with any error.
+    pub error_rate: f64,
+    /// Number of operand pairs evaluated.
+    pub samples: u64,
+}
+
+impl std::fmt::Display for ErrorStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bias={:.3} mae={:.3} mre={:.5} wce={} err_rate={:.4}",
+            self.mean_error, self.mae, self.mre, self.wce, self.error_rate
+        )
+    }
+}
+
+/// Accumulator used by both exhaustive and sampled characterization.
+#[derive(Debug, Default)]
+struct Accum {
+    sum_err: f64,
+    sum_abs: f64,
+    sum_rel: f64,
+    rel_n: u64,
+    wce: i64,
+    errors: u64,
+    n: u64,
+}
+
+impl Accum {
+    fn push(&mut self, approx: i64, exact: i64) {
+        let e = approx - exact;
+        self.sum_err += e as f64;
+        self.sum_abs += e.abs() as f64;
+        if exact != 0 {
+            self.sum_rel += e.abs() as f64 / exact.abs() as f64;
+            self.rel_n += 1;
+        }
+        if e.abs() > self.wce {
+            self.wce = e.abs();
+        }
+        if e != 0 {
+            self.errors += 1;
+        }
+        self.n += 1;
+    }
+
+    fn finish(self) -> ErrorStats {
+        let n = self.n.max(1) as f64;
+        ErrorStats {
+            mean_error: self.sum_err / n,
+            mae: self.sum_abs / n,
+            mre: self.sum_rel / self.rel_n.max(1) as f64,
+            wce: self.wce,
+            error_rate: self.errors as f64 / n,
+            samples: self.n,
+        }
+    }
+}
+
+/// Exhaustively characterize a multiplier over its full operand grid.
+///
+/// Intended for units up to ~10 bits (2^20 pairs); for wider units use
+/// [`sampled_stats`].
+///
+/// # Examples
+///
+/// ```
+/// use lac_hw::{exhaustive_stats, ExactMultiplier, Signedness};
+///
+/// let stats = exhaustive_stats(&ExactMultiplier::new(4, Signedness::Unsigned));
+/// assert_eq!(stats.mae, 0.0);
+/// assert_eq!(stats.samples, 256);
+/// ```
+pub fn exhaustive_stats(mult: &dyn Multiplier) -> ErrorStats {
+    let (lo, hi) = mult.operand_range();
+    let mut acc = Accum::default();
+    for a in lo..=hi {
+        for b in lo..=hi {
+            acc.push(mult.multiply_raw(a, b), a * b);
+        }
+    }
+    acc.finish()
+}
+
+/// Characterize a multiplier over `samples` uniformly random operand pairs
+/// drawn with the given seed.
+///
+/// # Examples
+///
+/// ```
+/// use lac_hw::{sampled_stats, DrumMultiplier};
+///
+/// let stats = sampled_stats(&DrumMultiplier::new(16, 6), 10_000, 7);
+/// assert!(stats.mre < 0.02);
+/// ```
+pub fn sampled_stats(mult: &dyn Multiplier, samples: u64, seed: u64) -> ErrorStats {
+    let (lo, hi) = mult.operand_range();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut acc = Accum::default();
+    for _ in 0..samples {
+        let a = rng.random_range(lo..=hi);
+        let b = rng.random_range(lo..=hi);
+        acc.push(mult.multiply_raw(a, b), a * b);
+    }
+    acc.finish()
+}
+
+/// Characterize a multiplier, choosing exhaustive evaluation for narrow
+/// units and `samples` random pairs otherwise.
+pub fn characterize(mult: &dyn Multiplier, samples: u64, seed: u64) -> ErrorStats {
+    if mult.bits() <= 10 {
+        exhaustive_stats(mult)
+    } else {
+        sampled_stats(mult, samples, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drum::DrumMultiplier;
+    use crate::etm::EtmMultiplier;
+    use crate::kulkarni::KulkarniMultiplier;
+    use crate::mult::{ExactMultiplier, Signedness};
+
+    #[test]
+    fn exact_has_zero_error() {
+        let stats = exhaustive_stats(&ExactMultiplier::new(8, Signedness::Unsigned));
+        assert_eq!(stats.mae, 0.0);
+        assert_eq!(stats.wce, 0);
+        assert_eq!(stats.error_rate, 0.0);
+        assert_eq!(stats.samples, 65536);
+    }
+
+    #[test]
+    fn kulkarni_error_rate_matches_closed_form() {
+        // P(error) for 8-bit Kulkarni: both operands need at least one `11`
+        // aligned slice. P(an operand has >= one slice == 3) = 1 - (3/4)^4.
+        let stats = exhaustive_stats(&KulkarniMultiplier::new(8));
+        let p = 1.0 - (0.75f64).powi(4);
+        let expect = p * p;
+        assert!(
+            (stats.error_rate - expect).abs() < 1e-9,
+            "got {} expected {}",
+            stats.error_rate,
+            expect
+        );
+    }
+
+    #[test]
+    fn etm_worst_case_positive_region() {
+        let stats = exhaustive_stats(&EtmMultiplier::new(8, 4));
+        assert!(stats.error_rate > 0.5); // most pairs hit the estimated path
+        assert!(stats.mae > 0.0);
+    }
+
+    #[test]
+    fn drum_mre_shrinks_with_core_width() {
+        let s4 = sampled_stats(&DrumMultiplier::new(16, 4), 50_000, 1);
+        let s6 = sampled_stats(&DrumMultiplier::new(16, 6), 50_000, 1);
+        assert!(s6.mre < s4.mre);
+    }
+
+    #[test]
+    fn sampled_stats_are_deterministic_per_seed() {
+        let m = DrumMultiplier::new(16, 4);
+        let a = sampled_stats(&m, 5000, 42);
+        let b = sampled_stats(&m, 5000, 42);
+        assert_eq!(a, b);
+        let c = sampled_stats(&m, 5000, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn characterize_dispatches_on_width() {
+        let narrow = characterize(&KulkarniMultiplier::new(8), 100, 0);
+        assert_eq!(narrow.samples, 65536); // exhaustive
+        let wide = characterize(&DrumMultiplier::new(16, 4), 100, 0);
+        assert_eq!(wide.samples, 100); // sampled
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let stats = exhaustive_stats(&KulkarniMultiplier::new(8));
+        assert!(!format!("{stats}").is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests of the hardware behavioral models.
+
+use proptest::prelude::*;
+
+use lac_hw::{
+    catalog, operand_range, signed_capable, DrumMultiplier, EtmMultiplier, ExactMultiplier,
+    KulkarniMultiplier, LutMultiplier, Multiplier, SignMagnitude, Signedness,
+};
+use std::sync::Arc;
+
+fn all_units() -> Vec<Arc<dyn Multiplier>> {
+    let mut units = catalog::paper_multipliers();
+    units.push(catalog::by_name("kulkarni8u").unwrap());
+    units.push(catalog::by_name("kulkarni16u").unwrap());
+    units.push(catalog::by_name("exact8u").unwrap());
+    units.push(catalog::by_name("exact16s").unwrap());
+    units
+}
+
+proptest! {
+    /// Every unit is a deterministic pure function of its operands.
+    #[test]
+    fn multiply_is_deterministic(a in -70000i64..70000, b in -70000i64..70000) {
+        for m in all_units() {
+            prop_assert_eq!(m.multiply(a, b), m.multiply(a, b), "{}", m.name());
+        }
+    }
+
+    /// Clamping: multiply() equals multiply_raw() on pre-clamped operands.
+    #[test]
+    fn multiply_clamps_consistently(a in -70000i64..70000, b in -70000i64..70000) {
+        for m in all_units() {
+            let (lo, hi) = m.operand_range();
+            prop_assert_eq!(
+                m.multiply(a, b),
+                m.multiply_raw(a.clamp(lo, hi), b.clamp(lo, hi)),
+                "{}", m.name()
+            );
+        }
+    }
+
+    /// Zero annihilates for every unit except ETM (whose constant fill is
+    /// a documented non-zero estimate when the other operand is large).
+    #[test]
+    fn zero_annihilates_for_non_etm(b in -70000i64..70000) {
+        for m in all_units() {
+            if m.name().starts_with("ETM") {
+                continue;
+            }
+            prop_assert_eq!(m.multiply(0, b), 0, "{} with b={}", m.name(), b);
+        }
+    }
+
+    /// The product error never exceeds the exact product's magnitude scale
+    /// plus the unit's worst additive error: a loose but universal sanity
+    /// bound |approx| <= 2 * hi^2.
+    #[test]
+    fn products_are_bounded(a in -70000i64..70000, b in -70000i64..70000) {
+        for m in all_units() {
+            let (_, hi) = m.operand_range();
+            let bound = 2 * hi * hi;
+            let p = m.multiply(a, b);
+            prop_assert!(p.abs() <= bound, "{}: {} * {} -> {}", m.name(), a, b, p);
+        }
+    }
+
+    /// Sign-magnitude wrapping is odd-symmetric in each operand.
+    #[test]
+    fn sign_magnitude_odd_symmetry(a in -255i64..=255, b in -255i64..=255) {
+        let core: Arc<dyn Multiplier> = catalog::by_name("mul8u_FTA").unwrap();
+        let sm = SignMagnitude::new(core);
+        prop_assert_eq!(sm.multiply(a, b), -sm.multiply(-a, b));
+        prop_assert_eq!(sm.multiply(a, b), -sm.multiply(a, -b));
+        prop_assert_eq!(sm.multiply(a, b), sm.multiply(-a, -b));
+    }
+
+    /// signed_capable() preserves unsigned-domain behaviour exactly.
+    #[test]
+    fn signed_capable_preserves_positive_products(a in 0i64..=255, b in 0i64..=255) {
+        for name in ["ETM8-k4", "mul8u_JV3", "kulkarni8u"] {
+            let raw = catalog::by_name(name).unwrap();
+            let wrapped = signed_capable(raw.clone());
+            prop_assert_eq!(raw.multiply(a, b), wrapped.multiply(a, b), "{}", name);
+        }
+    }
+
+    /// LUT acceleration is semantically transparent.
+    #[test]
+    fn lut_equals_behavioral(a in -300i64..=300, b in -300i64..=300) {
+        for name in ["ETM8-k4", "mul8u_185Q", "mul8s_1KVL", "kulkarni8u"] {
+            let raw = catalog::by_name(name).unwrap();
+            let lut = LutMultiplier::maybe_wrap(raw.clone());
+            prop_assert_eq!(raw.multiply(a, b), lut.multiply(a, b), "{}", name);
+        }
+    }
+
+    /// Kulkarni never overestimates and is exact when either operand has
+    /// no `11` two-bit slice.
+    #[test]
+    fn kulkarni_underestimates(a in 0i64..=65535, b in 0i64..=65535) {
+        let m = KulkarniMultiplier::new(16);
+        let p = m.multiply(a, b);
+        prop_assert!(p <= a * b);
+        let has3 = |x: i64| (0..8).any(|s| (x >> (2 * s)) & 3 == 3);
+        if !has3(a) || !has3(b) {
+            prop_assert_eq!(p, a * b);
+        }
+    }
+
+    /// DRUM is exact whenever both operands fit in the k-bit core.
+    #[test]
+    fn drum_exact_below_core(k in 3u32..=7, a in 0i64..127, b in 0i64..127) {
+        let m = DrumMultiplier::new(16, k);
+        let mask = (1i64 << k) - 1;
+        let (a, b) = (a & mask, b & mask);
+        prop_assert_eq!(m.multiply(a, b), a * b);
+    }
+
+    /// DRUM's relative product error stays within the analytic bound.
+    #[test]
+    fn drum_relative_error_bound(k in 3u32..=8, a in 1i64..=65535, b in 1i64..=65535) {
+        let m = DrumMultiplier::new(16, k);
+        let per_op = 2f64.powi(-(k as i32 - 1));
+        let bound = (1.0 + per_op) * (1.0 + per_op) - 1.0;
+        let rel = (m.multiply(a, b) - a * b).abs() as f64 / (a * b) as f64;
+        prop_assert!(rel <= bound + 1e-12, "k={} {}x{} rel={}", k, a, b, rel);
+    }
+
+    /// ETM is exact exactly when both high sections are zero.
+    #[test]
+    fn etm_exactness_criterion(a in 0i64..=255, b in 0i64..=255) {
+        let m = EtmMultiplier::new(8, 4);
+        if a < 16 && b < 16 {
+            prop_assert_eq!(m.multiply(a, b), a * b);
+        }
+    }
+
+    /// Exact units are exact over their whole range.
+    #[test]
+    fn exact_units_are_exact(a in -32767i64..=32767, b in -32767i64..=32767) {
+        let m = ExactMultiplier::new(16, Signedness::Signed);
+        prop_assert_eq!(m.multiply(a, b), a * b);
+    }
+
+    /// operand_range is symmetric for signed and starts at zero for
+    /// unsigned, for any width.
+    #[test]
+    fn operand_range_structure(bits in 1u32..=32) {
+        let (lo_u, hi_u) = operand_range(bits, Signedness::Unsigned);
+        prop_assert_eq!(lo_u, 0);
+        prop_assert_eq!(hi_u, (1i64 << bits) - 1);
+        let (lo_s, hi_s) = operand_range(bits, Signedness::Signed);
+        prop_assert_eq!(lo_s, -hi_s);
+    }
+}
+
+/// Commutativity holds for the symmetric mechanisms (column truncation,
+/// operand masking, DRUM, ETM, Kulkarni) — checked exhaustively on a grid
+/// rather than property-sampled, since it is cheap.
+#[test]
+fn symmetric_units_commute_on_grid() {
+    for name in ["ETM8-k4", "DRUM16-4", "mul8u_JV3", "mul8u_185Q", "mul8s_1KVL", "kulkarni8u"] {
+        let m = catalog::by_name(name).unwrap();
+        let (lo, hi) = m.operand_range();
+        let step = ((hi - lo) / 23).max(1);
+        let mut a = lo;
+        while a <= hi {
+            let mut b = lo;
+            while b <= hi {
+                assert_eq!(m.multiply(a, b), m.multiply(b, a), "{name}: {a} x {b}");
+                b += step;
+            }
+            a += step;
+        }
+    }
+}

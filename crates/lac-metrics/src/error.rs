@@ -1,0 +1,160 @@
+//! Scalar error metrics: MSE, PSNR, mean relative error.
+
+/// Mean squared error between two equally sized signals.
+///
+/// # Examples
+///
+/// ```
+/// use lac_metrics::mse;
+///
+/// assert_eq!(mse(&[1.0, 2.0], &[1.0, 4.0]), 2.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "mse requires equal lengths");
+    assert!(!a.is_empty(), "mse of empty signals");
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64
+}
+
+/// Peak signal-to-noise ratio in dB for a given peak value.
+///
+/// Identical signals return `f64::INFINITY`.
+///
+/// # Examples
+///
+/// ```
+/// use lac_metrics::psnr;
+///
+/// let p = psnr(&[0.0, 255.0], &[1.0, 254.0], 255.0);
+/// assert!(p > 40.0);
+/// ```
+pub fn psnr(a: &[f64], b: &[f64], peak: f64) -> f64 {
+    let m = mse(a, b);
+    if m == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (peak * peak / m).log10()
+    }
+}
+
+/// PSNR with the 8-bit peak of 255, the convention of the LAC paper's DCT
+/// and DFT experiments.
+pub fn psnr_255(a: &[f64], b: &[f64]) -> f64 {
+    psnr(a, b, 255.0)
+}
+
+/// Mean relative error `|a - b| / max(|b|, eps)` — the Inversek2j quality
+/// metric of the paper (lower is better).
+///
+/// `eps` guards division at reference values near zero; the paper's
+/// AxBench harness uses the same convention.
+///
+/// # Examples
+///
+/// ```
+/// use lac_metrics::mean_relative_error;
+///
+/// let e = mean_relative_error(&[1.1, 2.0], &[1.0, 2.0], 1e-9);
+/// assert!((e - 0.05).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mean_relative_error(approx: &[f64], reference: &[f64], eps: f64) -> f64 {
+    assert_eq!(approx.len(), reference.len(), "relative error requires equal lengths");
+    assert!(!approx.is_empty(), "relative error of empty signals");
+    approx
+        .iter()
+        .zip(reference)
+        .map(|(&x, &y)| (x - y).abs() / y.abs().max(eps))
+        .sum::<f64>()
+        / approx.len() as f64
+}
+
+/// Mean absolute error between two equally sized signals.
+pub fn mae(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "mae requires equal lengths");
+    assert!(!a.is_empty(), "mae of empty signals");
+    a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).sum::<f64>() / a.len() as f64
+}
+
+/// Batch PSNR: mean of the per-pair PSNRs, the convention the paper uses
+/// for DCT/DFT quality over the test set.
+///
+/// Pairs with infinite PSNR (exact match) are clamped to `cap` dB so a few
+/// perfect images cannot drive the mean to infinity.
+pub fn mean_psnr_255(outputs: &[Vec<f64>], references: &[Vec<f64>], cap: f64) -> f64 {
+    assert_eq!(outputs.len(), references.len(), "batch length mismatch");
+    assert!(!outputs.is_empty(), "empty batch");
+    let mut total = 0.0;
+    for (o, r) in outputs.iter().zip(references) {
+        total += psnr_255(o, r).min(cap);
+    }
+    total / outputs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_basic() {
+        assert_eq!(mse(&[0.0, 0.0], &[3.0, 4.0]), 12.5);
+        assert_eq!(mse(&[5.0], &[5.0]), 0.0);
+    }
+
+    #[test]
+    fn psnr_identical_is_infinite() {
+        assert!(psnr(&[1.0, 2.0], &[1.0, 2.0], 255.0).is_infinite());
+    }
+
+    #[test]
+    fn psnr_monotone_in_distortion() {
+        let a = [0.0, 100.0, 200.0];
+        let slight = [1.0, 101.0, 201.0];
+        let heavy = [50.0, 150.0, 250.0];
+        assert!(psnr_255(&a, &slight) > psnr_255(&a, &heavy));
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        // MSE = 1 against peak 255: 10*log10(65025) = 48.13 dB.
+        let p = psnr(&[0.0], &[1.0], 255.0);
+        assert!((p - 48.1308).abs() < 1e-3);
+    }
+
+    #[test]
+    fn relative_error_uses_reference_magnitude() {
+        let e = mean_relative_error(&[2.0], &[-4.0], 1e-9);
+        assert!((e - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_eps_guards_zero_reference() {
+        let e = mean_relative_error(&[0.5], &[0.0], 1.0);
+        assert_eq!(e, 0.5);
+    }
+
+    #[test]
+    fn mean_psnr_caps_infinities() {
+        let a = vec![vec![1.0, 2.0], vec![0.0, 0.0]];
+        let b = vec![vec![1.0, 2.0], vec![10.0, 10.0]];
+        let m = mean_psnr_255(&a, &b, 100.0);
+        assert!(m < 100.0 && m.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn mse_length_mismatch() {
+        mse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn mae_basic() {
+        assert_eq!(mae(&[0.0, 2.0], &[1.0, 0.0]), 1.5);
+    }
+}

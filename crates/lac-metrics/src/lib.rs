@@ -1,0 +1,83 @@
+//! Quality metrics for LAC experiments.
+//!
+//! The LAC paper measures application quality with three metrics, all
+//! implemented here:
+//!
+//! * [`ssim`] / [`mean_ssim`] — Structural Similarity Index for the 3×3
+//!   filter applications (higher is better, max 1.0);
+//! * [`psnr_255`] / [`mean_psnr_255`] — peak signal-to-noise ratio for the
+//!   DCT and DFT applications (higher is better);
+//! * [`mean_relative_error`] — for Inversek2j (lower is better).
+//!
+//! # Quick start
+//!
+//! ```
+//! use lac_metrics::{psnr_255, ssim, ImageView};
+//!
+//! let reference: Vec<f64> = (0..1024).map(|i| (i % 200) as f64).collect();
+//! let degraded: Vec<f64> = reference.iter().map(|&p| p + 2.0).collect();
+//!
+//! let s = ssim(
+//!     ImageView::new(&degraded, 32, 32),
+//!     ImageView::new(&reference, 32, 32),
+//! );
+//! assert!(s > 0.9);
+//! assert!(psnr_255(&degraded, &reference) > 40.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod ssim;
+
+pub use error::{mae, mean_psnr_255, mean_relative_error, mse, psnr, psnr_255};
+pub use ssim::{mean_ssim, ssim, ImageView, DYNAMIC_RANGE};
+
+/// Direction of a quality metric: whether larger values mean better quality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricDirection {
+    /// Larger is better (SSIM, PSNR).
+    HigherIsBetter,
+    /// Smaller is better (relative error).
+    LowerIsBetter,
+}
+
+impl MetricDirection {
+    /// True when `a` is a strictly better score than `b` in this direction.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lac_metrics::MetricDirection;
+    ///
+    /// assert!(MetricDirection::HigherIsBetter.is_better(0.9, 0.5));
+    /// assert!(MetricDirection::LowerIsBetter.is_better(0.01, 0.5));
+    /// ```
+    pub fn is_better(self, a: f64, b: f64) -> bool {
+        match self {
+            MetricDirection::HigherIsBetter => a > b,
+            MetricDirection::LowerIsBetter => a < b,
+        }
+    }
+
+    /// The better of two scores in this direction.
+    pub fn best(self, a: f64, b: f64) -> f64 {
+        if self.is_better(a, b) {
+            a
+        } else {
+            b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_best() {
+        assert_eq!(MetricDirection::HigherIsBetter.best(1.0, 2.0), 2.0);
+        assert_eq!(MetricDirection::LowerIsBetter.best(1.0, 2.0), 1.0);
+    }
+}

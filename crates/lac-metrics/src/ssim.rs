@@ -1,0 +1,269 @@
+//! Structural Similarity Index (SSIM), after Wang, Bovik, Sheikh &
+//! Simoncelli (IEEE TIP 2004).
+//!
+//! This is the metric the LAC paper uses for the three 3×3 filter
+//! applications. The implementation follows the reference setup: an 11×11
+//! Gaussian window with σ = 1.5, stabilization constants
+//! `C1 = (0.01·L)²` and `C2 = (0.03·L)²` with dynamic range `L = 255`, and
+//! the mean SSIM over all fully-valid window positions.
+
+/// Dynamic range assumed for 8-bit imagery.
+pub const DYNAMIC_RANGE: f64 = 255.0;
+
+/// Side length of the Gaussian window.
+const WINDOW: usize = 11;
+
+/// Standard deviation of the Gaussian window.
+const SIGMA: f64 = 1.5;
+
+/// A grayscale image view: row-major samples with an explicit width.
+///
+/// Samples are `f64` so both quantized pixel data and intermediate
+/// filter outputs can be scored without conversion.
+#[derive(Debug, Clone, Copy)]
+pub struct ImageView<'a> {
+    data: &'a [f64],
+    width: usize,
+    height: usize,
+}
+
+impl<'a> ImageView<'a> {
+    /// Create a view over row-major `data` of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height`.
+    pub fn new(data: &'a [f64], width: usize, height: usize) -> Self {
+        assert_eq!(data.len(), width * height, "image data length mismatch");
+        ImageView { data, width, height }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Raw row-major samples.
+    pub fn data(&self) -> &'a [f64] {
+        self.data
+    }
+
+    fn at(&self, x: usize, y: usize) -> f64 {
+        self.data[y * self.width + x]
+    }
+}
+
+fn gaussian_kernel() -> [f64; WINDOW * WINDOW] {
+    let mut k = [0f64; WINDOW * WINDOW];
+    let c = (WINDOW / 2) as f64;
+    let mut sum = 0.0;
+    for y in 0..WINDOW {
+        for x in 0..WINDOW {
+            let dx = x as f64 - c;
+            let dy = y as f64 - c;
+            let v = (-(dx * dx + dy * dy) / (2.0 * SIGMA * SIGMA)).exp();
+            k[y * WINDOW + x] = v;
+            sum += v;
+        }
+    }
+    for v in &mut k {
+        *v /= sum;
+    }
+    k
+}
+
+/// Mean SSIM between two images of identical dimensions.
+///
+/// Returns a value in `[-1, 1]`; `1.0` means identical images. Images
+/// smaller than the 11×11 window fall back to a single global window.
+///
+/// # Examples
+///
+/// ```
+/// use lac_metrics::{ssim, ImageView};
+///
+/// let img: Vec<f64> = (0..1024).map(|i| (i % 251) as f64).collect();
+/// let a = ImageView::new(&img, 32, 32);
+/// assert!((ssim(a, a) - 1.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the two images have different dimensions.
+pub fn ssim(a: ImageView<'_>, b: ImageView<'_>) -> f64 {
+    assert_eq!(
+        (a.width, a.height),
+        (b.width, b.height),
+        "ssim requires equal image dimensions"
+    );
+    let c1 = (0.01 * DYNAMIC_RANGE).powi(2);
+    let c2 = (0.03 * DYNAMIC_RANGE).powi(2);
+
+    if a.width < WINDOW || a.height < WINDOW {
+        return global_ssim(a, b, c1, c2);
+    }
+
+    let kernel = gaussian_kernel();
+    let mut total = 0.0;
+    let mut count = 0u64;
+    for wy in 0..=(a.height - WINDOW) {
+        for wx in 0..=(a.width - WINDOW) {
+            let (mut mu_a, mut mu_b) = (0.0, 0.0);
+            let (mut aa, mut bb, mut ab) = (0.0, 0.0, 0.0);
+            for ky in 0..WINDOW {
+                for kx in 0..WINDOW {
+                    let w = kernel[ky * WINDOW + kx];
+                    let pa = a.at(wx + kx, wy + ky);
+                    let pb = b.at(wx + kx, wy + ky);
+                    mu_a += w * pa;
+                    mu_b += w * pb;
+                    aa += w * pa * pa;
+                    bb += w * pb * pb;
+                    ab += w * pa * pb;
+                }
+            }
+            let var_a = aa - mu_a * mu_a;
+            let var_b = bb - mu_b * mu_b;
+            let cov = ab - mu_a * mu_b;
+            let s = ((2.0 * mu_a * mu_b + c1) * (2.0 * cov + c2))
+                / ((mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2));
+            total += s;
+            count += 1;
+        }
+    }
+    total / count as f64
+}
+
+/// Single-window SSIM over the whole (small) image with uniform weights.
+fn global_ssim(a: ImageView<'_>, b: ImageView<'_>, c1: f64, c2: f64) -> f64 {
+    let n = a.data.len() as f64;
+    let mu_a: f64 = a.data.iter().sum::<f64>() / n;
+    let mu_b: f64 = b.data.iter().sum::<f64>() / n;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    let mut cov = 0.0;
+    for (&pa, &pb) in a.data.iter().zip(b.data) {
+        var_a += (pa - mu_a) * (pa - mu_a);
+        var_b += (pb - mu_b) * (pb - mu_b);
+        cov += (pa - mu_a) * (pb - mu_b);
+    }
+    var_a /= n;
+    var_b /= n;
+    cov /= n;
+    ((2.0 * mu_a * mu_b + c1) * (2.0 * cov + c2))
+        / ((mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2))
+}
+
+/// Mean SSIM averaged over a batch of image pairs.
+///
+/// # Panics
+///
+/// Panics if the batches have different lengths or are empty.
+pub fn mean_ssim(
+    outputs: &[Vec<f64>],
+    references: &[Vec<f64>],
+    width: usize,
+    height: usize,
+) -> f64 {
+    assert_eq!(outputs.len(), references.len(), "batch length mismatch");
+    assert!(!outputs.is_empty(), "empty batch");
+    let mut total = 0.0;
+    for (o, r) in outputs.iter().zip(references) {
+        total += ssim(ImageView::new(o, width, height), ImageView::new(r, width, height));
+    }
+    total / outputs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 37) % 256) as f64).collect()
+    }
+
+    #[test]
+    fn identical_images_score_one() {
+        let img = ramp(32 * 32);
+        let v = ImageView::new(&img, 32, 32);
+        assert!((ssim(v, v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavy_noise_scores_low() {
+        let a = ramp(32 * 32);
+        let b: Vec<f64> = a.iter().map(|&p| 255.0 - p).collect(); // inverted
+        let s = ssim(ImageView::new(&a, 32, 32), ImageView::new(&b, 32, 32));
+        assert!(s < 0.2, "inverted image scored {s}");
+    }
+
+    #[test]
+    fn small_perturbation_scores_between() {
+        let a = ramp(32 * 32);
+        let b: Vec<f64> = a.iter().map(|&p| (p + 6.0).min(255.0)).collect();
+        let s = ssim(ImageView::new(&a, 32, 32), ImageView::new(&b, 32, 32));
+        assert!(s > 0.8 && s < 1.0, "shifted image scored {s}");
+    }
+
+    #[test]
+    fn ssim_is_symmetric() {
+        let a = ramp(32 * 32);
+        let b: Vec<f64> = a.iter().map(|&p| p * 0.9 + 10.0).collect();
+        let va = ImageView::new(&a, 32, 32);
+        let vb = ImageView::new(&b, 32, 32);
+        assert!((ssim(va, vb) - ssim(vb, va)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_distortion_scores_lower() {
+        let a = ramp(32 * 32);
+        let mild: Vec<f64> = a.iter().map(|&p| p + 3.0).collect();
+        let harsh: Vec<f64> = a.iter().enumerate().map(|(i, &p)| p + ((i % 7) * 20) as f64).collect();
+        let va = ImageView::new(&a, 32, 32);
+        let s_mild = ssim(va, ImageView::new(&mild, 32, 32));
+        let s_harsh = ssim(va, ImageView::new(&harsh, 32, 32));
+        assert!(s_mild > s_harsh);
+    }
+
+    #[test]
+    fn tiny_images_use_global_window() {
+        let a = vec![10.0, 20.0, 30.0, 40.0];
+        let b = vec![10.0, 20.0, 30.0, 40.0];
+        let s = ssim(ImageView::new(&a, 2, 2), ImageView::new(&b, 2, 2));
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_ssim_averages() {
+        let a = ramp(32 * 32);
+        let b: Vec<f64> = a.iter().map(|&p| 255.0 - p).collect();
+        let m = mean_ssim(
+            &[a.clone(), a.clone()],
+            &[a.clone(), b.clone()],
+            32,
+            32,
+        );
+        let s_ab = ssim(ImageView::new(&a, 32, 32), ImageView::new(&b, 32, 32));
+        assert!((m - (1.0 + s_ab) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal image dimensions")]
+    fn dimension_mismatch_panics() {
+        let a = vec![0.0; 16];
+        let b = vec![0.0; 32 * 32];
+        ssim(ImageView::new(&a, 4, 4), ImageView::new(&b, 32, 32));
+    }
+
+    #[test]
+    fn kernel_sums_to_one() {
+        let k = gaussian_kernel();
+        let s: f64 = k.iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests of the quality metrics.
+
+use proptest::prelude::*;
+
+use lac_metrics::{mae, mean_relative_error, mse, psnr, psnr_255, ssim, ImageView};
+
+fn image_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..255.0, 32 * 32)
+}
+
+fn signal_strategy(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SSIM is reflexive: ssim(x, x) == 1.
+    #[test]
+    fn ssim_reflexive(img in image_strategy()) {
+        let v = ImageView::new(&img, 32, 32);
+        prop_assert!((ssim(v, v) - 1.0).abs() < 1e-9);
+    }
+
+    /// SSIM is symmetric and bounded in [-1, 1].
+    #[test]
+    fn ssim_symmetric_and_bounded(a in image_strategy(), b in image_strategy()) {
+        let va = ImageView::new(&a, 32, 32);
+        let vb = ImageView::new(&b, 32, 32);
+        let s1 = ssim(va, vb);
+        let s2 = ssim(vb, va);
+        prop_assert!((s1 - s2).abs() < 1e-9);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s1), "ssim {s1}");
+    }
+
+    /// MSE is a metric-like form: zero iff identical, symmetric,
+    /// non-negative.
+    #[test]
+    fn mse_properties(a in signal_strategy(16), b in signal_strategy(16)) {
+        prop_assert_eq!(mse(&a, &a), 0.0);
+        prop_assert!(mse(&a, &b) >= 0.0);
+        prop_assert!((mse(&a, &b) - mse(&b, &a)).abs() < 1e-12);
+    }
+
+    /// PSNR decreases when noise amplitude increases.
+    #[test]
+    fn psnr_monotone_in_noise(base in signal_strategy(32), amp in 0.5f64..10.0) {
+        let n1: Vec<f64> = base.iter().enumerate().map(|(i, &v)| v + amp * ((i % 3) as f64 - 1.0)).collect();
+        let n2: Vec<f64> = base.iter().enumerate().map(|(i, &v)| v + 3.0 * amp * ((i % 3) as f64 - 1.0)).collect();
+        let p1 = psnr(&base, &n1, 255.0);
+        let p2 = psnr(&base, &n2, 255.0);
+        prop_assert!(p1 >= p2, "{p1} < {p2}");
+    }
+
+    /// MAE <= sqrt(MSE) (Jensen) for any pair.
+    #[test]
+    fn mae_vs_rmse(a in signal_strategy(24), b in signal_strategy(24)) {
+        prop_assert!(mae(&a, &b) <= mse(&a, &b).sqrt() + 1e-12);
+    }
+
+    /// Relative error scales linearly with a uniform perturbation factor.
+    #[test]
+    fn relative_error_scaling(reference in proptest::collection::vec(1.0f64..50.0, 8), eps in 0.01f64..0.2) {
+        let approx: Vec<f64> = reference.iter().map(|&v| v * (1.0 + eps)).collect();
+        let e = mean_relative_error(&approx, &reference, 1e-9);
+        prop_assert!((e - eps).abs() < 1e-9, "e={e} eps={eps}");
+    }
+
+    /// psnr_255 of quantization-rounded data is high.
+    #[test]
+    fn rounding_noise_is_mild(img in image_strategy()) {
+        let rounded: Vec<f64> = img.iter().map(|&v| v.round()).collect();
+        prop_assert!(psnr_255(&img, &rounded) > 45.0);
+    }
+}

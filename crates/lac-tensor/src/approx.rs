@@ -1,0 +1,297 @@
+//! Differentiable operations that execute on approximate hardware.
+//!
+//! Forward passes evaluate the true behavioral model of the approximate
+//! multiplier on integer operands; backward passes use the gradients of
+//! the *exact* product — the straight-through convention of
+//! approximate-aware training frameworks (TFApprox, AdaPT) that the LAC
+//! paper follows. Intuitively: the approximate product is treated as
+//! `a·b + ε(a, b)` where `ε` is piecewise constant, so its surrogate
+//! derivative is the exact product's.
+//!
+//! Operand values are expected to be integral (produced by
+//! [`Var::quantize_ste`](crate::graph::Var::quantize_ste) or integral
+//! inputs); they are rounded defensively and clamped into the unit's
+//! operand range by the multiplier model itself.
+
+use std::sync::Arc;
+
+use lac_hw::Multiplier;
+
+use crate::graph::Var;
+use crate::ops::{conv2d_backward, conv2d_forward};
+use crate::tensor::Tensor;
+
+fn approx_product(mult: &dyn Multiplier, a: f64, b: f64) -> f64 {
+    mult.multiply(a.round() as i64, b.round() as i64) as f64
+}
+
+impl Var {
+    /// 2-D matrix product computed on approximate hardware.
+    ///
+    /// Forward: every scalar product `a_ik · b_kj` goes through `mult`;
+    /// accumulation is exact (the paper approximates multipliers only).
+    /// Backward: exact-matmul gradients.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lac_hw::catalog;
+    /// use lac_tensor::{Graph, Tensor};
+    ///
+    /// let g = Graph::new();
+    /// let a = g.var(Tensor::from_vec(vec![3.0, 1.0, 2.0, 4.0], &[2, 2]));
+    /// let b = g.var(Tensor::from_vec(vec![10.0, 0.0, 5.0, 1.0], &[2, 2]));
+    /// let exact = catalog::by_name("exact8u").unwrap();
+    /// let out = a.approx_matmul(&b, &exact);
+    /// assert_eq!(out.value(), a.value().matmul(&b.value()));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is `[m, k]`, `other` is `[k, n]`, and both live
+    /// on the same graph.
+    pub fn approx_matmul(&self, other: &Var, mult: &Arc<dyn Multiplier>) -> Var {
+        assert!(self.same_tape(other), "approx_matmul: operands belong to different graphs");
+        let a = self.value();
+        let b = other.value();
+        let (m, k) = a.dims2("approx_matmul lhs");
+        let (k2, n) = b.dims2("approx_matmul rhs");
+        assert_eq!(k, k2, "approx_matmul inner dimension mismatch: {k} vs {k2}");
+
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += approx_product(&**mult, a.data()[i * k + p], b.data()[p * n + j]);
+                }
+                out.data_mut()[i * n + j] = acc;
+            }
+        }
+
+        let graph = self.graph();
+        let id = graph.push(
+            out,
+            vec![self.id, other.id],
+            Some(Box::new(move |g: &Tensor| {
+                vec![g.matmul(&b.transpose()), a.transpose().matmul(g)]
+            })),
+        );
+        Var { tape: self.tape.clone(), id }
+    }
+
+    /// Same-padded 2-D convolution computed on approximate hardware.
+    ///
+    /// The kernel tap is the multiplier's first operand and the image pixel
+    /// the second, matching the fixed coefficient-port wiring of a filter
+    /// datapath (relevant for units with asymmetric error such as
+    /// row-truncated multipliers).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`Var::conv2d`](crate::graph::Var::conv2d).
+    pub fn approx_conv2d(&self, kernel: &Var, mult: &Arc<dyn Multiplier>) -> Var {
+        assert!(self.same_tape(kernel), "approx_conv2d: operands belong to different graphs");
+        let x = self.value();
+        let k = kernel.value();
+        let m = Arc::clone(mult);
+        let value = conv2d_forward(&x, &k, |tap, pixel| approx_product(&*m, tap, pixel));
+
+        let graph = self.graph();
+        let id = graph.push(
+            value,
+            vec![self.id, kernel.id],
+            Some(Box::new(move |g: &Tensor| {
+                let (dx, dk) = conv2d_backward(&x, &k, g);
+                vec![dx, dk]
+            })),
+        );
+        Var { tape: self.tape.clone(), id }
+    }
+
+    /// Multiply every element of `self` by the scalar coefficient `coeff`
+    /// (a one-element `Var`) on approximate hardware.
+    ///
+    /// This is the building block of the Inversek2j kernel and of
+    /// parallel multi-hardware NAS, where each scalar coefficient of a
+    /// kernel may use a different multiplier. The coefficient is the
+    /// multiplier's first operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeff` does not hold exactly one element or the operands
+    /// belong to different graphs.
+    pub fn approx_scale(&self, coeff: &Var, mult: &Arc<dyn Multiplier>) -> Var {
+        assert!(self.same_tape(coeff), "approx_scale: operands belong to different graphs");
+        let x = self.value();
+        let c = coeff.value();
+        assert_eq!(c.len(), 1, "approx_scale coefficient must be a single element");
+        let cv = c.data()[0];
+        let value = x.map(|v| approx_product(&**mult, cv, v));
+
+        let graph = self.graph();
+        let id = graph.push(
+            value,
+            vec![self.id, coeff.id],
+            Some(Box::new(move |g: &Tensor| {
+                let dx = g.map(|gv| gv * cv);
+                let dc = Tensor::from_vec(
+                    vec![g.data().iter().zip(x.data()).map(|(&gv, &xv)| gv * xv).sum()],
+                    c.shape(),
+                );
+                vec![dx, dc]
+            })),
+        );
+        Var { tape: self.tape.clone(), id }
+    }
+}
+
+impl Var {
+    /// Elementwise product computed on approximate hardware: element `i` of
+    /// the output is `mult(self_i, other_i)`.
+    ///
+    /// `self` is the multiplier's first operand. Used for the dequantize
+    /// stage of the JPEG pipeline, where each DCT coefficient is multiplied
+    /// by its quantization-table entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or cross-graph operands.
+    pub fn approx_mul_elem(&self, other: &Var, mult: &Arc<dyn Multiplier>) -> Var {
+        assert!(self.same_tape(other), "approx_mul_elem: operands belong to different graphs");
+        let a = self.value();
+        let b = other.value();
+        let value = a.zip_map(&b, |x, y| approx_product(&**mult, x, y));
+
+        let graph = self.graph();
+        let id = graph.push(
+            value,
+            vec![self.id, other.id],
+            Some(Box::new(move |g: &Tensor| {
+                vec![g.zip_map(&b, |gv, bv| gv * bv), g.zip_map(&a, |gv, av| gv * av)]
+            })),
+        );
+        Var { tape: self.tape.clone(), id }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use lac_hw::catalog;
+
+    fn exact8u() -> Arc<dyn Multiplier> {
+        catalog::by_name("exact8u").unwrap()
+    }
+
+    fn kulkarni8() -> Arc<dyn Multiplier> {
+        catalog::by_name("kulkarni8u").unwrap()
+    }
+
+    #[test]
+    fn approx_matmul_with_exact_unit_matches_matmul() {
+        let g = Graph::new();
+        let a = g.var(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]));
+        let b = g.var(Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]));
+        let out = a.approx_matmul(&b, &exact8u());
+        assert_eq!(out.value(), a.value().matmul(&b.value()));
+    }
+
+    #[test]
+    fn approx_matmul_applies_hardware_error() {
+        let g = Graph::new();
+        // 3 x 3 = 7 under Kulkarni.
+        let a = g.var(Tensor::from_vec(vec![3.0], &[1, 1]));
+        let b = g.var(Tensor::from_vec(vec![3.0], &[1, 1]));
+        let out = a.approx_matmul(&b, &kulkarni8());
+        assert_eq!(out.value().data(), &[7.0]);
+    }
+
+    #[test]
+    fn approx_matmul_backward_uses_exact_gradients() {
+        let g = Graph::new();
+        let a = g.var(Tensor::from_vec(vec![3.0, 5.0], &[1, 2]));
+        let b = g.var(Tensor::from_vec(vec![3.0, 2.0], &[2, 1]));
+        let loss = a.approx_matmul(&b, &kulkarni8()).sum();
+        let grads = g.backward(&loss);
+        // Surrogate gradients are those of the exact product.
+        assert_eq!(grads.get(&a).data(), &[3.0, 2.0]);
+        assert_eq!(grads.get(&b).data(), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn approx_conv2d_matches_exact_conv_for_exact_unit() {
+        let g = Graph::new();
+        let x = g.var(Tensor::from_vec((0..36).map(|v| (v % 11) as f64).collect(), &[6, 6]));
+        let k = g.var(Tensor::from_vec(vec![1.0, 2.0, 1.0, 2.0, 4.0, 2.0, 1.0, 2.0, 1.0], &[3, 3]));
+        let approx = x.approx_conv2d(&k, &exact8u());
+        let exact = x.conv2d(&k);
+        assert_eq!(approx.value(), exact.value());
+    }
+
+    #[test]
+    fn approx_conv2d_error_appears_with_kulkarni() {
+        let g = Graph::new();
+        let x = g.var(Tensor::full(&[5, 5], 3.0));
+        let mut kc = Tensor::zeros(&[3, 3]);
+        kc.data_mut()[4] = 3.0; // center tap 3: every product is 3x3
+        let k = g.var(kc);
+        let out = x.approx_conv2d(&k, &kulkarni8()).value();
+        assert!(out.data().iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    fn approx_scale_values_and_gradients() {
+        let g = Graph::new();
+        let x = g.var(Tensor::from_vec(vec![3.0, 4.0], &[2]));
+        let c = g.var(Tensor::scalar(3.0));
+        let out = x.approx_scale(&c, &kulkarni8());
+        assert_eq!(out.value().data(), &[7.0, 12.0]); // 3x3 -> 7, 3x4 exact
+        let loss = out.sum();
+        let grads = g.backward(&loss);
+        assert_eq!(grads.get(&c).item(), 7.0); // Σ x
+        assert_eq!(grads.get(&x).data(), &[3.0, 3.0]); // c
+    }
+
+    #[test]
+    fn operands_are_rounded_defensively() {
+        let g = Graph::new();
+        let a = g.var(Tensor::from_vec(vec![2.4], &[1, 1]));
+        let b = g.var(Tensor::from_vec(vec![3.6], &[1, 1]));
+        let out = a.approx_matmul(&b, &exact8u());
+        assert_eq!(out.value().data(), &[8.0]); // 2 * 4
+    }
+
+    #[test]
+    fn approx_mul_elem_values_and_gradients() {
+        let g = Graph::new();
+        let a = g.var(Tensor::from_vec(vec![3.0, 5.0], &[2]));
+        let b = g.var(Tensor::from_vec(vec![3.0, 4.0], &[2]));
+        let out = a.approx_mul_elem(&b, &kulkarni8());
+        assert_eq!(out.value().data(), &[7.0, 20.0]);
+        let grads = g.backward(&out.sum());
+        assert_eq!(grads.get(&a).data(), &[3.0, 4.0]);
+        assert_eq!(grads.get(&b).data(), &[3.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "single element")]
+    fn approx_scale_rejects_vector_coefficient() {
+        let g = Graph::new();
+        let x = g.var(Tensor::ones(&[2]));
+        let c = g.var(Tensor::ones(&[2]));
+        let _ = x.approx_scale(&c, &exact8u());
+    }
+
+    #[test]
+    #[should_panic(expected = "different graphs")]
+    fn approx_matmul_rejects_cross_graph() {
+        let g1 = Graph::new();
+        let g2 = Graph::new();
+        let a = g1.var(Tensor::ones(&[1, 1]));
+        let b = g2.var(Tensor::ones(&[1, 1]));
+        let _ = a.approx_matmul(&b, &exact8u());
+    }
+}

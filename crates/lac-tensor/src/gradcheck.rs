@@ -1,0 +1,105 @@
+//! Numerical gradient checking.
+//!
+//! [`check_gradients`] compares the analytic gradients of a scalar loss
+//! against central finite differences. It is used throughout this crate's
+//! test suite and exported so downstream kernels (e.g. the `lac-apps`
+//! pipelines) can verify their own composite gradients.
+
+use crate::graph::{Graph, Var};
+use crate::tensor::Tensor;
+
+/// Compare analytic and numerical gradients of a scalar-valued function.
+///
+/// `build` receives a fresh [`Graph`] and one [`Var`] per entry of
+/// `leaves` and must return a scalar loss `Var`. Each leaf element is
+/// perturbed by `±eps` for the central difference; the analytic gradient
+/// must match within `tol` absolute-or-relative error.
+///
+/// Not meaningful for losses built from quantizing or approximate ops —
+/// those are deliberately non-differentiable and use straight-through
+/// surrogate gradients.
+///
+/// # Examples
+///
+/// ```
+/// use lac_tensor::{check_gradients, Tensor};
+///
+/// let x = Tensor::from_vec(vec![1.0, -2.0, 0.5], &[3]);
+/// check_gradients(&[x], |_g, vars| vars[0].square().sum(), 1e-5, 1e-6);
+/// ```
+///
+/// # Panics
+///
+/// Panics when any gradient entry disagrees beyond the tolerance, or when
+/// `build` does not return a scalar.
+pub fn check_gradients(
+    leaves: &[Tensor],
+    build: impl Fn(&Graph, &[Var]) -> Var,
+    eps: f64,
+    tol: f64,
+) {
+    // Analytic gradients.
+    let graph = Graph::new();
+    let vars: Vec<Var> = leaves.iter().map(|t| graph.var(t.clone())).collect();
+    let loss = build(&graph, &vars);
+    assert_eq!(loss.value().len(), 1, "check_gradients requires a scalar loss");
+    let grads = graph.backward(&loss);
+    let analytic: Vec<Tensor> = vars.iter().map(|v| grads.get(v)).collect();
+
+    // Numerical gradients by central differences.
+    let eval = |leaves: &[Tensor]| -> f64 {
+        let g = Graph::new();
+        let vars: Vec<Var> = leaves.iter().map(|t| g.var(t.clone())).collect();
+        build(&g, &vars).item()
+    };
+
+    let mut perturbed: Vec<Tensor> = leaves.to_vec();
+    for (li, leaf) in leaves.iter().enumerate() {
+        for ei in 0..leaf.len() {
+            let orig = leaf.data()[ei];
+            perturbed[li].data_mut()[ei] = orig + eps;
+            let plus = eval(&perturbed);
+            perturbed[li].data_mut()[ei] = orig - eps;
+            let minus = eval(&perturbed);
+            perturbed[li].data_mut()[ei] = orig;
+
+            let numeric = (plus - minus) / (2.0 * eps);
+            let got = analytic[li].data()[ei];
+            let scale = 1.0f64.max(numeric.abs());
+            assert!(
+                (got - numeric).abs() <= tol * scale,
+                "gradient mismatch at leaf {li} element {ei}: analytic {got}, numeric {numeric}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_on_correct_gradient() {
+        let x = Tensor::from_vec(vec![0.3, -1.2], &[2]);
+        check_gradients(&[x], |_g, v| v[0].mul(&v[0]).sum(), 1e-5, 1e-6);
+    }
+
+    #[test]
+    fn composite_expression() {
+        let x = Tensor::from_vec(vec![0.5, 1.5, -0.5], &[3]);
+        let y = Tensor::from_vec(vec![2.0, -1.0, 0.25], &[3]);
+        check_gradients(
+            &[x, y],
+            |_g, v| v[0].mul(&v[1]).add_scalar(1.0).square().mean(),
+            1e-5,
+            1e-6,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn rejects_non_scalar_loss() {
+        let x = Tensor::ones(&[2]);
+        check_gradients(&[x], |_g, v| v[0].clone(), 1e-5, 1e-6);
+    }
+}

@@ -1,0 +1,279 @@
+//! The reverse-mode autodiff tape.
+//!
+//! A [`Graph`] records every operation applied to its [`Var`] handles;
+//! [`Graph::backward`] replays the tape in reverse, producing gradients
+//! for every recorded node. Training code keeps parameters as plain
+//! [`Tensor`]s, builds a fresh graph per step, and reads gradients out of
+//! the returned [`Gradients`] map — the same discipline as a define-by-run
+//! framework like the PyTorch setup the LAC paper trains with.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::tensor::Tensor;
+
+/// Backward closure: maps the gradient flowing into a node to the gradient
+/// contributions of each parent, aligned with the node's parent list.
+pub(crate) type BackwardFn = Box<dyn FnOnce(&Tensor) -> Vec<Tensor>>;
+
+pub(crate) struct Node {
+    pub(crate) value: Tensor,
+    pub(crate) parents: Vec<usize>,
+    pub(crate) backward: Option<BackwardFn>,
+}
+
+#[derive(Default)]
+pub(crate) struct Tape {
+    pub(crate) nodes: Vec<Node>,
+}
+
+/// A dynamic computation graph (autodiff tape).
+///
+/// # Examples
+///
+/// ```
+/// use lac_tensor::{Graph, Tensor};
+///
+/// let g = Graph::new();
+/// let x = g.var(Tensor::from_vec(vec![2.0, 3.0], &[2]));
+/// let y = x.mul(&x).sum(); // y = Σ x²
+/// let grads = g.backward(&y);
+/// assert_eq!(grads.get(&x).data(), &[4.0, 6.0]); // dy/dx = 2x
+/// ```
+pub struct Graph {
+    tape: Rc<RefCell<Tape>>,
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph").field("nodes", &self.tape.borrow().nodes.len()).finish()
+    }
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Graph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Graph { tape: Rc::new(RefCell::new(Tape::default())) }
+    }
+
+    /// Record a leaf holding `value` (an input or a parameter snapshot).
+    pub fn var(&self, value: Tensor) -> Var {
+        let id = self.push(value, vec![], None);
+        Var { tape: Rc::clone(&self.tape), id }
+    }
+
+    /// Record a constant: identical to [`Graph::var`] today, kept separate
+    /// so intent is visible at call sites (constants never receive useful
+    /// gradients).
+    pub fn constant(&self, value: Tensor) -> Var {
+        self.var(value)
+    }
+
+    pub(crate) fn push(
+        &self,
+        value: Tensor,
+        parents: Vec<usize>,
+        backward: Option<BackwardFn>,
+    ) -> usize {
+        let mut tape = self.tape.borrow_mut();
+        tape.nodes.push(Node { value, parents, backward });
+        tape.nodes.len() - 1
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.tape.borrow().nodes.len()
+    }
+
+    /// True when no node has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Run the backward pass from `loss`, consuming the tape's closures.
+    ///
+    /// Returns the gradient of `loss` with respect to every recorded node.
+    /// A second call on the same graph yields zero gradients because the
+    /// closures have been consumed — build a fresh graph per step instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` belongs to a different graph.
+    pub fn backward(&self, loss: &Var) -> Gradients {
+        assert!(
+            Rc::ptr_eq(&self.tape, &loss.tape),
+            "backward() called with a Var from a different graph"
+        );
+        let mut tape = self.tape.borrow_mut();
+        let n = tape.nodes.len();
+        let mut grads: Vec<Option<Tensor>> = vec![None; n];
+        grads[loss.id] = Some(Tensor::ones(loss_shape(&tape.nodes[loss.id].value)).clone());
+
+        for id in (0..n).rev() {
+            let Some(grad) = grads[id].clone() else { continue };
+            let Some(backward) = tape.nodes[id].backward.take() else { continue };
+            let parents = tape.nodes[id].parents.clone();
+            let parent_grads = backward(&grad);
+            assert_eq!(
+                parent_grads.len(),
+                parents.len(),
+                "backward fn of node {id} returned {} grads for {} parents",
+                parent_grads.len(),
+                parents.len()
+            );
+            for (pid, pgrad) in parents.into_iter().zip(parent_grads) {
+                match &mut grads[pid] {
+                    Some(existing) => existing.accumulate(&pgrad),
+                    slot @ None => *slot = Some(pgrad),
+                }
+            }
+        }
+        Gradients { grads, tape: Rc::clone(&self.tape) }
+    }
+}
+
+fn loss_shape(value: &Tensor) -> &[usize] {
+    value.shape()
+}
+
+/// A handle to a node in a [`Graph`].
+///
+/// Cloning a `Var` clones the handle, not the value. All tensor operations
+/// live in the ops modules as inherent methods (`add`, `mul`, `matmul`,
+/// `conv2d`, `quantize_ste`, `approx_matmul`, …).
+#[derive(Clone)]
+pub struct Var {
+    pub(crate) tape: Rc<RefCell<Tape>>,
+    pub(crate) id: usize,
+}
+
+impl std::fmt::Debug for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Var").field("id", &self.id).field("value", &self.value()).finish()
+    }
+}
+
+impl Var {
+    /// A snapshot of this node's value.
+    pub fn value(&self) -> Tensor {
+        self.tape.borrow().nodes[self.id].value.clone()
+    }
+
+    /// Shape of this node's value.
+    pub fn shape(&self) -> Vec<usize> {
+        self.tape.borrow().nodes[self.id].value.shape().to_vec()
+    }
+
+    /// The scalar value of a one-element node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node holds more than one element.
+    pub fn item(&self) -> f64 {
+        self.tape.borrow().nodes[self.id].value.item()
+    }
+
+    pub(crate) fn same_tape(&self, other: &Var) -> bool {
+        Rc::ptr_eq(&self.tape, &other.tape)
+    }
+
+    pub(crate) fn graph(&self) -> Graph {
+        Graph { tape: Rc::clone(&self.tape) }
+    }
+}
+
+/// Gradients produced by [`Graph::backward`].
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+    tape: Rc<RefCell<Tape>>,
+}
+
+impl std::fmt::Debug for Gradients {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let present = self.grads.iter().filter(|g| g.is_some()).count();
+        f.debug_struct("Gradients")
+            .field("nodes", &self.grads.len())
+            .field("with_grad", &present)
+            .finish()
+    }
+}
+
+impl Gradients {
+    /// Gradient of the loss with respect to `var`, zero-filled when the
+    /// loss does not depend on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` belongs to a different graph.
+    pub fn get(&self, var: &Var) -> Tensor {
+        assert!(
+            Rc::ptr_eq(&self.tape, &var.tape),
+            "Gradients::get called with a Var from a different graph"
+        );
+        match &self.grads[var.id] {
+            Some(g) => g.clone(),
+            None => Tensor::zeros(self.tape.borrow().nodes[var.id].value.shape()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_round_trip() {
+        let g = Graph::new();
+        let t = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let v = g.var(t.clone());
+        assert_eq!(v.value(), t);
+        assert_eq!(v.shape(), vec![2]);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn grad_of_unrelated_leaf_is_zero() {
+        let g = Graph::new();
+        let a = g.var(Tensor::scalar(1.0));
+        let b = g.var(Tensor::scalar(2.0));
+        let loss = a.mul(&a);
+        let grads = g.backward(&loss);
+        assert_eq!(grads.get(&b).item(), 0.0);
+        assert_eq!(grads.get(&a).item(), 2.0);
+    }
+
+    #[test]
+    fn diamond_graph_accumulates() {
+        // loss = x*x + x*x : dloss/dx = 4x
+        let g = Graph::new();
+        let x = g.var(Tensor::scalar(3.0));
+        let a = x.mul(&x);
+        let b = x.mul(&x);
+        let loss = a.add(&b);
+        let grads = g.backward(&loss);
+        assert_eq!(grads.get(&x).item(), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different graph")]
+    fn backward_rejects_foreign_var() {
+        let g1 = Graph::new();
+        let g2 = Graph::new();
+        let v2 = g2.var(Tensor::scalar(1.0));
+        g1.backward(&v2);
+    }
+
+    #[test]
+    fn var_debug_is_nonempty() {
+        let g = Graph::new();
+        let v = g.var(Tensor::scalar(1.0));
+        assert!(!format!("{v:?}").is_empty());
+        assert!(!format!("{g:?}").is_empty());
+    }
+}

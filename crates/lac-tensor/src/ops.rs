@@ -1,0 +1,560 @@
+//! Exact differentiable operations on [`Var`].
+//!
+//! These are the accurate-datapath building blocks: elementwise
+//! arithmetic, reductions, 2-D matrix product and 2-D convolution with
+//! same-size zero padding. Approximate-hardware counterparts live in
+//! [`crate::approx`].
+
+use crate::graph::{BackwardFn, Var};
+use crate::tensor::Tensor;
+
+impl Var {
+    fn op(&self, parents: Vec<usize>, value: Tensor, backward: BackwardFn) -> Var {
+        let g = self.graph();
+        let id = g.push(value, parents, Some(backward));
+        Var { tape: self.tape.clone(), id }
+    }
+
+    fn binary_guard(&self, other: &Var, what: &str) {
+        assert!(self.same_tape(other), "{what}: operands belong to different graphs");
+    }
+
+    /// Elementwise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or cross-graph operands.
+    pub fn add(&self, other: &Var) -> Var {
+        self.binary_guard(other, "add");
+        let value = self.value().zip_map(&other.value(), |a, b| a + b);
+        self.op(
+            vec![self.id, other.id],
+            value,
+            Box::new(move |g| vec![g.clone(), g.clone()]),
+        )
+    }
+
+    /// Elementwise subtraction `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or cross-graph operands.
+    pub fn sub(&self, other: &Var) -> Var {
+        self.binary_guard(other, "sub");
+        let value = self.value().zip_map(&other.value(), |a, b| a - b);
+        self.op(
+            vec![self.id, other.id],
+            value,
+            Box::new(move |g| vec![g.clone(), g.map(|v| -v)]),
+        )
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or cross-graph operands.
+    pub fn mul(&self, other: &Var) -> Var {
+        self.binary_guard(other, "mul");
+        let a = self.value();
+        let b = other.value();
+        let value = a.zip_map(&b, |x, y| x * y);
+        self.op(
+            vec![self.id, other.id],
+            value,
+            Box::new(move |g| {
+                vec![g.zip_map(&b, |gv, bv| gv * bv), g.zip_map(&a, |gv, av| gv * av)]
+            }),
+        )
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Var {
+        let value = self.value().map(|v| -v);
+        self.op(vec![self.id], value, Box::new(move |g| vec![g.map(|v| -v)]))
+    }
+
+    /// Add a scalar constant to every element.
+    pub fn add_scalar(&self, c: f64) -> Var {
+        let value = self.value().map(|v| v + c);
+        self.op(vec![self.id], value, Box::new(move |g| vec![g.clone()]))
+    }
+
+    /// Multiply every element by a scalar constant (e.g. an exact
+    /// power-of-two bit shift in the datapath).
+    pub fn mul_scalar(&self, c: f64) -> Var {
+        let value = self.value().map(|v| v * c);
+        self.op(vec![self.id], value, Box::new(move |g| vec![g.map(|v| v * c)]))
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Var {
+        let a = self.value();
+        let value = a.map(|v| v * v);
+        self.op(
+            vec![self.id],
+            value,
+            Box::new(move |g| vec![g.zip_map(&a, |gv, av| 2.0 * av * gv)]),
+        )
+    }
+
+    /// Clamp into `[lo, hi]`; gradient passes through inside the range and
+    /// is zero outside (the saturation used to keep outputs in `[0, 255]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn clamp(&self, lo: f64, hi: f64) -> Var {
+        assert!(lo <= hi, "clamp bounds inverted: [{lo}, {hi}]");
+        let a = self.value();
+        let value = a.map(|v| v.clamp(lo, hi));
+        self.op(
+            vec![self.id],
+            value,
+            Box::new(move |g| {
+                vec![g.zip_map(&a, |gv, av| if (lo..=hi).contains(&av) { gv } else { 0.0 })]
+            }),
+        )
+    }
+
+    /// Sum all elements into a scalar.
+    pub fn sum(&self) -> Var {
+        let a = self.value();
+        let shape = a.shape().to_vec();
+        let value = Tensor::scalar(a.sum());
+        self.op(
+            vec![self.id],
+            value,
+            Box::new(move |g| {
+                let gv = g.item();
+                vec![Tensor::full(&shape, gv)]
+            }),
+        )
+    }
+
+    /// Mean of all elements as a scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tensor.
+    pub fn mean(&self) -> Var {
+        let a = self.value();
+        let n = a.len() as f64;
+        let shape = a.shape().to_vec();
+        let value = Tensor::scalar(a.mean());
+        self.op(
+            vec![self.id],
+            value,
+            Box::new(move |g| {
+                let gv = g.item() / n;
+                vec![Tensor::full(&shape, gv)]
+            }),
+        )
+    }
+
+    /// 2-D matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is `[m, k]`, `other` is `[k, n]`, and both live
+    /// on the same graph.
+    pub fn matmul(&self, other: &Var) -> Var {
+        self.binary_guard(other, "matmul");
+        let a = self.value();
+        let b = other.value();
+        let value = a.matmul(&b);
+        self.op(
+            vec![self.id, other.id],
+            value,
+            Box::new(move |g| vec![g.matmul(&b.transpose()), a.transpose().matmul(g)]),
+        )
+    }
+
+    /// 2-D convolution with an odd-sized kernel and same-size zero padding.
+    ///
+    /// `self` is the image `[h, w]`, `kernel` is `[kh, kw]` with odd
+    /// dimensions. Output is `[h, w]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D, if the kernel has even
+    /// dimensions, or on cross-graph operands.
+    pub fn conv2d(&self, kernel: &Var) -> Var {
+        self.binary_guard(kernel, "conv2d");
+        let x = self.value();
+        let k = kernel.value();
+        let value = conv2d_forward(&x, &k, |a, b| a * b);
+        self.op(
+            vec![self.id, kernel.id],
+            value,
+            Box::new(move |g| {
+                let (dx, dk) = conv2d_backward(&x, &k, g);
+                vec![dx, dk]
+            }),
+        )
+    }
+
+    /// Mean-squared-error loss against `target`: `mean((self - target)²)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or cross-graph operands.
+    pub fn mse_loss(&self, target: &Var) -> Var {
+        self.sub(target).square().mean()
+    }
+
+    /// 2-D transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tensor is 2-D.
+    pub fn transpose(&self) -> Var {
+        let value = self.value().transpose();
+        self.op(vec![self.id], value, Box::new(move |g| vec![g.transpose()]))
+    }
+
+    /// Elementwise sine.
+    pub fn sin(&self) -> Var {
+        let a = self.value();
+        let value = a.map(f64::sin);
+        self.op(
+            vec![self.id],
+            value,
+            Box::new(move |g| vec![g.zip_map(&a, |gv, av| gv * av.cos())]),
+        )
+    }
+
+    /// Elementwise cosine.
+    pub fn cos(&self) -> Var {
+        let a = self.value();
+        let value = a.map(f64::cos);
+        self.op(
+            vec![self.id],
+            value,
+            Box::new(move |g| vec![g.zip_map(&a, |gv, av| -gv * av.sin())]),
+        )
+    }
+
+    /// Elementwise arccosine with the argument clamped into `[-1, 1]`.
+    ///
+    /// The derivative `-1/√(1 - x²)` is capped near the endpoints so a
+    /// saturated argument cannot produce an infinite gradient — the usual
+    /// treatment for inverse-kinematics kernels where `cos θ₂` may quantize
+    /// to exactly ±1.
+    pub fn acos_clamped(&self) -> Var {
+        let a = self.value();
+        let value = a.map(|v| v.clamp(-1.0, 1.0).acos());
+        self.op(
+            vec![self.id],
+            value,
+            Box::new(move |g| {
+                vec![g.zip_map(&a, |gv, av| {
+                    let c = av.clamp(-0.999, 0.999);
+                    -gv / (1.0 - c * c).sqrt()
+                })]
+            }),
+        )
+    }
+
+    /// Elementwise four-quadrant arctangent `atan2(self, x)` (self is the
+    /// `y` argument).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or cross-graph operands.
+    pub fn atan2(&self, x: &Var) -> Var {
+        self.binary_guard(x, "atan2");
+        let yv = self.value();
+        let xv = x.value();
+        let value = yv.zip_map(&xv, f64::atan2);
+        self.op(
+            vec![self.id, x.id],
+            value,
+            Box::new(move |g| {
+                let mut dy = Tensor::zeros(yv.shape());
+                let mut dx = Tensor::zeros(xv.shape());
+                for i in 0..yv.len() {
+                    let (y, x) = (yv.data()[i], xv.data()[i]);
+                    let r2 = (x * x + y * y).max(1e-12);
+                    dy.data_mut()[i] = g.data()[i] * x / r2;
+                    dx.data_mut()[i] = -g.data()[i] * y / r2;
+                }
+                vec![dy, dx]
+            }),
+        )
+    }
+}
+
+/// Concatenate the flattened values of several `Var`s into one 1-D `Var`.
+///
+/// Gradients are split back to the inputs. Used to assemble block-wise or
+/// multi-component outputs (JPEG blocks, complex DFT real/imaginary parts,
+/// joint-angle pairs) into a single output vector for a loss.
+///
+/// # Examples
+///
+/// ```
+/// use lac_tensor::{concat, Graph, Tensor};
+///
+/// let g = Graph::new();
+/// let a = g.var(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+/// let b = g.var(Tensor::scalar(3.0));
+/// let c = concat(&[a.clone(), b]);
+/// assert_eq!(c.value().data(), &[1.0, 2.0, 3.0]);
+///
+/// let grads = g.backward(&c.square().sum());
+/// assert_eq!(grads.get(&a).data(), &[2.0, 4.0]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `vars` is empty or the inputs live on different graphs.
+pub fn concat(vars: &[Var]) -> Var {
+    assert!(!vars.is_empty(), "concat of zero vars");
+    for v in &vars[1..] {
+        assert!(vars[0].same_tape(v), "concat: operands belong to different graphs");
+    }
+    let values: Vec<Tensor> = vars.iter().map(Var::value).collect();
+    let lens: Vec<usize> = values.iter().map(Tensor::len).collect();
+    let mut data = Vec::with_capacity(lens.iter().sum());
+    for v in &values {
+        data.extend_from_slice(v.data());
+    }
+    let total = data.len();
+    let shapes: Vec<Vec<usize>> = values.iter().map(|v| v.shape().to_vec()).collect();
+    let out = Tensor::from_vec(data, &[total]);
+    let graph = vars[0].graph();
+    let parents: Vec<usize> = vars.iter().map(|v| v.id).collect();
+    let id = graph.push(
+        out,
+        parents,
+        Some(Box::new(move |g: &Tensor| {
+            let mut grads = Vec::with_capacity(lens.len());
+            let mut offset = 0;
+            for (len, shape) in lens.iter().zip(&shapes) {
+                let chunk = g.data()[offset..offset + len].to_vec();
+                grads.push(Tensor::from_vec(chunk, shape));
+                offset += len;
+            }
+            grads
+        })),
+    );
+    Var { tape: vars[0].tape.clone(), id }
+}
+
+/// Shared forward walk for exact and approximate convolution: `prod`
+/// computes one kernel-tap product.
+pub(crate) fn conv2d_forward(x: &Tensor, k: &Tensor, prod: impl Fn(f64, f64) -> f64) -> Tensor {
+    let (h, w) = x.dims2("conv2d image");
+    let (kh, kw) = k.dims2("conv2d kernel");
+    assert!(kh % 2 == 1 && kw % 2 == 1, "conv2d kernel must have odd dimensions, got {kh}x{kw}");
+    let (ph, pw) = (kh / 2, kw / 2);
+    let mut out = Tensor::zeros(&[h, w]);
+    for y in 0..h {
+        for xx in 0..w {
+            let mut acc = 0.0;
+            for i in 0..kh {
+                for j in 0..kw {
+                    let sy = y as isize + i as isize - ph as isize;
+                    let sx = xx as isize + j as isize - pw as isize;
+                    if sy < 0 || sx < 0 || sy >= h as isize || sx >= w as isize {
+                        continue; // zero padding
+                    }
+                    let pixel = x.data()[sy as usize * w + sx as usize];
+                    acc += prod(k.data()[i * kw + j], pixel);
+                }
+            }
+            out.data_mut()[y * w + xx] = acc;
+        }
+    }
+    out
+}
+
+/// Exact gradients of same-padded 2-D convolution: `(d_image, d_kernel)`.
+pub(crate) fn conv2d_backward(x: &Tensor, k: &Tensor, g: &Tensor) -> (Tensor, Tensor) {
+    let (h, w) = x.dims2("conv2d image");
+    let (kh, kw) = k.dims2("conv2d kernel");
+    let (ph, pw) = (kh / 2, kw / 2);
+    let mut dx = Tensor::zeros(&[h, w]);
+    let mut dk = Tensor::zeros(&[kh, kw]);
+    for y in 0..h {
+        for xx in 0..w {
+            let gv = g.data()[y * w + xx];
+            if gv == 0.0 {
+                continue;
+            }
+            for i in 0..kh {
+                for j in 0..kw {
+                    let sy = y as isize + i as isize - ph as isize;
+                    let sx = xx as isize + j as isize - pw as isize;
+                    if sy < 0 || sx < 0 || sy >= h as isize || sx >= w as isize {
+                        continue;
+                    }
+                    let si = sy as usize * w + sx as usize;
+                    dk.data_mut()[i * kw + j] += gv * x.data()[si];
+                    dx.data_mut()[si] += gv * k.data()[i * kw + j];
+                }
+            }
+        }
+    }
+    (dx, dk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::gradcheck::check_gradients;
+
+    #[test]
+    fn add_sub_mul_values() {
+        let g = Graph::new();
+        let a = g.var(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let b = g.var(Tensor::from_vec(vec![3.0, 5.0], &[2]));
+        assert_eq!(a.add(&b).value().data(), &[4.0, 7.0]);
+        assert_eq!(a.sub(&b).value().data(), &[-2.0, -3.0]);
+        assert_eq!(a.mul(&b).value().data(), &[3.0, 10.0]);
+        assert_eq!(a.neg().value().data(), &[-1.0, -2.0]);
+    }
+
+    #[test]
+    fn scalar_ops_values() {
+        let g = Graph::new();
+        let a = g.var(Tensor::from_vec(vec![1.0, -2.0], &[2]));
+        assert_eq!(a.add_scalar(1.0).value().data(), &[2.0, -1.0]);
+        assert_eq!(a.mul_scalar(-3.0).value().data(), &[-3.0, 6.0]);
+        assert_eq!(a.square().value().data(), &[1.0, 4.0]);
+        assert_eq!(a.clamp(0.0, 255.0).value().data(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn reductions_and_loss() {
+        let g = Graph::new();
+        let a = g.var(Tensor::from_vec(vec![1.0, 3.0], &[2]));
+        let t = g.var(Tensor::from_vec(vec![0.0, 0.0], &[2]));
+        assert_eq!(a.sum().item(), 4.0);
+        assert_eq!(a.mean().item(), 2.0);
+        assert_eq!(a.mse_loss(&t).item(), 5.0);
+    }
+
+    #[test]
+    fn mse_gradient_matches_closed_form() {
+        let g = Graph::new();
+        let a = g.var(Tensor::from_vec(vec![2.0, -1.0], &[2]));
+        let t = g.var(Tensor::from_vec(vec![0.0, 1.0], &[2]));
+        let loss = a.mse_loss(&t);
+        let grads = g.backward(&loss);
+        // d/da mean((a-t)^2) = 2(a-t)/n
+        assert_eq!(grads.get(&a).data(), &[2.0, -2.0]);
+        assert_eq!(grads.get(&t).data(), &[-2.0, 2.0]);
+    }
+
+    #[test]
+    fn matmul_gradients_numerical() {
+        let a = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.3, 1.1, -0.7], &[2, 3]);
+        let b = Tensor::from_vec(vec![1.0, 0.2, -0.4, 0.9, 2.0, -1.5], &[3, 2]);
+        check_gradients(&[a, b], |_g, vars| vars[0].matmul(&vars[1]).sum(), 1e-5, 1e-6);
+    }
+
+    #[test]
+    fn conv2d_gradients_numerical() {
+        let x = Tensor::from_vec((0..25).map(|v| (v % 7) as f64 - 3.0).collect(), &[5, 5]);
+        let k = Tensor::from_vec(vec![1.0, 0.5, -0.5, 2.0, 0.0, -1.0, 0.3, -0.3, 1.5], &[3, 3]);
+        check_gradients(&[x, k], |_g, vars| vars[0].conv2d(&vars[1]).square().sum(), 1e-5, 1e-5);
+    }
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        let g = Graph::new();
+        let x = g.var(Tensor::from_vec((0..16).map(|v| v as f64).collect(), &[4, 4]));
+        let mut id_k = Tensor::zeros(&[3, 3]);
+        id_k.data_mut()[4] = 1.0;
+        let k = g.var(id_k);
+        assert_eq!(x.conv2d(&k).value(), x.value());
+    }
+
+    #[test]
+    fn conv2d_zero_padding_at_borders() {
+        let g = Graph::new();
+        let x = g.var(Tensor::ones(&[3, 3]));
+        let k = g.var(Tensor::ones(&[3, 3]));
+        let out = x.conv2d(&k).value();
+        // Center sees all 9 taps, corner sees 4.
+        assert_eq!(out.data()[4], 9.0);
+        assert_eq!(out.data()[0], 4.0);
+    }
+
+    #[test]
+    fn clamp_blocks_gradient_outside_range() {
+        let g = Graph::new();
+        let x = g.var(Tensor::from_vec(vec![-1.0, 0.5, 2.0], &[3]));
+        let loss = x.clamp(0.0, 1.0).sum();
+        let grads = g.backward(&loss);
+        assert_eq!(grads.get(&x).data(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn transpose_gradients_numerical() {
+        let a = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0, 0.1, -1.1], &[2, 3]);
+        let b = Tensor::from_vec(vec![0.4, 1.2, -0.8, 2.0, 0.6, -0.2], &[2, 3]);
+        check_gradients(
+            &[a, b],
+            |_g, v| v[0].transpose().matmul(&v[1]).square().sum(),
+            1e-5,
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn trig_gradients_numerical() {
+        let x = Tensor::from_vec(vec![0.3, -1.2, 2.5], &[3]);
+        check_gradients(&[x.clone()], |_g, v| v[0].sin().sum(), 1e-6, 1e-6);
+        check_gradients(&[x.clone()], |_g, v| v[0].cos().sum(), 1e-6, 1e-6);
+        let t = Tensor::from_vec(vec![0.2, -0.7, 0.9], &[3]);
+        check_gradients(&[t], |_g, v| v[0].acos_clamped().sum(), 1e-6, 1e-4);
+    }
+
+    #[test]
+    fn atan2_gradients_numerical() {
+        let y = Tensor::from_vec(vec![0.5, -1.0, 2.0], &[3]);
+        let x = Tensor::from_vec(vec![1.0, 0.5, -1.5], &[3]);
+        check_gradients(&[y, x], |_g, v| v[0].atan2(&v[1]).sum(), 1e-6, 1e-6);
+    }
+
+    #[test]
+    fn atan2_quadrants() {
+        let g = Graph::new();
+        let y = g.var(Tensor::from_vec(vec![1.0, -1.0], &[2]));
+        let x = g.var(Tensor::from_vec(vec![-1.0, -1.0], &[2]));
+        let v = y.atan2(&x).value();
+        assert!((v.data()[0] - 3.0 * std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+        assert!((v.data()[1] + 3.0 * std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acos_clamps_out_of_domain() {
+        let g = Graph::new();
+        let x = g.var(Tensor::from_vec(vec![1.5, -1.5], &[2]));
+        let v = x.acos_clamped().value();
+        assert_eq!(v.data(), &[0.0, std::f64::consts::PI]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different graphs")]
+    fn cross_graph_binary_op_panics() {
+        let g1 = Graph::new();
+        let g2 = Graph::new();
+        let a = g1.var(Tensor::scalar(1.0));
+        let b = g2.var(Tensor::scalar(2.0));
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd dimensions")]
+    fn conv2d_rejects_even_kernel() {
+        let g = Graph::new();
+        let x = g.var(Tensor::ones(&[4, 4]));
+        let k = g.var(Tensor::ones(&[2, 2]));
+        let _ = x.conv2d(&k);
+    }
+}

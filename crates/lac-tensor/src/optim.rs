@@ -1,0 +1,213 @@
+//! First-order optimizers over plain [`Tensor`] parameters.
+//!
+//! The LAC paper migrated from a Matlab surrogate solver to the Adam
+//! optimizer (Section III-D); [`Adam`] is the workhorse here, with
+//! [`Sgd`] kept for ablations.
+
+use crate::tensor::Tensor;
+
+/// The Adam optimizer (Kingma & Ba), with the bias-corrected update.
+///
+/// State is indexed by parameter position, so every [`Adam::step`] call
+/// must pass the same parameters in the same order.
+///
+/// # Examples
+///
+/// ```
+/// use lac_tensor::{Adam, Tensor};
+///
+/// // Minimize (w - 3)²: the gradient is 2(w - 3).
+/// let mut w = Tensor::scalar(0.0);
+/// let mut opt = Adam::new(0.1);
+/// for _ in 0..500 {
+///     let grad = Tensor::scalar(2.0 * (w.item() - 3.0));
+///     opt.step(&mut [&mut w], &[grad]);
+/// }
+/// assert!((w.item() - 3.0).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Create an Adam optimizer with the standard β₁ = 0.9, β₂ = 0.999,
+    /// ε = 1e-8.
+    pub fn new(lr: f64) -> Self {
+        Self::with_params(lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Create an Adam optimizer with explicit hyperparameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive `lr`/`eps` or betas outside `[0, 1)`.
+    pub fn with_params(lr: f64, beta1: f64, beta2: f64, eps: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas must be in [0,1)");
+        assert!(eps > 0.0, "eps must be positive");
+        Adam { lr, beta1, beta2, eps, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    /// Change the learning rate (e.g. for decay schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive rate.
+    pub fn set_learning_rate(&mut self, lr: f64) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Apply one update step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grads` differ in length or any pair differs
+    /// in shape, or if the parameter list changes shape between calls.
+    pub fn step(&mut self, params: &mut [&mut Tensor], grads: &[Tensor]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| Tensor::zeros(p.shape())).collect();
+            self.v = params.iter().map(|p| Tensor::zeros(p.shape())).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter count changed between steps");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((param, grad), (m, v)) in
+            params.iter_mut().zip(grads).zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            assert_eq!(param.shape(), grad.shape(), "param/grad shape mismatch");
+            for i in 0..grad.len() {
+                let g = grad.data()[i];
+                let mi = self.beta1 * m.data()[i] + (1.0 - self.beta1) * g;
+                let vi = self.beta2 * v.data()[i] + (1.0 - self.beta2) * g * g;
+                m.data_mut()[i] = mi;
+                v.data_mut()[i] = vi;
+                let m_hat = mi / bc1;
+                let v_hat = vi / bc2;
+                param.data_mut()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Plain stochastic gradient descent, for ablation against [`Adam`].
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f64,
+}
+
+impl Sgd {
+    /// Create an SGD optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive learning rate.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Sgd { lr }
+    }
+
+    /// Apply one update step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grads` differ in length or shape.
+    pub fn step(&mut self, params: &mut [&mut Tensor], grads: &[Tensor]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        for (param, grad) in params.iter_mut().zip(grads) {
+            assert_eq!(param.shape(), grad.shape(), "param/grad shape mismatch");
+            for i in 0..grad.len() {
+                param.data_mut()[i] -= self.lr * grad.data()[i];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Quadratic bowl: f(w) = Σ (w - target)², grad = 2(w - target).
+    fn quad_grad(w: &Tensor, target: &Tensor) -> Tensor {
+        w.zip_map(target, |wi, ti| 2.0 * (wi - ti))
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let target = Tensor::from_vec(vec![1.0, -2.0, 0.5], &[3]);
+        let mut w = Tensor::zeros(&[3]);
+        let mut opt = Adam::new(0.05);
+        for _ in 0..1000 {
+            let g = quad_grad(&w, &target);
+            opt.step(&mut [&mut w], &[g]);
+        }
+        for (wi, ti) in w.data().iter().zip(target.data()) {
+            assert!((wi - ti).abs() < 1e-3, "{wi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let target = Tensor::from_vec(vec![4.0], &[1]);
+        let mut w = Tensor::zeros(&[1]);
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..200 {
+            let g = quad_grad(&w, &target);
+            opt.step(&mut [&mut w], &[g]);
+        }
+        assert!((w.data()[0] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_handles_multiple_parameter_groups() {
+        let mut a = Tensor::zeros(&[2]);
+        let mut b = Tensor::zeros(&[1]);
+        let ta = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let tb = Tensor::from_vec(vec![-3.0], &[1]);
+        let mut opt = Adam::new(0.05);
+        for _ in 0..1500 {
+            let ga = quad_grad(&a, &ta);
+            let gb = quad_grad(&b, &tb);
+            opt.step(&mut [&mut a, &mut b], &[ga, gb]);
+        }
+        assert!((a.data()[0] - 1.0).abs() < 1e-2);
+        assert!((b.data()[0] + 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn first_adam_step_moves_by_lr() {
+        // With bias correction, the first step size is exactly lr
+        // regardless of gradient magnitude.
+        let mut w = Tensor::scalar(0.0);
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut [&mut w], &[Tensor::scalar(1234.5)]);
+        assert!((w.item() + 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn step_validates_lengths() {
+        let mut w = Tensor::scalar(0.0);
+        Adam::new(0.1).step(&mut [&mut w], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_zero_lr() {
+        let _ = Adam::new(0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Straight-through-estimator (STE) quantization.
+//!
+//! The LAC paper (Section III-D) keeps a high-precision floating-point
+//! master copy of every coefficient and quantizes to integers on the fly,
+//! passing gradients straight through the rounding — the estimator of
+//! Bengio (2013) used for training quantized neural networks. The
+//! [`Var::quantize_ste`] op implements exactly that, with the *clipped*
+//! variant: gradients are zeroed where the master value has saturated the
+//! integer range, so Adam cannot push coefficients ever further out of
+//! range.
+
+use crate::graph::Var;
+use crate::tensor::Tensor;
+
+impl Var {
+    /// Round to the nearest integer and clamp into `[lo, hi]`; gradients
+    /// pass straight through except where the input saturated the range.
+    ///
+    /// `lo`/`hi` are the operand bounds of the target hardware (e.g.
+    /// `(0, 255)` for an 8-bit unsigned multiplier port).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lac_tensor::{Graph, Tensor};
+    ///
+    /// let g = Graph::new();
+    /// let w = g.var(Tensor::from_vec(vec![1.4, -0.6, 300.0], &[3]));
+    /// let q = w.quantize_ste(0.0, 255.0);
+    /// assert_eq!(q.value().data(), &[1.0, 0.0, 255.0]);
+    ///
+    /// let loss = q.sum();
+    /// let grads = g.backward(&loss);
+    /// // Gradient flows through the in-range lane and is clipped on the
+    /// // two saturated lanes (-0.6 < 0 and 300 > 255).
+    /// assert_eq!(grads.get(&w).data(), &[1.0, 0.0, 0.0]);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn quantize_ste(&self, lo: f64, hi: f64) -> Var {
+        assert!(lo <= hi, "quantize_ste bounds inverted: [{lo}, {hi}]");
+        let a = self.value();
+        let value = a.map(|v| v.round().clamp(lo, hi));
+        let graph = self.graph();
+        let id = graph.push(
+            value,
+            vec![self.id],
+            Some(Box::new(move |g: &Tensor| {
+                vec![g.zip_map(&a, |gv, av| {
+                    // Clipped STE: block the gradient once the master value
+                    // has left the representable range.
+                    if av < lo || av > hi {
+                        0.0
+                    } else {
+                        gv
+                    }
+                })]
+            })),
+        );
+        Var { tape: self.tape.clone(), id }
+    }
+
+    /// Round to the nearest integer with a plain straight-through gradient
+    /// (no range clipping). Used for intermediate datapath values that are
+    /// re-quantized between stages.
+    pub fn round_ste(&self) -> Var {
+        let value = self.value().map(f64::round);
+        let graph = self.graph();
+        let id = graph.push(
+            value,
+            vec![self.id],
+            Some(Box::new(move |g: &Tensor| vec![g.clone()])),
+        );
+        Var { tape: self.tape.clone(), id }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    #[test]
+    fn forward_rounds_and_clamps() {
+        let g = Graph::new();
+        let w = g.var(Tensor::from_vec(vec![1.5, 2.49, -3.7, 400.0, -400.0], &[5]));
+        let q = w.quantize_ste(-255.0, 255.0);
+        assert_eq!(q.value().data(), &[2.0, 2.0, -4.0, 255.0, -255.0]);
+    }
+
+    #[test]
+    fn gradient_passes_through_in_range() {
+        let g = Graph::new();
+        let w = g.var(Tensor::from_vec(vec![10.3, -5.8], &[2]));
+        let loss = w.quantize_ste(-255.0, 255.0).square().sum();
+        let grads = g.backward(&loss);
+        // d/dq (q²) = 2q evaluated at the quantized values, passed through.
+        assert_eq!(grads.get(&w).data(), &[20.0, -12.0]);
+    }
+
+    #[test]
+    fn gradient_clipped_at_saturation() {
+        let g = Graph::new();
+        let w = g.var(Tensor::from_vec(vec![300.0, -300.0, 100.0], &[3]));
+        let loss = w.quantize_ste(-255.0, 255.0).sum();
+        let grads = g.backward(&loss);
+        assert_eq!(grads.get(&w).data(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn round_ste_keeps_gradient() {
+        let g = Graph::new();
+        let w = g.var(Tensor::from_vec(vec![1.4], &[1]));
+        let loss = w.round_ste().mul_scalar(3.0).sum();
+        let grads = g.backward(&loss);
+        assert_eq!(grads.get(&w).data(), &[3.0]);
+        assert_eq!(w.round_ste().value().data(), &[1.0]);
+    }
+
+    #[test]
+    fn half_way_rounds_away_from_zero() {
+        // Documents Rust's f64::round tie-breaking, which the datapath
+        // inherits.
+        let g = Graph::new();
+        let w = g.var(Tensor::from_vec(vec![0.5, -0.5], &[2]));
+        assert_eq!(w.quantize_ste(-10.0, 10.0).value().data(), &[1.0, -1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds inverted")]
+    fn rejects_inverted_bounds() {
+        let g = Graph::new();
+        let w = g.var(Tensor::scalar(0.0));
+        let _ = w.quantize_ste(1.0, -1.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Dense row-major `f64` tensors.
+//!
+//! [`Tensor`] is the plain value type flowing through the autograd graph:
+//! a shape plus a row-major buffer. It deliberately supports only what the
+//! LAC training stack needs — elementwise arithmetic, 2-D matrix products
+//! and shape bookkeeping — with validation on every operation.
+
+use std::fmt;
+
+/// A dense row-major tensor of `f64` values.
+///
+/// # Examples
+///
+/// ```
+/// use lac_tensor::Tensor;
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// let b = Tensor::eye(2);
+/// assert_eq!(a.matmul(&b).data(), a.data());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// Create a tensor from a flat buffer and shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length does not match the shape volume.
+    pub fn from_vec(data: Vec<f64>, shape: &[usize]) -> Self {
+        let volume: usize = shape.iter().product();
+        assert_eq!(data.len(), volume, "data length {} != shape volume {volume}", data.len());
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// A tensor of zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+    }
+
+    /// A tensor of ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Tensor { shape: shape.to_vec(), data: vec![1.0; shape.iter().product()] }
+    }
+
+    /// A tensor filled with a constant.
+    pub fn full(shape: &[usize], value: f64) -> Self {
+        Tensor { shape: shape.to_vec(), data: vec![value; shape.iter().product()] }
+    }
+
+    /// A rank-0 scalar tensor.
+    pub fn scalar(value: f64) -> Self {
+        Tensor { shape: vec![], data: vec![value] }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True for rank-0 tensors with a single element... never: a rank-0
+    /// tensor still holds one value, so this is only true for shapes with a
+    /// zero dimension.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat row-major data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume into the flat buffer.
+    pub fn into_data(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// The single value of a scalar (rank-0 or one-element) tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f64 {
+        assert_eq!(self.data.len(), 1, "item() on tensor with {} elements", self.data.len());
+        self.data[0]
+    }
+
+    /// Elementwise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// Elementwise combination of two same-shaped tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// In-place elementwise accumulation `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn accumulate(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "accumulate shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tensor.
+    pub fn mean(&self) -> f64 {
+        assert!(!self.data.is_empty(), "mean of empty tensor");
+        self.sum() / self.data.len() as f64
+    }
+
+    /// 2-D matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is `[m, k]` and `other` is `[k, n]`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, k) = self.dims2("matmul lhs");
+        let (k2, n) = other.dims2("matmul rhs");
+        assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out.data[i * n + j] += a * other.data[p * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    /// 2-D transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tensor is 2-D.
+    pub fn transpose(&self) -> Tensor {
+        let (m, n) = self.dims2("transpose");
+        let mut out = Tensor::zeros(&[n, m]);
+        for i in 0..m {
+            for j in 0..n {
+                out.data[j * m + i] = self.data[i * n + j];
+            }
+        }
+        out
+    }
+
+    /// Interpret as 2-D, returning `(rows, cols)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with `context` in the message) unless the tensor is 2-D.
+    pub fn dims2(&self, context: &str) -> (usize, usize) {
+        assert_eq!(self.shape.len(), 2, "{context}: expected 2-D tensor, got {:?}", self.shape);
+        (self.shape[0], self.shape[1])
+    }
+
+    /// Maximum absolute element (0 for empty tensors).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?} ", self.shape)?;
+        if self.data.len() <= 16 {
+            write!(f, "{:?}", self.data)
+        } else {
+            write!(f, "[{:.4}, {:.4}, … ; {} values]", self.data[0], self.data[1], self.data.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_shape() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.len(), 6);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape volume")]
+    fn construction_validates_volume() {
+        Tensor::from_vec(vec![1.0], &[2, 3]);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(4.5).item(), 4.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "item()")]
+    fn item_rejects_vectors() {
+        Tensor::ones(&[3]).item();
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Tensor::from_vec(vec![1.0, 0.0, 2.0, -1.0, 3.0, 1.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![3.0, 1.0, 2.0, 1.0, 1.0, 0.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[5.0, 1.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec((0..12).map(|v| v as f64).collect(), &[3, 4]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().shape(), &[4, 3]);
+    }
+
+    #[test]
+    fn map_and_zip_map() {
+        let a = Tensor::from_vec(vec![1.0, -2.0], &[2]);
+        assert_eq!(a.map(f64::abs).data(), &[1.0, 2.0]);
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+        assert_eq!(a.zip_map(&b, |x, y| x * y).data(), &[3.0, -8.0]);
+    }
+
+    #[test]
+    fn accumulate_adds_in_place() {
+        let mut a = Tensor::zeros(&[2]);
+        a.accumulate(&Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        a.accumulate(&Tensor::from_vec(vec![0.5, 0.5], &[2]));
+        assert_eq!(a.data(), &[1.5, 2.5]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 6.0], &[4]);
+        assert_eq!(a.sum(), 12.0);
+        assert_eq!(a.mean(), 3.0);
+        assert_eq!(a.max_abs(), 6.0);
+    }
+
+    #[test]
+    fn eye_is_identity_under_matmul() {
+        let a = Tensor::from_vec((1..=9).map(|v| v as f64).collect(), &[3, 3]);
+        assert_eq!(a.matmul(&Tensor::eye(3)), a);
+        assert_eq!(Tensor::eye(3).matmul(&a), a);
+    }
+
+    #[test]
+    fn display_never_empty() {
+        assert!(!format!("{}", Tensor::zeros(&[2, 2])).is_empty());
+        assert!(!format!("{}", Tensor::zeros(&[100])).is_empty());
+    }
+}

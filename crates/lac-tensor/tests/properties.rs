@@ -1,0 +1,135 @@
+//! Property-based tests of the autodiff engine: algebraic identities and
+//! randomized gradient checks.
+
+use proptest::prelude::*;
+
+use lac_tensor::{check_gradients, concat, Graph, Tensor};
+
+fn tensor_strategy(len: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f64..10.0, len)
+        .prop_map(move |v| Tensor::from_vec(v, &[len]))
+}
+
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-5.0f64..5.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(v, &[rows, cols]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (a + b) - b == a up to floating error.
+    #[test]
+    fn add_sub_round_trip(a in tensor_strategy(6), b in tensor_strategy(6)) {
+        let g = Graph::new();
+        let va = g.var(a.clone());
+        let vb = g.var(b);
+        let back = va.add(&vb).sub(&vb).value();
+        for (x, y) in back.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    /// Matmul distributes over addition: (A + B) C == A C + B C.
+    #[test]
+    fn matmul_distributes(
+        a in matrix_strategy(3, 4),
+        b in matrix_strategy(3, 4),
+        c in matrix_strategy(4, 2),
+    ) {
+        let g = Graph::new();
+        let (va, vb, vc) = (g.var(a), g.var(b), g.var(c));
+        let lhs = va.add(&vb).matmul(&vc).value();
+        let rhs = va.matmul(&vc).add(&vb.matmul(&vc)).value();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// Transpose is an involution and reverses matmul order:
+    /// (A B)ᵀ == Bᵀ Aᵀ.
+    #[test]
+    fn transpose_reverses_matmul(a in matrix_strategy(3, 4), b in matrix_strategy(4, 2)) {
+        let g = Graph::new();
+        let (va, vb) = (g.var(a), g.var(b));
+        let lhs = va.matmul(&vb).transpose().value();
+        let rhs = vb.transpose().matmul(&va.transpose()).value();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// Randomized gradient check of a composite expression.
+    #[test]
+    fn composite_gradients_match_finite_differences(
+        x in tensor_strategy(5),
+        y in tensor_strategy(5),
+    ) {
+        check_gradients(
+            &[x, y],
+            |_g, v| {
+                v[0].mul(&v[1])
+                    .add_scalar(0.5)
+                    .square()
+                    .sub(&v[1])
+                    .mean()
+            },
+            1e-5,
+            1e-4,
+        );
+    }
+
+    /// Gradient check through conv2d on random images and kernels.
+    #[test]
+    fn conv_gradients_match_finite_differences(
+        img in proptest::collection::vec(-3.0f64..3.0, 36),
+        ker in proptest::collection::vec(-2.0f64..2.0, 9),
+    ) {
+        let x = Tensor::from_vec(img, &[6, 6]);
+        let k = Tensor::from_vec(ker, &[3, 3]);
+        check_gradients(&[x, k], |_g, v| v[0].conv2d(&v[1]).square().mean(), 1e-5, 1e-4);
+    }
+
+    /// concat splits gradients back exactly.
+    #[test]
+    fn concat_gradient_split(a in tensor_strategy(3), b in tensor_strategy(4)) {
+        let g = Graph::new();
+        let va = g.var(a);
+        let vb = g.var(b);
+        let out = concat(&[va.clone(), vb.clone()]);
+        let grads = g.backward(&out.square().sum());
+        let ga = grads.get(&va);
+        let gb = grads.get(&vb);
+        // d/dx Σ x² = 2x on each segment.
+        for (gv, xv) in ga.data().iter().zip(va.value().data()) {
+            prop_assert!((gv - 2.0 * xv).abs() < 1e-12);
+        }
+        for (gv, xv) in gb.data().iter().zip(vb.value().data()) {
+            prop_assert!((gv - 2.0 * xv).abs() < 1e-12);
+        }
+    }
+
+    /// quantize_ste output is always integral and inside the bounds.
+    #[test]
+    fn quantize_is_integral_and_bounded(x in tensor_strategy(8)) {
+        let g = Graph::new();
+        let v = g.var(x.map(|t| t * 100.0));
+        let q = v.quantize_ste(-255.0, 255.0).value();
+        for &val in q.data() {
+            prop_assert_eq!(val, val.round());
+            prop_assert!((-255.0..=255.0).contains(&val));
+        }
+    }
+
+    /// A backward pass never changes recorded values (read-only replay).
+    #[test]
+    fn backward_preserves_values(x in tensor_strategy(4)) {
+        let g = Graph::new();
+        let v = g.var(x.clone());
+        let out = v.square().sum();
+        let before = out.item();
+        let _ = g.backward(&out);
+        prop_assert_eq!(out.item(), before);
+        prop_assert_eq!(v.value(), x);
+    }
+}

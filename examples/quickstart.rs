@@ -1,0 +1,46 @@
+//! Quickstart: fixed-hardware LAC on one application/multiplier pair.
+//!
+//! Trains the Gaussian-blur coefficients for the ETM 8-bit multiplier and
+//! prints the before/after SSIM — the smallest end-to-end LAC loop.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lac::apps::{FilterApp, FilterKind, Kernel, StageMode};
+use lac::core::{train_fixed, TrainConfig};
+use lac::data::ImageDataset;
+use lac::hw::catalog;
+
+fn main() {
+    // 1. Pick an application kernel and an approximate multiplier.
+    let app = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
+    let mult = app.adapt(&catalog::by_name("ETM8-k4").expect("catalog unit"));
+    println!(
+        "application: {}   multiplier: {} (area {:.2}, power {:.2})",
+        app.name(),
+        mult.name(),
+        mult.metadata().area,
+        mult.metadata().power
+    );
+
+    // 2. Generate the paper's dataset split (synthetic stand-in for
+    //    CIFAR-10: 100 train / 20 test images).
+    let data = ImageDataset::paper_split(42);
+
+    // 3. Train the application coefficients against the multiplier's
+    //    error profile (Adam + straight-through quantization).
+    let config = TrainConfig::new().epochs(120).learning_rate(2.0).seed(1);
+    let result = train_fixed(&app, &mult, &data.train, &data.test, &config);
+
+    // 4. Report.
+    println!("SSIM before LAC: {:.4}", result.before);
+    println!("SSIM after  LAC: {:.4}", result.after);
+    println!("improvement:     {:+.4}", result.improvement());
+    println!("trained taps:");
+    for row in 0..3 {
+        let taps: Vec<String> = (0..3)
+            .map(|col| format!("{:>4}", result.coeffs[row * 3 + col].item().round()))
+            .collect();
+        println!("  [{}]", taps.join(" "));
+    }
+    println!("training time: {:.1}s", result.seconds);
+}

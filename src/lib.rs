@@ -1,0 +1,54 @@
+//! **LAC: Learned Approximate Computing** — a from-scratch Rust
+//! reproduction of the DATE 2022 paper *"LAC: Learned Approximate
+//! Computing"* (extended as *"Learned Approximate Computing: Algorithm
+//! Hardware Co-optimization"*, Glukhov, Li, Gupta & Gupta, UCLA).
+//!
+//! Instead of tuning approximate hardware for an application, LAC trains
+//! the *application coefficients* against the hardware's input-dependent
+//! error profile — and, when the hardware is free, co-searches the
+//! multiplier choice with a binarized-gate NAS while training.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`hw`] — behavioral approximate multipliers (ETM, DRUM, Kulkarni,
+//!   EvoApprox-style stand-ins), adders, error statistics, the Table I/III
+//!   catalog;
+//! * [`tensor`] — a reverse-mode autodiff engine with
+//!   straight-through-estimator quantization, approximate-hardware ops,
+//!   and Adam;
+//! * [`metrics`] — SSIM, PSNR, relative error;
+//! * [`data`] — seeded synthetic CIFAR-like images and inverse-kinematics
+//!   samples;
+//! * [`apps`] — the paper's application kernels (3×3 filters, JPEG/DCT,
+//!   DFT, Inversek2j);
+//! * [`core`] — the LAC trainers: fixed-hardware training, single-gate
+//!   NAS, multi-hardware NAS, constraints, and baselines.
+//!
+//! # Quick start
+//!
+//! ```
+//! use lac::apps::{FilterApp, FilterKind, Kernel, StageMode};
+//! use lac::core::{train_fixed, TrainConfig};
+//! use lac::data::ImageDataset;
+//! use lac::hw::catalog;
+//!
+//! // Train Gaussian blur for the ETM multiplier on a tiny dataset.
+//! let app = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
+//! let mult = app.adapt(&catalog::by_name("ETM8-k4").expect("catalog unit"));
+//! let data = ImageDataset::generate(8, 4, 32, 32, 42);
+//! let result = train_fixed(
+//!     &app,
+//!     &mult,
+//!     &data.train,
+//!     &data.test,
+//!     &TrainConfig::new().epochs(20).learning_rate(2.0),
+//! );
+//! assert!(result.after >= result.before);
+//! ```
+
+pub use lac_apps as apps;
+pub use lac_core as core;
+pub use lac_data as data;
+pub use lac_hw as hw;
+pub use lac_metrics as metrics;
+pub use lac_tensor as tensor;

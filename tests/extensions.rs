@@ -1,0 +1,62 @@
+//! Integration tests of the extension features: netlist-backed hardware,
+//! approximate accumulation, error maps, and multi-start training.
+
+use std::sync::Arc;
+
+use lac::apps::{FilterApp, FilterKind, Kernel, StageMode};
+use lac::core::{train_fixed, TrainConfig};
+use lac::data::ImageDataset;
+use lac::hw::netlist::{array_multiplier, truncated_array_multiplier, NetlistMultiplier};
+use lac::hw::{catalog, ErrorMap, LutMultiplier, Multiplier};
+
+#[test]
+fn netlist_multiplier_trains_like_a_catalog_unit() {
+    // A structurally defined truncated multiplier drops into the LAC
+    // training flow exactly like the behavioral catalog units.
+    let app = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
+    let structural: Arc<dyn Multiplier> =
+        Arc::new(NetlistMultiplier::new("net-cut6", truncated_array_multiplier(8, 6)));
+    let mult = app.adapt(&LutMultiplier::maybe_wrap(structural));
+    let data = ImageDataset::generate(6, 3, 32, 32, 17);
+    let cfg = TrainConfig::new().epochs(40).learning_rate(2.0).threads(4).seed(1);
+    let result = train_fixed(&app, &mult, &data.train, &data.test, &cfg);
+    assert!(result.after >= result.before);
+    assert!(result.after > 0.9, "trained structural unit SSIM {}", result.after);
+}
+
+#[test]
+fn structural_metadata_is_consistent_with_catalog_scale() {
+    // The derived (gate-count) area of the cut-6 8-bit array should be in
+    // the same ballpark as the behavioral FTA stand-in's quoted area.
+    let cut6 = NetlistMultiplier::new("net-cut6", truncated_array_multiplier(8, 6));
+    let area = cut6.metadata().area;
+    assert!(
+        (0.02..0.25).contains(&area),
+        "structural cut-6 area {area} outside the plausible band"
+    );
+    // And the exact 8-bit array must be costlier than any cut version.
+    let exact8 = NetlistMultiplier::new("net8", array_multiplier(8));
+    assert!(exact8.metadata().area > area);
+}
+
+#[test]
+fn error_maps_rank_quiet_area_like_training_results() {
+    // Units with larger quiet fractions should need less rescue from LAC
+    // (their untrained blur quality is higher).
+    let quiet = |name: &str| {
+        ErrorMap::compute(&*catalog::by_name(name).unwrap(), 16).quiet_fraction(0.01)
+    };
+    // 185Q is mostly quiet; JV3 is mostly loud.
+    assert!(quiet("mul8u_185Q") > 0.9);
+    assert!(quiet("mul8u_JV3") < 0.1);
+}
+
+#[test]
+fn extras_catalog_resolves_and_multiplies() {
+    for name in catalog::EXTRA_NAMES {
+        let m = catalog::by_name(name).unwrap_or_else(|| panic!("{name} missing"));
+        let (lo, hi) = m.operand_range();
+        let p = m.multiply(hi / 2, hi / 3);
+        assert!(p >= 0 || lo < 0, "{name} produced {p}");
+    }
+}
