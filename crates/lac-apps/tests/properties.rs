@@ -1,7 +1,7 @@
 //! Property-based tests of the application kernels: the dual-branch
 //! invariants every kernel must uphold regardless of input.
 
-use proptest::prelude::*;
+use lac_rt::proptest::prelude::*;
 use std::sync::Arc;
 
 use lac_apps::{

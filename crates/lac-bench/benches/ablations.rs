@@ -1,13 +1,17 @@
 //! Micro-benchmarks of the datapath building blocks: exact vs approximate
 //! convolution, straight-through quantization, and gate operations.
+//!
+//! Writes `BENCH_ablations.json`; see `lac_rt::bench` for the protocol
+//! and `LAC_BENCH_FAST` / `LAC_BENCH_SAMPLES` knobs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use lac_hw::{catalog, LutMultiplier};
+use lac_rt::bench::Harness;
 use lac_tensor::{Graph, Tensor};
 use std::hint::black_box;
 
-fn bench_blocks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("datapath");
+fn main() {
+    let mut h = Harness::new("ablations");
+    let mut group = h.group("datapath");
     let img = Tensor::from_vec((0..1024).map(|i| (i % 251) as f64).collect(), &[32, 32]);
     let kernel = Tensor::from_vec(vec![1.0, 2.0, 1.0, 2.0, 4.0, 2.0, 1.0, 2.0, 1.0], &[3, 3]);
     let mult = LutMultiplier::maybe_wrap(catalog::by_name("ETM8-k4").unwrap());
@@ -48,7 +52,5 @@ fn bench_blocks(c: &mut Criterion) {
         })
     });
     group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_blocks);
-criterion_main!(benches);

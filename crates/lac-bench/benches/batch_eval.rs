@@ -1,15 +1,19 @@
-//! Scaling of batch evaluation with worker threads (crossbeam scoped
+//! Scaling of batch evaluation with worker threads (`lac_rt::par` scoped
 //! threads standing in for the paper's multi-core simulation).
+//!
+//! Writes `BENCH_batch_eval.json`; see `lac_rt::bench` for the protocol
+//! and `LAC_BENCH_FAST` / `LAC_BENCH_SAMPLES` knobs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use lac_apps::{FilterApp, FilterKind, Kernel, StageMode};
 use lac_core::batch_outputs;
 use lac_data::ImageDataset;
 use lac_hw::{catalog, LutMultiplier};
+use lac_rt::bench::Harness;
 use std::hint::black_box;
 
-fn bench_threads(c: &mut Criterion) {
-    let mut group = c.benchmark_group("batch_eval");
+fn main() {
+    let mut h = Harness::new("batch_eval");
+    let mut group = h.group("batch_eval");
     let data = ImageDataset::generate(32, 2, 32, 32, 1);
     let app = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
     let m = app.adapt(&LutMultiplier::maybe_wrap(catalog::by_name("DRUM16-4").unwrap()));
@@ -23,7 +27,5 @@ fn bench_threads(c: &mut Criterion) {
         });
     }
     group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_threads);
-criterion_main!(benches);

@@ -1,9 +1,12 @@
 //! Multiplier evaluation throughput: direct behavioral models vs
 //! LUT-accelerated wrappers (the "parallel versions of the approximate
 //! multipliers" engineering of Section III-D).
+//!
+//! Writes `BENCH_mul_throughput.json`; see `lac_rt::bench` for the
+//! protocol and `LAC_BENCH_FAST` / `LAC_BENCH_SAMPLES` knobs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use lac_hw::{catalog, LutMultiplier, Multiplier};
+use lac_rt::bench::Harness;
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -20,8 +23,9 @@ fn operands(n: usize, hi: i64) -> Vec<(i64, i64)> {
         .collect()
 }
 
-fn bench_units(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mul_throughput");
+fn main() {
+    let mut h = Harness::new("mul_throughput");
+    let mut group = h.group("mul_throughput");
     for name in ["ETM8-k4", "mul8u_JV3", "kulkarni8u"] {
         let raw = catalog::by_name(name).unwrap();
         let (_, hi) = raw.operand_range();
@@ -35,7 +39,7 @@ fn bench_units(c: &mut Criterion) {
                 acc
             })
         });
-        let lut: Arc<dyn Multiplier> = Arc::new(LutMultiplier::new(raw));
+        let lut: Arc<dyn Multiplier> = Arc::new(LutMultiplier::new(raw.clone()));
         group.bench_function(format!("{name}/lut"), |b| {
             b.iter(|| {
                 let mut acc = 0i64;
@@ -62,7 +66,5 @@ fn bench_units(c: &mut Criterion) {
         });
     }
     group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_units);
-criterion_main!(benches);

@@ -1,15 +1,19 @@
 //! Cost of one fixed-hardware LAC training step (forward + backward +
 //! Adam) per application kernel.
+//!
+//! Writes `BENCH_training_step.json`; see `lac_rt::bench` for the
+//! protocol and `LAC_BENCH_FAST` / `LAC_BENCH_SAMPLES` knobs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use lac_apps::{FilterApp, FilterKind, InverseK2jApp, JpegApp, JpegMode, Kernel, StageMode};
 use lac_core::{batch_grads, batch_references};
 use lac_data::{IkDataset, ImageDataset};
 use lac_hw::{catalog, LutMultiplier};
+use lac_rt::bench::Harness;
 use std::hint::black_box;
 
-fn bench_steps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("training_step");
+fn main() {
+    let mut h = Harness::new("training_step");
+    let mut group = h.group("training_step");
     let images = ImageDataset::generate(8, 2, 32, 32, 1);
 
     let blur = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
@@ -46,7 +50,5 @@ fn bench_steps(c: &mut Criterion) {
         })
     });
     group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_steps);
-criterion_main!(benches);

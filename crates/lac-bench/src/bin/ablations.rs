@@ -21,8 +21,7 @@ use lac_core::{
 };
 use lac_hw::Multiplier;
 use lac_tensor::{Sgd, Tensor};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use lac_rt::rng::{RngExt, SeedableRng, StdRng};
 
 fn main() {
     let (sizing, lr) = AppId::Blur.sizing();

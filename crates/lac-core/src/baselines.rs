@@ -8,8 +8,7 @@ use std::time::Instant;
 use lac_apps::Kernel;
 use lac_hw::Multiplier;
 use lac_metrics::MetricDirection;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lac_rt::rng::{SeedableRng, StdRng};
 
 use crate::config::TrainConfig;
 use crate::constraints::{accuracy_hinge, hinge_area};
@@ -243,7 +242,7 @@ fn argbest(scores: impl Iterator<Item = f64>, direction: MetricDirection) -> usi
 }
 
 fn shuffle(items: &mut [usize], rng: &mut StdRng) {
-    use rand::RngExt;
+    use lac_rt::rng::RngExt;
     for i in (1..items.len()).rev() {
         let j = rng.random_range(0..=i);
         items.swap(i, j);

@@ -5,6 +5,17 @@
 //! samples — the Rust equivalent of the paper's "parallel versions of the
 //! approximate multipliers to spread the work across multiple CPU cores"
 //! (Section III-D).
+//!
+//! # Determinism
+//!
+//! Samples are partitioned into fixed-size chunks of [`EVAL_CHUNK`]
+//! samples — the partition never depends on the worker count. Per-chunk
+//! partial results come back from [`lac_rt::par::chunk_map`] in chunk
+//! order, and the cross-chunk reductions below run sequentially in that
+//! order, so losses, gradients, and therefore whole training
+//! trajectories are bit-identical whether evaluation runs on one thread
+//! or sixteen (floating-point addition is not associative; a partition
+//! that moved with the thread count would reorder the sums).
 
 use std::sync::Arc;
 
@@ -12,15 +23,16 @@ use lac_apps::Kernel;
 use lac_hw::Multiplier;
 use lac_tensor::{Graph, Tensor, Var};
 
+/// Samples per evaluation chunk.
+///
+/// Small enough to load-balance across workers on the paper's batch
+/// sizes, large enough to amortize task dispatch. Fixed by design: see
+/// the module docs on determinism.
+pub const EVAL_CHUNK: usize = 4;
+
 /// Precomputed accurate-branch outputs for a sample set.
 pub fn batch_references<K: Kernel + Sync>(kernel: &K, samples: &[K::Sample]) -> Vec<Vec<f64>> {
     samples.iter().map(|s| kernel.reference(s).into_data()).collect()
-}
-
-fn chunked<T>(items: &[T], workers: usize) -> Vec<&[T]> {
-    let workers = workers.max(1).min(items.len().max(1));
-    let per = items.len().div_ceil(workers);
-    items.chunks(per.max(1)).collect()
 }
 
 /// Approximate-branch outputs for every sample, in order.
@@ -31,37 +43,17 @@ pub fn batch_outputs<K: Kernel + Sync>(
     samples: &[K::Sample],
     threads: usize,
 ) -> Vec<Vec<f64>> {
-    if samples.is_empty() {
-        return Vec::new();
-    }
-    let chunks = chunked(samples, threads);
-    let mut results: Vec<Vec<Vec<f64>>> = Vec::with_capacity(chunks.len());
-    crossbeam::scope(|scope| {
-        let handles: Vec<_> = chunks
+    let per_chunk = lac_rt::par::chunk_map(samples, EVAL_CHUNK, threads, |chunk| {
+        chunk
             .iter()
-            .map(|chunk| {
-                scope.spawn(move |_| {
-                    chunk
-                        .iter()
-                        .map(|sample| {
-                            let graph = Graph::new();
-                            let vars: Vec<Var> =
-                                coeffs.iter().map(|c| graph.var(c.clone())).collect();
-                            kernel
-                                .forward_approx(&graph, sample, &vars, mults)
-                                .value()
-                                .into_data()
-                        })
-                        .collect::<Vec<_>>()
-                })
+            .map(|sample| {
+                let graph = Graph::new();
+                let vars: Vec<Var> = coeffs.iter().map(|c| graph.var(c.clone())).collect();
+                kernel.forward_approx(&graph, sample, &vars, mults).value().into_data()
             })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("evaluation worker panicked"));
-        }
-    })
-    .expect("evaluation scope panicked");
-    results.into_iter().flatten().collect()
+            .collect::<Vec<_>>()
+    });
+    per_chunk.into_iter().flatten().collect()
 }
 
 /// Test-set quality of a configuration under the kernel's metric.
@@ -98,44 +90,32 @@ pub fn batch_grads<K: Kernel + Sync>(
     assert!(!samples.is_empty(), "empty training batch");
 
     let pairs: Vec<(&K::Sample, &Vec<f64>)> = samples.iter().zip(references.iter()).collect();
-    let chunks = chunked(&pairs, threads);
-    let mut partials: Vec<(Vec<Tensor>, f64)> = Vec::with_capacity(chunks.len());
-    crossbeam::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| {
-                scope.spawn(move |_| {
-                    let mut grads: Vec<Tensor> =
-                        coeffs.iter().map(|c| Tensor::zeros(c.shape())).collect();
-                    let mut loss_sum = 0.0;
-                    for (sample, reference) in chunk.iter() {
-                        let graph = Graph::new();
-                        let vars: Vec<Var> =
-                            coeffs.iter().map(|c| graph.var(c.clone())).collect();
-                        let out = kernel.forward_approx(&graph, sample, &vars, mults);
-                        let len = reference.len();
-                        let target =
-                            graph.constant(Tensor::from_vec((*reference).clone(), &[len]));
-                        // Outputs may carry structured shapes; flatten by
-                        // comparing in a 1-D view of identical order.
-                        let out_flat = flatten(&out);
-                        let loss = out_flat.mse_loss(&target);
-                        loss_sum += loss.item();
-                        let g = graph.backward(&loss);
-                        for (acc, var) in grads.iter_mut().zip(&vars) {
-                            acc.accumulate(&g.get(var));
-                        }
-                    }
-                    (grads, loss_sum)
-                })
-            })
-            .collect();
-        for h in handles {
-            partials.push(h.join().expect("gradient worker panicked"));
-        }
-    })
-    .expect("gradient scope panicked");
+    let partials: Vec<(Vec<Tensor>, f64)> =
+        lac_rt::par::chunk_map(&pairs, EVAL_CHUNK, threads, |chunk| {
+            let mut grads: Vec<Tensor> =
+                coeffs.iter().map(|c| Tensor::zeros(c.shape())).collect();
+            let mut loss_sum = 0.0;
+            for (sample, reference) in chunk.iter() {
+                let graph = Graph::new();
+                let vars: Vec<Var> = coeffs.iter().map(|c| graph.var(c.clone())).collect();
+                let out = kernel.forward_approx(&graph, sample, &vars, mults);
+                let len = reference.len();
+                let target = graph.constant(Tensor::from_vec((*reference).clone(), &[len]));
+                // Outputs may carry structured shapes; flatten by
+                // comparing in a 1-D view of identical order.
+                let out_flat = flatten(&out);
+                let loss = out_flat.mse_loss(&target);
+                loss_sum += loss.item();
+                let g = graph.backward(&loss);
+                for (acc, var) in grads.iter_mut().zip(&vars) {
+                    acc.accumulate(&g.get(var));
+                }
+            }
+            (grads, loss_sum)
+        });
 
+    // Sequential reduction in chunk order: deterministic for any
+    // worker count.
     let mut grads: Vec<Tensor> = coeffs.iter().map(|c| Tensor::zeros(c.shape())).collect();
     let mut loss = 0.0;
     for (pg, pl) in partials {
@@ -189,15 +169,19 @@ mod tests {
     }
 
     #[test]
-    fn grads_match_serial_and_parallel() {
+    fn grads_are_bit_identical_across_worker_counts() {
         let (app, mults, coeffs, samples) = setup();
         let refs = batch_references(&app, &samples);
         let (gs, ls) = batch_grads(&app, &coeffs, &mults, &samples, &refs, 1);
-        let (gp, lp) = batch_grads(&app, &coeffs, &mults, &samples, &refs, 4);
-        assert!((ls - lp).abs() < 1e-9);
-        for (a, b) in gs.iter().zip(&gp) {
-            for (x, y) in a.data().iter().zip(b.data()) {
-                assert!((x - y).abs() < 1e-9);
+        for threads in [2, 4, 8] {
+            let (gp, lp) = batch_grads(&app, &coeffs, &mults, &samples, &refs, threads);
+            // Fixed-size chunking makes the reduction order independent
+            // of the worker count, so equality is exact, not approximate.
+            assert_eq!(ls.to_bits(), lp.to_bits(), "loss differs at {threads} threads");
+            for (a, b) in gs.iter().zip(&gp) {
+                for (x, y) in a.data().iter().zip(b.data()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "grad differs at {threads} threads");
+                }
             }
         }
     }

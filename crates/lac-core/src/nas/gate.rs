@@ -14,8 +14,7 @@
 //!   sampled and the weights follow a score-function (REINFORCE) update
 //!   with a running-mean baseline.
 
-use rand::rngs::StdRng;
-use rand::RngExt;
+use lac_rt::rng::{RngExt, StdRng};
 
 /// A binarized architecture gate over `k` hardware candidates.
 #[derive(Debug, Clone)]
@@ -166,7 +165,7 @@ fn sample_index(p: &[f64], rng: &mut StdRng) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use lac_rt::rng::SeedableRng;
 
     #[test]
     fn uniform_initialization() {

@@ -21,8 +21,7 @@ use std::time::Instant;
 use lac_apps::{Kernel, Metric};
 use lac_hw::Multiplier;
 use lac_tensor::{Adam, Tensor};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lac_rt::rng::{SeedableRng, StdRng};
 
 use crate::config::TrainConfig;
 use crate::constraints::{accuracy_hinge, hinge_area};
@@ -148,7 +147,7 @@ pub fn search_multi<K: Kernel + Sync>(
     // after a warmup so early quality estimates are not pure noise.
     let warmup = config.epochs / 4;
     for step in 0..config.epochs {
-        use rand::RngExt;
+        use lac_rt::rng::RngExt;
         let idx = config.step_indices(step, train.len());
         let batch: Vec<K::Sample> = idx.iter().map(|&i| train[i].clone()).collect();
         let refs: Vec<Vec<f64>> = idx.iter().map(|&i| train_refs[i].clone()).collect();

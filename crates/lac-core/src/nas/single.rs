@@ -14,8 +14,7 @@ use std::time::Instant;
 use lac_apps::Kernel;
 use lac_hw::Multiplier;
 use lac_tensor::{Adam, Tensor};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lac_rt::rng::{SeedableRng, StdRng};
 
 use crate::config::TrainConfig;
 use crate::constraints::accuracy_hinge;

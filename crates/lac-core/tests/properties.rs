@@ -1,0 +1,87 @@
+//! Property-based tests of the trainers' stochastic machinery: gate
+//! sampling, batch evaluation determinism, and minibatch rotation.
+
+use lac_rt::proptest::prelude::*;
+use lac_rt::rng::{SeedableRng, StdRng};
+
+use lac_core::{BinaryGate, TrainConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Gate probabilities are a distribution for any weight history.
+    #[test]
+    fn gate_probabilities_form_a_distribution(
+        k in 1usize..8,
+        losses in proptest::collection::vec(-10.0f64..10.0, 12),
+    ) {
+        let mut gate = BinaryGate::new(k, 0.4);
+        for (step, &loss) in losses.iter().enumerate() {
+            gate.update_single_path(step % k, loss);
+        }
+        let p = gate.probabilities();
+        prop_assert_eq!(p.len(), k);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// Gate sampling is a pure function of the seed: two generators with
+    /// the same seed walk identical sample sequences.
+    #[test]
+    fn gate_sampling_is_seed_deterministic(seed in any::<u64>(), k in 2usize..7) {
+        let gate = BinaryGate::new(k, 0.2);
+        let mut a = StdRng::seed_from_u64(seed);
+        let mut b = StdRng::seed_from_u64(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(gate.sample_two(&mut a), gate.sample_two(&mut b));
+        }
+    }
+
+    /// Samples drawn from a gate always index a real candidate.
+    #[test]
+    fn gate_samples_are_in_range(seed in any::<u64>(), k in 1usize..9) {
+        let gate = BinaryGate::new(k, 0.2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            prop_assert!(gate.sample_one(&mut rng) < k);
+        }
+    }
+
+    /// The two-path update conserves total weight (it shifts mass
+    /// between the two sampled paths only).
+    #[test]
+    fn two_path_update_conserves_weight(
+        li in -5.0f64..5.0,
+        lj in -5.0f64..5.0,
+    ) {
+        let mut gate = BinaryGate::new(4, 0.5);
+        let before: f64 = gate.weights().iter().sum();
+        gate.update_two_path(0, 2, li, lj);
+        let after: f64 = gate.weights().iter().sum();
+        prop_assert!((before - after).abs() < 1e-12, "weight leaked: {before} -> {after}");
+    }
+
+    /// Minibatch rotation visits every sample index within one epoch's
+    /// worth of steps.
+    #[test]
+    fn minibatch_rotation_covers_all_samples(n in 1usize..40, m in 1usize..40) {
+        let cfg = TrainConfig::new().minibatch(m);
+        let steps = n.div_ceil(m.min(n)) + 1;
+        let mut seen = vec![false; n];
+        for step in 0..steps {
+            for i in cfg.step_indices(step, n) {
+                prop_assert!(i < n, "index {i} out of range");
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "unvisited samples: {seen:?}");
+    }
+
+    /// step_indices always returns the configured batch size (or the
+    /// full set when the minibatch is larger).
+    #[test]
+    fn minibatch_size_is_respected(n in 1usize..50, m in 1usize..50, step in 0usize..100) {
+        let cfg = TrainConfig::new().minibatch(m);
+        prop_assert_eq!(cfg.step_indices(step, n).len(), m.min(n));
+    }
+}

@@ -8,8 +8,7 @@
 //! reproducing the smooth-region-plus-edge structure that image filters,
 //! DCT and DFT quality actually depend on.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use lac_rt::rng::{RngExt, SeedableRng, StdRng};
 
 /// A grayscale image with `u8`-range samples stored as `f64`.
 ///

@@ -6,8 +6,7 @@
 //! the corresponding `(x, y)` via forward kinematics — reproduced here with
 //! a fixed seed (1000 train / 200 test samples, Section III-C).
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use lac_rt::rng::{RngExt, SeedableRng, StdRng};
 
 /// Link lengths of the 2-joint arm, matching AxBench's defaults.
 pub const LINK1: f64 = 0.5;

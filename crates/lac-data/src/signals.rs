@@ -5,8 +5,7 @@
 //! white noise, mapped into the 8-bit sample range — an audio-like
 //! workload with the spectral structure FIR filtering quality depends on.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use lac_rt::rng::{RngExt, SeedableRng, StdRng};
 
 /// Generate one synthetic signal of `len` integral samples in `[0, 255]`.
 ///

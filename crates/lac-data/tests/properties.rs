@@ -1,6 +1,6 @@
 //! Property-based tests of the synthetic dataset generators.
 
-use proptest::prelude::*;
+use lac_rt::proptest::prelude::*;
 
 use lac_data::{
     forward_kinematics, inverse_kinematics, synth_image, synth_signal, IkDataset, LINK1, LINK2,

@@ -5,8 +5,7 @@
 //! publishes for each unit ("the well-defined error metrics provided a
 //! clear baseline", Section III-A).
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use lac_rt::rng::{RngExt, SeedableRng, StdRng};
 
 use crate::mult::Multiplier;
 

@@ -1,6 +1,6 @@
 //! Property-based tests of the hardware behavioral models.
 
-use proptest::prelude::*;
+use lac_rt::proptest::prelude::*;
 
 use lac_hw::{
     catalog, operand_range, signed_capable, DrumMultiplier, EtmMultiplier, ExactMultiplier,

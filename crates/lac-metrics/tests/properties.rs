@@ -1,6 +1,6 @@
 //! Property-based tests of the quality metrics.
 
-use proptest::prelude::*;
+use lac_rt::proptest::prelude::*;
 
 use lac_metrics::{mae, mean_relative_error, mse, psnr, psnr_255, ssim, ImageView};
 

@@ -1,0 +1,206 @@
+//! Scoped parallelism with explicit worker counts and deterministic
+//! result order.
+//!
+//! Built on [`std::thread::scope`], so borrowed data can cross into
+//! workers without `'static` bounds — the same property the crossbeam
+//! crate's scoped threads provided, minus the dependency.
+//!
+//! The design rule that makes training runs reproducible: **work
+//! partitioning is never derived from the worker count**. [`chunk_map`]
+//! takes an explicit chunk size; workers pull chunk indices from a shared
+//! atomic cursor, and results are returned in chunk order regardless of
+//! which worker produced them. A caller that reduces over the returned
+//! vector therefore performs exactly the same floating-point additions,
+//! in exactly the same order, whether `workers` is 1 or 16.
+//!
+//! ```
+//! use lac_rt::par;
+//!
+//! let xs: Vec<u64> = (0..100).collect();
+//! let sums1 = par::chunk_map(&xs, 8, 1, |c| c.iter().sum::<u64>());
+//! let sums4 = par::chunk_map(&xs, 8, 4, |c| c.iter().sum::<u64>());
+//! assert_eq!(sums1, sums4); // identical partition, identical results
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The worker count to use when the caller asks for "auto" (0).
+///
+/// Respects the `LAC_THREADS` environment variable when set to a positive
+/// integer, otherwise [`std::thread::available_parallelism`].
+pub fn available_workers() -> usize {
+    if let Ok(v) = std::env::var("LAC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Resolve a requested worker count: 0 means auto, anything else is
+/// taken literally (and clamped to at least 1).
+pub fn resolve_workers(requested: usize) -> usize {
+    if requested == 0 {
+        available_workers()
+    } else {
+        requested
+    }
+}
+
+/// Apply `f` to fixed-size chunks of `items` on `workers` threads,
+/// returning results in chunk order.
+///
+/// The partition depends only on `chunk_size` (the final chunk may be
+/// shorter), never on `workers`, so the result vector — and any
+/// order-dependent reduction over it — is bit-identical for every worker
+/// count. `workers == 0` selects [`available_workers`].
+///
+/// # Panics
+///
+/// Panics if `chunk_size` is 0, or propagates a panic from `f`.
+pub fn chunk_map<T, R, F>(items: &[T], chunk_size: usize, workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+    run_indexed(chunks.len(), workers, |i| f(chunks[i]))
+}
+
+/// Apply `f` to every item on `workers` threads, returning results in
+/// item order. Item-granular [`chunk_map`].
+pub fn par_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    run_indexed(items.len(), workers, |i| f(&items[i]))
+}
+
+/// Run `n` indexed tasks on a pool of scoped workers and collect the
+/// results in index order.
+///
+/// Workers claim indices from an atomic cursor (dynamic load balancing —
+/// LAC's per-sample autodiff graphs vary in cost), stash `(index,
+/// result)` pairs locally, and merge under a mutex only once at the end,
+/// so there is no per-task synchronization on the result path.
+pub fn run_indexed<R, F>(n: usize, workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = resolve_workers(workers).min(n);
+    if workers == 1 {
+        return (0..n).map(&f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    collected.lock().expect("worker poisoned result lock").extend(local);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("parallel worker panicked");
+        }
+    });
+
+    let mut pairs = collected.into_inner().expect("result lock poisoned");
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(pairs.len(), n);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_order() {
+        let xs: Vec<usize> = (0..97).collect();
+        let out = par_map(&xs, 4, |&x| x * 2);
+        assert_eq!(out, (0..97).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunk_partition_is_worker_invariant() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin()).collect();
+        let reduce = |workers| {
+            chunk_map(&xs, 7, workers, |c| c.iter().sum::<f64>())
+                .into_iter()
+                .fold(0.0f64, |a, b| a + b)
+        };
+        let r1 = reduce(1);
+        for w in [2, 3, 4, 8] {
+            assert_eq!(r1.to_bits(), reduce(w).to_bits(), "workers={w}");
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_partition_exactly() {
+        let xs: Vec<u8> = vec![0; 23];
+        let lens = chunk_map(&xs, 5, 3, |c| c.len());
+        assert_eq!(lens, vec![5, 5, 5, 5, 3]);
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let xs: Vec<u32> = Vec::new();
+        assert!(par_map(&xs, 4, |&x| x).is_empty());
+        assert!(chunk_map(&xs, 4, 4, |c| c.len()).is_empty());
+    }
+
+    #[test]
+    fn zero_workers_means_auto() {
+        let xs: Vec<usize> = (0..10).collect();
+        let out = par_map(&xs, 0, |&x| x + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn borrowed_state_crosses_into_workers() {
+        let base = vec![10usize, 20, 30];
+        let xs: Vec<usize> = (0..3).collect();
+        let out = par_map(&xs, 2, |&i| base[i]);
+        assert_eq!(out, base);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel worker panicked")]
+    fn worker_panics_propagate() {
+        let xs: Vec<usize> = (0..8).collect();
+        let _ = par_map(&xs, 2, |&x| {
+            if x == 5 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be positive")]
+    fn zero_chunk_size_panics() {
+        let _ = chunk_map(&[1, 2, 3], 0, 1, |c| c.len());
+    }
+}

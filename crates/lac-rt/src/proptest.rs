@@ -1,0 +1,694 @@
+//! A minimal property-based testing harness.
+//!
+//! Covers the slice of the `proptest` crate this workspace uses:
+//! strategies for integer/float ranges, fixed-length vectors, tuples and
+//! mapped values; a configurable case count; greedy shrinking of failing
+//! inputs; and failure-seed reporting so a failing case can be replayed
+//! exactly.
+//!
+//! # Usage
+//!
+//! ```
+//! use lac_rt::proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(64))]
+//!
+//!     // In a test file this would also carry `#[test]`.
+//!     fn add_commutes(a in -100i64..100, b in -100i64..100) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! add_commutes();
+//! ```
+//!
+//! # Determinism and reproduction
+//!
+//! Case seeds derive from a fixed base through SplitMix64, so a test
+//! binary explores the same inputs on every run — failures are never
+//! flaky. On failure the harness reports the case seed; export
+//! `LAC_PROPTEST_SEED=<seed>` to rerun only that case.
+//! `LAC_PROPTEST_CASES=<n>` overrides every suite's case count.
+//!
+//! # Shrinking
+//!
+//! When a case fails, the harness greedily walks shrink candidates
+//! (values moved toward zero, elementwise for vectors, componentwise for
+//! tuples), keeping any candidate that still fails, until a fixed point
+//! or the shrink budget is reached. Both the original and the shrunk
+//! input are reported.
+
+use std::fmt::Debug;
+use std::panic::AssertUnwindSafe;
+
+use crate::rng::{splitmix64, RngExt, SeedableRng, StdRng};
+
+/// Base seed from which per-case seeds are derived (via SplitMix64).
+const BASE_SEED: u64 = 0x1ac_5eed_2022;
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Maximum number of candidate evaluations during shrinking.
+    pub max_shrink_iters: u32,
+}
+
+/// Alias matching the upstream name used in test files.
+pub type ProptestConfig = Config;
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64, max_shrink_iters: 512 }
+    }
+}
+
+impl Config {
+    /// A configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases, ..Config::default() }
+    }
+}
+
+/// A property failure: either a `prop_assert!` message or a caught panic.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Build a failure from a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+
+    /// The failure message.
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Outcome of a single property evaluation.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A generator of random values with optional shrinking.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Clone + Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Candidate simplifications of `value`, most aggressive first.
+    ///
+    /// The default (no candidates) disables shrinking, which is the
+    /// correct behaviour for strategies whose output cannot be inverted
+    /// (e.g. [`Strategy::prop_map`]).
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
+    /// Transform generated values with `f`.
+    ///
+    /// Mapped strategies do not shrink (there is no inverse to map a
+    /// shrunk output back through).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        T: Clone + Debug,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Debug, F> Debug for Map<S, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Map").field("inner", &self.inner).finish()
+    }
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    T: Clone + Debug,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Range strategies.
+
+/// Shrink an integer toward the in-range value closest to zero.
+fn shrink_int_toward(v: i128, lo: i128, hi: i128) -> Vec<i128> {
+    let target = 0i128.clamp(lo, hi);
+    if v == target {
+        return Vec::new();
+    }
+    let mid = target + (v - target) / 2;
+    let step = v - (v - target).signum();
+    let mut out = vec![target];
+    if mid != target && mid != v {
+        out.push(mid);
+    }
+    if step != target && step != v && step != mid {
+        out.push(step);
+    }
+    out
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int_toward(*value as i128, self.start as i128, self.end as i128 - 1)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int_toward(*value as i128, *self.start() as i128, *self.end() as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Shrink a float toward the in-range value closest to zero.
+fn shrink_float_toward(v: f64, lo: f64, hi: f64) -> Vec<f64> {
+    let target = 0f64.clamp(lo, hi);
+    if v == target {
+        return Vec::new();
+    }
+    let mid = target + (v - target) / 2.0;
+    let mut out = vec![target];
+    if mid != target && mid != v {
+        out.push(mid);
+    }
+    out
+}
+
+macro_rules! impl_float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // The half-open upper bound cannot be produced by
+                // generation, so shrinking stays inside [start, value].
+                shrink_float_toward(*value as f64, self.start as f64, *value as f64)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_float_toward(*value as f64, *self.start() as f64, *self.end() as f64)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
+        }
+    )*};
+}
+
+impl_float_strategy!(f32, f64);
+
+// ---------------------------------------------------------------------
+// any::<T>()
+
+/// Types with a canonical full-range strategy, used by [`any`].
+pub trait Arbitrary: Sized + Clone + Debug {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy covering the whole domain.
+    fn arbitrary() -> Self::Strategy;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = std::ops::RangeInclusive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                <$t>::MIN..=<$t>::MAX
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+/// A strategy for uniform `bool`s.
+#[derive(Debug, Clone, Copy)]
+pub struct BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.random_bool()
+    }
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = BoolStrategy;
+    fn arbitrary() -> Self::Strategy {
+        BoolStrategy
+    }
+}
+
+/// The canonical full-domain strategy for `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+// ---------------------------------------------------------------------
+// Collections.
+
+/// Strategies over collections.
+pub mod collection {
+    use super::*;
+
+    /// A fixed-length vector whose elements come from `element`.
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    /// `len` independent draws from `element`, as a `Vec`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (0..self.len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            // Length is part of the property's contract, so shrink
+            // elementwise only: every candidate simplifies exactly one
+            // element by one of its strategy's steps.
+            let mut out = Vec::new();
+            for (i, elem) in value.iter().enumerate() {
+                for simpler in self.element.shrink(elem) {
+                    let mut v = value.clone();
+                    v[i] = simpler;
+                    out.push(v);
+                }
+            }
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuples.
+
+macro_rules! impl_tuple_strategy {
+    ($(($($S:ident / $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = cand;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+// ---------------------------------------------------------------------
+// Runner.
+
+fn env_u64(name: &str) -> Option<u64> {
+    let v = std::env::var(name).ok()?;
+    let v = v.trim();
+    if let Some(hex) = v.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
+fn eval_case<V, F>(f: &F, value: &V) -> TestCaseResult
+where
+    F: Fn(&V) -> TestCaseResult,
+{
+    match std::panic::catch_unwind(AssertUnwindSafe(|| f(value))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic payload>");
+            Err(TestCaseError::fail(format!("panic: {msg}")))
+        }
+    }
+}
+
+/// Run a property to completion, panicking with a reproduction report on
+/// the first failing (and then shrunk) case.
+///
+/// This is the entry point the [`proptest!`](crate::proptest!) macro
+/// expands to; `name` is the property function's name.
+pub fn run_named<S, F>(name: &str, config: &Config, strategy: S, f: F)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> TestCaseResult,
+{
+    let cases = env_u64("LAC_PROPTEST_CASES").map(|n| n as u32).unwrap_or(config.cases);
+    let replay_seed = env_u64("LAC_PROPTEST_SEED");
+
+    let mut sm = BASE_SEED;
+    let total = if replay_seed.is_some() { 1 } else { cases };
+    for case in 0..total {
+        let case_seed = replay_seed.unwrap_or_else(|| splitmix64(&mut sm));
+        let mut rng = StdRng::seed_from_u64(case_seed);
+        let value = strategy.generate(&mut rng);
+        if let Err(err) = eval_case(&f, &value) {
+            let (shrunk, steps, final_err) =
+                shrink_failure(&strategy, &f, value.clone(), err, config.max_shrink_iters);
+            panic!(
+                "property `{name}` failed on case {case}/{total}\n  \
+                 case seed: {case_seed} (rerun just this case with LAC_PROPTEST_SEED={case_seed})\n  \
+                 original input: {value:?}\n  \
+                 shrunk input ({steps} shrink steps): {shrunk:?}\n  \
+                 failure: {final_err}"
+            );
+        }
+    }
+}
+
+/// Greedily shrink a failing input; returns the simplest failing value,
+/// the number of accepted shrink steps, and its failure message.
+fn shrink_failure<S, F>(
+    strategy: &S,
+    f: &F,
+    mut value: S::Value,
+    mut err: TestCaseError,
+    budget: u32,
+) -> (S::Value, u32, TestCaseError)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> TestCaseResult,
+{
+    let mut evals = 0u32;
+    let mut steps = 0u32;
+    'outer: loop {
+        for cand in strategy.shrink(&value) {
+            if evals >= budget {
+                break 'outer;
+            }
+            evals += 1;
+            if let Err(e) = eval_case(f, &cand) {
+                value = cand;
+                err = e;
+                steps += 1;
+                continue 'outer; // restart from the simpler value
+            }
+        }
+        break; // no candidate still fails: fixed point
+    }
+    (value, steps, err)
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use super::collection;
+    pub use super::{any, Arbitrary, Config, ProptestConfig, Strategy, TestCaseError, TestCaseResult};
+    // The `proptest` name re-exported here is both the macro (value
+    // namespace) and this module's parent (type namespace), so
+    // `proptest! { .. }` and `proptest::collection::vec(..)` both work.
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+// ---------------------------------------------------------------------
+// Macros.
+
+/// Define property tests.
+///
+/// Accepts an optional leading
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`, then any number
+/// of `#[test] fn name(arg in strategy, ..) { body }` items. Bodies use
+/// [`prop_assert!`](crate::prop_assert!)-family macros (or plain
+/// panicking asserts) to signal failure.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::proptest::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::proptest::Config = $cfg;
+            let __strategy = ($($strat,)+);
+            $crate::proptest::run_named(
+                ::core::stringify!($name),
+                &__config,
+                __strategy,
+                |__vals| {
+                    #[allow(unused_parens)]
+                    let ($($arg,)+) = ::core::clone::Clone::clone(__vals);
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+    )*};
+}
+
+/// Assert a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", ::core::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::proptest::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?} == {:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?} == {:?}`: {}",
+            __l,
+            __r,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?} != {:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?} != {:?}`: {}",
+            __l,
+            __r,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        run_named("always_ok", &Config::with_cases(17), (0i64..10,), |_| {
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        count += counter.get();
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn failing_property_panics_with_report() {
+        let res = std::panic::catch_unwind(|| {
+            run_named("never_big", &Config::with_cases(64), (0i64..1000,), |&(v,)| {
+                if v >= 10 {
+                    Err(TestCaseError::fail(format!("{v} too big")))
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        let msg = *res.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("property `never_big` failed"), "{msg}");
+        assert!(msg.contains("LAC_PROPTEST_SEED="), "{msg}");
+        // Greedy shrinking must reach the boundary value.
+        assert!(msg.contains("shrunk input") && msg.contains("(10,)"), "{msg}");
+    }
+
+    #[test]
+    fn shrinking_vec_reaches_minimal_counterexample() {
+        let strat = (collection::vec(-100i64..100, 4),);
+        let res = std::panic::catch_unwind(|| {
+            run_named("vec_sum_small", &Config::default(), strat, |(v,)| {
+                prop_assert!(v.iter().sum::<i64>().abs() < 1_000_000);
+                // Fail whenever any element is negative.
+                prop_assert!(v.iter().all(|&x| x >= 0), "negative element in {v:?}");
+                Ok(())
+            });
+        });
+        let msg = *res.unwrap_err().downcast::<String>().unwrap();
+        // All but one element shrink to 0; the witness shrinks to -1.
+        assert!(msg.contains("-1"), "{msg}");
+    }
+
+    #[test]
+    fn panics_are_caught_and_reported() {
+        let res = std::panic::catch_unwind(|| {
+            run_named("panicky", &Config::with_cases(3), (0u32..4,), |_| {
+                panic!("inner boom");
+            });
+        });
+        let msg = *res.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("panic: inner boom"), "{msg}");
+    }
+
+    #[test]
+    fn mapped_strategies_generate_and_skip_shrinking() {
+        let strat = (0i64..10).prop_map(|v| vec![v; 3]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = strat.generate(&mut rng);
+        assert_eq!(v.len(), 3);
+        assert!(strat.shrink(&v).is_empty());
+    }
+
+    #[test]
+    fn any_covers_extremes_eventually() {
+        let s = any::<bool>();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false, false];
+        for _ in 0..64 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro surface itself: multiple args, trailing comma,
+        /// doc comments, tuple destructuring.
+        #[test]
+        fn macro_surface_works(a in -50i64..=50, b in 0u32..8, xs in collection::vec(0.0f64..1.0, 5),) {
+            prop_assert!(xs.len() == 5);
+            prop_assert_eq!(a, a, "a={} b={}", a, b);
+            prop_assert_ne!(xs.len(), 0);
+        }
+    }
+}

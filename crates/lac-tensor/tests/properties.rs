@@ -1,7 +1,7 @@
 //! Property-based tests of the autodiff engine: algebraic identities and
 //! randomized gradient checks.
 
-use proptest::prelude::*;
+use lac_rt::proptest::prelude::*;
 
 use lac_tensor::{check_gradients, concat, Graph, Tensor};
 

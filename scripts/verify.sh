@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification, run fully offline.
+#
+# The workspace has a zero-registry-dependency policy (see
+# tests/hermetic.rs): every dependency is a path dependency, so a clean
+# checkout must build and test with no network and no crates.io cache.
+# CI should run exactly this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline"
+cargo build --release --offline
+
+echo "== cargo test -q --offline"
+cargo test -q --offline
+
+echo "verify: OK"

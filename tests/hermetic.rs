@@ -1,0 +1,181 @@
+//! Hermeticity guard: the workspace must not depend on any registry or
+//! git crate, so `cargo build --offline && cargo test --offline` works
+//! on a clean machine with no network and no crates.io cache.
+//!
+//! The test walks every `Cargo.toml` in the workspace and fails if any
+//! dependency entry is not a `path` dependency (or a `workspace = true`
+//! reference to one). Keep it passing: if a future PR needs a
+//! capability, grow `lac-rt` instead of reaching for a registry crate.
+
+use std::path::{Path, PathBuf};
+
+/// All Cargo.toml files in the workspace: the root plus every crate.
+fn workspace_manifests() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut out = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    for entry in std::fs::read_dir(&crates).expect("read crates/") {
+        let manifest = entry.expect("dir entry").path().join("Cargo.toml");
+        if manifest.is_file() {
+            out.push(manifest);
+        }
+    }
+    out
+}
+
+/// Dependency-table entries of a manifest, as (table, key, value) lines.
+///
+/// A deliberately small TOML subset: section headers and `key = value`
+/// lines. That is all this workspace's manifests use, and the
+/// `manifests_are_parse_friendly` test keeps it that way.
+fn dependency_entries(text: &str) -> Vec<(String, String, String)> {
+    let mut section = String::new();
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).to_string();
+            continue;
+        }
+        let is_dep_table = section == "dependencies"
+            || section == "dev-dependencies"
+            || section == "build-dependencies"
+            || section == "workspace.dependencies"
+            || section.starts_with("target.") && section.ends_with("dependencies");
+        if !is_dep_table {
+            continue;
+        }
+        if let Some((key, value)) = line.split_once('=') {
+            out.push((section.clone(), key.trim().to_string(), value.trim().to_string()));
+        }
+    }
+    out
+}
+
+#[test]
+fn every_dependency_is_a_workspace_path() {
+    let mut violations = Vec::new();
+    for manifest in workspace_manifests() {
+        let text = std::fs::read_to_string(&manifest).expect("read manifest");
+        for (section, key, value) in dependency_entries(&text) {
+            // `name.workspace = true` — a reference into
+            // [workspace.dependencies], itself checked below.
+            let is_workspace_ref = key.ends_with(".workspace") && value == "true";
+            // `name = { path = "..." }` — an in-tree crate.
+            let is_path_dep = value.contains("path =") || value.contains("path=");
+            let is_registry = value.contains("version") || value.starts_with('"');
+            let is_git = value.contains("git =") || value.contains("git=");
+            if is_git || is_registry || !(is_workspace_ref || is_path_dep) {
+                violations.push(format!(
+                    "{}: [{}] {} = {}",
+                    manifest.display(),
+                    section,
+                    key,
+                    value
+                ));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "non-hermetic dependencies found (only in-workspace `path` deps are allowed):\n  {}",
+        violations.join("\n  ")
+    );
+}
+
+#[test]
+fn workspace_dependency_paths_exist() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(root.join("Cargo.toml")).expect("read root manifest");
+    let mut checked = 0;
+    for (section, key, value) in dependency_entries(&text) {
+        if section != "workspace.dependencies" {
+            continue;
+        }
+        let path = value
+            .split("path =")
+            .nth(1)
+            .and_then(|s| s.trim().trim_start_matches('"').split('"').next())
+            .unwrap_or_else(|| panic!("workspace dep `{key}` has no path: {value}"));
+        assert!(
+            root.join(path).join("Cargo.toml").is_file(),
+            "workspace dep `{key}` points at missing crate `{path}`"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 7, "expected the lac crates in [workspace.dependencies], saw {checked}");
+}
+
+/// The guard above uses a line-based TOML subset; fail loudly if a
+/// manifest starts using syntax it would silently misread.
+#[test]
+fn manifests_are_parse_friendly() {
+    for manifest in workspace_manifests() {
+        let text = std::fs::read_to_string(&manifest).expect("read manifest");
+        let mut in_dep_section = false;
+        for line in text.lines() {
+            let t = line.trim();
+            if t.starts_with('[') {
+                in_dep_section = t.contains("dependencies");
+                continue;
+            }
+            if in_dep_section {
+                assert!(
+                    !t.ends_with('{') && !t.ends_with('['),
+                    "{}: multi-line dependency entries are not supported by the \
+                     hermeticity guard; keep entries on one line: `{t}`",
+                    manifest.display()
+                );
+            }
+        }
+    }
+}
+
+/// No Rust source in the workspace references the removed registry
+/// crates; everything goes through `lac_rt`.
+#[test]
+fn no_source_references_registry_crates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut violations = Vec::new();
+    let mut stack = vec![
+        root.join("src"),
+        root.join("tests"),
+        root.join("examples"),
+        root.join("crates"),
+    ];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        for entry in entries {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let text = std::fs::read_to_string(&path).expect("read source");
+                // Needles are assembled at runtime so this file does not
+                // match its own patterns.
+                for krate in ["rand", "crossbeam", "proptest", "criterion"] {
+                    for needle in [
+                        format!("use {krate}::"),
+                        format!("extern crate {krate}"),
+                        format!("{krate}::scope("),
+                    ] {
+                        if text.contains(&needle) {
+                            violations.push(format!("{}: `{needle}`", path.display()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "sources still reference registry crates:\n  {}",
+        violations.join("\n  ")
+    );
+}
