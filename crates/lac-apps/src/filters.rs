@@ -254,25 +254,56 @@ impl Kernel for FilterApp {
             .collect();
         let shift = Self::output_shift(&quantized);
 
-        let mut acc: Option<Var> = None;
-        for tap in 0..9 {
-            let mult = &mults[self.stage_of_tap(tap)];
-            let ps = pixel_shift(&**mult);
-            let (dy, dx) = (tap as isize / 3 - 1, tap as isize % 3 - 1);
-            let img = graph.constant(self.shifted_image(sample, dy, dx, ps));
-            let (lo, hi) = bounds[tap];
-            let c = coeffs[tap].quantize_ste(lo, hi);
-            let mut term = img.approx_scale(&c, mult);
-            if ps > 0 {
-                // Compensate the pixel pre-shift exactly.
-                term = term.mul_scalar(2f64.powi(ps as i32));
+        let conv = match self.stage_mode {
+            // One multiplier for all taps: the nine scalar stages compose
+            // into a single approximate convolution. Per output pixel the
+            // products and their accumulation order are identical to the
+            // per-tap formulation (products come from integer models, so
+            // skipped zero-padding terms are exact +0.0), and the
+            // power-of-two pre-shift compensation commutes exactly — but
+            // one conv2d quantizes the image once instead of nine times
+            // and rides the multiplier's dense-LUT fast path.
+            StageMode::Single => {
+                let mult = &mults[0];
+                let ps = pixel_shift(&**mult);
+                let img = graph.constant(self.shifted_image(sample, 0, 0, ps));
+                let taps: Vec<Var> = coeffs
+                    .iter()
+                    .zip(&bounds)
+                    .map(|(c, &(lo, hi))| c.quantize_ste(lo, hi))
+                    .collect();
+                let kernel = lac_tensor::concat(&taps).reshape(&[3, 3]);
+                let mut conv = img.approx_conv2d(&kernel, mult);
+                if ps > 0 {
+                    // Compensate the pixel pre-shift exactly.
+                    conv = conv.mul_scalar(2f64.powi(ps as i32));
+                }
+                conv
             }
-            acc = Some(match acc {
-                Some(a) => a.add(&term),
-                None => term,
-            });
-        }
-        let conv = acc.expect("nine taps accumulated");
+            // Per-tap multipliers (parallel multi-hardware NAS): each tap
+            // keeps its own scalar stage.
+            StageMode::PerTap => {
+                let mut acc: Option<Var> = None;
+                for tap in 0..9 {
+                    let mult = &mults[self.stage_of_tap(tap)];
+                    let ps = pixel_shift(&**mult);
+                    let (dy, dx) = (tap as isize / 3 - 1, tap as isize % 3 - 1);
+                    let img = graph.constant(self.shifted_image(sample, dy, dx, ps));
+                    let (lo, hi) = bounds[tap];
+                    let c = coeffs[tap].quantize_ste(lo, hi);
+                    let mut term = img.approx_scale(&c, mult);
+                    if ps > 0 {
+                        // Compensate the pixel pre-shift exactly.
+                        term = term.mul_scalar(2f64.powi(ps as i32));
+                    }
+                    acc = Some(match acc {
+                        Some(a) => a.add(&term),
+                        None => term,
+                    });
+                }
+                acc.expect("nine taps accumulated")
+            }
+        };
         let mut out = conv.mul_scalar(2f64.powi(-(shift as i32))).round_ste();
         if self.kind == FilterKind::Sharpening {
             let original = graph.constant(Tensor::from_vec(

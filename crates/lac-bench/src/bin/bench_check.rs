@@ -1,0 +1,177 @@
+//! Compare two `BENCH_<suite>.json` reports and fail on regression.
+//!
+//! ```text
+//! bench_check <baseline.json> <current.json> [tolerance-percent]
+//! ```
+//!
+//! For every benchmark id present in both files the current `median_ns`
+//! must not exceed the baseline by more than the tolerance (default
+//! 25%). Ids present on only one side are reported but never fatal, so
+//! adding or retiring benchmarks does not break the check. Exit code 0
+//! on pass, 1 on regression, 2 on usage/parse errors.
+//!
+//! The parser targets exactly the flat JSON the `lac_rt::bench` harness
+//! writes (string `id`, numeric `median_ns`, no nesting) — the
+//! workspace's no-dependency policy rules out a general JSON crate, and
+//! the harness format is under our control.
+
+use std::process::ExitCode;
+
+/// One `(id, median_ns)` pair pulled from a report.
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    id: String,
+    median_ns: f64,
+}
+
+/// Extract `(id, median_ns)` pairs from a harness report.
+///
+/// Scans for `"id":"..."` / `"median_ns":<number>` key pairs in order;
+/// returns `None` when the text does not look like a harness report
+/// (mismatched counts, malformed numbers).
+fn parse_report(text: &str) -> Option<Vec<Entry>> {
+    let mut entries = Vec::new();
+    let mut rest = text;
+    while let Some(idpos) = rest.find("\"id\":\"") {
+        let after_id = &rest[idpos + 6..];
+        let idend = after_id.find('"')?;
+        let id = after_id[..idend].to_string();
+        let after = &after_id[idend..];
+        let mpos = after.find("\"median_ns\":")?;
+        let mstart = &after[mpos + 12..];
+        let mend = mstart
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+            .unwrap_or(mstart.len());
+        let median_ns: f64 = mstart[..mend].parse().ok()?;
+        entries.push(Entry { id, median_ns });
+        rest = &mstart[mend..];
+    }
+    if entries.is_empty() {
+        return None;
+    }
+    Some(entries)
+}
+
+/// Compare current against baseline; returns the list of failure lines.
+fn regressions(baseline: &[Entry], current: &[Entry], tolerance_pct: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for base in baseline {
+        let Some(cur) = current.iter().find(|c| c.id == base.id) else {
+            eprintln!("[bench_check] note: '{}' missing from current run", base.id);
+            continue;
+        };
+        let limit = base.median_ns * (1.0 + tolerance_pct / 100.0);
+        let delta_pct = (cur.median_ns / base.median_ns - 1.0) * 100.0;
+        if cur.median_ns > limit {
+            failures.push(format!(
+                "{}: {:.0} ns vs baseline {:.0} ns ({delta_pct:+.1}%, limit +{tolerance_pct:.0}%)",
+                base.id, cur.median_ns, base.median_ns
+            ));
+        } else {
+            println!(
+                "[bench_check] ok   {:<48} {:>12.0} ns (baseline {:.0} ns, {delta_pct:+.1}%)",
+                base.id, cur.median_ns, base.median_ns
+            );
+        }
+    }
+    for cur in current {
+        if !baseline.iter().any(|b| b.id == cur.id) {
+            eprintln!("[bench_check] note: '{}' has no baseline yet", cur.id);
+        }
+    }
+    failures
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 || args.len() > 3 {
+        eprintln!("usage: bench_check <baseline.json> <current.json> [tolerance-percent]");
+        return ExitCode::from(2);
+    }
+    let tolerance: f64 = match args.get(2).map(|s| s.parse()) {
+        None => 25.0,
+        Some(Ok(t)) => t,
+        Some(Err(_)) => {
+            eprintln!("bench_check: tolerance must be a number, got '{}'", args[2]);
+            return ExitCode::from(2);
+        }
+    };
+    let mut reports = Vec::new();
+    for path in &args[..2] {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench_check: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match parse_report(&text) {
+            Some(entries) => reports.push(entries),
+            None => {
+                eprintln!("bench_check: {path} is not a harness bench report");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let failures = regressions(&reports[0], &reports[1], tolerance);
+    if failures.is_empty() {
+        println!("[bench_check] PASS ({} benchmarks within +{tolerance:.0}%)", reports[0].len());
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("[bench_check] REGRESSION {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{"suite":"s","benches":[{"id":"s/a","median_ns":100.0,"mean_ns":1,"min_ns":1,"samples":3,"iters_per_sample":4},{"id":"s/b","median_ns":2000.5,"mean_ns":1,"min_ns":1,"samples":3,"iters_per_sample":4}]}"#;
+
+    #[test]
+    fn parses_harness_output() {
+        let entries = parse_report(SAMPLE).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0], Entry { id: "s/a".into(), median_ns: 100.0 });
+        assert_eq!(entries[1].median_ns, 2000.5);
+    }
+
+    #[test]
+    fn rejects_non_reports() {
+        assert!(parse_report("{}").is_none());
+        assert!(parse_report("hello").is_none());
+        assert!(parse_report("{\"id\":\"x\",\"median_ns\":oops}").is_none());
+    }
+
+    #[test]
+    fn flags_only_regressions_beyond_tolerance() {
+        let base = parse_report(SAMPLE).unwrap();
+        let current = vec![
+            Entry { id: "s/a".into(), median_ns: 124.0 },  // +24%: within
+            Entry { id: "s/b".into(), median_ns: 2600.0 }, // +30%: fails
+        ];
+        let fails = regressions(&base, &current, 25.0);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].starts_with("s/b:"), "{fails:?}");
+    }
+
+    #[test]
+    fn unmatched_ids_are_not_fatal() {
+        let base = parse_report(SAMPLE).unwrap();
+        let current = vec![Entry { id: "s/new".into(), median_ns: 1.0 }];
+        assert!(regressions(&base, &current, 25.0).is_empty());
+    }
+
+    #[test]
+    fn improvements_pass() {
+        let base = parse_report(SAMPLE).unwrap();
+        let current = vec![
+            Entry { id: "s/a".into(), median_ns: 10.0 },
+            Entry { id: "s/b".into(), median_ns: 600.0 },
+        ];
+        assert!(regressions(&base, &current, 25.0).is_empty());
+    }
+}

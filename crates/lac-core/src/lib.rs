@@ -52,7 +52,7 @@ pub use baselines::{
 };
 pub use config::TrainConfig;
 pub use constraints::{accuracy_hinge, hinge_area, prune, Constraint};
-pub use eval::{batch_grads, batch_outputs, batch_references, quality};
+pub use eval::{batch_grads, batch_grads_with_chunk, batch_outputs, batch_references, quality};
 pub use fixed::{train_fixed, train_fixed_multistart, FixedResult};
 pub use nas::gate::BinaryGate;
 pub use nas::multi::{mean_area, metric_loss, search_multi, MultiNasResult, MultiObjective};

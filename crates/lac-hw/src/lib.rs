@@ -52,7 +52,7 @@ pub use booth::BoothMultiplier;
 pub use drum::DrumMultiplier;
 pub use etm::EtmMultiplier;
 pub use kulkarni::KulkarniMultiplier;
-pub use lut::{LutMultiplier, MAX_LUT_BITS};
+pub use lut::{DenseLut, LutMultiplier, MAX_LUT_BITS};
 pub use mitchell::{MitchellMultiplier, SsmMultiplier};
 pub use error_map::ErrorMap;
 pub use netlist::NetlistMultiplier;

@@ -16,6 +16,71 @@ use crate::mult::{HwMetadata, Multiplier, Signedness};
 /// is cheaper to evaluate directly.
 pub const MAX_LUT_BITS: u32 = 10;
 
+/// A borrowed view of a dense product table: every product of a narrow
+/// multiplier, indexable without virtual dispatch.
+///
+/// Obtained from [`Multiplier::as_lut`]. Hot loops resolve the view once
+/// per tensor operation, pre-quantize their operands into row/column
+/// indices with [`DenseLut::row`] / [`DenseLut::col`], and then read
+/// products straight out of the table — no trait-object call, no repeated
+/// clamp-path re-derivation per scalar product.
+///
+/// The table holds `multiply_raw(a, b)` at `(a - lo) * side + (b - lo)`
+/// for every in-range `(a, b)`, so `product(row(a), col(b))` is
+/// bit-identical to `multiply(a.round(), b.round())` on the wrapped unit.
+#[derive(Debug, Clone, Copy)]
+pub struct DenseLut<'a> {
+    table: &'a [i64],
+    lo: i64,
+    hi: i64,
+    side: usize,
+}
+
+impl<'a> DenseLut<'a> {
+    /// Build a view over a full product table.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `table.len() == side * side` and `side == hi - lo + 1`.
+    pub fn new(table: &'a [i64], lo: i64, hi: i64) -> Self {
+        let side = (hi - lo + 1) as usize;
+        assert_eq!(table.len(), side * side, "dense LUT table/side mismatch");
+        DenseLut { table, lo, hi, side }
+    }
+
+    /// Inclusive operand range `(lo, hi)` covered by the table.
+    pub fn operand_range(&self) -> (i64, i64) {
+        (self.lo, self.hi)
+    }
+
+    /// Quantize an operand (round to nearest, clamp into range) and return
+    /// its **row** offset: already multiplied by the table stride, so the
+    /// inner loop adds a column offset and indexes.
+    #[inline(always)]
+    pub fn row(&self, v: f64) -> usize {
+        self.col(v) * self.side
+    }
+
+    /// Quantize an operand (round to nearest, clamp into range) and return
+    /// its **column** offset.
+    #[inline(always)]
+    pub fn col(&self, v: f64) -> usize {
+        ((v.round() as i64).clamp(self.lo, self.hi) - self.lo) as usize
+    }
+
+    /// The product at a pre-quantized `(row, col)` index pair, as the `f64`
+    /// the tensor datapath accumulates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row + col` indexes past the table (i.e. the offsets did
+    /// not come from [`DenseLut::row`] / [`DenseLut::col`]).
+    #[inline(always)]
+    pub fn product(&self, row: usize, col: usize) -> f64 {
+        self.table[row + col] as f64
+    }
+}
+
 /// A multiplier wrapper that memoizes the full product table of a narrow
 /// unit and answers every multiplication from it.
 ///
@@ -113,6 +178,23 @@ impl Multiplier for LutMultiplier {
         self.table[ia * self.side + ib]
     }
 
+    /// Clamp against the cached bounds and index the table directly.
+    ///
+    /// The default implementation would re-derive the operand range
+    /// through `self.operand_range()` — a virtual call into the wrapped
+    /// unit on every product. The bounds are fixed at table-build time,
+    /// so the slow (non-`as_lut`) callers get a dispatch-free clamp too.
+    fn multiply(&self, a: i64, b: i64) -> i64 {
+        let hi = self.lo + self.side as i64 - 1;
+        let ia = (a.clamp(self.lo, hi) - self.lo) as usize;
+        let ib = (b.clamp(self.lo, hi) - self.lo) as usize;
+        self.table[ia * self.side + ib]
+    }
+
+    fn as_lut(&self) -> Option<DenseLut<'_>> {
+        Some(DenseLut::new(&self.table, self.lo, self.lo + self.side as i64 - 1))
+    }
+
     fn metadata(&self) -> HwMetadata {
         self.inner.metadata()
     }
@@ -164,6 +246,45 @@ mod tests {
         assert_eq!(lut.name(), inner.name());
         assert_eq!(lut.metadata(), inner.metadata());
         assert_eq!(lut.bits(), 8);
+    }
+
+    #[test]
+    fn as_lut_view_matches_multiply_everywhere() {
+        let inner = Arc::new(EtmMultiplier::new(8, 4));
+        let lut = LutMultiplier::new(inner);
+        let view = lut.as_lut().expect("LutMultiplier exposes its table");
+        assert_eq!(view.operand_range(), lut.operand_range());
+        // Including out-of-range and fractional operands: the view's
+        // round+clamp quantization must agree with multiply()'s clamp.
+        for a in [-3.0, 0.0, 0.4, 17.6, 200.0, 255.0, 300.0] {
+            for b in [-1.0, 2.5, 128.0, 255.0, 999.0] {
+                let via_view = view.product(view.row(a), view.col(b));
+                let via_trait = lut.multiply(a.round() as i64, b.round() as i64) as f64;
+                assert_eq!(via_view, via_trait, "{a} x {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiply_override_clamps_like_default() {
+        let inner = Arc::new(KulkarniMultiplier::new(8));
+        let lut = LutMultiplier::new(inner.clone());
+        for (a, b) in [(300, 2), (-5, 7), (256, 256), (255, 255), (0, 0)] {
+            assert_eq!(lut.multiply(a, b), inner.multiply(a, b), "{a} x {b}");
+        }
+    }
+
+    #[test]
+    fn plain_units_expose_no_lut() {
+        assert!(ExactMultiplier::new(8, Signedness::Unsigned).as_lut().is_none());
+        assert!(EtmMultiplier::new(8, 4).as_lut().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "table/side mismatch")]
+    fn dense_lut_validates_geometry() {
+        let table = [0i64; 5];
+        let _ = DenseLut::new(&table, 0, 2);
     }
 
     #[test]

@@ -97,7 +97,10 @@ pub trait Multiplier: Send + Sync + fmt::Debug {
     ///
     /// This is the raw behavioral model; callers normally use
     /// [`multiply`](Multiplier::multiply), which clamps out-of-range
-    /// operands first.
+    /// operands first. **Both operands must lie inside
+    /// [`operand_range`](Multiplier::operand_range)**: implementations
+    /// (table lookups in particular) may index memory by operand value and
+    /// are free to panic or return nonsense on out-of-range inputs.
     fn multiply_raw(&self, a: i64, b: i64) -> i64;
 
     /// Silicon metadata (area / power / delay) of this unit.
@@ -112,6 +115,18 @@ pub trait Multiplier: Send + Sync + fmt::Debug {
     fn multiply(&self, a: i64, b: i64) -> i64 {
         let (lo, hi) = self.operand_range();
         self.multiply_raw(a.clamp(lo, hi), b.clamp(lo, hi))
+    }
+
+    /// A borrowable dense product-table view, when this unit memoizes one.
+    ///
+    /// Hot loops (the `lac-tensor` approximate ops) call this once per
+    /// tensor operation and, on `Some`, run a devirtualized fast path that
+    /// indexes the table directly. The default is `None`; only wrappers
+    /// that actually hold a full table ([`crate::LutMultiplier`]) return a
+    /// view. Semantics are guaranteed identical: the table is filled by
+    /// calling the unit's own behavioral model.
+    fn as_lut(&self) -> Option<crate::lut::DenseLut<'_>> {
+        None
     }
 
     /// The accurate product of two clamped operands; the reference against

@@ -15,7 +15,7 @@
 
 use std::sync::Arc;
 
-use lac_hw::Multiplier;
+use lac_hw::{DenseLut, Multiplier};
 
 use crate::graph::Var;
 use crate::ops::{conv2d_backward, conv2d_forward};
@@ -23,6 +23,70 @@ use crate::tensor::Tensor;
 
 fn approx_product(mult: &dyn Multiplier, a: f64, b: f64) -> f64 {
     mult.multiply(a.round() as i64, b.round() as i64) as f64
+}
+
+// ---------------------------------------------------------------------
+// Devirtualized fast paths.
+//
+// When the multiplier memoizes its full product table
+// (`Multiplier::as_lut` returns a view), the forwards below resolve the
+// table once per tensor op, pre-quantize each operand buffer into
+// row/column indices outside the inner loop, and read every product
+// straight out of the table. Values and accumulation order are
+// bit-identical to the trait-object path: `DenseLut::row`/`col` perform
+// exactly the round-and-clamp of `Multiplier::multiply`, the table holds
+// the unit's own `multiply_raw` outputs, and the loops mirror the slow
+// path's iteration order statement for statement.
+// ---------------------------------------------------------------------
+
+/// Fast-path forward of [`Var::approx_matmul`]: `[m, k] × [k, n]` with
+/// every scalar product read from `lut`.
+fn approx_matmul_lut(a: &Tensor, b: &Tensor, lut: DenseLut<'_>) -> Tensor {
+    let (m, k) = a.dims2("approx_matmul lhs");
+    let (_, n) = b.dims2("approx_matmul rhs");
+    let arows: Vec<usize> = a.data().iter().map(|&v| lut.row(v)).collect();
+    let bcols: Vec<usize> = b.data().iter().map(|&v| lut.col(v)).collect();
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += lut.product(arows[i * k + p], bcols[p * n + j]);
+            }
+            out.data_mut()[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// Fast-path forward of [`Var::approx_conv2d`]: same-padded convolution
+/// with kernel taps pre-quantized to row offsets and pixels to column
+/// offsets, mirroring `conv2d_forward`'s walk exactly.
+fn approx_conv2d_lut(x: &Tensor, k: &Tensor, lut: DenseLut<'_>) -> Tensor {
+    let (h, w) = x.dims2("conv2d image");
+    let (kh, kw) = k.dims2("conv2d kernel");
+    assert!(kh % 2 == 1 && kw % 2 == 1, "conv2d kernel must have odd dimensions, got {kh}x{kw}");
+    let (ph, pw) = (kh / 2, kw / 2);
+    let krows: Vec<usize> = k.data().iter().map(|&v| lut.row(v)).collect();
+    let xcols: Vec<usize> = x.data().iter().map(|&v| lut.col(v)).collect();
+    let mut out = Tensor::zeros(&[h, w]);
+    for y in 0..h {
+        for xx in 0..w {
+            let mut acc = 0.0;
+            for i in 0..kh {
+                for j in 0..kw {
+                    let sy = y as isize + i as isize - ph as isize;
+                    let sx = xx as isize + j as isize - pw as isize;
+                    if sy < 0 || sx < 0 || sy >= h as isize || sx >= w as isize {
+                        continue; // zero padding
+                    }
+                    acc += lut.product(krows[i * kw + j], xcols[sy as usize * w + sx as usize]);
+                }
+            }
+            out.data_mut()[y * w + xx] = acc;
+        }
+    }
+    out
 }
 
 impl Var {
@@ -58,16 +122,21 @@ impl Var {
         let (k2, n) = b.dims2("approx_matmul rhs");
         assert_eq!(k, k2, "approx_matmul inner dimension mismatch: {k} vs {k2}");
 
-        let mut out = Tensor::zeros(&[m, n]);
-        for i in 0..m {
-            for j in 0..n {
-                let mut acc = 0.0;
-                for p in 0..k {
-                    acc += approx_product(&**mult, a.data()[i * k + p], b.data()[p * n + j]);
+        let out = if let Some(lut) = mult.as_lut() {
+            approx_matmul_lut(&a, &b, lut)
+        } else {
+            let mut out = Tensor::zeros(&[m, n]);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0;
+                    for p in 0..k {
+                        acc += approx_product(&**mult, a.data()[i * k + p], b.data()[p * n + j]);
+                    }
+                    out.data_mut()[i * n + j] = acc;
                 }
-                out.data_mut()[i * n + j] = acc;
             }
-        }
+            out
+        };
 
         let graph = self.graph();
         let id = graph.push(
@@ -95,8 +164,12 @@ impl Var {
         assert!(self.same_tape(kernel), "approx_conv2d: operands belong to different graphs");
         let x = self.value();
         let k = kernel.value();
-        let m = Arc::clone(mult);
-        let value = conv2d_forward(&x, &k, |tap, pixel| approx_product(&*m, tap, pixel));
+        let value = if let Some(lut) = mult.as_lut() {
+            approx_conv2d_lut(&x, &k, lut)
+        } else {
+            let m = Arc::clone(mult);
+            conv2d_forward(&x, &k, |tap, pixel| approx_product(&*m, tap, pixel))
+        };
 
         let graph = self.graph();
         let id = graph.push(
@@ -128,7 +201,12 @@ impl Var {
         let c = coeff.value();
         assert_eq!(c.len(), 1, "approx_scale coefficient must be a single element");
         let cv = c.data()[0];
-        let value = x.map(|v| approx_product(&**mult, cv, v));
+        let value = if let Some(lut) = mult.as_lut() {
+            let row = lut.row(cv); // coefficient quantized once for the whole tensor
+            x.map(|v| lut.product(row, lut.col(v)))
+        } else {
+            x.map(|v| approx_product(&**mult, cv, v))
+        };
 
         let graph = self.graph();
         let id = graph.push(
@@ -162,7 +240,11 @@ impl Var {
         assert!(self.same_tape(other), "approx_mul_elem: operands belong to different graphs");
         let a = self.value();
         let b = other.value();
-        let value = a.zip_map(&b, |x, y| approx_product(&**mult, x, y));
+        let value = if let Some(lut) = mult.as_lut() {
+            a.zip_map(&b, |x, y| lut.product(lut.row(x), lut.col(y)))
+        } else {
+            a.zip_map(&b, |x, y| approx_product(&**mult, x, y))
+        };
 
         let graph = self.graph();
         let id = graph.push(
@@ -274,6 +356,50 @@ mod tests {
         let grads = g.backward(&out.sum());
         assert_eq!(grads.get(&a).data(), &[3.0, 4.0]);
         assert_eq!(grads.get(&b).data(), &[3.0, 5.0]);
+    }
+
+    /// The devirtualized LUT fast path must be bit-identical to the
+    /// trait-object path for every catalog unit narrow enough to memoize.
+    /// A raw unit reports `as_lut() == None` (slow path); the same unit
+    /// wrapped in a `LutMultiplier` takes the fast path — outputs of all
+    /// four approx ops must match exactly.
+    #[test]
+    fn lut_fast_path_matches_trait_object_path_for_all_catalog_units() {
+        use lac_hw::{catalog, LutMultiplier, MAX_LUT_BITS};
+
+        // Mixed-sign integral operands; both paths clamp identically, so
+        // values outside a unit's range still must agree bit-for-bit.
+        let av: Vec<f64> = (0..48).map(|i| ((i * 37 + 11) % 61) as f64 - 14.0).collect();
+        let bv: Vec<f64> = (0..48).map(|i| ((i * 53 + 7) % 59) as f64 - 9.0).collect();
+
+        let mut checked = 0;
+        for name in catalog::PAPER_NAMES.iter().chain(catalog::EXTRA_NAMES.iter()) {
+            let raw = catalog::by_name(name).unwrap();
+            if raw.bits() > MAX_LUT_BITS {
+                continue;
+            }
+            assert!(raw.as_lut().is_none(), "{name}: raw unit unexpectedly memoized");
+            let fast: Arc<dyn Multiplier> = LutMultiplier::maybe_wrap(Arc::clone(&raw));
+            assert!(fast.as_lut().is_some(), "{name}: maybe_wrap did not memoize");
+
+            let g = Graph::new();
+            let a6 = g.var(Tensor::from_vec(av[..36].to_vec(), &[6, 6]));
+            let b6 = g.var(Tensor::from_vec(bv[..36].to_vec(), &[6, 6]));
+            let k3 = g.var(Tensor::from_vec(bv[..9].to_vec(), &[3, 3]));
+            let c = g.var(Tensor::scalar(av[5]));
+
+            let pairs = [
+                (a6.approx_matmul(&b6, &raw), a6.approx_matmul(&b6, &fast)),
+                (a6.approx_conv2d(&k3, &raw), a6.approx_conv2d(&k3, &fast)),
+                (a6.approx_scale(&c, &raw), a6.approx_scale(&c, &fast)),
+                (a6.approx_mul_elem(&b6, &raw), a6.approx_mul_elem(&b6, &fast)),
+            ];
+            for (slow, lut) in pairs {
+                assert_eq!(slow.value(), lut.value(), "{name}: fast path diverged");
+            }
+            checked += 1;
+        }
+        assert!(checked >= 8, "too few narrow catalog units exercised: {checked}");
     }
 
     #[test]

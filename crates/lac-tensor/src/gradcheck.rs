@@ -74,9 +74,94 @@ pub fn check_gradients(
     }
 }
 
+/// Verify straight-through surrogate gradients against a smooth reference.
+///
+/// Approximate and quantizing ops are step functions of their inputs, so
+/// plain finite differences of *their* loss are meaningless (zero or
+/// spiky). The STE convention instead defines their backward pass as the
+/// gradients of the exact smooth operation. This checker makes that
+/// contract testable: analytic gradients come from the loss built by
+/// `surrogate` (approximate forward, surrogate backward), numerical
+/// central differences come from the loss built by `smooth` (the exact
+/// ops whose gradients the surrogate claims to reproduce).
+///
+/// For the check to be exact the two losses only need matching *gradient
+/// structure*, not matching values — e.g. `approx_matmul` under any unit
+/// versus exact `matmul`.
+///
+/// # Examples
+///
+/// ```
+/// use lac_hw::catalog;
+/// use lac_tensor::{check_surrogate_gradients, Tensor};
+///
+/// let mult = catalog::by_name("kulkarni8u").unwrap();
+/// let a = Tensor::from_vec(vec![3.0, 5.0], &[1, 2]);
+/// let b = Tensor::from_vec(vec![3.0, 2.0], &[2, 1]);
+/// check_surrogate_gradients(
+///     &[a, b],
+///     |_g, v| v[0].approx_matmul(&v[1], &mult).sum(),
+///     |_g, v| v[0].matmul(&v[1]).sum(),
+///     1e-5,
+///     1e-6,
+/// );
+/// ```
+///
+/// # Panics
+///
+/// Panics when any surrogate gradient entry disagrees with the smooth
+/// loss's numerical gradient beyond `tol`, or when either builder does
+/// not return a scalar.
+pub fn check_surrogate_gradients(
+    leaves: &[Tensor],
+    surrogate: impl Fn(&Graph, &[Var]) -> Var,
+    smooth: impl Fn(&Graph, &[Var]) -> Var,
+    eps: f64,
+    tol: f64,
+) {
+    // Analytic gradients of the surrogate (approximate-forward) loss.
+    let graph = Graph::new();
+    let vars: Vec<Var> = leaves.iter().map(|t| graph.var(t.clone())).collect();
+    let loss = surrogate(&graph, &vars);
+    assert_eq!(loss.value().len(), 1, "check_surrogate_gradients requires a scalar loss");
+    let grads = graph.backward(&loss);
+    let analytic: Vec<Tensor> = vars.iter().map(|v| grads.get(v)).collect();
+
+    // Numerical gradients of the smooth reference loss.
+    let eval = |leaves: &[Tensor]| -> f64 {
+        let g = Graph::new();
+        let vars: Vec<Var> = leaves.iter().map(|t| g.var(t.clone())).collect();
+        let loss = smooth(&g, &vars);
+        assert_eq!(loss.value().len(), 1, "check_surrogate_gradients requires a scalar loss");
+        loss.item()
+    };
+
+    let mut perturbed: Vec<Tensor> = leaves.to_vec();
+    for (li, leaf) in leaves.iter().enumerate() {
+        for ei in 0..leaf.len() {
+            let orig = leaf.data()[ei];
+            perturbed[li].data_mut()[ei] = orig + eps;
+            let plus = eval(&perturbed);
+            perturbed[li].data_mut()[ei] = orig - eps;
+            let minus = eval(&perturbed);
+            perturbed[li].data_mut()[ei] = orig;
+
+            let numeric = (plus - minus) / (2.0 * eps);
+            let got = analytic[li].data()[ei];
+            let scale = 1.0f64.max(numeric.abs());
+            assert!(
+                (got - numeric).abs() <= tol * scale,
+                "surrogate gradient mismatch at leaf {li} element {ei}: \
+                 analytic {got}, numeric {numeric}"
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lac_hw::catalog;
 
     #[test]
     fn passes_on_correct_gradient() {
@@ -101,5 +186,58 @@ mod tests {
     fn rejects_non_scalar_loss() {
         let x = Tensor::ones(&[2]);
         check_gradients(&[x], |_g, v| v[0].clone(), 1e-5, 1e-6);
+    }
+
+    #[test]
+    fn approx_matmul_surrogate_matches_exact_matmul_gradients() {
+        let mult = catalog::by_name("kulkarni8u").unwrap();
+        let a = Tensor::from_vec(vec![3.0, 5.0, 7.0, 2.0, 11.0, 4.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![3.0, 9.0, 6.0, 5.0, 13.0, 8.0], &[3, 2]);
+        check_surrogate_gradients(
+            &[a, b],
+            |_g, v| v[0].approx_matmul(&v[1], &mult).sum(),
+            |_g, v| v[0].matmul(&v[1]).sum(),
+            1e-4,
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn approx_conv2d_surrogate_matches_exact_conv_gradients() {
+        // Exercise the LUT fast path's backward too: wrap the unit.
+        let mult = lac_hw::LutMultiplier::maybe_wrap(catalog::by_name("ETM8-k4").unwrap());
+        let x = Tensor::from_vec((0..25).map(|v| ((v * 7) % 19) as f64).collect(), &[5, 5]);
+        let k = Tensor::from_vec(vec![1.0, 2.0, 1.0, 2.0, 4.0, 2.0, 1.0, 2.0, 1.0], &[3, 3]);
+        check_surrogate_gradients(
+            &[x, k],
+            |_g, v| v[0].approx_conv2d(&v[1], &mult).mean(),
+            |_g, v| v[0].conv2d(&v[1]).mean(),
+            1e-4,
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn approx_mul_elem_and_scale_surrogates_match_exact_gradients() {
+        let mult = catalog::by_name("mul8u_JV3").unwrap();
+        let a = Tensor::from_vec(vec![3.0, 5.0, 9.0, 14.0], &[4]);
+        let b = Tensor::from_vec(vec![6.0, 2.0, 11.0, 7.0], &[4]);
+        check_surrogate_gradients(
+            &[a.clone(), b],
+            |_g, v| v[0].approx_mul_elem(&v[1], &mult).sum(),
+            |_g, v| v[0].mul(&v[1]).sum(),
+            1e-4,
+            1e-6,
+        );
+        let c = Tensor::scalar(5.0);
+        check_surrogate_gradients(
+            &[a, c],
+            |_g, v| v[0].approx_scale(&v[1], &mult).sum(),
+            // The coefficient enters through `.item()`, so the numeric
+            // difference still sees its perturbation.
+            |_g, v| v[0].mul_scalar(v[1].item()).sum(),
+            1e-4,
+            1e-6,
+        );
     }
 }

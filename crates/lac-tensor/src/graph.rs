@@ -86,6 +86,19 @@ impl Graph {
         tape.nodes.len() - 1
     }
 
+    /// Clear the tape for reuse, keeping the node list's capacity.
+    ///
+    /// Training loops that build one graph per sample pay a fresh
+    /// allocation ramp every time; a recycled graph records the next
+    /// sample's nodes into the same backing storage. All [`Var`] and
+    /// [`Gradients`] handles from before the reset are invalidated — their
+    /// ids now point at nodes of the *next* recording (or out of bounds).
+    /// Callers must drop them first; this is the same single-owner
+    /// discipline as "build a fresh graph per step", minus the allocation.
+    pub fn reset(&self) {
+        self.tape.borrow_mut().nodes.clear();
+    }
+
     /// Number of recorded nodes.
     pub fn len(&self) -> usize {
         self.tape.borrow().nodes.len()
@@ -267,6 +280,24 @@ mod tests {
         let g2 = Graph::new();
         let v2 = g2.var(Tensor::scalar(1.0));
         g1.backward(&v2);
+    }
+
+    #[test]
+    fn reset_reuses_tape_and_keeps_results_identical() {
+        let g = Graph::new();
+        let mut first: Option<Vec<f64>> = None;
+        for _ in 0..3 {
+            g.reset();
+            assert!(g.is_empty());
+            let x = g.var(Tensor::from_vec(vec![2.0, 3.0], &[2]));
+            let loss = x.mul(&x).sum();
+            let grads = g.backward(&loss);
+            let got = grads.get(&x).data().to_vec();
+            match &first {
+                Some(expect) => assert_eq!(&got, expect),
+                None => first = Some(got),
+            }
+        }
     }
 
     #[test]

@@ -59,10 +59,11 @@ mod gradcheck;
 mod graph;
 mod ops;
 mod optim;
+pub mod pool;
 mod ste;
 mod tensor;
 
-pub use gradcheck::check_gradients;
+pub use gradcheck::{check_gradients, check_surrogate_gradients};
 pub use graph::{Gradients, Graph, Var};
 pub use ops::concat;
 pub use optim::{Adam, Sgd};

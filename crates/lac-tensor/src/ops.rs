@@ -203,6 +203,46 @@ impl Var {
         self.sub(target).square().mean()
     }
 
+    /// Reinterpret this node's value under a new shape of equal volume —
+    /// a view op: the buffer is never permuted or elementwise-copied.
+    ///
+    /// When the shape already matches, this is free: the same node handle
+    /// is returned and nothing is recorded on the tape. Otherwise one
+    /// pass-through node is recorded whose forward is a buffer move of the
+    /// value snapshot and whose backward re-shapes the incoming gradient
+    /// the same way — unlike routing reshapes through [`concat`], there is
+    /// no per-element copy in either direction.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lac_tensor::{Graph, Tensor};
+    ///
+    /// let g = Graph::new();
+    /// let x = g.var(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+    /// let flat = x.reshape(&[4]);
+    /// assert_eq!(flat.value().data(), x.value().data());
+    /// let grads = g.backward(&flat.square().sum());
+    /// assert_eq!(grads.get(&x).shape(), vec![2, 2]);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape's volume differs from the node's element
+    /// count.
+    pub fn reshape(&self, shape: &[usize]) -> Var {
+        let old_shape = self.shape();
+        if old_shape == shape {
+            return self.clone();
+        }
+        let value = self.value().reshaped(shape);
+        self.op(
+            vec![self.id],
+            value,
+            Box::new(move |g| vec![g.clone().reshaped(&old_shape)]),
+        )
+    }
+
     /// 2-D transpose.
     ///
     /// # Panics
@@ -491,6 +531,44 @@ mod tests {
         let loss = x.clamp(0.0, 1.0).sum();
         let grads = g.backward(&loss);
         assert_eq!(grads.get(&x).data(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn reshape_is_identity_on_data_and_routes_gradients() {
+        let g = Graph::new();
+        let x = g.var(Tensor::from_vec((0..6).map(|v| v as f64).collect(), &[2, 3]));
+        let flat = x.reshape(&[6]);
+        assert_eq!(flat.shape(), vec![6]);
+        assert_eq!(flat.value().data(), x.value().data());
+        let grads = g.backward(&flat.square().sum());
+        let dx = grads.get(&x);
+        assert_eq!(dx.shape(), &[2, 3]);
+        // d/dx Σ x² = 2x, delivered in the original shape.
+        assert_eq!(dx.data(), &[0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn reshape_to_same_shape_records_no_node() {
+        let g = Graph::new();
+        let x = g.var(Tensor::ones(&[4]));
+        let before = g.len();
+        let same = x.reshape(&[4]);
+        assert_eq!(g.len(), before);
+        assert_eq!(same.id, x.id);
+    }
+
+    #[test]
+    fn reshape_gradients_numerical() {
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.3, 1.1, -0.7], &[2, 3]);
+        check_gradients(&[x], |_g, v| v[0].reshape(&[6]).square().sum(), 1e-5, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "reshape volume mismatch")]
+    fn reshape_rejects_wrong_volume() {
+        let g = Graph::new();
+        let x = g.var(Tensor::ones(&[4]));
+        let _ = x.reshape(&[5]);
     }
 
     #[test]

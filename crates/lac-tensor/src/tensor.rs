@@ -7,7 +7,14 @@
 
 use std::fmt;
 
+use crate::pool;
+
 /// A dense row-major tensor of `f64` values.
+///
+/// Storage participates in the thread-local scratch-buffer pool: inside a
+/// [`crate::pool::scope`], dropped tensors recycle their buffers and new
+/// tensors reuse them (see the pool module docs for the lifetime rules).
+/// Outside a scope, allocation and drop behave conventionally.
 ///
 /// # Examples
 ///
@@ -18,10 +25,22 @@ use std::fmt;
 /// let b = Tensor::eye(2);
 /// assert_eq!(a.matmul(&b).data(), a.data());
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct Tensor {
     shape: Vec<usize>,
     data: Vec<f64>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Tensor { shape: self.shape.clone(), data: pool::take_copy(&self.data) }
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        pool::give(std::mem::take(&mut self.data));
+    }
 }
 
 impl Tensor {
@@ -38,17 +57,19 @@ impl Tensor {
 
     /// A tensor of zeros.
     pub fn zeros(shape: &[usize]) -> Self {
-        Tensor { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+        Tensor { shape: shape.to_vec(), data: pool::take_zeroed(shape.iter().product()) }
     }
 
     /// A tensor of ones.
     pub fn ones(shape: &[usize]) -> Self {
-        Tensor { shape: shape.to_vec(), data: vec![1.0; shape.iter().product()] }
+        Self::full(shape, 1.0)
     }
 
     /// A tensor filled with a constant.
     pub fn full(shape: &[usize], value: f64) -> Self {
-        Tensor { shape: shape.to_vec(), data: vec![value; shape.iter().product()] }
+        let mut data = pool::take();
+        data.resize(shape.iter().product(), value);
+        Tensor { shape: shape.to_vec(), data }
     }
 
     /// A rank-0 scalar tensor.
@@ -93,8 +114,27 @@ impl Tensor {
     }
 
     /// Consume into the flat buffer.
-    pub fn into_data(self) -> Vec<f64> {
-        self.data
+    pub fn into_data(mut self) -> Vec<f64> {
+        std::mem::take(&mut self.data)
+    }
+
+    /// Reinterpret the same buffer under a new shape — a move, never a
+    /// copy (row-major order is shape-independent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape's volume differs from the element count.
+    pub fn reshaped(mut self, shape: &[usize]) -> Tensor {
+        let volume: usize = shape.iter().product();
+        assert_eq!(
+            self.data.len(),
+            volume,
+            "reshape volume mismatch: {} elements into shape {shape:?}",
+            self.data.len()
+        );
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        self
     }
 
     /// The single value of a scalar (rank-0 or one-element) tensor.
@@ -109,7 +149,9 @@ impl Tensor {
 
     /// Elementwise map into a new tensor.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+        let mut data = pool::take_with_capacity(self.data.len());
+        data.extend(self.data.iter().map(|&v| f(v)));
+        Tensor { shape: self.shape.clone(), data }
     }
 
     /// Elementwise combination of two same-shaped tensors.
@@ -119,10 +161,9 @@ impl Tensor {
     /// Panics on shape mismatch.
     pub fn zip_map(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
         assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
-        Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
-        }
+        let mut data = pool::take_with_capacity(self.data.len());
+        data.extend(self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)));
+        Tensor { shape: self.shape.clone(), data }
     }
 
     /// In-place elementwise accumulation `self += other`.
@@ -294,6 +335,22 @@ mod tests {
         assert_eq!(a.sum(), 12.0);
         assert_eq!(a.mean(), 3.0);
         assert_eq!(a.max_abs(), 6.0);
+    }
+
+    #[test]
+    fn reshaped_preserves_data_in_row_major_order() {
+        let t = Tensor::from_vec((0..6).map(|v| v as f64).collect(), &[2, 3]);
+        let flat = t.clone().reshaped(&[6]);
+        assert_eq!(flat.shape(), &[6]);
+        assert_eq!(flat.data(), t.data());
+        let back = flat.reshaped(&[3, 2]);
+        assert_eq!(back.shape(), &[3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reshape volume mismatch")]
+    fn reshaped_rejects_wrong_volume() {
+        let _ = Tensor::ones(&[4]).reshaped(&[5]);
     }
 
     #[test]

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Opt-in performance-regression gate.
+#
+# Re-runs the macro benchmark suites in fast mode (LAC_BENCH_FAST skips
+# the calibration/warmup protocol; a handful of samples of these
+# millisecond-scale benches still gives a usable median) and compares
+# each benchmark's median against the committed baseline under
+# results/bench/, failing when any id regresses by more than the
+# tolerance (default 25%, override with BENCH_CHECK_TOLERANCE).
+#
+# To refresh a baseline after an intentional change, run the suite with
+# the full protocol and copy the report:
+#   cargo bench --offline -p lac-bench --bench training_step
+#   cp crates/lac-bench/BENCH_training_step.json results/bench/
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${BENCH_CHECK_TOLERANCE:-25}"
+SUITES=(training_step training_epoch)
+
+export LAC_BENCH_FAST="${LAC_BENCH_FAST:-1}"
+# Enough single-iteration samples that the median shakes off cold-start
+# and scheduler noise on a loaded box; these are millisecond-scale macro
+# benches, so 15 samples still finishes in well under a second per suite.
+export LAC_BENCH_SAMPLES="${LAC_BENCH_SAMPLES:-15}"
+
+echo "== build bench_check"
+cargo build --release --offline -p lac-bench --bin bench_check
+
+status=0
+for suite in "${SUITES[@]}"; do
+    baseline="results/bench/BENCH_${suite}.json"
+    if [[ ! -f "$baseline" ]]; then
+        echo "bench_check: no baseline for ${suite}, skipping" >&2
+        continue
+    fi
+    echo "== bench ${suite} (fast=${LAC_BENCH_FAST}, samples=${LAC_BENCH_SAMPLES})"
+    cargo bench --offline -p lac-bench --bench "$suite"
+    # The harness writes its report into the bench process's working
+    # directory, which for `cargo bench` is the crate root.
+    ./target/release/bench_check "$baseline" "crates/lac-bench/BENCH_${suite}.json" \
+        "$TOLERANCE" || status=1
+done
+
+if [[ $status -ne 0 ]]; then
+    echo "bench_check: FAILED (see regressions above)"
+    exit 1
+fi
+echo "bench_check: OK"

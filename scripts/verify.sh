@@ -14,4 +14,13 @@ cargo build --release --offline
 echo "== cargo test -q --offline"
 cargo test -q --offline
 
+# Opt-in performance gate: set LAC_BENCH_CHECK=1 to re-run the macro
+# bench suites and compare against the committed baselines in
+# results/bench/ (see scripts/bench_check.sh). Off by default so tier-1
+# stays deterministic on loaded or heterogeneous machines.
+if [[ "${LAC_BENCH_CHECK:-0}" != "0" ]]; then
+    echo "== bench_check (LAC_BENCH_CHECK=${LAC_BENCH_CHECK})"
+    ./scripts/bench_check.sh
+fi
+
 echo "verify: OK"
