@@ -197,6 +197,10 @@ impl Kernel for FilterApp {
         }
     }
 
+    fn stages_are_parallel(&self) -> bool {
+        matches!(self.stage_mode, StageMode::PerTap)
+    }
+
     fn metric(&self) -> Metric {
         Metric::Ssim { width: self.width, height: self.height }
     }

@@ -147,6 +147,10 @@ impl Kernel for FirApp {
         }
     }
 
+    fn stages_are_parallel(&self) -> bool {
+        matches!(self.stage_mode, FirStageMode::PerTap)
+    }
+
     fn metric(&self) -> Metric {
         Metric::Psnr
     }

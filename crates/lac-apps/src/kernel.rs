@@ -103,6 +103,14 @@ pub trait Kernel {
         (0..self.num_stages()).map(|i| format!("stage{i}")).collect()
     }
 
+    /// Whether this kernel's stages are parallel slots (per-tap layering,
+    /// Fig. 11) rather than serial pipeline stages (Fig. 12). Purely
+    /// descriptive — multi-hardware search treats both the same, but
+    /// telemetry and hardware plans label them differently.
+    fn stages_are_parallel(&self) -> bool {
+        false
+    }
+
     /// The application's quality metric.
     fn metric(&self) -> Metric;
 

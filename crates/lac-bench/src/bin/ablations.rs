@@ -14,16 +14,17 @@ use std::sync::Arc;
 
 use lac_apps::{FilterApp, FilterKind, Kernel, StageMode};
 use lac_bench::driver::AppId;
-use lac_bench::{adapted_catalog, Report};
+use lac_bench::{adapted_catalog, run_logger, Report};
 use lac_core::{
-    batch_grads, batch_outputs, batch_references, quality, search_single, train_fixed,
-    BinaryGate,
+    batch_grads, batch_outputs, batch_references, quality, search_single_observed,
+    train_fixed_observed, BinaryGate,
 };
 use lac_hw::Multiplier;
 use lac_tensor::{Sgd, Tensor};
 use lac_rt::rng::{RngExt, SeedableRng, StdRng};
 
 fn main() {
+    let mut obs = run_logger("ablations");
     let (sizing, lr) = AppId::Blur.sizing();
     let cfg = sizing.config(lr);
     let data = sizing.image_dataset();
@@ -38,7 +39,7 @@ fn main() {
     // Ablation 1: optimizer choice on ETM blur.
     // ------------------------------------------------------------------
     eprintln!("[ablations] optimizer: adam ...");
-    let adam = train_fixed(&app, &mult, &data.train, &data.test, &cfg);
+    let adam = train_fixed_observed(&app, &mult, &data.train, &data.test, &cfg, obs.as_mut());
     report.row(&[
         "optimizer".into(),
         "adam".into(),
@@ -69,7 +70,15 @@ fn main() {
     // ------------------------------------------------------------------
     let candidates = adapted_catalog(&app);
     eprintln!("[ablations] nas: two-path ...");
-    let two = search_single(&app, &candidates, &data.train, &data.test, &cfg, 2.0);
+    let two = search_single_observed(
+        &app,
+        &candidates,
+        &data.train,
+        &data.test,
+        &cfg,
+        2.0,
+        obs.as_mut(),
+    );
     report.row(&[
         "nas-sampling".into(),
         "two-path".into(),

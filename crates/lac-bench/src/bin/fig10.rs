@@ -15,12 +15,13 @@
 //! Run with: `cargo run --release -p lac-bench --bin fig10`
 //! (`LAC_QUICK=1` for a fast smoke run)
 
-use lac_bench::driver::{brute_force_all, nas_accuracy, untrained_all, AppId};
-use lac_bench::Report;
+use lac_bench::driver::{brute_force_all_observed, nas_accuracy_observed, untrained_all, AppId};
+use lac_bench::{run_logger, Report};
 use lac_core::brute_force_min_area;
 use lac_hw::catalog;
 
 fn main() {
+    let mut obs = run_logger("fig10");
     let app = AppId::Blur;
     let targets = [0.90, 0.95, 0.98, 0.995];
     let areas: Vec<(String, f64)> = catalog::paper_multipliers()
@@ -34,7 +35,7 @@ fn main() {
     eprintln!("[fig10] evaluating untrained qualities ...");
     let untrained = untrained_all(app);
     eprintln!("[fig10] running brute-force training of all candidates ...");
-    let bf = brute_force_all(app);
+    let bf = brute_force_all_observed(app, obs.as_mut());
     let direction = app.metric().direction();
 
     let mut report = Report::new(
@@ -70,7 +71,7 @@ fn main() {
         // cheap-but-violating unit can never win on area alone (the
         // paper: "both parameters ought to be determined by
         // experimentation").
-        let nas = nas_accuracy(app, target, 200.0, 2.0);
+        let nas = nas_accuracy_observed(app, target, 200.0, 2.0, obs.as_mut());
         report.row(&[
             format!("{target:.3}"),
             "NAS".to_owned(),

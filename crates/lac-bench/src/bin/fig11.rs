@@ -7,12 +7,13 @@
 //! (`LAC_QUICK=1` for a fast smoke run)
 
 use lac_apps::{FilterApp, FilterKind, StageMode};
-use lac_bench::driver::{fixed_all, AppId};
-use lac_bench::{adapted_catalog, quick, Report};
-use lac_core::{greedy_multi, search_multi, MultiObjective};
+use lac_bench::driver::{fixed_all_observed, AppId};
+use lac_bench::{adapted_catalog, quick, run_logger, Report};
+use lac_core::{greedy_multi_observed, search_multi_observed, MultiObjective};
 use lac_hw::catalog;
 
 fn main() {
+    let mut obs = run_logger("fig11");
     let (sizing, lr) = AppId::Blur.sizing();
     // Multi-hardware search needs more gate iterations than one fixed
     // training run: 9 gates x 11 candidates share the sampling budget.
@@ -33,7 +34,7 @@ fn main() {
     // Single-multiplier trained-hardware reference points (from the Fig. 3
     // flow): each Table I unit's own area and post-training SSIM.
     eprintln!("[fig11] single-multiplier trained points ...");
-    let singles = fixed_all(AppId::Blur);
+    let singles = fixed_all_observed(AppId::Blur, obs.as_mut());
     let single_areas: Vec<f64> =
         catalog::paper_multipliers().iter().map(|m| m.metadata().area).collect();
     for (r, &area) in singles.iter().zip(&single_areas) {
@@ -51,7 +52,7 @@ fn main() {
     let budgets = [0.05, 0.08, 0.12, 0.20, 0.30];
     for &budget in &budgets {
         eprintln!("[fig11] parallel NAS, mean area <= {budget} ...");
-        let result = search_multi(
+        let result = search_multi_observed(
             &app,
             &candidates,
             &data.train,
@@ -63,6 +64,7 @@ fn main() {
             // configurations) is far smaller than the area excesses, so the
             // hinge weight is raised to keep violations uneconomical.
             MultiObjective::AreaConstrained { area_threshold: budget, gamma: 0.9, delta: 20.0 },
+            obs.as_mut(),
         );
         let assignment: Vec<String> =
             result.assignment().into_iter().map(|(_, m)| m).collect();
@@ -85,7 +87,7 @@ fn main() {
         .config(lr)
         .epochs(if quick() { 2 } else { sizing.epochs / 4 });
     eprintln!("[fig11] greedy stage-by-stage at mean area <= {greedy_budget} ...");
-    let greedy = greedy_multi(
+    let greedy = greedy_multi_observed(
         &app,
         &candidates,
         &data.train,
@@ -96,6 +98,7 @@ fn main() {
             gamma: 0.9,
             delta: 20.0,
         },
+        obs.as_mut(),
     );
     let assignment: Vec<String> = greedy.assignment().into_iter().map(|(_, m)| m).collect();
     report.row(&[

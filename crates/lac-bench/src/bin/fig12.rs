@@ -11,12 +11,13 @@
 //! (`LAC_QUICK=1` for a fast smoke run)
 
 use lac_apps::{JpegApp, JpegMode};
-use lac_bench::driver::{fixed_all, AppId};
-use lac_bench::{adapted_catalog, Report};
-use lac_core::{search_multi, MultiObjective};
+use lac_bench::driver::{fixed_all_observed, AppId};
+use lac_bench::{adapted_catalog, run_logger, Report};
+use lac_core::{search_multi_observed, MultiObjective};
 use lac_hw::catalog;
 
 fn main() {
+    let mut obs = run_logger("fig12");
     let (sizing, lr) = AppId::Jpeg.sizing();
     // 3 gates x 11 candidates need far more sampling than one fixed run.
     let cfg = {
@@ -34,7 +35,7 @@ fn main() {
     );
 
     eprintln!("[fig12] single-multiplier trained points ...");
-    let singles = fixed_all(AppId::Jpeg);
+    let singles = fixed_all_observed(AppId::Jpeg, obs.as_mut());
     let single_areas: Vec<f64> =
         catalog::paper_multipliers().iter().map(|m| m.metadata().area).collect();
     for (r, &area) in singles.iter().zip(&single_areas) {
@@ -54,7 +55,7 @@ fn main() {
     let budgets = [0.10, 0.20, 0.35, 0.55, 0.80];
     for &budget in &budgets {
         eprintln!("[fig12] serial NAS, mean area <= {budget} ...");
-        let result = search_multi(
+        let result = search_multi_observed(
             &app,
             &candidates,
             &data.train,
@@ -62,6 +63,7 @@ fn main() {
             &cfg,
             1.0,
             MultiObjective::AreaConstrained { area_threshold: budget, gamma: 1.0, delta: 300.0 },
+            obs.as_mut(),
         );
         let stages: Vec<String> = result.assignment().into_iter().map(|(_, m)| m).collect();
         report.row(&[

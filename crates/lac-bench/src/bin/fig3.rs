@@ -9,18 +9,19 @@
 //! Run with: `cargo run --release -p lac-bench --bin fig3`
 //! (`LAC_QUICK=1` for a fast smoke run)
 
-use lac_bench::driver::{fixed_all, AppId};
-use lac_bench::Report;
+use lac_bench::driver::{fixed_all_observed, AppId};
+use lac_bench::{run_logger, Report};
 use lac_metrics::MetricDirection;
 
 fn main() {
+    let mut obs = run_logger("fig3");
     let mut report = Report::new(
         "fig3",
         &["application", "metric", "multiplier", "before", "after", "improvement", "seconds"],
     );
     for app in AppId::all() {
         eprintln!("[fig3] training {} ...", app.display());
-        let results = fixed_all(app);
+        let results = fixed_all_observed(app, obs.as_mut());
         let direction = app.metric().direction();
         let mut improvements = Vec::new();
         for r in &results {

@@ -9,11 +9,12 @@
 //!
 //! Run with: `cargo run --release -p lac-bench --bin fig4`
 
-use lac_bench::driver::{fixed_all, AppId};
-use lac_bench::Report;
+use lac_bench::driver::{fixed_all_observed, AppId};
+use lac_bench::{run_logger, Report};
 use lac_hw::catalog;
 
 fn main() {
+    let mut obs = run_logger("fig4");
     let apps = [AppId::Blur, AppId::Edge, AppId::Sharpen];
     let mut report = Report::new(
         "fig4",
@@ -21,7 +22,7 @@ fn main() {
     );
     for app in apps {
         eprintln!("[fig4] training {} ...", app.display());
-        let results = fixed_all(app);
+        let results = fixed_all_observed(app, obs.as_mut());
         // Area lookup from the catalog (results come back in catalog order).
         let areas: Vec<f64> =
             catalog::paper_multipliers().iter().map(|m| m.metadata().area).collect();

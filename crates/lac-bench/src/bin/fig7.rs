@@ -6,11 +6,12 @@
 //! Run with: `cargo run --release -p lac-bench --bin fig7`
 //! (`LAC_QUICK=1` for a fast smoke run)
 
-use lac_bench::driver::{fixed_one, nas_search, AppId};
-use lac_bench::Report;
+use lac_bench::driver::{fixed_one_observed, nas_search_observed, AppId};
+use lac_bench::{run_logger, Report};
 use lac_core::Constraint;
 
 fn main() {
+    let mut obs = run_logger("fig7");
     let mut report = Report::new(
         "fig7",
         &[
@@ -24,10 +25,10 @@ fn main() {
     );
     for app in AppId::all() {
         eprintln!("[fig7] searching {} ...", app.display());
-        let nas = nas_search(app, Constraint::None, 2.0);
+        let nas = nas_search_observed(app, Constraint::None, 2.0, obs.as_mut());
         // Dedicated fixed-hardware training of the chosen unit, for the
         // "NAS does not degrade the best path" comparison.
-        let dedicated = fixed_one(app, nas.chosen_name());
+        let dedicated = fixed_one_observed(app, nas.chosen_name(), obs.as_mut());
         report.row(&[
             app.display().to_owned(),
             app.metric_label().to_owned(),

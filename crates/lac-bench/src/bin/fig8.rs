@@ -5,11 +5,12 @@
 //! Run with: `cargo run --release -p lac-bench --bin fig8`
 //! (`LAC_QUICK=1` for a fast smoke run)
 
-use lac_bench::driver::{nas_search, AppId};
-use lac_bench::Report;
+use lac_bench::driver::{nas_search_observed, AppId};
+use lac_bench::{run_logger, Report};
 use lac_core::Constraint;
 
 fn main() {
+    let mut obs = run_logger("fig8");
     // Budgets spanning Table I's area spectrum (0.03 .. 1.01).
     let budgets = [0.05, 0.10, 0.15, 0.30, 0.50, 1.10];
     let mut report = Report::new(
@@ -19,7 +20,7 @@ fn main() {
     for app in AppId::all() {
         for &budget in &budgets {
             eprintln!("[fig8] {} area<={budget} ...", app.display());
-            let nas = nas_search(app, Constraint::Area(budget), 2.0);
+            let nas = nas_search_observed(app, Constraint::Area(budget), 2.0, obs.as_mut());
             report.row(&[
                 app.display().to_owned(),
                 format!("{budget:.2}"),

@@ -5,11 +5,12 @@
 //! Run with: `cargo run --release -p lac-bench --bin fig8_power`
 //! (`LAC_QUICK=1` for a fast smoke run)
 
-use lac_bench::driver::{nas_search, AppId};
-use lac_bench::Report;
+use lac_bench::driver::{nas_search_observed, AppId};
+use lac_bench::{run_logger, Report};
 use lac_core::Constraint;
 
 fn main() {
+    let mut obs = run_logger("fig8_power");
     // Budgets spanning Table I's power spectrum (0.02 .. 0.89).
     let budgets = [0.03, 0.05, 0.10, 0.30, 0.90];
     let mut report = Report::new(
@@ -19,7 +20,7 @@ fn main() {
     for app in [AppId::Blur, AppId::Edge, AppId::Sharpen, AppId::Ik] {
         for &budget in &budgets {
             eprintln!("[fig8_power] {} power<={budget} ...", app.display());
-            let nas = nas_search(app, Constraint::Power(budget), 2.0);
+            let nas = nas_search_observed(app, Constraint::Power(budget), 2.0, obs.as_mut());
             let power = lac_hw::catalog::by_name(nas.chosen_name())
                 .map(|m| m.metadata().power)
                 .unwrap_or(f64::NAN);

@@ -5,11 +5,12 @@
 //! Run with: `cargo run --release -p lac-bench --bin fig9`
 //! (`LAC_QUICK=1` for a fast smoke run)
 
-use lac_bench::driver::{nas_search, AppId};
-use lac_bench::Report;
+use lac_bench::driver::{nas_search_observed, AppId};
+use lac_bench::{run_logger, Report};
 use lac_core::Constraint;
 
 fn main() {
+    let mut obs = run_logger("fig9");
     // Thresholds spanning Table III's delays (0.58 .. 2.95).
     let budgets = [0.60, 0.90, 1.00, 1.40, 2.60, 3.00];
     let apps = [AppId::Blur, AppId::Edge, AppId::Sharpen];
@@ -20,7 +21,7 @@ fn main() {
     for app in apps {
         for &budget in &budgets {
             eprintln!("[fig9] {} delay<={budget} ...", app.display());
-            let nas = nas_search(app, Constraint::Delay(budget), 2.0);
+            let nas = nas_search_observed(app, Constraint::Delay(budget), 2.0, obs.as_mut());
             let delay = lac_hw::catalog::by_name(nas.chosen_name())
                 .and_then(|m| m.metadata().delay)
                 .unwrap_or(f64::NAN);

@@ -14,10 +14,11 @@
 
 use lac_apps::{FilterApp, FilterKind, Kernel, StageMode};
 use lac_bench::driver::AppId;
-use lac_bench::{adapted_catalog, Report};
-use lac_core::{train_fixed, train_fixed_multistart};
+use lac_bench::{adapted_catalog, run_logger, Report};
+use lac_core::{train_fixed_multistart_observed, train_fixed_observed};
 
 fn main() {
+    let mut obs = run_logger("multistart");
     let mut report = Report::new(
         "multistart",
         &["application", "multiplier", "before", "plain_after", "multistart_after", "extra_gain"],
@@ -32,9 +33,17 @@ fn main() {
         let app = FilterApp::new(kind, StageMode::Single);
         for mult in adapted_catalog(&app) {
             eprintln!("[multistart] {} x {} ...", app.name(), mult.name());
-            let plain = train_fixed(&app, &mult, &data.train, &data.test, &cfg);
-            let multi =
-                train_fixed_multistart(&app, &mult, &data.train, &data.test, &cfg, &[0, 3, 6]);
+            let plain =
+                train_fixed_observed(&app, &mult, &data.train, &data.test, &cfg, obs.as_mut());
+            let multi = train_fixed_multistart_observed(
+                &app,
+                &mult,
+                &data.train,
+                &data.test,
+                &cfg,
+                &[0, 3, 6],
+                obs.as_mut(),
+            );
             report.row(&[
                 app.name().to_owned(),
                 mult.name().to_owned(),

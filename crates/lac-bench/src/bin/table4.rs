@@ -11,9 +11,11 @@
 //! (`LAC_QUICK=1` for a fast smoke run)
 
 use lac_apps::{FilterApp, FilterKind, JpegApp, JpegMode, Kernel, StageMode};
-use lac_bench::driver::{brute_force_all, nas_search_budgeted, AppId};
-use lac_bench::{adapted_catalog, quick, Report};
-use lac_core::{greedy_multi, search_multi, Constraint, MultiObjective};
+use lac_bench::driver::{brute_force_all_observed, nas_search_budgeted_observed, AppId};
+use lac_bench::{adapted_catalog, quick, run_logger, Report};
+use lac_core::{
+    greedy_multi_observed, search_multi_observed, Constraint, MultiObjective, TrainObserver,
+};
 
 fn single_and_multi<K1: Kernel<Sample = lac_data::GrayImage> + Sync>(
     report: &mut Report,
@@ -21,6 +23,7 @@ fn single_and_multi<K1: Kernel<Sample = lac_data::GrayImage> + Sync>(
     app_id: AppId,
     multi_kernel: &K1,
     objective: MultiObjective,
+    obs: &mut dyn TrainObserver,
 ) {
     // Trained-hardware (single gate): NAS vs brute force. Greedy on a
     // single layer equals brute force, as the paper notes. The runtime
@@ -29,9 +32,9 @@ fn single_and_multi<K1: Kernel<Sample = lac_data::GrayImage> + Sync>(
     // setup (NAS trains only two sampled paths per iteration while brute
     // force trains all k candidates to convergence).
     eprintln!("[table4] {label}: single-gate NAS ...");
-    let nas = nas_search_budgeted(app_id, Constraint::None, 2.0, 1);
+    let nas = nas_search_budgeted_observed(app_id, Constraint::None, 2.0, 1, obs);
     eprintln!("[table4] {label}: brute force ...");
-    let bf = brute_force_all(app_id);
+    let bf = brute_force_all_observed(app_id, obs);
     report.row(&[
         label.to_owned(),
         "trained-hardware".to_owned(),
@@ -47,7 +50,7 @@ fn single_and_multi<K1: Kernel<Sample = lac_data::GrayImage> + Sync>(
     let data = sizing.image_dataset();
     let candidates = adapted_catalog(multi_kernel);
     eprintln!("[table4] {label}: multi-hardware NAS ...");
-    let multi = search_multi(
+    let multi = search_multi_observed(
         multi_kernel,
         &candidates,
         &data.train,
@@ -55,17 +58,19 @@ fn single_and_multi<K1: Kernel<Sample = lac_data::GrayImage> + Sync>(
         &cfg,
         1.0,
         objective,
+        obs,
     );
     eprintln!("[table4] {label}: greedy stage-by-stage ...");
     let greedy_cfg =
         sizing.config(lr).epochs(if quick() { 2 } else { sizing.epochs / 4 });
-    let greedy = greedy_multi(
+    let greedy = greedy_multi_observed(
         multi_kernel,
         &candidates,
         &data.train,
         &data.test,
         &greedy_cfg,
         objective,
+        obs,
     );
     // Brute force over k^n full trainings, estimated from one fixed run.
     let per_config = bf.seconds / candidates.len() as f64;
@@ -82,6 +87,7 @@ fn single_and_multi<K1: Kernel<Sample = lac_data::GrayImage> + Sync>(
 }
 
 fn main() {
+    let mut obs = run_logger("table4");
     let mut report = Report::new(
         "table4",
         &["application", "setup", "nas_sec", "brute_force_sec", "greedy_sec", "speedup"],
@@ -94,6 +100,7 @@ fn main() {
         AppId::Blur,
         &blur,
         MultiObjective::AreaConstrained { area_threshold: 0.12, gamma: 0.9, delta: 20.0 },
+        obs.as_mut(),
     );
 
     let jpeg = JpegApp::new(JpegMode::ThreeStage);
@@ -103,6 +110,7 @@ fn main() {
         AppId::Jpeg,
         &jpeg,
         MultiObjective::AreaConstrained { area_threshold: 0.5, gamma: 1.0, delta: 300.0 },
+        obs.as_mut(),
     );
 
     println!("Table IV: runtime comparison (NAS vs brute force vs greedy)\n");

@@ -2,7 +2,10 @@
 //!
 //! The applications have two sample types (images and inverse-kinematics
 //! targets), so the experiment binaries dispatch through [`AppId`] and a
-//! handful of monomorphized helpers instead of trait objects.
+//! handful of monomorphized helpers instead of trait objects. Every
+//! trainer-backed driver has an `_observed` variant that threads a
+//! [`TrainObserver`] down to the engine, so the figure binaries can
+//! stream per-epoch JSONL run logs (see [`crate::run_logger`]).
 
 use std::sync::Arc;
 
@@ -10,8 +13,9 @@ use lac_apps::{
     DftApp, FilterApp, FilterKind, InverseK2jApp, JpegApp, JpegMode, Kernel, Metric, StageMode,
 };
 use lac_core::{
-    brute_force, search_accuracy_constrained, search_single, train_fixed, BruteForceResult,
-    Constraint, FixedResult, NasResult,
+    brute_force_observed, search_accuracy_constrained_observed, search_single_observed,
+    train_fixed_observed, BruteForceResult, Constraint, FixedResult, NasResult, NullObserver,
+    TrainObserver,
 };
 use lac_hw::Multiplier;
 
@@ -82,111 +86,94 @@ impl AppId {
 }
 
 /// Dispatch a monomorphized closure for the application, handing it the
-/// kernel, train/test samples, config, and adapted catalog.
+/// kernel, train/test samples, config, and any extra trailing arguments
+/// (constraints, observers, ...).
 macro_rules! dispatch {
-    ($app:expr, $body:ident) => {{
+    ($app:expr, $body:ident $(, $extra:expr)*) => {{
         let (sizing, lr) = $app.sizing();
         let cfg = sizing.config(lr);
         match $app {
             AppId::Blur => {
                 let kernel = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
                 let ds = sizing.image_dataset();
-                $body(&kernel, &ds.train, &ds.test, cfg)
+                $body(&kernel, &ds.train, &ds.test, cfg $(, $extra)*)
             }
             AppId::Edge => {
                 let kernel = FilterApp::new(FilterKind::EdgeDetection, StageMode::Single);
                 let ds = sizing.image_dataset();
-                $body(&kernel, &ds.train, &ds.test, cfg)
+                $body(&kernel, &ds.train, &ds.test, cfg $(, $extra)*)
             }
             AppId::Sharpen => {
                 let kernel = FilterApp::new(FilterKind::Sharpening, StageMode::Single);
                 let ds = sizing.image_dataset();
-                $body(&kernel, &ds.train, &ds.test, cfg)
+                $body(&kernel, &ds.train, &ds.test, cfg $(, $extra)*)
             }
             AppId::Jpeg => {
                 let kernel = JpegApp::new(JpegMode::Single);
                 let ds = sizing.image_dataset();
-                $body(&kernel, &ds.train, &ds.test, cfg)
+                $body(&kernel, &ds.train, &ds.test, cfg $(, $extra)*)
             }
             AppId::Dft => {
                 let kernel = DftApp::new();
                 let ds = sizing.image_dataset();
-                $body(&kernel, &ds.train, &ds.test, cfg)
+                $body(&kernel, &ds.train, &ds.test, cfg $(, $extra)*)
             }
             AppId::Ik => {
                 let kernel = InverseK2jApp::new();
                 let ds = sizing.ik_dataset();
-                $body(&kernel, &ds.train, &ds.test, cfg)
+                $body(&kernel, &ds.train, &ds.test, cfg $(, $extra)*)
             }
         }
     }};
 }
 
 /// Fixed-hardware LAC (Fig. 3): train the application for every Table I
-/// multiplier and return `(multiplier name, result)` pairs.
+/// multiplier and return the results in catalog order.
 pub fn fixed_all(app: AppId) -> Vec<FixedResult> {
+    fixed_all_observed(app, &mut NullObserver)
+}
+
+/// [`fixed_all`] with per-epoch telemetry.
+pub fn fixed_all_observed(app: AppId, obs: &mut dyn TrainObserver) -> Vec<FixedResult> {
     fn body<K: Kernel + Sync>(
         kernel: &K,
         train: &[K::Sample],
         test: &[K::Sample],
         cfg: lac_core::TrainConfig,
+        obs: &mut dyn TrainObserver,
     ) -> Vec<FixedResult> {
         adapted_catalog(kernel)
             .iter()
-            .map(|m| train_fixed(kernel, m, train, test, &cfg))
+            .map(|m| train_fixed_observed(kernel, m, train, test, &cfg, obs))
             .collect()
     }
-    dispatch!(app, body)
+    dispatch!(app, body, obs)
 }
 
 /// Fixed-hardware LAC for one named multiplier.
 pub fn fixed_one(app: AppId, mult_name: &str) -> FixedResult {
+    fixed_one_observed(app, mult_name, &mut NullObserver)
+}
+
+/// [`fixed_one`] with per-epoch telemetry.
+pub fn fixed_one_observed(
+    app: AppId,
+    mult_name: &str,
+    obs: &mut dyn TrainObserver,
+) -> FixedResult {
     fn shim<K: Kernel + Sync>(
         kernel: &K,
         train: &[K::Sample],
         test: &[K::Sample],
         cfg: lac_core::TrainConfig,
         name: &str,
+        obs: &mut dyn TrainObserver,
     ) -> FixedResult {
         let raw = lac_hw::catalog::by_name(name).expect("catalog unit");
         let mult = kernel.adapt(&lac_hw::LutMultiplier::maybe_wrap(raw));
-        train_fixed(kernel, &mult, train, test, &cfg)
+        train_fixed_observed(kernel, &mult, train, test, &cfg, obs)
     }
-    let name = mult_name;
-    let (sizing, lr) = app.sizing();
-    let cfg = sizing.config(lr);
-    match app {
-        AppId::Blur => {
-            let kernel = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
-            let ds = sizing.image_dataset();
-            shim(&kernel, &ds.train, &ds.test, cfg, name)
-        }
-        AppId::Edge => {
-            let kernel = FilterApp::new(FilterKind::EdgeDetection, StageMode::Single);
-            let ds = sizing.image_dataset();
-            shim(&kernel, &ds.train, &ds.test, cfg, name)
-        }
-        AppId::Sharpen => {
-            let kernel = FilterApp::new(FilterKind::Sharpening, StageMode::Single);
-            let ds = sizing.image_dataset();
-            shim(&kernel, &ds.train, &ds.test, cfg, name)
-        }
-        AppId::Jpeg => {
-            let kernel = JpegApp::new(JpegMode::Single);
-            let ds = sizing.image_dataset();
-            shim(&kernel, &ds.train, &ds.test, cfg, name)
-        }
-        AppId::Dft => {
-            let kernel = DftApp::new();
-            let ds = sizing.image_dataset();
-            shim(&kernel, &ds.train, &ds.test, cfg, name)
-        }
-        AppId::Ik => {
-            let kernel = InverseK2jApp::new();
-            let ds = sizing.ik_dataset();
-            shim(&kernel, &ds.train, &ds.test, cfg, name)
-        }
-    }
+    dispatch!(app, shim, mult_name, obs)
 }
 
 /// Untrained ("traditional setup") quality for every Table I multiplier.
@@ -232,6 +219,16 @@ pub fn nas_search(app: AppId, constraint: Constraint, gate_lr: f64) -> NasResult
     nas_search_budgeted(app, constraint, gate_lr, NAS_EPOCH_FACTOR)
 }
 
+/// [`nas_search`] with per-epoch telemetry.
+pub fn nas_search_observed(
+    app: AppId,
+    constraint: Constraint,
+    gate_lr: f64,
+    obs: &mut dyn TrainObserver,
+) -> NasResult {
+    nas_search_budgeted_observed(app, constraint, gate_lr, NAS_EPOCH_FACTOR, obs)
+}
+
 /// Single-gate NAS with an explicit iteration-budget factor (Table IV's
 /// runtime comparison uses factor 1: the same budget as one fixed run).
 pub fn nas_search_budgeted(
@@ -240,6 +237,17 @@ pub fn nas_search_budgeted(
     gate_lr: f64,
     epoch_factor: usize,
 ) -> NasResult {
+    nas_search_budgeted_observed(app, constraint, gate_lr, epoch_factor, &mut NullObserver)
+}
+
+/// [`nas_search_budgeted`] with per-epoch telemetry.
+pub fn nas_search_budgeted_observed(
+    app: AppId,
+    constraint: Constraint,
+    gate_lr: f64,
+    epoch_factor: usize,
+    obs: &mut dyn TrainObserver,
+) -> NasResult {
     fn inner<K: Kernel + Sync>(
         kernel: &K,
         train: &[K::Sample],
@@ -247,57 +255,35 @@ pub fn nas_search_budgeted(
         cfg: lac_core::TrainConfig,
         constraint: Constraint,
         gate_lr: f64,
+        epoch_factor: usize,
+        obs: &mut dyn TrainObserver,
     ) -> NasResult {
+        let epochs = cfg.epochs * epoch_factor.max(1);
+        let cfg = cfg.epochs(epochs);
         let candidates = lac_core::prune(&adapted_catalog(kernel), constraint);
         assert!(
             !candidates.is_empty(),
             "constraint {constraint:?} admits no candidates for {}",
             kernel.name()
         );
-        search_single(kernel, &candidates, train, test, &cfg, gate_lr)
+        search_single_observed(kernel, &candidates, train, test, &cfg, gate_lr, obs)
     }
-    let (sizing, lr) = app.sizing();
-    let cfg = {
-        let base = sizing.config(lr);
-        let epochs = base.epochs * epoch_factor.max(1);
-        base.epochs(epochs)
-    };
-    match app {
-        AppId::Blur => {
-            let kernel = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
-            let ds = sizing.image_dataset();
-            inner(&kernel, &ds.train, &ds.test, cfg, constraint, gate_lr)
-        }
-        AppId::Edge => {
-            let kernel = FilterApp::new(FilterKind::EdgeDetection, StageMode::Single);
-            let ds = sizing.image_dataset();
-            inner(&kernel, &ds.train, &ds.test, cfg, constraint, gate_lr)
-        }
-        AppId::Sharpen => {
-            let kernel = FilterApp::new(FilterKind::Sharpening, StageMode::Single);
-            let ds = sizing.image_dataset();
-            inner(&kernel, &ds.train, &ds.test, cfg, constraint, gate_lr)
-        }
-        AppId::Jpeg => {
-            let kernel = JpegApp::new(JpegMode::Single);
-            let ds = sizing.image_dataset();
-            inner(&kernel, &ds.train, &ds.test, cfg, constraint, gate_lr)
-        }
-        AppId::Dft => {
-            let kernel = DftApp::new();
-            let ds = sizing.image_dataset();
-            inner(&kernel, &ds.train, &ds.test, cfg, constraint, gate_lr)
-        }
-        AppId::Ik => {
-            let kernel = InverseK2jApp::new();
-            let ds = sizing.ik_dataset();
-            inner(&kernel, &ds.train, &ds.test, cfg, constraint, gate_lr)
-        }
-    }
+    dispatch!(app, inner, constraint, gate_lr, epoch_factor, obs)
 }
 
 /// Accuracy-constrained single-gate NAS (Fig. 10).
 pub fn nas_accuracy(app: AppId, target: f64, delta: f64, gate_lr: f64) -> NasResult {
+    nas_accuracy_observed(app, target, delta, gate_lr, &mut NullObserver)
+}
+
+/// [`nas_accuracy`] with per-epoch telemetry.
+pub fn nas_accuracy_observed(
+    app: AppId,
+    target: f64,
+    delta: f64,
+    gate_lr: f64,
+    obs: &mut dyn TrainObserver,
+) -> NasResult {
     fn inner<K: Kernel + Sync>(
         kernel: &K,
         train: &[K::Sample],
@@ -306,64 +292,36 @@ pub fn nas_accuracy(app: AppId, target: f64, delta: f64, gate_lr: f64) -> NasRes
         target: f64,
         delta: f64,
         gate_lr: f64,
+        obs: &mut dyn TrainObserver,
     ) -> NasResult {
+        let epochs = cfg.epochs * NAS_EPOCH_FACTOR;
+        let cfg = cfg.epochs(epochs);
         let candidates = adapted_catalog(kernel);
-        search_accuracy_constrained(
-            kernel, &candidates, train, test, &cfg, gate_lr, target, delta,
+        search_accuracy_constrained_observed(
+            kernel, &candidates, train, test, &cfg, gate_lr, target, delta, obs,
         )
     }
-    let (sizing, lr) = app.sizing();
-    let cfg = {
-        let base = sizing.config(lr);
-        let epochs = base.epochs * NAS_EPOCH_FACTOR;
-        base.epochs(epochs)
-    };
-    match app {
-        AppId::Blur => {
-            let kernel = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
-            let ds = sizing.image_dataset();
-            inner(&kernel, &ds.train, &ds.test, cfg, target, delta, gate_lr)
-        }
-        AppId::Edge => {
-            let kernel = FilterApp::new(FilterKind::EdgeDetection, StageMode::Single);
-            let ds = sizing.image_dataset();
-            inner(&kernel, &ds.train, &ds.test, cfg, target, delta, gate_lr)
-        }
-        AppId::Sharpen => {
-            let kernel = FilterApp::new(FilterKind::Sharpening, StageMode::Single);
-            let ds = sizing.image_dataset();
-            inner(&kernel, &ds.train, &ds.test, cfg, target, delta, gate_lr)
-        }
-        AppId::Jpeg => {
-            let kernel = JpegApp::new(JpegMode::Single);
-            let ds = sizing.image_dataset();
-            inner(&kernel, &ds.train, &ds.test, cfg, target, delta, gate_lr)
-        }
-        AppId::Dft => {
-            let kernel = DftApp::new();
-            let ds = sizing.image_dataset();
-            inner(&kernel, &ds.train, &ds.test, cfg, target, delta, gate_lr)
-        }
-        AppId::Ik => {
-            let kernel = InverseK2jApp::new();
-            let ds = sizing.ik_dataset();
-            inner(&kernel, &ds.train, &ds.test, cfg, target, delta, gate_lr)
-        }
-    }
+    dispatch!(app, inner, target, delta, gate_lr, obs)
 }
 
 /// Brute-force per-candidate training (Fig. 10 / Table IV baseline).
 pub fn brute_force_all(app: AppId) -> BruteForceResult {
+    brute_force_all_observed(app, &mut NullObserver)
+}
+
+/// [`brute_force_all`] with per-epoch telemetry.
+pub fn brute_force_all_observed(app: AppId, obs: &mut dyn TrainObserver) -> BruteForceResult {
     fn body<K: Kernel + Sync>(
         kernel: &K,
         train: &[K::Sample],
         test: &[K::Sample],
         cfg: lac_core::TrainConfig,
+        obs: &mut dyn TrainObserver,
     ) -> BruteForceResult {
         let candidates = adapted_catalog(kernel);
-        brute_force(kernel, &candidates, train, test, &cfg)
+        brute_force_observed(kernel, &candidates, train, test, &cfg, obs)
     }
-    dispatch!(app, body)
+    dispatch!(app, body, obs)
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use lac_apps::Kernel;
-use lac_core::TrainConfig;
+use lac_core::{JsonlObserver, NullObserver, TrainConfig, TrainObserver};
 use lac_data::{IkDataset, ImageDataset};
 use lac_hw::Multiplier;
 
@@ -160,6 +160,29 @@ impl Report {
         match std::fs::write(&path, csv) {
             Ok(()) => println!("[wrote {}]", path.display()),
             Err(e) => eprintln!("[failed to write {}: {e}]", path.display()),
+        }
+    }
+}
+
+/// Directory for per-epoch JSONL run logs (`results/runs/`).
+pub fn runs_dir() -> PathBuf {
+    results_dir().join("runs")
+}
+
+/// The per-epoch telemetry sink for an experiment binary: streams JSON
+/// lines to `results/runs/<name>-seed<seed>.jsonl` (truncating any prior
+/// log of the same name). Falls back to a null observer — the experiment
+/// must not die for lack of a log file.
+pub fn run_logger(name: &str) -> Box<dyn TrainObserver> {
+    let path = runs_dir().join(format!("{name}-seed{}.jsonl", seed()));
+    match JsonlObserver::create(&path) {
+        Ok(obs) => {
+            println!("[run log: {}]", path.display());
+            Box::new(obs)
+        }
+        Err(e) => {
+            eprintln!("[no run log at {}: {e}]", path.display());
+            Box::new(NullObserver)
         }
     }
 }

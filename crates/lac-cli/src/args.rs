@@ -15,6 +15,11 @@ pub struct Options {
     pub test: usize,
     /// Random seed.
     pub seed: u64,
+    /// Early stopping: give up after this many epochs without a new best
+    /// training loss (None = run the full epoch budget).
+    pub patience: Option<usize>,
+    /// Per-epoch JSONL run log destination.
+    pub log: Option<String>,
     /// Use multi-start training.
     pub multistart: bool,
     /// Area budget for search.
@@ -33,6 +38,8 @@ impl Default for Options {
             train: 100,
             test: 20,
             seed: 42,
+            patience: None,
+            log: None,
             multistart: false,
             area: None,
             power: None,
@@ -56,6 +63,14 @@ impl Options {
                 "--train" => opts.train = parse_num(value("--train")?)?,
                 "--test" => opts.test = parse_num(value("--test")?)?,
                 "--seed" => opts.seed = parse_num(value("--seed")?)? as u64,
+                "--patience" => {
+                    let p = parse_num(value("--patience")?)?;
+                    if p == 0 {
+                        return Err("--patience must be positive".into());
+                    }
+                    opts.patience = Some(p);
+                }
+                "--log" => opts.log = Some(value("--log")?.to_owned()),
                 "--area" => opts.area = Some(parse_float(value("--area")?)?),
                 "--power" => opts.power = Some(parse_float(value("--power")?)?),
                 "--delay" => opts.delay = Some(parse_float(value("--delay")?)?),
@@ -78,7 +93,15 @@ impl Options {
         };
         let epochs = if self.epochs > 0 { self.epochs } else { default_epochs };
         let lr = if self.lr > 0.0 { self.lr } else { default_lr };
-        TrainConfig::new().epochs(epochs).learning_rate(lr).minibatch(minibatch).seed(self.seed)
+        let mut cfg = TrainConfig::new()
+            .epochs(epochs)
+            .learning_rate(lr)
+            .minibatch(minibatch)
+            .seed(self.seed);
+        if let Some(p) = self.patience {
+            cfg = cfg.patience(p);
+        }
+        cfg
     }
 
     /// The search constraint implied by the budget flags.
@@ -136,6 +159,17 @@ mod tests {
     #[test]
     fn rejects_unknown_flag() {
         assert!(Options::parse(&strs(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parses_patience_and_log() {
+        let o = Options::parse(&strs(&["--patience", "5", "--log", "run.jsonl"])).unwrap();
+        assert_eq!(o.patience, Some(5));
+        assert_eq!(o.log.as_deref(), Some("run.jsonl"));
+        assert_eq!(o.config("blur").patience, Some(5));
+        // Patience is off by default, and zero is rejected.
+        assert_eq!(Options::parse(&[]).unwrap().config("blur").patience, None);
+        assert!(Options::parse(&strs(&["--patience", "0"])).is_err());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //!
 //! Applications: `blur`, `edge`, `sharpen`, `jpeg`, `dft`, `inversek2j`.
 //! Options: `--epochs N`, `--lr X`, `--train N`, `--test N`, `--seed N`,
+//! `--patience N` (early stopping), `--log PATH` (per-epoch JSONL),
 //! `--area X` / `--power X` / `--delay X` (search budgets),
 //! `--multistart` (train with power-of-two restarts).
 
@@ -19,7 +20,8 @@ use lac_apps::{
     DftApp, FilterApp, FilterKind, InverseK2jApp, JpegApp, JpegMode, Kernel, StageMode,
 };
 use lac_core::{
-    prune, search_single, train_fixed, train_fixed_multistart, Constraint, TrainConfig,
+    prune, search_single_observed, train_fixed_multistart_observed, train_fixed_observed,
+    JsonlObserver, NullObserver, TrainObserver,
 };
 use lac_data::{IkDataset, ImageDataset};
 use lac_hw::{catalog, characterize, ErrorMap, LutMultiplier, Multiplier};
@@ -45,11 +47,16 @@ usage:
   lac-cli list
   lac-cli characterize <multiplier>
   lac-cli train <app> <multiplier> [--epochs N] [--lr X] [--train N] [--test N]
-                                   [--seed N] [--multistart]
+                                   [--seed N] [--patience N] [--log PATH]
+                                   [--multistart]
   lac-cli search <app> [--area X | --power X | --delay X] [--epochs N] [--lr X]
-                       [--train N] [--test N] [--seed N]
+                       [--train N] [--test N] [--seed N] [--patience N]
+                       [--log PATH]
 
-apps: blur | edge | sharpen | jpeg | dft | inversek2j";
+apps: blur | edge | sharpen | jpeg | dft | inversek2j
+
+`--patience N` stops a training run after N epochs without a new best
+training loss; `--log PATH` streams one JSON object per epoch to PATH.";
 
 fn run(argv: &[String]) -> Result<(), String> {
     let Some(command) = argv.first() else {
@@ -164,15 +171,34 @@ macro_rules! with_app {
     }};
 }
 
+/// The observer implied by `--log` (a JSONL stream, or a no-op).
+fn observer(opts: &Options) -> Result<Box<dyn TrainObserver>, String> {
+    match &opts.log {
+        Some(path) => JsonlObserver::create(path)
+            .map(|o| Box::new(o) as Box<dyn TrainObserver>)
+            .map_err(|e| format!("cannot create log `{path}`: {e}")),
+        None => Ok(Box::new(NullObserver)),
+    }
+}
+
 fn cmd_train(app: &str, mult_name: &str, opts: &Options) -> Result<(), String> {
     let raw = resolve_mult(mult_name)?;
     let config = opts.config(app);
+    let mut obs = observer(opts)?;
     with_app!(app, opts, |kernel, train, test| {
         let mult = kernel.adapt(&raw);
         let result = if opts.multistart {
-            train_fixed_multistart(&kernel, &mult, &train, &test, &config, &[0, 3, 6])
+            train_fixed_multistart_observed(
+                &kernel,
+                &mult,
+                &train,
+                &test,
+                &config,
+                &[0, 3, 6],
+                obs.as_mut(),
+            )
         } else {
-            train_fixed(&kernel, &mult, &train, &test, &config)
+            train_fixed_observed(&kernel, &mult, &train, &test, &config, obs.as_mut())
         };
         println!(
             "{} on {}: {:.4} -> {:.4} ({:+.4}) in {:.1}s",
@@ -190,6 +216,7 @@ fn cmd_train(app: &str, mult_name: &str, opts: &Options) -> Result<(), String> {
 fn cmd_search(app: &str, opts: &Options) -> Result<(), String> {
     let config = opts.config(app);
     let constraint = opts.constraint();
+    let mut obs = observer(opts)?;
     with_app!(app, opts, |kernel, train, test| {
         let candidates: Vec<Arc<dyn Multiplier>> = catalog::paper_multipliers_accelerated()
             .iter()
@@ -200,7 +227,8 @@ fn cmd_search(app: &str, opts: &Options) -> Result<(), String> {
             return Err(format!("constraint {constraint:?} admits no candidates"));
         }
         println!("searching {} candidates under {constraint:?} ...", admitted.len());
-        let result = search_single(&kernel, &admitted, &train, &test, &config, 2.0);
+        let result =
+            search_single_observed(&kernel, &admitted, &train, &test, &config, 2.0, obs.as_mut());
         for (name, p) in result.candidates.iter().zip(&result.probabilities) {
             println!("  {name:<12} {p:.3}");
         }

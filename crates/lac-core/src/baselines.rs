@@ -11,10 +11,10 @@ use lac_metrics::MetricDirection;
 use lac_rt::rng::{SeedableRng, StdRng};
 
 use crate::config::TrainConfig;
-use crate::constraints::{accuracy_hinge, hinge_area};
+use crate::engine::{ConstraintSet, NullObserver, RunScope, TrainObserver, TrainSession};
 use crate::eval::{batch_outputs, batch_references, quality};
-use crate::fixed::{train_fixed, FixedResult};
-use crate::nas::multi::{mean_area, metric_loss, MultiNasResult, MultiObjective};
+use crate::fixed::{train_fixed_observed, FixedResult};
+use crate::nas::multi::{assignment_plan, fine_tune, mean_area, MultiNasResult, MultiObjective};
 
 /// Outcome of brute-force per-candidate training.
 #[derive(Debug, Clone)]
@@ -48,11 +48,30 @@ pub fn brute_force<K: Kernel + Sync>(
     test: &[K::Sample],
     config: &TrainConfig,
 ) -> BruteForceResult {
+    brute_force_observed(kernel, candidates, train, test, config, &mut NullObserver)
+}
+
+/// [`brute_force`] with per-epoch telemetry: each candidate's training
+/// emits `"fixed"` events with the candidate's name as detail.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+pub fn brute_force_observed<K: Kernel + Sync>(
+    kernel: &K,
+    candidates: &[Arc<dyn Multiplier>],
+    train: &[K::Sample],
+    test: &[K::Sample],
+    config: &TrainConfig,
+    observer: &mut dyn TrainObserver,
+) -> BruteForceResult {
     assert!(!candidates.is_empty(), "brute force needs at least one candidate");
     let start = Instant::now();
     let direction = kernel.metric().direction();
-    let results: Vec<FixedResult> =
-        candidates.iter().map(|m| train_fixed(kernel, m, train, test, config)).collect();
+    let results: Vec<FixedResult> = candidates
+        .iter()
+        .map(|m| train_fixed_observed(kernel, m, train, test, config, observer))
+        .collect();
     let best = argbest(results.iter().map(|r| r.after), direction);
     BruteForceResult { best, results, seconds: start.elapsed().as_secs_f64() }
 }
@@ -135,11 +154,33 @@ pub fn greedy_multi<K: Kernel + Sync>(
     config: &TrainConfig,
     objective: MultiObjective,
 ) -> MultiNasResult {
+    greedy_multi_observed(kernel, candidates, train, test, config, objective, &mut NullObserver)
+}
+
+/// [`greedy_multi`] with per-epoch telemetry: each per-option training
+/// run emits `"greedy"` events whose detail names the stage under
+/// consideration and the candidate being tried
+/// (`"stage<idx>:<candidate>"`); the final polish emits `"fine-tune"`
+/// events.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+pub fn greedy_multi_observed<K: Kernel + Sync>(
+    kernel: &K,
+    candidates: &[Arc<dyn Multiplier>],
+    train: &[K::Sample],
+    test: &[K::Sample],
+    config: &TrainConfig,
+    objective: MultiObjective,
+    observer: &mut dyn TrainObserver,
+) -> MultiNasResult {
     assert!(!candidates.is_empty(), "greedy search needs at least one candidate");
     let start = Instant::now();
     let n_stages = kernel.num_stages();
     let threads = config.effective_threads();
     let metric = kernel.metric();
+    let constraint: ConstraintSet = objective.into();
     let train_refs = batch_references(kernel, train);
     let test_refs = batch_references(kernel, test);
 
@@ -151,45 +192,36 @@ pub fn greedy_multi<K: Kernel + Sync>(
     let rep: Vec<Arc<dyn Multiplier>> = vec![Arc::clone(&candidates[0]); n_stages];
     let mut coeffs = kernel.init_coeffs(&rep);
     let mut choices = vec![0usize; n_stages];
+    let scope = RunScope { run: "greedy", detail: "", start };
 
     for &stage in &order {
         let mut best_choice = 0usize;
         let mut best_score = f64::INFINITY;
         let mut best_coeffs = coeffs.clone();
-        for (c, _) in candidates.iter().enumerate() {
+        for (c, unit) in candidates.iter().enumerate() {
             let mut trial = choices.clone();
             trial[stage] = c;
-            let mults: Vec<Arc<dyn Multiplier>> =
-                trial.iter().map(|&k| Arc::clone(&candidates[k])).collect();
-            // Short per-option coefficient training from the current state.
-            let mut trial_coeffs = coeffs.clone();
-            let mut opt = lac_tensor::Adam::new(config.lr);
-            for step in 0..config.epochs {
-                let idx = config.step_indices(step, train.len());
-                let batch: Vec<K::Sample> = idx.iter().map(|&i| train[i].clone()).collect();
-                let refs: Vec<Vec<f64>> = idx.iter().map(|&i| train_refs[i].clone()).collect();
-                let (grads, _) = crate::eval::batch_grads(
-                    kernel,
-                    &trial_coeffs,
-                    &mults,
-                    &batch,
-                    &refs,
-                    threads,
-                );
-                let mut params: Vec<&mut lac_tensor::Tensor> = trial_coeffs.iter_mut().collect();
-                opt.step(&mut params, &grads);
-            }
+            let plan = assignment_plan(kernel, candidates, &trial);
+            let mults = plan.materialize(n_stages);
+            // Short per-option coefficient training from the current
+            // state; greedy deploys the final iterate, not the best one.
+            let mut session = TrainSession::new(coeffs.clone(), config.lr);
+            let detail = format!("stage{stage}:{}", unit.name());
+            session.run(
+                kernel,
+                &plan,
+                train,
+                &train_refs,
+                config,
+                threads,
+                scope.with_detail(&detail),
+                observer,
+            );
+            let trial_coeffs = session.into_coeffs();
             let outputs = batch_outputs(kernel, &trial_coeffs, &mults, train, threads);
             let q = metric.evaluate(&outputs, &train_refs);
             let area = mean_area(candidates, &trial);
-            let score = match objective {
-                MultiObjective::AreaConstrained { area_threshold, gamma, delta } => {
-                    metric_loss(metric, q) + delta * hinge_area(area, area_threshold, gamma)
-                }
-                MultiObjective::AccuracyConstrained { quality_target, delta } => {
-                    area + delta * accuracy_hinge(q, quality_target, metric.direction())
-                }
-            };
+            let score = constraint.score(metric, q, area);
             if score < best_score {
                 best_score = score;
                 best_choice = c;
@@ -200,17 +232,19 @@ pub fn greedy_multi<K: Kernel + Sync>(
         coeffs = best_coeffs;
     }
 
-    let final_mults: Vec<Arc<dyn Multiplier>> =
-        choices.iter().map(|&c| Arc::clone(&candidates[c])).collect();
+    let final_plan = assignment_plan(kernel, candidates, &choices);
+    let final_mults = final_plan.materialize(n_stages);
     // Final polish of the frozen assignment, as in the NAS flow.
-    let coeffs = crate::nas::multi::fine_tune(
+    let coeffs = fine_tune(
         kernel,
         coeffs,
-        &final_mults,
+        &final_plan,
         train,
         &train_refs,
         config,
         threads,
+        RunScope { run: "fine-tune", detail: "polish", start },
+        observer,
     );
     let q = quality(kernel, &coeffs, &final_mults, test, &test_refs, threads);
     MultiNasResult {

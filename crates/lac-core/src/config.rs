@@ -24,11 +24,14 @@ pub struct TrainConfig {
     /// Worker threads for batch evaluation. 0 selects the available
     /// parallelism.
     pub threads: usize,
+    /// Early stopping: give up after this many consecutive epochs without
+    /// a new best training loss. `None` runs the full epoch budget.
+    pub patience: Option<usize>,
 }
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 120, lr: 1.0, minibatch: None, seed: 0, threads: 0 }
+        TrainConfig { epochs: 120, lr: 1.0, minibatch: None, seed: 0, threads: 0, patience: None }
     }
 }
 
@@ -78,6 +81,18 @@ impl TrainConfig {
         self
     }
 
+    /// Stop a training run after `patience` consecutive epochs without a
+    /// new best training loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero patience.
+    pub fn patience(mut self, patience: usize) -> Self {
+        assert!(patience > 0, "patience must be positive");
+        self.patience = Some(patience);
+        self
+    }
+
     /// The effective worker-thread count.
     pub fn effective_threads(&self) -> usize {
         if self.threads > 0 {
@@ -113,6 +128,8 @@ mod tests {
         assert_eq!(cfg.minibatch, Some(4));
         assert_eq!(cfg.seed, 3);
         assert_eq!(cfg.effective_threads(), 2);
+        assert_eq!(cfg.patience, None);
+        assert_eq!(cfg.patience(5).patience, Some(5));
     }
 
     #[test]
@@ -139,5 +156,11 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn rejects_zero_minibatch() {
         let _ = TrainConfig::new().minibatch(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "patience must be positive")]
+    fn rejects_zero_patience() {
+        let _ = TrainConfig::new().patience(0);
     }
 }

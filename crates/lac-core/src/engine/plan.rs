@@ -1,0 +1,171 @@
+//! Hardware-assignment structure for a training session.
+//!
+//! Every LAC loop trains coefficients against *some* mapping of
+//! approximate multipliers onto the kernel's stages. [`HardwarePlan`]
+//! names the three mappings in the paper, so one engine serves all of
+//! them:
+//!
+//! * [`HardwarePlan::Uniform`] — one unit replicated over every stage
+//!   (fixed-hardware training, single-gate NAS paths);
+//! * [`HardwarePlan::PerStage`] — one unit per serial pipeline stage
+//!   (JPEG's 3-stage layering, Fig. 12);
+//! * [`HardwarePlan::PerTap`] — one unit per kernel coefficient tap
+//!   (Gaussian blur's 9-tap parallel layering, Fig. 11).
+//!
+//! `PerStage` and `PerTap` share a representation (the kernel decides
+//! whether its "stages" are pipeline stages or taps); the distinct arms
+//! keep call sites self-describing and leave room for arm-specific
+//! behavior (e.g. tap-granularity gate priors) without touching callers.
+
+use std::sync::Arc;
+
+use lac_hw::Multiplier;
+
+/// How approximate multipliers map onto a kernel's stages.
+#[derive(Clone)]
+pub enum HardwarePlan {
+    /// One unit used by every stage.
+    Uniform(Arc<dyn Multiplier>),
+    /// One unit per serial pipeline stage.
+    PerStage(Vec<Arc<dyn Multiplier>>),
+    /// One unit per parallel coefficient tap.
+    PerTap(Vec<Arc<dyn Multiplier>>),
+}
+
+impl std::fmt::Debug for HardwarePlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HardwarePlan::Uniform(m) => write!(f, "Uniform({})", m.name()),
+            HardwarePlan::PerStage(v) => write!(f, "PerStage({:?})", names(v)),
+            HardwarePlan::PerTap(v) => write!(f, "PerTap({:?})", names(v)),
+        }
+    }
+}
+
+fn names(mults: &[Arc<dyn Multiplier>]) -> Vec<&str> {
+    mults.iter().map(|m| m.name()).collect()
+}
+
+impl HardwarePlan {
+    /// A uniform plan over a shared unit.
+    pub fn uniform(mult: &Arc<dyn Multiplier>) -> Self {
+        HardwarePlan::Uniform(Arc::clone(mult))
+    }
+
+    /// The per-stage multiplier list this plan assigns to a kernel with
+    /// `n_stages` stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a `PerStage`/`PerTap` plan's length differs from
+    /// `n_stages`.
+    pub fn materialize(&self, n_stages: usize) -> Vec<Arc<dyn Multiplier>> {
+        match self {
+            HardwarePlan::Uniform(m) => vec![Arc::clone(m); n_stages],
+            HardwarePlan::PerStage(v) | HardwarePlan::PerTap(v) => {
+                assert_eq!(v.len(), n_stages, "plan/stage count mismatch");
+                v.clone()
+            }
+        }
+    }
+
+    /// Number of distinct assignment slots (1 for `Uniform`).
+    pub fn slots(&self) -> usize {
+        match self {
+            HardwarePlan::Uniform(_) => 1,
+            HardwarePlan::PerStage(v) | HardwarePlan::PerTap(v) => v.len(),
+        }
+    }
+
+    /// Mean normalized area of the assignment (the paper's "average of
+    /// multipliers as the overall area").
+    pub fn mean_area(&self) -> f64 {
+        match self {
+            HardwarePlan::Uniform(m) => m.metadata().area,
+            HardwarePlan::PerStage(v) | HardwarePlan::PerTap(v) => {
+                assert!(!v.is_empty(), "empty hardware plan");
+                v.iter().map(|m| m.metadata().area).sum::<f64>() / v.len() as f64
+            }
+        }
+    }
+
+    /// Mean normalized delay, when every unit publishes one.
+    pub fn mean_delay(&self) -> Option<f64> {
+        match self {
+            HardwarePlan::Uniform(m) => m.metadata().delay,
+            HardwarePlan::PerStage(v) | HardwarePlan::PerTap(v) => {
+                let mut sum = 0.0;
+                for m in v {
+                    sum += m.metadata().delay?;
+                }
+                Some(sum / v.len() as f64)
+            }
+        }
+    }
+
+    /// Unit names, one per slot.
+    pub fn unit_names(&self) -> Vec<String> {
+        match self {
+            HardwarePlan::Uniform(m) => vec![m.name().to_owned()],
+            HardwarePlan::PerStage(v) | HardwarePlan::PerTap(v) => {
+                v.iter().map(|m| m.name().to_owned()).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lac_hw::catalog;
+
+    fn unit(name: &str) -> Arc<dyn Multiplier> {
+        catalog::by_name(name).expect("catalog unit")
+    }
+
+    #[test]
+    fn uniform_replicates_over_stages() {
+        let plan = HardwarePlan::uniform(&unit("mul8u_FTA"));
+        let mults = plan.materialize(3);
+        assert_eq!(mults.len(), 3);
+        assert!(mults.iter().all(|m| m.name() == "mul8u_FTA"));
+        assert_eq!(plan.slots(), 1);
+        assert_eq!(plan.mean_area(), unit("mul8u_FTA").metadata().area);
+    }
+
+    #[test]
+    fn per_stage_materializes_in_order() {
+        let plan = HardwarePlan::PerStage(vec![unit("mul8u_FTA"), unit("DRUM16-6")]);
+        let mults = plan.materialize(2);
+        assert_eq!(mults[0].name(), "mul8u_FTA");
+        assert_eq!(mults[1].name(), "DRUM16-6");
+        assert_eq!(plan.slots(), 2);
+        let expect =
+            (unit("mul8u_FTA").metadata().area + unit("DRUM16-6").metadata().area) / 2.0;
+        assert!((plan.mean_area() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "plan/stage count mismatch")]
+    fn per_tap_length_must_match_stages() {
+        let plan = HardwarePlan::PerTap(vec![unit("mul8u_FTA")]);
+        let _ = plan.materialize(9);
+    }
+
+    #[test]
+    fn mean_delay_requires_all_units_published() {
+        // EvoApprox-style units publish delays; DRUM does not.
+        let with = HardwarePlan::PerStage(vec![unit("mul8u_FTA"), unit("mul8u_JV3")]);
+        assert!(with.mean_delay().is_some());
+        let without = HardwarePlan::PerStage(vec![unit("mul8u_FTA"), unit("DRUM16-6")]);
+        assert_eq!(without.mean_delay(), None);
+    }
+
+    #[test]
+    fn debug_and_names_carry_unit_names() {
+        let plan = HardwarePlan::PerTap(vec![unit("mul8u_FTA"), unit("DRUM16-6")]);
+        assert_eq!(plan.unit_names(), vec!["mul8u_FTA", "DRUM16-6"]);
+        let dbg = format!("{plan:?}");
+        assert!(dbg.contains("PerTap") && dbg.contains("DRUM16-6"), "{dbg}");
+    }
+}

@@ -12,10 +12,11 @@ use std::time::Instant;
 
 use lac_apps::Kernel;
 use lac_hw::Multiplier;
-use lac_tensor::{Adam, Tensor};
+use lac_tensor::Tensor;
 
 use crate::config::TrainConfig;
-use crate::eval::{batch_grads, batch_references, quality};
+use crate::engine::{HardwarePlan, NullObserver, RunScope, TrainObserver, TrainSession};
+use crate::eval::{batch_references, quality};
 
 /// Outcome of fixed-hardware training for one (application, multiplier)
 /// pair — one bar pair of Fig. 3.
@@ -80,9 +81,23 @@ pub fn train_fixed<K: Kernel + Sync>(
     test: &[K::Sample],
     config: &TrainConfig,
 ) -> FixedResult {
+    train_fixed_observed(kernel, mult, train, test, config, &mut NullObserver)
+}
+
+/// [`train_fixed`] with per-epoch telemetry: emits one
+/// [`EpochEvent`](crate::EpochEvent) per optimizer epoch (run `"fixed"`,
+/// detail = multiplier name).
+pub fn train_fixed_observed<K: Kernel + Sync>(
+    kernel: &K,
+    mult: &Arc<dyn Multiplier>,
+    train: &[K::Sample],
+    test: &[K::Sample],
+    config: &TrainConfig,
+    observer: &mut dyn TrainObserver,
+) -> FixedResult {
     let mults: Vec<Arc<dyn Multiplier>> = vec![Arc::clone(mult); kernel.num_stages()];
     let init = kernel.init_coeffs(&mults);
-    train_fixed_from(kernel, mult, vec![init], train, test, config)
+    train_fixed_from(kernel, mult, vec![init], train, test, config, observer)
 }
 
 /// Fixed-hardware training with multiple restarts: the original
@@ -108,6 +123,25 @@ pub fn train_fixed_multistart<K: Kernel + Sync>(
     config: &TrainConfig,
     scale_bits: &[u32],
 ) -> FixedResult {
+    train_fixed_multistart_observed(kernel, mult, train, test, config, scale_bits, &mut NullObserver)
+}
+
+/// [`train_fixed_multistart`] with per-epoch telemetry: each restart's
+/// events carry detail `"<multiplier>+restart<run>"` (the first restart is
+/// plain `"<multiplier>"`).
+///
+/// # Panics
+///
+/// Panics if `scale_bits` is empty.
+pub fn train_fixed_multistart_observed<K: Kernel + Sync>(
+    kernel: &K,
+    mult: &Arc<dyn Multiplier>,
+    train: &[K::Sample],
+    test: &[K::Sample],
+    config: &TrainConfig,
+    scale_bits: &[u32],
+    observer: &mut dyn TrainObserver,
+) -> FixedResult {
     assert!(!scale_bits.is_empty(), "multistart needs at least one scale");
     let mults: Vec<Arc<dyn Multiplier>> = vec![Arc::clone(mult); kernel.num_stages()];
     let base = kernel.init_coeffs(&mults);
@@ -123,7 +157,7 @@ pub fn train_fixed_multistart<K: Kernel + Sync>(
                 .collect()
         })
         .collect();
-    train_fixed_from(kernel, mult, inits, train, test, config)
+    train_fixed_from(kernel, mult, inits, train, test, config, observer)
 }
 
 /// Shared driver: train from each provided initialization, keep the best
@@ -136,9 +170,11 @@ fn train_fixed_from<K: Kernel + Sync>(
     train: &[K::Sample],
     test: &[K::Sample],
     config: &TrainConfig,
+    observer: &mut dyn TrainObserver,
 ) -> FixedResult {
     let start = Instant::now();
-    let mults: Vec<Arc<dyn Multiplier>> = vec![Arc::clone(mult); kernel.num_stages()];
+    let plan = HardwarePlan::uniform(mult);
+    let mults = plan.materialize(kernel.num_stages());
     let threads = config.effective_threads();
     let direction = kernel.metric().direction();
 
@@ -151,36 +187,26 @@ fn train_fixed_from<K: Kernel + Sync>(
     let mut after = before;
     let mut chosen = original.clone();
     let mut first_history = Vec::new();
+    let scope = RunScope { run: "fixed", detail: mult.name(), start };
 
     for (run, init) in inits.into_iter().enumerate() {
-        let mut coeffs = init.clone();
-        let mut opt = Adam::new(config.lr);
-        let mut loss_history = Vec::with_capacity(config.epochs);
-        let mut best_coeffs = init.clone();
-        let mut best_loss = f64::INFINITY;
-
-        for step in 0..config.epochs {
-            let idx = config.step_indices(step, train.len());
-            let batch: Vec<K::Sample> = idx.iter().map(|&i| train[i].clone()).collect();
-            let refs: Vec<Vec<f64>> = idx.iter().map(|&i| train_refs[i].clone()).collect();
-            let (grads, loss) = batch_grads(kernel, &coeffs, &mults, &batch, &refs, threads);
-            loss_history.push(loss);
-            if loss < best_loss {
-                best_loss = loss;
-                best_coeffs = coeffs.clone();
-            }
-            let mut params: Vec<&mut Tensor> = coeffs.iter_mut().collect();
-            opt.step(&mut params, &grads);
-        }
+        let detail;
+        let run_scope = if run == 0 {
+            scope
+        } else {
+            detail = format!("{}+restart{run}", mult.name());
+            scope.with_detail(&detail)
+        };
+        let mut session = TrainSession::new(init, config.lr);
+        let loss_history =
+            session.run(kernel, &plan, train, &train_refs, config, threads, run_scope, observer);
         // Score the final coefficients too: the last step may be the best.
-        let (_, final_loss) = batch_grads(kernel, &coeffs, &mults, train, &train_refs, threads);
-        if final_loss < best_loss {
-            best_coeffs = coeffs.clone();
-        }
+        session.consider_final(kernel, &plan, train, &train_refs, threads);
         if run == 0 {
             first_history = loss_history;
         }
 
+        let best_coeffs = session.into_best();
         let trained_quality = quality(kernel, &best_coeffs, &mults, test, &test_refs, threads);
         if direction.is_better(trained_quality, after) {
             after = trained_quality;

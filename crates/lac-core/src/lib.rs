@@ -43,17 +43,31 @@
 mod baselines;
 mod config;
 mod constraints;
+pub mod engine;
 mod eval;
 mod fixed;
 mod nas;
 
 pub use baselines::{
-    brute_force, brute_force_min_area, greedy_multi, no_lac_min_area, BruteForceResult,
+    brute_force, brute_force_min_area, brute_force_observed, greedy_multi, greedy_multi_observed,
+    no_lac_min_area, BruteForceResult,
 };
 pub use config::TrainConfig;
 pub use constraints::{accuracy_hinge, hinge_area, prune, Constraint};
+pub use engine::{
+    metric_loss, ConstraintSet, EpochEvent, HardwarePlan, JsonlObserver, MemoryObserver,
+    NullObserver, TrainObserver, TrainSession,
+};
 pub use eval::{batch_grads, batch_grads_with_chunk, batch_outputs, batch_references, quality};
-pub use fixed::{train_fixed, train_fixed_multistart, FixedResult};
+pub use fixed::{
+    train_fixed, train_fixed_multistart, train_fixed_multistart_observed, train_fixed_observed,
+    FixedResult,
+};
 pub use nas::gate::BinaryGate;
-pub use nas::multi::{mean_area, metric_loss, search_multi, MultiNasResult, MultiObjective};
-pub use nas::single::{search_accuracy_constrained, search_single, NasResult};
+pub use nas::multi::{
+    mean_area, search_multi, search_multi_observed, MultiNasResult, MultiObjective,
+};
+pub use nas::single::{
+    search_accuracy_constrained, search_accuracy_constrained_observed, search_single,
+    search_single_observed, NasResult,
+};

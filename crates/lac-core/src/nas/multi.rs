@@ -13,19 +13,22 @@
 //! application coefficients take one Adam step on the dual-branch loss,
 //! and every gate receives a score-function update from the total loss —
 //! Eq. 2's accuracy + area-hinge objective, or Eq. 4's inverted
-//! area-minimization objective.
+//! area-minimization objective, both scored through the engine's
+//! [`ConstraintSet`].
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use lac_apps::{Kernel, Metric};
+use lac_apps::Kernel;
 use lac_hw::Multiplier;
-use lac_tensor::{Adam, Tensor};
-use lac_rt::rng::{SeedableRng, StdRng};
+use lac_rt::rng::{RngExt, SeedableRng, StdRng};
+use lac_tensor::Tensor;
 
 use crate::config::TrainConfig;
-use crate::constraints::{accuracy_hinge, hinge_area};
-use crate::eval::{batch_grads, batch_outputs, batch_references, quality};
+use crate::engine::{
+    ConstraintSet, EpochEvent, HardwarePlan, NullObserver, RunScope, TrainObserver, TrainSession,
+};
+use crate::eval::{batch_outputs, batch_references, quality};
 use crate::nas::gate::BinaryGate;
 
 /// The search objective for multi-hardware NAS.
@@ -90,14 +93,19 @@ pub fn mean_area(candidates: &[Arc<dyn Multiplier>], choices: &[usize]) -> f64 {
     choices.iter().map(|&c| candidates[c].metadata().area).sum::<f64>() / choices.len() as f64
 }
 
-/// A scalar "loss" view of a quality score, used as the gate training
-/// signal (lower is better): `1 - SSIM`, `-PSNR` (dB), or the relative
-/// error itself.
-pub fn metric_loss(metric: Metric, q: f64) -> f64 {
-    match metric {
-        Metric::Ssim { .. } => 1.0 - q,
-        Metric::Psnr => -q,
-        Metric::RelativeError => q,
+/// The [`HardwarePlan`] of a per-stage candidate assignment, labeled
+/// `PerTap` or `PerStage` by the kernel's layering.
+pub(crate) fn assignment_plan<K: Kernel>(
+    kernel: &K,
+    candidates: &[Arc<dyn Multiplier>],
+    choices: &[usize],
+) -> HardwarePlan {
+    let mults: Vec<Arc<dyn Multiplier>> =
+        choices.iter().map(|&c| Arc::clone(&candidates[c])).collect();
+    if kernel.stages_are_parallel() {
+        HardwarePlan::PerTap(mults)
+    } else {
+        HardwarePlan::PerStage(mults)
     }
 }
 
@@ -119,12 +127,45 @@ pub fn search_multi<K: Kernel + Sync>(
     gate_lr: f64,
     objective: MultiObjective,
 ) -> MultiNasResult {
+    search_multi_observed(
+        kernel,
+        candidates,
+        train,
+        test,
+        config,
+        gate_lr,
+        objective,
+        &mut NullObserver,
+    )
+}
+
+/// [`search_multi`] with per-epoch telemetry: every supernet epoch emits
+/// one event (run `"search-multi"`) carrying the coefficient-step loss
+/// and — once gate updates begin — the sampled assignment, its batch
+/// quality and mean area, and all gate probabilities. The verification
+/// and polish fine-tunes emit `"fine-tune"` events.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty or the kernel has no stages.
+#[allow(clippy::too_many_arguments)]
+pub fn search_multi_observed<K: Kernel + Sync>(
+    kernel: &K,
+    candidates: &[Arc<dyn Multiplier>],
+    train: &[K::Sample],
+    test: &[K::Sample],
+    config: &TrainConfig,
+    gate_lr: f64,
+    objective: MultiObjective,
+    observer: &mut dyn TrainObserver,
+) -> MultiNasResult {
     assert!(!candidates.is_empty(), "hardware search needs at least one candidate");
     let n_stages = kernel.num_stages();
     assert!(n_stages >= 1, "kernel has no stages");
     let start = Instant::now();
     let threads = config.effective_threads();
     let metric = kernel.metric();
+    let constraint: ConstraintSet = objective.into();
 
     let train_refs = batch_references(kernel, train);
     let test_refs = batch_references(kernel, test);
@@ -134,8 +175,7 @@ pub fn search_multi<K: Kernel + Sync>(
     // coefficient scale to the shared 8-bit convention, so the choice of
     // representative does not matter.
     let rep: Vec<Arc<dyn Multiplier>> = vec![Arc::clone(&candidates[0]); n_stages];
-    let mut coeffs = kernel.init_coeffs(&rep);
-    let mut opt = Adam::new(config.lr);
+    let mut session = TrainSession::new(kernel.init_coeffs(&rep), config.lr);
     let mut gates: Vec<BinaryGate> =
         (0..n_stages).map(|_| BinaryGate::new(candidates.len(), gate_lr)).collect();
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x0417_1e5a);
@@ -147,7 +187,6 @@ pub fn search_multi<K: Kernel + Sync>(
     // after a warmup so early quality estimates are not pure noise.
     let warmup = config.epochs / 4;
     for step in 0..config.epochs {
-        use lac_rt::rng::RngExt;
         let idx = config.step_indices(step, train.len());
         let batch: Vec<K::Sample> = idx.iter().map(|&i| train[i].clone()).collect();
         let refs: Vec<Vec<f64>> = idx.iter().map(|&i| train_refs[i].clone()).collect();
@@ -155,13 +194,19 @@ pub fn search_multi<K: Kernel + Sync>(
         // Coefficient step on a uniformly sampled configuration.
         let uniform: Vec<usize> =
             (0..n_stages).map(|_| rng.random_range(0..candidates.len())).collect();
-        let uni_mults: Vec<Arc<dyn Multiplier>> =
-            uniform.iter().map(|&c| Arc::clone(&candidates[c])).collect();
-        let (grads, _mse) = batch_grads(kernel, &coeffs, &uni_mults, &batch, &refs, threads);
-        let mut params: Vec<&mut Tensor> = coeffs.iter_mut().collect();
-        opt.step(&mut params, &grads);
+        let uni_plan = assignment_plan(kernel, candidates, &uniform);
+        let mse = session.step_on(kernel, &uni_plan, &batch, &refs, threads);
 
         if step < warmup {
+            observer.on_epoch(&EpochEvent {
+                run: "search-multi",
+                detail: kernel.name(),
+                epoch: step,
+                loss: Some(mse),
+                area: Some(uni_plan.mean_area()),
+                seconds: start.elapsed().as_secs_f64(),
+                ..Default::default()
+            });
             continue;
         }
 
@@ -170,21 +215,28 @@ pub fn search_multi<K: Kernel + Sync>(
         let sampled: Vec<usize> = gates.iter().map(|g| g.sample_one(&mut rng)).collect();
         let mults: Vec<Arc<dyn Multiplier>> =
             sampled.iter().map(|&c| Arc::clone(&candidates[c])).collect();
-        let outputs = batch_outputs(kernel, &coeffs, &mults, &batch, threads);
+        let outputs = batch_outputs(kernel, session.coeffs(), &mults, &batch, threads);
         let q = metric.evaluate(&outputs, &refs);
         let area = mean_area(candidates, &sampled);
-        let total = match objective {
-            MultiObjective::AreaConstrained { area_threshold, gamma, delta } => {
-                metric_loss(metric, q) + delta * hinge_area(area, area_threshold, gamma)
-            }
-            MultiObjective::AccuracyConstrained { quality_target, delta } => {
-                area + delta * accuracy_hinge(q, quality_target, metric.direction())
-            }
-        };
+        let total = constraint.score(metric, q, area);
         for (gate, &choice) in gates.iter_mut().zip(&sampled) {
             gate.update_single_path(choice, total);
         }
+        let probs: Vec<Vec<f64>> = gates.iter().map(BinaryGate::probabilities).collect();
+        observer.on_epoch(&EpochEvent {
+            run: "search-multi",
+            detail: kernel.name(),
+            epoch: step,
+            loss: Some(mse),
+            quality: Some(q),
+            area: Some(area),
+            sampled: &sampled,
+            gate_probs: &probs,
+            seconds: start.elapsed().as_secs_f64(),
+            ..Default::default()
+        });
     }
+    let coeffs = session.into_coeffs();
 
     // Candidate configurations for the final selector: the gates' argmax
     // plus every uniform (single-unit) assignment. The paper observes that
@@ -223,24 +275,36 @@ pub fn search_multi<K: Kernel + Sync>(
         v.epochs = (config.epochs / 6).max(1);
         v
     };
+    let scope = RunScope { run: "fine-tune", detail: "verify", start };
     let mut best: Option<(f64, Vec<usize>, Vec<Tensor>)> = None;
     let init_coeffs = kernel.init_coeffs(&rep);
     for proposal in proposals {
-        let mults: Vec<Arc<dyn Multiplier>> =
-            proposal.iter().map(|&c| Arc::clone(&candidates[c])).collect();
-        let tuned =
-            fine_tune(kernel, coeffs.clone(), &mults, train, &train_refs, &verify_cfg, threads);
+        let plan = assignment_plan(kernel, candidates, &proposal);
+        let mults = plan.materialize(n_stages);
+        let tuned = fine_tune(
+            kernel,
+            coeffs.clone(),
+            &plan,
+            train,
+            &train_refs,
+            &verify_cfg,
+            threads,
+            scope,
+            observer,
+        );
         // Some assignments train better from the original coefficients
         // than from the supernet-pretrained ones (different basins), so
         // verify a from-scratch fine-tune as well.
         let tuned_init = fine_tune(
             kernel,
             init_coeffs.clone(),
-            &mults,
+            &plan,
             train,
             &train_refs,
             &verify_cfg,
             threads,
+            scope,
+            observer,
         );
         let area = mean_area(candidates, &proposal);
         // Score the fine-tuned sets and the original (unaltered)
@@ -248,22 +312,15 @@ pub fn search_multi<K: Kernel + Sync>(
         for cand_coeffs in [&tuned, &tuned_init, &init_coeffs] {
             let outputs = batch_outputs(kernel, cand_coeffs, &mults, train, threads);
             let q = metric.evaluate(&outputs, &train_refs);
-            let score = match objective {
-                MultiObjective::AreaConstrained { area_threshold, gamma, delta } => {
-                    metric_loss(metric, q) + delta * hinge_area(area, area_threshold, gamma)
-                }
-                MultiObjective::AccuracyConstrained { quality_target, delta } => {
-                    area + delta * accuracy_hinge(q, quality_target, metric.direction())
-                }
-            };
+            let score = constraint.score(metric, q, area);
             if best.as_ref().is_none_or(|(s, _, _)| score < *s) {
                 best = Some((score, proposal.clone(), cand_coeffs.clone()));
             }
         }
     }
     let (_, choices, coeffs) = best.expect("at least one proposal");
-    let final_mults: Vec<Arc<dyn Multiplier>> =
-        choices.iter().map(|&c| Arc::clone(&candidates[c])).collect();
+    let final_plan = assignment_plan(kernel, candidates, &choices);
+    let final_mults = final_plan.materialize(n_stages);
 
     // Final polish of the winner.
     let polish_cfg = {
@@ -271,8 +328,17 @@ pub fn search_multi<K: Kernel + Sync>(
         v.epochs = (config.epochs / 2).max(1);
         v
     };
-    let coeffs =
-        fine_tune(kernel, coeffs, &final_mults, train, &train_refs, &polish_cfg, threads);
+    let coeffs = fine_tune(
+        kernel,
+        coeffs,
+        &final_plan,
+        train,
+        &train_refs,
+        &polish_cfg,
+        threads,
+        scope.with_detail("polish"),
+        observer,
+    );
 
     // LAC can always decline to alter the application: fall back to the
     // original coefficients when training left the shared set worse off
@@ -301,30 +367,21 @@ pub fn search_multi<K: Kernel + Sync>(
 /// Coefficient-only training of a frozen stage assignment, keeping the
 /// best-loss iterate (shared by the NAS fine-tune phase and the greedy
 /// baseline's final polish).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn fine_tune<K: Kernel + Sync>(
     kernel: &K,
-    start: Vec<Tensor>,
-    mults: &[Arc<dyn Multiplier>],
+    start_coeffs: Vec<Tensor>,
+    plan: &HardwarePlan,
     train: &[K::Sample],
     train_refs: &[Vec<f64>],
     config: &TrainConfig,
     threads: usize,
+    scope: RunScope<'_>,
+    observer: &mut dyn TrainObserver,
 ) -> Vec<Tensor> {
-    let mut coeffs = start;
-    let mut opt = Adam::new(config.lr);
-    let mut best = (f64::INFINITY, coeffs.clone());
-    for step in 0..config.epochs {
-        let idx = config.step_indices(step, train.len());
-        let batch: Vec<K::Sample> = idx.iter().map(|&i| train[i].clone()).collect();
-        let refs: Vec<Vec<f64>> = idx.iter().map(|&i| train_refs[i].clone()).collect();
-        let (grads, loss) = batch_grads(kernel, &coeffs, mults, &batch, &refs, threads);
-        if loss < best.0 {
-            best = (loss, coeffs.clone());
-        }
-        let mut params: Vec<&mut Tensor> = coeffs.iter_mut().collect();
-        opt.step(&mut params, &grads);
-    }
-    best.1
+    let mut session = TrainSession::new(start_coeffs, config.lr);
+    session.run(kernel, plan, train, train_refs, config, threads, scope, observer);
+    session.into_best()
 }
 
 #[cfg(test)]
@@ -416,10 +473,30 @@ mod tests {
     }
 
     #[test]
-    fn metric_loss_directions() {
-        assert!((metric_loss(Metric::Ssim { width: 1, height: 1 }, 0.9) - 0.1).abs() < 1e-12);
-        assert_eq!(metric_loss(Metric::Psnr, 40.0), -40.0);
-        assert_eq!(metric_loss(Metric::RelativeError, 0.3), 0.3);
+    fn observer_sees_supernet_and_fine_tune_events() {
+        let app = FilterApp::new(FilterKind::GaussianBlur, StageMode::PerTap);
+        let candidates: Vec<Arc<dyn Multiplier>> = ["mul8u_FTA", "DRUM16-4"]
+            .iter()
+            .map(|n| app.adapt(&catalog::by_name(n).unwrap()))
+            .collect();
+        let (train, test) = dataset();
+        let cfg = TrainConfig::new().epochs(8).learning_rate(2.0).threads(2).seed(2);
+        let mut obs = crate::MemoryObserver::new();
+        let _ = search_multi_observed(
+            &app,
+            &candidates,
+            &train,
+            &test,
+            &cfg,
+            0.5,
+            MultiObjective::AreaConstrained { area_threshold: 0.3, gamma: 0.9, delta: 1.0 },
+            &mut obs,
+        );
+        let supernet = obs.lines.iter().filter(|l| l.contains("\"run\":\"search-multi\"")).count();
+        assert_eq!(supernet, 8);
+        assert!(obs.lines.iter().any(|l| l.contains("\"run\":\"fine-tune\"")));
+        // Post-warmup events carry a sampled assignment per gate.
+        assert!(obs.lines.iter().any(|l| l.contains("\"sampled\":[") && !l.contains("\"sampled\":[]")));
     }
 
     #[test]

@@ -13,12 +13,15 @@ use std::time::Instant;
 
 use lac_apps::Kernel;
 use lac_hw::Multiplier;
-use lac_tensor::{Adam, Tensor};
 use lac_rt::rng::{SeedableRng, StdRng};
+use lac_tensor::Tensor;
 
 use crate::config::TrainConfig;
 use crate::constraints::accuracy_hinge;
-use crate::eval::{batch_grads, batch_references, batch_outputs, quality};
+use crate::engine::{
+    metric_loss, EpochEvent, HardwarePlan, NullObserver, TrainObserver, TrainSession,
+};
+use crate::eval::{batch_outputs, batch_references, quality};
 use crate::nas::gate::BinaryGate;
 
 /// Outcome of a single-gate hardware search.
@@ -48,15 +51,13 @@ impl NasResult {
     }
 }
 
-/// Per-candidate training state.
+/// Per-candidate training state: the candidate's uniform hardware plan,
+/// its original coefficients, and the engine session training them.
 struct Path {
     mult: Arc<dyn Multiplier>,
+    plan: HardwarePlan,
     init: Vec<Tensor>,
-    coeffs: Vec<Tensor>,
-    best_coeffs: Vec<Tensor>,
-    best_loss: f64,
-    opt: Adam,
-    steps: usize,
+    session: TrainSession,
 }
 
 fn make_paths<K: Kernel>(
@@ -67,16 +68,13 @@ fn make_paths<K: Kernel>(
     candidates
         .iter()
         .map(|m| {
-            let mults = vec![Arc::clone(m); kernel.num_stages()];
-            let init = kernel.init_coeffs(&mults);
+            let plan = HardwarePlan::uniform(m);
+            let init = kernel.init_coeffs(&plan.materialize(kernel.num_stages()));
             Path {
                 mult: Arc::clone(m),
-                coeffs: init.clone(),
-                best_coeffs: init.clone(),
-                best_loss: f64::INFINITY,
+                plan,
+                session: TrainSession::new(init.clone(), lr),
                 init,
-                opt: Adam::new(lr),
-                steps: 0,
             }
         })
         .collect()
@@ -91,19 +89,7 @@ fn train_path_step<K: Kernel + Sync>(
     config: &TrainConfig,
     threads: usize,
 ) -> f64 {
-    let idx = config.step_indices(path.steps, train.len());
-    let batch: Vec<K::Sample> = idx.iter().map(|&i| train[i].clone()).collect();
-    let refs: Vec<Vec<f64>> = idx.iter().map(|&i| train_refs[i].clone()).collect();
-    let mults = vec![Arc::clone(&path.mult); kernel.num_stages()];
-    let (grads, loss) = batch_grads(kernel, &path.coeffs, &mults, &batch, &refs, threads);
-    if loss < path.best_loss {
-        path.best_loss = loss;
-        path.best_coeffs = path.coeffs.clone();
-    }
-    let mut params: Vec<&mut Tensor> = path.coeffs.iter_mut().collect();
-    path.opt.step(&mut params, &grads);
-    path.steps += 1;
-    loss
+    path.session.step(kernel, &path.plan, train, train_refs, config, threads)
 }
 
 fn finish<K: Kernel + Sync>(
@@ -117,15 +103,15 @@ fn finish<K: Kernel + Sync>(
 ) -> NasResult {
     let chosen = gate.best();
     let path = &paths[chosen];
-    let mults = vec![Arc::clone(&path.mult); kernel.num_stages()];
+    let mults = path.plan.materialize(kernel.num_stages());
     // As in fixed-hardware training, LAC can always decline to alter the
     // application: deploy whichever of {best-seen, original} coefficients
     // scores higher on the test set.
-    let q_trained = quality(kernel, &path.best_coeffs, &mults, test, test_refs, threads);
+    let q_trained = quality(kernel, path.session.best_coeffs(), &mults, test, test_refs, threads);
     let q_init = quality(kernel, &path.init, &mults, test, test_refs, threads);
     let direction = kernel.metric().direction();
     let (q, coeffs) = if direction.is_better(q_trained, q_init) {
-        (q_trained, path.best_coeffs.clone())
+        (q_trained, path.session.best_coeffs().to_vec())
     } else {
         (q_init, path.init.clone())
     };
@@ -137,6 +123,36 @@ fn finish<K: Kernel + Sync>(
         area: path.mult.metadata().area,
         coeffs,
         seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Train the lone candidate like fixed-hardware training, emitting one
+/// event per epoch (the gate has nothing to decide).
+fn run_sole_candidate<K: Kernel + Sync>(
+    run: &str,
+    kernel: &K,
+    paths: &mut [Path],
+    train: &[K::Sample],
+    train_refs: &[Vec<f64>],
+    config: &TrainConfig,
+    threads: usize,
+    start: Instant,
+    observer: &mut dyn TrainObserver,
+) {
+    let sampled = [0usize];
+    for epoch in 0..config.epochs {
+        let loss = train_path_step(kernel, &mut paths[0], train, train_refs, config, threads);
+        observer.on_epoch(&EpochEvent {
+            run,
+            detail: paths[0].mult.name(),
+            epoch,
+            loss: Some(loss),
+            area: Some(paths[0].plan.mean_area()),
+            delay: paths[0].plan.mean_delay(),
+            sampled: &sampled,
+            seconds: start.elapsed().as_secs_f64(),
+            ..Default::default()
+        });
     }
 }
 
@@ -158,6 +174,26 @@ pub fn search_single<K: Kernel + Sync>(
     config: &TrainConfig,
     gate_lr: f64,
 ) -> NasResult {
+    search_single_observed(kernel, candidates, train, test, config, gate_lr, &mut NullObserver)
+}
+
+/// [`search_single`] with per-epoch telemetry: each main-loop iteration
+/// emits one event (run `"search-single"`) carrying the sampled path
+/// pair, the mean of their training losses, and the gate probabilities
+/// after the update. Warmup steps are silent.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+pub fn search_single_observed<K: Kernel + Sync>(
+    kernel: &K,
+    candidates: &[Arc<dyn Multiplier>],
+    train: &[K::Sample],
+    test: &[K::Sample],
+    config: &TrainConfig,
+    gate_lr: f64,
+    observer: &mut dyn TrainObserver,
+) -> NasResult {
     assert!(!candidates.is_empty(), "hardware search needs at least one candidate");
     let start = Instant::now();
     let threads = config.effective_threads();
@@ -169,9 +205,17 @@ pub fn search_single<K: Kernel + Sync>(
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5ac5_ac5a);
 
     if candidates.len() == 1 {
-        for _ in 0..config.epochs {
-            train_path_step(kernel, &mut paths[0], train, &train_refs, config, threads);
-        }
+        run_sole_candidate(
+            "search-single",
+            kernel,
+            &mut paths,
+            train,
+            &train_refs,
+            config,
+            threads,
+            start,
+            observer,
+        );
         return finish(kernel, &gate, paths, test, &test_refs, threads, start);
     }
 
@@ -188,8 +232,8 @@ pub fn search_single<K: Kernel + Sync>(
     let metric = kernel.metric();
     for step in 0..config.epochs {
         let (i, j) = gate.sample_two(&mut rng);
-        train_path_step(kernel, &mut paths[i], train, &train_refs, config, threads);
-        train_path_step(kernel, &mut paths[j], train, &train_refs, config, threads);
+        let li_train = train_path_step(kernel, &mut paths[i], train, &train_refs, config, threads);
+        let lj_train = train_path_step(kernel, &mut paths[j], train, &train_refs, config, threads);
         // The gate compares the application's *quality metric* (Eq. 1's
         // L(·) is SSIM/PSNR/…), evaluated for both paths on the same
         // batch; raw MSE can favor degenerate outputs on sparse targets.
@@ -200,13 +244,27 @@ pub fn search_single<K: Kernel + Sync>(
             // Judge the path by its best-achieved coefficients — the state
             // that would actually be deployed — not the optimizer's
             // current (possibly wandering) iterate.
-            let mults = vec![Arc::clone(&path.mult); kernel.num_stages()];
-            let outputs = batch_outputs(kernel, &path.best_coeffs, &mults, &batch, threads);
-            crate::nas::multi::metric_loss(metric, metric.evaluate(&outputs, &refs))
+            let mults = path.plan.materialize(kernel.num_stages());
+            let outputs =
+                batch_outputs(kernel, path.session.best_coeffs(), &mults, &batch, threads);
+            metric_loss(metric, metric.evaluate(&outputs, &refs))
         };
         let loss_i = loss_of(&paths[i]);
         let loss_j = loss_of(&paths[j]);
         gate.update_two_path(i, j, loss_i, loss_j);
+        let sampled = [i, j];
+        let probs = [gate.probabilities()];
+        observer.on_epoch(&EpochEvent {
+            run: "search-single",
+            detail: kernel.name(),
+            epoch: step,
+            loss: Some(0.5 * (li_train + lj_train)),
+            area: Some(0.5 * (paths[i].plan.mean_area() + paths[j].plan.mean_area())),
+            sampled: &sampled,
+            gate_probs: &probs,
+            seconds: start.elapsed().as_secs_f64(),
+            ..Default::default()
+        });
     }
     finish(kernel, &gate, paths, test, &test_refs, threads, start)
 }
@@ -236,6 +294,39 @@ pub fn search_accuracy_constrained<K: Kernel + Sync>(
     quality_target: f64,
     delta: f64,
 ) -> NasResult {
+    search_accuracy_constrained_observed(
+        kernel,
+        candidates,
+        train,
+        test,
+        config,
+        gate_lr,
+        quality_target,
+        delta,
+        &mut NullObserver,
+    )
+}
+
+/// [`search_accuracy_constrained`] with per-epoch telemetry: each
+/// main-loop iteration emits one event (run `"search-accuracy"`) carrying
+/// the sampled pair, the mean of their Eq. 4 gate losses, and the gate
+/// probabilities after the update. Warmup steps are silent.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+#[allow(clippy::too_many_arguments)]
+pub fn search_accuracy_constrained_observed<K: Kernel + Sync>(
+    kernel: &K,
+    candidates: &[Arc<dyn Multiplier>],
+    train: &[K::Sample],
+    test: &[K::Sample],
+    config: &TrainConfig,
+    gate_lr: f64,
+    quality_target: f64,
+    delta: f64,
+    observer: &mut dyn TrainObserver,
+) -> NasResult {
     assert!(!candidates.is_empty(), "hardware search needs at least one candidate");
     let start = Instant::now();
     let threads = config.effective_threads();
@@ -252,16 +343,24 @@ pub fn search_accuracy_constrained<K: Kernel + Sync>(
                          batch: &[K::Sample],
                          refs: &[Vec<f64>],
                          threads: usize| {
-        let mults = vec![Arc::clone(&path.mult); kernel.num_stages()];
-        let outputs = batch_outputs(kernel, &path.coeffs, &mults, batch, threads);
+        let mults = path.plan.materialize(kernel.num_stages());
+        let outputs = batch_outputs(kernel, path.session.coeffs(), &mults, batch, threads);
         let q = kernel.metric().evaluate(&outputs, refs);
         path.mult.metadata().area + delta * accuracy_hinge(q, quality_target, direction)
     };
 
     if candidates.len() == 1 {
-        for _ in 0..config.epochs {
-            train_path_step(kernel, &mut paths[0], train, &train_refs, config, threads);
-        }
+        run_sole_candidate(
+            "search-accuracy",
+            kernel,
+            &mut paths,
+            train,
+            &train_refs,
+            config,
+            threads,
+            start,
+            observer,
+        );
         return finish(kernel, &gate, paths, test, &test_refs, threads, start);
     }
 
@@ -282,6 +381,19 @@ pub fn search_accuracy_constrained<K: Kernel + Sync>(
         let li = gate_loss(kernel, &paths[i], &batch, &refs, threads);
         let lj = gate_loss(kernel, &paths[j], &batch, &refs, threads);
         gate.update_two_path(i, j, li, lj);
+        let sampled = [i, j];
+        let probs = [gate.probabilities()];
+        observer.on_epoch(&EpochEvent {
+            run: "search-accuracy",
+            detail: kernel.name(),
+            epoch: step,
+            loss: Some(0.5 * (li + lj)),
+            area: Some(0.5 * (paths[i].plan.mean_area() + paths[j].plan.mean_area())),
+            sampled: &sampled,
+            gate_probs: &probs,
+            seconds: start.elapsed().as_secs_f64(),
+            ..Default::default()
+        });
     }
 
     // Final selection (the "Selector" of Fig. 5): the gate steered the
@@ -291,8 +403,9 @@ pub fn search_accuracy_constrained<K: Kernel + Sync>(
     let train_all: Vec<K::Sample> = train.to_vec();
     let mut best = (f64::INFINITY, 0usize);
     for (idx, path) in paths.iter().enumerate() {
-        let mults = vec![Arc::clone(&path.mult); kernel.num_stages()];
-        let outputs = batch_outputs(kernel, &path.best_coeffs, &mults, &train_all, threads);
+        let mults = path.plan.materialize(kernel.num_stages());
+        let outputs =
+            batch_outputs(kernel, path.session.best_coeffs(), &mults, &train_all, threads);
         let q = kernel.metric().evaluate(&outputs, &train_refs);
         let score =
             path.mult.metadata().area + delta * accuracy_hinge(q, quality_target, direction);
@@ -363,6 +476,19 @@ mod tests {
         let b = search_single(&app, &candidates, &train, &test, &cfg, 2.0);
         assert_eq!(a.chosen, b.chosen);
         assert_eq!(a.quality, b.quality);
+    }
+
+    #[test]
+    fn observer_sees_one_event_per_main_loop_step() {
+        let app = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
+        let candidates = blur_candidates(&app, &["mul8u_JV3", "mul8u_FTA"]);
+        let (train, test) = dataset();
+        let cfg = TrainConfig::new().epochs(8).learning_rate(2.0).threads(2).seed(3);
+        let mut obs = crate::MemoryObserver::new();
+        let _ = search_single_observed(&app, &candidates, &train, &test, &cfg, 2.0, &mut obs);
+        assert_eq!(obs.len(), 8);
+        assert!(obs.lines[0].contains("\"run\":\"search-single\""), "{}", obs.lines[0]);
+        assert!(obs.lines[0].contains("\"gate_probs\":[["), "{}", obs.lines[0]);
     }
 
     #[test]

@@ -84,4 +84,104 @@ proptest! {
         let cfg = TrainConfig::new().minibatch(m);
         prop_assert_eq!(cfg.step_indices(step, n).len(), m.min(n));
     }
+
+    /// `sample_two` always returns two *distinct* candidate indices, even
+    /// after updates have concentrated nearly all probability mass on one
+    /// path (the second draw renormalizes over the remainder).
+    #[test]
+    fn sample_two_returns_distinct_indices(
+        seed in any::<u64>(),
+        k in 2usize..8,
+        nudges in proptest::collection::vec((0usize..8, -3.0f64..3.0), 8),
+    ) {
+        let mut gate = BinaryGate::new(k, 0.5);
+        for &(idx, amount) in &nudges {
+            gate.nudge(idx % k, amount);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let (i, j) = gate.sample_two(&mut rng);
+            prop_assert!(i < k && j < k, "sampled out of range: ({i}, {j})");
+            prop_assert_ne!(i, j, "sample_two returned the same path twice");
+        }
+    }
+
+    /// `probabilities()` is softmax-monotone in the weights: a strictly
+    /// larger weight always yields a strictly larger probability, and the
+    /// argmax weight carries the argmax probability.
+    #[test]
+    fn probabilities_are_softmax_monotone_in_weights(
+        weights in proptest::collection::vec(-20.0f64..20.0, 6),
+    ) {
+        let mut gate = BinaryGate::new(weights.len(), 0.5);
+        for (idx, &w) in weights.iter().enumerate() {
+            gate.nudge(idx, w);
+        }
+        let p = gate.probabilities();
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for a in 0..weights.len() {
+            for b in 0..weights.len() {
+                if weights[a] > weights[b] {
+                    prop_assert!(
+                        p[a] > p[b],
+                        "w[{a}]={} > w[{b}]={} but p[{a}]={} <= p[{b}]={}",
+                        weights[a], weights[b], p[a], p[b]
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(gate.best(), argmax(&p));
+    }
+
+    /// `update_two_path` conserves the sampled pair's probability mass at
+    /// the weight level: the pair's weight sum is unchanged (mass only
+    /// shifts *between* i and j) and every unsampled path's weight — and
+    /// hence the pairwise odds among unsampled paths — is untouched.
+    #[test]
+    fn update_two_path_conserves_two_path_mass(
+        k in 3usize..8,
+        pair in (0usize..8, 0usize..8),
+        li in -5.0f64..5.0,
+        lj in -5.0f64..5.0,
+        nudges in proptest::collection::vec((0usize..8, -2.0f64..2.0), 5),
+    ) {
+        let i = pair.0 % k;
+        let j = (i + 1 + pair.1 % (k - 1)) % k;
+        let mut gate = BinaryGate::new(k, 0.5);
+        for &(idx, amount) in &nudges {
+            gate.nudge(idx % k, amount);
+        }
+        let before = gate.weights().to_vec();
+        gate.update_two_path(i, j, li, lj);
+        let after = gate.weights().to_vec();
+        prop_assert!(
+            ((before[i] + before[j]) - (after[i] + after[j])).abs() < 1e-12,
+            "pair mass leaked: {} -> {}",
+            before[i] + before[j],
+            after[i] + after[j]
+        );
+        for s in 0..k {
+            if s != i && s != j {
+                prop_assert_eq!(
+                    before[s].to_bits(), after[s].to_bits(),
+                    "unsampled weight {} changed", s
+                );
+            }
+        }
+        // Losses equal => no preference => no movement at all.
+        let mut still = BinaryGate::new(k, 0.5);
+        let frozen = still.weights().to_vec();
+        still.update_two_path(i, j, 1.25, 1.25);
+        prop_assert_eq!(still.weights().to_vec(), frozen);
+    }
+}
+
+fn argmax(p: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, v) in p.iter().enumerate() {
+        if v.total_cmp(&p[best]).is_gt() {
+            best = i;
+        }
+    }
+    best
 }

@@ -8,6 +8,20 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Engine-unification guard: all lac-core training loops go through
+# lac-core::engine::TrainSession, which owns the single Adam. A second
+# `Adam::new` in lac-core means someone re-grew a bespoke loop.
+echo "== engine guard: exactly one Adam::new in lac-core"
+if grep -rn "Adam::new" crates/lac-core/src | grep -v "crates/lac-core/src/engine/"; then
+    echo "verify: FAIL — Adam::new outside crates/lac-core/src/engine/ (train through TrainSession instead)" >&2
+    exit 1
+fi
+adam_sites=$(grep -rhn "Adam::new" crates/lac-core/src/engine/ | grep -cv "^[0-9]*: *\(//\|//!\|///\)")
+if [[ "${adam_sites}" != "1" ]]; then
+    echo "verify: FAIL — expected exactly 1 Adam::new in crates/lac-core/src/engine/, found ${adam_sites}" >&2
+    exit 1
+fi
+
 echo "== cargo build --release --offline"
 cargo build --release --offline
 

@@ -1,0 +1,128 @@
+//! Golden-seed regression tests: the engine-backed trainers must
+//! reproduce the pre-refactor (seed-commit) results bit-for-bit.
+//!
+//! The constants below were captured on the last commit before the
+//! training loops were unified behind `lac-core::engine`, by running each
+//! entry point on a fixed synthetic dataset and FNV-1a-hashing every f64
+//! of the result (`to_bits`, little-endian bytes). Any change to the
+//! engine's arithmetic, step ordering, RNG consumption, or checkpointing
+//! shows up here as a hash mismatch.
+
+use std::sync::Arc;
+
+use lac::apps::{FilterApp, FilterKind, Kernel, StageMode};
+use lac::core::{
+    greedy_multi, search_accuracy_constrained, search_multi, search_single, train_fixed,
+    MultiObjective, TrainConfig,
+};
+use lac::data::{synth_image, GrayImage};
+use lac::hw::{catalog, Multiplier};
+use lac::tensor::Tensor;
+
+fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn hash_tensors(ts: &[Tensor]) -> u64 {
+    fnv1a(ts.iter().flat_map(|t| t.data().iter().flat_map(|v| v.to_bits().to_le_bytes())))
+}
+
+fn hash_f64s(vs: &[f64]) -> u64 {
+    fnv1a(vs.iter().flat_map(|v| v.to_bits().to_le_bytes()))
+}
+
+fn images(range: std::ops::Range<u64>) -> Vec<GrayImage> {
+    range.map(|i| synth_image(32, 32, i)).collect()
+}
+
+fn adapt(app: &FilterApp, names: &[&str]) -> Vec<Arc<dyn Multiplier>> {
+    names.iter().map(|n| app.adapt(&catalog::by_name(n).unwrap())).collect()
+}
+
+fn dataset() -> (Vec<GrayImage>, Vec<GrayImage>) {
+    (images(0..8), images(100..104))
+}
+
+#[test]
+fn train_fixed_matches_pre_refactor_bits() {
+    let (train, test) = dataset();
+    let app = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
+    let mult = app.adapt(&catalog::by_name("mul8u_FTA").unwrap());
+    let cfg = TrainConfig::new().epochs(12).learning_rate(2.0).minibatch(4).seed(7).threads(2);
+    let r = train_fixed(&app, &mult, &train, &test, &cfg);
+    assert_eq!(r.before.to_bits(), 0x3fecd352b20ea88e, "before quality drifted");
+    assert_eq!(r.after.to_bits(), 0x3fef93d51ce0be5c, "after quality drifted");
+    assert_eq!(r.loss_history.len(), 12);
+    assert_eq!(hash_f64s(&r.loss_history), 0x5b788e2e4e64e28e, "loss trajectory drifted");
+    assert_eq!(hash_tensors(&r.coeffs), 0x7bbad9fce667bc5e, "trained coefficients drifted");
+}
+
+#[test]
+fn search_single_matches_pre_refactor_bits() {
+    let (train, test) = dataset();
+    let app = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
+    let candidates = adapt(&app, &["mul8u_JV3", "mul8u_FTA", "DRUM16-4"]);
+    let cfg = TrainConfig::new().epochs(10).learning_rate(2.0).minibatch(4).seed(9).threads(2);
+    let r = search_single(&app, &candidates, &train, &test, &cfg, 2.0);
+    assert_eq!(r.chosen, 1, "chosen candidate drifted");
+    assert_eq!(r.quality.to_bits(), 0x3fef93d51ce0be5c, "quality drifted");
+    assert_eq!(hash_f64s(&r.probabilities), 0x7d47527faa261483, "gate probabilities drifted");
+    assert_eq!(hash_tensors(&r.coeffs), 0x7bbad9fce667bc5e, "coefficients drifted");
+}
+
+#[test]
+fn search_accuracy_constrained_matches_pre_refactor_bits() {
+    let (train, test) = dataset();
+    let app = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
+    let candidates = adapt(&app, &["mul8u_FTA", "DRUM16-6"]);
+    let cfg = TrainConfig::new().epochs(10).learning_rate(2.0).minibatch(4).seed(5).threads(2);
+    let r = search_accuracy_constrained(&app, &candidates, &train, &test, &cfg, 2.0, 0.7, 10.0);
+    assert_eq!(r.chosen, 0, "chosen candidate drifted");
+    assert_eq!(r.quality.to_bits(), 0x3fef93d51ce0be5c, "quality drifted");
+    assert_eq!(hash_tensors(&r.coeffs), 0x7bbad9fce667bc5e, "coefficients drifted");
+}
+
+#[test]
+fn search_multi_matches_pre_refactor_bits() {
+    let (train, test) = dataset();
+    let app = FilterApp::new(FilterKind::GaussianBlur, StageMode::PerTap);
+    let candidates = adapt(&app, &["mul8u_FTA", "DRUM16-4"]);
+    let cfg = TrainConfig::new().epochs(10).learning_rate(2.0).minibatch(4).seed(2).threads(2);
+    let r = search_multi(
+        &app,
+        &candidates,
+        &train,
+        &test,
+        &cfg,
+        0.8,
+        MultiObjective::AreaConstrained { area_threshold: 0.3, gamma: 0.9, delta: 1.0 },
+    );
+    assert_eq!(r.choices, vec![1, 1, 1, 1, 1, 1, 1, 1, 1], "assignment drifted");
+    assert_eq!(r.quality.to_bits(), 0x3fedcfeb442297f4, "quality drifted");
+    assert_eq!(r.area.to_bits(), 0x3fd0000000000000, "area drifted");
+    assert_eq!(hash_tensors(&r.coeffs), 0xc3bebce58d966ef5, "coefficients drifted");
+}
+
+#[test]
+fn greedy_multi_matches_pre_refactor_bits() {
+    let (train, test) = dataset();
+    let app = FilterApp::new(FilterKind::GaussianBlur, StageMode::PerTap);
+    let candidates = adapt(&app, &["mul8u_FTA", "DRUM16-4"]);
+    let cfg = TrainConfig::new().epochs(2).learning_rate(2.0).minibatch(4).seed(8).threads(2);
+    let r = greedy_multi(
+        &app,
+        &candidates,
+        &train,
+        &test,
+        &cfg,
+        MultiObjective::AreaConstrained { area_threshold: 0.3, gamma: 0.9, delta: 1.0 },
+    );
+    assert_eq!(r.choices, vec![0, 0, 1, 1, 1, 1, 1, 0, 1], "assignment drifted");
+    assert_eq!(r.quality.to_bits(), 0x3feb8683a99afda3, "quality drifted");
+    assert_eq!(hash_tensors(&r.coeffs), 0x867fb1a4fea442ac, "coefficients drifted");
+}
