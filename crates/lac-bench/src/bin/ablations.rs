@@ -39,7 +39,8 @@ fn main() {
     // Ablation 1: optimizer choice on ETM blur.
     // ------------------------------------------------------------------
     eprintln!("[ablations] optimizer: adam ...");
-    let adam = train_fixed_observed(&app, &mult, &data.train, &data.test, &cfg, obs.as_mut());
+    let adam = train_fixed_observed(&app, &mult, &data.train, &data.test, &cfg, obs.as_mut())
+        .expect("adam ablation diverged");
     report.row(&[
         "optimizer".into(),
         "adam".into(),

@@ -1,0 +1,138 @@
+//! Fault sweep: quality vs. transient-fault rate on Gaussian blur, with
+//! and without LAC retraining.
+//!
+//! Each point wraps the base multiplier in a seeded [`lac_hw::faults`]
+//! model (`<base>!seed=<seed>,flip=<rate>`), evaluates the original
+//! coefficients ("untrained"), then retrains with fixed-hardware LAC
+//! ("trained"). The curve shows how much of the fault-induced quality loss
+//! LAC training claws back — the robustness analogue of Fig. 3.
+//!
+//! Every point runs under a panic guard: a poisoned run becomes a
+//! structured error row in the CSV and the run JSONL, and the sweep
+//! continues with the remaining points.
+//!
+//! Run with: `cargo run --release -p lac-bench --bin fault_sweep`
+//! (`LAC_QUICK=1` for a fast smoke run)
+//!
+//! Flags:
+//!
+//! * `--fault-rate <r1,r2,...>` — override the swept per-multiply
+//!   bit-flip rates (each in `[0, 1]`);
+//! * `--base <name>` — base catalog multiplier (default `mul8u_FTA`).
+
+use std::time::Instant;
+
+use lac_bench::driver::{fixed_spec_observed, untrained_spec, AppId};
+use lac_bench::{record_error_row, run_caught, run_logger, Report};
+
+const DEFAULT_RATES: [f64; 7] = [0.0, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2];
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("fault_sweep: {msg}");
+    eprintln!("usage: fault_sweep [--fault-rate r1,r2,...] [--base <catalog-name>]");
+    std::process::exit(2);
+}
+
+fn parse_rates(value: &str) -> Vec<f64> {
+    value
+        .split(',')
+        .map(|tok| {
+            let rate: f64 = tok.trim().parse().unwrap_or_else(|_| {
+                usage_error(&format!("invalid --fault-rate value `{tok}`: expected a number"))
+            });
+            if !(0.0..=1.0).contains(&rate) {
+                usage_error(&format!("--fault-rate value `{tok}` is outside [0, 1]"));
+            }
+            rate
+        })
+        .collect()
+}
+
+fn main() {
+    let mut rates: Vec<f64> = DEFAULT_RATES.to_vec();
+    let mut base = "mul8u_FTA".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fault-rate" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--fault-rate needs a comma-separated list"));
+                rates = parse_rates(&value);
+            }
+            "--base" => {
+                base = args.next().unwrap_or_else(|| usage_error("--base needs a catalog name"));
+            }
+            other => usage_error(&format!("unknown flag `{other}`")),
+        }
+    }
+    if rates.is_empty() {
+        usage_error("--fault-rate list is empty");
+    }
+
+    let app = AppId::Blur;
+    let seed = lac_bench::seed();
+    let mut obs = run_logger("fault_sweep");
+    let mut report = Report::new(
+        "fault_sweep",
+        &["fault_rate", "spec", "untrained_ssim", "trained_ssim", "recovered", "error"],
+    );
+
+    for &rate in &rates {
+        let spec = if rate == 0.0 {
+            base.clone()
+        } else {
+            format!("{base}!seed={seed},flip={rate}")
+        };
+        eprintln!("[fault_sweep] {spec} ...");
+        let start = Instant::now();
+
+        let untrained = run_caught("fault-sweep-untrained", &spec, obs.as_mut(), |_| {
+            untrained_spec(app, &spec)
+        });
+        let trained = run_caught("fault-sweep-trained", &spec, obs.as_mut(), |obs| {
+            fixed_spec_observed(app, &spec, obs)
+        });
+
+        // Flatten panic (outer Err) and structured failure (inner Err)
+        // into one error cell; either way the sweep carries on.
+        let untrained = untrained.and_then(|r| r);
+        let trained = trained.and_then(|r| r);
+        match (&untrained, &trained) {
+            (Ok((_, before)), Ok(result)) => {
+                report.row(&[
+                    format!("{rate:e}"),
+                    spec.clone(),
+                    format!("{before:.4}"),
+                    format!("{:.4}", result.after),
+                    format!("{:+.4}", result.after - before),
+                    String::new(),
+                ]);
+            }
+            _ => {
+                let error = match (&untrained, &trained) {
+                    (Err(e), _) | (_, Err(e)) => e.clone(),
+                    _ => unreachable!("at least one side failed"),
+                };
+                record_error_row(
+                    "fault-sweep",
+                    &spec,
+                    &error,
+                    start.elapsed().as_secs_f64(),
+                    obs.as_mut(),
+                );
+                report.row(&[
+                    format!("{rate:e}"),
+                    spec.clone(),
+                    "-".to_owned(),
+                    "-".to_owned(),
+                    "-".to_owned(),
+                    error,
+                ]);
+            }
+        }
+    }
+
+    println!("Fault sweep: SSIM vs transient bit-flip rate, untrained vs LAC-retrained\n");
+    report.emit();
+}

@@ -28,14 +28,21 @@ fn main() {
         .iter()
         .map(|m| (m.name().to_owned(), m.metadata().area))
         .collect();
+    // A name missing from the catalog is a wiring bug, not a data point:
+    // fail loudly instead of plotting NaN areas.
     let area_of = |name: &str| {
-        areas.iter().find(|(n, _)| n == name).map(|(_, a)| *a).unwrap_or(f64::NAN)
+        areas
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, a)| *a)
+            .unwrap_or_else(|| panic!("multiplier `{name}` missing from the Table I catalog"))
     };
 
     eprintln!("[fig10] evaluating untrained qualities ...");
     let untrained = untrained_all(app);
     eprintln!("[fig10] running brute-force training of all candidates ...");
-    let bf = brute_force_all_observed(app, obs.as_mut());
+    let bf = brute_force_all_observed(app, obs.as_mut())
+        .expect("fig10 brute-force training diverged");
     let direction = app.metric().direction();
 
     let mut report = Report::new(

@@ -34,7 +34,8 @@ fn main() {
     // Single-multiplier trained-hardware reference points (from the Fig. 3
     // flow): each Table I unit's own area and post-training SSIM.
     eprintln!("[fig11] single-multiplier trained points ...");
-    let singles = fixed_all_observed(AppId::Blur, obs.as_mut());
+    let singles = fixed_all_observed(AppId::Blur, obs.as_mut())
+        .expect("single-multiplier reference training diverged");
     let single_areas: Vec<f64> =
         catalog::paper_multipliers().iter().map(|m| m.metadata().area).collect();
     for (r, &area) in singles.iter().zip(&single_areas) {

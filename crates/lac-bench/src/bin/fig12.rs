@@ -35,7 +35,8 @@ fn main() {
     );
 
     eprintln!("[fig12] single-multiplier trained points ...");
-    let singles = fixed_all_observed(AppId::Jpeg, obs.as_mut());
+    let singles = fixed_all_observed(AppId::Jpeg, obs.as_mut())
+        .expect("single-multiplier reference training diverged");
     let single_areas: Vec<f64> =
         catalog::paper_multipliers().iter().map(|m| m.metadata().area).collect();
     for (r, &area) in singles.iter().zip(&single_areas) {

@@ -9,8 +9,10 @@
 //! Run with: `cargo run --release -p lac-bench --bin fig3`
 //! (`LAC_QUICK=1` for a fast smoke run)
 
+use std::time::Instant;
+
 use lac_bench::driver::{fixed_all_observed, AppId};
-use lac_bench::{run_logger, Report};
+use lac_bench::{record_error_row, run_caught, run_logger, Report};
 use lac_metrics::MetricDirection;
 
 fn main() {
@@ -21,7 +23,26 @@ fn main() {
     );
     for app in AppId::all() {
         eprintln!("[fig3] training {} ...", app.display());
-        let results = fixed_all_observed(app, obs.as_mut());
+        let start = Instant::now();
+        // A poisoned application must not take the other five down: both
+        // panics and structured divergence become error rows, and the
+        // sweep moves on to the next app.
+        let results = match run_caught("fig3", app.display(), obs.as_mut(), |obs| {
+            fixed_all_observed(app, obs)
+        }) {
+            Ok(Ok(results)) => results,
+            Ok(Err(train_err)) => {
+                record_error_row(
+                    "fig3",
+                    app.display(),
+                    &train_err.to_string(),
+                    start.elapsed().as_secs_f64(),
+                    obs.as_mut(),
+                );
+                continue;
+            }
+            Err(_panic_already_recorded) => continue,
+        };
         let direction = app.metric().direction();
         let mut improvements = Vec::new();
         for r in &results {

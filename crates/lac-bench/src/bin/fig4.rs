@@ -9,8 +9,10 @@
 //!
 //! Run with: `cargo run --release -p lac-bench --bin fig4`
 
+use std::time::Instant;
+
 use lac_bench::driver::{fixed_all_observed, AppId};
-use lac_bench::{run_logger, Report};
+use lac_bench::{record_error_row, run_caught, run_logger, Report};
 use lac_hw::catalog;
 
 fn main() {
@@ -22,7 +24,23 @@ fn main() {
     );
     for app in apps {
         eprintln!("[fig4] training {} ...", app.display());
-        let results = fixed_all_observed(app, obs.as_mut());
+        let start = Instant::now();
+        let results = match run_caught("fig4", app.display(), obs.as_mut(), |obs| {
+            fixed_all_observed(app, obs)
+        }) {
+            Ok(Ok(results)) => results,
+            Ok(Err(train_err)) => {
+                record_error_row(
+                    "fig4",
+                    app.display(),
+                    &train_err.to_string(),
+                    start.elapsed().as_secs_f64(),
+                    obs.as_mut(),
+                );
+                continue;
+            }
+            Err(_panic_already_recorded) => continue,
+        };
         // Area lookup from the catalog (results come back in catalog order).
         let areas: Vec<f64> =
             catalog::paper_multipliers().iter().map(|m| m.metadata().area).collect();

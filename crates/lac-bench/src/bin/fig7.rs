@@ -28,7 +28,8 @@ fn main() {
         let nas = nas_search_observed(app, Constraint::None, 2.0, obs.as_mut());
         // Dedicated fixed-hardware training of the chosen unit, for the
         // "NAS does not degrade the best path" comparison.
-        let dedicated = fixed_one_observed(app, nas.chosen_name(), obs.as_mut());
+        let dedicated = fixed_one_observed(app, nas.chosen_name(), obs.as_mut())
+            .expect("dedicated training of NAS choice diverged");
         report.row(&[
             app.display().to_owned(),
             app.metric_label().to_owned(),

@@ -21,9 +21,13 @@ fn main() {
         for &budget in &budgets {
             eprintln!("[fig8_power] {} power<={budget} ...", app.display());
             let nas = nas_search_observed(app, Constraint::Power(budget), 2.0, obs.as_mut());
+            // A chosen unit missing from the catalog is a wiring bug;
+            // plotting NaN power would hide it.
             let power = lac_hw::catalog::by_name(nas.chosen_name())
                 .map(|m| m.metadata().power)
-                .unwrap_or(f64::NAN);
+                .unwrap_or_else(|| {
+                    panic!("NAS chose `{}`, which is not in the catalog", nas.chosen_name())
+                });
             report.row(&[
                 app.display().to_owned(),
                 format!("{budget:.2}"),

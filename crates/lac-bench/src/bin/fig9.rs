@@ -22,9 +22,18 @@ fn main() {
         for &budget in &budgets {
             eprintln!("[fig9] {} delay<={budget} ...", app.display());
             let nas = nas_search_observed(app, Constraint::Delay(budget), 2.0, obs.as_mut());
-            let delay = lac_hw::catalog::by_name(nas.chosen_name())
-                .and_then(|m| m.metadata().delay)
-                .unwrap_or(f64::NAN);
+            // The chosen unit must exist and — under a delay constraint —
+            // must publish a delay; NaN here would silently corrupt the
+            // figure, so both lookups are hard errors.
+            let chosen = lac_hw::catalog::by_name(nas.chosen_name()).unwrap_or_else(|| {
+                panic!("NAS chose `{}`, which is not in the catalog", nas.chosen_name())
+            });
+            let delay = chosen.metadata().delay.unwrap_or_else(|| {
+                panic!(
+                    "delay-constrained NAS chose `{}`, which has no published delay",
+                    nas.chosen_name()
+                )
+            });
             report.row(&[
                 app.display().to_owned(),
                 format!("{budget:.2}"),

@@ -12,9 +12,11 @@
 //! Run with: `cargo run --release -p lac-bench --bin multistart`
 //! (`LAC_QUICK=1` for a fast smoke run)
 
+use std::time::Instant;
+
 use lac_apps::{FilterApp, FilterKind, Kernel, StageMode};
 use lac_bench::driver::AppId;
-use lac_bench::{adapted_catalog, run_logger, Report};
+use lac_bench::{adapted_catalog, record_error_row, run_logger, Report};
 use lac_core::{train_fixed_multistart_observed, train_fixed_observed};
 
 fn main() {
@@ -33,17 +35,42 @@ fn main() {
         let app = FilterApp::new(kind, StageMode::Single);
         for mult in adapted_catalog(&app) {
             eprintln!("[multistart] {} x {} ...", app.name(), mult.name());
-            let plain =
-                train_fixed_observed(&app, &mult, &data.train, &data.test, &cfg, obs.as_mut());
-            let multi = train_fixed_multistart_observed(
+            let start = Instant::now();
+            let detail = format!("{}:{}", app.name(), mult.name());
+            // One diverging unit becomes an error row, not a dead sweep.
+            let outcome = train_fixed_observed(
                 &app,
                 &mult,
                 &data.train,
                 &data.test,
                 &cfg,
-                &[0, 3, 6],
                 obs.as_mut(),
-            );
+            )
+            .and_then(|plain| {
+                train_fixed_multistart_observed(
+                    &app,
+                    &mult,
+                    &data.train,
+                    &data.test,
+                    &cfg,
+                    &[0, 3, 6],
+                    obs.as_mut(),
+                )
+                .map(|multi| (plain, multi))
+            });
+            let (plain, multi) = match outcome {
+                Ok(pair) => pair,
+                Err(e) => {
+                    record_error_row(
+                        "multistart",
+                        &detail,
+                        &e.to_string(),
+                        start.elapsed().as_secs_f64(),
+                        obs.as_mut(),
+                    );
+                    continue;
+                }
+            };
             report.row(&[
                 app.name().to_owned(),
                 mult.name().to_owned(),

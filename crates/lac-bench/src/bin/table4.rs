@@ -34,7 +34,8 @@ fn single_and_multi<K1: Kernel<Sample = lac_data::GrayImage> + Sync>(
     eprintln!("[table4] {label}: single-gate NAS ...");
     let nas = nas_search_budgeted_observed(app_id, Constraint::None, 2.0, 1, obs);
     eprintln!("[table4] {label}: brute force ...");
-    let bf = brute_force_all_observed(app_id, obs);
+    let bf = brute_force_all_observed(app_id, obs)
+        .expect("table4 brute-force training diverged");
     report.row(&[
         label.to_owned(),
         "trained-hardware".to_owned(),

@@ -15,7 +15,7 @@ use lac_apps::{
 use lac_core::{
     brute_force_observed, search_accuracy_constrained_observed, search_single_observed,
     train_fixed_observed, BruteForceResult, Constraint, FixedResult, NasResult, NullObserver,
-    TrainObserver,
+    TrainError, TrainObserver,
 };
 use lac_hw::Multiplier;
 
@@ -129,19 +129,32 @@ macro_rules! dispatch {
 
 /// Fixed-hardware LAC (Fig. 3): train the application for every Table I
 /// multiplier and return the results in catalog order.
-pub fn fixed_all(app: AppId) -> Vec<FixedResult> {
+///
+/// # Errors
+///
+/// Returns [`TrainError::Diverged`] if any unit's training exhausts its
+/// rollback budget.
+pub fn fixed_all(app: AppId) -> Result<Vec<FixedResult>, TrainError> {
     fixed_all_observed(app, &mut NullObserver)
 }
 
 /// [`fixed_all`] with per-epoch telemetry.
-pub fn fixed_all_observed(app: AppId, obs: &mut dyn TrainObserver) -> Vec<FixedResult> {
+///
+/// # Errors
+///
+/// Returns [`TrainError::Diverged`] if any unit's training exhausts its
+/// rollback budget.
+pub fn fixed_all_observed(
+    app: AppId,
+    obs: &mut dyn TrainObserver,
+) -> Result<Vec<FixedResult>, TrainError> {
     fn body<K: Kernel + Sync>(
         kernel: &K,
         train: &[K::Sample],
         test: &[K::Sample],
         cfg: lac_core::TrainConfig,
         obs: &mut dyn TrainObserver,
-    ) -> Vec<FixedResult> {
+    ) -> Result<Vec<FixedResult>, TrainError> {
         adapted_catalog(kernel)
             .iter()
             .map(|m| train_fixed_observed(kernel, m, train, test, &cfg, obs))
@@ -151,16 +164,26 @@ pub fn fixed_all_observed(app: AppId, obs: &mut dyn TrainObserver) -> Vec<FixedR
 }
 
 /// Fixed-hardware LAC for one named multiplier.
-pub fn fixed_one(app: AppId, mult_name: &str) -> FixedResult {
+///
+/// # Errors
+///
+/// Returns [`TrainError::Diverged`] if training exhausts its rollback
+/// budget.
+pub fn fixed_one(app: AppId, mult_name: &str) -> Result<FixedResult, TrainError> {
     fixed_one_observed(app, mult_name, &mut NullObserver)
 }
 
 /// [`fixed_one`] with per-epoch telemetry.
+///
+/// # Errors
+///
+/// Returns [`TrainError::Diverged`] if training exhausts its rollback
+/// budget.
 pub fn fixed_one_observed(
     app: AppId,
     mult_name: &str,
     obs: &mut dyn TrainObserver,
-) -> FixedResult {
+) -> Result<FixedResult, TrainError> {
     fn shim<K: Kernel + Sync>(
         kernel: &K,
         train: &[K::Sample],
@@ -168,12 +191,70 @@ pub fn fixed_one_observed(
         cfg: lac_core::TrainConfig,
         name: &str,
         obs: &mut dyn TrainObserver,
-    ) -> FixedResult {
+    ) -> Result<FixedResult, TrainError> {
         let raw = lac_hw::catalog::by_name(name).expect("catalog unit");
         let mult = kernel.adapt(&lac_hw::LutMultiplier::maybe_wrap(raw));
         train_fixed_observed(kernel, &mult, train, test, &cfg, obs)
     }
     dispatch!(app, shim, mult_name, obs)
+}
+
+/// Fixed-hardware LAC for an arbitrary multiplier *spec* — a catalog name
+/// with an optional `!key=value,...` fault suffix (see
+/// [`lac_hw::catalog::by_spec`]). Unknown names, malformed fault configs,
+/// and diverged trainings all surface as structured error strings so sweep
+/// binaries can record them as error rows instead of crashing.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the spec on catalog-lookup or
+/// fault-parse failure, or the rendered [`TrainError`] on divergence.
+pub fn fixed_spec_observed(
+    app: AppId,
+    spec: &str,
+    obs: &mut dyn TrainObserver,
+) -> Result<FixedResult, String> {
+    fn shim<K: Kernel + Sync>(
+        kernel: &K,
+        train: &[K::Sample],
+        test: &[K::Sample],
+        cfg: lac_core::TrainConfig,
+        spec: &str,
+        obs: &mut dyn TrainObserver,
+    ) -> Result<FixedResult, String> {
+        let raw = lac_hw::catalog::by_spec(spec)?;
+        let mult = kernel.adapt(&lac_hw::LutMultiplier::maybe_wrap(raw));
+        train_fixed_observed(kernel, &mult, train, test, &cfg, obs).map_err(|e| e.to_string())
+    }
+    dispatch!(app, shim, spec, obs)
+}
+
+/// Untrained quality for an arbitrary multiplier spec (catalog name plus
+/// optional `!fault` suffix): evaluate the kernel's *original* coefficients
+/// on the test split — the "no retraining" side of the fault sweep.
+///
+/// # Errors
+///
+/// Returns a message naming the spec when the catalog lookup or fault
+/// parse fails.
+pub fn untrained_spec(app: AppId, spec: &str) -> Result<(String, f64), String> {
+    fn shim<K: Kernel + Sync>(
+        kernel: &K,
+        _train: &[K::Sample],
+        test: &[K::Sample],
+        cfg: lac_core::TrainConfig,
+        spec: &str,
+    ) -> Result<(String, f64), String> {
+        let raw = lac_hw::catalog::by_spec(spec)?;
+        let mult = kernel.adapt(&lac_hw::LutMultiplier::maybe_wrap(raw));
+        let refs = lac_core::batch_references(kernel, test);
+        let mults: Vec<Arc<dyn Multiplier>> = vec![Arc::clone(&mult); kernel.num_stages()];
+        let coeffs = kernel.init_coeffs(&mults);
+        let q =
+            lac_core::quality(kernel, &coeffs, &mults, test, &refs, cfg.effective_threads());
+        Ok((mult.name().to_owned(), q))
+    }
+    dispatch!(app, shim, spec)
 }
 
 /// Untrained ("traditional setup") quality for every Table I multiplier.
@@ -305,19 +386,32 @@ pub fn nas_accuracy_observed(
 }
 
 /// Brute-force per-candidate training (Fig. 10 / Table IV baseline).
-pub fn brute_force_all(app: AppId) -> BruteForceResult {
+///
+/// # Errors
+///
+/// Returns [`TrainError::Diverged`] if any candidate's training exhausts
+/// its rollback budget.
+pub fn brute_force_all(app: AppId) -> Result<BruteForceResult, TrainError> {
     brute_force_all_observed(app, &mut NullObserver)
 }
 
 /// [`brute_force_all`] with per-epoch telemetry.
-pub fn brute_force_all_observed(app: AppId, obs: &mut dyn TrainObserver) -> BruteForceResult {
+///
+/// # Errors
+///
+/// Returns [`TrainError::Diverged`] if any candidate's training exhausts
+/// its rollback budget.
+pub fn brute_force_all_observed(
+    app: AppId,
+    obs: &mut dyn TrainObserver,
+) -> Result<BruteForceResult, TrainError> {
     fn body<K: Kernel + Sync>(
         kernel: &K,
         train: &[K::Sample],
         test: &[K::Sample],
         cfg: lac_core::TrainConfig,
         obs: &mut dyn TrainObserver,
-    ) -> BruteForceResult {
+    ) -> Result<BruteForceResult, TrainError> {
         let candidates = adapted_catalog(kernel);
         brute_force_observed(kernel, &candidates, train, test, &cfg, obs)
     }

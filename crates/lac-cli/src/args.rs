@@ -28,6 +28,12 @@ pub struct Options {
     pub power: Option<f64>,
     /// Delay budget for search.
     pub delay: Option<f64>,
+    /// Per-multiply transient bit-flip rate injected into the multiplier
+    /// (seeded by `--seed`).
+    pub fault_rate: Option<f64>,
+    /// Checkpoint path for resumable training: save progress there and
+    /// continue from it when it exists.
+    pub resume: Option<String>,
 }
 
 impl Default for Options {
@@ -44,6 +50,8 @@ impl Default for Options {
             area: None,
             power: None,
             delay: None,
+            fault_rate: None,
+            resume: None,
         }
     }
 }
@@ -58,22 +66,32 @@ impl Options {
                 it.next().map(String::as_str).ok_or_else(|| format!("{name} needs a value"))
             };
             match flag.as_str() {
-                "--epochs" => opts.epochs = parse_num(value("--epochs")?)?,
-                "--lr" => opts.lr = parse_float(value("--lr")?)?,
-                "--train" => opts.train = parse_num(value("--train")?)?,
-                "--test" => opts.test = parse_num(value("--test")?)?,
-                "--seed" => opts.seed = parse_num(value("--seed")?)? as u64,
+                "--epochs" => opts.epochs = parse_num("--epochs", value("--epochs")?)?,
+                "--lr" => opts.lr = parse_float("--lr", value("--lr")?)?,
+                "--train" => opts.train = parse_num("--train", value("--train")?)?,
+                "--test" => opts.test = parse_num("--test", value("--test")?)?,
+                "--seed" => opts.seed = parse_num("--seed", value("--seed")?)? as u64,
                 "--patience" => {
-                    let p = parse_num(value("--patience")?)?;
+                    let p = parse_num("--patience", value("--patience")?)?;
                     if p == 0 {
                         return Err("--patience must be positive".into());
                     }
                     opts.patience = Some(p);
                 }
                 "--log" => opts.log = Some(value("--log")?.to_owned()),
-                "--area" => opts.area = Some(parse_float(value("--area")?)?),
-                "--power" => opts.power = Some(parse_float(value("--power")?)?),
-                "--delay" => opts.delay = Some(parse_float(value("--delay")?)?),
+                "--area" => opts.area = Some(parse_float("--area", value("--area")?)?),
+                "--power" => opts.power = Some(parse_float("--power", value("--power")?)?),
+                "--delay" => opts.delay = Some(parse_float("--delay", value("--delay")?)?),
+                "--fault-rate" => {
+                    let rate = parse_float("--fault-rate", value("--fault-rate")?)?;
+                    if !(0.0..=1.0).contains(&rate) {
+                        return Err(format!(
+                            "--fault-rate: `{rate}` is outside the valid range [0, 1]"
+                        ));
+                    }
+                    opts.fault_rate = Some(rate);
+                }
+                "--resume" => opts.resume = Some(value("--resume")?.to_owned()),
                 "--multistart" => opts.multistart = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
@@ -118,12 +136,12 @@ impl Options {
     }
 }
 
-fn parse_num(s: &str) -> Result<usize, String> {
-    s.parse().map_err(|_| format!("`{s}` is not a valid integer"))
+fn parse_num(flag: &str, s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("{flag}: `{s}` is not a valid integer"))
 }
 
-fn parse_float(s: &str) -> Result<f64, String> {
-    s.parse().map_err(|_| format!("`{s}` is not a valid number"))
+fn parse_float(flag: &str, s: &str) -> Result<f64, String> {
+    s.parse().map_err(|_| format!("{flag}: `{s}` is not a valid number"))
 }
 
 #[cfg(test)]
@@ -178,8 +196,25 @@ mod tests {
     }
 
     #[test]
-    fn rejects_bad_number() {
-        assert!(Options::parse(&strs(&["--epochs", "many"])).is_err());
+    fn rejects_bad_number_naming_flag_and_value() {
+        let err = Options::parse(&strs(&["--epochs", "many"])).unwrap_err();
+        assert!(err.contains("--epochs"), "{err}");
+        assert!(err.contains("`many`"), "{err}");
+        let err = Options::parse(&strs(&["--lr", "fast"])).unwrap_err();
+        assert!(err.contains("--lr"), "{err}");
+        assert!(err.contains("`fast`"), "{err}");
+    }
+
+    #[test]
+    fn parses_fault_rate_and_resume() {
+        let o = Options::parse(&strs(&["--fault-rate", "0.01", "--resume", "ck.json"])).unwrap();
+        assert_eq!(o.fault_rate, Some(0.01));
+        assert_eq!(o.resume.as_deref(), Some("ck.json"));
+        // Out-of-range and malformed rates are usage errors naming the flag.
+        let err = Options::parse(&strs(&["--fault-rate", "1.5"])).unwrap_err();
+        assert!(err.contains("--fault-rate"), "{err}");
+        let err = Options::parse(&strs(&["--fault-rate", "often"])).unwrap_err();
+        assert!(err.contains("--fault-rate") && err.contains("`often`"), "{err}");
     }
 
     #[test]

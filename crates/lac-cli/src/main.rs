@@ -11,8 +11,15 @@
 //! Options: `--epochs N`, `--lr X`, `--train N`, `--test N`, `--seed N`,
 //! `--patience N` (early stopping), `--log PATH` (per-epoch JSONL),
 //! `--area X` / `--power X` / `--delay X` (search budgets),
-//! `--multistart` (train with power-of-two restarts).
+//! `--multistart` (train with power-of-two restarts),
+//! `--fault-rate X` (seeded transient bit-flips in the multiplier),
+//! `--resume PATH` (checkpointed, resumable training).
+//!
+//! Exit codes: 0 on success, 2 on a usage error (bad flags/arguments,
+//! reported with the usage text), 1 on a runtime failure (diverged
+//! training, I/O, ...).
 
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -21,22 +28,39 @@ use lac_apps::{
 };
 use lac_core::{
     prune, search_single_observed, train_fixed_multistart_observed, train_fixed_observed,
-    JsonlObserver, NullObserver, TrainObserver,
+    train_fixed_resumable_observed, JsonlObserver, NullObserver, TrainObserver,
 };
 use lac_data::{IkDataset, ImageDataset};
-use lac_hw::{catalog, characterize, ErrorMap, LutMultiplier, Multiplier};
+use lac_hw::{catalog, characterize, ErrorMap, FaultConfig, LutMultiplier, Multiplier};
 
 mod args;
 use args::Options;
+
+/// CLI failure, split by blame: usage errors are the caller's fault (exit
+/// code 2, usage text included); runtime errors are the run's fault (exit
+/// code 1).
+#[derive(Debug)]
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+fn usage_err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError::Usage(msg.into()))
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(&argv) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
     }
@@ -48,7 +72,8 @@ usage:
   lac-cli characterize <multiplier>
   lac-cli train <app> <multiplier> [--epochs N] [--lr X] [--train N] [--test N]
                                    [--seed N] [--patience N] [--log PATH]
-                                   [--multistart]
+                                   [--multistart] [--fault-rate X]
+                                   [--resume PATH]
   lac-cli search <app> [--area X | --power X | --delay X] [--epochs N] [--lr X]
                        [--train N] [--test N] [--seed N] [--patience N]
                        [--log PATH]
@@ -56,38 +81,49 @@ usage:
 apps: blur | edge | sharpen | jpeg | dft | inversek2j
 
 `--patience N` stops a training run after N epochs without a new best
-training loss; `--log PATH` streams one JSON object per epoch to PATH.";
+training loss; `--log PATH` streams one JSON object per epoch to PATH.
+`--fault-rate X` injects seeded transient bit-flips into X of all
+multiplies (deterministic in `--seed`); `--resume PATH` checkpoints
+training to PATH and continues from it when it already exists.";
 
-fn run(argv: &[String]) -> Result<(), String> {
+fn run(argv: &[String]) -> Result<(), CliError> {
     let Some(command) = argv.first() else {
-        return Err("missing command".into());
+        return usage_err("missing command");
     };
     match command.as_str() {
         "list" => cmd_list(),
         "characterize" => {
-            let name = argv.get(1).ok_or("characterize needs a multiplier name")?;
+            let Some(name) = argv.get(1) else {
+                return usage_err("characterize needs a multiplier name");
+            };
             cmd_characterize(name)
         }
         "train" => {
-            let app = argv.get(1).ok_or("train needs an application")?;
-            let mult = argv.get(2).ok_or("train needs a multiplier name")?;
-            let opts = Options::parse(&argv[3..])?;
+            let Some(app) = argv.get(1) else {
+                return usage_err("train needs an application");
+            };
+            let Some(mult) = argv.get(2) else {
+                return usage_err("train needs a multiplier name");
+            };
+            let opts = Options::parse(&argv[3..]).map_err(CliError::Usage)?;
             cmd_train(app, mult, &opts)
         }
         "search" => {
-            let app = argv.get(1).ok_or("search needs an application")?;
-            let opts = Options::parse(&argv[2..])?;
+            let Some(app) = argv.get(1) else {
+                return usage_err("search needs an application");
+            };
+            let opts = Options::parse(&argv[2..]).map_err(CliError::Usage)?;
             cmd_search(app, &opts)
         }
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`")),
+        other => usage_err(format!("unknown command `{other}`")),
     }
 }
 
-fn cmd_list() -> Result<(), String> {
+fn cmd_list() -> Result<(), CliError> {
     println!("{:<12} {:>5} {:>9} {:>6} {:>6} {:>6}", "name", "bits", "sign", "area", "power", "delay");
     for m in catalog::paper_multipliers() {
         let md = m.metadata();
@@ -105,8 +141,9 @@ fn cmd_list() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_characterize(name: &str) -> Result<(), String> {
-    let m = catalog::by_name(name).ok_or_else(|| format!("unknown multiplier `{name}`"))?;
+fn cmd_characterize(name: &str) -> Result<(), CliError> {
+    let m = catalog::by_name(name)
+        .ok_or_else(|| CliError::Usage(format!("unknown multiplier `{name}`")))?;
     let stats = characterize(&*m, 100_000, 42);
     println!("{name}: {stats}");
     let map = ErrorMap::compute(&*m, 24);
@@ -120,10 +157,20 @@ fn cmd_characterize(name: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn resolve_mult(name: &str) -> Result<Arc<dyn Multiplier>, String> {
-    catalog::by_name(name)
-        .map(LutMultiplier::maybe_wrap)
-        .ok_or_else(|| format!("unknown multiplier `{name}`"))
+/// Resolve a catalog unit, inject the `--fault-rate` fault model if asked
+/// for (seeded by `--seed`), and tabulate the result for fast multiplies.
+fn resolve_mult(name: &str, opts: &Options) -> Result<Arc<dyn Multiplier>, CliError> {
+    let raw = catalog::by_name(name)
+        .ok_or_else(|| CliError::Usage(format!("unknown multiplier `{name}`")))?;
+    let faulted = match opts.fault_rate {
+        Some(rate) if rate > 0.0 => {
+            let cfg = FaultConfig::new(opts.seed).flip_rate(rate);
+            cfg.validate().map_err(CliError::Usage)?;
+            cfg.apply(raw)
+        }
+        _ => raw,
+    };
+    Ok(LutMultiplier::maybe_wrap(faulted))
 }
 
 /// Monomorphized train/search drivers per application.
@@ -166,23 +213,30 @@ macro_rules! with_app {
                 let ($train, $test) = (ds.train, ds.test);
                 $body
             }
-            other => return Err(format!("unknown application `{other}`")),
+            other => return usage_err(format!("unknown application `{other}`")),
         }
     }};
 }
 
 /// The observer implied by `--log` (a JSONL stream, or a no-op).
-fn observer(opts: &Options) -> Result<Box<dyn TrainObserver>, String> {
+fn observer(opts: &Options) -> Result<Box<dyn TrainObserver>, CliError> {
     match &opts.log {
         Some(path) => JsonlObserver::create(path)
             .map(|o| Box::new(o) as Box<dyn TrainObserver>)
-            .map_err(|e| format!("cannot create log `{path}`: {e}")),
+            .map_err(|e| CliError::Runtime(format!("cannot create log `{path}`: {e}"))),
         None => Ok(Box::new(NullObserver)),
     }
 }
 
-fn cmd_train(app: &str, mult_name: &str, opts: &Options) -> Result<(), String> {
-    let raw = resolve_mult(mult_name)?;
+/// Checkpoint cadence for `--resume`: every 10 epochs keeps the restart
+/// cost bounded without noticeable save overhead.
+const CHECKPOINT_EVERY: usize = 10;
+
+fn cmd_train(app: &str, mult_name: &str, opts: &Options) -> Result<(), CliError> {
+    if opts.multistart && opts.resume.is_some() {
+        return usage_err("--multistart and --resume cannot be combined");
+    }
+    let raw = resolve_mult(mult_name, opts)?;
     let config = opts.config(app);
     let mut obs = observer(opts)?;
     with_app!(app, opts, |kernel, train, test| {
@@ -197,9 +251,21 @@ fn cmd_train(app: &str, mult_name: &str, opts: &Options) -> Result<(), String> {
                 &[0, 3, 6],
                 obs.as_mut(),
             )
+        } else if let Some(ck) = &opts.resume {
+            train_fixed_resumable_observed(
+                &kernel,
+                &mult,
+                &train,
+                &test,
+                &config,
+                Path::new(ck),
+                CHECKPOINT_EVERY,
+                obs.as_mut(),
+            )
         } else {
             train_fixed_observed(&kernel, &mult, &train, &test, &config, obs.as_mut())
         };
+        let result = result.map_err(|e| CliError::Runtime(e.to_string()))?;
         println!(
             "{} on {}: {:.4} -> {:.4} ({:+.4}) in {:.1}s",
             kernel.name(),
@@ -213,7 +279,7 @@ fn cmd_train(app: &str, mult_name: &str, opts: &Options) -> Result<(), String> {
     })
 }
 
-fn cmd_search(app: &str, opts: &Options) -> Result<(), String> {
+fn cmd_search(app: &str, opts: &Options) -> Result<(), CliError> {
     let config = opts.config(app);
     let constraint = opts.constraint();
     let mut obs = observer(opts)?;
@@ -224,7 +290,7 @@ fn cmd_search(app: &str, opts: &Options) -> Result<(), String> {
             .collect();
         let admitted = prune(&candidates, constraint);
         if admitted.is_empty() {
-            return Err(format!("constraint {constraint:?} admits no candidates"));
+            return usage_err(format!("constraint {constraint:?} admits no candidates"));
         }
         println!("searching {} candidates under {constraint:?} ...", admitted.len());
         let result =

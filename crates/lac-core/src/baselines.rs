@@ -11,7 +11,9 @@ use lac_metrics::MetricDirection;
 use lac_rt::rng::{SeedableRng, StdRng};
 
 use crate::config::TrainConfig;
-use crate::engine::{ConstraintSet, NullObserver, RunScope, TrainObserver, TrainSession};
+use crate::engine::{
+    ConstraintSet, NullObserver, RunScope, TrainError, TrainObserver, TrainSession,
+};
 use crate::eval::{batch_outputs, batch_references, quality};
 use crate::fixed::{train_fixed_observed, FixedResult};
 use crate::nas::multi::{assignment_plan, fine_tune, mean_area, MultiNasResult, MultiObjective};
@@ -41,13 +43,19 @@ impl BruteForceResult {
 /// # Panics
 ///
 /// Panics if `candidates` is empty.
+///
+/// # Errors
+///
+/// Returns [`TrainError::Diverged`] if any candidate's training exhausts
+/// its rollback budget — the exhaustive reference is only meaningful when
+/// every candidate finished training.
 pub fn brute_force<K: Kernel + Sync>(
     kernel: &K,
     candidates: &[Arc<dyn Multiplier>],
     train: &[K::Sample],
     test: &[K::Sample],
     config: &TrainConfig,
-) -> BruteForceResult {
+) -> Result<BruteForceResult, TrainError> {
     brute_force_observed(kernel, candidates, train, test, config, &mut NullObserver)
 }
 
@@ -57,6 +65,11 @@ pub fn brute_force<K: Kernel + Sync>(
 /// # Panics
 ///
 /// Panics if `candidates` is empty.
+///
+/// # Errors
+///
+/// Returns [`TrainError::Diverged`] if any candidate's training exhausts
+/// its rollback budget.
 pub fn brute_force_observed<K: Kernel + Sync>(
     kernel: &K,
     candidates: &[Arc<dyn Multiplier>],
@@ -64,16 +77,16 @@ pub fn brute_force_observed<K: Kernel + Sync>(
     test: &[K::Sample],
     config: &TrainConfig,
     observer: &mut dyn TrainObserver,
-) -> BruteForceResult {
+) -> Result<BruteForceResult, TrainError> {
     assert!(!candidates.is_empty(), "brute force needs at least one candidate");
     let start = Instant::now();
     let direction = kernel.metric().direction();
     let results: Vec<FixedResult> = candidates
         .iter()
         .map(|m| train_fixed_observed(kernel, m, train, test, config, observer))
-        .collect();
+        .collect::<Result<_, _>>()?;
     let best = argbest(results.iter().map(|r| r.after), direction);
-    BruteForceResult { best, results, seconds: start.elapsed().as_secs_f64() }
+    Ok(BruteForceResult { best, results, seconds: start.elapsed().as_secs_f64() })
 }
 
 /// Accuracy-constrained brute-force selection (Fig. 10): among candidates
@@ -207,7 +220,10 @@ pub fn greedy_multi_observed<K: Kernel + Sync>(
             // state; greedy deploys the final iterate, not the best one.
             let mut session = TrainSession::new(coeffs.clone(), config.lr);
             let detail = format!("stage{stage}:{}", unit.name());
-            session.run(
+            // A diverged option is simply a bad candidate: the engine
+            // already rolled the session back to its best finite
+            // iterate, and scoring below rejects it on merit.
+            let _ = session.run(
                 kernel,
                 &plan,
                 train,
@@ -306,7 +322,7 @@ mod tests {
         let candidates = adapt(&app, &["mul8u_JV3", "DRUM16-6"]);
         let (train, test) = dataset();
         let cfg = TrainConfig::new().epochs(8).learning_rate(2.0).threads(4);
-        let result = brute_force(&app, &candidates, &train, &test, &cfg);
+        let result = brute_force(&app, &candidates, &train, &test, &cfg).expect("brute force");
         assert_eq!(result.results.len(), 2);
         assert_eq!(result.best, 1, "DRUM16-6 must beat JV3 on blur");
         assert!(result.seconds > 0.0);
@@ -318,7 +334,7 @@ mod tests {
         let candidates = adapt(&app, &["mul8u_FTA", "DRUM16-6"]);
         let (train, test) = dataset();
         let cfg = TrainConfig::new().epochs(20).learning_rate(2.0).threads(4);
-        let result = brute_force(&app, &candidates, &train, &test, &cfg);
+        let result = brute_force(&app, &candidates, &train, &test, &cfg).expect("brute force");
         // A loose target admits both: the cheaper FTA must win.
         let pick = brute_force_min_area(
             &result,

@@ -27,11 +27,24 @@ pub struct TrainConfig {
     /// Early stopping: give up after this many consecutive epochs without
     /// a new best training loss. `None` runs the full epoch budget.
     pub patience: Option<usize>,
+    /// Divergence-recovery budget: how many times a training run may roll
+    /// back to its best checkpoint (halving the learning rate each time)
+    /// after a non-finite loss or gradient, before giving up with a
+    /// structured [`Diverged`](crate::TrainError::Diverged) outcome.
+    pub rollbacks: usize,
 }
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 120, lr: 1.0, minibatch: None, seed: 0, threads: 0, patience: None }
+        TrainConfig {
+            epochs: 120,
+            lr: 1.0,
+            minibatch: None,
+            seed: 0,
+            threads: 0,
+            patience: None,
+            rollbacks: 3,
+        }
     }
 }
 
@@ -90,6 +103,13 @@ impl TrainConfig {
     pub fn patience(mut self, patience: usize) -> Self {
         assert!(patience > 0, "patience must be positive");
         self.patience = Some(patience);
+        self
+    }
+
+    /// Set the divergence-recovery budget (0 fails fast on the first
+    /// non-finite loss or gradient).
+    pub fn rollbacks(mut self, rollbacks: usize) -> Self {
+        self.rollbacks = rollbacks;
         self
     }
 

@@ -1,0 +1,442 @@
+//! Bit-exact session checkpointing: serialize a [`TrainSession`]
+//! mid-run and restore it so the continued run is indistinguishable —
+//! in every `f64` bit — from one that never stopped.
+//!
+//! The serialized state is everything the epoch loop threads through
+//! [`TrainSession::run`]: the coefficient iterate, the best-loss
+//! checkpoint, the Adam moment estimates and timestep, the learning
+//! rate (rollbacks may have halved it), the step counter driving the
+//! minibatch rotation, the early-stop staleness counter, the remaining
+//! rollback budget, the loss history, and an optional PRNG cursor for
+//! drivers that consume seeded randomness. All 64-bit-precision values
+//! travel as 16-digit hex strings (see [`lac_rt::json`]), never as
+//! JSON numbers, so a save/load cycle is exact.
+//!
+//! The file format is versioned ([`SessionCheckpoint::VERSION`]); a
+//! checkpoint from a different version is refused rather than
+//! misinterpreted.
+
+use std::path::Path;
+
+use lac_rt::json::Value;
+use lac_tensor::Tensor;
+
+use super::{TrainError, TrainSession};
+
+/// One tensor flattened to its shape and raw `f64` bit patterns.
+#[derive(Debug, Clone, PartialEq)]
+struct TensorDump {
+    shape: Vec<usize>,
+    bits: Vec<u64>,
+}
+
+impl TensorDump {
+    fn of(t: &Tensor) -> Self {
+        TensorDump {
+            shape: t.shape().to_vec(),
+            bits: t.data().iter().map(|v| v.to_bits()).collect(),
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            (
+                "shape".to_owned(),
+                Value::Arr(self.shape.iter().map(|&d| Value::Num(d as f64)).collect()),
+            ),
+            (
+                "bits".to_owned(),
+                Value::Arr(self.bits.iter().map(|&b| Value::from_bits(b)).collect()),
+            ),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let shape = v
+            .get("shape")
+            .and_then(Value::as_arr)
+            .ok_or("tensor missing `shape`")?
+            .iter()
+            .map(|d| d.as_usize().ok_or("bad tensor dimension"))
+            .collect::<Result<Vec<_>, _>>()?;
+        let bits = v
+            .get("bits")
+            .and_then(Value::as_arr)
+            .ok_or("tensor missing `bits`")?
+            .iter()
+            .map(|b| b.as_bits().ok_or("bad tensor element"))
+            .collect::<Result<Vec<_>, _>>()?;
+        if shape.iter().product::<usize>() != bits.len() {
+            return Err(format!(
+                "tensor shape {shape:?} does not hold {} elements",
+                bits.len()
+            ));
+        }
+        Ok(TensorDump { shape, bits })
+    }
+
+    fn to_tensor(&self) -> Tensor {
+        Tensor::from_vec(self.bits.iter().map(|&b| f64::from_bits(b)).collect(), &self.shape)
+    }
+}
+
+fn dump_list(tensors: &[Tensor]) -> Vec<TensorDump> {
+    tensors.iter().map(TensorDump::of).collect()
+}
+
+fn list_value(dumps: &[TensorDump]) -> Value {
+    Value::Arr(dumps.iter().map(TensorDump::to_value).collect())
+}
+
+fn list_from(v: &Value, key: &str) -> Result<Vec<TensorDump>, String> {
+    v.get(key)
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("missing tensor list `{key}`"))?
+        .iter()
+        .map(TensorDump::from_value)
+        .collect()
+}
+
+fn count_from(v: &Value, key: &str) -> Result<usize, String> {
+    v.get(key).and_then(Value::as_usize).ok_or_else(|| format!("missing or invalid `{key}`"))
+}
+
+fn bits_from(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key).and_then(Value::as_bits).ok_or_else(|| format!("missing or invalid `{key}`"))
+}
+
+/// A serialized [`TrainSession`] plus the loop state of
+/// [`TrainSession::run`], restorable bit-identically.
+///
+/// Capture mid-run with [`capture`](SessionCheckpoint::capture), persist
+/// with [`save`](SessionCheckpoint::save), and later rebuild the exact
+/// session with [`load`](SessionCheckpoint::load) +
+/// [`restore`](SessionCheckpoint::restore). Used by
+/// [`train_fixed_resumable`](crate::train_fixed_resumable) and the CLI's
+/// `--resume` flag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionCheckpoint {
+    stale: usize,
+    rollbacks_left: usize,
+    steps: usize,
+    best_loss_bits: u64,
+    lr_bits: u64,
+    adam_t: u64,
+    coeffs: Vec<TensorDump>,
+    best_coeffs: Vec<TensorDump>,
+    adam_m: Vec<TensorDump>,
+    adam_v: Vec<TensorDump>,
+    history_bits: Vec<u64>,
+    rng: Option<[u64; 4]>,
+}
+
+/// A [`TrainSession`] rebuilt from a checkpoint, together with the loop
+/// state needed to continue [`TrainSession::run`] where it left off.
+#[derive(Debug)]
+pub struct RestoredSession {
+    /// The session, bit-identical to the captured one.
+    pub session: TrainSession,
+    /// Early-stop staleness counter at capture time.
+    pub stale: usize,
+    /// Remaining divergence-rollback budget.
+    pub rollbacks_left: usize,
+    /// Per-epoch loss history up to the capture point (its length is the
+    /// number of completed epochs).
+    pub history: Vec<f64>,
+    /// PRNG cursor, for drivers that checkpointed one.
+    pub rng: Option<[u64; 4]>,
+}
+
+impl SessionCheckpoint {
+    /// Format version written to and required from checkpoint files.
+    pub const VERSION: u64 = 1;
+
+    /// Snapshot a session and its epoch-loop state.
+    pub fn capture(
+        session: &TrainSession,
+        stale: usize,
+        rollbacks_left: usize,
+        history: &[f64],
+    ) -> Self {
+        let (m, v) = session.opt.moments();
+        SessionCheckpoint {
+            stale,
+            rollbacks_left,
+            steps: session.steps,
+            best_loss_bits: session.best_loss.to_bits(),
+            lr_bits: session.opt.learning_rate().to_bits(),
+            adam_t: session.opt.timestep(),
+            coeffs: dump_list(&session.coeffs),
+            best_coeffs: dump_list(&session.best_coeffs),
+            adam_m: dump_list(m),
+            adam_v: dump_list(v),
+            history_bits: history.iter().map(|l| l.to_bits()).collect(),
+            rng: None,
+        }
+    }
+
+    /// Attach a PRNG cursor (e.g. [`lac_rt::rng::Xoshiro256pp::state`])
+    /// for drivers whose resume point consumes seeded randomness.
+    pub fn with_rng(mut self, state: [u64; 4]) -> Self {
+        self.rng = Some(state);
+        self
+    }
+
+    /// Number of completed epochs at capture time.
+    pub fn epochs_done(&self) -> usize {
+        self.history_bits.len()
+    }
+
+    /// Rebuild the session and loop state.
+    ///
+    /// The restored session reproduces the captured one bit for bit:
+    /// coefficients, best iterate, best loss, Adam moments and timestep,
+    /// learning rate, and minibatch-rotation step counter.
+    pub fn restore(&self) -> Result<RestoredSession, String> {
+        let lr = f64::from_bits(self.lr_bits);
+        if !(lr > 0.0) {
+            return Err(format!("checkpointed learning rate {lr} is not positive"));
+        }
+        if self.adam_m.len() != self.adam_v.len() {
+            return Err("Adam moment lists differ in length".to_owned());
+        }
+        if !self.adam_m.is_empty() && self.adam_m.len() != self.coeffs.len() {
+            return Err("Adam moments do not match the coefficient count".to_owned());
+        }
+        let coeffs: Vec<Tensor> = self.coeffs.iter().map(TensorDump::to_tensor).collect();
+        let mut session = TrainSession::new(coeffs, lr);
+        session.best_loss = f64::from_bits(self.best_loss_bits);
+        session.best_coeffs = self.best_coeffs.iter().map(TensorDump::to_tensor).collect();
+        session.steps = self.steps;
+        session.opt.restore_moments(
+            self.adam_t,
+            self.adam_m.iter().map(TensorDump::to_tensor).collect(),
+            self.adam_v.iter().map(TensorDump::to_tensor).collect(),
+        );
+        Ok(RestoredSession {
+            session,
+            stale: self.stale,
+            rollbacks_left: self.rollbacks_left,
+            history: self.history_bits.iter().map(|&b| f64::from_bits(b)).collect(),
+            rng: self.rng,
+        })
+    }
+
+    /// Serialize as a single JSON object (deterministic member order).
+    pub fn to_json(&self) -> String {
+        let rng = match self.rng {
+            None => Value::Null,
+            Some(state) => Value::Arr(state.iter().map(|&w| Value::from_bits(w)).collect()),
+        };
+        Value::Obj(vec![
+            ("version".to_owned(), Value::Num(Self::VERSION as f64)),
+            ("stale".to_owned(), Value::Num(self.stale as f64)),
+            ("rollbacks_left".to_owned(), Value::Num(self.rollbacks_left as f64)),
+            ("steps".to_owned(), Value::Num(self.steps as f64)),
+            ("adam_t".to_owned(), Value::Num(self.adam_t as f64)),
+            ("best_loss".to_owned(), Value::from_bits(self.best_loss_bits)),
+            ("lr".to_owned(), Value::from_bits(self.lr_bits)),
+            ("coeffs".to_owned(), list_value(&self.coeffs)),
+            ("best_coeffs".to_owned(), list_value(&self.best_coeffs)),
+            ("adam_m".to_owned(), list_value(&self.adam_m)),
+            ("adam_v".to_owned(), list_value(&self.adam_v)),
+            (
+                "history".to_owned(),
+                Value::Arr(self.history_bits.iter().map(|&b| Value::from_bits(b)).collect()),
+            ),
+            ("rng".to_owned(), rng),
+        ])
+        .to_json()
+    }
+
+    /// Parse a checkpoint written by [`to_json`](SessionCheckpoint::to_json).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = Value::parse(text)?;
+        let version = count_from(&v, "version")?;
+        if version as u64 != Self::VERSION {
+            return Err(format!(
+                "checkpoint version {version} is not the supported version {}",
+                Self::VERSION
+            ));
+        }
+        let adam_t = count_from(&v, "adam_t")? as u64;
+        let history_bits = v
+            .get("history")
+            .and_then(Value::as_arr)
+            .ok_or("missing `history`")?
+            .iter()
+            .map(|b| b.as_bits().ok_or("bad history entry"))
+            .collect::<Result<Vec<_>, _>>()?;
+        let rng = match v.get("rng") {
+            None | Some(Value::Null) => None,
+            Some(arr) => {
+                let words = arr
+                    .as_arr()
+                    .ok_or("bad `rng` value")?
+                    .iter()
+                    .map(|w| w.as_bits().ok_or("bad rng word"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                match <[u64; 4]>::try_from(words) {
+                    Ok(state) => Some(state),
+                    Err(_) => return Err("rng cursor must hold 4 words".to_owned()),
+                }
+            }
+        };
+        Ok(SessionCheckpoint {
+            stale: count_from(&v, "stale")?,
+            rollbacks_left: count_from(&v, "rollbacks_left")?,
+            steps: count_from(&v, "steps")?,
+            best_loss_bits: bits_from(&v, "best_loss")?,
+            lr_bits: bits_from(&v, "lr")?,
+            adam_t,
+            coeffs: list_from(&v, "coeffs")?,
+            best_coeffs: list_from(&v, "best_coeffs")?,
+            adam_m: list_from(&v, "adam_m")?,
+            adam_v: list_from(&v, "adam_v")?,
+            history_bits,
+            rng,
+        })
+    }
+
+    /// Write the checkpoint to `path` (creating parent directories),
+    /// atomically: the JSON goes to `<path>.tmp` first and is renamed
+    /// over the target, so an interrupt mid-write never leaves a
+    /// truncated checkpoint behind.
+    pub fn save(&self, path: &Path) -> Result<(), TrainError> {
+        let wrap = |reason: String| TrainError::Checkpoint {
+            path: path.display().to_string(),
+            reason,
+        };
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| wrap(e.to_string()))?;
+            }
+        }
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_json()).map_err(|e| wrap(e.to_string()))?;
+        std::fs::rename(&tmp, path).map_err(|e| wrap(e.to_string()))
+    }
+
+    /// Read and parse a checkpoint from `path`.
+    pub fn load(path: &Path) -> Result<Self, TrainError> {
+        let wrap = |reason: String| TrainError::Checkpoint {
+            path: path.display().to_string(),
+            reason,
+        };
+        let text = std::fs::read_to_string(path).map_err(|e| wrap(e.to_string()))?;
+        Self::from_json(&text).map_err(wrap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use lac_apps::{FilterApp, FilterKind, Kernel, StageMode};
+    use lac_data::synth_image;
+    use lac_hw::catalog;
+
+    use crate::config::TrainConfig;
+    use crate::engine::HardwarePlan;
+    use crate::eval::batch_references;
+
+    fn trained_session() -> (TrainSession, FilterApp, HardwarePlan, Vec<lac_data::GrayImage>, Vec<Vec<f64>>, TrainConfig)
+    {
+        let app = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
+        let mult = app.adapt(&catalog::by_name("mul8u_FTA").unwrap());
+        let plan = HardwarePlan::uniform(&mult);
+        let init = app.init_coeffs(&plan.materialize(1));
+        let samples: Vec<_> = (0..4).map(|i| synth_image(32, 32, i)).collect();
+        let refs = batch_references(&app, &samples);
+        let cfg = TrainConfig::new().learning_rate(2.0).minibatch(2);
+        let mut session = TrainSession::new(init, cfg.lr);
+        for _ in 0..5 {
+            session.step(&app, &plan, &samples, &refs, &cfg, 2);
+        }
+        (session, app, plan, samples, refs, cfg)
+    }
+
+    fn bits_of(tensors: &[Tensor]) -> Vec<Vec<u64>> {
+        tensors.iter().map(|t| t.data().iter().map(|v| v.to_bits()).collect()).collect()
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let (session, ..) = trained_session();
+        let ck = SessionCheckpoint::capture(&session, 1, 2, &[0.5, 0.25])
+            .with_rng([1, 2, 3, u64::MAX]);
+        let again = SessionCheckpoint::from_json(&ck.to_json()).expect("parse own output");
+        assert_eq!(ck, again);
+    }
+
+    #[test]
+    fn restored_session_continues_bit_identically() {
+        let (mut session, app, plan, samples, refs, cfg) = trained_session();
+        let ck = SessionCheckpoint::capture(&session, 0, cfg.rollbacks, &[]);
+        let restored = SessionCheckpoint::from_json(&ck.to_json())
+            .expect("round trip")
+            .restore()
+            .expect("restore");
+        let mut twin = restored.session;
+        assert_eq!(twin.steps(), session.steps());
+        assert_eq!(twin.best_loss().to_bits(), session.best_loss().to_bits());
+        // Lockstep continuation must agree in every bit.
+        for i in 0..4 {
+            let a = session.step(&app, &plan, &samples, &refs, &cfg, 2);
+            let b = twin.step(&app, &plan, &samples, &refs, &cfg, 2);
+            assert_eq!(a.to_bits(), b.to_bits(), "loss diverged at continuation step {i}");
+        }
+        assert_eq!(bits_of(session.coeffs()), bits_of(twin.coeffs()));
+        assert_eq!(bits_of(session.best_coeffs()), bits_of(twin.best_coeffs()));
+    }
+
+    #[test]
+    fn save_and_load_through_a_file() {
+        let (session, ..) = trained_session();
+        let dir = std::env::temp_dir().join("lac-checkpoint-test");
+        let path = dir.join("nested").join("ck.json");
+        let ck = SessionCheckpoint::capture(&session, 2, 1, &[0.75]);
+        ck.save(&path).expect("save");
+        let loaded = SessionCheckpoint::load(&path).expect("load");
+        assert_eq!(ck, loaded);
+        assert_eq!(loaded.epochs_done(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_failures_are_structured_errors() {
+        let missing = Path::new("/nonexistent/lac-ck.json");
+        match SessionCheckpoint::load(missing) {
+            Err(TrainError::Checkpoint { path, .. }) => {
+                assert!(path.contains("lac-ck.json"));
+            }
+            other => panic!("expected Checkpoint error, got {other:?}"),
+        }
+        assert!(SessionCheckpoint::from_json("{\"version\":99}").is_err());
+        assert!(SessionCheckpoint::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_state() {
+        let (session, ..) = trained_session();
+        let good = SessionCheckpoint::capture(&session, 0, 3, &[]);
+        // Corrupt the learning rate to zero bits.
+        let text = good.to_json().replace(
+            &format!("\"lr\":\"{:016x}\"", 2.0f64.to_bits()),
+            "\"lr\":\"0000000000000000\"",
+        );
+        let bad = SessionCheckpoint::from_json(&text).expect("parses");
+        assert!(bad.restore().is_err(), "zero lr must be refused");
+    }
+
+    #[test]
+    fn rng_cursor_round_trips() {
+        let (session, ..) = trained_session();
+        let no_rng = SessionCheckpoint::capture(&session, 0, 0, &[]);
+        let parsed = SessionCheckpoint::from_json(&no_rng.to_json()).expect("parse");
+        assert_eq!(parsed.restore().expect("restore").rng, None);
+        let with = no_rng.with_rng([9, 8, 7, 6]);
+        let parsed = SessionCheckpoint::from_json(&with.to_json()).expect("parse");
+        assert_eq!(parsed.restore().expect("restore").rng, Some([9, 8, 7, 6]));
+    }
+}

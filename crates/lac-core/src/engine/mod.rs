@@ -25,9 +25,11 @@
 //! [`brute_force`]: crate::brute_force
 //! [`greedy_multi`]: crate::greedy_multi
 
+pub mod checkpoint;
 pub mod observer;
 pub mod plan;
 
+use std::fmt;
 use std::time::Instant;
 
 use lac_apps::{Kernel, Metric};
@@ -38,8 +40,63 @@ use crate::constraints::{accuracy_hinge, hinge_area};
 use crate::eval::batch_grads;
 use crate::nas::multi::MultiObjective;
 
-pub use observer::{EpochEvent, JsonlObserver, MemoryObserver, NullObserver, TrainObserver};
+pub use checkpoint::SessionCheckpoint;
+pub use observer::{
+    EpochEvent, ErrorEvent, JsonlObserver, MemoryObserver, NullObserver, TrainObserver,
+};
 pub use plan::HardwarePlan;
+
+/// A structured training failure.
+///
+/// The engine's epoch loop ([`TrainSession::run`]) never panics on bad
+/// numerics: a non-finite loss or gradient rolls the session back to its
+/// best-loss checkpoint (halving the learning rate) up to
+/// [`TrainConfig::rollbacks`] times, and exhausting that budget returns
+/// [`TrainError::Diverged`] instead of poisoning downstream results with
+/// NaN. Checkpoint/resume I-O failures surface as
+/// [`TrainError::Checkpoint`].
+#[derive(Debug, Clone)]
+pub enum TrainError {
+    /// Training hit non-finite numerics and the rollback budget is spent.
+    Diverged {
+        /// The failing loop (see [`EpochEvent::run`]).
+        run: String,
+        /// Loop-specific context (see [`EpochEvent::detail`]).
+        detail: String,
+        /// Epoch index at which the final (unrecovered) failure occurred.
+        epoch: usize,
+        /// The offending batch loss (NaN/infinite, or finite with
+        /// non-finite gradients).
+        last_loss: f64,
+        /// Losses of the epochs completed before the failure.
+        history: Vec<f64>,
+    },
+    /// A session checkpoint could not be written, read, or decoded.
+    Checkpoint {
+        /// Path of the checkpoint file involved.
+        path: String,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Diverged { run, detail, epoch, last_loss, history } => write!(
+                f,
+                "training run `{run}` ({detail}) diverged at epoch {epoch} with loss \
+                 {last_loss} after {} completed epochs; rollback budget exhausted",
+                history.len()
+            ),
+            TrainError::Checkpoint { path, reason } => {
+                write!(f, "session checkpoint `{path}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
 
 /// A scalar "loss" view of a quality score, used as the gate training
 /// signal (lower is better): `1 - SSIM`, `-PSNR` (dB), or the relative
@@ -220,9 +277,81 @@ impl TrainSession {
         loss
     }
 
+    /// Like [`step`](TrainSession::step), but refusing to apply an
+    /// update when the batch loss or any gradient element is non-finite:
+    /// the session is left untouched (no optimizer step, no checkpoint,
+    /// no step-counter advance) and the offending loss is returned as
+    /// the error.
+    pub fn try_step<K: Kernel + Sync>(
+        &mut self,
+        kernel: &K,
+        plan: &HardwarePlan,
+        train: &[K::Sample],
+        train_refs: &[Vec<f64>],
+        config: &TrainConfig,
+        threads: usize,
+    ) -> Result<f64, f64> {
+        let idx = config.step_indices(self.steps, train.len());
+        let batch: Vec<K::Sample> = idx.iter().map(|&i| train[i].clone()).collect();
+        let refs: Vec<Vec<f64>> = idx.iter().map(|&i| train_refs[i].clone()).collect();
+        self.try_step_on(kernel, plan, &batch, &refs, threads)
+    }
+
+    /// [`try_step`](TrainSession::try_step) on an explicit batch.
+    ///
+    /// On the healthy path this performs exactly the arithmetic of
+    /// [`step_on`](TrainSession::step_on) — same checkpointing order,
+    /// same optimizer update — so loops switching to the guarded variant
+    /// keep bit-identical trajectories.
+    pub fn try_step_on<K: Kernel + Sync>(
+        &mut self,
+        kernel: &K,
+        plan: &HardwarePlan,
+        batch: &[K::Sample],
+        refs: &[Vec<f64>],
+        threads: usize,
+    ) -> Result<f64, f64> {
+        let mults = plan.materialize(kernel.num_stages());
+        let (grads, loss) = batch_grads(kernel, &self.coeffs, &mults, batch, refs, threads);
+        let finite =
+            loss.is_finite() && grads.iter().all(|g| g.data().iter().all(|v| v.is_finite()));
+        if !finite {
+            return Err(loss);
+        }
+        if loss < self.best_loss {
+            self.best_loss = loss;
+            self.best_coeffs = self.coeffs.clone();
+        }
+        let mut params: Vec<&mut Tensor> = self.coeffs.iter_mut().collect();
+        self.opt.step(&mut params, &grads);
+        self.steps += 1;
+        Ok(loss)
+    }
+
+    /// Divergence recovery: restore the best-loss checkpoint, discard
+    /// the optimizer's momentum (it points into the diverged region),
+    /// halve the learning rate, and advance the step counter by one so
+    /// the retry sees the *next* minibatch window — a single batch of
+    /// poisoned data must not wedge the run in a permanent retry loop.
+    pub fn rollback(&mut self) {
+        self.coeffs = self.best_coeffs.clone();
+        self.opt.reset_moments();
+        let lr = (self.opt.learning_rate() / 2.0).max(f64::MIN_POSITIVE);
+        self.opt.set_learning_rate(lr);
+        self.steps += 1;
+    }
+
     /// Run `config.epochs` epochs (honoring `config.patience` early
     /// stopping), emitting one [`EpochEvent`] per epoch; returns the
     /// loss history.
+    ///
+    /// Non-finite losses or gradients trigger checkpoint rollback (see
+    /// [`rollback`](TrainSession::rollback)); observers see the attempt
+    /// as an [`EpochEvent`] with `rollback: true`, and the epoch is
+    /// retried. After [`TrainConfig::rollbacks`] recoveries the run
+    /// gives up with [`TrainError::Diverged`] (the session still holds
+    /// its best checkpoint). Healthy runs perform bit-identical
+    /// arithmetic to the pre-guard engine.
     #[allow(clippy::too_many_arguments)]
     pub fn run<K: Kernel + Sync>(
         &mut self,
@@ -234,35 +363,115 @@ impl TrainSession {
         threads: usize,
         scope: RunScope<'_>,
         observer: &mut dyn TrainObserver,
-    ) -> Vec<f64> {
+    ) -> Result<Vec<f64>, TrainError> {
         let mut history = Vec::with_capacity(config.epochs);
         let mut stale = 0usize;
-        for epoch in 0..config.epochs {
+        let mut rollbacks_left = config.rollbacks;
+        self.run_span(
+            kernel,
+            plan,
+            train,
+            train_refs,
+            config,
+            threads,
+            scope,
+            observer,
+            config.epochs,
+            &mut stale,
+            &mut rollbacks_left,
+            &mut history,
+        )?;
+        Ok(history)
+    }
+
+    /// The resumable core of [`run`](TrainSession::run): advance the
+    /// session from epoch `history.len()` up to (exclusive) `to_epoch`,
+    /// threading the early-stop counter, rollback budget, and loss
+    /// history through `&mut` so a checkpoint/resume driver can train in
+    /// bounded spans. Returns `Ok(true)` when patience stopped the run.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_span<K: Kernel + Sync>(
+        &mut self,
+        kernel: &K,
+        plan: &HardwarePlan,
+        train: &[K::Sample],
+        train_refs: &[Vec<f64>],
+        config: &TrainConfig,
+        threads: usize,
+        scope: RunScope<'_>,
+        observer: &mut dyn TrainObserver,
+        to_epoch: usize,
+        stale: &mut usize,
+        rollbacks_left: &mut usize,
+        history: &mut Vec<f64>,
+    ) -> Result<bool, TrainError> {
+        let mut epoch = history.len();
+        while epoch < to_epoch {
             let best_before = self.best_loss;
-            let loss = self.step(kernel, plan, train, train_refs, config, threads);
-            history.push(loss);
-            observer.on_epoch(&EpochEvent {
-                run: scope.run,
-                detail: scope.detail,
-                epoch,
-                loss: Some(loss),
-                area: Some(plan.mean_area()),
-                delay: plan.mean_delay(),
-                seconds: scope.start.elapsed().as_secs_f64(),
-                ..Default::default()
-            });
-            if let Some(patience) = config.patience {
-                if self.best_loss < best_before {
-                    stale = 0;
-                } else {
-                    stale += 1;
-                    if stale >= patience {
-                        break;
+            match self.try_step(kernel, plan, train, train_refs, config, threads) {
+                Ok(loss) => {
+                    history.push(loss);
+                    observer.on_epoch(&EpochEvent {
+                        run: scope.run,
+                        detail: scope.detail,
+                        epoch,
+                        loss: Some(loss),
+                        area: Some(plan.mean_area()),
+                        delay: plan.mean_delay(),
+                        seconds: scope.start.elapsed().as_secs_f64(),
+                        ..Default::default()
+                    });
+                    if let Some(patience) = config.patience {
+                        if self.best_loss < best_before {
+                            *stale = 0;
+                        } else {
+                            *stale += 1;
+                            if *stale >= patience {
+                                return Ok(true);
+                            }
+                        }
                     }
+                    epoch += 1;
+                }
+                Err(bad_loss) => {
+                    if *rollbacks_left == 0 {
+                        let error = format!(
+                            "diverged at epoch {epoch}: non-finite loss or gradients \
+                             (loss {bad_loss}); rollback budget of {} exhausted",
+                            config.rollbacks
+                        );
+                        observer.on_error(&ErrorEvent {
+                            run: scope.run,
+                            detail: scope.detail,
+                            error: &error,
+                            seconds: scope.start.elapsed().as_secs_f64(),
+                        });
+                        return Err(TrainError::Diverged {
+                            run: scope.run.to_owned(),
+                            detail: scope.detail.to_owned(),
+                            epoch,
+                            last_loss: bad_loss,
+                            history: history.clone(),
+                        });
+                    }
+                    *rollbacks_left -= 1;
+                    self.rollback();
+                    observer.on_epoch(&EpochEvent {
+                        run: scope.run,
+                        detail: scope.detail,
+                        epoch,
+                        rollback: true,
+                        loss: Some(bad_loss),
+                        area: Some(plan.mean_area()),
+                        delay: plan.mean_delay(),
+                        seconds: scope.start.elapsed().as_secs_f64(),
+                        ..Default::default()
+                    });
+                    // Retry the same epoch index on the next window.
                 }
             }
         }
-        history
+        Ok(false)
     }
 
     /// Score the *current* iterate on an explicit (usually full) batch
@@ -298,6 +507,12 @@ impl TrainSession {
     /// The lowest batch loss seen so far.
     pub fn best_loss(&self) -> f64 {
         self.best_loss
+    }
+
+    /// The optimizer's current learning rate (halved by each
+    /// [`rollback`](TrainSession::rollback)).
+    pub fn learning_rate(&self) -> f64 {
+        self.opt.learning_rate()
     }
 
     /// Completed optimizer steps.
@@ -373,16 +588,9 @@ mod tests {
 
         let mut driven = TrainSession::new(init, cfg.lr);
         let mut obs = MemoryObserver::new();
-        let history = driven.run(
-            &app,
-            &plan,
-            &samples,
-            &refs,
-            &cfg,
-            2,
-            RunScope::new("test", "unit"),
-            &mut obs,
-        );
+        let history = driven
+            .run(&app, &plan, &samples, &refs, &cfg, 2, RunScope::new("test", "unit"), &mut obs)
+            .expect("healthy run");
         assert_eq!(history.len(), manual_history.len());
         for (a, b) in history.iter().zip(&manual_history) {
             assert_eq!(a.to_bits(), b.to_bits());
@@ -407,20 +615,140 @@ mod tests {
         let cfg = TrainConfig::new().epochs(50).patience(3);
         let mut session = TrainSession::new(init, cfg.lr);
         let mut obs = MemoryObserver::new();
-        let history = session.run(
-            &app,
-            &plan,
-            &samples,
-            &refs,
-            &cfg,
-            2,
-            RunScope::new("test", "patience"),
-            &mut obs,
-        );
+        let history = session
+            .run(&app, &plan, &samples, &refs, &cfg, 2, RunScope::new("test", "patience"), &mut obs)
+            .expect("healthy run");
         // Epoch 0 improves (inf -> 0), then 3 stale epochs.
         assert_eq!(history.len(), 4, "history {history:?}");
         assert_eq!(obs.len(), 4);
         let _ = mult;
+    }
+
+    #[test]
+    fn poisoned_references_roll_back_then_diverge() {
+        let (app, mult, samples) = setup();
+        let plan = HardwarePlan::uniform(&mult);
+        let init = app.init_coeffs(&plan.materialize(1));
+        // Every reference is NaN: the loss is NaN on every window, so
+        // each retry burns one rollback until the budget is gone.
+        let refs: Vec<Vec<f64>> =
+            samples.iter().map(|_| vec![f64::NAN; 32 * 32]).collect();
+        let cfg = TrainConfig::new().epochs(10).rollbacks(2);
+        let mut session = TrainSession::new(init.clone(), cfg.lr);
+        let mut obs = MemoryObserver::new();
+        let err = session
+            .run(&app, &plan, &samples, &refs, &cfg, 2, RunScope::new("test", "nan"), &mut obs)
+            .expect_err("all-NaN references must diverge");
+        match &err {
+            TrainError::Diverged { run, epoch, last_loss, history, .. } => {
+                assert_eq!(run, "test");
+                assert_eq!(*epoch, 0, "no epoch can complete");
+                assert!(last_loss.is_nan());
+                assert!(history.is_empty());
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+        // 2 rollback events + 1 error row.
+        assert_eq!(obs.len(), 3, "{:?}", obs.lines);
+        assert!(obs.lines[0].contains("\"rollback\":true"), "{}", obs.lines[0]);
+        assert!(obs.lines[1].contains("\"rollback\":true"), "{}", obs.lines[1]);
+        assert!(obs.lines[2].contains("\"error\""), "{}", obs.lines[2]);
+        // The session never adopted a NaN iterate: coefficients are the
+        // rolled-back initial values, bit for bit.
+        for (c, i) in session.coeffs().iter().zip(&init) {
+            for (x, y) in c.data().iter().zip(i.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn rollback_restores_best_iterate_and_halves_lr() {
+        let (app, mult, samples) = setup();
+        let plan = HardwarePlan::uniform(&mult);
+        let init = app.init_coeffs(&plan.materialize(1));
+        let refs = batch_references(&app, &samples);
+        let cfg = TrainConfig::new().learning_rate(2.0);
+        let mut session = TrainSession::new(init, cfg.lr);
+        for _ in 0..5 {
+            session.step(&app, &plan, &samples, &refs, &cfg, 2);
+        }
+        let best: Vec<Vec<u64>> = session
+            .best_coeffs()
+            .iter()
+            .map(|t| t.data().iter().map(|v| v.to_bits()).collect())
+            .collect();
+        let steps_before = session.steps();
+        session.rollback();
+        assert_eq!(session.learning_rate(), 1.0, "lr must halve");
+        assert_eq!(session.steps(), steps_before + 1, "skip the bad window");
+        for (c, b) in session.coeffs().iter().zip(&best) {
+            for (x, y) in c.data().iter().zip(b) {
+                assert_eq!(x.to_bits(), *y, "rollback must restore best bits");
+            }
+        }
+    }
+
+    #[test]
+    fn single_poisoned_window_recovers_within_budget() {
+        let (app, mult, samples) = setup();
+        let plan = HardwarePlan::uniform(&mult);
+        let init = app.init_coeffs(&plan.materialize(1));
+        let mut refs = batch_references(&app, &samples);
+        // One bad sample out of four; minibatch 1 isolates it to one
+        // window per rotation cycle.
+        for v in refs[1].iter_mut() {
+            *v = f64::NAN;
+        }
+        let cfg = TrainConfig::new().epochs(6).minibatch(1).rollbacks(3);
+        let mut session = TrainSession::new(init, cfg.lr);
+        let mut obs = MemoryObserver::new();
+        let history = session
+            .run(&app, &plan, &samples, &refs, &cfg, 2, RunScope::new("test", "poison"), &mut obs)
+            .expect("a single poisoned window must be recoverable");
+        assert_eq!(history.len(), 6, "all epochs completed");
+        assert!(history.iter().all(|l| l.is_finite()));
+        let rollbacks =
+            obs.lines.iter().filter(|l| l.contains("\"rollback\":true")).count();
+        assert!(rollbacks >= 1, "the poisoned window must have been hit");
+        assert!(session.best_loss().is_finite());
+    }
+
+    #[test]
+    fn try_step_leaves_session_untouched_on_failure() {
+        let (app, mult, samples) = setup();
+        let plan = HardwarePlan::uniform(&mult);
+        let init = app.init_coeffs(&plan.materialize(1));
+        let refs: Vec<Vec<f64>> =
+            samples.iter().map(|_| vec![f64::NAN; 32 * 32]).collect();
+        let cfg = TrainConfig::new();
+        let mut session = TrainSession::new(init.clone(), cfg.lr);
+        let bad = session
+            .try_step(&app, &plan, &samples, &refs, &cfg, 2)
+            .expect_err("NaN refs cannot produce a finite loss");
+        assert!(bad.is_nan());
+        assert_eq!(session.steps(), 0);
+        assert_eq!(session.best_loss(), f64::INFINITY);
+        for (c, i) in session.coeffs().iter().zip(&init) {
+            for (x, y) in c.data().iter().zip(i.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn train_error_displays_context() {
+        let e = TrainError::Diverged {
+            run: "fixed".into(),
+            detail: "mul8u_FTA".into(),
+            epoch: 7,
+            last_loss: f64::NAN,
+            history: vec![0.5, 0.4],
+        };
+        let msg = format!("{e}");
+        assert!(msg.contains("fixed") && msg.contains("epoch 7") && msg.contains("2"), "{msg}");
+        let c = TrainError::Checkpoint { path: "x.json".into(), reason: "truncated".into() };
+        assert!(format!("{c}").contains("x.json"));
     }
 
     #[test]

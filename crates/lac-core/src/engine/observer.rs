@@ -31,6 +31,11 @@ pub struct EpochEvent<'a> {
     pub detail: &'a str,
     /// Zero-based optimizer epoch within the loop.
     pub epoch: usize,
+    /// True when this event records a divergence rollback instead of a
+    /// completed optimizer step: the session restored its best-loss
+    /// checkpoint and halved the learning rate, and `loss` carries the
+    /// offending (often non-finite, hence serialized `null`) batch loss.
+    pub rollback: bool,
     /// Mean training loss of this epoch's batch, when one was computed.
     pub loss: Option<f64>,
     /// Quality of the current assignment under the kernel's metric, when
@@ -60,6 +65,7 @@ impl EpochEvent<'_> {
         out.push_str(",\"detail\":");
         push_json_string(&mut out, self.detail);
         let _ = write!(out, ",\"epoch\":{}", self.epoch);
+        let _ = write!(out, ",\"rollback\":{}", self.rollback);
         let _ = write!(out, ",\"loss\":{}", json_f64_opt(self.loss));
         let _ = write!(out, ",\"quality\":{}", json_f64_opt(self.quality));
         let _ = write!(out, ",\"area\":{}", json_f64_opt(self.area));
@@ -123,10 +129,49 @@ fn json_f64_opt(v: Option<f64>) -> String {
     }
 }
 
+/// A structured training-failure record, emitted by the engine right
+/// before it returns a [`TrainError`](crate::TrainError): divergence
+/// with the rollback budget exhausted, or a checkpoint I/O failure.
+///
+/// Written to run logs as a JSON line with an `"error"` key, so a sweep
+/// over many runs records *which* run failed and why without losing the
+/// remaining rows.
+#[derive(Debug, Clone, Default)]
+pub struct ErrorEvent<'a> {
+    /// The emitting loop (see [`EpochEvent::run`]).
+    pub run: &'a str,
+    /// Loop-specific context (see [`EpochEvent::detail`]).
+    pub detail: &'a str,
+    /// Human-readable failure description.
+    pub error: &'a str,
+    /// Wall-clock seconds since the entry point started.
+    pub seconds: f64,
+}
+
+impl ErrorEvent<'_> {
+    /// Serialize the event as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"run\":");
+        push_json_string(&mut out, self.run);
+        out.push_str(",\"detail\":");
+        push_json_string(&mut out, self.detail);
+        out.push_str(",\"error\":");
+        push_json_string(&mut out, self.error);
+        let _ = write!(out, ",\"seconds\":{}}}", json_f64(self.seconds));
+        out
+    }
+}
+
 /// Receiver of per-epoch training telemetry.
 pub trait TrainObserver {
     /// Called once per optimizer epoch by every engine-backed loop.
     fn on_epoch(&mut self, event: &EpochEvent<'_>);
+
+    /// Called once when an engine-backed loop fails with a structured
+    /// error, right before the corresponding
+    /// [`TrainError`](crate::TrainError) is returned. Default: ignored.
+    fn on_error(&mut self, _event: &ErrorEvent<'_>) {}
 }
 
 /// Discards every event (the default for the non-`_observed` entry
@@ -167,6 +212,10 @@ impl TrainObserver for MemoryObserver {
     fn on_epoch(&mut self, event: &EpochEvent<'_>) {
         self.lines.push(event.to_json());
     }
+
+    fn on_error(&mut self, event: &ErrorEvent<'_>) {
+        self.lines.push(event.to_json());
+    }
 }
 
 /// Streams events as JSON lines (one object per line) to a file,
@@ -200,6 +249,12 @@ impl TrainObserver for JsonlObserver {
         // run log is best-effort.
         let _ = writeln!(self.out, "{}", event.to_json());
     }
+
+    fn on_error(&mut self, event: &ErrorEvent<'_>) {
+        let _ = writeln!(self.out, "{}", event.to_json());
+        // Errors are worth surviving a crash: flush eagerly.
+        let _ = self.out.flush();
+    }
 }
 
 impl Drop for JsonlObserver {
@@ -220,6 +275,7 @@ mod tests {
             run: "search-single",
             detail: "blur",
             epoch: 3,
+            rollback: false,
             loss: Some(0.5),
             quality: None,
             area: Some(0.125),
@@ -277,5 +333,37 @@ mod tests {
     fn non_finite_floats_become_null() {
         let e = EpochEvent { loss: Some(f64::INFINITY), ..Default::default() };
         assert!(e.to_json().contains("\"loss\":null"));
+    }
+
+    #[test]
+    fn rollback_flag_serializes() {
+        let normal = EpochEvent { epoch: 2, ..Default::default() };
+        assert!(normal.to_json().contains("\"rollback\":false"), "{}", normal.to_json());
+        let rolled =
+            EpochEvent { epoch: 2, rollback: true, loss: Some(f64::NAN), ..Default::default() };
+        let json = rolled.to_json();
+        assert!(json.contains("\"rollback\":true"), "{json}");
+        assert!(json.contains("\"loss\":null"), "{json}");
+    }
+
+    #[test]
+    fn error_event_serializes_and_reaches_observers() {
+        let e = ErrorEvent {
+            run: "fixed",
+            detail: "mul8u_FTA",
+            error: "diverged at epoch 3",
+            seconds: 2.5,
+        };
+        let json = e.to_json();
+        assert!(json.starts_with("{\"run\":\"fixed\""), "{json}");
+        assert!(json.contains("\"error\":\"diverged at epoch 3\""), "{json}");
+        assert!(json.ends_with("\"seconds\":2.5}"), "{json}");
+
+        let mut obs = MemoryObserver::new();
+        obs.on_error(&e);
+        assert_eq!(obs.len(), 1);
+        assert!(obs.lines[0].contains("\"error\""));
+        // The default impl ignores errors without panicking.
+        NullObserver.on_error(&e);
     }
 }

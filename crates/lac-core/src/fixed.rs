@@ -7,6 +7,7 @@
 //! models); the difference drives Adam through straight-through-estimator
 //! quantization.
 
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -15,7 +16,10 @@ use lac_hw::Multiplier;
 use lac_tensor::Tensor;
 
 use crate::config::TrainConfig;
-use crate::engine::{HardwarePlan, NullObserver, RunScope, TrainObserver, TrainSession};
+use crate::engine::{
+    HardwarePlan, NullObserver, RunScope, SessionCheckpoint, TrainError, TrainObserver,
+    TrainSession,
+};
 use crate::eval::{batch_references, quality};
 
 /// Outcome of fixed-hardware training for one (application, multiplier)
@@ -54,6 +58,11 @@ impl FixedResult {
 /// `before`: training keeps the best coefficients seen, falling back to
 /// the originals (LAC can always decline to change the application).
 ///
+/// # Errors
+///
+/// [`TrainError::Diverged`] when training hits non-finite numerics and
+/// exhausts the [`TrainConfig::rollbacks`] recovery budget.
+///
 /// # Examples
 ///
 /// ```no_run
@@ -71,7 +80,8 @@ impl FixedResult {
 ///     &data.train,
 ///     &data.test,
 ///     &TrainConfig::new().epochs(60),
-/// );
+/// )
+/// .expect("training");
 /// assert!(result.after >= result.before);
 /// ```
 pub fn train_fixed<K: Kernel + Sync>(
@@ -80,7 +90,7 @@ pub fn train_fixed<K: Kernel + Sync>(
     train: &[K::Sample],
     test: &[K::Sample],
     config: &TrainConfig,
-) -> FixedResult {
+) -> Result<FixedResult, TrainError> {
     train_fixed_observed(kernel, mult, train, test, config, &mut NullObserver)
 }
 
@@ -94,7 +104,7 @@ pub fn train_fixed_observed<K: Kernel + Sync>(
     test: &[K::Sample],
     config: &TrainConfig,
     observer: &mut dyn TrainObserver,
-) -> FixedResult {
+) -> Result<FixedResult, TrainError> {
     let mults: Vec<Arc<dyn Multiplier>> = vec![Arc::clone(mult); kernel.num_stages()];
     let init = kernel.init_coeffs(&mults);
     train_fixed_from(kernel, mult, vec![init], train, test, config, observer)
@@ -122,7 +132,7 @@ pub fn train_fixed_multistart<K: Kernel + Sync>(
     test: &[K::Sample],
     config: &TrainConfig,
     scale_bits: &[u32],
-) -> FixedResult {
+) -> Result<FixedResult, TrainError> {
     train_fixed_multistart_observed(kernel, mult, train, test, config, scale_bits, &mut NullObserver)
 }
 
@@ -141,7 +151,7 @@ pub fn train_fixed_multistart_observed<K: Kernel + Sync>(
     config: &TrainConfig,
     scale_bits: &[u32],
     observer: &mut dyn TrainObserver,
-) -> FixedResult {
+) -> Result<FixedResult, TrainError> {
     assert!(!scale_bits.is_empty(), "multistart needs at least one scale");
     let mults: Vec<Arc<dyn Multiplier>> = vec![Arc::clone(mult); kernel.num_stages()];
     let base = kernel.init_coeffs(&mults);
@@ -171,7 +181,7 @@ fn train_fixed_from<K: Kernel + Sync>(
     test: &[K::Sample],
     config: &TrainConfig,
     observer: &mut dyn TrainObserver,
-) -> FixedResult {
+) -> Result<FixedResult, TrainError> {
     let start = Instant::now();
     let plan = HardwarePlan::uniform(mult);
     let mults = plan.materialize(kernel.num_stages());
@@ -199,7 +209,7 @@ fn train_fixed_from<K: Kernel + Sync>(
         };
         let mut session = TrainSession::new(init, config.lr);
         let loss_history =
-            session.run(kernel, &plan, train, &train_refs, config, threads, run_scope, observer);
+            session.run(kernel, &plan, train, &train_refs, config, threads, run_scope, observer)?;
         // Score the final coefficients too: the last step may be the best.
         session.consider_final(kernel, &plan, train, &train_refs, threads);
         if run == 0 {
@@ -214,14 +224,129 @@ fn train_fixed_from<K: Kernel + Sync>(
         }
     }
 
-    FixedResult {
+    Ok(FixedResult {
         multiplier: mult.name().to_owned(),
         before,
         after,
         coeffs: chosen,
         loss_history: first_history,
         seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// [`train_fixed`] with session checkpointing: training pauses every
+/// `checkpoint_every` epochs to write a [`SessionCheckpoint`] to
+/// `checkpoint_path`, and a later call with the same arguments resumes
+/// from the file instead of starting over. The resumed run reproduces an
+/// uninterrupted [`train_fixed`] bit for bit — coefficients, loss
+/// history, and best iterate (wall-clock `seconds` excepted).
+///
+/// The checkpoint file is left in place on success so callers can
+/// archive it; delete it to start fresh.
+///
+/// # Errors
+///
+/// [`TrainError::Diverged`] as in [`train_fixed`], and
+/// [`TrainError::Checkpoint`] when the checkpoint file cannot be
+/// written, read, or decoded (e.g. it belongs to a different run shape).
+pub fn train_fixed_resumable<K: Kernel + Sync>(
+    kernel: &K,
+    mult: &Arc<dyn Multiplier>,
+    train: &[K::Sample],
+    test: &[K::Sample],
+    config: &TrainConfig,
+    checkpoint_path: &Path,
+    checkpoint_every: usize,
+) -> Result<FixedResult, TrainError> {
+    train_fixed_resumable_observed(
+        kernel,
+        mult,
+        train,
+        test,
+        config,
+        checkpoint_path,
+        checkpoint_every,
+        &mut NullObserver,
+    )
+}
+
+/// [`train_fixed_resumable`] with per-epoch telemetry (resumed runs
+/// re-emit events only for the epochs they actually execute).
+#[allow(clippy::too_many_arguments)]
+pub fn train_fixed_resumable_observed<K: Kernel + Sync>(
+    kernel: &K,
+    mult: &Arc<dyn Multiplier>,
+    train: &[K::Sample],
+    test: &[K::Sample],
+    config: &TrainConfig,
+    checkpoint_path: &Path,
+    checkpoint_every: usize,
+    observer: &mut dyn TrainObserver,
+) -> Result<FixedResult, TrainError> {
+    let start = Instant::now();
+    let plan = HardwarePlan::uniform(mult);
+    let mults = plan.materialize(kernel.num_stages());
+    let threads = config.effective_threads();
+    let direction = kernel.metric().direction();
+
+    let train_refs = batch_references(kernel, train);
+    let test_refs = batch_references(kernel, test);
+
+    let init = kernel.init_coeffs(&mults);
+    let before = quality(kernel, &init, &mults, test, &test_refs, threads);
+    let scope = RunScope { run: "fixed", detail: mult.name(), start };
+
+    let (mut session, mut stale, mut rollbacks_left, mut history) = if checkpoint_path.exists() {
+        let restored = SessionCheckpoint::load(checkpoint_path)?.restore().map_err(|reason| {
+            TrainError::Checkpoint { path: checkpoint_path.display().to_string(), reason }
+        })?;
+        (restored.session, restored.stale, restored.rollbacks_left, restored.history)
+    } else {
+        (TrainSession::new(init.clone(), config.lr), 0, config.rollbacks, Vec::new())
+    };
+
+    let span = checkpoint_every.max(1);
+    while history.len() < config.epochs {
+        let to_epoch = (history.len() + span).min(config.epochs);
+        let stopped = session.run_span(
+            kernel,
+            &plan,
+            train,
+            &train_refs,
+            config,
+            threads,
+            scope,
+            observer,
+            to_epoch,
+            &mut stale,
+            &mut rollbacks_left,
+            &mut history,
+        )?;
+        SessionCheckpoint::capture(&session, stale, rollbacks_left, &history)
+            .save(checkpoint_path)?;
+        if stopped {
+            break;
+        }
     }
+
+    // Score the final coefficients too: the last step may be the best.
+    session.consider_final(kernel, &plan, train, &train_refs, threads);
+    let best_coeffs = session.into_best();
+    let trained_quality = quality(kernel, &best_coeffs, &mults, test, &test_refs, threads);
+    let (after, chosen) = if direction.is_better(trained_quality, before) {
+        (trained_quality, best_coeffs)
+    } else {
+        (before, init)
+    };
+
+    Ok(FixedResult {
+        multiplier: mult.name().to_owned(),
+        before,
+        after,
+        coeffs: chosen,
+        loss_history: history,
+        seconds: start.elapsed().as_secs_f64(),
+    })
 }
 
 #[cfg(test)]
@@ -243,7 +368,7 @@ mod tests {
         let mult = app.adapt(&catalog::by_name("mul8u_JV3").unwrap());
         let (train, test) = small_dataset();
         let cfg = TrainConfig::new().epochs(40).learning_rate(2.0).threads(4);
-        let result = train_fixed(&app, &mult, &train, &test, &cfg);
+        let result = train_fixed(&app, &mult, &train, &test, &cfg).expect("training");
         assert!(
             result.improvement() > 0.05,
             "expected a clear SSIM gain on mul8u_JV3, got {} -> {}",
@@ -258,7 +383,7 @@ mod tests {
         let mult = app.adapt(&catalog::by_name("exact16u").unwrap());
         let (train, test) = small_dataset();
         let cfg = TrainConfig::new().epochs(3).threads(2);
-        let result = train_fixed(&app, &mult, &train, &test, &cfg);
+        let result = train_fixed(&app, &mult, &train, &test, &cfg).expect("training");
         assert!((result.before - 1.0).abs() < 1e-12);
         assert_eq!(result.after, result.before);
     }
@@ -270,7 +395,7 @@ mod tests {
         for name in ["mul8s_1KR3", "DRUM16-4"] {
             let mult = app.adapt(&catalog::by_name(name).unwrap());
             let cfg = TrainConfig::new().epochs(10).threads(4);
-            let result = train_fixed(&app, &mult, &train, &test, &cfg);
+            let result = train_fixed(&app, &mult, &train, &test, &cfg).expect("training");
             assert!(result.after >= result.before, "{name}: {result:?}");
         }
     }
@@ -281,8 +406,9 @@ mod tests {
         let mult = app.adapt(&catalog::by_name("mul16s_GAT").unwrap());
         let (train, test) = small_dataset();
         let cfg = TrainConfig::new().epochs(20).learning_rate(2.0).threads(4);
-        let plain = train_fixed(&app, &mult, &train, &test, &cfg);
-        let multi = train_fixed_multistart(&app, &mult, &train, &test, &cfg, &[0, 3, 6]);
+        let plain = train_fixed(&app, &mult, &train, &test, &cfg).expect("training");
+        let multi =
+            train_fixed_multistart(&app, &mult, &train, &test, &cfg, &[0, 3, 6]).expect("training");
         assert!(multi.after >= plain.after, "{} vs {}", multi.after, plain.after);
         assert_eq!(multi.before, plain.before);
     }
@@ -303,7 +429,7 @@ mod tests {
         let mult = app.adapt(&catalog::by_name("mul8u_FTA").unwrap());
         let (train, test) = small_dataset();
         let cfg = TrainConfig::new().epochs(30).learning_rate(2.0).threads(4);
-        let result = train_fixed(&app, &mult, &train, &test, &cfg);
+        let result = train_fixed(&app, &mult, &train, &test, &cfg).expect("training");
         assert_eq!(result.loss_history.len(), 30);
         // The trajectory may spike when the datapath's output shift jumps
         // (the trainer keeps the best coefficients seen), but the best loss

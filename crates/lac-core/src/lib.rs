@@ -30,7 +30,8 @@
 //! let app = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
 //! let mult = app.adapt(&catalog::by_name("ETM8-k4").unwrap());
 //! let data = ImageDataset::paper_split(42);
-//! let result = train_fixed(&app, &mult, &data.train, &data.test, &TrainConfig::new());
+//! let result = train_fixed(&app, &mult, &data.train, &data.test, &TrainConfig::new())
+//!     .expect("training diverged");
 //! println!(
 //!     "{}: SSIM {:.3} -> {:.3}",
 //!     result.multiplier, result.before, result.after
@@ -55,13 +56,14 @@ pub use baselines::{
 pub use config::TrainConfig;
 pub use constraints::{accuracy_hinge, hinge_area, prune, Constraint};
 pub use engine::{
-    metric_loss, ConstraintSet, EpochEvent, HardwarePlan, JsonlObserver, MemoryObserver,
-    NullObserver, TrainObserver, TrainSession,
+    metric_loss, ConstraintSet, EpochEvent, ErrorEvent, HardwarePlan, JsonlObserver,
+    MemoryObserver, NullObserver, RunScope, SessionCheckpoint, TrainError, TrainObserver,
+    TrainSession,
 };
 pub use eval::{batch_grads, batch_grads_with_chunk, batch_outputs, batch_references, quality};
 pub use fixed::{
     train_fixed, train_fixed_multistart, train_fixed_multistart_observed, train_fixed_observed,
-    FixedResult,
+    train_fixed_resumable, train_fixed_resumable_observed, FixedResult,
 };
 pub use nas::gate::BinaryGate;
 pub use nas::multi::{

@@ -380,7 +380,10 @@ pub(crate) fn fine_tune<K: Kernel + Sync>(
     observer: &mut dyn TrainObserver,
 ) -> Vec<Tensor> {
     let mut session = TrainSession::new(start_coeffs, config.lr);
-    session.run(kernel, plan, train, train_refs, config, threads, scope, observer);
+    // On divergence the session keeps its best finite checkpoint, which
+    // is exactly what fine-tuning deploys — degrade gracefully instead
+    // of aborting a whole search over one bad polish.
+    let _ = session.run(kernel, plan, train, train_refs, config, threads, scope, observer);
     session.into_best()
 }
 

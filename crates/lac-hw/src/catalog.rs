@@ -113,6 +113,38 @@ pub fn by_name(name: &str) -> Option<Arc<dyn Multiplier>> {
     Some(m)
 }
 
+/// Construct a catalog unit from a `name` or `name!faults` spec.
+///
+/// The part after `!` is a [`FaultConfig`](crate::FaultConfig) spec
+/// (see [`FaultConfig::parse`](crate::FaultConfig::parse)), so sweeps
+/// and CLI flags can name degraded hardware as a single string:
+///
+/// ```
+/// use lac_hw::catalog::by_spec;
+///
+/// let healthy = by_spec("mul8u_FTA").unwrap();
+/// let degraded = by_spec("mul8u_FTA!flip=0.01,seed=7").unwrap();
+/// assert_eq!(healthy.name(), "mul8u_FTA");
+/// assert_eq!(degraded.name(), "mul8u_FTA!seed=7,flip=0.01");
+/// ```
+pub fn by_spec(spec: &str) -> Result<Arc<dyn Multiplier>, String> {
+    let (name, fault_spec) = match spec.split_once('!') {
+        Some((name, faults)) => (name, Some(faults)),
+        None => (spec, None),
+    };
+    let unit = by_name(name).ok_or_else(|| format!("unknown multiplier `{name}`"))?;
+    match fault_spec {
+        None => Ok(unit),
+        Some(fs) => Ok(crate::faults::FaultConfig::parse(fs)?.apply(unit)),
+    }
+}
+
+/// A catalog unit with a fault model applied (fault-free configs pass
+/// the unit through unchanged).
+pub fn faulty(name: &str, faults: &crate::faults::FaultConfig) -> Option<Arc<dyn Multiplier>> {
+    by_name(name).map(|m| faults.apply(m))
+}
+
 /// Names of the eleven Table I multipliers, in the paper's order.
 pub const PAPER_NAMES: [&str; 11] = [
     "ETM8-k4",
@@ -211,6 +243,24 @@ mod tests {
     #[test]
     fn unknown_name_is_none() {
         assert!(by_name("mul8u_NOPE").is_none());
+    }
+
+    #[test]
+    fn by_spec_injects_faults() {
+        let healthy = by_spec("mul8u_FTA").unwrap();
+        let degraded = by_spec("mul8u_FTA!sa1=0x1,seed=3").unwrap();
+        assert_eq!(degraded.multiply(10, 10) & 1, 1, "bit 0 stuck at 1");
+        assert_eq!(healthy.bits(), degraded.bits());
+        assert!(by_spec("mul8u_NOPE!flip=0.1").is_err(), "unknown base unit");
+        assert!(by_spec("mul8u_FTA!flip=nope").is_err(), "bad fault spec");
+    }
+
+    #[test]
+    fn faulty_with_noop_config_is_passthrough() {
+        use crate::faults::FaultConfig;
+        let m = faulty("mul8u_FTA", &FaultConfig::new(1)).unwrap();
+        assert_eq!(m.name(), "mul8u_FTA");
+        assert!(faulty("mul8u_NOPE", &FaultConfig::new(1)).is_none());
     }
 
     #[test]

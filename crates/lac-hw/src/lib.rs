@@ -14,6 +14,8 @@
 //!   Table III delay metadata;
 //! * lookup-table acceleration ([`LutMultiplier`]) and sign-magnitude
 //!   adaptation ([`SignMagnitude`]) wrappers;
+//! * seeded deterministic fault injection over any unit — stuck-at bits,
+//!   transient bit-flips, LUT-cell corruption (module [`faults`]);
 //! * exhaustive and sampled error characterization (module [`stats`]);
 //! * approximate adders (module [`adders`]) as an extension.
 //!
@@ -37,6 +39,7 @@
 pub mod adders;
 mod booth;
 pub mod catalog;
+pub mod faults;
 mod drum;
 mod etm;
 pub mod error_map;
@@ -49,6 +52,7 @@ pub mod netlist;
 pub mod stats;
 
 pub use booth::BoothMultiplier;
+pub use faults::{FaultConfig, FaultyMultiplier};
 pub use drum::DrumMultiplier;
 pub use etm::EtmMultiplier;
 pub use kulkarni::KulkarniMultiplier;

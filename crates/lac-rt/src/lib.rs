@@ -29,11 +29,15 @@
 //! * [`bench`] — a warmup + median micro-bench harness that emits
 //!   machine-readable `BENCH_<suite>.json` files so the performance
 //!   trajectory of the workspace can be tracked across PRs.
+//! * [`json`] — a small JSON value tree with a parser and a
+//!   deterministic writer, used by session checkpointing (the only
+//!   place in the workspace that must read JSON back).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod bench;
+pub mod json;
 pub mod par;
 pub mod proptest;
 pub mod rng;

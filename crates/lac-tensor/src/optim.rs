@@ -70,6 +70,48 @@ impl Adam {
         self.lr = lr;
     }
 
+    /// The hyperparameters `(beta1, beta2, eps)`.
+    pub fn hyperparameters(&self) -> (f64, f64, f64) {
+        (self.beta1, self.beta2, self.eps)
+    }
+
+    /// Completed update steps (the bias-correction timestep `t`).
+    pub fn timestep(&self) -> u64 {
+        self.t
+    }
+
+    /// The first- and second-moment estimates, indexed by parameter
+    /// position (empty before the first step).
+    pub fn moments(&self) -> (&[Tensor], &[Tensor]) {
+        (&self.m, &self.v)
+    }
+
+    /// Discard the moment estimates and reset the timestep, as if freshly
+    /// constructed (hyperparameters and learning rate are kept).
+    ///
+    /// Divergence recovery uses this: after rolling parameters back to a
+    /// checkpoint, stale momentum pointing into the diverged region must
+    /// not be replayed.
+    pub fn reset_moments(&mut self) {
+        self.t = 0;
+        self.m.clear();
+        self.v.clear();
+    }
+
+    /// Restore a moment snapshot taken with [`Adam::timestep`] /
+    /// [`Adam::moments`], so a deserialized optimizer continues
+    /// bit-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` and `v` differ in length.
+    pub fn restore_moments(&mut self, t: u64, m: Vec<Tensor>, v: Vec<Tensor>) {
+        assert_eq!(m.len(), v.len(), "moment vectors must pair up");
+        self.t = t;
+        self.m = m;
+        self.v = v;
+    }
+
     /// Apply one update step.
     ///
     /// # Panics
@@ -196,6 +238,51 @@ mod tests {
         let mut opt = Adam::new(0.01);
         opt.step(&mut [&mut w], &[Tensor::scalar(1234.5)]);
         assert!((w.item() + 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moment_snapshot_restores_bit_identically() {
+        let target = Tensor::from_vec(vec![1.0, -2.0], &[2]);
+        let mut w = Tensor::zeros(&[2]);
+        let mut opt = Adam::new(0.05);
+        for _ in 0..7 {
+            let g = quad_grad(&w, &target);
+            opt.step(&mut [&mut w], &[g]);
+        }
+        // Snapshot, then run two optimizers in lockstep.
+        let t = opt.timestep();
+        let (m, v) = opt.moments();
+        let (m, v) = (m.to_vec(), v.to_vec());
+        let mut replay = Adam::new(opt.learning_rate());
+        replay.restore_moments(t, m, v);
+        let mut w2 = w.clone();
+        for _ in 0..5 {
+            let g = quad_grad(&w, &target);
+            opt.step(&mut [&mut w], &[g]);
+            let g2 = quad_grad(&w2, &target);
+            replay.step(&mut [&mut w2], &[g2]);
+        }
+        for (a, b) in w.data().iter().zip(w2.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn reset_moments_matches_fresh_optimizer() {
+        let target = Tensor::from_vec(vec![3.0], &[1]);
+        let mut w = Tensor::zeros(&[1]);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..4 {
+            let g = quad_grad(&w, &target);
+            opt.step(&mut [&mut w], &[g]);
+        }
+        opt.reset_moments();
+        assert_eq!(opt.timestep(), 0);
+        // With bias correction and zeroed moments, the next step moves
+        // by exactly lr again — the first-step property of Adam.
+        let before = w.data()[0];
+        opt.step(&mut [&mut w], &[Tensor::from_vec(vec![777.0], &[1])]);
+        assert!((before - w.data()[0] - 0.1).abs() < 1e-9);
     }
 
     #[test]

@@ -26,9 +26,11 @@ fn main() {
     );
     for name in ["ETM8-k4", "mul8u_JV3", "mul8u_FTA", "DRUM16-4", "mitchell16u", "ssm16-8"] {
         let mult = app.adapt(&catalog::by_name(name).expect("catalog unit"));
-        let plain = train_fixed(&app, &mult, &data.train, &data.test, &config);
+        let plain = train_fixed(&app, &mult, &data.train, &data.test, &config)
+            .expect("training diverged");
         let multi =
-            train_fixed_multistart(&app, &mult, &data.train, &data.test, &config, &[0, 3, 5]);
+            train_fixed_multistart(&app, &mult, &data.train, &data.test, &config, &[0, 3, 5])
+                .expect("training diverged");
         println!(
             "{:<12} {:>8.2}dB {:>10.2}dB {:>14.2}dB",
             name, plain.before, plain.after, multi.after

@@ -20,7 +20,8 @@ fn main() {
     for name in ["ETM16-k4", "DRUM16-4", "DRUM16-6", "mul8s_1KR3", "mul16s_GAT"] {
         let mult = app.adapt(&catalog::by_name(name).expect("catalog unit"));
         let config = TrainConfig::new().epochs(80).learning_rate(50.0).minibatch(64).seed(2);
-        let result = train_fixed(&app, &mult, &data.train, &data.test, &config);
+        let result = train_fixed(&app, &mult, &data.train, &data.test, &config)
+            .expect("training diverged");
         println!(
             "{:<12} {:>12.5} {:>12.5} {:>12.5}",
             name,

@@ -29,7 +29,8 @@ fn main() {
     // 3. Train the application coefficients against the multiplier's
     //    error profile (Adam + straight-through quantization).
     let config = TrainConfig::new().epochs(120).learning_rate(2.0).seed(1);
-    let result = train_fixed(&app, &mult, &data.train, &data.test, &config);
+    let result = train_fixed(&app, &mult, &data.train, &data.test, &config)
+        .expect("training diverged");
 
     // 4. Report.
     println!("SSIM before LAC: {:.4}", result.before);

@@ -22,11 +22,33 @@ if [[ "${adam_sites}" != "1" ]]; then
     exit 1
 fi
 
+# Panic-free engine guard: the training engine reports failures as
+# structured TrainError values, never by unwinding. New unwrap()/panic!
+# in non-test engine code would reintroduce sweep-killing crashes. Test
+# modules (everything from a `#[cfg(test)]` line down) are exempt.
+echo "== engine guard: no unwrap()/panic! in lac-core engine non-test code"
+engine_panics=$(for f in crates/lac-core/src/engine/*.rs; do
+    awk '/#\[cfg\(test\)\]/{exit} /\.unwrap\(\)|panic!/{print FILENAME": "$0}' "$f"
+done)
+if [[ -n "${engine_panics}" ]]; then
+    echo "verify: FAIL — unwrap()/panic! in engine non-test code (return TrainError instead):" >&2
+    echo "${engine_panics}" >&2
+    exit 1
+fi
+
 echo "== cargo build --release --offline"
 cargo build --release --offline
 
 echo "== cargo test -q --offline"
 cargo test -q --offline
+
+# The fault/recovery suite is part of the workspace test run above, but
+# name the load-bearing suites explicitly so a filtered or partial CI
+# configuration cannot silently skip them.
+echo "== fault + recovery suites"
+cargo test -q --offline -p lac-hw faults::
+cargo test -q --offline -p lac-core engine::
+cargo test -q --offline --test recovery
 
 # Opt-in performance gate: set LAC_BENCH_CHECK=1 to re-run the macro
 # bench suites and compare against the committed baselines in

@@ -42,7 +42,8 @@
 //!     &data.train,
 //!     &data.test,
 //!     &TrainConfig::new().epochs(20).learning_rate(2.0),
-//! );
+//! )
+//! .expect("training diverged");
 //! assert!(result.after >= result.before);
 //! ```
 

@@ -19,6 +19,7 @@ fn short_fir_run(seed: u64, threads: usize) -> FixedResult {
     let data = SignalDataset::generate(6, 2, 96, 11);
     let config = TrainConfig::new().epochs(8).seed(seed).threads(threads);
     train_fixed(&app, &mult, &data.train, &data.test, &config)
+        .expect("training")
 }
 
 fn assert_bit_identical(a: &FixedResult, b: &FixedResult, what: &str) {
@@ -70,8 +71,8 @@ fn different_seeds_are_decorrelated_but_both_deterministic() {
     let d1 = SignalDataset::generate(6, 2, 96, 11);
     let d2 = SignalDataset::generate(6, 2, 96, 12);
     let config = TrainConfig::new().epochs(4).threads(2);
-    let r1 = train_fixed(&app, &mult, &d1.train, &d1.test, &config);
-    let r2 = train_fixed(&app, &mult, &d2.train, &d2.test, &config);
+    let r1 = train_fixed(&app, &mult, &d1.train, &d1.test, &config).expect("training");
+    let r2 = train_fixed(&app, &mult, &d2.train, &d2.test, &config).expect("training");
     assert_ne!(
         r1.loss_history.first().map(|l| l.to_bits()),
         r2.loss_history.first().map(|l| l.to_bits()),

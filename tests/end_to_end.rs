@@ -26,7 +26,7 @@ fn fixed_lac_rescues_etm_blur() {
     let app = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
     let mult = app.adapt(&LutMultiplier::maybe_wrap(catalog::by_name("ETM8-k4").unwrap()));
     let data = small_images();
-    let result = train_fixed(&app, &mult, &data.train, &data.test, &cfg(100, 2.0));
+    let result = train_fixed(&app, &mult, &data.train, &data.test, &cfg(100, 2.0)).expect("training");
     assert!(result.before < 0.5, "untrained ETM blur should be poor, got {}", result.before);
     assert!(result.after > 0.8, "trained ETM blur should be good, got {}", result.after);
 }
@@ -38,7 +38,7 @@ fn fixed_lac_rescues_operand_masking_blur() {
     let app = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
     let mult = app.adapt(&LutMultiplier::maybe_wrap(catalog::by_name("mul8s_1KR3").unwrap()));
     let data = small_images();
-    let result = train_fixed(&app, &mult, &data.train, &data.test, &cfg(60, 2.0));
+    let result = train_fixed(&app, &mult, &data.train, &data.test, &cfg(60, 2.0)).expect("training");
     assert!(result.before < 0.1, "masked blur should start broken, got {}", result.before);
     assert!(result.after > 0.7, "masked blur should be trainable, got {}", result.after);
 }
@@ -48,8 +48,8 @@ fn training_is_deterministic() {
     let app = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
     let mult = app.adapt(&LutMultiplier::maybe_wrap(catalog::by_name("mul8u_FTA").unwrap()));
     let data = small_images();
-    let a = train_fixed(&app, &mult, &data.train, &data.test, &cfg(10, 2.0));
-    let b = train_fixed(&app, &mult, &data.train, &data.test, &cfg(10, 2.0));
+    let a = train_fixed(&app, &mult, &data.train, &data.test, &cfg(10, 2.0)).expect("training");
+    let b = train_fixed(&app, &mult, &data.train, &data.test, &cfg(10, 2.0)).expect("training");
     assert_eq!(a.before, b.before);
     assert_eq!(a.after, b.after);
     for (ca, cb) in a.coeffs.iter().zip(&b.coeffs) {
@@ -76,7 +76,7 @@ fn jpeg_pipeline_end_to_end_with_exact_hardware() {
     let app = JpegApp::new(JpegMode::Single);
     let mult = app.adapt(&catalog::by_name("exact16u").unwrap());
     let data = ImageDataset::generate(2, 2, 32, 32, 5);
-    let result = train_fixed(&app, &mult, &data.train, &data.test, &cfg(2, 1.0));
+    let result = train_fixed(&app, &mult, &data.train, &data.test, &cfg(2, 1.0)).expect("training");
     // The integer pipeline with exact multipliers is already close to the
     // float reference; training must not break it.
     assert!(result.before > 35.0, "exact JPEG PSNR {}", result.before);
@@ -88,7 +88,7 @@ fn inversek2j_end_to_end() {
     let app = InverseK2jApp::new();
     let mult = app.adapt(&catalog::by_name("DRUM16-4").unwrap());
     let data = IkDataset::generate(64, 32, 3);
-    let result = train_fixed(&app, &mult, &data.train, &data.test, &cfg(25, 50.0));
+    let result = train_fixed(&app, &mult, &data.train, &data.test, &cfg(25, 50.0)).expect("training");
     // Relative error: lower is better, and training must not make it worse.
     assert!(result.after <= result.before);
     assert!(result.after < 0.5, "DRUM16-4 IK error {}", result.after);
@@ -99,7 +99,7 @@ fn trained_coefficients_respect_bounds() {
     let app = FilterApp::new(FilterKind::EdgeDetection, StageMode::Single);
     let mult = app.adapt(&LutMultiplier::maybe_wrap(catalog::by_name("mul8s_1KVL").unwrap()));
     let data = small_images();
-    let result = train_fixed(&app, &mult, &data.train, &data.test, &cfg(15, 3.0));
+    let result = train_fixed(&app, &mult, &data.train, &data.test, &cfg(15, 3.0)).expect("training");
     let bounds = app.coeff_bounds(std::slice::from_ref(&mult));
     for (coeff, (lo, hi)) in result.coeffs.iter().zip(bounds) {
         let v = coeff.item().round().clamp(lo, hi);

@@ -19,7 +19,7 @@ fn netlist_multiplier_trains_like_a_catalog_unit() {
     let mult = app.adapt(&LutMultiplier::maybe_wrap(structural));
     let data = ImageDataset::generate(6, 3, 32, 32, 17);
     let cfg = TrainConfig::new().epochs(40).learning_rate(2.0).threads(4).seed(1);
-    let result = train_fixed(&app, &mult, &data.train, &data.test, &cfg);
+    let result = train_fixed(&app, &mult, &data.train, &data.test, &cfg).expect("training");
     assert!(result.after >= result.before);
     assert!(result.after > 0.9, "trained structural unit SSIM {}", result.after);
 }

@@ -54,7 +54,7 @@ fn train_fixed_matches_pre_refactor_bits() {
     let app = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
     let mult = app.adapt(&catalog::by_name("mul8u_FTA").unwrap());
     let cfg = TrainConfig::new().epochs(12).learning_rate(2.0).minibatch(4).seed(7).threads(2);
-    let r = train_fixed(&app, &mult, &train, &test, &cfg);
+    let r = train_fixed(&app, &mult, &train, &test, &cfg).expect("training");
     assert_eq!(r.before.to_bits(), 0x3fecd352b20ea88e, "before quality drifted");
     assert_eq!(r.after.to_bits(), 0x3fef93d51ce0be5c, "after quality drifted");
     assert_eq!(r.loss_history.len(), 12);

@@ -44,7 +44,8 @@ fn all_entry_points_emit_per_epoch_events() {
 
     let mut obs = MemoryObserver::new();
     let _ =
-        train_fixed_multistart_observed(&single, &mult, &train, &test, &cfg, &[0, 3], &mut obs);
+        train_fixed_multistart_observed(&single, &mult, &train, &test, &cfg, &[0, 3], &mut obs)
+            .expect("training");
     assert_eq!(count_run(&obs, "fixed"), 12, "multistart must emit events for every restart");
     assert!(obs.lines.iter().any(|l| l.contains("+restart1")), "restarts must be labeled");
 
@@ -148,9 +149,9 @@ fn observed_and_plain_entry_points_agree() {
     let app = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
     let mult = app.adapt(&catalog::by_name("mul8u_FTA").unwrap());
     let cfg = TrainConfig::new().epochs(5).learning_rate(2.0).minibatch(3).threads(2);
-    let plain = lac::core::train_fixed(&app, &mult, &train, &test, &cfg);
+    let plain = lac::core::train_fixed(&app, &mult, &train, &test, &cfg).expect("training");
     let mut obs = MemoryObserver::new();
-    let observed = train_fixed_observed(&app, &mult, &train, &test, &cfg, &mut obs);
+    let observed = train_fixed_observed(&app, &mult, &train, &test, &cfg, &mut obs).expect("training");
     assert_eq!(plain.after.to_bits(), observed.after.to_bits());
     for (a, b) in plain.coeffs.iter().zip(&observed.coeffs) {
         for (x, y) in a.data().iter().zip(b.data()) {
@@ -168,7 +169,7 @@ fn patience_limits_fixed_training_epochs() {
     // improves after epoch 0 and patience must cut the run short.
     let mult = app.adapt(&catalog::by_name("exact16u").unwrap());
     let cfg = TrainConfig::new().epochs(40).threads(2).patience(2);
-    let r = lac::core::train_fixed(&app, &mult, &train, &test, &cfg);
+    let r = lac::core::train_fixed(&app, &mult, &train, &test, &cfg).expect("training");
     assert_eq!(r.loss_history.len(), 3, "1 improving epoch + 2 stale epochs");
 }
 
