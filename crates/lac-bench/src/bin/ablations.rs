@@ -7,230 +7,44 @@
 //!    sampling "improves application training, which allows NAS results to
 //!    reach brute-force search results".
 //!
-//! Run with: `cargo run --release -p lac-bench --bin ablations`
+//! The five variants run as one orchestrated job list (see
+//! `lac_bench::ablate` for the variant implementations).
+//!
+//! Run with: `cargo run --release -p lac-bench --bin ablations [--jobs N] [--no-cache]`
 //! (`LAC_QUICK=1` for a fast smoke run)
 
-use std::sync::Arc;
-
-use lac_apps::{FilterApp, FilterKind, Kernel, StageMode};
-use lac_bench::driver::AppId;
-use lac_bench::{adapted_catalog, run_logger, Report};
-use lac_core::{
-    batch_grads, batch_outputs, batch_references, quality, search_single_observed,
-    train_fixed_observed, BinaryGate,
-};
-use lac_hw::Multiplier;
-use lac_tensor::{Sgd, Tensor};
-use lac_rt::rng::{RngExt, SeedableRng, StdRng};
+use lac_bench::ablate::AblationVariant;
+use lac_bench::sched::{Job, Sweep, UnitJob};
+use lac_bench::Report;
 
 fn main() {
-    let mut obs = run_logger("ablations");
-    let (sizing, lr) = AppId::Blur.sizing();
-    let cfg = sizing.config(lr);
-    let data = sizing.image_dataset();
-    let app = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
-    let mult = app.adapt(
-        &lac_hw::LutMultiplier::maybe_wrap(lac_hw::catalog::by_name("ETM8-k4").unwrap()),
-    );
+    let flags = lac_bench::sweep_flags();
+    flags.reject_rest("ablations");
 
-    let mut report = Report::new("ablations", &["ablation", "variant", "quality", "note"]);
-
-    // ------------------------------------------------------------------
-    // Ablation 1: optimizer choice on ETM blur.
-    // ------------------------------------------------------------------
-    eprintln!("[ablations] optimizer: adam ...");
-    let adam = train_fixed_observed(&app, &mult, &data.train, &data.test, &cfg, obs.as_mut())
-        .expect("adam ablation diverged");
-    report.row(&[
-        "optimizer".into(),
-        "adam".into(),
-        format!("{:.4}", adam.after),
-        format!("before {:.4}", adam.before),
-    ]);
-
-    eprintln!("[ablations] optimizer: sgd ...");
-    let sgd_after = train_sgd(&app, &mult, &data, &cfg);
-    report.row(&[
-        "optimizer".into(),
-        "sgd".into(),
-        format!("{sgd_after:.4}"),
-        "same step budget".into(),
-    ]);
-
-    eprintln!("[ablations] optimizer: random search ...");
-    let rand_after = random_search(&app, &mult, &data, cfg.epochs);
-    report.row(&[
-        "optimizer".into(),
-        "random-search".into(),
-        format!("{rand_after:.4}"),
-        "surrogate-solver stand-in".into(),
-    ]);
-
-    // ------------------------------------------------------------------
-    // Ablation 2: two-path vs single-path NAS on blur over the catalog.
-    // ------------------------------------------------------------------
-    let candidates = adapted_catalog(&app);
-    eprintln!("[ablations] nas: two-path ...");
-    let two = search_single_observed(
-        &app,
-        &candidates,
-        &data.train,
-        &data.test,
-        &cfg,
-        2.0,
-        obs.as_mut(),
-    );
-    report.row(&[
-        "nas-sampling".into(),
-        "two-path".into(),
-        format!("{:.4}", two.quality),
-        format!("chose {}", two.chosen_name()),
-    ]);
-
-    eprintln!("[ablations] nas: single-path ...");
-    let one = single_path_nas(&app, &candidates, &data, &cfg);
-    report.row(&[
-        "nas-sampling".into(),
-        "single-path".into(),
-        format!("{:.4}", one.1),
-        format!("chose {}", one.0),
-    ]);
-
-    println!("Ablations (DESIGN.md §7)\n");
-    report.emit();
-}
-
-/// Fixed-hardware training with SGD in place of Adam.
-fn train_sgd(
-    app: &FilterApp,
-    mult: &Arc<dyn Multiplier>,
-    data: &lac_data::ImageDataset,
-    cfg: &lac_core::TrainConfig,
-) -> f64 {
-    let mults = vec![Arc::clone(mult)];
-    let train_refs = batch_references(app, &data.train);
-    let test_refs = batch_references(app, &data.test);
-    let threads = cfg.effective_threads();
-    let mut coeffs = app.init_coeffs(&mults);
-    // SGD needs a much smaller step: gradients carry the image scale.
-    let mut opt = Sgd::new(cfg.lr * 1e-5);
-    let mut best = (f64::INFINITY, coeffs.clone());
-    for step in 0..cfg.epochs {
-        let idx = cfg.step_indices(step, data.train.len());
-        let batch: Vec<_> = idx.iter().map(|&i| data.train[i].clone()).collect();
-        let refs: Vec<_> = idx.iter().map(|&i| train_refs[i].clone()).collect();
-        let (grads, loss) = batch_grads(app, &coeffs, &mults, &batch, &refs, threads);
-        if loss < best.0 {
-            best = (loss, coeffs.clone());
-        }
-        let mut params: Vec<&mut Tensor> = coeffs.iter_mut().collect();
-        opt.step(&mut params, &grads);
-    }
-    let q_trained = quality(app, &best.1, &mults, &data.test, &test_refs, threads);
-    let q_init =
-        quality(app, &app.init_coeffs(&mults), &mults, &data.test, &test_refs, threads);
-    q_trained.max(q_init)
-}
-
-/// Random integer search at the same evaluation budget.
-fn random_search(
-    app: &FilterApp,
-    mult: &Arc<dyn Multiplier>,
-    data: &lac_data::ImageDataset,
-    budget: usize,
-) -> f64 {
-    let mults = vec![Arc::clone(mult)];
-    let train_refs = batch_references(app, &data.train);
-    let test_refs = batch_references(app, &data.test);
-    let bounds = app.coeff_bounds(&mults);
-    let mut rng = StdRng::seed_from_u64(lac_bench::seed());
-    let metric = app.metric();
-    let mut best_q = f64::NEG_INFINITY;
-    let mut best: Vec<Tensor> = app.init_coeffs(&mults);
-    for _ in 0..budget {
-        let cand: Vec<Tensor> = bounds
-            .iter()
-            .map(|&(lo, hi)| Tensor::scalar(rng.random_range(lo..=hi).round()))
-            .collect();
-        let outputs = batch_outputs(app, &cand, &mults, &data.train, 0);
-        let q = metric.evaluate(&outputs, &train_refs);
-        if q > best_q {
-            best_q = q;
-            best = cand;
-        }
-    }
-    let q_trained = quality(app, &best, &mults, &data.test, &test_refs, 0);
-    let q_init = quality(app, &app.init_coeffs(&mults), &mults, &data.test, &test_refs, 0);
-    q_trained.max(q_init)
-}
-
-/// A single-path NAS variant: one sampled path per iteration, gate updated
-/// with the score-function rule (the ablated alternative to the paper's
-/// two-path scheme).
-fn single_path_nas(
-    app: &FilterApp,
-    candidates: &[Arc<dyn Multiplier>],
-    data: &lac_data::ImageDataset,
-    cfg: &lac_core::TrainConfig,
-) -> (String, f64) {
-    use lac_tensor::Adam;
-    let threads = cfg.effective_threads();
-    let train_refs = batch_references(app, &data.train);
-    let test_refs = batch_references(app, &data.test);
-    let metric = app.metric();
-
-    struct P {
-        mult: Arc<dyn Multiplier>,
-        coeffs: Vec<Tensor>,
-        best: (f64, Vec<Tensor>),
-        opt: Adam,
-        steps: usize,
-    }
-    let mut paths: Vec<P> = candidates
+    let variants = AblationVariant::all();
+    let jobs: Vec<Job> = variants
         .iter()
-        .map(|m| {
-            let init = app.init_coeffs(std::slice::from_ref(m));
-            P {
-                mult: Arc::clone(m),
-                coeffs: init.clone(),
-                best: (f64::INFINITY, init),
-                opt: Adam::new(cfg.lr),
-                steps: 0,
-            }
+        .map(|&variant| {
+            Job::new(
+                format!("{}:{}", variant.group(), variant.token()),
+                UnitJob::Ablation { variant },
+            )
         })
         .collect();
-    let mut gate = BinaryGate::new(candidates.len(), 2.0);
-    let mut rng = StdRng::seed_from_u64(lac_bench::seed() ^ 0xab1a);
+    let outcomes = flags.configure(Sweep::new("ablations", jobs)).run();
 
-    for _ in 0..cfg.epochs {
-        let i = gate.sample_one(&mut rng);
-        let p = &mut paths[i];
-        let idx = cfg.step_indices(p.steps, data.train.len());
-        let batch: Vec<_> = idx.iter().map(|&k| data.train[k].clone()).collect();
-        let refs: Vec<_> = idx.iter().map(|&k| train_refs[k].clone()).collect();
-        let mults = vec![Arc::clone(&p.mult)];
-        let (grads, loss) = batch_grads(app, &p.coeffs, &mults, &batch, &refs, threads);
-        if loss < p.best.0 {
-            p.best = (loss, p.coeffs.clone());
-        }
-        let mut params: Vec<&mut Tensor> = p.coeffs.iter_mut().collect();
-        p.opt.step(&mut params, &grads);
-        p.steps += 1;
-        let outputs = batch_outputs(app, &p.best.1, &mults, &batch, threads);
-        let q = metric.evaluate(&outputs, &refs);
-        gate.update_single_path(i, lac_core::metric_loss(metric, q));
+    let mut report = Report::new("ablations", &["ablation", "variant", "quality", "note"]);
+    for (variant, o) in variants.iter().zip(&outcomes) {
+        let (Some(quality), Some(note)) = (o.num("quality"), o.text("note")) else {
+            continue;
+        };
+        report.row(&[
+            variant.group().to_owned(),
+            variant.token().to_owned(),
+            format!("{quality:.4}"),
+            note.to_owned(),
+        ]);
     }
-    let chosen = gate.best();
-    let p = &paths[chosen];
-    let mults = vec![Arc::clone(&p.mult)];
-    let q = quality(app, &p.best.1, &mults, &data.test, &test_refs, threads);
-    let q_init = quality(
-        app,
-        &app.init_coeffs(&mults),
-        &mults,
-        &data.test,
-        &test_refs,
-        threads,
-    );
-    (p.mult.name().to_owned(), q.max(q_init))
+    println!("Ablations (DESIGN.md §7)\n");
+    report.emit();
 }

@@ -7,136 +7,38 @@
 //! and whether LAC coefficient training can compensate for adder error
 //! the way it compensates for multiplier error.
 //!
-//! Run with: `cargo run --release -p lac-bench --bin adder_lac`
+//! The four adder cells run as one orchestrated job list (see
+//! `lac_bench::adder` for the kernel).
+//!
+//! Run with: `cargo run --release -p lac-bench --bin adder_lac [--jobs N] [--no-cache]`
 //! (`LAC_QUICK=1` for a fast smoke run)
 
-use std::sync::Arc;
-
-use lac_apps::{output_shift, Kernel, Metric};
-use lac_bench::driver::AppId;
+use lac_bench::sched::{Job, Sweep, UnitJob};
 use lac_bench::Report;
-use lac_core::{batch_grads, batch_references, quality, TrainConfig};
-use lac_data::GrayImage;
-use lac_hw::adders::{Adder, ExactAdder, LowerOrAdder};
-use lac_hw::{catalog, LutMultiplier, Multiplier};
-use lac_tensor::{Adam, Graph, Tensor, Var};
-
-/// Gaussian blur whose convolution uses an explicit adder model — a local
-/// kernel variant built on `approx_conv2d_accum`.
-struct BlurWithAdder {
-    adder: Arc<dyn Adder>,
-}
-
-impl Kernel for BlurWithAdder {
-    type Sample = GrayImage;
-
-    fn name(&self) -> &str {
-        "blur-approx-accum"
-    }
-
-    fn metric(&self) -> Metric {
-        Metric::Ssim { width: 32, height: 32 }
-    }
-
-    fn adapt(&self, mult: &Arc<dyn Multiplier>) -> Arc<dyn Multiplier> {
-        Arc::clone(mult)
-    }
-
-    fn init_coeffs(&self, _mults: &[Arc<dyn Multiplier>]) -> Vec<Tensor> {
-        vec![Tensor::from_vec(
-            vec![1.0, 2.0, 1.0, 2.0, 4.0, 2.0, 1.0, 2.0, 1.0],
-            &[3, 3],
-        )]
-    }
-
-    fn coeff_bounds(&self, mults: &[Arc<dyn Multiplier>]) -> Vec<(f64, f64)> {
-        let (_, hi) = mults[0].operand_range();
-        vec![(0.0, hi.min(255) as f64)]
-    }
-
-    fn forward_approx(
-        &self,
-        graph: &Graph,
-        sample: &Self::Sample,
-        coeffs: &[Var],
-        mults: &[Arc<dyn Multiplier>],
-    ) -> Var {
-        let bounds = self.coeff_bounds(mults);
-        let taps = coeffs[0].value();
-        let quantized: Vec<f64> = taps
-            .data()
-            .iter()
-            .map(|&v| v.round().clamp(bounds[0].0, bounds[0].1))
-            .collect();
-        let shift = output_shift(&quantized);
-        let img = graph.constant(Tensor::from_vec(sample.pixels().to_vec(), &[32, 32]));
-        let k = coeffs[0].quantize_ste(bounds[0].0, bounds[0].1);
-        img.approx_conv2d_accum(&k, &mults[0], &self.adder)
-            .mul_scalar(2f64.powi(-(shift as i32)))
-            .round_ste()
-            .clamp(0.0, 255.0)
-    }
-
-    fn reference(&self, sample: &Self::Sample) -> Tensor {
-        let graph = Graph::new();
-        let img = graph.constant(Tensor::from_vec(sample.pixels().to_vec(), &[32, 32]));
-        let k = graph.constant(Tensor::from_vec(
-            vec![1.0, 2.0, 1.0, 2.0, 4.0, 2.0, 1.0, 2.0, 1.0],
-            &[3, 3],
-        ));
-        img.conv2d(&k).mul_scalar(1.0 / 16.0).round_ste().clamp(0.0, 255.0).value()
-    }
-}
-
-fn train(kernel: &BlurWithAdder, mult: &Arc<dyn Multiplier>, data: &lac_data::ImageDataset, cfg: &TrainConfig) -> (f64, f64) {
-    let mults = vec![Arc::clone(mult)];
-    let train_refs = batch_references(kernel, &data.train);
-    let test_refs = batch_references(kernel, &data.test);
-    let threads = cfg.effective_threads();
-    let init = kernel.init_coeffs(&mults);
-    let before = quality(kernel, &init, &mults, &data.test, &test_refs, threads);
-    let mut coeffs = init.clone();
-    let mut opt = Adam::new(cfg.lr);
-    let mut best = (f64::INFINITY, init.clone());
-    for step in 0..cfg.epochs {
-        let idx = cfg.step_indices(step, data.train.len());
-        let batch: Vec<GrayImage> = idx.iter().map(|&i| data.train[i].clone()).collect();
-        let refs: Vec<Vec<f64>> = idx.iter().map(|&i| train_refs[i].clone()).collect();
-        let (grads, loss) = batch_grads(kernel, &coeffs, &mults, &batch, &refs, threads);
-        if loss < best.0 {
-            best = (loss, coeffs.clone());
-        }
-        let mut params: Vec<&mut Tensor> = coeffs.iter_mut().collect();
-        opt.step(&mut params, &grads);
-    }
-    let after = quality(kernel, &best.1, &mults, &data.test, &test_refs, threads);
-    (before, after.max(before))
-}
 
 fn main() {
-    let (sizing, lr) = AppId::Blur.sizing();
-    let cfg = sizing.config(lr);
-    let data = sizing.image_dataset();
-    let mult = LutMultiplier::maybe_wrap(catalog::by_name("mul8u_FTA").unwrap());
+    let flags = lac_bench::sweep_flags();
+    flags.reject_rest("adder_lac");
+
+    let or_bits = [0usize, 4, 6, 8];
+    let label = |b: usize| if b == 0 { "exact".to_owned() } else { format!("LOA-{b}") };
+    let jobs: Vec<Job> = or_bits
+        .into_iter()
+        .map(|b| Job::new(label(b), UnitJob::AdderLac { or_bits: b }))
+        .collect();
+    let outcomes = flags.configure(Sweep::new("adder_lac", jobs)).run();
 
     let mut report = Report::new(
         "adder_lac",
         &["adder", "or_bits", "ssim_before", "ssim_after", "improvement"],
     );
-    let adders: Vec<(String, Arc<dyn Adder>)> = vec![
-        ("exact".to_owned(), Arc::new(ExactAdder::new(20))),
-        ("LOA-4".to_owned(), Arc::new(LowerOrAdder::new(20, 4))),
-        ("LOA-6".to_owned(), Arc::new(LowerOrAdder::new(20, 6))),
-        ("LOA-8".to_owned(), Arc::new(LowerOrAdder::new(20, 8))),
-    ];
-    for (name, adder) in adders {
-        eprintln!("[adder_lac] {name} ...");
-        let kernel = BlurWithAdder { adder };
-        let (before, after) = train(&kernel, &mult, &data, &cfg);
-        let or_bits = name.strip_prefix("LOA-").unwrap_or("0").to_owned();
+    for (b, o) in or_bits.into_iter().zip(&outcomes) {
+        let (Some(before), Some(after)) = (o.num("before"), o.num("after")) else {
+            continue;
+        };
         report.row(&[
-            name,
-            or_bits,
+            label(b),
+            b.to_string(),
             format!("{before:.4}"),
             format!("{after:.4}"),
             format!("{:+.4}", after - before),

@@ -7,11 +7,11 @@
 //! ("trained"). The curve shows how much of the fault-induced quality loss
 //! LAC training claws back — the robustness analogue of Fig. 3.
 //!
-//! Every point runs under a panic guard: a poisoned run becomes a
-//! structured error row in the CSV and the run JSONL, and the sweep
-//! continues with the remaining points.
+//! Both cells of every point run through the orchestrator: a poisoned
+//! point becomes a structured error row in the CSV and the rows artifact,
+//! and the sweep continues with the remaining points.
 //!
-//! Run with: `cargo run --release -p lac-bench --bin fault_sweep`
+//! Run with: `cargo run --release -p lac-bench --bin fault_sweep [--jobs N] [--no-cache]`
 //! (`LAC_QUICK=1` for a fast smoke run)
 //!
 //! Flags:
@@ -20,16 +20,18 @@
 //!   bit-flip rates (each in `[0, 1]`);
 //! * `--base <name>` — base catalog multiplier (default `mul8u_FTA`).
 
-use std::time::Instant;
-
-use lac_bench::driver::{fixed_spec_observed, untrained_spec, AppId};
-use lac_bench::{record_error_row, run_caught, run_logger, Report};
+use lac_bench::driver::AppId;
+use lac_bench::sched::{Job, Sweep, UnitJob};
+use lac_bench::Report;
 
 const DEFAULT_RATES: [f64; 7] = [0.0, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2];
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("fault_sweep: {msg}");
-    eprintln!("usage: fault_sweep [--fault-rate r1,r2,...] [--base <catalog-name>]");
+    eprintln!(
+        "usage: fault_sweep [--fault-rate r1,r2,...] [--base <catalog-name>] \
+         [--jobs N] [--no-cache]"
+    );
     std::process::exit(2);
 }
 
@@ -49,19 +51,23 @@ fn parse_rates(value: &str) -> Vec<f64> {
 }
 
 fn main() {
+    let flags = lac_bench::sweep_flags();
     let mut rates: Vec<f64> = DEFAULT_RATES.to_vec();
     let mut base = "mul8u_FTA".to_owned();
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
+    let mut rest = flags.rest.iter();
+    while let Some(arg) = rest.next() {
         match arg.as_str() {
             "--fault-rate" => {
-                let value = args
+                let value = rest
                     .next()
                     .unwrap_or_else(|| usage_error("--fault-rate needs a comma-separated list"));
-                rates = parse_rates(&value);
+                rates = parse_rates(value);
             }
             "--base" => {
-                base = args.next().unwrap_or_else(|| usage_error("--base needs a catalog name"));
+                base = rest
+                    .next()
+                    .unwrap_or_else(|| usage_error("--base needs a catalog name"))
+                    .clone();
             }
             other => usage_error(&format!("unknown flag `{other}`")),
         }
@@ -72,55 +78,50 @@ fn main() {
 
     let app = AppId::Blur;
     let seed = lac_bench::seed();
-    let mut obs = run_logger("fault_sweep");
+    let specs: Vec<String> = rates
+        .iter()
+        .map(|&rate| {
+            if rate == 0.0 {
+                base.clone()
+            } else {
+                format!("{base}!seed={seed},flip={rate}")
+            }
+        })
+        .collect();
+    let mut jobs = Vec::new();
+    for spec in &specs {
+        jobs.push(Job::new(
+            format!("untrained:{spec}"),
+            UnitJob::Untrained { app, spec: spec.clone() },
+        ));
+        jobs.push(Job::new(
+            format!("trained:{spec}"),
+            UnitJob::Fixed { app, spec: spec.clone() },
+        ));
+    }
+    let outcomes = flags.configure(Sweep::new("fault_sweep", jobs)).run();
+
     let mut report = Report::new(
         "fault_sweep",
         &["fault_rate", "spec", "untrained_ssim", "trained_ssim", "recovered", "error"],
     );
-
-    for &rate in &rates {
-        let spec = if rate == 0.0 {
-            base.clone()
-        } else {
-            format!("{base}!seed={seed},flip={rate}")
-        };
-        eprintln!("[fault_sweep] {spec} ...");
-        let start = Instant::now();
-
-        let untrained = run_caught("fault-sweep-untrained", &spec, obs.as_mut(), |_| {
-            untrained_spec(app, &spec)
-        });
-        let trained = run_caught("fault-sweep-trained", &spec, obs.as_mut(), |obs| {
-            fixed_spec_observed(app, &spec, obs)
-        });
-
-        // Flatten panic (outer Err) and structured failure (inner Err)
-        // into one error cell; either way the sweep carries on.
-        let untrained = untrained.and_then(|r| r);
-        let trained = trained.and_then(|r| r);
-        match (&untrained, &trained) {
-            (Ok((_, before)), Ok(result)) => {
-                report.row(&[
-                    format!("{rate:e}"),
-                    spec.clone(),
-                    format!("{before:.4}"),
-                    format!("{:.4}", result.after),
-                    format!("{:+.4}", result.after - before),
-                    String::new(),
-                ]);
-            }
+    for ((&rate, spec), pair) in rates.iter().zip(&specs).zip(outcomes.chunks(2)) {
+        let (untrained, trained) = (&pair[0], &pair[1]);
+        match (untrained.num("quality"), trained.num("after")) {
+            (Some(before), Some(after)) => report.row(&[
+                format!("{rate:e}"),
+                spec.clone(),
+                format!("{before:.4}"),
+                format!("{after:.4}"),
+                format!("{:+.4}", after - before),
+                String::new(),
+            ]),
             _ => {
-                let error = match (&untrained, &trained) {
-                    (Err(e), _) | (_, Err(e)) => e.clone(),
-                    _ => unreachable!("at least one side failed"),
-                };
-                record_error_row(
-                    "fault-sweep",
-                    &spec,
-                    &error,
-                    start.elapsed().as_secs_f64(),
-                    obs.as_mut(),
-                );
+                // Surface whichever half failed; the point stays a row.
+                let error = [untrained, trained]
+                    .iter()
+                    .find_map(|o| o.value.as_ref().err().cloned())
+                    .unwrap_or_else(|| "missing payload field".to_owned());
                 report.row(&[
                     format!("{rate:e}"),
                     spec.clone(),

@@ -12,36 +12,78 @@
 //! areas or nothing); NAS and brute force reach the same, much smaller
 //! area.
 //!
-//! Run with: `cargo run --release -p lac-bench --bin fig10`
+//! All cells — the 11 untrained evaluations, the brute-force training of
+//! every candidate, and the 4 accuracy-constrained NAS runs — run as one
+//! orchestrated job list.
+//!
+//! Run with: `cargo run --release -p lac-bench --bin fig10 [--jobs N] [--no-cache]`
 //! (`LAC_QUICK=1` for a fast smoke run)
 
-use lac_bench::driver::{brute_force_all_observed, nas_accuracy_observed, untrained_all, AppId};
-use lac_bench::{run_logger, Report};
-use lac_core::brute_force_min_area;
+use lac_bench::driver::AppId;
+use lac_bench::sched::{Job, Sweep, UnitJob};
+use lac_bench::Report;
 use lac_hw::catalog;
 
 fn main() {
-    let mut obs = run_logger("fig10");
+    let flags = lac_bench::sweep_flags();
+    flags.reject_rest("fig10");
+
     let app = AppId::Blur;
     let targets = [0.90, 0.95, 0.98, 0.995];
-    let areas: Vec<(String, f64)> = catalog::paper_multipliers()
-        .iter()
-        .map(|m| (m.name().to_owned(), m.metadata().area))
-        .collect();
+    let units: Vec<String> =
+        catalog::paper_multipliers().iter().map(|m| m.name().to_owned()).collect();
     // A name missing from the catalog is a wiring bug, not a data point:
     // fail loudly instead of plotting NaN areas.
     let area_of = |name: &str| {
-        areas
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, a)| *a)
+        catalog::by_name(name)
+            .map(|m| m.metadata().area)
             .unwrap_or_else(|| panic!("multiplier `{name}` missing from the Table I catalog"))
     };
 
-    eprintln!("[fig10] evaluating untrained qualities ...");
-    let untrained = untrained_all(app);
-    eprintln!("[fig10] running brute-force training of all candidates ...");
-    let bf = brute_force_all_observed(app, obs.as_mut())
+    let mut jobs: Vec<Job> = units
+        .iter()
+        .map(|u| {
+            Job::new(
+                format!("untrained:{u}"),
+                UnitJob::Untrained { app, spec: u.clone() },
+            )
+        })
+        .collect();
+    jobs.push(Job::new("brute-force", UnitJob::BruteForce { app }));
+    for &target in &targets {
+        // δ = 200: the hinge must dominate the (≤ ~1.0) area term so a
+        // cheap-but-violating unit can never win on area alone (the
+        // paper: "both parameters ought to be determined by
+        // experimentation").
+        jobs.push(Job::new(
+            format!("nas:ssim>={target:.3}"),
+            UnitJob::NasAccuracy { app, target, delta: 200.0, gate_lr: 2.0 },
+        ));
+    }
+    let outcomes = flags.configure(Sweep::new("fig10", jobs)).run();
+
+    let untrained: Vec<(String, f64)> = outcomes[..units.len()]
+        .iter()
+        .filter_map(|o| Some((o.text("multiplier")?.to_owned(), o.num("quality")?)))
+        .collect();
+    // Brute-force results as (multiplier, post-training quality) pairs.
+    let bf: Vec<(String, f64)> = outcomes[units.len()]
+        .ok()
+        .and_then(|v| v.get("results"))
+        .and_then(|r| match r {
+            lac_rt::json::Value::Arr(items) => Some(
+                items
+                    .iter()
+                    .filter_map(|item| {
+                        Some((
+                            item.get("multiplier")?.as_str()?.to_owned(),
+                            item.get("after")?.as_f64()?,
+                        ))
+                    })
+                    .collect(),
+            ),
+            _ => None,
+        })
         .expect("fig10 brute-force training diverged");
     let direction = app.metric().direction();
 
@@ -49,8 +91,17 @@ fn main() {
         "fig10",
         &["ssim_target", "method", "chosen", "area", "achieved_quality"],
     );
-    for &target in &targets {
-        // Method 1: no LAC.
+    let none_row = |report: &mut Report, target: f64, method: &str| {
+        report.row(&[
+            format!("{target:.3}"),
+            method.to_owned(),
+            "(none)".to_owned(),
+            "-".to_owned(),
+            "-".to_owned(),
+        ]);
+    };
+    for (t, &target) in targets.iter().enumerate() {
+        // Method 1: no LAC — smallest unit already satisfying the target.
         let no_lac = untrained
             .iter()
             .filter(|(_, q)| !direction.is_better(target, *q))
@@ -63,47 +114,36 @@ fn main() {
                 format!("{:.2}", area_of(name)),
                 format!("{q:.4}"),
             ]),
-            None => report.row(&[
-                format!("{target:.3}"),
-                "no-LAC".to_owned(),
-                "(none)".to_owned(),
-                "-".to_owned(),
-                "-".to_owned(),
-            ]),
+            None => none_row(&mut report, target, "no-LAC"),
         }
 
         // Method 2: accuracy-constrained NAS.
-        eprintln!("[fig10] NAS for target {target} ...");
-        // δ = 200: the hinge must dominate the (≤ ~1.0) area term so a
-        // cheap-but-violating unit can never win on area alone (the
-        // paper: "both parameters ought to be determined by
-        // experimentation").
-        let nas = nas_accuracy_observed(app, target, 200.0, 2.0, obs.as_mut());
-        report.row(&[
-            format!("{target:.3}"),
-            "NAS".to_owned(),
-            nas.chosen_name().to_owned(),
-            format!("{:.2}", nas.area),
-            format!("{:.4}", nas.quality),
-        ]);
+        let nas = &outcomes[units.len() + 1 + t];
+        match (nas.text("chosen"), nas.num("area"), nas.num("quality")) {
+            (Some(chosen), Some(area), Some(quality)) => report.row(&[
+                format!("{target:.3}"),
+                "NAS".to_owned(),
+                chosen.to_owned(),
+                format!("{area:.2}"),
+                format!("{quality:.4}"),
+            ]),
+            _ => none_row(&mut report, target, "NAS"),
+        }
 
         // Method 3: brute force + min-area selection.
-        let candidates: Vec<_> = catalog::paper_multipliers();
-        match brute_force_min_area(&bf, &candidates, target, direction) {
-            Some(i) => report.row(&[
+        let brute = bf
+            .iter()
+            .filter(|(_, q)| !direction.is_better(target, *q))
+            .min_by(|a, b| area_of(&a.0).total_cmp(&area_of(&b.0)));
+        match brute {
+            Some((name, q)) => report.row(&[
                 format!("{target:.3}"),
                 "brute-force".to_owned(),
-                bf.results[i].multiplier.clone(),
-                format!("{:.2}", candidates[i].metadata().area),
-                format!("{:.4}", bf.results[i].after),
+                name.clone(),
+                format!("{:.2}", area_of(name)),
+                format!("{q:.4}"),
             ]),
-            None => report.row(&[
-                format!("{target:.3}"),
-                "brute-force".to_owned(),
-                "(none)".to_owned(),
-                "-".to_owned(),
-                "-".to_owned(),
-            ]),
+            None => none_row(&mut report, target, "brute-force"),
         }
     }
     println!("Fig. 10: accuracy-constrained area minimization (Gaussian blur)\n");

@@ -7,75 +7,88 @@
 //! PSNR target between two single-hardware points, the mixed
 //! configuration needs less area.
 //!
-//! Run with: `cargo run --release -p lac-bench --bin fig12`
+//! Run with: `cargo run --release -p lac-bench --bin fig12 [--jobs N] [--no-cache]`
 //! (`LAC_QUICK=1` for a fast smoke run)
 
-use lac_apps::{JpegApp, JpegMode};
-use lac_bench::driver::{fixed_all_observed, AppId};
-use lac_bench::{adapted_catalog, run_logger, Report};
-use lac_core::{search_multi_observed, MultiObjective};
+use lac_bench::driver::{AppId, MultiPipeline};
+use lac_bench::sched::{Job, Sweep, UnitJob};
+use lac_bench::Report;
 use lac_hw::catalog;
+use lac_rt::json::Value;
 
 fn main() {
-    let mut obs = run_logger("fig12");
-    let (sizing, lr) = AppId::Jpeg.sizing();
+    let flags = lac_bench::sweep_flags();
+    flags.reject_rest("fig12");
+
+    let units: Vec<String> =
+        catalog::paper_multipliers().iter().map(|m| m.name().to_owned()).collect();
+    let single_areas: Vec<f64> =
+        catalog::paper_multipliers().iter().map(|m| m.metadata().area).collect();
     // 3 gates x 11 candidates need far more sampling than one fixed run.
-    let cfg = {
-        let base = sizing.config(lr);
-        let epochs = base.epochs * 6;
-        base.epochs(epochs)
-    };
-    let data = sizing.image_dataset();
-    let app = JpegApp::new(JpegMode::ThreeStage);
-    let candidates = adapted_catalog(&app);
+    let epoch_factor = 6;
+    // Serial NAS sweep (paper hyperparameters: γ=1.0, δ=300).
+    let budgets = [0.10, 0.20, 0.35, 0.55, 0.80];
+
+    let mut jobs: Vec<Job> = units
+        .iter()
+        .map(|u| {
+            Job::new(
+                format!("single:{u}"),
+                UnitJob::Fixed { app: AppId::Jpeg, spec: u.clone() },
+            )
+        })
+        .collect();
+    for &budget in &budgets {
+        jobs.push(Job::new(
+            format!("serial-nas:area<={budget:.2}"),
+            UnitJob::MultiNas {
+                pipeline: MultiPipeline::Jpeg3Stage,
+                epoch_factor,
+                area_threshold: budget,
+                gamma: 1.0,
+                delta: 300.0,
+            },
+        ));
+    }
+    let outcomes = flags.configure(Sweep::new("fig12", jobs)).run();
 
     let mut report = Report::new(
         "fig12",
-        &["method", "area_budget", "mean_area", "psnr_db", "dct", "dequant", "idct", "seconds"],
+        &["method", "area_budget", "mean_area", "psnr_db", "dct", "dequant", "idct"],
     );
-
-    eprintln!("[fig12] single-multiplier trained points ...");
-    let singles = fixed_all_observed(AppId::Jpeg, obs.as_mut())
-        .expect("single-multiplier reference training diverged");
-    let single_areas: Vec<f64> =
-        catalog::paper_multipliers().iter().map(|m| m.metadata().area).collect();
-    for (r, &area) in singles.iter().zip(&single_areas) {
+    for (o, &area) in outcomes[..units.len()].iter().zip(&single_areas) {
+        let (Some(mult), Some(after)) = (o.text("multiplier"), o.num("after")) else {
+            continue;
+        };
         report.row(&[
             "trained-single".to_owned(),
             "-".to_owned(),
             format!("{area:.3}"),
-            format!("{:.2}", r.after),
-            r.multiplier.clone(),
-            r.multiplier.clone(),
-            r.multiplier.clone(),
-            format!("{:.1}", r.seconds),
+            format!("{after:.2}"),
+            mult.to_owned(),
+            mult.to_owned(),
+            mult.to_owned(),
         ]);
     }
-
-    // Serial NAS sweep (paper hyperparameters: γ=1.0, δ=300).
-    let budgets = [0.10, 0.20, 0.35, 0.55, 0.80];
-    for &budget in &budgets {
-        eprintln!("[fig12] serial NAS, mean area <= {budget} ...");
-        let result = search_multi_observed(
-            &app,
-            &candidates,
-            &data.train,
-            &data.test,
-            &cfg,
-            1.0,
-            MultiObjective::AreaConstrained { area_threshold: budget, gamma: 1.0, delta: 300.0 },
-            obs.as_mut(),
-        );
-        let stages: Vec<String> = result.assignment().into_iter().map(|(_, m)| m).collect();
+    for (b, &budget) in budgets.iter().enumerate() {
+        let o = &outcomes[units.len() + b];
+        let stages: Vec<&str> = match o.ok().and_then(|v| v.get("assignment")) {
+            Some(Value::Arr(items)) => items.iter().filter_map(|m| m.as_str()).collect(),
+            _ => continue,
+        };
+        let (Some(area), Some(quality), [dct, dequant, idct]) =
+            (o.num("area"), o.num("quality"), stages.as_slice())
+        else {
+            continue;
+        };
         report.row(&[
             "serial-NAS".to_owned(),
             format!("{budget:.2}"),
-            format!("{:.3}", result.area),
-            format!("{:.2}", result.quality),
-            stages[0].clone(),
-            stages[1].clone(),
-            stages[2].clone(),
-            format!("{:.1}", result.seconds),
+            format!("{area:.3}"),
+            format!("{quality:.2}"),
+            (*dct).to_owned(),
+            (*dequant).to_owned(),
+            (*idct).to_owned(),
         ]);
     }
 

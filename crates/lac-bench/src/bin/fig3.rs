@@ -6,68 +6,76 @@
 //! for Inversek2j. Expect the same *shape* here: LAC never hurts, and the
 //! cheaper/noisier the multiplier, the larger the gain.
 //!
-//! Run with: `cargo run --release -p lac-bench --bin fig3`
+//! The 6 × 11 grid runs as one orchestrated job list: every
+//! (application, multiplier) cell is independent, parallelizable with
+//! `--jobs N`, cached across runs, and a diverging or panicking cell
+//! becomes an error row instead of killing the sweep.
+//!
+//! Run with: `cargo run --release -p lac-bench --bin fig3 [--jobs N] [--no-cache]`
 //! (`LAC_QUICK=1` for a fast smoke run)
 
-use std::time::Instant;
-
-use lac_bench::driver::{fixed_all_observed, AppId};
-use lac_bench::{record_error_row, run_caught, run_logger, Report};
+use lac_bench::driver::AppId;
+use lac_bench::sched::{Job, Sweep, UnitJob};
+use lac_bench::Report;
+use lac_hw::catalog;
 use lac_metrics::MetricDirection;
 
 fn main() {
-    let mut obs = run_logger("fig3");
+    let flags = lac_bench::sweep_flags();
+    flags.reject_rest("fig3");
+
+    let units: Vec<String> =
+        catalog::paper_multipliers().iter().map(|m| m.name().to_owned()).collect();
+    let jobs: Vec<Job> = AppId::all()
+        .into_iter()
+        .flat_map(|app| {
+            units.iter().map(move |u| {
+                Job::new(
+                    format!("{}:{u}", app.display()),
+                    UnitJob::Fixed { app, spec: u.clone() },
+                )
+            })
+        })
+        .collect();
+    let outcomes = flags.configure(Sweep::new("fig3", jobs)).run();
+
     let mut report = Report::new(
         "fig3",
-        &["application", "metric", "multiplier", "before", "after", "improvement", "seconds"],
+        &["application", "metric", "multiplier", "before", "after", "improvement"],
     );
-    for app in AppId::all() {
-        eprintln!("[fig3] training {} ...", app.display());
-        let start = Instant::now();
-        // A poisoned application must not take the other five down: both
-        // panics and structured divergence become error rows, and the
-        // sweep moves on to the next app.
-        let results = match run_caught("fig3", app.display(), obs.as_mut(), |obs| {
-            fixed_all_observed(app, obs)
-        }) {
-            Ok(Ok(results)) => results,
-            Ok(Err(train_err)) => {
-                record_error_row(
-                    "fig3",
-                    app.display(),
-                    &train_err.to_string(),
-                    start.elapsed().as_secs_f64(),
-                    obs.as_mut(),
-                );
-                continue;
-            }
-            Err(_panic_already_recorded) => continue,
-        };
+    for (a, app) in AppId::all().into_iter().enumerate() {
         let direction = app.metric().direction();
         let mut improvements = Vec::new();
-        for r in &results {
+        for o in &outcomes[a * units.len()..(a + 1) * units.len()] {
+            // A poisoned cell is an error row in the rows artifact; the
+            // table simply omits it.
+            let (Some(mult), Some(before), Some(after)) =
+                (o.text("multiplier"), o.num("before"), o.num("after"))
+            else {
+                continue;
+            };
             let improvement = match direction {
-                MetricDirection::HigherIsBetter => r.after - r.before,
-                MetricDirection::LowerIsBetter => r.before - r.after,
+                MetricDirection::HigherIsBetter => after - before,
+                MetricDirection::LowerIsBetter => before - after,
             };
             improvements.push(improvement);
             report.row(&[
                 app.display().to_owned(),
                 app.metric_label().to_owned(),
-                r.multiplier.clone(),
-                format!("{:.4}", r.before),
-                format!("{:.4}", r.after),
-                format!("{:+.4}", improvement),
-                format!("{:.1}", r.seconds),
+                mult.to_owned(),
+                format!("{before:.4}"),
+                format!("{after:.4}"),
+                format!("{improvement:+.4}"),
             ]);
         }
-        let mean: f64 = improvements.iter().sum::<f64>() / improvements.len() as f64;
-        eprintln!(
-            "[fig3] {}: mean {} improvement {:+.4}",
-            app.display(),
-            app.metric_label(),
-            mean
-        );
+        if !improvements.is_empty() {
+            let mean: f64 = improvements.iter().sum::<f64>() / improvements.len() as f64;
+            eprintln!(
+                "[fig3] {}: mean {} improvement {mean:+.4}",
+                app.display(),
+                app.metric_label()
+            );
+        }
     }
     println!("Fig. 3: fixed-hardware LAC quality before/after training\n");
     report.emit();

@@ -7,67 +7,68 @@
 //! reproduces the right-hand panels: only the multipliers that were
 //! Pareto-optimal (by pre-training SSIM) are listed.
 //!
-//! Run with: `cargo run --release -p lac-bench --bin fig4`
+//! The 3 × 11 grid runs as one orchestrated job list (and shares its
+//! cached cells with any other sweep of the same fingerprints).
+//!
+//! Run with: `cargo run --release -p lac-bench --bin fig4 [--jobs N] [--no-cache]`
 
-use std::time::Instant;
-
-use lac_bench::driver::{fixed_all_observed, AppId};
-use lac_bench::{record_error_row, run_caught, run_logger, Report};
+use lac_bench::driver::AppId;
+use lac_bench::sched::{Job, Sweep, UnitJob};
+use lac_bench::Report;
 use lac_hw::catalog;
 
 fn main() {
-    let mut obs = run_logger("fig4");
+    let flags = lac_bench::sweep_flags();
+    flags.reject_rest("fig4");
+
     let apps = [AppId::Blur, AppId::Edge, AppId::Sharpen];
+    let units: Vec<String> =
+        catalog::paper_multipliers().iter().map(|m| m.name().to_owned()).collect();
+    // Area lookup from the catalog (cells are submitted in catalog order).
+    let areas: Vec<f64> = catalog::paper_multipliers().iter().map(|m| m.metadata().area).collect();
+    let jobs: Vec<Job> = apps
+        .into_iter()
+        .flat_map(|app| {
+            units.iter().map(move |u| {
+                Job::new(
+                    format!("{}:{u}", app.display()),
+                    UnitJob::Fixed { app, spec: u.clone() },
+                )
+            })
+        })
+        .collect();
+    let outcomes = flags.configure(Sweep::new("fig4", jobs)).run();
+
     let mut report = Report::new(
         "fig4",
         &["application", "multiplier", "area", "before", "after", "pareto_before"],
     );
-    for app in apps {
-        eprintln!("[fig4] training {} ...", app.display());
-        let start = Instant::now();
-        let results = match run_caught("fig4", app.display(), obs.as_mut(), |obs| {
-            fixed_all_observed(app, obs)
-        }) {
-            Ok(Ok(results)) => results,
-            Ok(Err(train_err)) => {
-                record_error_row(
-                    "fig4",
-                    app.display(),
-                    &train_err.to_string(),
-                    start.elapsed().as_secs_f64(),
-                    obs.as_mut(),
-                );
-                continue;
-            }
-            Err(_panic_already_recorded) => continue,
-        };
-        // Area lookup from the catalog (results come back in catalog order).
-        let areas: Vec<f64> =
-            catalog::paper_multipliers().iter().map(|m| m.metadata().area).collect();
-
-        // Pareto set by (area, before-SSIM): a unit is Pareto-optimal when
-        // no cheaper-or-equal unit scores at least as high before training.
-        let pareto: Vec<bool> = results
+    for (a, app) in apps.into_iter().enumerate() {
+        let cells: Vec<(usize, f64, f64, String)> = outcomes
+            [a * units.len()..(a + 1) * units.len()]
             .iter()
             .enumerate()
-            .map(|(i, r)| {
-                !results.iter().enumerate().any(|(j, other)| {
-                    j != i
-                        && areas[j] <= areas[i]
-                        && other.before >= r.before
-                        && (areas[j] < areas[i] || other.before > r.before)
-                })
+            .filter_map(|(i, o)| {
+                Some((i, o.num("before")?, o.num("after")?, o.text("multiplier")?.to_owned()))
             })
             .collect();
 
-        for (i, r) in results.iter().enumerate() {
+        // Pareto set by (area, before-SSIM): a unit is Pareto-optimal when
+        // no cheaper-or-equal unit scores at least as high before training.
+        for &(i, before, after, ref mult) in &cells {
+            let pareto = !cells.iter().any(|&(j, other_before, _, _)| {
+                j != i
+                    && areas[j] <= areas[i]
+                    && other_before >= before
+                    && (areas[j] < areas[i] || other_before > before)
+            });
             report.row(&[
                 app.display().to_owned(),
-                r.multiplier.clone(),
+                mult.clone(),
                 format!("{:.2}", areas[i]),
-                format!("{:.4}", r.before),
-                format!("{:.4}", r.after),
-                pareto[i].to_string(),
+                format!("{before:.4}"),
+                format!("{after:.4}"),
+                pareto.to_string(),
             ]);
         }
     }

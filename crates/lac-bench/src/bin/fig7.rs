@@ -3,48 +3,78 @@
 //! its co-trained quality must be close to the dedicated fixed-hardware
 //! training of that unit.
 //!
-//! Run with: `cargo run --release -p lac-bench --bin fig7`
+//! Two orchestrated sweeps, because the second depends on the first's
+//! results: the six NAS searches run (and cache) as one job list, then
+//! the dedicated fixed trainings of whatever units the NAS chose run as
+//! a second job list.
+//!
+//! Run with: `cargo run --release -p lac-bench --bin fig7 [--jobs N] [--no-cache]`
 //! (`LAC_QUICK=1` for a fast smoke run)
 
-use lac_bench::driver::{fixed_one_observed, nas_search_observed, AppId};
-use lac_bench::{run_logger, Report};
+use lac_bench::driver::AppId;
+use lac_bench::sched::{Job, Sweep, UnitJob};
+use lac_bench::Report;
 use lac_core::Constraint;
 
 fn main() {
-    let mut obs = run_logger("fig7");
+    let flags = lac_bench::sweep_flags();
+    flags.reject_rest("fig7");
+
+    let nas_jobs: Vec<Job> = AppId::all()
+        .into_iter()
+        .map(|app| {
+            Job::new(
+                format!("{}:nas", app.display()),
+                UnitJob::Nas {
+                    app,
+                    constraint: Constraint::None,
+                    gate_lr: 2.0,
+                    epoch_factor: lac_bench::driver::NAS_EPOCH_FACTOR,
+                },
+            )
+        })
+        .collect();
+    let nas = flags.configure(Sweep::new("fig7", nas_jobs)).run();
+
+    // Dedicated fixed-hardware training of each chosen unit, for the
+    // "NAS does not degrade the best path" comparison.
+    let fixed_jobs: Vec<Job> = AppId::all()
+        .into_iter()
+        .zip(&nas)
+        .filter_map(|(app, o)| {
+            let chosen = o.text("chosen")?;
+            Some(Job::new(
+                format!("{}:{chosen}", app.display()),
+                UnitJob::Fixed { app, spec: chosen.to_owned() },
+            ))
+        })
+        .collect();
+    let dedicated = flags.configure(Sweep::new("fig7-dedicated", fixed_jobs)).run();
+
     let mut report = Report::new(
         "fig7",
-        &[
-            "application",
-            "metric",
-            "nas_choice",
-            "nas_quality",
-            "fixed_quality_of_choice",
-            "nas_seconds",
-        ],
+        &["application", "metric", "nas_choice", "nas_quality", "fixed_quality_of_choice"],
     );
-    for app in AppId::all() {
-        eprintln!("[fig7] searching {} ...", app.display());
-        let nas = nas_search_observed(app, Constraint::None, 2.0, obs.as_mut());
-        // Dedicated fixed-hardware training of the chosen unit, for the
-        // "NAS does not degrade the best path" comparison.
-        let dedicated = fixed_one_observed(app, nas.chosen_name(), obs.as_mut())
-            .expect("dedicated training of NAS choice diverged");
+    let mut dedicated_it = dedicated.iter();
+    for (app, o) in AppId::all().into_iter().zip(&nas) {
+        let (Some(chosen), Some(quality)) = (o.text("chosen"), o.num("quality")) else {
+            continue;
+        };
+        // The dedicated list only contains entries for successful NAS
+        // cells, in the same order.
+        let fixed_after = dedicated_it.next().and_then(|d| d.num("after"));
         report.row(&[
             app.display().to_owned(),
             app.metric_label().to_owned(),
-            nas.chosen_name().to_owned(),
-            format!("{:.4}", nas.quality),
-            format!("{:.4}", dedicated.after),
-            format!("{:.1}", nas.seconds),
+            chosen.to_owned(),
+            format!("{quality:.4}"),
+            fixed_after.map(|q| format!("{q:.4}")).unwrap_or_else(|| "-".to_owned()),
         ]);
         eprintln!(
-            "[fig7] {}: chose {} ({} {:.4}, dedicated {:.4})",
+            "[fig7] {}: chose {chosen} ({} {quality:.4}, dedicated {})",
             app.display(),
-            nas.chosen_name(),
             app.metric_label(),
-            nas.quality,
-            dedicated.after
+            fixed_after.map(|q| format!("{q:.4}")).unwrap_or_else(|| "-".to_owned()),
         );
     }
     println!("Fig. 7: NAS hardware search vs dedicated fixed-hardware training\n");

@@ -2,32 +2,60 @@
 //! budgets, the NAS (over the budget-pruned candidate set) finds the best
 //! post-training quality achievable within the budget.
 //!
-//! Run with: `cargo run --release -p lac-bench --bin fig8`
+//! The 6 × 6 (application × budget) grid runs as one orchestrated job
+//! list: cells are independent, parallelizable with `--jobs N`, and
+//! cached across runs.
+//!
+//! Run with: `cargo run --release -p lac-bench --bin fig8 [--jobs N] [--no-cache]`
 //! (`LAC_QUICK=1` for a fast smoke run)
 
-use lac_bench::driver::{nas_search_observed, AppId};
-use lac_bench::{run_logger, Report};
+use lac_bench::driver::{AppId, NAS_EPOCH_FACTOR};
+use lac_bench::sched::{Job, Sweep, UnitJob};
+use lac_bench::Report;
 use lac_core::Constraint;
 
 fn main() {
-    let mut obs = run_logger("fig8");
+    let flags = lac_bench::sweep_flags();
+    flags.reject_rest("fig8");
+
     // Budgets spanning Table I's area spectrum (0.03 .. 1.01).
     let budgets = [0.05, 0.10, 0.15, 0.30, 0.50, 1.10];
+    let jobs: Vec<Job> = AppId::all()
+        .into_iter()
+        .flat_map(|app| {
+            budgets.iter().map(move |&budget| {
+                Job::new(
+                    format!("{}:area<={budget:.2}", app.display()),
+                    UnitJob::Nas {
+                        app,
+                        constraint: Constraint::Area(budget),
+                        gate_lr: 2.0,
+                        epoch_factor: NAS_EPOCH_FACTOR,
+                    },
+                )
+            })
+        })
+        .collect();
+    let outcomes = flags.configure(Sweep::new("fig8", jobs)).run();
+
     let mut report = Report::new(
         "fig8",
-        &["application", "area_budget", "chosen", "chosen_area", "quality", "seconds"],
+        &["application", "area_budget", "chosen", "chosen_area", "quality"],
     );
-    for app in AppId::all() {
-        for &budget in &budgets {
-            eprintln!("[fig8] {} area<={budget} ...", app.display());
-            let nas = nas_search_observed(app, Constraint::Area(budget), 2.0, obs.as_mut());
+    for (a, app) in AppId::all().into_iter().enumerate() {
+        for (b, &budget) in budgets.iter().enumerate() {
+            let o = &outcomes[a * budgets.len() + b];
+            let (Some(chosen), Some(area), Some(quality)) =
+                (o.text("chosen"), o.num("area"), o.num("quality"))
+            else {
+                continue;
+            };
             report.row(&[
                 app.display().to_owned(),
                 format!("{budget:.2}"),
-                nas.chosen_name().to_owned(),
-                format!("{:.2}", nas.area),
-                format!("{:.4}", nas.quality),
-                format!("{:.1}", nas.seconds),
+                chosen.to_owned(),
+                format!("{area:.2}"),
+                format!("{quality:.4}"),
             ]);
         }
     }

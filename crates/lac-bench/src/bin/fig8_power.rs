@@ -2,39 +2,62 @@
 //! "power constraints generate similar results" to the area-constrained
 //! search of Fig. 8; this binary verifies that claim on our substrate.
 //!
-//! Run with: `cargo run --release -p lac-bench --bin fig8_power`
+//! Run with: `cargo run --release -p lac-bench --bin fig8_power [--jobs N] [--no-cache]`
 //! (`LAC_QUICK=1` for a fast smoke run)
 
-use lac_bench::driver::{nas_search_observed, AppId};
-use lac_bench::{run_logger, Report};
+use lac_bench::driver::{AppId, NAS_EPOCH_FACTOR};
+use lac_bench::sched::{Job, Sweep, UnitJob};
+use lac_bench::Report;
 use lac_core::Constraint;
 
 fn main() {
-    let mut obs = run_logger("fig8_power");
+    let flags = lac_bench::sweep_flags();
+    flags.reject_rest("fig8_power");
+
     // Budgets spanning Table I's power spectrum (0.02 .. 0.89).
     let budgets = [0.03, 0.05, 0.10, 0.30, 0.90];
+    let apps = [AppId::Blur, AppId::Edge, AppId::Sharpen, AppId::Ik];
+    let jobs: Vec<Job> = apps
+        .into_iter()
+        .flat_map(|app| {
+            budgets.iter().map(move |&budget| {
+                Job::new(
+                    format!("{}:power<={budget:.2}", app.display()),
+                    UnitJob::Nas {
+                        app,
+                        constraint: Constraint::Power(budget),
+                        gate_lr: 2.0,
+                        epoch_factor: NAS_EPOCH_FACTOR,
+                    },
+                )
+            })
+        })
+        .collect();
+    let outcomes = flags.configure(Sweep::new("fig8_power", jobs)).run();
+
     let mut report = Report::new(
         "fig8_power",
-        &["application", "power_budget", "chosen", "chosen_power", "quality", "seconds"],
+        &["application", "power_budget", "chosen", "chosen_power", "quality"],
     );
-    for app in [AppId::Blur, AppId::Edge, AppId::Sharpen, AppId::Ik] {
-        for &budget in &budgets {
-            eprintln!("[fig8_power] {} power<={budget} ...", app.display());
-            let nas = nas_search_observed(app, Constraint::Power(budget), 2.0, obs.as_mut());
+    for (a, app) in apps.into_iter().enumerate() {
+        for (b, &budget) in budgets.iter().enumerate() {
+            let o = &outcomes[a * budgets.len() + b];
+            let (Some(chosen), Some(quality)) = (o.text("chosen"), o.num("quality")) else {
+                continue;
+            };
             // A chosen unit missing from the catalog is a wiring bug;
             // plotting NaN power would hide it.
-            let power = lac_hw::catalog::by_name(nas.chosen_name())
+            let power = lac_hw::catalog::by_name(chosen)
                 .map(|m| m.metadata().power)
                 .unwrap_or_else(|| {
-                    panic!("NAS chose `{}`, which is not in the catalog", nas.chosen_name())
+                    panic!("NAS chose `{chosen}`, which is not in the catalog")
                 });
             report.row(&[
                 app.display().to_owned(),
                 format!("{budget:.2}"),
-                nas.chosen_name().to_owned(),
+                chosen.to_owned(),
                 format!("{power:.2}"),
-                format!("{:.4}", nas.quality),
-                format!("{:.1}", nas.seconds),
+                format!("{quality:.4}"),
             ]);
         }
     }

@@ -2,45 +2,64 @@
 //! applications, using the Table III delays (the EvoApprox subset — the
 //! only units with published delays, as in the paper).
 //!
-//! Run with: `cargo run --release -p lac-bench --bin fig9`
+//! Run with: `cargo run --release -p lac-bench --bin fig9 [--jobs N] [--no-cache]`
 //! (`LAC_QUICK=1` for a fast smoke run)
 
-use lac_bench::driver::{nas_search_observed, AppId};
-use lac_bench::{run_logger, Report};
+use lac_bench::driver::{AppId, NAS_EPOCH_FACTOR};
+use lac_bench::sched::{Job, Sweep, UnitJob};
+use lac_bench::Report;
 use lac_core::Constraint;
 
 fn main() {
-    let mut obs = run_logger("fig9");
+    let flags = lac_bench::sweep_flags();
+    flags.reject_rest("fig9");
+
     // Thresholds spanning Table III's delays (0.58 .. 2.95).
     let budgets = [0.60, 0.90, 1.00, 1.40, 2.60, 3.00];
     let apps = [AppId::Blur, AppId::Edge, AppId::Sharpen];
+    let jobs: Vec<Job> = apps
+        .into_iter()
+        .flat_map(|app| {
+            budgets.iter().map(move |&budget| {
+                Job::new(
+                    format!("{}:delay<={budget:.2}", app.display()),
+                    UnitJob::Nas {
+                        app,
+                        constraint: Constraint::Delay(budget),
+                        gate_lr: 2.0,
+                        epoch_factor: NAS_EPOCH_FACTOR,
+                    },
+                )
+            })
+        })
+        .collect();
+    let outcomes = flags.configure(Sweep::new("fig9", jobs)).run();
+
     let mut report = Report::new(
         "fig9",
-        &["application", "delay_budget", "chosen", "chosen_delay", "quality", "seconds"],
+        &["application", "delay_budget", "chosen", "chosen_delay", "quality"],
     );
-    for app in apps {
-        for &budget in &budgets {
-            eprintln!("[fig9] {} delay<={budget} ...", app.display());
-            let nas = nas_search_observed(app, Constraint::Delay(budget), 2.0, obs.as_mut());
+    for (a, app) in apps.into_iter().enumerate() {
+        for (b, &budget) in budgets.iter().enumerate() {
+            let o = &outcomes[a * budgets.len() + b];
+            let (Some(chosen), Some(quality)) = (o.text("chosen"), o.num("quality")) else {
+                continue;
+            };
             // The chosen unit must exist and — under a delay constraint —
             // must publish a delay; NaN here would silently corrupt the
             // figure, so both lookups are hard errors.
-            let chosen = lac_hw::catalog::by_name(nas.chosen_name()).unwrap_or_else(|| {
-                panic!("NAS chose `{}`, which is not in the catalog", nas.chosen_name())
+            let meta = lac_hw::catalog::by_name(chosen).unwrap_or_else(|| {
+                panic!("NAS chose `{chosen}`, which is not in the catalog")
             });
-            let delay = chosen.metadata().delay.unwrap_or_else(|| {
-                panic!(
-                    "delay-constrained NAS chose `{}`, which has no published delay",
-                    nas.chosen_name()
-                )
+            let delay = meta.metadata().delay.unwrap_or_else(|| {
+                panic!("delay-constrained NAS chose `{chosen}`, which has no published delay")
             });
             report.row(&[
                 app.display().to_owned(),
                 format!("{budget:.2}"),
-                nas.chosen_name().to_owned(),
+                chosen.to_owned(),
                 format!("{delay:.2}"),
-                format!("{:.4}", nas.quality),
-                format!("{:.1}", nas.seconds),
+                format!("{quality:.4}"),
             ]);
         }
     }

@@ -9,77 +9,68 @@
 //! 2^6 times the original coefficients) on the signed filter applications,
 //! where Fig. 3 leaves several pairs unimproved.
 //!
-//! Run with: `cargo run --release -p lac-bench --bin multistart`
+//! Each (application, unit) cell submits a plain job and a multi-start
+//! job; both run through the orchestrator (one diverging unit becomes an
+//! error row, not a dead sweep).
+//!
+//! Run with: `cargo run --release -p lac-bench --bin multistart [--jobs N] [--no-cache]`
 //! (`LAC_QUICK=1` for a fast smoke run)
 
-use std::time::Instant;
-
-use lac_apps::{FilterApp, FilterKind, Kernel, StageMode};
 use lac_bench::driver::AppId;
-use lac_bench::{adapted_catalog, record_error_row, run_logger, Report};
-use lac_core::{train_fixed_multistart_observed, train_fixed_observed};
+use lac_bench::sched::{Job, Sweep, UnitJob};
+use lac_bench::Report;
+use lac_hw::catalog;
 
 fn main() {
-    let mut obs = run_logger("multistart");
+    let flags = lac_bench::sweep_flags();
+    flags.reject_rest("multistart");
+
+    let apps = [AppId::Edge, AppId::Sharpen];
+    let units: Vec<String> =
+        catalog::paper_multipliers().iter().map(|m| m.name().to_owned()).collect();
+    let scale_bits = vec![0u32, 3, 6];
+    let mut jobs = Vec::new();
+    for app in apps {
+        for u in &units {
+            jobs.push(Job::new(
+                format!("{}:{u}:plain", app.display()),
+                UnitJob::Fixed { app, spec: u.clone() },
+            ));
+            jobs.push(Job::new(
+                format!("{}:{u}:multistart", app.display()),
+                UnitJob::Multistart { app, spec: u.clone(), scale_bits: scale_bits.clone() },
+            ));
+        }
+    }
+    let outcomes = flags.configure(Sweep::new("multistart", jobs)).run();
+
     let mut report = Report::new(
         "multistart",
         &["application", "multiplier", "before", "plain_after", "multistart_after", "extra_gain"],
     );
-    for (app_id, kind) in [
-        (AppId::Edge, FilterKind::EdgeDetection),
-        (AppId::Sharpen, FilterKind::Sharpening),
-    ] {
-        let (sizing, lr) = app_id.sizing();
-        let cfg = sizing.config(lr);
-        let data = sizing.image_dataset();
-        let app = FilterApp::new(kind, StageMode::Single);
-        for mult in adapted_catalog(&app) {
-            eprintln!("[multistart] {} x {} ...", app.name(), mult.name());
-            let start = Instant::now();
-            let detail = format!("{}:{}", app.name(), mult.name());
-            // One diverging unit becomes an error row, not a dead sweep.
-            let outcome = train_fixed_observed(
-                &app,
-                &mult,
-                &data.train,
-                &data.test,
-                &cfg,
-                obs.as_mut(),
-            )
-            .and_then(|plain| {
-                train_fixed_multistart_observed(
-                    &app,
-                    &mult,
-                    &data.train,
-                    &data.test,
-                    &cfg,
-                    &[0, 3, 6],
-                    obs.as_mut(),
-                )
-                .map(|multi| (plain, multi))
-            });
-            let (plain, multi) = match outcome {
-                Ok(pair) => pair,
-                Err(e) => {
-                    record_error_row(
-                        "multistart",
-                        &detail,
-                        &e.to_string(),
-                        start.elapsed().as_secs_f64(),
-                        obs.as_mut(),
-                    );
-                    continue;
-                }
-            };
-            report.row(&[
-                app.name().to_owned(),
-                mult.name().to_owned(),
-                format!("{:.4}", plain.before),
-                format!("{:.4}", plain.after),
-                format!("{:.4}", multi.after),
-                format!("{:+.4}", multi.after - plain.after),
-            ]);
-        }
+    for (pair, app) in outcomes
+        .chunks(2)
+        .zip(apps.into_iter().flat_map(|a| std::iter::repeat(a).take(units.len())))
+    {
+        let (plain, multi) = (&pair[0], &pair[1]);
+        // A diverging unit already produced its error row in the rows
+        // artifact; the comparison table just omits it.
+        let (Some(mult), Some(before), Some(plain_after), Some(multi_after)) = (
+            plain.text("multiplier"),
+            plain.num("before"),
+            plain.num("after"),
+            multi.num("after"),
+        ) else {
+            continue;
+        };
+        report.row(&[
+            app.display().to_owned(),
+            mult.to_owned(),
+            format!("{before:.4}"),
+            format!("{plain_after:.4}"),
+            format!("{multi_after:.4}"),
+            format!("{:+.4}", multi_after - plain_after),
+        ]);
     }
     println!("Multi-start LAC training (extension; see DESIGN.md §7)\n");
     report.emit();

@@ -7,113 +7,88 @@
 //! (`k^n` configurations — estimated, as in the paper) and greedy costs a
 //! large multiple of NAS.
 //!
-//! Run with: `cargo run --release -p lac-bench --bin table4`
+//! Timing comes from the cache envelope ([`JobOutcome::seconds`]): a cell
+//! served from the cache reports the seconds of the run that produced it,
+//! so a resumed sweep prints the same table as an uninterrupted one. This
+//! table is inherently wall-clock data — unlike the fig sweeps its CSV is
+//! *not* byte-stable across fresh `--no-cache` runs.
+//!
+//! Run with: `cargo run --release -p lac-bench --bin table4 [--jobs N] [--no-cache]`
 //! (`LAC_QUICK=1` for a fast smoke run)
 
-use lac_apps::{FilterApp, FilterKind, JpegApp, JpegMode, Kernel, StageMode};
-use lac_bench::driver::{brute_force_all_observed, nas_search_budgeted_observed, AppId};
-use lac_bench::{adapted_catalog, quick, run_logger, Report};
-use lac_core::{
-    greedy_multi_observed, search_multi_observed, Constraint, MultiObjective, TrainObserver,
-};
-
-fn single_and_multi<K1: Kernel<Sample = lac_data::GrayImage> + Sync>(
-    report: &mut Report,
-    label: &str,
-    app_id: AppId,
-    multi_kernel: &K1,
-    objective: MultiObjective,
-    obs: &mut dyn TrainObserver,
-) {
-    // Trained-hardware (single gate): NAS vs brute force. Greedy on a
-    // single layer equals brute force, as the paper notes. The runtime
-    // comparison uses the *same* per-iteration budget for NAS as one
-    // fixed-hardware training run, so the speedup reflects the paper's
-    // setup (NAS trains only two sampled paths per iteration while brute
-    // force trains all k candidates to convergence).
-    eprintln!("[table4] {label}: single-gate NAS ...");
-    let nas = nas_search_budgeted_observed(app_id, Constraint::None, 2.0, 1, obs);
-    eprintln!("[table4] {label}: brute force ...");
-    let bf = brute_force_all_observed(app_id, obs)
-        .expect("table4 brute-force training diverged");
-    report.row(&[
-        label.to_owned(),
-        "trained-hardware".to_owned(),
-        format!("{:.0}", nas.seconds),
-        format!("{:.0}", bf.seconds),
-        format!("{:.0}", bf.seconds),
-        format!("{:.1}x", bf.seconds / nas.seconds.max(1e-9)),
-    ]);
-
-    // Multi-hardware: NAS vs greedy; brute force is k^n — estimated.
-    let (sizing, lr) = app_id.sizing();
-    let cfg = sizing.config(lr);
-    let data = sizing.image_dataset();
-    let candidates = adapted_catalog(multi_kernel);
-    eprintln!("[table4] {label}: multi-hardware NAS ...");
-    let multi = search_multi_observed(
-        multi_kernel,
-        &candidates,
-        &data.train,
-        &data.test,
-        &cfg,
-        1.0,
-        objective,
-        obs,
-    );
-    eprintln!("[table4] {label}: greedy stage-by-stage ...");
-    let greedy_cfg =
-        sizing.config(lr).epochs(if quick() { 2 } else { sizing.epochs / 4 });
-    let greedy = greedy_multi_observed(
-        multi_kernel,
-        &candidates,
-        &data.train,
-        &data.test,
-        &greedy_cfg,
-        objective,
-        obs,
-    );
-    // Brute force over k^n full trainings, estimated from one fixed run.
-    let per_config = bf.seconds / candidates.len() as f64;
-    let configs = (candidates.len() as f64).powi(multi_kernel.num_stages() as i32);
-    let bf_estimate = per_config * configs;
-    report.row(&[
-        label.to_owned(),
-        "multi-hardware".to_owned(),
-        format!("{:.0}", multi.seconds),
-        format!("~{:.2e} (est)", bf_estimate),
-        format!("{:.0}", greedy.seconds),
-        format!("{:.1}x (greedy)", greedy.seconds / multi.seconds.max(1e-9)),
-    ]);
-}
+use lac_bench::driver::{AppId, MultiPipeline};
+use lac_bench::sched::{Job, JobOutcome, Sweep, UnitJob};
+use lac_bench::Report;
+use lac_core::Constraint;
 
 fn main() {
-    let mut obs = run_logger("table4");
+    let flags = lac_bench::sweep_flags();
+    flags.reject_rest("table4");
+
+    // (label, single-gate app, pipeline, paper hinge hyperparameters).
+    let setups = [
+        ("gaussian-blur", AppId::Blur, MultiPipeline::BlurPerTap, 0.12, 0.9, 20.0),
+        ("jpeg", AppId::Jpeg, MultiPipeline::Jpeg3Stage, 0.5, 1.0, 300.0),
+    ];
+    let mut jobs = Vec::new();
+    for &(label, app, pipeline, area_threshold, gamma, delta) in &setups {
+        // Trained-hardware (single gate): NAS vs brute force. Greedy on a
+        // single layer equals brute force, as the paper notes. The
+        // runtime comparison uses the *same* per-iteration budget for NAS
+        // as one fixed-hardware training run, so the speedup reflects the
+        // paper's setup (NAS trains only two sampled paths per iteration
+        // while brute force trains all k candidates to convergence).
+        jobs.push(Job::new(
+            format!("{label}:nas"),
+            UnitJob::Nas { app, constraint: Constraint::None, gate_lr: 2.0, epoch_factor: 1 },
+        ));
+        jobs.push(Job::new(format!("{label}:brute-force"), UnitJob::BruteForce { app }));
+        jobs.push(Job::new(
+            format!("{label}:multi-nas"),
+            UnitJob::MultiNas { pipeline, epoch_factor: 1, area_threshold, gamma, delta },
+        ));
+        jobs.push(Job::new(
+            format!("{label}:greedy"),
+            UnitJob::GreedyMulti { pipeline, area_threshold, gamma, delta },
+        ));
+    }
+    let outcomes = flags.configure(Sweep::new("table4", jobs)).run();
+
     let mut report = Report::new(
         "table4",
         &["application", "setup", "nas_sec", "brute_force_sec", "greedy_sec", "speedup"],
     );
+    let seconds = |o: &JobOutcome| o.ok().map(|_| o.seconds);
+    for (s, &(label, _, pipeline, ..)) in setups.iter().enumerate() {
+        let cells = &outcomes[s * 4..(s + 1) * 4];
+        let (Some(nas_sec), Some(bf_sec), Some(multi_sec), Some(greedy_sec)) =
+            (seconds(&cells[0]), seconds(&cells[1]), seconds(&cells[2]), seconds(&cells[3]))
+        else {
+            eprintln!("[table4] {label}: a cell failed; skipping its rows");
+            continue;
+        };
+        report.row(&[
+            label.to_owned(),
+            "trained-hardware".to_owned(),
+            format!("{nas_sec:.0}"),
+            format!("{bf_sec:.0}"),
+            format!("{bf_sec:.0}"),
+            format!("{:.1}x", bf_sec / nas_sec.max(1e-9)),
+        ]);
 
-    let blur = FilterApp::new(FilterKind::GaussianBlur, StageMode::PerTap);
-    single_and_multi(
-        &mut report,
-        "gaussian-blur",
-        AppId::Blur,
-        &blur,
-        MultiObjective::AreaConstrained { area_threshold: 0.12, gamma: 0.9, delta: 20.0 },
-        obs.as_mut(),
-    );
-
-    let jpeg = JpegApp::new(JpegMode::ThreeStage);
-    single_and_multi(
-        &mut report,
-        "jpeg",
-        AppId::Jpeg,
-        &jpeg,
-        MultiObjective::AreaConstrained { area_threshold: 0.5, gamma: 1.0, delta: 300.0 },
-        obs.as_mut(),
-    );
-
+        // Brute force over k^n full trainings, estimated from one fixed run.
+        let k = lac_hw::catalog::paper_multipliers_accelerated().len() as f64;
+        let per_config = bf_sec / k;
+        let bf_estimate = per_config * k.powi(pipeline.num_stages() as i32);
+        report.row(&[
+            label.to_owned(),
+            "multi-hardware".to_owned(),
+            format!("{multi_sec:.0}"),
+            format!("~{bf_estimate:.2e} (est)"),
+            format!("{greedy_sec:.0}"),
+            format!("{:.1}x (greedy)", greedy_sec / multi_sec.max(1e-9)),
+        ]);
+    }
     println!("Table IV: runtime comparison (NAS vs brute force vs greedy)\n");
     report.emit();
 }

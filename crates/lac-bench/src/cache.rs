@@ -1,0 +1,166 @@
+//! Content-addressed result cache for the sweep orchestrator.
+//!
+//! Each completed sweep cell is stored as
+//! `results/cache/<fnv1a-64-of-job-key>.json`, written atomically
+//! (tmp + rename, the same pattern as `lac-core`'s session checkpoints)
+//! so a kill mid-write can never leave a half-cached cell behind — at
+//! worst a stale `.tmp` file nobody reads. A re-run recomputes the same
+//! fingerprint, finds the file, and skips the cell entirely; a poisoned
+//! or truncated file simply fails to parse and counts as a miss, so the
+//! cell re-runs and the entry is rewritten.
+//!
+//! Failed cells (structured errors *and* panics) are cached too: every
+//! cell in this workspace is deterministic in its job key, so a failure
+//! would simply reproduce — caching it keeps interrupted-then-resumed
+//! sweeps byte-identical to uninterrupted ones.
+//!
+//! The file envelope:
+//!
+//! ```json
+//! {"fingerprint":"<hex>","key":{...},"seconds":1.25,"value":{...}}
+//! {"fingerprint":"<hex>","key":{...},"seconds":0.03,"error":"..."}
+//! ```
+//!
+//! `seconds` is the *envelope's* wall-clock — deliberately outside the
+//! canonical result payload, so cached timing never leaks into
+//! deterministic result rows (see `DESIGN.md` §7c).
+
+use std::path::Path;
+
+use lac_rt::json::Value;
+
+/// A parsed cache entry: the cell's outcome plus its recorded wall-clock.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// Wall-clock seconds of the original (fresh) execution.
+    pub seconds: f64,
+    /// The cell's outcome: canonical payload or structured error text.
+    pub value: Result<Value, String>,
+}
+
+/// Load a cache entry, treating *every* failure — missing file, JSON
+/// parse error, truncation, schema mismatch, fingerprint mismatch — as a
+/// miss. A corrupt cache must never crash a sweep.
+pub fn load(path: &Path, fingerprint: &str) -> Option<CacheEntry> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let root = Value::parse(&text).ok()?;
+    // A fingerprint mismatch means the file was written for a different
+    // key (hand-edited or hash-collided): ignore it rather than serve a
+    // wrong result.
+    if root.get("fingerprint")?.as_str()? != fingerprint {
+        return None;
+    }
+    let seconds = root.get("seconds")?.as_f64()?;
+    let value = match (root.get("value"), root.get("error")) {
+        (Some(v), None) => Ok(v.clone()),
+        (None, Some(e)) => Err(e.as_str()?.to_owned()),
+        _ => return None,
+    };
+    Some(CacheEntry { seconds, value })
+}
+
+/// Atomically persist a cell's outcome. Best-effort: a full disk or
+/// read-only results directory degrades to "no cache", never to a
+/// failed sweep.
+pub fn store(
+    path: &Path,
+    fingerprint: &str,
+    key: &Value,
+    seconds: f64,
+    outcome: &Result<Value, String>,
+) {
+    let mut members = vec![
+        ("fingerprint".to_owned(), Value::Str(fingerprint.to_owned())),
+        ("key".to_owned(), key.clone()),
+        ("seconds".to_owned(), Value::Num(seconds)),
+    ];
+    match outcome {
+        Ok(v) => members.push(("value".to_owned(), v.clone())),
+        Err(e) => members.push(("error".to_owned(), Value::Str(e.clone()))),
+    }
+    let text = Value::Obj(members).to_json();
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let tmp = path.with_extension("tmp");
+    if std::fs::write(&tmp, text).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("lac-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trips_ok_and_error_outcomes() {
+        let dir = tmp_dir("roundtrip");
+        let key = Value::Obj(vec![("unit".into(), Value::Str("mul8u_FTA".into()))]);
+
+        let ok_path = dir.join("aa.json");
+        let payload = Value::Obj(vec![
+            ("after".into(), Value::Num(0.9871)),
+            ("loss".into(), Value::Num(f64::NAN)),
+        ]);
+        store(&ok_path, "aa", &key, 1.5, &Ok(payload.clone()));
+        let hit = load(&ok_path, "aa").expect("stored entry must load");
+        assert_eq!(hit.seconds, 1.5);
+        let got = hit.value.expect("ok outcome");
+        assert_eq!(got.get("after").unwrap().as_f64(), Some(0.9871));
+        // Non-finite payload floats survive the disk round trip.
+        assert!(got.get("loss").unwrap().as_f64().unwrap().is_nan());
+
+        let err_path = dir.join("bb.json");
+        store(&err_path, "bb", &key, 0.25, &Err("panic: poisoned".into()));
+        let hit = load(&err_path, "bb").expect("error entries are cached too");
+        assert_eq!(hit.value.unwrap_err(), "panic: poisoned");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_entries_are_misses() {
+        let dir = tmp_dir("corrupt");
+        let key = Value::Null;
+        let path = dir.join("cc.json");
+        store(&path, "cc", &key, 1.0, &Ok(Value::Num(1.0)));
+
+        // Wrong fingerprint: miss.
+        assert!(load(&path, "dd").is_none());
+        // Truncated file: miss, not a crash.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(load(&path, "cc").is_none());
+        // Valid JSON with the wrong shape: miss.
+        std::fs::write(&path, "{\"fingerprint\":\"cc\"}").unwrap();
+        assert!(load(&path, "cc").is_none());
+        // Both value and error present: ambiguous, miss.
+        std::fs::write(
+            &path,
+            "{\"fingerprint\":\"cc\",\"seconds\":1,\"value\":1,\"error\":\"x\"}",
+        )
+        .unwrap();
+        assert!(load(&path, "cc").is_none());
+        // Missing file: miss.
+        assert!(load(&dir.join("nope.json"), "cc").is_none());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_is_atomic_about_tmp_files() {
+        let dir = tmp_dir("atomic");
+        let path = dir.join("ee.json");
+        store(&path, "ee", &Value::Null, 0.5, &Ok(Value::Bool(true)));
+        assert!(path.exists());
+        assert!(!path.with_extension("tmp").exists(), "tmp must be renamed away");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,11 +1,15 @@
-//! Uniform drivers over the six paper applications.
+//! Uniform cell-level drivers over the six paper applications.
 //!
 //! The applications have two sample types (images and inverse-kinematics
-//! targets), so the experiment binaries dispatch through [`AppId`] and a
+//! targets), so the sweep scheduler dispatches through [`AppId`] and a
 //! handful of monomorphized helpers instead of trait objects. Every
-//! trainer-backed driver has an `_observed` variant that threads a
-//! [`TrainObserver`] down to the engine, so the figure binaries can
-//! stream per-epoch JSONL run logs (see [`crate::run_logger`]).
+//! driver here trains or evaluates exactly **one sweep cell** — one
+//! (application, unit-spec) pair, one NAS run, one brute-force pass —
+//! and takes an explicit `threads` count so the orchestrator
+//! ([`crate::sched`]) can divide the machine between concurrently
+//! running cells. Experiment binaries never call these directly: they
+//! declare [`crate::sched::UnitJob`]s and let the scheduler execute
+//! them (enforced by `scripts/verify.sh`).
 
 use std::sync::Arc;
 
@@ -13,13 +17,14 @@ use lac_apps::{
     DftApp, FilterApp, FilterKind, InverseK2jApp, JpegApp, JpegMode, Kernel, Metric, StageMode,
 };
 use lac_core::{
-    brute_force_observed, search_accuracy_constrained_observed, search_single_observed,
-    train_fixed_observed, BruteForceResult, Constraint, FixedResult, NasResult, NullObserver,
-    TrainError, TrainObserver,
+    brute_force_observed, greedy_multi_observed, search_accuracy_constrained_observed,
+    search_multi_observed, search_single_observed, train_fixed_multistart_observed,
+    train_fixed_observed, BruteForceResult, Constraint, FixedResult, MultiNasResult,
+    MultiObjective, NasResult, TrainError, TrainObserver,
 };
 use lac_hw::Multiplier;
 
-use crate::{adapted_catalog, Sizing};
+use crate::{adapted_catalog, quick, Sizing};
 
 /// The six applications of Table II.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +61,19 @@ impl AppId {
         }
     }
 
+    /// Parse either the display name or the short CLI name.
+    pub fn parse(name: &str) -> Option<AppId> {
+        match name {
+            "gaussian-blur" | "blur" => Some(AppId::Blur),
+            "edge-detection" | "edge" => Some(AppId::Edge),
+            "image-sharpening" | "sharpen" => Some(AppId::Sharpen),
+            "jpeg-dct" | "jpeg" => Some(AppId::Jpeg),
+            "dft" => Some(AppId::Dft),
+            "inversek2j" | "ik" => Some(AppId::Ik),
+            _ => None,
+        }
+    }
+
     /// The application's quality metric label.
     pub fn metric_label(self) -> &'static str {
         match self {
@@ -85,13 +103,51 @@ impl AppId {
     }
 }
 
+/// The two multi-hardware pipelines of Figs. 11–12 / Table IV: one gate
+/// per stage instead of one shared unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiPipeline {
+    /// Gaussian blur with one gate per kernel tap (9 gates, Fig. 11).
+    BlurPerTap,
+    /// JPEG with one gate per pipeline stage (dct/dequant/idct, Fig. 12).
+    Jpeg3Stage,
+}
+
+impl MultiPipeline {
+    /// The single-gate application this pipeline refines (sizing source).
+    pub fn app_id(self) -> AppId {
+        match self {
+            MultiPipeline::BlurPerTap => AppId::Blur,
+            MultiPipeline::Jpeg3Stage => AppId::Jpeg,
+        }
+    }
+
+    /// Stable token for job keys and sweep details.
+    pub fn token(self) -> &'static str {
+        match self {
+            MultiPipeline::BlurPerTap => "blur-per-tap",
+            MultiPipeline::Jpeg3Stage => "jpeg-3stage",
+        }
+    }
+
+    /// Number of independently gated stages (the `n` of the `k^n`
+    /// brute-force estimate in Table IV).
+    pub fn num_stages(self) -> usize {
+        match self {
+            MultiPipeline::BlurPerTap => 9,
+            MultiPipeline::Jpeg3Stage => 3,
+        }
+    }
+}
+
 /// Dispatch a monomorphized closure for the application, handing it the
-/// kernel, train/test samples, config, and any extra trailing arguments
-/// (constraints, observers, ...).
+/// kernel, train/test samples, config (with the cell's thread budget
+/// applied), and any extra trailing arguments (constraints, observers,
+/// ...).
 macro_rules! dispatch {
-    ($app:expr, $body:ident $(, $extra:expr)*) => {{
+    ($app:expr, $threads:expr, $body:ident $(, $extra:expr)*) => {{
         let (sizing, lr) = $app.sizing();
-        let cfg = sizing.config(lr);
+        let cfg = sizing.config(lr).threads($threads);
         match $app {
             AppId::Blur => {
                 let kernel = FilterApp::new(FilterKind::GaussianBlur, StageMode::Single);
@@ -127,83 +183,11 @@ macro_rules! dispatch {
     }};
 }
 
-/// Fixed-hardware LAC (Fig. 3): train the application for every Table I
-/// multiplier and return the results in catalog order.
-///
-/// # Errors
-///
-/// Returns [`TrainError::Diverged`] if any unit's training exhausts its
-/// rollback budget.
-pub fn fixed_all(app: AppId) -> Result<Vec<FixedResult>, TrainError> {
-    fixed_all_observed(app, &mut NullObserver)
-}
-
-/// [`fixed_all`] with per-epoch telemetry.
-///
-/// # Errors
-///
-/// Returns [`TrainError::Diverged`] if any unit's training exhausts its
-/// rollback budget.
-pub fn fixed_all_observed(
-    app: AppId,
-    obs: &mut dyn TrainObserver,
-) -> Result<Vec<FixedResult>, TrainError> {
-    fn body<K: Kernel + Sync>(
-        kernel: &K,
-        train: &[K::Sample],
-        test: &[K::Sample],
-        cfg: lac_core::TrainConfig,
-        obs: &mut dyn TrainObserver,
-    ) -> Result<Vec<FixedResult>, TrainError> {
-        adapted_catalog(kernel)
-            .iter()
-            .map(|m| train_fixed_observed(kernel, m, train, test, &cfg, obs))
-            .collect()
-    }
-    dispatch!(app, body, obs)
-}
-
-/// Fixed-hardware LAC for one named multiplier.
-///
-/// # Errors
-///
-/// Returns [`TrainError::Diverged`] if training exhausts its rollback
-/// budget.
-pub fn fixed_one(app: AppId, mult_name: &str) -> Result<FixedResult, TrainError> {
-    fixed_one_observed(app, mult_name, &mut NullObserver)
-}
-
-/// [`fixed_one`] with per-epoch telemetry.
-///
-/// # Errors
-///
-/// Returns [`TrainError::Diverged`] if training exhausts its rollback
-/// budget.
-pub fn fixed_one_observed(
-    app: AppId,
-    mult_name: &str,
-    obs: &mut dyn TrainObserver,
-) -> Result<FixedResult, TrainError> {
-    fn shim<K: Kernel + Sync>(
-        kernel: &K,
-        train: &[K::Sample],
-        test: &[K::Sample],
-        cfg: lac_core::TrainConfig,
-        name: &str,
-        obs: &mut dyn TrainObserver,
-    ) -> Result<FixedResult, TrainError> {
-        let raw = lac_hw::catalog::by_name(name).expect("catalog unit");
-        let mult = kernel.adapt(&lac_hw::LutMultiplier::maybe_wrap(raw));
-        train_fixed_observed(kernel, &mult, train, test, &cfg, obs)
-    }
-    dispatch!(app, shim, mult_name, obs)
-}
-
 /// Fixed-hardware LAC for an arbitrary multiplier *spec* — a catalog name
 /// with an optional `!key=value,...` fault suffix (see
 /// [`lac_hw::catalog::by_spec`]). Unknown names, malformed fault configs,
-/// and diverged trainings all surface as structured error strings so sweep
-/// binaries can record them as error rows instead of crashing.
+/// and diverged trainings all surface as structured error strings so the
+/// scheduler can record them as error rows instead of crashing.
 ///
 /// # Errors
 ///
@@ -212,6 +196,7 @@ pub fn fixed_one_observed(
 pub fn fixed_spec_observed(
     app: AppId,
     spec: &str,
+    threads: usize,
     obs: &mut dyn TrainObserver,
 ) -> Result<FixedResult, String> {
     fn shim<K: Kernel + Sync>(
@@ -226,18 +211,49 @@ pub fn fixed_spec_observed(
         let mult = kernel.adapt(&lac_hw::LutMultiplier::maybe_wrap(raw));
         train_fixed_observed(kernel, &mult, train, test, &cfg, obs).map_err(|e| e.to_string())
     }
-    dispatch!(app, shim, spec, obs)
+    dispatch!(app, threads, shim, spec, obs)
+}
+
+/// Multi-start fixed-hardware LAC for a multiplier spec: initializations
+/// at `2^shift` times the original coefficients (see `DESIGN.md` §7).
+///
+/// # Errors
+///
+/// Same contract as [`fixed_spec_observed`].
+pub fn multistart_spec_observed(
+    app: AppId,
+    spec: &str,
+    scale_bits: &[u32],
+    threads: usize,
+    obs: &mut dyn TrainObserver,
+) -> Result<FixedResult, String> {
+    fn shim<K: Kernel + Sync>(
+        kernel: &K,
+        train: &[K::Sample],
+        test: &[K::Sample],
+        cfg: lac_core::TrainConfig,
+        spec: &str,
+        scale_bits: &[u32],
+        obs: &mut dyn TrainObserver,
+    ) -> Result<FixedResult, String> {
+        let raw = lac_hw::catalog::by_spec(spec)?;
+        let mult = kernel.adapt(&lac_hw::LutMultiplier::maybe_wrap(raw));
+        train_fixed_multistart_observed(kernel, &mult, train, test, &cfg, scale_bits, obs)
+            .map_err(|e| e.to_string())
+    }
+    dispatch!(app, threads, shim, spec, scale_bits, obs)
 }
 
 /// Untrained quality for an arbitrary multiplier spec (catalog name plus
 /// optional `!fault` suffix): evaluate the kernel's *original* coefficients
-/// on the test split — the "no retraining" side of the fault sweep.
+/// on the test split — the "no retraining" side of fault sweeps and the
+/// "traditional setup" baseline of Fig. 10.
 ///
 /// # Errors
 ///
 /// Returns a message naming the spec when the catalog lookup or fault
 /// parse fails.
-pub fn untrained_spec(app: AppId, spec: &str) -> Result<(String, f64), String> {
+pub fn untrained_spec(app: AppId, spec: &str, threads: usize) -> Result<(String, f64), String> {
     fn shim<K: Kernel + Sync>(
         kernel: &K,
         _train: &[K::Sample],
@@ -250,83 +266,27 @@ pub fn untrained_spec(app: AppId, spec: &str) -> Result<(String, f64), String> {
         let refs = lac_core::batch_references(kernel, test);
         let mults: Vec<Arc<dyn Multiplier>> = vec![Arc::clone(&mult); kernel.num_stages()];
         let coeffs = kernel.init_coeffs(&mults);
-        let q =
-            lac_core::quality(kernel, &coeffs, &mults, test, &refs, cfg.effective_threads());
+        let q = lac_core::quality(kernel, &coeffs, &mults, test, &refs, cfg.effective_threads());
         Ok((mult.name().to_owned(), q))
     }
-    dispatch!(app, shim, spec)
-}
-
-/// Untrained ("traditional setup") quality for every Table I multiplier.
-pub fn untrained_all(app: AppId) -> Vec<(String, f64)> {
-    fn body<K: Kernel + Sync>(
-        kernel: &K,
-        _train: &[K::Sample],
-        test: &[K::Sample],
-        cfg: lac_core::TrainConfig,
-    ) -> Vec<(String, f64)> {
-        let refs = lac_core::batch_references(kernel, test);
-        adapted_catalog(kernel)
-            .iter()
-            .map(|m| {
-                let mults: Vec<Arc<dyn Multiplier>> =
-                    vec![Arc::clone(m); kernel.num_stages()];
-                let coeffs = kernel.init_coeffs(&mults);
-                let q = lac_core::quality(
-                    kernel,
-                    &coeffs,
-                    &mults,
-                    test,
-                    &refs,
-                    cfg.effective_threads(),
-                );
-                (m.name().to_owned(), q)
-            })
-            .collect()
-    }
-    dispatch!(app, body)
+    dispatch!(app, threads, shim, spec)
 }
 
 /// NAS iteration budget: a multiple of the fixed-training epochs, since
 /// each iteration trains only the two sampled paths (the paper's NAS runs
 /// used roughly a third of the brute-force budget; this keeps the best
 /// path trained enough to compare against dedicated training).
-const NAS_EPOCH_FACTOR: usize = 3;
+pub const NAS_EPOCH_FACTOR: usize = 3;
 
-/// Single-gate NAS under an optional constraint (Figs. 7–9), at the
-/// default iteration budget (`NAS_EPOCH_FACTOR` × the fixed-training
-/// epochs).
-pub fn nas_search(app: AppId, constraint: Constraint, gate_lr: f64) -> NasResult {
-    nas_search_budgeted(app, constraint, gate_lr, NAS_EPOCH_FACTOR)
-}
-
-/// [`nas_search`] with per-epoch telemetry.
-pub fn nas_search_observed(
-    app: AppId,
-    constraint: Constraint,
-    gate_lr: f64,
-    obs: &mut dyn TrainObserver,
-) -> NasResult {
-    nas_search_budgeted_observed(app, constraint, gate_lr, NAS_EPOCH_FACTOR, obs)
-}
-
-/// Single-gate NAS with an explicit iteration-budget factor (Table IV's
-/// runtime comparison uses factor 1: the same budget as one fixed run).
-pub fn nas_search_budgeted(
-    app: AppId,
-    constraint: Constraint,
-    gate_lr: f64,
-    epoch_factor: usize,
-) -> NasResult {
-    nas_search_budgeted_observed(app, constraint, gate_lr, epoch_factor, &mut NullObserver)
-}
-
-/// [`nas_search_budgeted`] with per-epoch telemetry.
+/// Single-gate NAS with an explicit iteration-budget factor (Figs. 7–9
+/// use [`NAS_EPOCH_FACTOR`]; Table IV's runtime comparison uses factor 1:
+/// the same budget as one fixed run).
 pub fn nas_search_budgeted_observed(
     app: AppId,
     constraint: Constraint,
     gate_lr: f64,
     epoch_factor: usize,
+    threads: usize,
     obs: &mut dyn TrainObserver,
 ) -> NasResult {
     fn inner<K: Kernel + Sync>(
@@ -349,20 +309,16 @@ pub fn nas_search_budgeted_observed(
         );
         search_single_observed(kernel, &candidates, train, test, &cfg, gate_lr, obs)
     }
-    dispatch!(app, inner, constraint, gate_lr, epoch_factor, obs)
+    dispatch!(app, threads, inner, constraint, gate_lr, epoch_factor, obs)
 }
 
 /// Accuracy-constrained single-gate NAS (Fig. 10).
-pub fn nas_accuracy(app: AppId, target: f64, delta: f64, gate_lr: f64) -> NasResult {
-    nas_accuracy_observed(app, target, delta, gate_lr, &mut NullObserver)
-}
-
-/// [`nas_accuracy`] with per-epoch telemetry.
 pub fn nas_accuracy_observed(
     app: AppId,
     target: f64,
     delta: f64,
     gate_lr: f64,
+    threads: usize,
     obs: &mut dyn TrainObserver,
 ) -> NasResult {
     fn inner<K: Kernel + Sync>(
@@ -382,7 +338,7 @@ pub fn nas_accuracy_observed(
             kernel, &candidates, train, test, &cfg, gate_lr, target, delta, obs,
         )
     }
-    dispatch!(app, inner, target, delta, gate_lr, obs)
+    dispatch!(app, threads, inner, target, delta, gate_lr, obs)
 }
 
 /// Brute-force per-candidate training (Fig. 10 / Table IV baseline).
@@ -391,18 +347,9 @@ pub fn nas_accuracy_observed(
 ///
 /// Returns [`TrainError::Diverged`] if any candidate's training exhausts
 /// its rollback budget.
-pub fn brute_force_all(app: AppId) -> Result<BruteForceResult, TrainError> {
-    brute_force_all_observed(app, &mut NullObserver)
-}
-
-/// [`brute_force_all`] with per-epoch telemetry.
-///
-/// # Errors
-///
-/// Returns [`TrainError::Diverged`] if any candidate's training exhausts
-/// its rollback budget.
 pub fn brute_force_all_observed(
     app: AppId,
+    threads: usize,
     obs: &mut dyn TrainObserver,
 ) -> Result<BruteForceResult, TrainError> {
     fn body<K: Kernel + Sync>(
@@ -415,7 +362,115 @@ pub fn brute_force_all_observed(
         let candidates = adapted_catalog(kernel);
         brute_force_observed(kernel, &candidates, train, test, &cfg, obs)
     }
-    dispatch!(app, body, obs)
+    dispatch!(app, threads, body, obs)
+}
+
+/// Build a multi-hardware pipeline's kernel, dataset, and base config and
+/// hand them to `body` (the Figs. 11–12 / Table IV kernels both take
+/// image samples, so one monomorphization suffices).
+fn with_pipeline<R>(
+    pipeline: MultiPipeline,
+    threads: usize,
+    body: impl FnOnce(
+        &dyn PipelineKernel,
+        &[lac_data::GrayImage],
+        &[lac_data::GrayImage],
+        lac_core::TrainConfig,
+    ) -> R,
+) -> R {
+    let (sizing, lr) = pipeline.app_id().sizing();
+    let cfg = sizing.config(lr).threads(threads);
+    let ds = sizing.image_dataset();
+    match pipeline {
+        MultiPipeline::BlurPerTap => {
+            let kernel = FilterApp::new(FilterKind::GaussianBlur, StageMode::PerTap);
+            body(&kernel, &ds.train, &ds.test, cfg)
+        }
+        MultiPipeline::Jpeg3Stage => {
+            let kernel = JpegApp::new(JpegMode::ThreeStage);
+            body(&kernel, &ds.train, &ds.test, cfg)
+        }
+    }
+}
+
+/// Object-safe shim over the two pipeline kernels so [`with_pipeline`]
+/// needs no generic plumbing at the call sites.
+trait PipelineKernel {
+    fn search_multi(
+        &self,
+        train: &[lac_data::GrayImage],
+        test: &[lac_data::GrayImage],
+        cfg: &lac_core::TrainConfig,
+        gate_lr: f64,
+        objective: MultiObjective,
+        obs: &mut dyn TrainObserver,
+    ) -> MultiNasResult;
+    fn greedy_multi(
+        &self,
+        train: &[lac_data::GrayImage],
+        test: &[lac_data::GrayImage],
+        cfg: &lac_core::TrainConfig,
+        objective: MultiObjective,
+        obs: &mut dyn TrainObserver,
+    ) -> MultiNasResult;
+}
+
+impl<K: Kernel<Sample = lac_data::GrayImage> + Sync> PipelineKernel for K {
+    fn search_multi(
+        &self,
+        train: &[lac_data::GrayImage],
+        test: &[lac_data::GrayImage],
+        cfg: &lac_core::TrainConfig,
+        gate_lr: f64,
+        objective: MultiObjective,
+        obs: &mut dyn TrainObserver,
+    ) -> MultiNasResult {
+        let candidates = adapted_catalog(self);
+        search_multi_observed(self, &candidates, train, test, cfg, gate_lr, objective, obs)
+    }
+    fn greedy_multi(
+        &self,
+        train: &[lac_data::GrayImage],
+        test: &[lac_data::GrayImage],
+        cfg: &lac_core::TrainConfig,
+        objective: MultiObjective,
+        obs: &mut dyn TrainObserver,
+    ) -> MultiNasResult {
+        let candidates = adapted_catalog(self);
+        greedy_multi_observed(self, &candidates, train, test, cfg, objective, obs)
+    }
+}
+
+/// Multi-hardware NAS over a pipeline (Figs. 11–12 / Table IV): one
+/// binarized gate per stage, `epoch_factor` × the fixed-training budget
+/// (multiple gates share the sampling budget).
+pub fn multi_nas_observed(
+    pipeline: MultiPipeline,
+    epoch_factor: usize,
+    objective: MultiObjective,
+    threads: usize,
+    obs: &mut dyn TrainObserver,
+) -> MultiNasResult {
+    with_pipeline(pipeline, threads, |kernel, train, test, cfg| {
+        let cfg = cfg.clone().epochs(cfg.epochs * epoch_factor.max(1));
+        kernel.search_multi(train, test, &cfg, 1.0, objective, obs)
+    })
+}
+
+/// Greedy stage-by-stage multi-hardware baseline (Fig. 11 / Table IV).
+/// Greedy "brute forces all options" with real per-option training: a
+/// quarter of the fixed budget per option, times stages × candidates —
+/// the Table IV runtime blow-up.
+pub fn greedy_multi_pipeline_observed(
+    pipeline: MultiPipeline,
+    objective: MultiObjective,
+    threads: usize,
+    obs: &mut dyn TrainObserver,
+) -> MultiNasResult {
+    with_pipeline(pipeline, threads, |kernel, train, test, cfg| {
+        let cfg = cfg.clone().epochs(if quick() { 2 } else { (cfg.epochs / 4).max(1) });
+        kernel.greedy_multi(train, test, &cfg, objective, obs)
+    })
 }
 
 #[cfg(test)]
@@ -431,6 +486,16 @@ mod tests {
     }
 
     #[test]
+    fn app_ids_parse_both_spellings() {
+        for app in AppId::all() {
+            assert_eq!(AppId::parse(app.display()), Some(app));
+        }
+        assert_eq!(AppId::parse("blur"), Some(AppId::Blur));
+        assert_eq!(AppId::parse("ik"), Some(AppId::Ik));
+        assert_eq!(AppId::parse("warp"), None);
+    }
+
+    #[test]
     fn metric_labels_match_directions() {
         use lac_metrics::MetricDirection;
         for app in AppId::all() {
@@ -440,5 +505,17 @@ mod tests {
                 _ => assert_eq!(d, MetricDirection::HigherIsBetter),
             }
         }
+    }
+
+    #[test]
+    fn pipelines_map_to_their_apps() {
+        assert_eq!(MultiPipeline::BlurPerTap.app_id(), AppId::Blur);
+        assert_eq!(MultiPipeline::Jpeg3Stage.app_id(), AppId::Jpeg);
+        assert_ne!(MultiPipeline::BlurPerTap.token(), MultiPipeline::Jpeg3Stage.token());
+        // The advertised stage counts must match the actual kernels.
+        let blur = FilterApp::new(FilterKind::GaussianBlur, StageMode::PerTap);
+        assert_eq!(MultiPipeline::BlurPerTap.num_stages(), blur.num_stages());
+        let jpeg = JpegApp::new(JpegMode::ThreeStage);
+        assert_eq!(MultiPipeline::Jpeg3Stage.num_stages(), jpeg.num_stages());
     }
 }

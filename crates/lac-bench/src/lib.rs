@@ -2,11 +2,19 @@
 //!
 //! Every table and figure of the paper has a binary in `src/bin` that
 //! prints the corresponding rows/series and writes a CSV under
-//! `results/`. Environment knobs:
+//! `results/`. Sweep binaries declare their grid as a job list and hand
+//! it to the [`sched`] orchestrator, which executes it across a worker
+//! pool with deterministic output and a content-addressed result cache
+//! ([`cache`]). Environment knobs:
 //!
 //! * `LAC_QUICK=1` — shrink datasets and epochs for a fast smoke run;
 //! * `LAC_EPOCHS` / `LAC_TRAIN` / `LAC_TEST` — override individual sizes;
-//! * `LAC_SEED` — change the global seed (default 42).
+//! * `LAC_SEED` — change the global seed (default 42);
+//! * `LAC_JOBS` — default sweep worker count (overridden by `--jobs N`).
+//!
+//! Sweep binaries additionally accept `--jobs N` (parallel cells;
+//! 0 = all cores) and `--no-cache` (ignore cached results) — see
+//! [`sweep_flags`].
 
 use std::fmt::Write as _;
 use std::panic::{self, AssertUnwindSafe};
@@ -123,6 +131,16 @@ impl Report {
         self.rows.push(cells.to_vec());
     }
 
+    /// Render the report as CSV (what [`emit`](Self::emit) writes).
+    pub fn to_csv(&self) -> String {
+        let mut csv = self.header.join(",") + "\n";
+        for row in &self.rows {
+            csv.push_str(&row.join(","));
+            csv.push('\n');
+        }
+        csv
+    }
+
     /// Render the report as an aligned text table.
     pub fn to_text(&self) -> String {
         let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
@@ -153,13 +171,8 @@ impl Report {
         println!("{}", self.to_text());
         let dir = results_dir();
         let _ = std::fs::create_dir_all(&dir);
-        let mut csv = self.header.join(",") + "\n";
-        for row in &self.rows {
-            csv.push_str(&row.join(","));
-            csv.push('\n');
-        }
         let path = dir.join(format!("{}.csv", self.name));
-        match std::fs::write(&path, csv) {
+        match std::fs::write(&path, self.to_csv()) {
             Ok(()) => println!("[wrote {}]", path.display()),
             Err(e) => eprintln!("[failed to write {}: {e}]", path.display()),
         }
@@ -260,6 +273,71 @@ pub fn fmt_opt(v: Option<f64>) -> String {
     }
 }
 
+/// Orchestrator flags shared by every sweep binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepFlags {
+    /// Worker-pool size (`--jobs N`; 0 = all cores). Defaults to
+    /// `LAC_JOBS` or 1.
+    pub jobs: usize,
+    /// Whether the content-addressed result cache is consulted/updated
+    /// (`--no-cache` turns it off).
+    pub cache: bool,
+    /// Arguments this parser did not consume, in order — for binaries
+    /// with extra flags of their own (e.g. `fault_sweep`).
+    pub rest: Vec<String>,
+}
+
+impl SweepFlags {
+    /// Apply the flags to a sweep.
+    pub fn configure(&self, sweep: sched::Sweep) -> sched::Sweep {
+        sweep.workers(self.jobs).cache(self.cache)
+    }
+
+    /// Exit with a usage error (code 2) if any unconsumed argument
+    /// remains — for binaries without extra flags.
+    pub fn reject_rest(&self, binary: &str) {
+        if let Some(arg) = self.rest.first() {
+            eprintln!("{binary}: unknown flag `{arg}`");
+            eprintln!("usage: {binary} [--jobs N] [--no-cache]");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parse `--jobs N` / `--no-cache` out of an argument list, leaving
+/// everything else in `rest`.
+///
+/// # Errors
+///
+/// Returns a message naming the flag when `--jobs` is missing its value
+/// or the value is not an integer.
+pub fn parse_sweep_flags(args: &[String]) -> Result<SweepFlags, String> {
+    let mut flags = SweepFlags { jobs: env_usize("LAC_JOBS", 1), cache: true, rest: Vec::new() };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                flags.jobs =
+                    v.parse().map_err(|_| format!("--jobs: `{v}` is not a valid integer"))?;
+            }
+            "--no-cache" => flags.cache = false,
+            other => flags.rest.push(other.to_owned()),
+        }
+    }
+    Ok(flags)
+}
+
+/// [`parse_sweep_flags`] over the process arguments, exiting with a
+/// usage error (code 2) on a malformed flag.
+pub fn sweep_flags() -> SweepFlags {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    parse_sweep_flags(&args).unwrap_or_else(|msg| {
+        eprintln!("error: {msg}");
+        std::process::exit(2);
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,5 +406,25 @@ mod tests {
         assert_eq!(obs.len(), 1);
         assert!(obs.lines[0].contains("\"error\":\"diverged\""), "{}", obs.lines[0]);
     }
+    #[test]
+    fn sweep_flags_parse_and_pass_rest_through() {
+        let strs = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let f = parse_sweep_flags(&strs(&["--jobs", "8", "--no-cache", "--base", "mul8u_FTA"]))
+            .unwrap();
+        assert_eq!(f.jobs, 8);
+        assert!(!f.cache);
+        assert_eq!(f.rest, strs(&["--base", "mul8u_FTA"]));
+        // Defaults: cache on, unparsed args preserved in order.
+        let f = parse_sweep_flags(&[]).unwrap();
+        assert!(f.cache);
+        assert!(f.rest.is_empty());
+        // Malformed values are errors naming the flag.
+        assert!(parse_sweep_flags(&strs(&["--jobs"])).is_err());
+        assert!(parse_sweep_flags(&strs(&["--jobs", "many"])).unwrap_err().contains("--jobs"));
+    }
 }
+pub mod ablate;
+pub mod adder;
+pub mod cache;
 pub mod driver;
+pub mod sched;

@@ -5,6 +5,7 @@
 //! lac-cli characterize <mult>       error statistics + heatmap of a unit
 //! lac-cli train <app> <mult> [opts] fixed-hardware LAC training
 //! lac-cli search <app> [opts]       binarized-gate hardware search
+//! lac-cli sweep <app> [opts]        orchestrated catalog sweep (cached)
 //! ```
 //!
 //! Applications: `blur`, `edge`, `sharpen`, `jpeg`, `dft`, `inversek2j`.
@@ -77,6 +78,7 @@ usage:
   lac-cli search <app> [--area X | --power X | --delay X] [--epochs N] [--lr X]
                        [--train N] [--test N] [--seed N] [--patience N]
                        [--log PATH]
+  lac-cli sweep <app> [--jobs N] [--no-cache]
 
 apps: blur | edge | sharpen | jpeg | dft | inversek2j
 
@@ -84,7 +86,14 @@ apps: blur | edge | sharpen | jpeg | dft | inversek2j
 training loss; `--log PATH` streams one JSON object per epoch to PATH.
 `--fault-rate X` injects seeded transient bit-flips into X of all
 multiplies (deterministic in `--seed`); `--resume PATH` checkpoints
-training to PATH and continues from it when it already exists.";
+training to PATH and continues from it when it already exists.
+
+`sweep` trains the application against every Table I multiplier through
+the deterministic sweep orchestrator: `--jobs N` sets the worker-pool
+size (0 = all cores; output is byte-identical for any N), `--no-cache`
+bypasses the content-addressed result cache under `results/cache/`.
+Sweep sizing follows the benchmark env knobs (`LAC_QUICK`, `LAC_TRAIN`,
+`LAC_TEST`, `LAC_EPOCHS`, `LAC_SEED`, `LAC_RESULTS`, `LAC_JOBS`).";
 
 fn run(argv: &[String]) -> Result<(), CliError> {
     let Some(command) = argv.first() else {
@@ -114,6 +123,12 @@ fn run(argv: &[String]) -> Result<(), CliError> {
             };
             let opts = Options::parse(&argv[2..]).map_err(CliError::Usage)?;
             cmd_search(app, &opts)
+        }
+        "sweep" => {
+            let Some(app) = argv.get(1) else {
+                return usage_err("sweep needs an application");
+            };
+            cmd_sweep(app, &argv[2..])
         }
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -277,6 +292,59 @@ fn cmd_train(app: &str, mult_name: &str, opts: &Options) -> Result<(), CliError>
         );
         Ok(())
     })
+}
+
+/// `sweep <app>`: every Table I multiplier through the deterministic
+/// sweep orchestrator — parallel (`--jobs`), cached, resumable. The same
+/// engine behind the `lac-bench` figure binaries.
+fn cmd_sweep(app_name: &str, rest: &[String]) -> Result<(), CliError> {
+    use lac_bench::driver::AppId;
+    use lac_bench::sched::{Job, Sweep, UnitJob};
+
+    let Some(app) = AppId::parse(app_name) else {
+        return usage_err(format!("unknown application `{app_name}`"));
+    };
+    let flags = lac_bench::parse_sweep_flags(rest).map_err(CliError::Usage)?;
+    if let Some(extra) = flags.rest.first() {
+        return usage_err(format!("sweep does not take `{extra}`"));
+    }
+
+    let jobs: Vec<Job> = catalog::paper_multipliers()
+        .iter()
+        .map(|m| {
+            Job::new(
+                format!("{}:{}", app.display(), m.name()),
+                UnitJob::Fixed { app, spec: m.name().to_owned() },
+            )
+        })
+        .collect();
+    let outcomes = flags.configure(Sweep::new(format!("sweep-{app_name}"), jobs)).run();
+
+    println!(
+        "{:<14} {:>9} {:>9} {:>9}  {}",
+        "multiplier", "before", "after", "gain", "status"
+    );
+    for o in &outcomes {
+        match (o.text("multiplier"), o.num("before"), o.num("after")) {
+            (Some(name), Some(before), Some(after)) => println!(
+                "{:<14} {:>9.4} {:>9.4} {:>+9.4}  {}",
+                name,
+                before,
+                after,
+                after - before,
+                if o.cached { "cached" } else { "trained" }
+            ),
+            _ => println!(
+                "{:<14} {:>9} {:>9} {:>9}  error: {}",
+                o.detail,
+                "-",
+                "-",
+                "-",
+                o.value.as_ref().err().map(String::as_str).unwrap_or("missing payload")
+            ),
+        }
+    }
+    Ok(())
 }
 
 fn cmd_search(app: &str, opts: &Options) -> Result<(), CliError> {

@@ -122,6 +122,45 @@ impl TrainConfig {
         }
     }
 
+    /// The canonical JSON form of the semantic hyperparameters, the
+    /// basis of [`fingerprint`](Self::fingerprint).
+    ///
+    /// Keys are emitted sorted so the encoding is independent of field
+    /// declaration order; `lr` and `seed` are stored as 16-digit hex bit
+    /// patterns so every distinct `f64`/`u64` value maps to a distinct
+    /// string (no decimal rounding). `threads` is deliberately excluded:
+    /// evaluation results are bit-identical across worker counts, so the
+    /// thread count is an execution detail, not part of a result's
+    /// identity.
+    pub fn canonical_json(&self) -> lac_rt::json::Value {
+        use lac_rt::json::Value;
+        let opt_num = |o: Option<usize>| match o {
+            Some(n) => Value::Num(n as f64),
+            None => Value::Null,
+        };
+        Value::Obj(vec![
+            ("epochs".to_owned(), Value::Num(self.epochs as f64)),
+            ("lr_bits".to_owned(), Value::from_bits(self.lr.to_bits())),
+            ("minibatch".to_owned(), opt_num(self.minibatch)),
+            ("patience".to_owned(), opt_num(self.patience)),
+            ("rollbacks".to_owned(), Value::Num(self.rollbacks as f64)),
+            ("seed_bits".to_owned(), Value::from_bits(self.seed)),
+        ])
+        .canonical()
+    }
+
+    /// A stable 64-bit content fingerprint of the semantic
+    /// hyperparameters, as a 16-digit hex string.
+    ///
+    /// Two configs fingerprint equal iff every field that can change a
+    /// training result is equal; the worker-thread count does not
+    /// participate. Stable across processes and platforms (FNV-1a over
+    /// the canonical JSON encoding), so it is safe to use as a
+    /// cache key on disk.
+    pub fn fingerprint(&self) -> String {
+        lac_rt::hash::fnv1a_64_hex(self.canonical_json().to_json().as_bytes())
+    }
+
     /// The sample indices for step `step` of a training set of `n`
     /// samples: either all of them or a rotating minibatch window.
     pub fn step_indices(&self, step: usize, n: usize) -> Vec<usize> {
@@ -170,6 +209,44 @@ mod tests {
     fn oversized_minibatch_degrades_to_full_batch() {
         let cfg = TrainConfig::new().minibatch(10);
         assert_eq!(cfg.step_indices(3, 4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_semantic() {
+        let base = || TrainConfig::new().epochs(40).learning_rate(0.25).seed(7).patience(5);
+        // Same semantic config, different construction order → same key.
+        let reordered = TrainConfig::new().seed(7).patience(5).learning_rate(0.25).epochs(40);
+        assert_eq!(base().fingerprint(), reordered.fingerprint());
+        // The thread count is an execution detail, never part of the key.
+        assert_eq!(base().fingerprint(), base().threads(8).fingerprint());
+        // Every semantic field participates.
+        let fp = base().fingerprint();
+        assert_ne!(fp, base().epochs(41).fingerprint());
+        assert_ne!(fp, base().learning_rate(0.26).fingerprint());
+        assert_ne!(fp, base().minibatch(16).fingerprint());
+        assert_ne!(fp, base().seed(8).fingerprint());
+        assert_ne!(fp, base().patience(6).fingerprint());
+        assert_ne!(fp, base().rollbacks(0).fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_lr_values_exactly() {
+        // Bit-level encoding: values that round to the same short decimal
+        // still fingerprint apart.
+        let a = TrainConfig::new().learning_rate(0.1);
+        let b = TrainConfig::new().learning_rate(0.1 + f64::EPSILON);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn canonical_json_round_trips_and_sorts_keys() {
+        let cfg = TrainConfig::new().epochs(9).learning_rate(2.0).seed(3);
+        let text = cfg.canonical_json().to_json();
+        let parsed = lac_rt::json::Value::parse(&text).expect("canonical json parses");
+        assert_eq!(parsed.canonical().to_json(), text, "already canonical");
+        assert_eq!(parsed.get("lr_bits").and_then(|v| v.as_bits()), Some(2.0f64.to_bits()));
+        assert_eq!(parsed.get("seed_bits").and_then(|v| v.as_bits()), Some(3));
+        assert!(parsed.get("threads").is_none(), "threads must not leak into the key");
     }
 
     #[test]

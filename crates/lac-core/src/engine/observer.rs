@@ -115,11 +115,10 @@ fn push_json_string(out: &mut String, s: &str) {
 }
 
 fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_owned()
-    }
+    // Non-finite values use the lac_rt::json extension tokens so a
+    // diverged run's NaN/±inf loss survives a round trip through the
+    // run log or result cache instead of decaying into null.
+    lac_rt::json::Value::Num(v).to_json()
 }
 
 fn json_f64_opt(v: Option<f64>) -> String {
@@ -330,9 +329,20 @@ mod tests {
     }
 
     #[test]
-    fn non_finite_floats_become_null() {
+    fn non_finite_floats_round_trip_losslessly() {
+        // Regression: these used to serialize as null, so a Diverged
+        // row's NaN loss was indistinguishable from "no loss computed".
         let e = EpochEvent { loss: Some(f64::INFINITY), ..Default::default() };
-        assert!(e.to_json().contains("\"loss\":null"));
+        assert!(e.to_json().contains("\"loss\":Infinity"), "{}", e.to_json());
+        let e = EpochEvent { loss: Some(f64::NEG_INFINITY), ..Default::default() };
+        assert!(e.to_json().contains("\"loss\":-Infinity"), "{}", e.to_json());
+        let e = EpochEvent { loss: Some(f64::NAN), ..Default::default() };
+        let parsed = lac_rt::json::Value::parse(&e.to_json()).expect("run-log line parses");
+        assert!(parsed.get("loss").unwrap().as_f64().unwrap().is_nan());
+        // Absent values still serialize as null — "not computed" stays
+        // distinguishable from "computed and non-finite".
+        let e = EpochEvent { loss: None, ..Default::default() };
+        assert!(e.to_json().contains("\"loss\":null"), "{}", e.to_json());
     }
 
     #[test]
@@ -343,7 +353,7 @@ mod tests {
             EpochEvent { epoch: 2, rollback: true, loss: Some(f64::NAN), ..Default::default() };
         let json = rolled.to_json();
         assert!(json.contains("\"rollback\":true"), "{json}");
-        assert!(json.contains("\"loss\":null"), "{json}");
+        assert!(json.contains("\"loss\":NaN"), "{json}");
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! Stable, dependency-free content hashing.
+//!
+//! The sweep orchestrator addresses cached results by a fingerprint of
+//! the job's semantic key (binary, application, unit spec, seed,
+//! training configuration, crate version). The hash must be stable
+//! across platforms, compiler versions, and process runs — which rules
+//! out [`std::collections::hash_map::DefaultHasher`] (its keys are
+//! randomized per process) — and collisions only cost a spurious cache
+//! hit on a *colliding key string*, which 64-bit FNV-1a makes
+//! negligible for the few thousand cells a full figure reproduction
+//! produces.
+
+/// 64-bit FNV-1a over a byte string.
+///
+/// ```
+/// use lac_rt::hash::fnv1a_64;
+///
+/// assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+/// assert_eq!(fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
+/// assert_ne!(fnv1a_64(b"fig3"), fnv1a_64(b"fig4"));
+/// ```
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// [`fnv1a_64`] rendered as the fixed-width hex string used for cache
+/// file names.
+pub fn fnv1a_64_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a_64(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_published_fnv1a_vectors() {
+        // Reference vectors from the FNV specification draft.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn hex_is_fixed_width_and_stable() {
+        let h = fnv1a_64_hex(b"fig3/gaussian-blur/mul8u_FTA");
+        assert_eq!(h.len(), 16);
+        assert_eq!(h, fnv1a_64_hex(b"fig3/gaussian-blur/mul8u_FTA"));
+        assert_ne!(h, fnv1a_64_hex(b"fig3/gaussian-blur/mul8u_DM1"));
+    }
+
+    #[test]
+    fn single_byte_difference_changes_the_hash() {
+        assert_ne!(fnv1a_64(b"seed=42"), fnv1a_64(b"seed=43"));
+    }
+}

@@ -3,16 +3,23 @@
 //! The workspace writes its run logs and bench reports with hand-rolled
 //! serializers; session checkpointing (engine state saved mid-run and
 //! restored bit-identically) is the first feature that must *read* JSON
-//! back, so this module adds the missing half. The dialect is plain
-//! RFC 8259 JSON with two deliberate restrictions that keep round trips
-//! exact:
+//! back, so this module adds the missing half. The dialect is RFC 8259
+//! JSON with one extension and two deliberate restrictions that keep
+//! round trips exact:
 //!
+//! * non-finite numbers serialize as the bare tokens `NaN`, `Infinity`
+//!   and `-Infinity` (accepted back by the parser), never as `null` —
+//!   a diverged training run's NaN loss must survive a trip through a
+//!   result cache or an error row instead of decaying into a missing
+//!   value (NaN payload bits are canonicalized; use [`Value::from_bits`]
+//!   when the exact bit pattern matters);
 //! * numbers are parsed into `f64` — values that need all 64 bits
 //!   (`f64` bit patterns, `u64` seeds) are stored as 16-digit hex
 //!   *strings* by convention (see [`Value::from_bits`] /
 //!   [`Value::as_bits`]), never as numbers;
 //! * objects preserve insertion order (a `Vec` of pairs, not a hash
-//!   map), so serialization is deterministic.
+//!   map), so serialization is deterministic; [`Value::canonical`]
+//!   additionally sorts members for order-insensitive fingerprints.
 //!
 //! ```
 //! use lac_rt::json::Value;
@@ -72,8 +79,12 @@ impl Value {
             Value::Num(v) => {
                 if v.is_finite() {
                     let _ = write!(out, "{v}");
+                } else if v.is_nan() {
+                    out.push_str("NaN");
+                } else if *v > 0.0 {
+                    out.push_str("Infinity");
                 } else {
-                    out.push_str("null");
+                    out.push_str("-Infinity");
                 }
             }
             Value::Str(s) => write_string(out, s),
@@ -156,6 +167,24 @@ impl Value {
             _ => None,
         }
     }
+
+    /// A copy with every object's members sorted by key (recursively).
+    ///
+    /// Two documents that differ only in member order canonicalize to
+    /// the same value — and therefore the same [`to_json`](Value::to_json)
+    /// bytes — which is what content-addressed fingerprints hash.
+    pub fn canonical(&self) -> Value {
+        match self {
+            Value::Arr(items) => Value::Arr(items.iter().map(Value::canonical).collect()),
+            Value::Obj(members) => {
+                let mut sorted: Vec<(String, Value)> =
+                    members.iter().map(|(k, v)| (k.clone(), v.canonical())).collect();
+                sorted.sort_by(|a, b| a.0.cmp(&b.0));
+                Value::Obj(sorted)
+            }
+            other => other.clone(),
+        }
+    }
 }
 
 fn write_string(out: &mut String, s: &str) {
@@ -198,6 +227,8 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
         Some(b'n') => expect(bytes, pos, "null").map(|()| Value::Null),
         Some(b't') => expect(bytes, pos, "true").map(|()| Value::Bool(true)),
         Some(b'f') => expect(bytes, pos, "false").map(|()| Value::Bool(false)),
+        Some(b'N') => expect(bytes, pos, "NaN").map(|()| Value::Num(f64::NAN)),
+        Some(b'I') => expect(bytes, pos, "Infinity").map(|()| Value::Num(f64::INFINITY)),
         Some(b'"') => parse_string(bytes, pos).map(Value::Str),
         Some(b'[') => {
             *pos += 1;
@@ -309,6 +340,9 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
     let start = *pos;
     if bytes.get(*pos) == Some(&b'-') {
         *pos += 1;
+        if bytes.get(*pos) == Some(&b'I') {
+            return expect(bytes, pos, "Infinity").map(|()| Value::Num(f64::NEG_INFINITY));
+        }
     }
     while *pos < bytes.len()
         && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
@@ -370,9 +404,48 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        for text in ["", "{", "[1,", "{\"a\"}", "nul", "1 2", "\"open", "{\"a\":}"] {
+        for text in
+            ["", "{", "[1,", "{\"a\"}", "nul", "1 2", "\"open", "{\"a\":}", "Inf", "NaNa", "-Inf"]
+        {
             assert!(Value::parse(text).is_err(), "{text:?} should fail");
         }
+    }
+
+    #[test]
+    fn non_finite_numbers_round_trip_losslessly() {
+        // A Diverged row's NaN/±inf loss must survive serialization —
+        // not decay into null (the pre-orchestrator behavior).
+        let nan = Value::Num(f64::NAN);
+        assert_eq!(nan.to_json(), "NaN");
+        assert!(Value::parse("NaN").unwrap().as_f64().unwrap().is_nan());
+
+        let inf = Value::Num(f64::INFINITY);
+        assert_eq!(inf.to_json(), "Infinity");
+        assert_eq!(Value::parse("Infinity").unwrap().as_f64(), Some(f64::INFINITY));
+
+        let ninf = Value::Num(f64::NEG_INFINITY);
+        assert_eq!(ninf.to_json(), "-Infinity");
+        assert_eq!(Value::parse("-Infinity").unwrap().as_f64(), Some(f64::NEG_INFINITY));
+
+        // Embedded in structure, through a full round trip.
+        let doc = r#"{"loss": NaN, "bounds": [-Infinity, Infinity], "ok": 1.5}"#;
+        let v = Value::parse(doc).unwrap();
+        let again = Value::parse(&v.to_json()).unwrap();
+        assert!(again.get("loss").unwrap().as_f64().unwrap().is_nan());
+        let bounds = again.get("bounds").unwrap().as_arr().unwrap();
+        assert_eq!(bounds[0].as_f64(), Some(f64::NEG_INFINITY));
+        assert_eq!(bounds[1].as_f64(), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn canonical_sorts_members_recursively() {
+        let a = Value::parse(r#"{"z": 1, "a": {"k": 2, "b": [{"y": 0, "x": 1}]}}"#).unwrap();
+        let b = Value::parse(r#"{"a": {"b": [{"x": 1, "y": 0}], "k": 2}, "z": 1}"#).unwrap();
+        assert_ne!(a.to_json(), b.to_json(), "insertion order differs");
+        assert_eq!(a.canonical().to_json(), b.canonical().to_json());
+        // Canonicalization is idempotent and value-preserving.
+        assert_eq!(a.canonical().canonical(), a.canonical());
+        assert_eq!(a.canonical().get("z"), Some(&Value::Num(1.0)));
     }
 
     #[test]

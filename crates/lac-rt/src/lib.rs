@@ -30,13 +30,17 @@
 //!   machine-readable `BENCH_<suite>.json` files so the performance
 //!   trajectory of the workspace can be tracked across PRs.
 //! * [`json`] — a small JSON value tree with a parser and a
-//!   deterministic writer, used by session checkpointing (the only
-//!   place in the workspace that must read JSON back).
+//!   deterministic writer, used by session checkpointing and the sweep
+//!   result cache (the places in the workspace that must read JSON
+//!   back).
+//! * [`hash`] — stable FNV-1a content hashing for the sweep
+//!   orchestrator's content-addressed result cache.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod bench;
+pub mod hash;
 pub mod json;
 pub mod par;
 pub mod proptest;

@@ -22,6 +22,7 @@
 //! assert_eq!(sums1, sums4); // identical partition, identical results
 //! ```
 
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -132,6 +133,40 @@ where
     pairs.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Render a caught panic payload the way the sweep harness reports it:
+/// `&str`/`String` payloads verbatim, anything else as
+/// `"non-string panic"`.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic".to_owned())
+}
+
+/// Run `n` indexed *jobs* on a pool of scoped workers: like
+/// [`run_indexed`], but each job runs under its own panic guard, so one
+/// poisoned job becomes an `Err` in its slot instead of tearing down the
+/// whole pool.
+///
+/// The job-queue contract the sweep orchestrator builds on:
+///
+/// * every index in `0..n` is claimed by exactly one worker and executed
+///   exactly once;
+/// * the returned vector is in index order — position `i` holds job
+///   `i`'s outcome no matter which worker ran it or when it finished;
+/// * a panicking job yields `Err(message)` (rendered by
+///   [`panic_message`]) and the remaining jobs still run.
+pub fn run_jobs<R, F>(n: usize, workers: usize, f: F) -> Vec<Result<R, String>>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    run_indexed(n, workers, |i| {
+        panic::catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|p| panic_message(p.as_ref()))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,5 +237,30 @@ mod tests {
     #[should_panic(expected = "chunk_size must be positive")]
     fn zero_chunk_size_panics() {
         let _ = chunk_map(&[1, 2, 3], 0, 1, |c| c.len());
+    }
+
+    #[test]
+    fn run_jobs_isolates_panics_per_job() {
+        let out = run_jobs(6, 3, |i| {
+            if i % 2 == 1 {
+                panic!("job {i} poisoned");
+            }
+            i * 10
+        });
+        assert_eq!(out.len(), 6);
+        for (i, r) in out.iter().enumerate() {
+            if i % 2 == 1 {
+                assert_eq!(r.as_ref().unwrap_err(), &format!("job {i} poisoned"));
+            } else {
+                assert_eq!(*r, Ok(i * 10));
+            }
+        }
+    }
+
+    #[test]
+    fn run_jobs_renders_non_string_payloads() {
+        let out: Vec<Result<(), String>> =
+            run_jobs(1, 1, |_| std::panic::panic_any(42_i32));
+        assert_eq!(out[0].as_ref().unwrap_err(), "non-string panic");
     }
 }

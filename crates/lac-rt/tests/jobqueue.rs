@@ -1,0 +1,110 @@
+//! Property tests of the job-queue primitives the sweep orchestrator
+//! builds on: `par::run_indexed` (ordered fan-out) and `par::run_jobs`
+//! (the panic-isolating variant).
+//!
+//! The contract under test, for random job counts, per-job workloads,
+//! and worker counts:
+//!
+//! * every job runs exactly once — no job is dropped, none runs twice,
+//!   even when some jobs panic;
+//! * output order equals input order regardless of completion order
+//!   (jobs get seeded, deliberately unequal amounts of busy work so
+//!   completion order scrambles);
+//! * a panicking job surfaces as `Err` in its own slot and nowhere else.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use lac_rt::par;
+use lac_rt::proptest::prelude::*;
+use lac_rt::rng::{splitmix64, RngExt, SeedableRng, StdRng};
+
+/// Seeded, uneven busy work so fast workers overtake slow jobs and the
+/// completion order differs from the submission order.
+fn spin(weight: u64) -> u64 {
+    let mut acc = weight;
+    for _ in 0..(weight % 997) * 50 {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `run_indexed`: order preserved, each index executed exactly once.
+    #[test]
+    fn run_indexed_is_exactly_once_in_order(
+        n in 0usize..40,
+        workers in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let out = par::run_indexed(n, workers, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+            let mut s = seed ^ i as u64;
+            spin(splitmix64(&mut s));
+            i
+        });
+        prop_assert_eq!(out, (0..n).collect::<Vec<_>>());
+        for (i, c) in counts.iter().enumerate() {
+            prop_assert_eq!(c.load(Ordering::Relaxed), 1, "job {} ran a wrong number of times", i);
+        }
+    }
+
+    /// `run_jobs`: a random subset of jobs panics; every slot still holds
+    /// its own job's outcome, and every job still ran exactly once.
+    #[test]
+    fn run_jobs_is_exactly_once_in_order_with_panics(
+        n in 1usize..40,
+        workers in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let poisoned: Vec<bool> = (0..n).map(|_| rng.random_range(0..4u32) == 0).collect();
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let out = par::run_jobs(n, workers, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+            let mut s = seed ^ (i as u64).rotate_left(17);
+            spin(splitmix64(&mut s));
+            if poisoned[i] {
+                panic!("poisoned job {i}");
+            }
+            i * 3
+        });
+        prop_assert_eq!(out.len(), n);
+        for (i, r) in out.iter().enumerate() {
+            prop_assert_eq!(counts[i].load(Ordering::Relaxed), 1, "job {} run count", i);
+            if poisoned[i] {
+                let err = r.as_ref().err();
+                prop_assert!(err.is_some(), "job {} should have failed", i);
+                prop_assert_eq!(err.unwrap(), &format!("poisoned job {}", i));
+            } else {
+                prop_assert_eq!(r.as_ref().ok().copied(), Some(i * 3));
+            }
+        }
+    }
+
+    /// The outcome vector is identical across worker counts (panics and
+    /// all) — the worker count is an execution detail, never a result.
+    #[test]
+    fn run_jobs_outcomes_are_worker_count_invariant(
+        n in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let run = |workers: usize| {
+            par::run_jobs(n, workers, |i| {
+                let mut s = seed ^ i as u64;
+                let w = splitmix64(&mut s);
+                spin(w);
+                if w % 5 == 0 {
+                    panic!("unit {i} diverged");
+                }
+                format!("cell-{i}:{}", w % 100)
+            })
+        };
+        let serial = run(1);
+        for workers in [2, 4, 8] {
+            prop_assert_eq!(&run(workers), &serial, "workers={}", workers);
+        }
+    }
+}

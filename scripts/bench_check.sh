@@ -42,6 +42,36 @@ for suite in "${SUITES[@]}"; do
         "$TOLERANCE" || status=1
 done
 
+# Sweep-orchestrator wall-clock: fig3 in quick mode, cold cache, at
+# --jobs 1 vs --jobs $(nproc). On a multi-core box the parallel sweep
+# must not be slower than the serial one by more than the tolerance
+# (the cells are independent; the orchestrator's only overhead is
+# hashing + cache probes). On a single-core box the timings are printed
+# for the record but never fatal.
+echo "== sweep wall-clock: fig3 --jobs 1 vs --jobs $(nproc) (quick, cold cache)"
+cargo build --release --offline -p lac-bench --bin fig3
+sweep_secs() {
+    local jobs="$1"
+    local dir
+    dir="$(mktemp -d)"
+    local start end
+    start=$(date +%s.%N)
+    LAC_QUICK=1 LAC_RESULTS="$dir" ./target/release/fig3 --jobs "$jobs" >/dev/null 2>&1
+    end=$(date +%s.%N)
+    rm -rf "$dir"
+    awk -v a="$start" -v b="$end" 'BEGIN { printf "%.2f", b - a }'
+}
+serial_s="$(sweep_secs 1)"
+parallel_s="$(sweep_secs "$(nproc)")"
+echo "sweep_fig3: --jobs 1 = ${serial_s}s, --jobs $(nproc) = ${parallel_s}s"
+if [[ "$(nproc)" -gt 1 ]]; then
+    awk -v s="$serial_s" -v p="$parallel_s" -v tol="$TOLERANCE" \
+        'BEGIN { exit !(p <= s * (1 + tol / 100)) }' || {
+        echo "bench_check: sweep_fig3 --jobs $(nproc) slower than --jobs 1 beyond ${TOLERANCE}%" >&2
+        status=1
+    }
+fi
+
 if [[ $status -ne 0 ]]; then
     echo "bench_check: FAILED (see regressions above)"
     exit 1

@@ -42,6 +42,18 @@ cargo build --release --offline
 echo "== cargo test -q --offline"
 cargo test -q --offline
 
+# Sweep-orchestrator guard: experiment binaries declare UnitJob lists;
+# only lac-bench::sched executes cells. A direct trainer/search/driver
+# call (or the old per-cell error plumbing) in src/bin means a sweep
+# loop grew outside the orchestrator — unparallel, uncached,
+# nondeterministic.
+echo "== sweep guard: no training/search calls in lac-bench binaries"
+if grep -rn -E "_observed\(|train_fixed_|batch_grads\(|batch_outputs\(|search_single_|search_multi_|search_accuracy_|greedy_multi_|brute_force_all|brute_force_observed|run_caught\(|record_error_row\(|run_logger\(" \
+    crates/lac-bench/src/bin/; then
+    echo "verify: FAIL — direct trainer/search call in crates/lac-bench/src/bin (declare a sched::UnitJob instead)" >&2
+    exit 1
+fi
+
 # The fault/recovery suite is part of the workspace test run above, but
 # name the load-bearing suites explicitly so a filtered or partial CI
 # configuration cannot silently skip them.
@@ -49,6 +61,16 @@ echo "== fault + recovery suites"
 cargo test -q --offline -p lac-hw faults::
 cargo test -q --offline -p lac-core engine::
 cargo test -q --offline --test recovery
+
+# Determinism contract (DESIGN.md §7c): the same sweep at 1 and 8
+# workers must produce byte-identical rows artifacts and report CSVs,
+# an injected panic must become an error row, a re-run must be 100%
+# cache hits with zero training epochs, and an interrupted sweep must
+# resume to the uninterrupted bytes. Also part of the workspace run,
+# named here so it cannot be filtered away.
+echo "== sweep determinism suite (1 vs 8 workers, cache, resume)"
+cargo test -q --offline --test sweep_determinism
+cargo test -q --offline -p lac-rt --test jobqueue
 
 # Opt-in performance gate: set LAC_BENCH_CHECK=1 to re-run the macro
 # bench suites and compare against the committed baselines in

@@ -1,0 +1,131 @@
+//! Sweep-orchestrator determinism contract (DESIGN.md §7c), end to end:
+//!
+//! * a fig3-style sweep produces **byte-identical** canonical rows and
+//!   report CSV at `--jobs 1` and `--jobs 8`, including the error row of
+//!   an injected panic cell;
+//! * re-running the sweep serves every cell from the content-addressed
+//!   cache — no training epochs run (observer logs stay empty);
+//! * a sweep killed mid-run (modeled as a prefix of the job list) and
+//!   then restarted produces the same bytes as an uninterrupted run.
+//!
+//! One `#[test]` because the sizing env knobs are process-global.
+
+use lac_bench::driver::AppId;
+use lac_bench::sched::{Job, JobOutcome, Sweep, UnitJob};
+use lac_bench::Report;
+
+/// The shared fig3-style grid: two filter apps × two cheap multipliers,
+/// plus a poisoned cell in the middle of the list.
+fn grid() -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for app in [AppId::Blur, AppId::Edge] {
+        for unit in ["mul8u_FTA", "mul8u_JQQ"] {
+            jobs.push(Job::new(
+                format!("{}:{unit}", app.display()),
+                UnitJob::Fixed { app, spec: unit.to_owned() },
+            ));
+        }
+    }
+    jobs.insert(
+        2,
+        Job::new("poisoned-cell", UnitJob::InjectedPanic { message: "injected".to_owned() }),
+    );
+    jobs
+}
+
+/// The report a figure binary would build from the outcomes: failed cells
+/// skipped, successful cells formatted.
+fn report_csv(outcomes: &[JobOutcome]) -> String {
+    let mut report = Report::new("determinism-probe", &["detail", "before", "after"]);
+    for o in outcomes {
+        let (Some(before), Some(after)) = (o.num("before"), o.num("after")) else {
+            continue;
+        };
+        report.row(&[o.detail.clone(), format!("{before:.4}"), format!("{after:.4}")]);
+    }
+    report.to_csv()
+}
+
+fn rows_bytes(sweep: &Sweep) -> Vec<u8> {
+    std::fs::read(sweep.rows_path()).expect("rows artifact must exist after a run")
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("lac-sweep-det-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn sweeps_are_deterministic_cached_and_resumable() {
+    // Tiny cells: the contract under test is scheduling, not training.
+    std::env::set_var("LAC_QUICK", "1");
+    std::env::set_var("LAC_EPOCHS", "4");
+    std::env::set_var("LAC_TRAIN", "4");
+    std::env::set_var("LAC_TEST", "2");
+
+    // --- Serial reference run (--jobs 1). -----------------------------
+    let serial_dir = temp_dir("serial");
+    let serial_sweep = Sweep::new("determinism-probe", grid())
+        .workers(1)
+        .results_dir(&serial_dir);
+    let serial = serial_sweep.run();
+    let serial_rows = rows_bytes(&serial_sweep);
+    let serial_csv = report_csv(&serial);
+
+    // The injected panic is an error row, not a crash, and training cells
+    // logged real epochs on this fresh run.
+    assert_eq!(serial.len(), 5);
+    assert_eq!(serial[2].value.as_ref().unwrap_err(), "panic: injected");
+    assert!(serial.iter().all(|o| !o.cached));
+    assert!(
+        serial.iter().enumerate().all(|(i, o)| i == 2 || !o.log.is_empty()),
+        "fresh training cells must produce per-epoch telemetry"
+    );
+    let rows_text = String::from_utf8(serial_rows.clone()).unwrap();
+    assert!(rows_text.contains("\"error\":\"panic: injected\""), "{rows_text}");
+
+    // --- Parallel run (--jobs 8) is byte-identical. -------------------
+    let par_dir = temp_dir("par");
+    let par_sweep = Sweep::new("determinism-probe", grid())
+        .workers(8)
+        .results_dir(&par_dir);
+    let par = par_sweep.run();
+    assert_eq!(rows_bytes(&par_sweep), serial_rows, "rows artifact differs across worker counts");
+    assert_eq!(report_csv(&par), serial_csv, "report CSV differs across worker counts");
+
+    // --- Second invocation: 100% cache hits, zero epochs. -------------
+    let again = par_sweep.run();
+    assert!(again.iter().all(|o| o.cached), "second run must be fully cached");
+    assert!(
+        again.iter().all(|o| o.log.is_empty()),
+        "cached cells must not run any training epochs"
+    );
+    assert_eq!(rows_bytes(&par_sweep), serial_rows, "cached re-run changed the rows artifact");
+
+    // --- Interrupted sweep resumes to the same bytes. ------------------
+    // Model a mid-run kill as only a prefix of the job list having
+    // completed (cells are cached one by one, so a killed process leaves
+    // exactly some prefix/subset behind).
+    let resume_dir = temp_dir("resume");
+    let partial = Sweep::new("determinism-probe", grid()[..2].to_vec())
+        .workers(1)
+        .results_dir(&resume_dir);
+    partial.run();
+    let resumed_sweep = Sweep::new("determinism-probe", grid())
+        .workers(8)
+        .results_dir(&resume_dir);
+    let resumed = resumed_sweep.run();
+    assert!(resumed[0].cached && resumed[1].cached, "surviving cells must be cache hits");
+    assert!(!resumed[2].cached, "remaining cells must execute");
+    assert_eq!(
+        rows_bytes(&resumed_sweep),
+        serial_rows,
+        "resumed sweep differs from an uninterrupted run"
+    );
+    assert_eq!(report_csv(&resumed), serial_csv);
+
+    for dir in [serial_dir, par_dir, resume_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
