@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use lac_hw::{signed_capable, Multiplier};
+use lac_hw::{signed_capable, LutMultiplier, Multiplier};
 use lac_tensor::{concat, Graph, Tensor, Var};
 
 use crate::kernel::{coeff_upscale, fit_shift, pixel_shift, Kernel, Metric};
@@ -112,7 +112,9 @@ impl Kernel for DftApp {
     }
 
     fn adapt(&self, mult: &Arc<dyn Multiplier>) -> Arc<dyn Multiplier> {
-        signed_capable(Arc::clone(mult))
+        // Tabulate the signed adapter so approx_matmul takes the LUT fast
+        // path (bit-identical products; wide units pass through unwrapped).
+        LutMultiplier::maybe_wrap(signed_capable(Arc::clone(mult)))
     }
 
     fn init_coeffs(&self, mults: &[Arc<dyn Multiplier>]) -> Vec<Tensor> {
@@ -155,14 +157,14 @@ impl Kernel for DftApp {
 
         // T = W · X (X real): one complex column transform.
         let down = 2f64.powi(ps as i32 - s as i32);
-        let tr = wr.approx_matmul(&x, m).mul_scalar(down).round_ste();
-        let ti = wi.approx_matmul(&x, m).mul_scalar(down).round_ste();
+        let tr = wr.approx_matmul_scale_round(&x, m, down);
+        let ti = wi.approx_matmul_scale_round(&x, m, down);
 
         // |T| <= N * 255 = 3060; fit into the operand range for the second
         // transform, where T is the data port.
         let f = fit_shift((N * 255) as f64, hi);
-        let tr2 = tr.mul_scalar(2f64.powi(-(f as i32))).round_ste();
-        let ti2 = ti.mul_scalar(2f64.powi(-(f as i32))).round_ste();
+        let tr2 = tr.scale_round_ste(2f64.powi(-(f as i32)));
+        let ti2 = ti.scale_round_ste(2f64.powi(-(f as i32)));
 
         // F = T · Wᵀ (complex product, four real matmuls).
         let up = 2f64.powi(f as i32 - s as i32);

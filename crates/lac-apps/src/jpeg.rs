@@ -22,7 +22,7 @@
 
 use std::sync::Arc;
 
-use lac_hw::{signed_capable, Multiplier};
+use lac_hw::{signed_capable, LutMultiplier, Multiplier};
 use lac_tensor::{concat, Graph, Tensor, Var};
 
 use crate::kernel::{coeff_upscale, fit_shift, pixel_shift, Kernel, Metric};
@@ -187,6 +187,9 @@ impl JpegApp {
     }
 
     /// Process one block through the approximate three-stage pipeline.
+    ///
+    /// `recip_q` / `q_table` are the Q50 constants, recorded once per
+    /// image by the caller (they are block-invariant leaves).
     #[allow(clippy::too_many_arguments)]
     fn forward_block(
         &self,
@@ -194,6 +197,8 @@ impl JpegApp {
         block: Tensor,
         c_fwd: &Var,
         c_inv: &Var,
+        recip_q: &Var,
+        q_table: &Var,
         mults: &[Arc<dyn Multiplier>],
         s_fwd: u32,
         s_inv: u32,
@@ -206,47 +211,38 @@ impl JpegApp {
         let ps = pixel_shift(&**m_dct);
         let x = graph.constant(block.map(|p| ((p as i64) >> ps) as f64));
         let (_, hi_dct) = m_dct.operand_range();
-        let t = c_fwd
-            .approx_matmul(&x, m_dct)
-            .mul_scalar(2f64.powi(ps as i32 - s_fwd as i32))
-            .round_ste();
+        let t = c_fwd.approx_matmul_scale_round(&x, m_dct, 2f64.powi(ps as i32 - s_fwd as i32));
         // |C·X| <= 255 * 8 * max|C| ~ 1020; fit for the second product.
         let f1 = fit_shift(1020.0, hi_dct);
-        let t2 = t.mul_scalar(2f64.powi(-(f1 as i32))).round_ste();
-        let y = t2
-            .approx_matmul(&c_fwd.transpose(), m_dct)
-            .mul_scalar(2f64.powi(f1 as i32 - s_fwd as i32))
-            .round_ste();
+        let t2 = t.scale_round_ste(2f64.powi(-(f1 as i32)));
+        let y = t2.approx_matmul_scale_round(
+            &c_fwd.transpose(),
+            m_dct,
+            2f64.powi(f1 as i32 - s_fwd as i32),
+        );
 
         // Stage 2: quantize (exact divide + round, no multiplier), then
         // dequantize on approximate hardware.
-        let recip_q = graph.constant(Tensor::from_vec(
-            Q50.iter().map(|&q| 1.0 / q).collect(),
-            &[BLOCK, BLOCK],
-        ));
-        let k = y.mul(&recip_q).round_ste();
+        let k = y.mul_round_ste(recip_q);
         let (_, hi_deq) = m_deq.operand_range();
         // |K| <= 2040 / 10 ~ 204.
         let f2 = fit_shift(204.0, hi_deq);
-        let k2 = k.mul_scalar(2f64.powi(-(f2 as i32))).round_ste();
-        let q_table = graph.constant(Tensor::from_vec(Q50.to_vec(), &[BLOCK, BLOCK]));
-        let yd = k2.approx_mul_elem(&q_table, m_deq).mul_scalar(2f64.powi(f2 as i32));
+        let k2 = k.scale_round_ste(2f64.powi(-(f2 as i32)));
+        let yd = k2.approx_mul_elem_scale(q_table, m_deq, 2f64.powi(f2 as i32));
 
         // Stage 3: inverse DCT, X' = Cᵀ·Yd·C.
         let (_, hi_idct) = m_idct.operand_range();
         let f3 = fit_shift(2040.0, hi_idct);
-        let yd2 = yd.mul_scalar(2f64.powi(-(f3 as i32))).round_ste();
-        let v = c_inv
-            .transpose()
-            .approx_matmul(&yd2, m_idct)
-            .mul_scalar(2f64.powi(f3 as i32 - s_inv as i32))
-            .round_ste();
+        let yd2 = yd.scale_round_ste(2f64.powi(-(f3 as i32)));
+        let v = c_inv.transpose().approx_matmul_scale_round(
+            &yd2,
+            m_idct,
+            2f64.powi(f3 as i32 - s_inv as i32),
+        );
         // |Cᵀ·Yd| <= 8 * 0.5 * 2040.
         let f4 = fit_shift(8160.0, hi_idct);
-        let v2 = v.mul_scalar(2f64.powi(-(f4 as i32))).round_ste();
-        v2.approx_matmul(c_inv, m_idct)
-            .mul_scalar(2f64.powi(f4 as i32 - s_inv as i32))
-            .round_ste()
+        let v2 = v.scale_round_ste(2f64.powi(-(f4 as i32)));
+        v2.approx_matmul_scale_round(c_inv, m_idct, 2f64.powi(f4 as i32 - s_inv as i32))
             .clamp(0.0, 255.0)
     }
 }
@@ -279,8 +275,11 @@ impl Kernel for JpegApp {
     }
 
     fn adapt(&self, mult: &Arc<dyn Multiplier>) -> Arc<dyn Multiplier> {
-        // DCT coefficients and intermediate values are signed.
-        signed_capable(Arc::clone(mult))
+        // DCT coefficients and intermediate values are signed. Memoize the
+        // signed adapter's product table so the matmul-heavy pipeline runs
+        // on the devirtualized LUT kernels (bit-identical by construction;
+        // wide units pass through untabulated).
+        LutMultiplier::maybe_wrap(signed_capable(Arc::clone(mult)))
     }
 
     fn init_coeffs(&self, mults: &[Arc<dyn Multiplier>]) -> Vec<Tensor> {
@@ -318,11 +317,20 @@ impl Kernel for JpegApp {
         let c_fwd = coeffs[0].quantize_ste(bounds[0].0, bounds[0].1);
         let c_inv = coeffs[1].quantize_ste(bounds[1].0, bounds[1].1);
 
+        // Block-invariant quantization constants, recorded once per image.
+        let recip_q = graph.constant(Tensor::from_vec(
+            Q50.iter().map(|&q| 1.0 / q).collect(),
+            &[BLOCK, BLOCK],
+        ));
+        let q_table = graph.constant(Tensor::from_vec(Q50.to_vec(), &[BLOCK, BLOCK]));
+
         let mut blocks = Vec::new();
         for by in 0..self.height / BLOCK {
             for bx in 0..self.width / BLOCK {
                 let block = self.block(sample, by, bx);
-                blocks.push(self.forward_block(graph, block, &c_fwd, &c_inv, mults, s_fwd, s_inv));
+                blocks.push(self.forward_block(
+                    graph, block, &c_fwd, &c_inv, &recip_q, &q_table, mults, s_fwd, s_inv,
+                ));
             }
         }
         concat(&blocks)

@@ -18,6 +18,7 @@ use std::sync::Arc;
 use lac_hw::{DenseLut, Multiplier};
 
 use crate::graph::Var;
+use crate::matmul_fast;
 use crate::ops::{conv2d_backward, conv2d_forward};
 use crate::tensor::Tensor;
 
@@ -38,26 +39,6 @@ fn approx_product(mult: &dyn Multiplier, a: f64, b: f64) -> f64 {
 // the unit's own `multiply_raw` outputs, and the loops mirror the slow
 // path's iteration order statement for statement.
 // ---------------------------------------------------------------------
-
-/// Fast-path forward of [`Var::approx_matmul`]: `[m, k] × [k, n]` with
-/// every scalar product read from `lut`.
-fn approx_matmul_lut(a: &Tensor, b: &Tensor, lut: DenseLut<'_>) -> Tensor {
-    let (m, k) = a.dims2("approx_matmul lhs");
-    let (_, n) = b.dims2("approx_matmul rhs");
-    let arows: Vec<usize> = a.data().iter().map(|&v| lut.row(v)).collect();
-    let bcols: Vec<usize> = b.data().iter().map(|&v| lut.col(v)).collect();
-    let mut out = Tensor::zeros(&[m, n]);
-    for i in 0..m {
-        for j in 0..n {
-            let mut acc = 0.0;
-            for p in 0..k {
-                acc += lut.product(arows[i * k + p], bcols[p * n + j]);
-            }
-            out.data_mut()[i * n + j] = acc;
-        }
-    }
-    out
-}
 
 /// Fast-path forward of [`Var::approx_conv2d`]: same-padded convolution
 /// with kernel taps pre-quantized to row offsets and pixels to column
@@ -123,7 +104,9 @@ impl Var {
         assert_eq!(k, k2, "approx_matmul inner dimension mismatch: {k} vs {k2}");
 
         let out = if let Some(lut) = mult.as_lut() {
-            approx_matmul_lut(&a, &b, lut)
+            // Blocked row-tabulated kernels (bit-identical to the loop
+            // below; see `matmul_fast`'s bit-equivalence contract).
+            matmul_fast::matmul_lut(&a, &b, lut)
         } else {
             let mut out = Tensor::zeros(&[m, n]);
             for i in 0..m {
@@ -143,7 +126,68 @@ impl Var {
             out,
             vec![self.id, other.id],
             Some(Box::new(move |g: &Tensor| {
-                vec![g.matmul(&b.transpose()), a.transpose().matmul(g)]
+                // Fused transposed matmuls: bit-identical to
+                // `g.matmul(&b.transpose())` / `a.transpose().matmul(g)`
+                // without materializing either transpose.
+                vec![matmul_fast::matmul_abt(g, &b), matmul_fast::matmul_atb(&a, g)]
+            })),
+        );
+        Var { tape: self.tape.clone(), id }
+    }
+
+    /// Fused `approx_matmul(other, mult).scale_round_ste(c)`: the
+    /// approximate product, a power-of-two datapath shift, and the
+    /// round recorded as one tape node instead of two.
+    ///
+    /// Bit-identical to the unfused pair: the forward maps the very same
+    /// product tensor through `(v * c).round()`, and the backward first
+    /// applies the scale node's gradient (`g · c`) and then the matmul's
+    /// fused transposed kernels — the exact op sequence the two separate
+    /// nodes would run.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Var::approx_matmul`].
+    pub fn approx_matmul_scale_round(
+        &self,
+        other: &Var,
+        mult: &Arc<dyn Multiplier>,
+        c: f64,
+    ) -> Var {
+        assert!(
+            self.same_tape(other),
+            "approx_matmul_scale_round: operands belong to different graphs"
+        );
+        let a = self.value();
+        let b = other.value();
+        let (m, k) = a.dims2("approx_matmul lhs");
+        let (k2, n) = b.dims2("approx_matmul rhs");
+        assert_eq!(k, k2, "approx_matmul inner dimension mismatch: {k} vs {k2}");
+
+        let product = if let Some(lut) = mult.as_lut() {
+            matmul_fast::matmul_lut(&a, &b, lut)
+        } else {
+            let mut out = Tensor::zeros(&[m, n]);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0;
+                    for p in 0..k {
+                        acc += approx_product(&**mult, a.data()[i * k + p], b.data()[p * n + j]);
+                    }
+                    out.data_mut()[i * n + j] = acc;
+                }
+            }
+            out
+        };
+        let value = product.map(|v| (v * c).round());
+
+        let graph = self.graph();
+        let id = graph.push(
+            value,
+            vec![self.id, other.id],
+            Some(Box::new(move |g: &Tensor| {
+                let gm = g.map(|gv| gv * c);
+                vec![matmul_fast::matmul_abt(&gm, &b), matmul_fast::matmul_atb(&a, &gm)]
             })),
         );
         Var { tape: self.tape.clone(), id }
@@ -252,6 +296,41 @@ impl Var {
             vec![self.id, other.id],
             Some(Box::new(move |g: &Tensor| {
                 vec![g.zip_map(&b, |gv, bv| gv * bv), g.zip_map(&a, |gv, av| gv * av)]
+            })),
+        );
+        Var { tape: self.tape.clone(), id }
+    }
+
+    /// Fused `approx_mul_elem(other, mult).mul_scalar(c)`: the
+    /// approximate elementwise product and an exact constant scale in
+    /// one tape node. Bit-identical to the unfused pair — the backward
+    /// scales the incoming gradient first (`g · c`), then applies the
+    /// product rule, exactly as the two separate nodes would.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or cross-graph operands.
+    pub fn approx_mul_elem_scale(&self, other: &Var, mult: &Arc<dyn Multiplier>, c: f64) -> Var {
+        assert!(
+            self.same_tape(other),
+            "approx_mul_elem_scale: operands belong to different graphs"
+        );
+        let a = self.value();
+        let b = other.value();
+        let value = if let Some(lut) = mult.as_lut() {
+            a.zip_map(&b, |x, y| lut.product(lut.row(x), lut.col(y)))
+        } else {
+            a.zip_map(&b, |x, y| approx_product(&**mult, x, y))
+        }
+        .map(|v| v * c);
+
+        let graph = self.graph();
+        let id = graph.push(
+            value,
+            vec![self.id, other.id],
+            Some(Box::new(move |g: &Tensor| {
+                let gm = g.map(|gv| gv * c);
+                vec![gm.zip_map(&b, |gv, bv| gv * bv), gm.zip_map(&a, |gv, av| gv * av)]
             })),
         );
         Var { tape: self.tape.clone(), id }
@@ -400,6 +479,56 @@ mod tests {
             checked += 1;
         }
         assert!(checked >= 8, "too few narrow catalog units exercised: {checked}");
+    }
+
+    /// The fused matmul+scale+round and elem-mul+scale nodes must match
+    /// their unfused chains bit-for-bit, on both the LUT and the
+    /// trait-object path, in values and gradients.
+    #[test]
+    fn fused_approx_nodes_match_unfused_bits() {
+        use lac_hw::LutMultiplier;
+
+        let av: Vec<f64> = (0..16).map(|i| ((i * 37 + 11) % 61) as f64 - 14.0).collect();
+        let bv: Vec<f64> = (0..16).map(|i| ((i * 53 + 7) % 59) as f64 - 9.0).collect();
+        let raw = kulkarni8();
+        let fast = LutMultiplier::maybe_wrap(Arc::clone(&raw));
+
+        for mult in [&raw, &fast] {
+            for c in [0.25, 8.0, 2f64.powi(-5)] {
+                let g1 = Graph::new();
+                let a1 = g1.var(Tensor::from_vec(av.clone(), &[4, 4]));
+                let b1 = g1.var(Tensor::from_vec(bv.clone(), &[4, 4]));
+                let unfused = a1.approx_matmul(&b1, mult).mul_scalar(c).round_ste();
+                let gr1 = g1.backward(&unfused.square().sum());
+
+                let g2 = Graph::new();
+                let a2 = g2.var(Tensor::from_vec(av.clone(), &[4, 4]));
+                let b2 = g2.var(Tensor::from_vec(bv.clone(), &[4, 4]));
+                let fused = a2.approx_matmul_scale_round(&b2, mult, c);
+                let gr2 = g2.backward(&fused.square().sum());
+
+                let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&unfused.value()), bits(&fused.value()), "matmul fwd at {c}");
+                assert_eq!(bits(&gr1.get(&a1)), bits(&gr2.get(&a2)), "matmul grad-a at {c}");
+                assert_eq!(bits(&gr1.get(&b1)), bits(&gr2.get(&b2)), "matmul grad-b at {c}");
+
+                let g3 = Graph::new();
+                let a3 = g3.var(Tensor::from_vec(av.clone(), &[16]));
+                let b3 = g3.var(Tensor::from_vec(bv.clone(), &[16]));
+                let unfused = a3.approx_mul_elem(&b3, mult).mul_scalar(c);
+                let gr3 = g3.backward(&unfused.square().sum());
+
+                let g4 = Graph::new();
+                let a4 = g4.var(Tensor::from_vec(av.clone(), &[16]));
+                let b4 = g4.var(Tensor::from_vec(bv.clone(), &[16]));
+                let fused = a4.approx_mul_elem_scale(&b4, mult, c);
+                let gr4 = g4.backward(&fused.square().sum());
+
+                assert_eq!(bits(&unfused.value()), bits(&fused.value()), "elem fwd at {c}");
+                assert_eq!(bits(&gr3.get(&a3)), bits(&gr4.get(&a4)), "elem grad-a at {c}");
+                assert_eq!(bits(&gr3.get(&b3)), bits(&gr4.get(&b4)), "elem grad-b at {c}");
+            }
+        }
     }
 
     #[test]

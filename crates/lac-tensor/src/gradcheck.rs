@@ -202,6 +202,39 @@ mod tests {
         );
     }
 
+    /// The JPEG hot path runs 8×8 DCT matmuls through the LUT-wrapped
+    /// signed adapter, where the backward pass uses the fused
+    /// `matmul_abt` / `matmul_atb` kernels. Parametrize the surrogate
+    /// check over the DCT shapes (square 8×8 plus the non-square shapes
+    /// that bracket it) so those kernels — not just the tiny matmul
+    /// above — carry gradcheck coverage.
+    #[test]
+    fn approx_matmul_surrogate_matches_exact_at_dct_shapes() {
+        for unit in ["mul8u_FTA", "ETM8-k4"] {
+            let mult = lac_hw::LutMultiplier::maybe_wrap(lac_hw::signed_capable(
+                catalog::by_name(unit).unwrap(),
+            ));
+            for &(m, k, n) in &[(8usize, 8usize, 8usize), (8, 8, 3), (3, 8, 8), (1, 8, 8)] {
+                // Signed integer operands in the DCT coefficient range.
+                let a = Tensor::from_vec(
+                    (0..m * k).map(|v| (((v * 37) % 91) as f64) - 45.0).collect(),
+                    &[m, k],
+                );
+                let b = Tensor::from_vec(
+                    (0..k * n).map(|v| (((v * 53) % 101) as f64) - 50.0).collect(),
+                    &[k, n],
+                );
+                check_surrogate_gradients(
+                    &[a, b],
+                    |_g, v| v[0].approx_matmul(&v[1], &mult).sum(),
+                    |_g, v| v[0].matmul(&v[1]).sum(),
+                    1e-4,
+                    1e-6,
+                );
+            }
+        }
+    }
+
     #[test]
     fn approx_conv2d_surrogate_matches_exact_conv_gradients() {
         // Exercise the LUT fast path's backward too: wrap the unit.

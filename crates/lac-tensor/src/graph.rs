@@ -129,10 +129,17 @@ impl Graph {
         grads[loss.id] = Some(Tensor::ones(loss_shape(&tape.nodes[loss.id].value)).clone());
 
         for id in (0..n).rev() {
-            let Some(grad) = grads[id].clone() else { continue };
+            if grads[id].is_none() {
+                continue;
+            }
             let Some(backward) = tape.nodes[id].backward.take() else { continue };
-            let parents = tape.nodes[id].parents.clone();
+            // Move the node's gradient out for the closure call and put it
+            // back afterwards: same values as a clone, without the deep
+            // copy of a tensor (and a parents vec) per node.
+            let grad = grads[id].take().expect("checked above");
+            let parents = std::mem::take(&mut tape.nodes[id].parents);
             let parent_grads = backward(&grad);
+            grads[id] = Some(grad);
             assert_eq!(
                 parent_grads.len(),
                 parents.len(),

@@ -57,6 +57,7 @@ mod approx;
 mod approx_accum;
 mod gradcheck;
 mod graph;
+mod matmul_fast;
 mod ops;
 mod optim;
 pub mod pool;

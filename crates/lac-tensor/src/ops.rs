@@ -166,7 +166,14 @@ impl Var {
         self.op(
             vec![self.id, other.id],
             value,
-            Box::new(move |g| vec![g.matmul(&b.transpose()), a.transpose().matmul(g)]),
+            Box::new(move |g| {
+                // Fused transposed matmuls, bit-identical to transposing
+                // then multiplying (see `matmul_fast`).
+                vec![
+                    crate::matmul_fast::matmul_abt(g, &b),
+                    crate::matmul_fast::matmul_atb(&a, g),
+                ]
+            }),
         )
     }
 

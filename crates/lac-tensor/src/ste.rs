@@ -75,6 +75,45 @@ impl Var {
         );
         Var { tape: self.tape.clone(), id }
     }
+
+    /// Fused `mul_scalar(c).round_ste()`: scale by an exact constant (a
+    /// power-of-two datapath shift) and round, recording one tape node
+    /// instead of two. Forward values and the straight-through gradient
+    /// `g · c` are bit-identical to the unfused pair.
+    pub fn scale_round_ste(&self, c: f64) -> Var {
+        let value = self.value().map(|v| (v * c).round());
+        let graph = self.graph();
+        let id = graph.push(
+            value,
+            vec![self.id],
+            Some(Box::new(move |g: &Tensor| vec![g.map(|gv| gv * c)])),
+        );
+        Var { tape: self.tape.clone(), id }
+    }
+
+    /// Fused `mul(other).round_ste()`: elementwise product followed by
+    /// rounding in one tape node. Gradients are the product rule's with
+    /// the rounding passed straight through — bit-identical to the
+    /// unfused pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or cross-graph operands.
+    pub fn mul_round_ste(&self, other: &Var) -> Var {
+        assert!(self.same_tape(other), "mul_round_ste: operands belong to different graphs");
+        let a = self.value();
+        let b = other.value();
+        let value = a.zip_map(&b, |x, y| (x * y).round());
+        let graph = self.graph();
+        let id = graph.push(
+            value,
+            vec![self.id, other.id],
+            Some(Box::new(move |g: &Tensor| {
+                vec![g.zip_map(&b, |gv, bv| gv * bv), g.zip_map(&a, |gv, av| gv * av)]
+            })),
+        );
+        Var { tape: self.tape.clone(), id }
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +165,67 @@ mod tests {
         let g = Graph::new();
         let w = g.var(Tensor::from_vec(vec![0.5, -0.5], &[2]));
         assert_eq!(w.quantize_ste(-10.0, 10.0).value().data(), &[1.0, -1.0]);
+    }
+
+    /// The fused scale-and-round node must match the two-node chain
+    /// bit-for-bit in both forward values and gradients.
+    #[test]
+    fn fused_scale_round_matches_unfused_bits() {
+        let vals: Vec<f64> = (0..32).map(|i| (i as f64 - 15.3) * 0.37).collect();
+        for s in [0.5, 0.125, 8.0, 2f64.powi(-7), 3.7] {
+            let g1 = Graph::new();
+            let w1 = g1.var(Tensor::from_vec(vals.clone(), &[32]));
+            let unfused = w1.mul_scalar(s).round_ste();
+            let gr1 = g1.backward(&unfused.square().sum());
+
+            let g2 = Graph::new();
+            let w2 = g2.var(Tensor::from_vec(vals.clone(), &[32]));
+            let fused = w2.scale_round_ste(s);
+            let gr2 = g2.backward(&fused.square().sum());
+
+            for (a, b) in unfused.value().data().iter().zip(fused.value().data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "forward diverged at scale {s}");
+            }
+            for (a, b) in gr1.get(&w1).data().iter().zip(gr2.get(&w2).data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "gradient diverged at scale {s}");
+            }
+        }
+    }
+
+    /// Same for the fused elementwise-multiply-and-round node.
+    #[test]
+    fn fused_mul_round_matches_unfused_bits() {
+        let av: Vec<f64> = (0..16).map(|i| (i as f64 - 7.2) * 1.13).collect();
+        let bv: Vec<f64> = (0..16).map(|i| 1.0 / (i as f64 + 1.5)).collect();
+
+        let g1 = Graph::new();
+        let a1 = g1.var(Tensor::from_vec(av.clone(), &[16]));
+        let b1 = g1.var(Tensor::from_vec(bv.clone(), &[16]));
+        let unfused = a1.mul(&b1).round_ste();
+        let gr1 = g1.backward(&unfused.square().sum());
+
+        let g2 = Graph::new();
+        let a2 = g2.var(Tensor::from_vec(av, &[16]));
+        let b2 = g2.var(Tensor::from_vec(bv, &[16]));
+        let fused = a2.mul_round_ste(&b2);
+        let gr2 = g2.backward(&fused.square().sum());
+
+        assert_eq!(unfused.value(), fused.value());
+        for (u, f) in [(gr1.get(&a1), gr2.get(&a2)), (gr1.get(&b1), gr2.get(&b2))] {
+            for (x, y) in u.data().iter().zip(f.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "gradient diverged");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different graphs")]
+    fn mul_round_ste_rejects_cross_graph() {
+        let g1 = Graph::new();
+        let g2 = Graph::new();
+        let a = g1.var(Tensor::scalar(1.0));
+        let b = g2.var(Tensor::scalar(2.0));
+        let _ = a.mul_round_ste(&b);
     }
 
     #[test]

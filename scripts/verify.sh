@@ -72,6 +72,18 @@ echo "== sweep determinism suite (1 vs 8 workers, cache, resume)"
 cargo test -q --offline --test sweep_determinism
 cargo test -q --offline -p lac-rt --test jobqueue
 
+# Kernel bit-equivalence battery (DESIGN.md §7d): the blocked LUT-matmul
+# fast path must stay bit-identical to the scalar trait-object path for
+# every catalog unit (healthy, signed-adapted, and fault-injected),
+# across repeated-operand tabulation and worker counts, and the JPEG
+# golden pin must keep reproducing the pre-kernel-swap training
+# trajectory bit-for-bit. Named explicitly so a filtered CI
+# configuration cannot silently skip them.
+echo "== matmul kernel bit-equivalence battery"
+cargo test -q --offline --test matmul_equivalence
+cargo test -q --offline -p lac-tensor --lib matmul_fast::
+cargo test -q --offline --test golden_seed jpeg_train_fixed
+
 # Opt-in performance gate: set LAC_BENCH_CHECK=1 to re-run the macro
 # bench suites and compare against the committed baselines in
 # results/bench/ (see scripts/bench_check.sh). Off by default so tier-1

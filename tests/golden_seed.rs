@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use lac::apps::{FilterApp, FilterKind, Kernel, StageMode};
+use lac::apps::{FilterApp, FilterKind, JpegApp, JpegMode, Kernel, StageMode};
 use lac::core::{
     greedy_multi, search_accuracy_constrained, search_multi, search_single, train_fixed,
     MultiObjective, TrainConfig,
@@ -60,6 +60,24 @@ fn train_fixed_matches_pre_refactor_bits() {
     assert_eq!(r.loss_history.len(), 12);
     assert_eq!(hash_f64s(&r.loss_history), 0x5b788e2e4e64e28e, "loss trajectory drifted");
     assert_eq!(hash_tensors(&r.coeffs), 0x7bbad9fce667bc5e, "trained coefficients drifted");
+}
+
+/// Pins the JPEG training trajectory across the PR-6 kernel swap: the
+/// blocked row-tabulated LUT matmuls must reproduce the exact bits the
+/// element-by-element path produced. Constants captured on the commit
+/// immediately before `matmul_fast` landed.
+#[test]
+fn jpeg_train_fixed_matches_pre_kernel_swap_bits() {
+    let (train, test) = dataset();
+    let app = JpegApp::new(JpegMode::Single);
+    let mult = app.adapt(&catalog::by_name("mul8u_FTA").unwrap());
+    let cfg = TrainConfig::new().epochs(6).learning_rate(2.0).minibatch(4).seed(11).threads(2);
+    let r = train_fixed(&app, &mult, &train, &test, &cfg).expect("training");
+    assert_eq!(r.before.to_bits(), 0x4038e4b2040bdb26, "before quality drifted");
+    assert_eq!(r.after.to_bits(), 0x403ae8e83e5e48bc, "after quality drifted");
+    assert_eq!(r.loss_history.len(), 6);
+    assert_eq!(hash_f64s(&r.loss_history), 0xddeccadc0fc2321b, "loss trajectory drifted");
+    assert_eq!(hash_tensors(&r.coeffs), 0x1a68dafa68f5ec19, "trained coefficients drifted");
 }
 
 #[test]
