@@ -164,6 +164,125 @@ impl FilterApp {
         out
     }
 
+    /// The batch translated by `(dy, dx)`, one `height`-row band per
+    /// sample: each band holds exactly [`FilterApp::shifted_image`] of
+    /// its sample.
+    fn shifted_images(&self, imgs: &[GrayImage], dy: isize, dx: isize, shift: u32) -> Tensor {
+        let (w, h) = (self.width, self.height);
+        let mut out = Tensor::zeros(&[imgs.len() * h, w]);
+        for (band, img) in imgs.iter().enumerate() {
+            let base = band * h * w;
+            for y in 0..h as isize {
+                for x in 0..w as isize {
+                    let (sy, sx) = (y + dy, x + dx);
+                    if sy < 0 || sx < 0 || sy >= h as isize || sx >= w as isize {
+                        continue;
+                    }
+                    let p = img.at(sx as usize, sy as usize) as i64 >> shift;
+                    out.data_mut()[base + y as usize * w + x as usize] = p as f64;
+                }
+            }
+        }
+        out
+    }
+
+    /// Batched forward pass: one graph evaluation for a whole batch of
+    /// samples, stacked vertically into `[n * height, width]`.
+    ///
+    /// Per sample the output band is bit-identical to
+    /// [`Kernel::forward_approx`] on that sample alone: the convolution
+    /// runs the same per-image walk on each band
+    /// ([`Var::approx_conv2d_stacked`](lac_tensor::Var::approx_conv2d_stacked)),
+    /// and every other node in the datapath (pre-shift compensation,
+    /// output shift, rounding, the sharpening residual add, the final
+    /// clamp) is elementwise. What the batch amortizes is everything
+    /// per-graph: tape and node construction, coefficient quantization,
+    /// and LUT resolution happen once per batch instead of once per
+    /// sample. This is the `lac-serve` hot path — a coalesced batch of n
+    /// same-kernel requests answers exactly as n single-sample passes
+    /// would, at a fraction of the fixed cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or under the conditions of
+    /// [`Kernel::forward_approx`].
+    pub fn forward_approx_batch(
+        &self,
+        graph: &Graph,
+        samples: &[GrayImage],
+        coeffs: &[Var],
+        mults: &[Arc<dyn Multiplier>],
+    ) -> Var {
+        assert!(!samples.is_empty(), "forward_approx_batch: empty batch");
+        for sample in samples {
+            self.check_sample(sample);
+        }
+        assert_eq!(coeffs.len(), 9, "filter kernels have nine coefficient taps");
+        assert_eq!(mults.len(), self.num_stages(), "need one multiplier per stage");
+        let bounds = self.coeff_bounds(mults);
+
+        // Shared across the batch: the output shift depends only on the
+        // quantized taps, never on the samples.
+        let quantized: Vec<f64> = coeffs
+            .iter()
+            .zip(&bounds)
+            .map(|(c, &(lo, hi))| c.value().item().round().clamp(lo, hi))
+            .collect();
+        let shift = Self::output_shift(&quantized);
+
+        let conv = match self.stage_mode {
+            StageMode::Single => {
+                let mult = &mults[0];
+                let ps = pixel_shift(&**mult);
+                let img = graph.constant(self.shifted_images(samples, 0, 0, ps));
+                let taps: Vec<Var> = coeffs
+                    .iter()
+                    .zip(&bounds)
+                    .map(|(c, &(lo, hi))| c.quantize_ste(lo, hi))
+                    .collect();
+                let kernel = lac_tensor::concat(&taps).reshape(&[3, 3]);
+                let mut conv = img.approx_conv2d_stacked(&kernel, mult, self.height);
+                if ps > 0 {
+                    conv = conv.mul_scalar(2f64.powi(ps as i32));
+                }
+                conv
+            }
+            StageMode::PerTap => {
+                let mut acc: Option<Var> = None;
+                for tap in 0..9 {
+                    let mult = &mults[self.stage_of_tap(tap)];
+                    let ps = pixel_shift(&**mult);
+                    let (dy, dx) = (tap as isize / 3 - 1, tap as isize % 3 - 1);
+                    let img = graph.constant(self.shifted_images(samples, dy, dx, ps));
+                    let (lo, hi) = bounds[tap];
+                    let c = coeffs[tap].quantize_ste(lo, hi);
+                    let mut term = img.approx_scale(&c, mult);
+                    if ps > 0 {
+                        term = term.mul_scalar(2f64.powi(ps as i32));
+                    }
+                    acc = Some(match acc {
+                        Some(a) => a.add(&term),
+                        None => term,
+                    });
+                }
+                acc.expect("nine taps accumulated")
+            }
+        };
+        let mut out = conv.mul_scalar(2f64.powi(-(shift as i32))).round_ste();
+        if self.kind == FilterKind::Sharpening {
+            let mut originals = Vec::with_capacity(samples.len() * self.height * self.width);
+            for sample in samples {
+                originals.extend_from_slice(sample.pixels());
+            }
+            let original = graph.constant(Tensor::from_vec(
+                originals,
+                &[samples.len() * self.height, self.width],
+            ));
+            out = out.add(&original);
+        }
+        out.clamp(0.0, 255.0)
+    }
+
     fn check_sample(&self, img: &GrayImage) {
         assert_eq!(
             (img.width(), img.height()),
@@ -393,6 +512,45 @@ mod tests {
         let g = Graph::new();
         let vars: Vec<Var> = coeffs.iter().map(|c| g.var(c.clone())).collect();
         app.forward_approx(&g, img, &vars, &mults).value().into_data()
+    }
+
+    /// The serving contract: every band of the stacked batched forward
+    /// is bit-identical to the per-sample graph on that sample alone,
+    /// for every filter kind, stage mode, and representative hardware
+    /// (exact, FTA, and an ETM unit whose pixel pre-shift is nonzero),
+    /// at batch sizes including 1.
+    #[test]
+    fn batched_forward_is_bit_identical_to_per_sample_forward() {
+        let samples: Vec<GrayImage> = (0..5).map(|s| synth_image(32, 32, s)).collect();
+        for kind in [FilterKind::GaussianBlur, FilterKind::EdgeDetection, FilterKind::Sharpening] {
+            for mode in [StageMode::Single, StageMode::PerTap] {
+                for unit in ["exact8u", "mul8u_FTA", "ETM8-k4"] {
+                    let app = FilterApp::new(kind, mode);
+                    let m = app.adapt(&exact(unit));
+                    let mults = vec![m; app.num_stages()];
+                    let coeffs = app.init_coeffs(&mults);
+                    for n in [1usize, 2, 5] {
+                        let batch = &samples[..n];
+                        let g = Graph::new();
+                        let vars: Vec<Var> =
+                            coeffs.iter().map(|c| g.var(c.clone())).collect();
+                        let stacked = app
+                            .forward_approx_batch(&g, batch, &vars, &mults)
+                            .value()
+                            .into_data();
+                        assert_eq!(stacked.len(), n * 1024);
+                        for (band, img) in batch.iter().enumerate() {
+                            let single = run_forward(&app, &exact(unit), img);
+                            assert_eq!(
+                                &stacked[band * 1024..(band + 1) * 1024],
+                                &single[..],
+                                "{kind:?}/{mode:?}/{unit}: band {band} of {n} diverged"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -44,6 +44,7 @@ mod fir;
 mod inversek2j;
 mod jpeg;
 mod kernel;
+pub mod serving;
 
 pub use dft::{dft_matrices, DftApp, N as DFT_SIZE};
 pub use filters::{natural_signedness, output_shift, FilterApp, FilterKind, StageMode};
@@ -51,3 +52,4 @@ pub use fir::{FirApp, FirKind, FirStageMode};
 pub use inversek2j::InverseK2jApp;
 pub use jpeg::{dct_matrix, JpegApp, JpegMode, BLOCK as DCT_BLOCK, Q50};
 pub use kernel::{coeff_upscale, fit_shift, pixel_shift, Kernel, Metric};
+pub use serving::{infer_batch, AppKernel, ServeApp, ServeSample};

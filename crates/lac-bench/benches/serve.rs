@@ -1,0 +1,53 @@
+//! Serving latency/throughput: the (workers × max-batch) grid over
+//! in-process `lac-serve` daemons driven by the seeded load generator.
+//!
+//! Writes `BENCH_serve.json` (p50/p99 latency and throughput per cell)
+//! in the working directory. Unlike the `lac_rt::bench`-harness suites
+//! this one measures a concurrent server, so it has its own report
+//! shape; `scripts/bench_check.sh` gates on the committed copy (batched
+//! throughput must beat unbatched at 4 workers).
+//!
+//! `LAC_BENCH_FAST=1` shrinks the request count for CI smoke runs; the
+//! committed baseline must come from a full run.
+
+use std::path::Path;
+
+use lac_serve::{run_sweep, write_bench, SweepConfig};
+
+fn main() {
+    let fast = std::env::var("LAC_BENCH_FAST").map(|v| v != "0").unwrap_or(false);
+    let cfg = SweepConfig {
+        // Full-protocol cells need to outlast loopback scheduler noise
+        // (each cell also runs warmup + best-of-three inside run_sweep).
+        requests: if fast { 96 } else { 2048 },
+        ..SweepConfig::default()
+    };
+    eprintln!(
+        "serve sweep: workers {:?} x batch {:?}, {} requests/cell (fast={fast})",
+        cfg.workers, cfg.batches, cfg.requests
+    );
+    match run_sweep(&cfg).and_then(|doc| {
+        write_bench(&doc, Path::new("BENCH_serve.json")).map(|()| doc)
+    }) {
+        Ok(doc) => {
+            if let Some(benches) = doc.get("benches").and_then(|b| b.as_arr()) {
+                for b in benches {
+                    let id = b.get("id").and_then(|v| v.as_str()).unwrap_or("?");
+                    let num =
+                        |k: &str| b.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+                    eprintln!(
+                        "{id}: p50 {:.0}us p99 {:.0}us {:.0} req/s",
+                        num("p50_us"),
+                        num("p99_us"),
+                        num("throughput_rps")
+                    );
+                }
+            }
+            eprintln!("wrote BENCH_serve.json");
+        }
+        Err(e) => {
+            eprintln!("serve sweep failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -6,6 +6,8 @@
 //! lac-cli train <app> <mult> [opts] fixed-hardware LAC training
 //! lac-cli search <app> [opts]       binarized-gate hardware search
 //! lac-cli sweep <app> [opts]        orchestrated catalog sweep (cached)
+//! lac-cli serve <ckpt>... [opts]    batched concurrent inference daemon
+//! lac-cli loadgen [opts]            seeded load generator / latency bench
 //! ```
 //!
 //! Applications: `blur`, `edge`, `sharpen`, `jpeg`, `dft`, `inversek2j`.
@@ -35,6 +37,7 @@ use lac_data::{IkDataset, ImageDataset};
 use lac_hw::{catalog, characterize, ErrorMap, FaultConfig, LutMultiplier, Multiplier};
 
 mod args;
+mod serve_cmd;
 use args::Options;
 
 /// CLI failure, split by blame: usage errors are the caller's fault (exit
@@ -79,6 +82,11 @@ usage:
                        [--train N] [--test N] [--seed N] [--patience N]
                        [--log PATH]
   lac-cli sweep <app> [--jobs N] [--no-cache]
+  lac-cli serve <checkpoint>... [--port N] [--workers N] [--batch N]
+                                [--linger-us N]
+  lac-cli loadgen [--port N] [--app NAME] [--requests N] [--conns N]
+                  [--window N] [--seed N] [--sweep] [--out PATH]
+                  [--swap PATH] [--shutdown]
 
 apps: blur | edge | sharpen | jpeg | dft | inversek2j
 
@@ -93,7 +101,17 @@ the deterministic sweep orchestrator: `--jobs N` sets the worker-pool
 size (0 = all cores; output is byte-identical for any N), `--no-cache`
 bypasses the content-addressed result cache under `results/cache/`.
 Sweep sizing follows the benchmark env knobs (`LAC_QUICK`, `LAC_TRAIN`,
-`LAC_TEST`, `LAC_EPOCHS`, `LAC_SEED`, `LAC_RESULTS`, `LAC_JOBS`).";
+`LAC_TEST`, `LAC_EPOCHS`, `LAC_SEED`, `LAC_RESULTS`, `LAC_JOBS`).
+
+`serve` publishes trained checkpoints (written by `train --resume`)
+behind a batching TCP daemon; same-kernel requests coalesce into one
+forward pass of up to `--batch` samples spread over `--workers`
+threads, and a SWAP frame hot-swaps a checkpoint without dropping
+connections. `loadgen` drives a daemon with a seeded request stream
+and reports p50/p99 latency and throughput; `loadgen --sweep` runs the
+in-process (workers x batch) grid and writes `BENCH_serve.json`;
+`loadgen --swap PATH` hot-swaps a checkpoint into a running daemon;
+`loadgen --shutdown` stops a daemon gracefully.";
 
 fn run(argv: &[String]) -> Result<(), CliError> {
     let Some(command) = argv.first() else {
@@ -130,6 +148,8 @@ fn run(argv: &[String]) -> Result<(), CliError> {
             };
             cmd_sweep(app, &argv[2..])
         }
+        "serve" => serve_cmd::cmd_serve(&argv[1..]),
+        "loadgen" => serve_cmd::cmd_loadgen(&argv[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())

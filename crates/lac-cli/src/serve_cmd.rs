@@ -1,0 +1,387 @@
+//! The `serve` and `loadgen` subcommands.
+//!
+//! `serve` loads one or more session checkpoints into a
+//! `lac_serve::Registry` and runs the batching daemon in the
+//! foreground; `loadgen` drives a running daemon with a seeded request
+//! stream and prints a latency/throughput report, or — with `--sweep` —
+//! runs the in-process (workers × batch) benchmark grid and writes
+//! `BENCH_serve.json`. `loadgen --swap PATH` / `--shutdown` are the
+//! control-plane front ends for the SWAP and SHUTDOWN frames.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use lac_apps::serving::ServeApp;
+use lac_core::ServingModel;
+use lac_serve::{
+    run_loadgen, run_sweep, serve, write_bench, LoadgenConfig, Registry, ServerConfig,
+    SweepConfig,
+};
+
+use crate::CliError;
+
+/// Parsed `serve` flags.
+#[derive(Debug)]
+pub struct ServeOpts {
+    /// Checkpoint files to publish (one model per application slot).
+    pub checkpoints: Vec<String>,
+    /// TCP port (0 = ephemeral, printed at startup).
+    pub port: u16,
+    /// Worker threads per batched forward pass.
+    pub workers: usize,
+    /// Max requests coalesced into one batch.
+    pub batch: usize,
+    /// Linger window in microseconds.
+    pub linger_us: u64,
+}
+
+impl ServeOpts {
+    /// Parse `serve` arguments: positional checkpoint paths plus flags.
+    pub fn parse(args: &[String]) -> Result<ServeOpts, String> {
+        let mut opts = ServeOpts {
+            checkpoints: Vec::new(),
+            port: 4242,
+            workers: 4,
+            batch: 16,
+            linger_us: 200,
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| {
+                it.next().map(String::as_str).ok_or_else(|| format!("{name} needs a value"))
+            };
+            match arg.as_str() {
+                "--port" => opts.port = parse_int("--port", value("--port")?)? as u16,
+                "--workers" => {
+                    opts.workers = parse_int("--workers", value("--workers")?)?;
+                    if opts.workers == 0 {
+                        return Err("--workers must be positive".into());
+                    }
+                }
+                "--batch" => {
+                    opts.batch = parse_int("--batch", value("--batch")?)?;
+                    if opts.batch == 0 {
+                        return Err("--batch must be positive".into());
+                    }
+                }
+                "--linger-us" => {
+                    opts.linger_us = parse_int("--linger-us", value("--linger-us")?)? as u64
+                }
+                flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+                path => opts.checkpoints.push(path.to_owned()),
+            }
+        }
+        if opts.checkpoints.is_empty() {
+            return Err("serve needs at least one checkpoint file".into());
+        }
+        Ok(opts)
+    }
+}
+
+/// `serve <checkpoint>... [--port N] [--workers N] [--batch N] [--linger-us N]`
+pub fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let opts = ServeOpts::parse(args).map_err(CliError::Usage)?;
+
+    let registry = Arc::new(Registry::new());
+    for path in &opts.checkpoints {
+        let model = ServingModel::load(Path::new(path))
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
+        println!(
+            "loaded {}: {} on {} ({} epochs)",
+            path,
+            model.app().cli_id(),
+            model.mult_spec(),
+            model.epochs()
+        );
+        if let Some(old) = registry.swap(model) {
+            println!("  (replaces earlier {} model)", old.app().cli_id());
+        }
+    }
+
+    let cfg = ServerConfig {
+        workers: opts.workers,
+        max_batch: opts.batch,
+        linger: Duration::from_micros(opts.linger_us),
+    };
+    let running = serve(registry, cfg, opts.port)
+        .map_err(|e| CliError::Runtime(format!("cannot bind port {}: {e}", opts.port)))?;
+    println!(
+        "serving on 127.0.0.1:{} (workers {}, batch {}, linger {}us); \
+         send a SHUTDOWN frame to stop",
+        running.port(),
+        opts.workers,
+        opts.batch,
+        opts.linger_us
+    );
+    running.join();
+    println!("shut down cleanly");
+    Ok(())
+}
+
+/// Parsed `loadgen` flags.
+#[derive(Debug)]
+pub struct LoadgenOpts {
+    /// Target port of a running daemon (ignored with `--sweep`).
+    pub port: u16,
+    /// Application to drive.
+    pub app: ServeApp,
+    /// Total requests.
+    pub requests: usize,
+    /// Concurrent connections.
+    pub conns: usize,
+    /// In-flight requests per connection.
+    pub window: usize,
+    /// Payload seed.
+    pub seed: u64,
+    /// Run the in-process benchmark sweep instead of driving a daemon.
+    pub sweep: bool,
+    /// Send a SHUTDOWN frame to the daemon instead of generating load.
+    pub shutdown: bool,
+    /// Checkpoint to hot-swap into the daemon instead of generating load.
+    pub swap: Option<String>,
+    /// Where `--sweep` writes its JSON document.
+    pub out: String,
+}
+
+impl LoadgenOpts {
+    /// Parse `loadgen` arguments.
+    pub fn parse(args: &[String]) -> Result<LoadgenOpts, String> {
+        let mut opts = LoadgenOpts {
+            port: 4242,
+            app: ServeApp::Blur,
+            requests: 256,
+            conns: 4,
+            window: 32,
+            seed: 42,
+            sweep: false,
+            shutdown: false,
+            swap: None,
+            out: "results/bench/BENCH_serve.json".into(),
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| {
+                it.next().map(String::as_str).ok_or_else(|| format!("{name} needs a value"))
+            };
+            match arg.as_str() {
+                "--port" => opts.port = parse_int("--port", value("--port")?)? as u16,
+                "--app" => {
+                    let name = value("--app")?;
+                    opts.app = ServeApp::parse(name)
+                        .ok_or_else(|| format!("--app: unknown application `{name}`"))?;
+                }
+                "--requests" => {
+                    opts.requests = parse_int("--requests", value("--requests")?)?;
+                    if opts.requests == 0 {
+                        return Err("--requests must be positive".into());
+                    }
+                }
+                "--conns" => {
+                    opts.conns = parse_int("--conns", value("--conns")?)?;
+                    if opts.conns == 0 {
+                        return Err("--conns must be positive".into());
+                    }
+                }
+                "--window" => {
+                    opts.window = parse_int("--window", value("--window")?)?;
+                    if opts.window == 0 {
+                        return Err("--window must be positive".into());
+                    }
+                }
+                "--seed" => opts.seed = parse_int("--seed", value("--seed")?)? as u64,
+                "--sweep" => opts.sweep = true,
+                "--shutdown" => opts.shutdown = true,
+                "--swap" => opts.swap = Some(value("--swap")?.to_owned()),
+                "--out" => opts.out = value("--out")?.to_owned(),
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// `loadgen [--port N] [--app NAME] [--requests N] [--conns N] [--window N]
+/// [--seed N] [--sweep] [--swap PATH] [--shutdown] [--out PATH]`
+pub fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
+    let opts = LoadgenOpts::parse(args).map_err(CliError::Usage)?;
+
+    if let Some(path) = &opts.swap {
+        let mut client = lac_serve::Client::connect(opts.port)
+            .map_err(|e| CliError::Runtime(format!("connect to port {}: {e}", opts.port)))?;
+        client
+            .set_timeout(Some(Duration::from_secs(10)))
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
+        // The daemon loads and validates the checkpoint itself (the
+        // path travels over the wire); a broken spec comes back as an
+        // error frame naming the spec and the file, and the old model
+        // stays live.
+        match client
+            .round_trip(&lac_serve::Request::Swap { id: 1, path: path.clone() })
+            .map_err(|e| CliError::Runtime(format!("swap: {e}")))?
+        {
+            lac_serve::Response::Swapped { kernel, .. } => {
+                let name = ServeApp::from_code(kernel)
+                    .map_or_else(|| format!("kernel {kernel}"), |a| a.cli_id().to_owned());
+                println!("server on port {} hot-swapped {name} from {path}", opts.port);
+                return Ok(());
+            }
+            lac_serve::Response::Error { message, .. } => {
+                return Err(CliError::Runtime(format!("swap rejected: {message}")))
+            }
+            other => {
+                return Err(CliError::Runtime(format!("unexpected swap response: {other:?}")))
+            }
+        }
+    }
+
+    if opts.shutdown {
+        let mut client = lac_serve::Client::connect(opts.port)
+            .map_err(|e| CliError::Runtime(format!("connect to port {}: {e}", opts.port)))?;
+        client
+            .set_timeout(Some(Duration::from_secs(10)))
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
+        match client
+            .round_trip(&lac_serve::Request::Shutdown { id: 1 })
+            .map_err(|e| CliError::Runtime(format!("shutdown: {e}")))?
+        {
+            lac_serve::Response::Bye { .. } => {
+                println!("server on port {} acknowledged shutdown", opts.port);
+                return Ok(());
+            }
+            other => {
+                return Err(CliError::Runtime(format!(
+                    "unexpected shutdown response: {other:?}"
+                )))
+            }
+        }
+    }
+
+    if opts.sweep {
+        let cfg = SweepConfig {
+            requests: opts.requests,
+            conns: opts.conns,
+            window: opts.window,
+            seed: opts.seed,
+            ..SweepConfig::default()
+        };
+        println!(
+            "sweeping workers {:?} x batch {:?} ({} requests per cell) ...",
+            cfg.workers, cfg.batches, cfg.requests
+        );
+        let doc = run_sweep(&cfg).map_err(CliError::Runtime)?;
+        write_bench(&doc, Path::new(&opts.out)).map_err(CliError::Runtime)?;
+        print_sweep(&doc);
+        println!("wrote {}", opts.out);
+        return Ok(());
+    }
+
+    let report = run_loadgen(&LoadgenConfig {
+        port: opts.port,
+        app: opts.app,
+        requests: opts.requests,
+        conns: opts.conns,
+        window: opts.window,
+        seed: opts.seed,
+    })
+    .map_err(CliError::Runtime)?;
+    println!(
+        "{}: {} ok / {} err in {:.2}s  p50 {:.0}us  p99 {:.0}us  {:.0} req/s",
+        report.app.cli_id(),
+        report.completed,
+        report.errors,
+        report.elapsed_s,
+        report.p50_us,
+        report.p99_us,
+        report.throughput_rps
+    );
+    Ok(())
+}
+
+fn print_sweep(doc: &lac_rt::json::Value) {
+    let Some(benches) = doc.get("benches").and_then(|b| b.as_arr()) else {
+        return;
+    };
+    println!("{:<20} {:>10} {:>10} {:>12}", "cell", "p50_us", "p99_us", "req/s");
+    for b in benches {
+        let id = b.get("id").and_then(|v| v.as_str()).unwrap_or("?");
+        let num = |k: &str| b.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        println!(
+            "{:<20} {:>10.0} {:>10.0} {:>12.0}",
+            id,
+            num("p50_us"),
+            num("p99_us"),
+            num("throughput_rps")
+        );
+    }
+}
+
+fn parse_int(flag: &str, s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("{flag}: `{s}` is not a valid integer"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn serve_parses_checkpoints_and_flags() {
+        let o = ServeOpts::parse(&strs(&[
+            "a.json", "--port", "9000", "--workers", "8", "b.json", "--batch", "4",
+            "--linger-us", "50",
+        ]))
+        .unwrap();
+        assert_eq!(o.checkpoints, vec!["a.json", "b.json"]);
+        assert_eq!((o.port, o.workers, o.batch, o.linger_us), (9000, 8, 4, 50));
+    }
+
+    #[test]
+    fn serve_usage_errors_name_flag_and_value() {
+        let err = ServeOpts::parse(&strs(&["a.json", "--port", "nine"])).unwrap_err();
+        assert!(err.contains("--port") && err.contains("`nine`"), "{err}");
+        let err = ServeOpts::parse(&strs(&["a.json", "--workers", "0"])).unwrap_err();
+        assert!(err.contains("--workers"), "{err}");
+        let err = ServeOpts::parse(&[]).unwrap_err();
+        assert!(err.contains("checkpoint"), "{err}");
+        let err = ServeOpts::parse(&strs(&["a.json", "--bogus"])).unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
+    }
+
+    #[test]
+    fn loadgen_parses_flags() {
+        let o = LoadgenOpts::parse(&strs(&[
+            "--port", "9000", "--app", "inversek2j", "--requests", "64", "--conns", "2",
+            "--window", "8", "--seed", "7", "--sweep", "--out", "x.json",
+        ]))
+        .unwrap();
+        assert_eq!(o.port, 9000);
+        assert_eq!(o.app, ServeApp::InverseK2j);
+        assert_eq!((o.requests, o.conns, o.window, o.seed), (64, 2, 8, 7));
+        assert!(o.sweep);
+        assert_eq!(o.out, "x.json");
+    }
+
+    #[test]
+    fn loadgen_parses_control_flags() {
+        let o = LoadgenOpts::parse(&strs(&["--swap", "new.ckpt.json"])).unwrap();
+        assert_eq!(o.swap.as_deref(), Some("new.ckpt.json"));
+        let err = LoadgenOpts::parse(&strs(&["--swap"])).unwrap_err();
+        assert!(err.contains("--swap"), "{err}");
+        let o = LoadgenOpts::parse(&strs(&["--shutdown"])).unwrap();
+        assert!(o.shutdown);
+    }
+
+    #[test]
+    fn loadgen_usage_errors_name_flag_and_value() {
+        let err = LoadgenOpts::parse(&strs(&["--requests", "lots"])).unwrap_err();
+        assert!(err.contains("--requests") && err.contains("`lots`"), "{err}");
+        let err = LoadgenOpts::parse(&strs(&["--app", "toaster"])).unwrap_err();
+        assert!(err.contains("--app") && err.contains("`toaster`"), "{err}");
+        let err = LoadgenOpts::parse(&strs(&["--conns", "0"])).unwrap_err();
+        assert!(err.contains("--conns"), "{err}");
+    }
+}

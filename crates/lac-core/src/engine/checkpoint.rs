@@ -105,6 +105,17 @@ fn bits_from(v: &Value, key: &str) -> Result<u64, String> {
     v.get(key).and_then(Value::as_bits).ok_or_else(|| format!("missing or invalid `{key}`"))
 }
 
+fn str_from(v: &Value, key: &str) -> Option<String> {
+    v.get(key).and_then(Value::as_str).map(str::to_owned)
+}
+
+fn opt_str(s: &Option<String>) -> Value {
+    match s {
+        Some(s) => Value::Str(s.clone()),
+        None => Value::Null,
+    }
+}
+
 /// A serialized [`TrainSession`] plus the loop state of
 /// [`TrainSession::run`], restorable bit-identically.
 ///
@@ -128,6 +139,12 @@ pub struct SessionCheckpoint {
     adam_v: Vec<TensorDump>,
     history_bits: Vec<u64>,
     rng: Option<[u64; 4]>,
+    /// Application kernel name (see [`lac_apps::Kernel::name`]), when the
+    /// writer recorded it. Lets a serving process rebuild the kernel.
+    app: Option<String>,
+    /// Multiplier spec resolvable via `lac_hw::catalog::by_spec`, when
+    /// the writer recorded it (fault syntax included).
+    mult_spec: Option<String>,
 }
 
 /// A [`TrainSession`] rebuilt from a checkpoint, together with the loop
@@ -172,6 +189,8 @@ impl SessionCheckpoint {
             adam_v: dump_list(v),
             history_bits: history.iter().map(|l| l.to_bits()).collect(),
             rng: None,
+            app: None,
+            mult_spec: None,
         }
     }
 
@@ -180,6 +199,25 @@ impl SessionCheckpoint {
     pub fn with_rng(mut self, state: [u64; 4]) -> Self {
         self.rng = Some(state);
         self
+    }
+
+    /// Attach the model identity — the application kernel name and the
+    /// multiplier spec (resolvable via `lac_hw::catalog::by_spec`) the
+    /// coefficients were trained against — so a serving process can
+    /// rebuild the full model from the file alone.
+    pub fn with_model(mut self, app: &str, mult_spec: &str) -> Self {
+        self.app = Some(app.to_owned());
+        self.mult_spec = Some(mult_spec.to_owned());
+        self
+    }
+
+    /// The recorded model identity `(app, mult_spec)`, when the writer
+    /// attached one with [`with_model`](SessionCheckpoint::with_model).
+    pub fn model(&self) -> Option<(&str, &str)> {
+        match (&self.app, &self.mult_spec) {
+            (Some(app), Some(spec)) => Some((app, spec)),
+            _ => None,
+        }
     }
 
     /// Number of completed epochs at capture time.
@@ -245,6 +283,8 @@ impl SessionCheckpoint {
                 Value::Arr(self.history_bits.iter().map(|&b| Value::from_bits(b)).collect()),
             ),
             ("rng".to_owned(), rng),
+            ("app".to_owned(), opt_str(&self.app)),
+            ("mult".to_owned(), opt_str(&self.mult_spec)),
         ])
         .to_json()
     }
@@ -295,6 +335,10 @@ impl SessionCheckpoint {
             adam_v: list_from(&v, "adam_v")?,
             history_bits,
             rng,
+            // Model identity fields arrived after v1 checkpoints shipped;
+            // files without them (or with null) parse as None.
+            app: str_from(&v, "app"),
+            mult_spec: str_from(&v, "mult"),
         })
     }
 
@@ -438,5 +482,24 @@ mod tests {
         let with = no_rng.with_rng([9, 8, 7, 6]);
         let parsed = SessionCheckpoint::from_json(&with.to_json()).expect("parse");
         assert_eq!(parsed.restore().expect("restore").rng, Some([9, 8, 7, 6]));
+    }
+
+    #[test]
+    fn model_identity_round_trips() {
+        let (session, ..) = trained_session();
+        let bare = SessionCheckpoint::capture(&session, 0, 0, &[]);
+        assert_eq!(bare.model(), None);
+        let tagged = bare.clone().with_model("gaussian-blur", "mul8u_FTA!seed=7,flip=0.01");
+        let parsed = SessionCheckpoint::from_json(&tagged.to_json()).expect("parse");
+        assert_eq!(parsed.model(), Some(("gaussian-blur", "mul8u_FTA!seed=7,flip=0.01")));
+        // A checkpoint without the identity keys — the pre-serving file
+        // layout — must still parse, with model() == None.
+        let stripped = tagged
+            .to_json()
+            .replace(",\"app\":\"gaussian-blur\"", "")
+            .replace(",\"mult\":\"mul8u_FTA!seed=7,flip=0.01\"", "");
+        let old = SessionCheckpoint::from_json(&stripped).expect("old layout parses");
+        assert_eq!(old.model(), None);
+        assert_eq!(old, bare);
     }
 }

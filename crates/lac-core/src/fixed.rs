@@ -323,6 +323,7 @@ pub fn train_fixed_resumable_observed<K: Kernel + Sync>(
             &mut history,
         )?;
         SessionCheckpoint::capture(&session, stale, rollbacks_left, &history)
+            .with_model(kernel.name(), mult.name())
             .save(checkpoint_path)?;
         if stopped {
             break;

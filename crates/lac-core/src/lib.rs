@@ -48,6 +48,7 @@ pub mod engine;
 mod eval;
 mod fixed;
 mod nas;
+pub mod serving;
 
 pub use baselines::{
     brute_force, brute_force_min_area, brute_force_observed, greedy_multi, greedy_multi_observed,
@@ -73,3 +74,4 @@ pub use nas::single::{
     search_accuracy_constrained, search_accuracy_constrained_observed, search_single,
     search_single_observed, NasResult,
 };
+pub use serving::{ServeError, ServingModel};

@@ -1,0 +1,339 @@
+//! Loading a trained [`SessionCheckpoint`] into an immutable, servable
+//! model.
+//!
+//! A checkpoint written with
+//! [`SessionCheckpoint::with_model`] carries its own model identity —
+//! the kernel name and the `lac_hw::catalog::by_spec` multiplier spec —
+//! so [`ServingModel::load`] can rebuild the full inference pipeline
+//! (kernel, adapted multiplier, best-iterate coefficients) from the
+//! file alone. Every way a file can fail to load is a dedicated
+//! [`ServeError`] variant naming the file and the offending field, so a
+//! daemon can refuse a bad checkpoint with an actionable message
+//! instead of a generic failure.
+//!
+//! A loaded model is immutable: the `lac-serve` daemon publishes it
+//! behind an `Arc` and hot-swaps checkpoints by swapping the `Arc`, so
+//! in-flight batches finish on the model they started with.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use lac_apps::serving::{infer_batch, AppKernel, ServeApp, ServeSample};
+use lac_hw::{catalog, LutMultiplier, Multiplier};
+use lac_tensor::Tensor;
+
+use crate::engine::SessionCheckpoint;
+
+/// Why a checkpoint could not be turned into a [`ServingModel`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The file could not be read or parsed as a checkpoint.
+    Checkpoint {
+        /// Checkpoint file path.
+        path: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The checkpoint predates model identities: it records no
+    /// kernel name / multiplier spec (see
+    /// [`SessionCheckpoint::with_model`]).
+    MissingModel {
+        /// Checkpoint file path.
+        path: String,
+    },
+    /// The recorded kernel name is not a servable application.
+    UnknownApp {
+        /// Checkpoint file path.
+        path: String,
+        /// The unrecognized kernel name.
+        app: String,
+    },
+    /// The recorded multiplier spec no longer resolves via
+    /// [`catalog::by_spec`].
+    Multiplier {
+        /// Checkpoint file path.
+        path: String,
+        /// The unresolvable spec string.
+        spec: String,
+        /// The catalog's own error.
+        reason: String,
+    },
+    /// The checkpointed coefficients do not fit the kernel (wrong
+    /// count or tensor shapes — e.g. a multi-stage training layout).
+    Shape {
+        /// Checkpoint file path.
+        path: String,
+        /// What did not fit.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Checkpoint { path, reason } => {
+                write!(f, "checkpoint `{path}`: {reason}")
+            }
+            ServeError::MissingModel { path } => write!(
+                f,
+                "checkpoint `{path}` records no model identity (kernel + multiplier spec); \
+                 re-save it with SessionCheckpoint::with_model or retrain with a current build"
+            ),
+            ServeError::UnknownApp { path, app } => write!(
+                f,
+                "checkpoint `{path}` names kernel `{app}`, which is not a servable application"
+            ),
+            ServeError::Multiplier { path, spec, reason } => write!(
+                f,
+                "checkpoint `{path}` names multiplier spec `{spec}`, \
+                 which the hardware catalog cannot resolve: {reason}"
+            ),
+            ServeError::Shape { path, reason } => {
+                write!(f, "checkpoint `{path}` does not fit its kernel: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// An immutable trained model, ready to answer inference requests.
+///
+/// Holds the kernel instance, the adapted multiplier, and the
+/// checkpoint's best-iterate coefficients. All state is read-only after
+/// construction, so a model can be shared across worker threads behind
+/// an `Arc` and replaced atomically.
+#[derive(Debug)]
+pub struct ServingModel {
+    app: ServeApp,
+    kernel: AppKernel,
+    mults: Vec<Arc<dyn Multiplier>>,
+    coeffs: Vec<Tensor>,
+    mult_spec: String,
+    epochs: usize,
+}
+
+impl ServingModel {
+    /// Read a checkpoint file and build the model it describes.
+    pub fn load(path: &Path) -> Result<Self, ServeError> {
+        let label = path.display().to_string();
+        let ck = SessionCheckpoint::load(path).map_err(|e| ServeError::Checkpoint {
+            path: label.clone(),
+            reason: match e {
+                crate::engine::TrainError::Checkpoint { reason, .. } => reason,
+                other => other.to_string(),
+            },
+        })?;
+        Self::from_checkpoint(&ck, &label)
+    }
+
+    /// Build a model from an in-memory checkpoint; `path` labels errors.
+    pub fn from_checkpoint(ck: &SessionCheckpoint, path: &str) -> Result<Self, ServeError> {
+        let (app_name, spec) = ck.model().ok_or_else(|| ServeError::MissingModel {
+            path: path.to_owned(),
+        })?;
+        let app = ServeApp::parse(app_name).ok_or_else(|| ServeError::UnknownApp {
+            path: path.to_owned(),
+            app: app_name.to_owned(),
+        })?;
+        let kernel = app.build();
+        let unit = catalog::by_spec(spec).map_err(|reason| ServeError::Multiplier {
+            path: path.to_owned(),
+            spec: spec.to_owned(),
+            reason,
+        })?;
+        let mult_spec = spec.to_owned();
+        // Memoize the unit's product table once per model: every conv
+        // and matmul in the serving datapath then rides the
+        // devirtualized LUT fast paths (bit-identical to the
+        // trait-object path).
+        let mults = vec![kernel.adapt(&LutMultiplier::maybe_wrap(unit))];
+
+        let restored = ck.restore().map_err(|reason| ServeError::Checkpoint {
+            path: path.to_owned(),
+            reason,
+        })?;
+        let epochs = restored.history.len();
+        let coeffs = restored.session.into_best();
+
+        // The kernel dictates the coefficient layout; a checkpoint from a
+        // different kernel configuration (e.g. per-stage training) must
+        // be refused, not served with garbled weights.
+        let expect = kernel.init_coeffs(&mults);
+        if coeffs.len() != expect.len() {
+            return Err(ServeError::Shape {
+                path: path.to_owned(),
+                reason: format!(
+                    "kernel `{app_name}` takes {} coefficient tensors, checkpoint holds {}",
+                    expect.len(),
+                    coeffs.len()
+                ),
+            });
+        }
+        for (i, (got, want)) in coeffs.iter().zip(&expect).enumerate() {
+            if got.shape() != want.shape() {
+                return Err(ServeError::Shape {
+                    path: path.to_owned(),
+                    reason: format!(
+                        "coefficient {i} has shape {:?}, kernel `{app_name}` expects {:?}",
+                        got.shape(),
+                        want.shape()
+                    ),
+                });
+            }
+        }
+
+        Ok(ServingModel { app, kernel, mults, coeffs, mult_spec, epochs })
+    }
+
+    /// Build a model from a kernel's initial (untrained) coefficients.
+    ///
+    /// Serving quality matches the un-LAC'd baseline; useful for smoke
+    /// tests and serving benchmarks, where only the datapath matters.
+    pub fn untrained(app: ServeApp, spec: &str) -> Result<Self, ServeError> {
+        let kernel = app.build();
+        let unit = catalog::by_spec(spec).map_err(|reason| ServeError::Multiplier {
+            path: "<untrained>".to_owned(),
+            spec: spec.to_owned(),
+            reason,
+        })?;
+        let mults = vec![kernel.adapt(&LutMultiplier::maybe_wrap(unit))];
+        let coeffs = kernel.init_coeffs(&mults);
+        Ok(ServingModel { app, kernel, mults, coeffs, mult_spec: spec.to_owned(), epochs: 0 })
+    }
+
+    /// The application this model serves.
+    pub fn app(&self) -> ServeApp {
+        self.app
+    }
+
+    /// The multiplier spec the coefficients were trained against.
+    pub fn mult_spec(&self) -> &str {
+        &self.mult_spec
+    }
+
+    /// Completed training epochs recorded in the checkpoint.
+    pub fn epochs(&self) -> usize {
+        self.epochs
+    }
+
+    /// The served coefficient tensors (the checkpoint's best iterate).
+    pub fn coeffs(&self) -> &[Tensor] {
+        &self.coeffs
+    }
+
+    /// Batched forward pass over decoded samples.
+    ///
+    /// Per-sample outputs in input order, bit-identical for every
+    /// `threads` value and batch split (see
+    /// [`lac_apps::serving::infer_batch`]).
+    pub fn infer(&self, samples: &[ServeSample], threads: usize) -> Result<Vec<Vec<f64>>, String> {
+        infer_batch(&self.kernel, &self.coeffs, &self.mults, samples, threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::engine::TrainSession;
+
+    fn fresh_checkpoint(app: ServeApp, spec: &str) -> SessionCheckpoint {
+        let kernel = app.build();
+        let unit = catalog::by_spec(spec).expect("spec resolves");
+        let mults = vec![kernel.adapt(&unit)];
+        let init = kernel.init_coeffs(&mults);
+        let session = TrainSession::new(init, 0.5);
+        SessionCheckpoint::capture(&session, 0, 0, &[]).with_model(app.kernel_name(), spec)
+    }
+
+    #[test]
+    fn loads_every_servable_app() {
+        for app in ServeApp::ALL {
+            let ck = fresh_checkpoint(app, "mul8u_FTA");
+            let model = ServingModel::from_checkpoint(&ck, "mem").expect(app.cli_id());
+            assert_eq!(model.app(), app);
+            assert_eq!(model.mult_spec(), "mul8u_FTA");
+            assert_eq!(model.epochs(), 0);
+        }
+    }
+
+    #[test]
+    fn missing_model_identity_is_structured() {
+        let kernel = ServeApp::Blur.build();
+        let unit = catalog::by_spec("mul8u_FTA").unwrap();
+        let mults = vec![kernel.adapt(&unit)];
+        let session = TrainSession::new(kernel.init_coeffs(&mults), 0.5);
+        let ck = SessionCheckpoint::capture(&session, 0, 0, &[]);
+        match ServingModel::from_checkpoint(&ck, "old.ck.json") {
+            Err(ServeError::MissingModel { path }) => assert_eq!(path, "old.ck.json"),
+            other => panic!("expected MissingModel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unresolvable_spec_names_spec_and_file() {
+        let ck = fresh_checkpoint(ServeApp::Blur, "mul8u_FTA");
+        // Simulate a catalog that dropped the unit: rewrite the spec.
+        let text = ck.to_json().replace("\"mult\":\"mul8u_FTA\"", "\"mult\":\"mul9u_GONE!flip=2\"");
+        let stale = SessionCheckpoint::from_json(&text).unwrap();
+        match ServingModel::from_checkpoint(&stale, "ck.json") {
+            Err(ServeError::Multiplier { path, spec, reason }) => {
+                assert_eq!(path, "ck.json");
+                assert_eq!(spec, "mul9u_GONE!flip=2");
+                assert!(reason.contains("mul9u_GONE"), "reason: {reason}");
+                let shown = ServeError::Multiplier { path, spec, reason }.to_string();
+                assert!(shown.contains("ck.json") && shown.contains("mul9u_GONE!flip=2"));
+            }
+            other => panic!("expected Multiplier error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_app_and_bad_shapes_are_refused() {
+        let ck = fresh_checkpoint(ServeApp::Blur, "mul8u_FTA");
+        let text = ck.to_json().replace("\"app\":\"gaussian-blur\"", "\"app\":\"hologram\"");
+        let odd = SessionCheckpoint::from_json(&text).unwrap();
+        match ServingModel::from_checkpoint(&odd, "ck.json") {
+            Err(ServeError::UnknownApp { app, .. }) => assert_eq!(app, "hologram"),
+            other => panic!("expected UnknownApp, got {other:?}"),
+        }
+
+        // A jpeg-labelled checkpoint with blur-shaped coefficients.
+        let relabeled = ck.to_json().replace("\"app\":\"gaussian-blur\"", "\"app\":\"jpeg-dct\"");
+        let wrong = SessionCheckpoint::from_json(&relabeled).unwrap();
+        match ServingModel::from_checkpoint(&wrong, "ck.json") {
+            Err(ServeError::Shape { reason, .. }) => {
+                assert!(reason.contains("jpeg"), "reason: {reason}")
+            }
+            other => panic!("expected Shape error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_reads_files_and_infers() {
+        let dir = std::env::temp_dir().join("lac-serving-model-test");
+        let path = dir.join("blur.ck.json");
+        fresh_checkpoint(ServeApp::Blur, "ETM8-k4").save(&path).expect("save");
+        let model = ServingModel::load(&path).expect("load");
+        let img = lac_data::synth_image(32, 32, 4);
+        let sample = ServeApp::Blur.decode(img.pixels()).unwrap();
+        let out = model.infer(&[sample.clone(), sample], 2).expect("infer");
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], out[1]);
+        assert_eq!(out[0].len(), ServeApp::Blur.output_len());
+        let _ = std::fs::remove_dir_all(&dir);
+
+        match ServingModel::load(Path::new("/nonexistent/m.ck.json")) {
+            Err(ServeError::Checkpoint { path, .. }) => assert!(path.contains("m.ck.json")),
+            other => panic!("expected Checkpoint error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_injected_specs_round_trip_through_serving() {
+        let ck = fresh_checkpoint(ServeApp::Sharpen, "mul8u_FTA!seed=7,flip=0.01");
+        let model = ServingModel::from_checkpoint(&ck, "mem").expect("faulty unit serves");
+        assert_eq!(model.mult_spec(), "mul8u_FTA!seed=7,flip=0.01");
+    }
+}

@@ -1,0 +1,222 @@
+//! The request batcher: a FIFO queue that coalesces same-kernel runs.
+//!
+//! Readers push `(kernel, item)` pairs in arrival order; the dispatcher
+//! pops *batches*. A batch is the head run of consecutive same-kernel
+//! items, capped at `max_batch` — a pure function of the queue's
+//! arrival order, so batch composition is reproducible from a recorded
+//! arrival order alone, independent of thread scheduling. After the
+//! first item of a batch the dispatcher may *linger* briefly to let the
+//! run fill up; lingering only ever adds items that arrive at the head
+//! of the queue, never reorders.
+//!
+//! Response bytes do not depend on batch composition (per-sample
+//! outputs are batch-invariant — see `lac_apps::serving::infer_batch`),
+//! so the linger window trades latency for throughput without touching
+//! determinism.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use lac_apps::serving::ServeApp;
+
+struct State<T> {
+    queue: VecDeque<(ServeApp, T)>,
+    closed: bool,
+}
+
+/// A closeable multi-producer batch queue.
+pub struct BatchQueue<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+}
+
+impl<T> Default for BatchQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for BatchQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchQueue").finish_non_exhaustive()
+    }
+}
+
+impl<T> BatchQueue<T> {
+    /// An empty, open queue.
+    pub fn new() -> Self {
+        BatchQueue {
+            state: Mutex::new(State { queue: VecDeque::new(), closed: false }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        // A poisoning panic in another holder must not cascade; the
+        // queue's state is valid after any partial operation.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Append one item. Items pushed after [`close`](Self::close) are
+    /// dropped.
+    pub fn push(&self, app: ServeApp, item: T) {
+        let mut s = self.lock();
+        if !s.closed {
+            s.queue.push_back((app, item));
+            self.cv.notify_one();
+        }
+    }
+
+    /// Close the queue: wakes all poppers; pending items still drain.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Queued items not yet popped.
+    pub fn len(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// Whether the queue currently holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pop the next batch: the head run of consecutive same-kernel
+    /// items, at most `max_batch` of them.
+    ///
+    /// Blocks until at least one item is available. If the run is
+    /// shorter than `max_batch`, waits up to `linger` for it to fill —
+    /// new same-kernel arrivals extend the batch; a different kernel at
+    /// the head ends it. Returns `None` once the queue is closed *and*
+    /// drained.
+    pub fn pop_batch(&self, max_batch: usize, linger: Duration) -> Option<(ServeApp, Vec<T>)> {
+        let max_batch = max_batch.max(1);
+        let mut s = self.lock();
+        loop {
+            if !s.queue.is_empty() {
+                break;
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+
+        let (app, first) = s.queue.pop_front().expect("non-empty queue");
+        let mut batch = vec![first];
+        let deadline = Instant::now() + linger;
+        loop {
+            // Extend with the head run.
+            while batch.len() < max_batch {
+                match s.queue.front() {
+                    Some((a, _)) if *a == app => {
+                        let (_, item) = s.queue.pop_front().expect("front checked");
+                        batch.push(item);
+                    }
+                    _ => break,
+                }
+            }
+            // Full, mixed head, closed, or no linger budget: dispatch.
+            if batch.len() >= max_batch
+                || s.queue.front().is_some()
+                || s.closed
+                || linger.is_zero()
+            {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, timeout) = self
+                .cv
+                .wait_timeout(s, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            s = guard;
+            if timeout.timed_out() && s.queue.is_empty() {
+                break;
+            }
+        }
+        Some((app, batch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    const NO_LINGER: Duration = Duration::ZERO;
+
+    #[test]
+    fn pops_head_run_up_to_max_batch() {
+        let q = BatchQueue::new();
+        for i in 0..5 {
+            q.push(ServeApp::Blur, i);
+        }
+        q.push(ServeApp::Jpeg, 5);
+        q.push(ServeApp::Blur, 6);
+
+        let (app, batch) = q.pop_batch(3, NO_LINGER).unwrap();
+        assert_eq!((app, batch), (ServeApp::Blur, vec![0, 1, 2]));
+        let (app, batch) = q.pop_batch(3, NO_LINGER).unwrap();
+        assert_eq!((app, batch), (ServeApp::Blur, vec![3, 4]));
+        let (app, batch) = q.pop_batch(3, NO_LINGER).unwrap();
+        assert_eq!((app, batch), (ServeApp::Jpeg, vec![5]));
+        let (app, batch) = q.pop_batch(3, NO_LINGER).unwrap();
+        assert_eq!((app, batch), (ServeApp::Blur, vec![6]));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BatchQueue::new();
+        q.push(ServeApp::Dft, 1);
+        q.close();
+        q.push(ServeApp::Dft, 2); // dropped: queue is closed
+        assert_eq!(q.pop_batch(8, NO_LINGER), Some((ServeApp::Dft, vec![1])));
+        assert_eq!(q.pop_batch(8, NO_LINGER), None);
+    }
+
+    #[test]
+    fn linger_fills_a_batch_from_late_arrivals() {
+        let q = Arc::new(BatchQueue::new());
+        q.push(ServeApp::Blur, 0);
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                q.push(ServeApp::Blur, 1);
+            })
+        };
+        let (_, batch) = q.pop_batch(2, Duration::from_secs(5)).unwrap();
+        producer.join().unwrap();
+        assert_eq!(batch, vec![0, 1], "linger should have caught the late arrival");
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push() {
+        let q = Arc::new(BatchQueue::new());
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch(4, NO_LINGER))
+        };
+        std::thread::sleep(Duration::from_millis(5));
+        q.push(ServeApp::InverseK2j, 9);
+        assert_eq!(popper.join().unwrap(), Some((ServeApp::InverseK2j, vec![9])));
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_close() {
+        let q: Arc<BatchQueue<u32>> = Arc::new(BatchQueue::new());
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch(4, NO_LINGER))
+        };
+        std::thread::sleep(Duration::from_millis(5));
+        q.close();
+        assert_eq!(popper.join().unwrap(), None);
+    }
+}

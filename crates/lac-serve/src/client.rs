@@ -1,0 +1,80 @@
+//! A minimal blocking client for the `lac-serve` wire protocol.
+//!
+//! One [`Client`] wraps one TCP connection. Requests may be pipelined:
+//! [`send`](Client::send) writes a frame without waiting, and
+//! [`recv`](Client::recv) blocks for the next response frame. The
+//! server answers infer requests in batch-completion order, so
+//! pipelined callers should match responses to requests by `id` rather
+//! than assuming FIFO order across kernels.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::protocol::{FrameEvent, FrameReader, Request, Response};
+
+/// A blocking connection to a `lac-serve` daemon.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    frames: FrameReader,
+    /// Decoded responses not yet handed to the caller.
+    ready: Vec<FrameEvent>,
+}
+
+impl Client {
+    /// Connect to `127.0.0.1:port`.
+    pub fn connect(port: u16) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(("127.0.0.1", port))?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream, frames: FrameReader::new(), ready: Vec::new() })
+    }
+
+    /// Cap how long [`recv`](Self::recv) waits for bytes.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Write one request frame; does not wait for the response.
+    pub fn send(&mut self, request: &Request) -> std::io::Result<()> {
+        self.stream.write_all(&request.encode())
+    }
+
+    /// Block until the next response frame arrives and decode it.
+    pub fn recv(&mut self) -> std::io::Result<Response> {
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            if let Some(event) = if self.ready.is_empty() { None } else { Some(self.ready.remove(0)) }
+            {
+                match event {
+                    FrameEvent::Frame(body) => {
+                        return Response::parse(&body).map_err(|e| {
+                            std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+                        });
+                    }
+                    FrameEvent::Oversized { advertised } => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("server sent oversized frame ({advertised} bytes)"),
+                        ));
+                    }
+                }
+            }
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            self.frames.push(&buf[..n], &mut self.ready);
+        }
+    }
+
+    /// Send one request and block for one response — convenience for
+    /// unpipelined callers.
+    pub fn round_trip(&mut self, request: &Request) -> std::io::Result<Response> {
+        self.send(request)?;
+        self.recv()
+    }
+}

@@ -1,0 +1,58 @@
+//! Batched concurrent approximate-inference serving for LAC models.
+//!
+//! The daemon loads trained coefficient sets and multiplier specs from
+//! `lac-core` session checkpoints and answers inference requests over a
+//! zero-dependency, length-prefixed binary TCP protocol
+//! ([`protocol`]). Its performance heart is *request batching*
+//! ([`batch`]): pending same-kernel requests coalesce into one batched
+//! forward pass, amortizing graph setup, buffer-pool reuse and LUT-row
+//! tabulation across the batch, with a configurable max batch size and
+//! linger window. Checkpoints hot-swap atomically ([`registry`]):
+//! in-flight batches finish on the model they started with and no
+//! connection is dropped. A seeded load generator ([`loadgen`])
+//! produces the `BENCH_serve.json` latency/throughput benchmark.
+//!
+//! # Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use lac_apps::serving::ServeApp;
+//! use lac_core::ServingModel;
+//! use lac_serve::{serve, Client, Registry, Request, Response, ServerConfig};
+//!
+//! let registry = Arc::new(Registry::new());
+//! registry.swap(ServingModel::untrained(ServeApp::InverseK2j, "DRUM16-4").unwrap());
+//! let server = serve(registry, ServerConfig::default(), 0).unwrap();
+//!
+//! let mut client = Client::connect(server.port()).unwrap();
+//! let req = Request::Infer { kernel: ServeApp::InverseK2j.code(), id: 1, values: vec![0.6, 0.3] };
+//! match client.round_trip(&req).unwrap() {
+//!     Response::Infer { id, values } => {
+//!         assert_eq!(id, 1);
+//!         assert_eq!(values.len(), 2); // theta1, theta2
+//!     }
+//!     other => panic!("unexpected response: {other:?}"),
+//! }
+//!
+//! server.shutdown();
+//! server.join();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod batch;
+pub mod client;
+pub mod loadgen;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use batch::BatchQueue;
+pub use client::Client;
+pub use loadgen::{
+    run_loadgen, run_sweep, write_bench, LoadgenConfig, LoadgenReport, SweepConfig,
+};
+pub use protocol::{FrameEvent, FrameReader, Request, Response, MAX_FRAME};
+pub use registry::Registry;
+pub use server::{serve, RunningServer, ServerConfig};

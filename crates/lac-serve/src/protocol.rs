@@ -1,0 +1,493 @@
+//! The wire protocol: length-prefixed binary frames.
+//!
+//! Every message travels as one *frame*: a little-endian `u32` body
+//! length followed by that many body bytes. The first body byte is an
+//! opcode; `f64` payloads travel as raw IEEE-754 bit patterns
+//! (little-endian), so responses are bit-exact — the byte stream a
+//! client reads back is a pure function of the request payload and the
+//! serving model.
+//!
+//! Framing ([`FrameReader`]) is deliberately separate from body parsing
+//! ([`Request::parse`] / [`Response::parse`]): the framing layer only
+//! finds frame boundaries in a byte stream (surviving partial reads and
+//! pipelined frames), while body parsing turns one complete frame into
+//! a typed message. A frame whose advertised length exceeds
+//! [`MAX_FRAME`] is reported as a [`FrameEvent::Oversized`] event and
+//! its advertised bytes are skipped, so the stream *resyncs* on the
+//! next frame instead of the connection dying; a frame with a garbage
+//! body parses to an error that the server answers with an error frame.
+
+/// Largest accepted frame body, in bytes (4 MiB — a full 32×32 image
+/// payload is ~8 KiB, so this is generous headroom, not a limit any
+/// well-formed client approaches).
+pub const MAX_FRAME: usize = 1 << 22;
+
+/// Request opcode: run inference on a payload.
+pub const OP_INFER: u8 = 0x01;
+/// Request opcode: liveness probe.
+pub const OP_PING: u8 = 0x02;
+/// Request opcode: hot-swap a checkpoint into the model registry.
+pub const OP_SWAP: u8 = 0x03;
+/// Request opcode: graceful shutdown.
+pub const OP_SHUTDOWN: u8 = 0x04;
+/// Response opcode: inference output.
+pub const OP_INFER_OK: u8 = 0x81;
+/// Response opcode: ping reply.
+pub const OP_PONG: u8 = 0x82;
+/// Response opcode: swap acknowledged.
+pub const OP_SWAPPED: u8 = 0x83;
+/// Response opcode: shutdown acknowledged.
+pub const OP_BYE: u8 = 0x84;
+/// Response opcode: per-request error (the connection stays open).
+pub const OP_ERROR: u8 = 0x7F;
+
+/// One client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run the kernel with wire code `kernel` on `values`.
+    Infer {
+        /// [`lac_apps::serving::ServeApp`] wire code.
+        kernel: u8,
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+        /// Flat request payload.
+        values: Vec<f64>,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Correlation id.
+        id: u64,
+    },
+    /// Load the checkpoint at `path` and swap it into the registry.
+    Swap {
+        /// Correlation id.
+        id: u64,
+        /// Server-side checkpoint file path.
+        path: String,
+    },
+    /// Ask the server to drain and exit.
+    Shutdown {
+        /// Correlation id.
+        id: u64,
+    },
+}
+
+/// One server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Inference output for the request with the same id.
+    Infer {
+        /// Echoed correlation id.
+        id: u64,
+        /// Flat output values.
+        values: Vec<f64>,
+    },
+    /// Ping reply.
+    Pong {
+        /// Echoed correlation id.
+        id: u64,
+    },
+    /// A checkpoint was swapped in for the kernel with this wire code.
+    Swapped {
+        /// Echoed correlation id.
+        id: u64,
+        /// Wire code of the swapped kernel.
+        kernel: u8,
+    },
+    /// Shutdown acknowledged; the server drains and exits.
+    Bye {
+        /// Echoed correlation id.
+        id: u64,
+    },
+    /// The request failed; the connection stays usable.
+    Error {
+        /// Echoed correlation id (0 when the request's id was
+        /// unparseable).
+        id: u64,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64s(out: &mut Vec<u8>, values: &[f64]) {
+    put_u32(out, values.len() as u32);
+    for v in values {
+        put_u64(out, v.to_bits());
+    }
+}
+
+/// Wrap a message body in a length-prefixed frame.
+fn frame(body: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + body.len());
+    put_u32(&mut out, body.len() as u32);
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Sequential reader over a frame body.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        if self.bytes.len() - self.pos < n {
+            return Err(format!(
+                "truncated frame: {what} needs {n} bytes, {} left",
+                self.bytes.len() - self.pos
+            ));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, String> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, String> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, String> {
+        let b = self.take(8, what)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn f64s(&mut self) -> Result<Vec<f64>, String> {
+        let n = self.u32("value count")? as usize;
+        let b = self.take(8 * n, "values")?;
+        Ok(b.chunks_exact(8)
+            .map(|c| {
+                let mut a = [0u8; 8];
+                a.copy_from_slice(c);
+                f64::from_bits(u64::from_le_bytes(a))
+            })
+            .collect())
+    }
+
+    fn done(&self, what: &str) -> Result<(), String> {
+        if self.pos != self.bytes.len() {
+            return Err(format!(
+                "{what}: {} trailing bytes after the message",
+                self.bytes.len() - self.pos
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Request {
+    /// Encode as a complete frame (length prefix included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        match self {
+            Request::Infer { kernel, id, values } => {
+                body.push(OP_INFER);
+                body.push(*kernel);
+                put_u64(&mut body, *id);
+                put_f64s(&mut body, values);
+            }
+            Request::Ping { id } => {
+                body.push(OP_PING);
+                put_u64(&mut body, *id);
+            }
+            Request::Swap { id, path } => {
+                body.push(OP_SWAP);
+                put_u64(&mut body, *id);
+                put_u32(&mut body, path.len() as u32);
+                body.extend_from_slice(path.as_bytes());
+            }
+            Request::Shutdown { id } => {
+                body.push(OP_SHUTDOWN);
+                put_u64(&mut body, *id);
+            }
+        }
+        frame(body)
+    }
+
+    /// Parse one complete frame body.
+    pub fn parse(body: &[u8]) -> Result<Request, String> {
+        let mut c = Cursor::new(body);
+        let op = c.u8("opcode")?;
+        let req = match op {
+            OP_INFER => {
+                let kernel = c.u8("kernel code")?;
+                let id = c.u64("request id")?;
+                let values = c.f64s()?;
+                Request::Infer { kernel, id, values }
+            }
+            OP_PING => Request::Ping { id: c.u64("request id")? },
+            OP_SWAP => {
+                let id = c.u64("request id")?;
+                let len = c.u32("path length")? as usize;
+                let bytes = c.take(len, "path")?;
+                let path = std::str::from_utf8(bytes)
+                    .map_err(|_| "checkpoint path is not UTF-8".to_owned())?
+                    .to_owned();
+                Request::Swap { id, path }
+            }
+            OP_SHUTDOWN => Request::Shutdown { id: c.u64("request id")? },
+            other => return Err(format!("unknown request opcode 0x{other:02x}")),
+        };
+        c.done("request")?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encode as a complete frame (length prefix included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        match self {
+            Response::Infer { id, values } => {
+                body.push(OP_INFER_OK);
+                put_u64(&mut body, *id);
+                put_f64s(&mut body, values);
+            }
+            Response::Pong { id } => {
+                body.push(OP_PONG);
+                put_u64(&mut body, *id);
+            }
+            Response::Swapped { id, kernel } => {
+                body.push(OP_SWAPPED);
+                put_u64(&mut body, *id);
+                body.push(*kernel);
+            }
+            Response::Bye { id } => {
+                body.push(OP_BYE);
+                put_u64(&mut body, *id);
+            }
+            Response::Error { id, message } => {
+                body.push(OP_ERROR);
+                put_u64(&mut body, *id);
+                put_u32(&mut body, message.len() as u32);
+                body.extend_from_slice(message.as_bytes());
+            }
+        }
+        frame(body)
+    }
+
+    /// Parse one complete frame body.
+    pub fn parse(body: &[u8]) -> Result<Response, String> {
+        let mut c = Cursor::new(body);
+        let op = c.u8("opcode")?;
+        let resp = match op {
+            OP_INFER_OK => {
+                let id = c.u64("response id")?;
+                let values = c.f64s()?;
+                Response::Infer { id, values }
+            }
+            OP_PONG => Response::Pong { id: c.u64("response id")? },
+            OP_SWAPPED => {
+                let id = c.u64("response id")?;
+                let kernel = c.u8("kernel code")?;
+                Response::Swapped { id, kernel }
+            }
+            OP_BYE => Response::Bye { id: c.u64("response id")? },
+            OP_ERROR => {
+                let id = c.u64("response id")?;
+                let len = c.u32("message length")? as usize;
+                let bytes = c.take(len, "message")?;
+                let message = String::from_utf8_lossy(bytes).into_owned();
+                Response::Error { id, message }
+            }
+            other => return Err(format!("unknown response opcode 0x{other:02x}")),
+        };
+        c.done("response")?;
+        Ok(resp)
+    }
+}
+
+/// One framing-layer event: a complete frame body, or an oversized
+/// header whose advertised bytes are being skipped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameEvent {
+    /// A complete frame body, ready for [`Request::parse`] /
+    /// [`Response::parse`].
+    Frame(Vec<u8>),
+    /// A frame advertised more than [`MAX_FRAME`] bytes. The reader
+    /// discards that many bytes and resyncs; the caller should answer
+    /// with an error frame rather than close the connection.
+    Oversized {
+        /// The advertised body length.
+        advertised: u32,
+    },
+}
+
+/// Incremental frame-boundary decoder over an arbitrary chunking of the
+/// byte stream.
+///
+/// Feed it whatever the socket yields — single bytes, half a header,
+/// three pipelined frames at once — and it emits each complete frame
+/// exactly once, in order. Pure: no I/O, fully property-testable.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Bytes of an oversized frame still to discard.
+    skip: usize,
+}
+
+impl FrameReader {
+    /// A reader at a frame boundary.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Consume `data`, appending decoded events to `out`.
+    pub fn push(&mut self, data: &[u8], out: &mut Vec<FrameEvent>) {
+        self.buf.extend_from_slice(data);
+        loop {
+            if self.skip > 0 {
+                let n = self.skip.min(self.buf.len());
+                self.buf.drain(..n);
+                self.skip -= n;
+                if self.skip > 0 {
+                    return; // need more bytes to finish skipping
+                }
+            }
+            if self.buf.len() < 4 {
+                return;
+            }
+            let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+            if len as usize > MAX_FRAME {
+                out.push(FrameEvent::Oversized { advertised: len });
+                self.buf.drain(..4);
+                self.skip = len as usize;
+                continue;
+            }
+            let total = 4 + len as usize;
+            if self.buf.len() < total {
+                return;
+            }
+            let body = self.buf[4..total].to_vec();
+            self.buf.drain(..total);
+            out.push(FrameEvent::Frame(body));
+        }
+    }
+
+    /// Bytes buffered but not yet decodable (partial header or body).
+    pub fn pending(&self) -> usize {
+        self.buf.len() + self.skip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(reader: &mut FrameReader, data: &[u8]) -> Vec<FrameEvent> {
+        let mut out = Vec::new();
+        reader.push(data, &mut out);
+        out
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Infer { kernel: 3, id: 42, values: vec![1.5, -0.0, f64::NAN] },
+            Request::Ping { id: u64::MAX },
+            Request::Swap { id: 7, path: "results/ck.json".into() },
+            Request::Shutdown { id: 0 },
+        ];
+        for req in reqs {
+            let frame = req.encode();
+            let mut r = FrameReader::new();
+            let events = feed(&mut r, &frame);
+            assert_eq!(events.len(), 1);
+            let FrameEvent::Frame(body) = &events[0] else { panic!("expected frame") };
+            let parsed = Request::parse(body).expect("parse");
+            // NaN payloads survive bit-exactly, so compare encodings.
+            assert_eq!(parsed.encode(), frame);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Infer { id: 9, values: vec![2.5f64.powi(40), f64::INFINITY] },
+            Response::Pong { id: 1 },
+            Response::Swapped { id: 2, kernel: 5 },
+            Response::Bye { id: 3 },
+            Response::Error { id: 0, message: "no model loaded".into() },
+        ];
+        for resp in resps {
+            let frame = resp.encode();
+            let body = &frame[4..];
+            assert_eq!(Response::parse(body).expect("parse").encode(), frame);
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time_delivery() {
+        let frame = Request::Ping { id: 77 }.encode();
+        let mut r = FrameReader::new();
+        let mut events = Vec::new();
+        for &b in &frame {
+            r.push(&[b], &mut events);
+        }
+        assert_eq!(events.len(), 1);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn pipelined_frames_in_one_read() {
+        let mut bytes = Request::Ping { id: 1 }.encode();
+        bytes.extend(Request::Shutdown { id: 2 }.encode());
+        bytes.extend(Request::Ping { id: 3 }.encode());
+        let mut r = FrameReader::new();
+        let events = feed(&mut r, &bytes);
+        assert_eq!(events.len(), 3);
+    }
+
+    #[test]
+    fn oversized_frame_resyncs() {
+        let advertised = (MAX_FRAME + 1) as u32;
+        let mut bytes = advertised.to_le_bytes().to_vec();
+        bytes.extend(std::iter::repeat(0xAB).take(100)); // partial junk body
+        let mut r = FrameReader::new();
+        let events = feed(&mut r, &bytes);
+        assert_eq!(events, vec![FrameEvent::Oversized { advertised }]);
+        // Deliver the rest of the junk, then a healthy frame: it decodes.
+        let junk = vec![0xCD; MAX_FRAME + 1 - 100];
+        assert!(feed(&mut r, &junk).is_empty());
+        let healthy = Request::Ping { id: 5 }.encode();
+        let events = feed(&mut r, &healthy);
+        assert_eq!(events.len(), 1);
+        let FrameEvent::Frame(body) = &events[0] else { panic!("expected frame") };
+        assert_eq!(Request::parse(body), Ok(Request::Ping { id: 5 }));
+    }
+
+    #[test]
+    fn garbage_bodies_are_parse_errors_not_panics() {
+        assert!(Request::parse(&[]).is_err());
+        assert!(Request::parse(&[0xEE]).is_err());
+        assert!(Request::parse(&[OP_INFER, 0]).is_err());
+        // Advertised value count larger than the body.
+        let mut body = vec![OP_INFER, 0];
+        body.extend_from_slice(&7u64.to_le_bytes());
+        body.extend_from_slice(&1000u32.to_le_bytes());
+        assert!(Request::parse(&body).unwrap_err().contains("truncated"));
+        // Trailing bytes are refused.
+        let mut ok = Request::Ping { id: 1 }.encode()[4..].to_vec();
+        ok.push(0);
+        assert!(Request::parse(&ok).unwrap_err().contains("trailing"));
+    }
+}

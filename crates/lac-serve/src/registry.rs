@@ -1,0 +1,75 @@
+//! The model registry: one atomically-swappable slot per application.
+//!
+//! Each slot holds an `Arc<ServingModel>` behind an `RwLock`. Lookups
+//! ([`Registry::resolve`]) clone the `Arc` under a read lock and drop
+//! the lock immediately, so a hot-swap ([`Registry::swap`]) replaces
+//! the slot without waiting for in-flight inference: batches that
+//! resolved before the swap finish on the model they started with, and
+//! no connection is touched.
+
+use std::sync::{Arc, RwLock};
+
+use lac_apps::serving::ServeApp;
+use lac_core::ServingModel;
+
+/// The server's published models, one optional slot per [`ServeApp`].
+#[derive(Debug, Default)]
+pub struct Registry {
+    slots: [RwLock<Option<Arc<ServingModel>>>; 6],
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn slot(&self, app: ServeApp) -> &RwLock<Option<Arc<ServingModel>>> {
+        &self.slots[app.code() as usize]
+    }
+
+    /// Publish `model` in its application's slot, returning the model it
+    /// replaced (if any). In-flight batches holding the old `Arc`
+    /// finish undisturbed.
+    pub fn swap(&self, model: ServingModel) -> Option<Arc<ServingModel>> {
+        let app = model.app();
+        let mut slot = self.slot(app).write().unwrap_or_else(|e| e.into_inner());
+        slot.replace(Arc::new(model))
+    }
+
+    /// The current model for `app`, or `None` if the slot is empty.
+    pub fn resolve(&self, app: ServeApp) -> Option<Arc<ServingModel>> {
+        self.slot(app).read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Applications with a published model, in wire-code order.
+    pub fn apps(&self) -> Vec<ServeApp> {
+        ServeApp::ALL.into_iter().filter(|&a| self.resolve(a).is_some()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swap_publishes_and_returns_previous() {
+        let reg = Registry::new();
+        assert!(reg.resolve(ServeApp::Blur).is_none());
+        assert!(reg.apps().is_empty());
+
+        let a = ServingModel::untrained(ServeApp::Blur, "mul8u_FTA").unwrap();
+        assert!(reg.swap(a).is_none());
+        let published = reg.resolve(ServeApp::Blur).expect("published");
+        assert_eq!(published.mult_spec(), "mul8u_FTA");
+        assert_eq!(reg.apps(), vec![ServeApp::Blur]);
+
+        let b = ServingModel::untrained(ServeApp::Blur, "ETM8-k4").unwrap();
+        let old = reg.swap(b).expect("previous model returned");
+        assert_eq!(old.mult_spec(), "mul8u_FTA");
+        // The Arc resolved before the swap still answers on the old
+        // model — exactly what an in-flight batch holds.
+        assert!(Arc::ptr_eq(&old, &published));
+        assert_eq!(reg.resolve(ServeApp::Blur).unwrap().mult_spec(), "ETM8-k4");
+    }
+}

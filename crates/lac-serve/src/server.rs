@@ -1,0 +1,356 @@
+//! The serving daemon: accept loop, per-connection readers, and the
+//! batching dispatcher.
+//!
+//! # Architecture
+//!
+//! ```text
+//! accept loop ──spawns──▶ reader thread per connection
+//!                            │  parse frame → decode sample
+//!                            ▼
+//!                    BatchQueue (arrival order)
+//!                            │  head run of one kernel, ≤ max_batch
+//!                            ▼
+//!                  dispatcher ── lac_rt::par pool (cfg.workers) ──▶
+//!                  one batched forward pass, responses coalesced
+//!                  into one write per connection per batch
+//! ```
+//!
+//! Readers do all per-request validation (framing, opcodes, payload
+//! decoding), answering malformed requests with error frames so only
+//! valid samples reach the queue. The dispatcher pops deterministic
+//! head-run batches, resolves the model `Arc` once per batch (so a
+//! concurrent hot-swap never splits a batch across models), runs the
+//! batched forward pass across the worker pool, and writes each
+//! connection's responses as a single coalesced write.
+//!
+//! Response bytes are a pure function of (model, payload): inference is
+//! per-sample with no cross-sample reduction. Worker count, batch size,
+//! and linger change only scheduling, never bytes — the serving
+//! determinism suite pins this.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use lac_apps::serving::{ServeApp, ServeSample};
+use lac_core::ServingModel;
+
+use crate::batch::BatchQueue;
+use crate::protocol::{FrameEvent, FrameReader, Request, Response, MAX_FRAME};
+use crate::registry::Registry;
+
+/// Serving knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads a batched forward pass is spread across.
+    pub workers: usize,
+    /// Most requests coalesced into one batch.
+    pub max_batch: usize,
+    /// How long a partial batch waits for the head run to fill.
+    pub linger: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            max_batch: 16,
+            linger: Duration::from_micros(200),
+        }
+    }
+}
+
+/// Write half of a connection; readers and the dispatcher share it.
+struct Conn {
+    stream: Mutex<TcpStream>,
+}
+
+impl Conn {
+    fn send_bytes(&self, bytes: &[u8]) {
+        let mut s = self.stream.lock().unwrap_or_else(|e| e.into_inner());
+        // A vanished peer is not a server error; its reader thread will
+        // see the close and exit.
+        let _ = s.write_all(bytes);
+    }
+
+    fn send(&self, resp: &Response) {
+        self.send_bytes(&resp.encode());
+    }
+}
+
+/// One validated inference request waiting for a batch.
+struct Pending {
+    id: u64,
+    sample: ServeSample,
+    conn: Arc<Conn>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    registry: Arc<Registry>,
+    queue: BatchQueue<Pending>,
+    cfg: ServerConfig,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// A running server; dropping the handle does not stop it — call
+/// [`shutdown`](RunningServer::shutdown) and/or
+/// [`join`](RunningServer::join).
+#[derive(Debug)]
+pub struct RunningServer {
+    port: u16,
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+/// Bind `port` (0 = ephemeral) and start serving `registry`.
+///
+/// Returns once the listener is bound; serving runs on background
+/// threads until a client sends `SHUTDOWN` or
+/// [`RunningServer::shutdown`] is called.
+pub fn serve(
+    registry: Arc<Registry>,
+    cfg: ServerConfig,
+    port: u16,
+) -> std::io::Result<RunningServer> {
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    let port = listener.local_addr()?.port();
+    listener.set_nonblocking(true)?;
+
+    let shared = Arc::new(Shared {
+        registry,
+        queue: BatchQueue::new(),
+        cfg,
+        stop: AtomicBool::new(false),
+    });
+    let readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
+
+    let dispatcher = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || dispatcher_loop(&shared))
+    };
+    let accept = {
+        let shared = Arc::clone(&shared);
+        let readers = Arc::clone(&readers);
+        std::thread::spawn(move || accept_loop(&shared, listener, &readers))
+    };
+
+    Ok(RunningServer {
+        port,
+        shared,
+        accept: Some(accept),
+        dispatcher: Some(dispatcher),
+        readers,
+    })
+}
+
+impl RunningServer {
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Ask the server to stop: no new connections, queued requests
+    /// drain, then threads exit. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.request_stop();
+    }
+
+    /// Block until every server thread has exited (after a `SHUTDOWN`
+    /// frame or [`shutdown`](Self::shutdown)).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        let handles = {
+            let mut r = self.readers.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *r)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(
+    shared: &Arc<Shared>,
+    listener: TcpListener,
+    readers: &Mutex<Vec<std::thread::JoinHandle<()>>>,
+) {
+    while !shared.stopping() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let shared = Arc::clone(shared);
+                let handle = std::thread::spawn(move || reader_loop(&shared, stream));
+                readers.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn reader_loop(shared: &Shared, mut stream: TcpStream) {
+    let conn = match stream.try_clone() {
+        Ok(write_half) => Arc::new(Conn { stream: Mutex::new(write_half) }),
+        Err(_) => return,
+    };
+    // Short read timeouts let the reader poll the stop flag while idle;
+    // arriving bytes wake it immediately.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
+
+    let mut frames = FrameReader::new();
+    let mut events = Vec::new();
+    let mut buf = [0u8; 64 * 1024];
+    'conn: loop {
+        if shared.stopping() {
+            break;
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        frames.push(&buf[..n], &mut events);
+        for event in events.drain(..) {
+            if handle_event(shared, &conn, event) {
+                break 'conn; // SHUTDOWN acknowledged
+            }
+        }
+    }
+}
+
+/// Process one framing event; returns `true` on `SHUTDOWN`.
+fn handle_event(shared: &Shared, conn: &Arc<Conn>, event: FrameEvent) -> bool {
+    let body = match event {
+        FrameEvent::Oversized { advertised } => {
+            conn.send(&Response::Error {
+                id: 0,
+                message: format!(
+                    "frame advertises {advertised} bytes, limit is {MAX_FRAME}; skipped"
+                ),
+            });
+            return false;
+        }
+        FrameEvent::Frame(body) => body,
+    };
+    let request = match Request::parse(&body) {
+        Ok(req) => req,
+        Err(e) => {
+            conn.send(&Response::Error { id: 0, message: format!("malformed request: {e}") });
+            return false;
+        }
+    };
+    match request {
+        Request::Ping { id } => conn.send(&Response::Pong { id }),
+        Request::Infer { kernel, id, values } => {
+            let Some(app) = ServeApp::from_code(kernel) else {
+                conn.send(&Response::Error {
+                    id,
+                    message: format!("unknown kernel code {kernel}"),
+                });
+                return false;
+            };
+            if shared.registry.resolve(app).is_none() {
+                conn.send(&Response::Error {
+                    id,
+                    message: format!("no model loaded for kernel `{}`", app.cli_id()),
+                });
+                return false;
+            }
+            match app.decode(&values) {
+                Ok(sample) => {
+                    shared.queue.push(app, Pending { id, sample, conn: Arc::clone(conn) })
+                }
+                Err(message) => conn.send(&Response::Error { id, message }),
+            }
+        }
+        Request::Swap { id, path } => match ServingModel::load(Path::new(&path)) {
+            Ok(model) => {
+                let code = model.app().code();
+                shared.registry.swap(model);
+                conn.send(&Response::Swapped { id, kernel: code });
+            }
+            Err(e) => conn.send(&Response::Error { id, message: e.to_string() }),
+        },
+        Request::Shutdown { id } => {
+            conn.send(&Response::Bye { id });
+            shared.request_stop();
+            return true;
+        }
+    }
+    false
+}
+
+fn dispatcher_loop(shared: &Shared) {
+    let cfg = &shared.cfg;
+    while let Some((app, batch)) = shared.queue.pop_batch(cfg.max_batch, cfg.linger) {
+        // Resolve once per batch: a hot-swap between batches takes
+        // effect cleanly; a hot-swap during a batch lets it finish on
+        // the model it started with.
+        let Some(model) = shared.registry.resolve(app) else {
+            for p in &batch {
+                p.conn.send(&Response::Error {
+                    id: p.id,
+                    message: format!("no model loaded for kernel `{}`", app.cli_id()),
+                });
+            }
+            continue;
+        };
+        let mut metas = Vec::with_capacity(batch.len());
+        let mut samples = Vec::with_capacity(batch.len());
+        for p in batch {
+            metas.push((p.conn, p.id));
+            samples.push(p.sample);
+        }
+        match model.infer(&samples, cfg.workers) {
+            Ok(outputs) => {
+                // Coalesce each connection's responses into one write.
+                let mut per_conn: Vec<(Arc<Conn>, Vec<u8>)> = Vec::new();
+                for ((conn, id), values) in metas.into_iter().zip(outputs) {
+                    let frame = Response::Infer { id, values }.encode();
+                    match per_conn.iter_mut().find(|(c, _)| Arc::ptr_eq(c, &conn)) {
+                        Some((_, bytes)) => bytes.extend_from_slice(&frame),
+                        None => per_conn.push((conn, frame)),
+                    }
+                }
+                for (conn, bytes) in per_conn {
+                    conn.send_bytes(&bytes);
+                }
+            }
+            Err(message) => {
+                for (conn, id) in metas {
+                    conn.send(&Response::Error { id, message: message.clone() });
+                }
+            }
+        }
+    }
+}

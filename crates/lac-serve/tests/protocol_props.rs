@@ -1,0 +1,145 @@
+//! Property tests of the wire-protocol framing and codecs.
+//!
+//! The framing invariants under test:
+//!
+//! * decoding is *chunking-invariant* — any partition of a byte stream
+//!   into reads yields the same frame sequence;
+//! * pipelined frames decode in order;
+//! * oversized and garbage frames surface as recoverable events/errors,
+//!   never panics, and the decoder resynchronizes on the next frame;
+//! * `Request`/`Response` round-trip bit-exactly (including NaN
+//!   payloads, which travel as raw f64 bits).
+
+use lac_rt::proptest::prelude::*;
+
+use lac_serve::{FrameEvent, FrameReader, Request, Response, MAX_FRAME};
+
+/// Feed `stream` to a fresh reader in the chunk sizes given by `cuts`
+/// (cycled; 0 ⇒ 1 byte) and collect every event.
+fn decode_chunked(stream: &[u8], cuts: &[usize]) -> Vec<FrameEvent> {
+    let mut reader = FrameReader::new();
+    let mut events = Vec::new();
+    let mut pos = 0;
+    let mut i = 0;
+    while pos < stream.len() {
+        let step = cuts.get(i % cuts.len().max(1)).copied().unwrap_or(1).clamp(1, 97);
+        let end = (pos + step).min(stream.len());
+        reader.push(&stream[pos..end], &mut events);
+        pos = end;
+        i += 1;
+    }
+    events
+}
+
+fn frames_of(events: Vec<FrameEvent>) -> Vec<Vec<u8>> {
+    events
+        .into_iter()
+        .map(|e| match e {
+            FrameEvent::Frame(body) => body,
+            FrameEvent::Oversized { advertised } => panic!("unexpected oversized: {advertised}"),
+        })
+        .collect()
+}
+
+proptest! {
+    /// Any chunking of a pipelined request stream decodes to the same
+    /// frame bodies, in order.
+    #[test]
+    fn framing_is_chunking_invariant(
+        payloads in collection::vec(collection::vec(-1.0e12f64..1.0e12, 5), 4),
+        cuts in collection::vec(0usize..64, 7),
+    ) {
+        let requests: Vec<Request> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, values)| Request::Infer {
+                kernel: (i % 6) as u8,
+                id: i as u64 + 1,
+                values: values.clone(),
+            })
+            .collect();
+        let mut stream = Vec::new();
+        for r in &requests {
+            stream.extend_from_slice(&r.encode());
+        }
+
+        let chunked = frames_of(decode_chunked(&stream, &cuts));
+        let whole = frames_of(decode_chunked(&stream, &[usize::MAX >> 1]));
+        prop_assert_eq!(&chunked, &whole);
+        prop_assert_eq!(chunked.len(), requests.len());
+        for (body, want) in chunked.iter().zip(&requests) {
+            let got = Request::parse(body).expect("valid frame parses");
+            prop_assert_eq!(got.encode(), want.encode());
+        }
+    }
+
+    /// Random garbage never panics the decoder, and parsing whatever
+    /// frames it yields returns errors, not panics.
+    #[test]
+    fn garbage_streams_never_panic(
+        bytes in collection::vec(any::<u8>(), 160),
+        cuts in collection::vec(0usize..16, 5),
+    ) {
+        for event in decode_chunked(&bytes, &cuts) {
+            if let FrameEvent::Frame(body) = event {
+                let _ = Request::parse(&body);
+                let _ = Response::parse(&body);
+            }
+        }
+    }
+
+    /// An oversized frame is reported and skipped; the next valid frame
+    /// decodes as if the bad one never happened.
+    #[test]
+    fn oversized_frames_resync(
+        oversize_by in 1u32..1000,
+        junk_len in 0usize..200,
+        cuts in collection::vec(0usize..32, 5),
+    ) {
+        let advertised = MAX_FRAME as u32 + oversize_by;
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&advertised.to_le_bytes());
+        // Only part of the advertised body ever arrives before the peer
+        // moves on; the reader must skip exactly `advertised` bytes.
+        stream.extend(std::iter::repeat(0xAB).take(junk_len.min(advertised as usize)));
+        let tail_start = stream.len();
+        let good = Request::Ping { id: 77 };
+        stream.extend_from_slice(&good.encode());
+        // Pad the skipped region so the good frame lies beyond it.
+        let events = if tail_start - 4 < advertised as usize {
+            let mut padded = stream[..tail_start].to_vec();
+            padded.extend(std::iter::repeat(0xCD).take(advertised as usize - (tail_start - 4)));
+            padded.extend_from_slice(&good.encode());
+            decode_chunked(&padded, &cuts)
+        } else {
+            decode_chunked(&stream, &cuts)
+        };
+
+        prop_assert_eq!(events.len(), 2, "oversized event + good frame: {events:?}");
+        match &events[0] {
+            FrameEvent::Oversized { advertised: a } => prop_assert_eq!(*a, advertised),
+            other => return Err(TestCaseError::fail(format!("expected oversized, got {other:?}"))),
+        }
+        match &events[1] {
+            FrameEvent::Frame(body) => {
+                prop_assert_eq!(Request::parse(body).unwrap().encode(), good.encode());
+            }
+            other => return Err(TestCaseError::fail(format!("expected frame, got {other:?}"))),
+        }
+    }
+
+    /// Requests round-trip bit-exactly through encode/parse, including
+    /// non-finite payload values.
+    #[test]
+    fn requests_round_trip_bit_exactly(
+        kernel in any::<u8>(),
+        id in any::<u64>(),
+        bits in collection::vec(any::<u64>(), 6),
+    ) {
+        let values: Vec<f64> = bits.into_iter().map(f64::from_bits).collect();
+        let req = Request::Infer { kernel, id, values };
+        let frame = req.encode();
+        let parsed = Request::parse(&frame[4..]).expect("round-trip parses");
+        prop_assert_eq!(parsed.encode(), frame);
+    }
+}

@@ -227,6 +227,86 @@ impl Var {
         Var { tape: self.tape.clone(), id }
     }
 
+    /// Batched approximate convolution over images stacked vertically.
+    ///
+    /// `self` is `[n * img_h, w]`: every `img_h`-row band is one
+    /// independent image, convolved with `kernel` under the same
+    /// same-padding rule as [`Var::approx_conv2d`]. Zero padding applies
+    /// at each band's own borders, so band seams never leak pixels into
+    /// a neighbouring image.
+    ///
+    /// Per band the forward runs the exact per-image walk of
+    /// [`Var::approx_conv2d`] (same helper, same accumulation order), so
+    /// each band's output is bit-identical to convolving that image
+    /// alone — while the graph node, tap quantization, and LUT
+    /// resolution are paid once per batch instead of once per image.
+    /// This is the serving hot path: a coalesced batch of n requests
+    /// answers exactly as n single-sample passes would.
+    ///
+    /// Backward: exact conv2d gradients per band; the kernel gradient
+    /// accumulates over bands in stacking order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `img_h` is zero, the stacked height is not a multiple
+    /// of `img_h`, or under the conditions of [`Var::approx_conv2d`].
+    pub fn approx_conv2d_stacked(
+        &self,
+        kernel: &Var,
+        mult: &Arc<dyn Multiplier>,
+        img_h: usize,
+    ) -> Var {
+        assert!(
+            self.same_tape(kernel),
+            "approx_conv2d_stacked: operands belong to different graphs"
+        );
+        assert!(img_h > 0, "approx_conv2d_stacked: img_h must be positive");
+        let x = self.value();
+        let k = kernel.value();
+        let (h, w) = x.dims2("conv2d stacked image");
+        assert!(
+            h % img_h == 0,
+            "approx_conv2d_stacked: stacked height {h} is not a multiple of img_h {img_h}"
+        );
+
+        let band_len = img_h * w;
+        let mut out = Tensor::zeros(&[h, w]);
+        for band in 0..h / img_h {
+            let src = &x.data()[band * band_len..(band + 1) * band_len];
+            let img = Tensor::from_vec(src.to_vec(), &[img_h, w]);
+            let conv = if let Some(lut) = mult.as_lut() {
+                approx_conv2d_lut(&img, &k, lut)
+            } else {
+                conv2d_forward(&img, &k, |tap, pixel| approx_product(&**mult, tap, pixel))
+            };
+            out.data_mut()[band * band_len..(band + 1) * band_len]
+                .copy_from_slice(conv.data());
+        }
+
+        let graph = self.graph();
+        let id = graph.push(
+            out,
+            vec![self.id, kernel.id],
+            Some(Box::new(move |g: &Tensor| {
+                let (kh, kw) = k.dims2("conv2d kernel");
+                let mut dx = Tensor::zeros(&[h, w]);
+                let mut dk = Tensor::zeros(&[kh, kw]);
+                for band in 0..h / img_h {
+                    let range = band * band_len..(band + 1) * band_len;
+                    let img = Tensor::from_vec(x.data()[range.clone()].to_vec(), &[img_h, w]);
+                    let grad = Tensor::from_vec(g.data()[range.clone()].to_vec(), &[img_h, w]);
+                    let (bdx, bdk) = conv2d_backward(&img, &k, &grad);
+                    dx.data_mut()[range].copy_from_slice(bdx.data());
+                    for (acc, d) in dk.data_mut().iter_mut().zip(bdk.data()) {
+                        *acc += d;
+                    }
+                }
+                vec![dx, dk]
+            })),
+        );
+        Var { tape: self.tape.clone(), id }
+    }
+
     /// Multiply every element of `self` by the scalar coefficient `coeff`
     /// (a one-element `Var`) on approximate hardware.
     ///
@@ -401,6 +481,88 @@ mod tests {
         let k = g.var(kc);
         let out = x.approx_conv2d(&k, &kulkarni8()).value();
         assert!(out.data().iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    fn stacked_conv_bands_match_single_image_convs() {
+        for name in ["exact8u", "kulkarni8u", "mul8u_FTA"] {
+            let mult = catalog::by_name(name).unwrap();
+            let imgs: Vec<Tensor> = (0..3)
+                .map(|s| {
+                    Tensor::from_vec(
+                        (0..30).map(|v| ((v * 7 + s * 13) % 19) as f64).collect(),
+                        &[5, 6],
+                    )
+                })
+                .collect();
+            let kc =
+                Tensor::from_vec(vec![1.0, 2.0, 1.0, 2.0, 4.0, 2.0, 1.0, 2.0, 1.0], &[3, 3]);
+
+            let g = Graph::new();
+            let mut stacked = Vec::new();
+            for img in &imgs {
+                stacked.extend_from_slice(img.data());
+            }
+            let x = g.var(Tensor::from_vec(stacked, &[15, 6]));
+            let k = g.var(kc.clone());
+            let out = x.approx_conv2d_stacked(&k, &mult, 5).value();
+
+            for (band, img) in imgs.iter().enumerate() {
+                let g1 = Graph::new();
+                let xi = g1.var(img.clone());
+                let ki = g1.var(kc.clone());
+                let single = xi.approx_conv2d(&ki, &mult).value();
+                assert_eq!(
+                    &out.data()[band * 30..(band + 1) * 30],
+                    single.data(),
+                    "{name}: band {band} differs from the single-image conv"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stacked_conv_backward_matches_per_image_gradients() {
+        let mult = kulkarni8();
+        let imgs: Vec<Tensor> = (0..2)
+            .map(|s| Tensor::from_vec((0..20).map(|v| ((v + s * 3) % 9) as f64).collect(), &[4, 5]))
+            .collect();
+        let kc = Tensor::from_vec(vec![0.0, 1.0, 0.0, 1.0, 2.0, 1.0, 0.0, 1.0, 0.0], &[3, 3]);
+
+        let g = Graph::new();
+        let mut stacked = Vec::new();
+        for img in &imgs {
+            stacked.extend_from_slice(img.data());
+        }
+        let x = g.var(Tensor::from_vec(stacked, &[8, 5]));
+        let k = g.var(kc.clone());
+        let loss = x.approx_conv2d_stacked(&k, &mult, 4).sum();
+        let grads = g.backward(&loss);
+
+        let mut want_dx = Vec::new();
+        let mut want_dk = Tensor::zeros(&[3, 3]);
+        for img in &imgs {
+            let g1 = Graph::new();
+            let xi = g1.var(img.clone());
+            let ki = g1.var(kc.clone());
+            let l1 = xi.approx_conv2d(&ki, &mult).sum();
+            let g1s = g1.backward(&l1);
+            want_dx.extend_from_slice(g1s.get(&xi).data());
+            for (acc, d) in want_dk.data_mut().iter_mut().zip(g1s.get(&ki).data()) {
+                *acc += d;
+            }
+        }
+        assert_eq!(grads.get(&x).data(), &want_dx[..]);
+        assert_eq!(grads.get(&k).data(), want_dk.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn stacked_conv_rejects_ragged_height() {
+        let g = Graph::new();
+        let x = g.var(Tensor::zeros(&[7, 4]));
+        let k = g.var(Tensor::zeros(&[3, 3]));
+        x.approx_conv2d_stacked(&k, &exact8u(), 4);
     }
 
     #[test]

@@ -55,7 +55,7 @@ done
 # away from the committed baseline is the suite loop's job above; this
 # check makes the committed numbers themselves keep the contract, so a
 # regression cannot be hidden by re-baselining.
-pre_snapshot="results/bench/BENCH_training_step.pre-pr6.json"
+pre_snapshot="results/bench/frozen/BENCH_training_step.pre-pr6.json"
 committed_step="results/bench/BENCH_training_step.json"
 if [[ -f "$pre_snapshot" && -f "$committed_step" ]]; then
     echo "== kernel-swap floor: committed training_step/jpeg >= 3x vs pre-swap snapshot"
@@ -83,6 +83,54 @@ if [[ -f "$pre_snapshot" && -f "$committed_step" ]]; then
             status=1
         fi
     done
+fi
+
+# Serving batching floor: the committed BENCH_serve.json must show that
+# request batching actually pays on the blur kernel at 4 workers. The
+# headline mechanism — a coalesced batch fans out across the worker
+# pool, while a batch-1 server leaves the pool idle — needs real cores,
+# so the floor keys off the `cores` field the sweep records:
+#   cores >= 2: batched (b32) throughput must be >= 2x unbatched (b1).
+#   cores == 1: workers cannot parallelize anything, so batching can
+#     only amortize per-dispatch fixed costs (graph construction, LUT
+#     tabulation, coalesced response writes — measured ~1.1x here); the
+#     floor degrades to a no-pathology check (batching must not LOSE
+#     more than scheduler noise, b32 >= 0.8x b1).
+# Like the kernel-swap floor this gates the *committed* numbers, so a
+# batching regression cannot be hidden by re-baselining. Refresh (on a
+# multi-core box to arm the full 2x floor) with:
+#   cargo bench --offline -p lac-bench --bench serve
+#   cp crates/lac-bench/BENCH_serve.json results/bench/
+serve_baseline="results/bench/BENCH_serve.json"
+if [[ -f "$serve_baseline" ]]; then
+    rps_of() {
+        awk -v id="$2" 'BEGIN{RS="{"} $0 ~ "\"id\":\""id"\"" {
+            if (match($0, /"throughput_rps":[0-9.]+/))
+                print substr($0, RSTART+17, RLENGTH-17)
+        }' "$1"
+    }
+    baseline_cores="$(awk 'match($0, /"cores":[0-9]+/) {
+        print substr($0, RSTART+8, RLENGTH-8); exit
+    }' "$serve_baseline")"
+    unbatched="$(rps_of "$serve_baseline" "serve/blur/w4/b1")"
+    batched="$(rps_of "$serve_baseline" "serve/blur/w4/b32")"
+    if [[ -z "$unbatched" || -z "$batched" || -z "$baseline_cores" ]]; then
+        echo "bench_check: BENCH_serve.json is missing cores, serve/blur/w4/b1 or w4/b32" >&2
+        status=1
+    else
+        serve_floor="2.0"
+        [[ "$baseline_cores" -le 1 ]] && serve_floor="0.8"
+        echo "== serve batching floor: committed w4/b32 >= ${serve_floor}x w4/b1 (baseline from ${baseline_cores} core(s))"
+        if awk -v u="$unbatched" -v b="$batched" -v f="$serve_floor" 'BEGIN { exit !(b >= f * u) }'; then
+            echo "serve_floor: w4 batched ${batched} req/s vs unbatched ${unbatched} req/s (>= ${serve_floor}x): ok"
+        else
+            echo "bench_check: serving lost its ${serve_floor}x batching floor at 4 workers:" \
+                 "batched ${batched} req/s, unbatched ${unbatched} req/s" >&2
+            status=1
+        fi
+    fi
+else
+    echo "bench_check: no ${serve_baseline}, skipping serve floor" >&2
 fi
 
 # Sweep-orchestrator wall-clock: fig3 in quick mode, cold cache, at

@@ -84,6 +84,54 @@ cargo test -q --offline --test matmul_equivalence
 cargo test -q --offline -p lac-tensor --lib matmul_fast::
 cargo test -q --offline --test golden_seed jpeg_train_fixed
 
+# Serving suites (DESIGN.md §8): framing survives partial reads,
+# pipelining, oversized and garbage frames; responses are byte-identical
+# for any worker count and max batch size given the same arrival order;
+# hot-swap finishes in-flight work on the old checkpoint. Named
+# explicitly so a filtered CI configuration cannot silently skip them.
+echo "== serving suites (framing properties, determinism, hot-swap)"
+cargo test -q --offline -p lac-serve --test protocol_props
+cargo test -q --offline -p lac-serve --test serving
+
+# End-to-end daemon smoke through the real binaries: train a tiny
+# checkpoint, serve it on an ephemeral port, round-trip seeded load,
+# then stop it with a SHUTDOWN frame and require a clean exit.
+echo "== serve smoke: train -> serve -> loadgen -> hot-swap -> graceful shutdown"
+cargo build --release --offline -p lac-cli
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+./target/release/lac-cli train blur ETM8-k4 --epochs 2 --train 4 --test 2 \
+    --resume "$smoke_dir/blur.ck.json" >/dev/null
+./target/release/lac-cli serve "$smoke_dir/blur.ck.json" --port 0 --workers 2 --batch 4 \
+    >"$smoke_dir/serve.log" 2>&1 &
+serve_pid=$!
+port=""
+for _ in $(seq 1 100); do
+    port="$(sed -n 's/.*serving on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$smoke_dir/serve.log")"
+    [[ -n "$port" ]] && break
+    sleep 0.1
+done
+if [[ -z "$port" ]]; then
+    echo "verify: FAIL — serve daemon never reported its port:" >&2
+    cat "$smoke_dir/serve.log" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+./target/release/lac-cli loadgen --port "$port" --app blur --requests 12 --conns 2 --window 4
+# Hot-swap the checkpoint back in over the wire, then keep serving.
+./target/release/lac-cli loadgen --port "$port" --swap "$smoke_dir/blur.ck.json"
+./target/release/lac-cli loadgen --port "$port" --app blur --requests 6 --conns 1 --window 2
+./target/release/lac-cli loadgen --port "$port" --shutdown
+if ! wait "$serve_pid"; then
+    echo "verify: FAIL — serve daemon did not exit cleanly after SHUTDOWN:" >&2
+    cat "$smoke_dir/serve.log" >&2
+    exit 1
+fi
+grep -q "shut down cleanly" "$smoke_dir/serve.log" || {
+    echo "verify: FAIL — serve daemon exited without the clean-shutdown message" >&2
+    exit 1
+}
+
 # Opt-in performance gate: set LAC_BENCH_CHECK=1 to re-run the macro
 # bench suites and compare against the committed baselines in
 # results/bench/ (see scripts/bench_check.sh). Off by default so tier-1

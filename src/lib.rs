@@ -22,7 +22,9 @@
 //! * [`apps`] — the paper's application kernels (3×3 filters, JPEG/DCT,
 //!   DFT, Inversek2j);
 //! * [`core`] — the LAC trainers: fixed-hardware training, single-gate
-//!   NAS, multi-hardware NAS, constraints, and baselines.
+//!   NAS, multi-hardware NAS, constraints, and baselines;
+//! * [`serve`] — the batched concurrent inference daemon with checkpoint
+//!   hot-swap, its wire protocol, and the seeded load generator.
 //!
 //! # Quick start
 //!
@@ -52,4 +54,5 @@ pub use lac_core as core;
 pub use lac_data as data;
 pub use lac_hw as hw;
 pub use lac_metrics as metrics;
+pub use lac_serve as serve;
 pub use lac_tensor as tensor;
