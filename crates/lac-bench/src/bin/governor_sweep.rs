@@ -1,0 +1,180 @@
+//! Governor sweep: SLO vs. settled ladder rung, plus fault-recovery
+//! time, through the deterministic closed-loop harness
+//! ([`lac_serve::run_closed_loop`]).
+//!
+//! Each cell drives the blur kernel (trained at `mul8u_FTA`) through
+//! seeded traffic on the monotone-quality ladder
+//! `exact8u → mul8u_185Q → mul8u_FTA → mul8u_JV3` with a seeded
+//! `flip=0.05` transient-fault window mid-run. The governor must hold
+//! the cell's SLO at minimum area, retreat toward the exact anchor
+//! while the faults last, and find its way back after they clear. The
+//! whole loop is wall-clock free and seeded, so the report —
+//! `BENCH_governor.json` — is byte-identical run to run, and
+//! `scripts/bench_check.sh` gates the recovery time and the
+//! settled-area-vs-exact contract against the committed baseline.
+//!
+//! Run with: `cargo run --release -p lac-bench --bin governor_sweep
+//! [--slo s1,s2,...] [--out PATH]`
+
+use std::path::Path;
+
+use lac_apps::serving::ServeApp;
+use lac_hw::ModeLadder;
+use lac_rt::json::Value;
+use lac_serve::{run_closed_loop, write_bench, ClosedLoopConfig, GovernorConfig};
+
+/// SLO grid: 0.80 settles at mul8u_FTA (~0.88 quality), 0.95 and 0.99
+/// one rung up at mul8u_185Q (~0.998) — all strictly cheaper than the
+/// exact anchor.
+const DEFAULT_SLOS: [f64; 3] = [0.80, 0.95, 0.99];
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("governor_sweep: {msg}");
+    eprintln!("usage: governor_sweep [--slo s1,s2,...] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn parse_slos(value: &str) -> Vec<f64> {
+    value
+        .split(',')
+        .map(|tok| {
+            let slo: f64 = tok.trim().parse().unwrap_or_else(|_| {
+                usage_error(&format!("invalid --slo value `{tok}`: expected a number"))
+            });
+            if !(slo > 0.0 && slo <= 1.0) {
+                usage_error(&format!("--slo value `{tok}` is outside (0, 1]"));
+            }
+            slo
+        })
+        .collect()
+}
+
+fn scenario(slo: f64, ladder: &ModeLadder) -> ClosedLoopConfig {
+    let mut governor = GovernorConfig::new(slo);
+    governor.margin = 0.005;
+    governor.sample_rate = 0.5;
+    governor.window = 2;
+    governor.dwell = 2;
+    governor.seed = 42;
+    ClosedLoopConfig {
+        app: ServeApp::Blur,
+        ladder: ladder.clone(),
+        trained_spec: "mul8u_FTA".into(),
+        flip: 0.05,
+        fault_seed: 9,
+        fault_window: (60, 120),
+        batches: 192,
+        batch_size: 2,
+        // Fixed thread count so the committed report is machine
+        // independent (the trace is thread-invariant anyway — pinned by
+        // the governor test suite — but let's not rely on it here).
+        threads: 2,
+        traffic_seed: 5,
+        governor,
+    }
+}
+
+fn main() {
+    let mut slos: Vec<f64> = DEFAULT_SLOS.to_vec();
+    let mut out = "results/bench/BENCH_governor.json".to_owned();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--slo" => {
+                let value =
+                    it.next().unwrap_or_else(|| usage_error("--slo needs a comma-separated list"));
+                slos = parse_slos(value);
+            }
+            "--out" => {
+                out = it.next().unwrap_or_else(|| usage_error("--out needs a path")).clone();
+            }
+            other => usage_error(&format!("unknown flag `{other}`")),
+        }
+    }
+    if slos.is_empty() {
+        usage_error("--slo list is empty");
+    }
+
+    let ladder =
+        ModeLadder::from_specs("conv3x3", ["exact8u", "mul8u_185Q", "mul8u_FTA", "mul8u_JV3"])
+            .expect("bench ladder");
+    let template = scenario(slos[0], &ladder);
+    println!(
+        "governor sweep: blur on {:?}, flip={} faults over batches [{}, {}), {} batches total",
+        ladder.specs(),
+        template.flip,
+        template.fault_window.0,
+        template.fault_window.1,
+        template.batches
+    );
+
+    let mut benches = Vec::new();
+    for &slo in &slos {
+        let cfg = scenario(slo, &ladder);
+        let report = match run_closed_loop(&cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("governor_sweep: slo {slo}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let steps = report.trace.iter().filter(|l| l.contains("\"event\":\"step\"")).count();
+        println!(
+            "  slo {slo:>5}: settled {} (area {} vs exact {}), holds={}, \
+             fault dip to rung {}, recovery {} batches, {} steps",
+            report.settled_spec,
+            report.settled_area,
+            report.exact_area,
+            report.holds_slo,
+            report.min_mode_during_fault,
+            report.recovery_batches.map_or("never".to_owned(), |b| b.to_string()),
+            steps
+        );
+        benches.push(Value::Obj(vec![
+            ("id".into(), Value::Str(format!("governor/blur/slo{slo}"))),
+            ("slo".into(), Value::Num(slo)),
+            ("settled_mode".into(), Value::Num(report.settled_mode as f64)),
+            ("settled_spec".into(), Value::Str(report.settled_spec.clone())),
+            ("settled_area".into(), Value::Num(report.settled_area)),
+            ("exact_area".into(), Value::Num(report.exact_area)),
+            ("holds_slo".into(), Value::Bool(report.holds_slo)),
+            ("mode_before_fault".into(), Value::Num(report.mode_before_fault as f64)),
+            ("min_mode_during_fault".into(), Value::Num(report.min_mode_during_fault as f64)),
+            (
+                "recovery_batches".into(),
+                report.recovery_batches.map_or(Value::Null, |b| Value::Num(b as f64)),
+            ),
+            ("steps".into(), Value::Num(steps as f64)),
+            ("trace_fingerprint".into(), Value::Str(report.trace_fingerprint.clone())),
+        ]));
+    }
+
+    let doc = Value::Obj(vec![
+        ("suite".into(), Value::Str("governor".into())),
+        ("app".into(), Value::Str("blur".into())),
+        (
+            "ladder".into(),
+            Value::Arr(ladder.specs().iter().map(|s| Value::Str((*s).to_string())).collect()),
+        ),
+        ("ladder_fingerprint".into(), Value::Str(ladder.fingerprint())),
+        ("trained_spec".into(), Value::Str(template.trained_spec.clone())),
+        ("flip".into(), Value::Num(template.flip)),
+        (
+            "fault_window".into(),
+            Value::Arr(vec![
+                Value::Num(template.fault_window.0 as f64),
+                Value::Num(template.fault_window.1 as f64),
+            ]),
+        ),
+        ("batches".into(), Value::Num(template.batches as f64)),
+        ("batch_size".into(), Value::Num(template.batch_size as f64)),
+        ("threads".into(), Value::Num(template.threads as f64)),
+        ("benches".into(), Value::Arr(benches)),
+    ]);
+    if let Err(e) = write_bench(&doc, Path::new(&out)) {
+        eprintln!("governor_sweep: write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}

@@ -83,7 +83,10 @@ usage:
                        [--log PATH]
   lac-cli sweep <app> [--jobs N] [--no-cache]
   lac-cli serve <checkpoint>... [--port N] [--workers N] [--batch N]
-                                [--linger-us N]
+                                [--linger-us N] [--slo X] [--ladder auto|SPECS]
+                                [--sample-rate X] [--gov-window N]
+                                [--gov-dwell N] [--gov-seed N]
+                                [--governor-log PATH]
   lac-cli loadgen [--port N] [--app NAME] [--requests N] [--conns N]
                   [--window N] [--seed N] [--sweep] [--out PATH]
                   [--swap PATH] [--shutdown]
@@ -107,7 +110,12 @@ Sweep sizing follows the benchmark env knobs (`LAC_QUICK`, `LAC_TRAIN`,
 behind a batching TCP daemon; same-kernel requests coalesce into one
 forward pass of up to `--batch` samples spread over `--workers`
 threads, and a SWAP frame hot-swaps a checkpoint without dropping
-connections. `loadgen` drives a daemon with a seeded request stream
+connections. `--slo X` turns on the quality governor: the daemon
+samples `--sample-rate` of live batches, replays them through the
+exact datapath, and steps each app along its `--ladder` (auto = the
+catalog slice around the trained multiplier, most exact first) to hold
+the SLO at minimum area; `--governor-log` streams JSONL telemetry.
+`loadgen` drives a daemon with a seeded request stream
 and reports p50/p99 latency and throughput; `loadgen --sweep` runs the
 in-process (workers x batch) grid and writes `BENCH_serve.json`;
 `loadgen --swap PATH` hot-swaps a checkpoint into a running daemon;

@@ -14,9 +14,10 @@ use std::time::Duration;
 
 use lac_apps::serving::ServeApp;
 use lac_core::ServingModel;
+use lac_hw::ModeLadder;
 use lac_serve::{
-    run_loadgen, run_sweep, serve, write_bench, LoadgenConfig, Registry, ServerConfig,
-    SweepConfig,
+    run_loadgen, run_sweep, serve, write_bench, GovernorConfig, LoadgenConfig, Registry,
+    ServerConfig, SweepConfig,
 };
 
 use crate::CliError;
@@ -34,6 +35,21 @@ pub struct ServeOpts {
     pub batch: usize,
     /// Linger window in microseconds.
     pub linger_us: u64,
+    /// Quality SLO; setting it turns the governor on.
+    pub slo: Option<f64>,
+    /// Mode ladder: `auto` or a comma-separated spec list, most exact
+    /// first. Defaults to `auto` when `--slo` is set.
+    pub ladder: Option<String>,
+    /// Fraction of batches the governor replays exactly.
+    pub sample_rate: f64,
+    /// Governor rolling-window capacity.
+    pub gov_window: usize,
+    /// Sampled observations between probes toward approximate.
+    pub gov_dwell: usize,
+    /// Governor sampling seed.
+    pub gov_seed: u64,
+    /// JSONL telemetry path for governor events.
+    pub governor_log: Option<String>,
 }
 
 impl ServeOpts {
@@ -45,6 +61,13 @@ impl ServeOpts {
             workers: 4,
             batch: 16,
             linger_us: 200,
+            slo: None,
+            ladder: None,
+            sample_rate: 0.25,
+            gov_window: 4,
+            gov_dwell: 8,
+            gov_seed: 42,
+            governor_log: None,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -68,6 +91,45 @@ impl ServeOpts {
                 "--linger-us" => {
                     opts.linger_us = parse_int("--linger-us", value("--linger-us")?)? as u64
                 }
+                "--slo" => {
+                    let raw = value("--slo")?;
+                    let slo = parse_float("--slo", raw)?;
+                    if !(slo > 0.0 && slo <= 1.0) {
+                        return Err(format!("--slo: `{raw}` is not in (0, 1]"));
+                    }
+                    opts.slo = Some(slo);
+                }
+                "--ladder" => {
+                    let raw = value("--ladder")?;
+                    if raw.is_empty() {
+                        return Err("--ladder: `` is not `auto` or a spec list".into());
+                    }
+                    opts.ladder = Some(raw.to_owned());
+                }
+                "--sample-rate" => {
+                    let raw = value("--sample-rate")?;
+                    let rate = parse_float("--sample-rate", raw)?;
+                    if !(rate > 0.0 && rate <= 1.0) {
+                        return Err(format!("--sample-rate: `{raw}` is not in (0, 1]"));
+                    }
+                    opts.sample_rate = rate;
+                }
+                "--gov-window" => {
+                    opts.gov_window = parse_int("--gov-window", value("--gov-window")?)?;
+                    if opts.gov_window == 0 {
+                        return Err("--gov-window must be positive".into());
+                    }
+                }
+                "--gov-dwell" => {
+                    opts.gov_dwell = parse_int("--gov-dwell", value("--gov-dwell")?)?;
+                    if opts.gov_dwell == 0 {
+                        return Err("--gov-dwell must be positive".into());
+                    }
+                }
+                "--gov-seed" => {
+                    opts.gov_seed = parse_int("--gov-seed", value("--gov-seed")?)? as u64
+                }
+                "--governor-log" => opts.governor_log = Some(value("--governor-log")?.to_owned()),
                 flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
                 path => opts.checkpoints.push(path.to_owned()),
             }
@@ -79,30 +141,61 @@ impl ServeOpts {
     }
 }
 
-/// `serve <checkpoint>... [--port N] [--workers N] [--batch N] [--linger-us N]`
+/// `serve <checkpoint>... [--port N] [--workers N] [--batch N] [--linger-us N]
+/// [--slo X [--ladder auto|SPEC,..] [--sample-rate X] [--gov-window N]
+/// [--gov-dwell N] [--gov-seed N] [--governor-log PATH]]`
 pub fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let opts = ServeOpts::parse(args).map_err(CliError::Usage)?;
 
+    // `--slo` implies a ladder (`auto` unless one was named): the
+    // governor needs rungs to step through.
+    let ladder_arg = opts.ladder.clone().or_else(|| opts.slo.map(|_| "auto".to_owned()));
+
     let registry = Arc::new(Registry::new());
     for path in &opts.checkpoints {
-        let model = ServingModel::load(Path::new(path))
+        let mut model = ServingModel::load(Path::new(path))
             .map_err(|e| CliError::Runtime(e.to_string()))?;
+        if let Some(arg) = &ladder_arg {
+            // A ladder that doesn't resolve, or that omits the model's
+            // trained spec, is a bad `--ladder` value: a usage error.
+            let ladder = if arg == "auto" {
+                ModeLadder::auto(model.app().kernel_name(), model.mult_spec())
+            } else {
+                ModeLadder::from_specs(model.app().kernel_name(), arg.split(','))
+            }
+            .map_err(|e| CliError::Usage(format!("--ladder: `{arg}`: {e}")))?;
+            model = model
+                .with_ladder(&ladder)
+                .map_err(|e| CliError::Usage(format!("--ladder: `{arg}`: {e}")))?;
+        }
         println!(
-            "loaded {}: {} on {} ({} epochs)",
+            "loaded {}: {} on {} ({} epochs, {} mode{})",
             path,
             model.app().cli_id(),
             model.mult_spec(),
-            model.epochs()
+            model.epochs(),
+            model.mode_count(),
+            if model.mode_count() == 1 { "" } else { "s" }
         );
         if let Some(old) = registry.swap(model) {
             println!("  (replaces earlier {} model)", old.app().cli_id());
         }
     }
 
+    let governor = opts.slo.map(|slo| {
+        let mut g = GovernorConfig::new(slo);
+        g.sample_rate = opts.sample_rate;
+        g.window = opts.gov_window;
+        g.dwell = opts.gov_dwell;
+        g.seed = opts.gov_seed;
+        g.log = opts.governor_log.as_ref().map(std::path::PathBuf::from);
+        g
+    });
     let cfg = ServerConfig {
         workers: opts.workers,
         max_batch: opts.batch,
         linger: Duration::from_micros(opts.linger_us),
+        governor,
     };
     let running = serve(registry, cfg, opts.port)
         .map_err(|e| CliError::Runtime(format!("cannot bind port {}: {e}", opts.port)))?;
@@ -114,6 +207,19 @@ pub fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         opts.batch,
         opts.linger_us
     );
+    if let Some(slo) = opts.slo {
+        println!(
+            "governor on: slo {slo}, sample-rate {}, window {}, dwell {}, seed {}{}",
+            opts.sample_rate,
+            opts.gov_window,
+            opts.gov_dwell,
+            opts.gov_seed,
+            opts.governor_log
+                .as_deref()
+                .map(|p| format!(", log {p}"))
+                .unwrap_or_default()
+        );
+    }
     running.join();
     println!("shut down cleanly");
     Ok(())
@@ -320,6 +426,10 @@ fn parse_int(flag: &str, s: &str) -> Result<usize, String> {
     s.parse().map_err(|_| format!("{flag}: `{s}` is not a valid integer"))
 }
 
+fn parse_float(flag: &str, s: &str) -> Result<f64, String> {
+    s.parse().map_err(|_| format!("{flag}: `{s}` is not a valid number"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,6 +459,55 @@ mod tests {
         assert!(err.contains("checkpoint"), "{err}");
         let err = ServeOpts::parse(&strs(&["a.json", "--bogus"])).unwrap_err();
         assert!(err.contains("--bogus"), "{err}");
+    }
+
+    #[test]
+    fn serve_parses_governor_flags() {
+        let o = ServeOpts::parse(&strs(&[
+            "a.json",
+            "--slo",
+            "0.95",
+            "--ladder",
+            "exact8u,mul8u_185Q,mul8u_FTA",
+            "--sample-rate",
+            "0.5",
+            "--gov-window",
+            "2",
+            "--gov-dwell",
+            "3",
+            "--gov-seed",
+            "7",
+            "--governor-log",
+            "gov.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(o.slo, Some(0.95));
+        assert_eq!(o.ladder.as_deref(), Some("exact8u,mul8u_185Q,mul8u_FTA"));
+        assert_eq!(o.sample_rate, 0.5);
+        assert_eq!((o.gov_window, o.gov_dwell, o.gov_seed), (2, 3, 7));
+        assert_eq!(o.governor_log.as_deref(), Some("gov.jsonl"));
+        // Governor flags are all optional; slo alone is enough.
+        let o = ServeOpts::parse(&strs(&["a.json", "--slo", "0.9"])).unwrap();
+        assert_eq!(o.slo, Some(0.9));
+        assert!(o.ladder.is_none());
+    }
+
+    #[test]
+    fn serve_governor_usage_errors_name_flag_and_value() {
+        let err = ServeOpts::parse(&strs(&["a.json", "--slo", "high"])).unwrap_err();
+        assert!(err.contains("--slo") && err.contains("`high`"), "{err}");
+        let err = ServeOpts::parse(&strs(&["a.json", "--slo", "1.5"])).unwrap_err();
+        assert!(err.contains("--slo") && err.contains("`1.5`"), "{err}");
+        let err = ServeOpts::parse(&strs(&["a.json", "--slo", "0"])).unwrap_err();
+        assert!(err.contains("--slo") && err.contains("`0`"), "{err}");
+        let err = ServeOpts::parse(&strs(&["a.json", "--sample-rate", "-0.1"])).unwrap_err();
+        assert!(err.contains("--sample-rate") && err.contains("`-0.1`"), "{err}");
+        let err = ServeOpts::parse(&strs(&["a.json", "--ladder", ""])).unwrap_err();
+        assert!(err.contains("--ladder"), "{err}");
+        let err = ServeOpts::parse(&strs(&["a.json", "--ladder"])).unwrap_err();
+        assert!(err.contains("--ladder") && err.contains("value"), "{err}");
+        let err = ServeOpts::parse(&strs(&["a.json", "--gov-window", "0"])).unwrap_err();
+        assert!(err.contains("--gov-window"), "{err}");
     }
 
     #[test]

@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 
-use lac_hw::Multiplier;
+use lac_hw::{ModeLadder, Multiplier};
 
 /// How approximate multipliers map onto a kernel's stages.
 #[derive(Clone)]
@@ -50,6 +50,17 @@ impl HardwarePlan {
     /// A uniform plan over a shared unit.
     pub fn uniform(mult: &Arc<dyn Multiplier>) -> Self {
         HardwarePlan::Uniform(Arc::clone(mult))
+    }
+
+    /// A uniform plan over one rung of a [`ModeLadder`].
+    ///
+    /// Training and serving share the ladder as their mode vocabulary:
+    /// a session trained against `from_ladder(&l, m)` produces
+    /// coefficients that a `ServingModel` expanded over `l` runs at
+    /// rung `m`, so "train at mode m, serve at mode m" is one spec
+    /// string end to end.
+    pub fn from_ladder(ladder: &ModeLadder, mode: usize) -> Result<Self, String> {
+        Ok(HardwarePlan::Uniform(ladder.unit(mode)?))
     }
 
     /// The per-stage multiplier list this plan assigns to a kernel with
@@ -121,6 +132,15 @@ mod tests {
 
     fn unit(name: &str) -> Arc<dyn Multiplier> {
         catalog::by_name(name).expect("catalog unit")
+    }
+
+    #[test]
+    fn from_ladder_matches_uniform_rung() {
+        let ladder = ModeLadder::auto("conv3x3", "mul8u_FTA").expect("auto ladder");
+        let plan = HardwarePlan::from_ladder(&ladder, 3).expect("rung resolves");
+        assert_eq!(plan.unit_names(), vec!["mul8u_FTA"]);
+        assert_eq!(plan.mean_area(), ladder.area(3));
+        assert!(HardwarePlan::from_ladder(&ladder, 99).is_err(), "out-of-range rung");
     }
 
     #[test]

@@ -14,12 +14,25 @@
 //! A loaded model is immutable: the `lac-serve` daemon publishes it
 //! behind an `Arc` and hot-swaps checkpoints by swapping the `Arc`, so
 //! in-flight batches finish on the model they started with.
+//!
+//! # Runtime modes
+//!
+//! Which multiplier a kernel *runs* with is a runtime property, not a
+//! load-time constant. [`ServingModel::with_ladder`] expands a model
+//! over a [`ModeLadder`]: every rung's multiplier is adapted and
+//! LUT-wrapped **once** at load time into an immutable per-mode kernel
+//! state, and [`ServingModel::infer_mode`] picks a state per batch with
+//! no per-request setup cost. The mutable part — *which* rung is live —
+//! lives outside the model in a [`ModeSelector`], a single atomic that
+//! a quality governor steps and that hot-swaps carry across model
+//! generations.
 
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use lac_apps::serving::{infer_batch, AppKernel, ServeApp, ServeSample};
-use lac_hw::{catalog, LutMultiplier, Multiplier};
+use lac_hw::{catalog, LutMultiplier, ModeLadder, Multiplier, Signedness};
 use lac_tensor::Tensor;
 
 use crate::engine::SessionCheckpoint;
@@ -66,6 +79,14 @@ pub enum ServeError {
         /// What did not fit.
         reason: String,
     },
+    /// A mode ladder could not be applied to the model — a rung failed
+    /// to resolve, or the trained spec is not one of the rungs.
+    Ladder {
+        /// The trained multiplier spec being placed on the ladder.
+        spec: String,
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -91,26 +112,127 @@ impl std::fmt::Display for ServeError {
             ServeError::Shape { path, reason } => {
                 write!(f, "checkpoint `{path}` does not fit its kernel: {reason}")
             }
+            ServeError::Ladder { spec, reason } => {
+                write!(f, "mode ladder cannot host trained spec `{spec}`: {reason}")
+            }
         }
     }
 }
 
 impl std::error::Error for ServeError {}
 
+/// One immutable runtime mode: a rung's multiplier, fully adapted and
+/// LUT-wrapped for this model's kernel at load time.
+#[derive(Debug)]
+struct ModeState {
+    /// Canonical catalog spec of the rung.
+    spec: String,
+    /// Table I area of the rung's unit.
+    area: f64,
+    /// The adapted multiplier list `infer_batch` consumes.
+    mults: Vec<Arc<dyn Multiplier>>,
+}
+
+/// Which ladder rung a served app is currently running on.
+///
+/// This is the *only* mutable piece of serving-mode state: models are
+/// immutable per-mode kernel states, and the selector is one atomic
+/// index consulted per batch. It lives outside the model (in the
+/// daemon's registry slot) so a checkpoint hot-swap installs the new
+/// model at the governor's current position instead of resetting to
+/// rung 0. By convention, only the quality governor calls
+/// [`set_mode`](Self::set_mode) (enforced by a verify.sh grep guard);
+/// the registry may only [`clamp_to`](Self::clamp_to) a shorter ladder.
+#[derive(Debug)]
+pub struct ModeSelector {
+    current: AtomicUsize,
+}
+
+impl ModeSelector {
+    /// A selector starting at rung `initial`.
+    pub fn new(initial: usize) -> Self {
+        ModeSelector { current: AtomicUsize::new(initial) }
+    }
+
+    /// The live rung index.
+    pub fn current(&self) -> usize {
+        self.current.load(Ordering::SeqCst)
+    }
+
+    /// Move to rung `mode`. Governor-only: every other component treats
+    /// the selector as read-only (plus [`initialize`](Self::initialize)
+    /// and [`clamp_to`](Self::clamp_to)).
+    pub fn set_mode(&self, mode: usize) {
+        self.current.store(mode, Ordering::SeqCst);
+    }
+
+    /// Set a *fresh* slot's starting position (a model's trained rung).
+    /// Registry-only, for first installs — distinct from
+    /// [`set_mode`](Self::set_mode) so tooling can verify that runtime
+    /// mode *steps* only ever come from the quality governor.
+    pub fn initialize(&self, mode: usize) {
+        self.current.store(mode, Ordering::SeqCst);
+    }
+
+    /// Clamp the position into `0..len` (for installing a model whose
+    /// ladder is shorter than the previous one). Never *raises* the
+    /// position — the governor keeps sole authority over stepping.
+    pub fn clamp_to(&self, len: usize) {
+        let max = len.saturating_sub(1);
+        // fetch_min keeps a concurrent governor step if it is smaller.
+        self.current.fetch_min(max, Ordering::SeqCst);
+    }
+}
+
 /// An immutable trained model, ready to answer inference requests.
 ///
-/// Holds the kernel instance, the adapted multiplier, and the
-/// checkpoint's best-iterate coefficients. All state is read-only after
-/// construction, so a model can be shared across worker threads behind
-/// an `Arc` and replaced atomically.
+/// Holds the kernel instance, one fully-resolved kernel state per
+/// runtime mode (adapted multiplier, shared best-iterate coefficients),
+/// and an always-available exact reference datapath for quality
+/// replay. All state is read-only after construction, so a model can be
+/// shared across worker threads behind an `Arc` and replaced
+/// atomically. Models built without a ladder have exactly one mode: the
+/// spec the checkpoint was trained against.
 #[derive(Debug)]
 pub struct ServingModel {
     app: ServeApp,
     kernel: AppKernel,
-    mults: Vec<Arc<dyn Multiplier>>,
+    modes: Vec<ModeState>,
+    /// Rung index of the checkpoint's trained spec ([`infer`](Self::infer)
+    /// runs here; a fresh selector starts here).
+    trained_mode: usize,
+    /// Exact datapath (same width/signedness as the trained unit) for
+    /// governor replay, independent of what the ladder contains.
+    reference_mults: Vec<Arc<dyn Multiplier>>,
     coeffs: Vec<Tensor>,
-    mult_spec: String,
+    ladder_fingerprint: Option<String>,
     epochs: usize,
+}
+
+fn mode_state(kernel: &AppKernel, spec: &str, unit: Arc<dyn Multiplier>) -> ModeState {
+    let area = unit.metadata().area;
+    // Memoize the unit's product table once per mode: every conv and
+    // matmul in the serving datapath then rides the devirtualized LUT
+    // fast paths (bit-identical to the trait-object path).
+    ModeState {
+        spec: spec.to_owned(),
+        area,
+        mults: vec![kernel.adapt(&LutMultiplier::maybe_wrap(unit))],
+    }
+}
+
+fn reference_mults(kernel: &AppKernel, like: &Arc<dyn Multiplier>) -> Vec<Arc<dyn Multiplier>> {
+    let name = format!(
+        "exact{}{}",
+        like.bits(),
+        match like.signedness() {
+            Signedness::Unsigned => "u",
+            Signedness::Signed => "s",
+        }
+    );
+    let exact = catalog::by_name(&name)
+        .unwrap_or_else(|| Arc::new(lac_hw::ExactMultiplier::new(like.bits(), like.signedness())));
+    vec![kernel.adapt(&LutMultiplier::maybe_wrap(exact))]
 }
 
 impl ServingModel {
@@ -125,6 +247,11 @@ impl ServingModel {
             },
         })?;
         Self::from_checkpoint(&ck, &label)
+    }
+
+    /// Read a checkpoint file and expand the model over a mode ladder.
+    pub fn load_with_ladder(path: &Path, ladder: &ModeLadder) -> Result<Self, ServeError> {
+        Self::load(path)?.with_ladder(ladder)
     }
 
     /// Build a model from an in-memory checkpoint; `path` labels errors.
@@ -142,12 +269,8 @@ impl ServingModel {
             spec: spec.to_owned(),
             reason,
         })?;
-        let mult_spec = spec.to_owned();
-        // Memoize the unit's product table once per model: every conv
-        // and matmul in the serving datapath then rides the
-        // devirtualized LUT fast paths (bit-identical to the
-        // trait-object path).
-        let mults = vec![kernel.adapt(&LutMultiplier::maybe_wrap(unit))];
+        let reference = reference_mults(&kernel, &unit);
+        let modes = vec![mode_state(&kernel, spec, unit)];
 
         let restored = ck.restore().map_err(|reason| ServeError::Checkpoint {
             path: path.to_owned(),
@@ -159,7 +282,7 @@ impl ServingModel {
         // The kernel dictates the coefficient layout; a checkpoint from a
         // different kernel configuration (e.g. per-stage training) must
         // be refused, not served with garbled weights.
-        let expect = kernel.init_coeffs(&mults);
+        let expect = kernel.init_coeffs(&modes[0].mults);
         if coeffs.len() != expect.len() {
             return Err(ServeError::Shape {
                 path: path.to_owned(),
@@ -183,7 +306,16 @@ impl ServingModel {
             }
         }
 
-        Ok(ServingModel { app, kernel, mults, coeffs, mult_spec, epochs })
+        Ok(ServingModel {
+            app,
+            kernel,
+            modes,
+            trained_mode: 0,
+            reference_mults: reference,
+            coeffs,
+            ladder_fingerprint: None,
+            epochs,
+        })
     }
 
     /// Build a model from a kernel's initial (untrained) coefficients.
@@ -197,9 +329,51 @@ impl ServingModel {
             spec: spec.to_owned(),
             reason,
         })?;
-        let mults = vec![kernel.adapt(&LutMultiplier::maybe_wrap(unit))];
-        let coeffs = kernel.init_coeffs(&mults);
-        Ok(ServingModel { app, kernel, mults, coeffs, mult_spec: spec.to_owned(), epochs: 0 })
+        let reference = reference_mults(&kernel, &unit);
+        let modes = vec![mode_state(&kernel, spec, unit)];
+        let coeffs = kernel.init_coeffs(&modes[0].mults);
+        Ok(ServingModel {
+            app,
+            kernel,
+            modes,
+            trained_mode: 0,
+            reference_mults: reference,
+            coeffs,
+            ladder_fingerprint: None,
+            epochs: 0,
+        })
+    }
+
+    /// Expand this model over `ladder`: resolve every rung into an
+    /// immutable kernel state sharing this model's coefficients.
+    ///
+    /// The trained spec must be one of the rungs (so "run as trained"
+    /// is always a reachable mode); otherwise the quality the
+    /// coefficients were optimized for would correspond to no rung at
+    /// all.
+    pub fn with_ladder(mut self, ladder: &ModeLadder) -> Result<Self, ServeError> {
+        let trained_spec = self.modes[self.trained_mode].spec.clone();
+        let trained_mode = ladder.position_of(&trained_spec).ok_or_else(|| {
+            ServeError::Ladder {
+                spec: trained_spec.clone(),
+                reason: format!(
+                    "spec is not a rung of ladder [{}]",
+                    ladder.specs().join(", ")
+                ),
+            }
+        })?;
+        let mut modes = Vec::with_capacity(ladder.len());
+        for m in 0..ladder.len() {
+            let unit = ladder.unit(m).map_err(|reason| ServeError::Ladder {
+                spec: ladder.spec(m).to_owned(),
+                reason,
+            })?;
+            modes.push(mode_state(&self.kernel, ladder.spec(m), unit));
+        }
+        self.modes = modes;
+        self.trained_mode = trained_mode;
+        self.ladder_fingerprint = Some(ladder.fingerprint());
+        Ok(self)
     }
 
     /// The application this model serves.
@@ -209,7 +383,7 @@ impl ServingModel {
 
     /// The multiplier spec the coefficients were trained against.
     pub fn mult_spec(&self) -> &str {
-        &self.mult_spec
+        &self.modes[self.trained_mode].spec
     }
 
     /// Completed training epochs recorded in the checkpoint.
@@ -222,13 +396,72 @@ impl ServingModel {
         &self.coeffs
     }
 
-    /// Batched forward pass over decoded samples.
+    /// Number of runtime modes (1 unless expanded over a ladder).
+    pub fn mode_count(&self) -> usize {
+        self.modes.len()
+    }
+
+    /// Rung index of the trained spec (where a fresh selector starts).
+    pub fn trained_mode(&self) -> usize {
+        self.trained_mode
+    }
+
+    /// Canonical spec of runtime mode `mode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode >= mode_count()`.
+    pub fn mode_spec(&self, mode: usize) -> &str {
+        &self.modes[mode].spec
+    }
+
+    /// Table I area of runtime mode `mode`'s unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode >= mode_count()`.
+    pub fn mode_area(&self, mode: usize) -> f64 {
+        self.modes[mode].area
+    }
+
+    /// Fingerprint of the ladder this model was expanded over, if any.
+    pub fn ladder_fingerprint(&self) -> Option<&str> {
+        self.ladder_fingerprint.as_deref()
+    }
+
+    /// Batched forward pass over decoded samples, at the trained mode.
     ///
     /// Per-sample outputs in input order, bit-identical for every
     /// `threads` value and batch split (see
     /// [`lac_apps::serving::infer_batch`]).
     pub fn infer(&self, samples: &[ServeSample], threads: usize) -> Result<Vec<Vec<f64>>, String> {
-        infer_batch(&self.kernel, &self.coeffs, &self.mults, samples, threads)
+        self.infer_mode(self.trained_mode, samples, threads)
+    }
+
+    /// Batched forward pass at an explicit runtime mode.
+    pub fn infer_mode(
+        &self,
+        mode: usize,
+        samples: &[ServeSample],
+        threads: usize,
+    ) -> Result<Vec<Vec<f64>>, String> {
+        let state = self
+            .modes
+            .get(mode)
+            .ok_or_else(|| format!("mode {mode} out of range (model has {})", self.modes.len()))?;
+        infer_batch(&self.kernel, &self.coeffs, &state.mults, samples, threads)
+    }
+
+    /// Batched forward pass through the exact reference datapath (same
+    /// operand width/signedness as the trained unit, error-free
+    /// multiplies). The governor replays sampled batches through this
+    /// to score live quality without a golden dataset.
+    pub fn infer_reference(
+        &self,
+        samples: &[ServeSample],
+        threads: usize,
+    ) -> Result<Vec<Vec<f64>>, String> {
+        infer_batch(&self.kernel, &self.coeffs, &self.reference_mults, samples, threads)
     }
 }
 
@@ -255,6 +488,10 @@ mod tests {
             assert_eq!(model.app(), app);
             assert_eq!(model.mult_spec(), "mul8u_FTA");
             assert_eq!(model.epochs(), 0);
+            assert_eq!(model.mode_count(), 1);
+            assert_eq!(model.trained_mode(), 0);
+            assert_eq!(model.mode_area(0), 0.07);
+            assert_eq!(model.ladder_fingerprint(), None);
         }
     }
 
@@ -335,5 +572,81 @@ mod tests {
         let ck = fresh_checkpoint(ServeApp::Sharpen, "mul8u_FTA!seed=7,flip=0.01");
         let model = ServingModel::from_checkpoint(&ck, "mem").expect("faulty unit serves");
         assert_eq!(model.mult_spec(), "mul8u_FTA!seed=7,flip=0.01");
+    }
+
+    #[test]
+    fn ladder_expansion_keeps_trained_spec_reachable() {
+        let ladder = ModeLadder::auto("conv3x3", "mul8u_FTA").unwrap();
+        let ck = fresh_checkpoint(ServeApp::Blur, "mul8u_FTA");
+        let model = ServingModel::from_checkpoint(&ck, "mem")
+            .unwrap()
+            .with_ladder(&ladder)
+            .expect("trained spec is a rung");
+        assert_eq!(model.mode_count(), 5);
+        assert_eq!(model.trained_mode(), 3);
+        assert_eq!(model.mult_spec(), "mul8u_FTA");
+        assert_eq!(model.mode_spec(0), "exact8u");
+        assert_eq!(model.mode_area(0), 0.25);
+        assert_eq!(model.ladder_fingerprint(), Some(ladder.fingerprint().as_str()));
+
+        // `infer` still runs at the trained rung.
+        let img = lac_data::synth_image(32, 32, 9);
+        let sample = ServeApp::Blur.decode(img.pixels()).unwrap();
+        let trained = model.infer(&[sample.clone()], 1).unwrap();
+        let at_mode = model.infer_mode(3, &[sample.clone()], 1).unwrap();
+        assert_eq!(trained, at_mode);
+        // The exact rung matches the reference datapath for this ladder.
+        let exact = model.infer_mode(0, &[sample.clone()], 2).unwrap();
+        let reference = model.infer_reference(&[sample], 3).unwrap();
+        assert_eq!(exact, reference);
+        assert!(model.infer_mode(9, &[], 1).is_err(), "out-of-range mode is an error");
+    }
+
+    #[test]
+    fn ladder_without_trained_spec_is_refused() {
+        let ladder = ModeLadder::from_specs("conv3x3", ["exact8u", "mul8u_JV3"]).unwrap();
+        let ck = fresh_checkpoint(ServeApp::Blur, "mul8u_FTA");
+        let err = ServingModel::from_checkpoint(&ck, "mem")
+            .unwrap()
+            .with_ladder(&ladder)
+            .unwrap_err();
+        match &err {
+            ServeError::Ladder { spec, reason } => {
+                assert_eq!(spec, "mul8u_FTA");
+                assert!(reason.contains("exact8u"), "reason lists rungs: {reason}");
+            }
+            other => panic!("expected Ladder error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("mul8u_FTA"));
+    }
+
+    #[test]
+    fn modes_differ_and_reference_is_exact() {
+        let ladder =
+            ModeLadder::from_specs("conv3x3", ["exact8u", "mul8u_FTA", "mul8u_JV3"]).unwrap();
+        let model = ServingModel::untrained(ServeApp::Blur, "mul8u_FTA")
+            .unwrap()
+            .with_ladder(&ladder)
+            .unwrap();
+        assert_eq!(model.trained_mode(), 1);
+        let img = lac_data::synth_image(32, 32, 11);
+        let sample = ServeApp::Blur.decode(img.pixels()).unwrap();
+        let exact = model.infer_mode(0, &[sample.clone()], 1).unwrap();
+        let fta = model.infer_mode(1, &[sample.clone()], 1).unwrap();
+        let jv3 = model.infer_mode(2, &[sample], 1).unwrap();
+        assert_ne!(exact, jv3, "cheapest rung visibly differs from exact");
+        assert_ne!(exact, fta, "trained rung visibly differs from exact");
+    }
+
+    #[test]
+    fn selector_steps_and_clamps() {
+        let sel = ModeSelector::new(3);
+        assert_eq!(sel.current(), 3);
+        sel.set_mode(1);
+        assert_eq!(sel.current(), 1);
+        sel.clamp_to(4);
+        assert_eq!(sel.current(), 1, "clamp never raises the position");
+        sel.clamp_to(1);
+        assert_eq!(sel.current(), 0, "single-mode ladder clamps to rung 0");
     }
 }

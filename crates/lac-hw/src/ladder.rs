@@ -1,0 +1,370 @@
+//! Mode ladders: ordered exact↔approximate catalog slices.
+//!
+//! LAC picks a multiplier at training time, but which unit a kernel
+//! *runs* with should be a runtime property: a serving-side governor
+//! can trade area for quality live if it has an ordered menu of
+//! interchangeable units. A [`ModeLadder`] is that menu — a slice of
+//! the [`catalog`](crate::catalog) for one kernel, sorted from most
+//! exact (largest area) to most approximate (smallest area). Rung 0 is
+//! the quality anchor; stepping *down* the ladder (increasing index)
+//! trades quality for area.
+//!
+//! Ladders serialize to canonical JSON (sorted object members, spec
+//! strings only) so that two ladders with the same rungs fingerprint
+//! identically into the content-addressed result cache, regardless of
+//! how they were constructed.
+//!
+//! # Examples
+//!
+//! ```
+//! use lac_hw::ModeLadder;
+//!
+//! let ladder = ModeLadder::auto("conv3x3", "mul8u_FTA").unwrap();
+//! assert_eq!(ladder.spec(0), "exact8u"); // rung 0 is the exact anchor
+//! assert!(ladder.area(0) > ladder.area(ladder.len() - 1));
+//! let same = ModeLadder::from_json(&ladder.to_json()).unwrap();
+//! assert_eq!(ladder.fingerprint(), same.fingerprint());
+//! ```
+
+use std::sync::Arc;
+
+use lac_rt::hash::fnv1a_64_hex;
+use lac_rt::json::Value;
+
+use crate::catalog;
+use crate::mult::Multiplier;
+
+/// One rung of a [`ModeLadder`]: a resolved catalog spec with the
+/// metadata the ladder was sorted by.
+#[derive(Debug, Clone)]
+struct Rung {
+    /// Canonical catalog spec (`name` or `name!faults`, as normalized
+    /// by [`catalog::by_spec`]).
+    spec: String,
+    area: f64,
+    delay: Option<f64>,
+}
+
+/// An ordered catalog slice for one kernel: most exact unit first,
+/// cheapest last.
+///
+/// Every spec is validated against the catalog at construction time
+/// (including fault-injected `name!faults` specs), and the rung order
+/// must be non-increasing in area — the ladder is the *vocabulary* of
+/// runtime modes, so an out-of-order ladder is a configuration error,
+/// not something to silently re-sort at serve time.
+#[derive(Debug, Clone)]
+pub struct ModeLadder {
+    kernel: String,
+    rungs: Vec<Rung>,
+}
+
+impl ModeLadder {
+    /// Build a ladder from explicit catalog specs, in the given order.
+    ///
+    /// Each spec must resolve via [`catalog::by_spec`]; specs are
+    /// stored in canonical form (`unit.name()`), duplicates are
+    /// rejected, and areas must be non-increasing from rung 0 down.
+    pub fn from_specs<I, S>(kernel: &str, specs: I) -> Result<ModeLadder, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut rungs: Vec<Rung> = Vec::new();
+        for spec in specs {
+            let unit = catalog::by_spec(spec.as_ref())
+                .map_err(|e| format!("ladder spec `{}`: {e}", spec.as_ref()))?;
+            let md = unit.metadata();
+            let canonical = unit.name().to_string();
+            if rungs.iter().any(|r| r.spec == canonical) {
+                return Err(format!("ladder spec `{canonical}` listed twice"));
+            }
+            rungs.push(Rung { spec: canonical, area: md.area, delay: md.delay });
+        }
+        if rungs.is_empty() {
+            return Err("a mode ladder needs at least one spec".to_string());
+        }
+        for pair in rungs.windows(2) {
+            if pair[1].area > pair[0].area {
+                return Err(format!(
+                    "ladder not ordered exact->approximate: `{}` (area {}) precedes `{}` (area {})",
+                    pair[0].spec, pair[0].area, pair[1].spec, pair[1].area
+                ));
+            }
+        }
+        Ok(ModeLadder { kernel: kernel.to_string(), rungs })
+    }
+
+    /// Derive a ladder automatically around a base spec: the exact unit
+    /// of the same width/signedness first, then every Table I unit of
+    /// that width/signedness, sorted by area (then delay) descending.
+    ///
+    /// If `spec` carries a fault suffix (`name!faults`), the faulty
+    /// spec replaces its healthy base unit on the ladder, so a ladder
+    /// can model "this deployed unit is degraded" while the exact
+    /// anchor stays healthy.
+    pub fn auto(kernel: &str, spec: &str) -> Result<ModeLadder, String> {
+        let unit = catalog::by_spec(spec).map_err(|e| format!("ladder spec `{spec}`: {e}"))?;
+        let base_name = spec.split('!').next().unwrap_or(spec).to_string();
+        let bits = unit.bits();
+        let sign = unit.signedness();
+
+        let exact_name = format!(
+            "exact{bits}{}",
+            match sign {
+                crate::mult::Signedness::Unsigned => "u",
+                crate::mult::Signedness::Signed => "s",
+            }
+        );
+        // Candidate rungs: every paper unit of the same shape, plus the
+        // base unit itself when it lives outside Table I.
+        let mut names: Vec<String> = catalog::PAPER_NAMES
+            .iter()
+            .map(|n| n.to_string())
+            .filter(|n| {
+                let m = catalog::by_name(n).expect("paper unit");
+                m.bits() == bits && m.signedness() == sign
+            })
+            .collect();
+        if !names.contains(&base_name) && base_name != exact_name {
+            names.push(base_name.clone());
+        }
+        names.sort_by(|a, b| {
+            let ma = catalog::by_name(a).expect("candidate unit").metadata();
+            let mb = catalog::by_name(b).expect("candidate unit").metadata();
+            mb.area
+                .partial_cmp(&ma.area)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(
+                    mb.delay
+                        .unwrap_or(f64::INFINITY)
+                        .partial_cmp(&ma.delay.unwrap_or(f64::INFINITY))
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+                .then(a.cmp(b))
+        });
+        let mut specs = vec![exact_name];
+        for name in names {
+            // A fault suffix rides along on its base unit's rung.
+            if name == base_name {
+                specs.push(spec.to_string());
+            } else {
+                specs.push(name);
+            }
+        }
+        ModeLadder::from_specs(kernel, specs)
+    }
+
+    /// The kernel this ladder is for.
+    pub fn kernel(&self) -> &str {
+        &self.kernel
+    }
+
+    /// Number of rungs.
+    pub fn len(&self) -> usize {
+        self.rungs.len()
+    }
+
+    /// True when the ladder has no rungs (unreachable via constructors,
+    /// provided for `len`/`is_empty` symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.rungs.is_empty()
+    }
+
+    /// Canonical catalog spec of rung `mode`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mode >= len()`.
+    pub fn spec(&self, mode: usize) -> &str {
+        &self.rungs[mode].spec
+    }
+
+    /// Table I area of rung `mode` (relative units).
+    pub fn area(&self, mode: usize) -> f64 {
+        self.rungs[mode].area
+    }
+
+    /// Table III delay of rung `mode`, when published.
+    pub fn delay(&self, mode: usize) -> Option<f64> {
+        self.rungs[mode].delay
+    }
+
+    /// All rung specs, most exact first.
+    pub fn specs(&self) -> Vec<&str> {
+        self.rungs.iter().map(|r| r.spec.as_str()).collect()
+    }
+
+    /// Rung index of a spec (canonical form), if present.
+    pub fn position_of(&self, spec: &str) -> Option<usize> {
+        let canonical = match catalog::by_spec(spec) {
+            Ok(unit) => unit.name().to_string(),
+            Err(_) => spec.to_string(),
+        };
+        self.rungs.iter().position(|r| r.spec == canonical)
+    }
+
+    /// Construct the multiplier for rung `mode`.
+    pub fn unit(&self, mode: usize) -> Result<Arc<dyn Multiplier>, String> {
+        let rung = self
+            .rungs
+            .get(mode)
+            .ok_or_else(|| format!("mode {mode} out of range (ladder has {})", self.rungs.len()))?;
+        catalog::by_spec(&rung.spec)
+    }
+
+    /// Serialize as canonical JSON (sorted members, compact):
+    /// `{"kernel":...,"modes":[spec,...]}`. Metadata is *not* stored —
+    /// it is re-derived from the catalog on parse, so a ladder document
+    /// can never disagree with the catalog it names.
+    pub fn to_json(&self) -> String {
+        let modes: Vec<Value> =
+            self.rungs.iter().map(|r| Value::Str(r.spec.clone())).collect();
+        Value::Obj(vec![
+            ("kernel".to_string(), Value::Str(self.kernel.clone())),
+            ("modes".to_string(), Value::Arr(modes)),
+        ])
+        .canonical()
+        .to_json()
+    }
+
+    /// Parse a ladder written by [`to_json`](Self::to_json),
+    /// re-resolving and re-validating every spec against the catalog.
+    pub fn from_json(text: &str) -> Result<ModeLadder, String> {
+        let v = Value::parse(text).map_err(|e| format!("ladder json: {e}"))?;
+        let kernel = v
+            .get("kernel")
+            .and_then(Value::as_str)
+            .ok_or_else(|| "ladder json: missing `kernel`".to_string())?;
+        let modes = v
+            .get("modes")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| "ladder json: missing `modes`".to_string())?;
+        let specs: Vec<&str> = modes
+            .iter()
+            .map(|m| m.as_str().ok_or_else(|| "ladder json: non-string mode".to_string()))
+            .collect::<Result<_, _>>()?;
+        ModeLadder::from_specs(kernel, specs)
+    }
+
+    /// Content fingerprint: FNV-1a of the canonical JSON. Ladders with
+    /// the same kernel and rungs fingerprint identically, so sweep
+    /// cells keyed on a ladder hit the PR-5 result cache across runs.
+    pub fn fingerprint(&self) -> String {
+        fnv1a_64_hex(self.to_json().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_specs_validates_order_and_duplicates() {
+        let ok = ModeLadder::from_specs("k", ["exact8u", "mul8u_185Q", "mul8u_FTA", "mul8u_JV3"])
+            .unwrap();
+        assert_eq!(ok.len(), 4);
+        assert_eq!(ok.spec(0), "exact8u");
+        assert_eq!(ok.area(0), 0.25);
+        assert_eq!(ok.spec(3), "mul8u_JV3");
+        assert_eq!(ok.area(3), 0.03);
+
+        let err = ModeLadder::from_specs("k", ["mul8u_JV3", "mul8u_FTA"]).unwrap_err();
+        assert!(err.contains("not ordered"), "{err}");
+        let err = ModeLadder::from_specs("k", ["exact8u", "exact8u"]).unwrap_err();
+        assert!(err.contains("twice"), "{err}");
+        let err = ModeLadder::from_specs("k", ["mul8u_NOPE"]).unwrap_err();
+        assert!(err.contains("mul8u_NOPE"), "{err}");
+        let err = ModeLadder::from_specs::<[&str; 0], &str>("k", []).unwrap_err();
+        assert!(err.contains("at least one"), "{err}");
+    }
+
+    #[test]
+    fn auto_ladder_is_exact_anchored_and_area_sorted() {
+        let ladder = ModeLadder::auto("conv3x3", "mul8u_FTA").unwrap();
+        assert_eq!(
+            ladder.specs(),
+            vec!["exact8u", "ETM8-k4", "mul8u_185Q", "mul8u_FTA", "mul8u_JV3"]
+        );
+        for m in 1..ladder.len() {
+            assert!(ladder.area(m) <= ladder.area(m - 1));
+        }
+        assert_eq!(ladder.position_of("mul8u_FTA"), Some(3));
+        assert_eq!(ladder.position_of("DRUM16-4"), None, "16-bit unit not on an 8u ladder");
+    }
+
+    #[test]
+    fn auto_ladder_carries_fault_suffix_on_base_rung() {
+        let ladder = ModeLadder::auto("conv3x3", "mul8u_FTA!flip=0.05,seed=7").unwrap();
+        // Canonical fault spec ordering comes from FaultConfig.
+        assert_eq!(ladder.spec(3), "mul8u_FTA!seed=7,flip=0.05");
+        assert_eq!(ladder.spec(0), "exact8u", "exact anchor stays healthy");
+        assert_eq!(ladder.area(3), 0.07, "fault wrapper keeps the base unit's area");
+        assert_eq!(ladder.position_of("mul8u_FTA!flip=0.05,seed=7"), Some(3));
+    }
+
+    #[test]
+    fn auto_ladder_includes_non_table1_base() {
+        let ladder = ModeLadder::auto("conv3x3", "kulkarni8u").unwrap();
+        assert!(ladder.specs().contains(&"kulkarni8u"));
+        assert_eq!(ladder.spec(0), "exact8u");
+    }
+
+    #[test]
+    fn signed_auto_ladder_filters_by_signedness() {
+        let ladder = ModeLadder::auto("dct8", "mul8s_1KR3").unwrap();
+        assert_eq!(ladder.specs(), vec!["exact8s", "mul8s_1KVL", "mul8s_1KR3"]);
+    }
+
+    #[test]
+    fn json_round_trip_and_fingerprint_stability() {
+        let ladder = ModeLadder::auto("conv3x3", "mul8u_FTA").unwrap();
+        let json = ladder.to_json();
+        // Canonical form: members sorted, compact, specs only.
+        assert_eq!(
+            json,
+            r#"{"kernel":"conv3x3","modes":["exact8u","ETM8-k4","mul8u_185Q","mul8u_FTA","mul8u_JV3"]}"#
+        );
+        let back = ModeLadder::from_json(&json).unwrap();
+        assert_eq!(back.to_json(), json);
+        assert_eq!(back.fingerprint(), ladder.fingerprint());
+
+        // Same rungs via the explicit constructor -> same fingerprint.
+        let explicit = ModeLadder::from_specs(
+            "conv3x3",
+            ["exact8u", "ETM8-k4", "mul8u_185Q", "mul8u_FTA", "mul8u_JV3"],
+        )
+        .unwrap();
+        assert_eq!(explicit.fingerprint(), ladder.fingerprint());
+
+        // Different kernel or rungs -> different fingerprint.
+        let other = ModeLadder::auto("other", "mul8u_FTA").unwrap();
+        assert_ne!(other.fingerprint(), ladder.fingerprint());
+        let shorter =
+            ModeLadder::from_specs("conv3x3", ["exact8u", "mul8u_FTA"]).unwrap();
+        assert_ne!(shorter.fingerprint(), ladder.fingerprint());
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        assert!(ModeLadder::from_json("{").is_err());
+        assert!(ModeLadder::from_json(r#"{"modes":["exact8u"]}"#).is_err(), "missing kernel");
+        assert!(ModeLadder::from_json(r#"{"kernel":"k"}"#).is_err(), "missing modes");
+        assert!(ModeLadder::from_json(r#"{"kernel":"k","modes":[1]}"#).is_err());
+        assert!(
+            ModeLadder::from_json(r#"{"kernel":"k","modes":["mul8u_JV3","exact8u"]}"#).is_err(),
+            "order re-validated on parse"
+        );
+    }
+
+    #[test]
+    fn units_resolve_per_rung() {
+        let ladder =
+            ModeLadder::from_specs("k", ["exact8u", "mul8u_FTA!seed=3,sa1=0x1"]).unwrap();
+        let exact = ladder.unit(0).unwrap();
+        assert_eq!(exact.multiply(7, 9), 63);
+        let faulty = ladder.unit(1).unwrap();
+        assert_eq!(faulty.multiply(10, 10) & 1, 1, "stuck-at bit survives the round trip");
+        assert!(ladder.unit(9).is_err());
+    }
+}

@@ -12,6 +12,8 @@
 //!   the EvoApprox units (module [`evo`]);
 //! * the paper's multiplier [`catalog`] with Table I area/power and
 //!   Table III delay metadata;
+//! * ordered exact↔approximate catalog slices ([`ModeLadder`]) that give
+//!   runtime mode switching a validated, fingerprintable vocabulary;
 //! * lookup-table acceleration ([`LutMultiplier`]) and sign-magnitude
 //!   adaptation ([`SignMagnitude`]) wrappers;
 //! * seeded deterministic fault injection over any unit — stuck-at bits,
@@ -45,6 +47,7 @@ mod etm;
 pub mod error_map;
 pub mod evo;
 mod kulkarni;
+pub mod ladder;
 mod lut;
 mod mitchell;
 mod mult;
@@ -56,6 +59,7 @@ pub use faults::{FaultConfig, FaultyMultiplier};
 pub use drum::DrumMultiplier;
 pub use etm::EtmMultiplier;
 pub use kulkarni::KulkarniMultiplier;
+pub use ladder::ModeLadder;
 pub use lut::{DenseLut, LutMultiplier, MAX_LUT_BITS};
 pub use mitchell::{MitchellMultiplier, SsmMultiplier};
 pub use error_map::ErrorMap;

@@ -9,6 +9,9 @@
 //!   DCT and DFT applications (higher is better);
 //! * [`mean_relative_error`] — for Inversek2j (lower is better).
 //!
+//! Online monitors (e.g. the serving-side quality governor) aggregate
+//! streamed observations of these metrics through a [`RollingWindow`].
+//!
 //! # Quick start
 //!
 //! ```
@@ -29,9 +32,11 @@
 #![warn(missing_debug_implementations)]
 
 mod error;
+mod rolling;
 mod ssim;
 
 pub use error::{mae, mean_psnr_255, mean_relative_error, mse, psnr, psnr_255};
+pub use rolling::RollingWindow;
 pub use ssim::{mean_ssim, ssim, ImageView, DYNAMIC_RANGE};
 
 /// Direction of a quality metric: whether larger values mean better quality.

@@ -1,0 +1,154 @@
+//! Rolling quality windows for online monitors.
+//!
+//! Serving-side quality governors estimate quality from a *stream* of
+//! sampled observations, not a fixed test set: each sampled batch
+//! contributes one scalar (an SSIM or a relative-error score), and
+//! decisions key off the mean of the last `capacity` observations. This
+//! module owns that window so every monitor shares one implementation
+//! (and one set of edge-case rules) instead of re-growing ring buffers.
+
+use std::collections::VecDeque;
+
+/// A fixed-capacity rolling window over scalar quality observations.
+///
+/// Pushing beyond capacity evicts the oldest observation. The window
+/// distinguishes "not yet warmed up" (fewer than `capacity`
+/// observations — [`full_mean`](Self::full_mean) returns `None`) from a
+/// warmed-up window, so a monitor can refuse to act on a half-filled
+/// window after a reset.
+///
+/// # Examples
+///
+/// ```
+/// use lac_metrics::RollingWindow;
+///
+/// let mut w = RollingWindow::new(3);
+/// w.push(1.0);
+/// assert_eq!(w.full_mean(), None); // not warmed up yet
+/// w.push(0.5);
+/// w.push(0.0);
+/// assert_eq!(w.full_mean(), Some(0.5));
+/// w.push(1.0); // evicts the 1.0? no — evicts the oldest (1.0), window is now [0.5, 0.0, 1.0]
+/// assert_eq!(w.full_mean(), Some(0.5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RollingWindow {
+    capacity: usize,
+    values: VecDeque<f64>,
+}
+
+impl RollingWindow {
+    /// An empty window holding at most `capacity` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "rolling window needs a positive capacity");
+        RollingWindow { capacity, values: VecDeque::with_capacity(capacity) }
+    }
+
+    /// Append one observation, evicting the oldest when full.
+    pub fn push(&mut self, value: f64) {
+        if self.values.len() == self.capacity {
+            self.values.pop_front();
+        }
+        self.values.push_back(value);
+    }
+
+    /// Observations currently held.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no observation has been pushed since the last reset.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The window's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True when the window holds `capacity` observations.
+    pub fn is_full(&self) -> bool {
+        self.values.len() == self.capacity
+    }
+
+    /// Mean of the held observations, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+    }
+
+    /// Mean of a *warmed-up* window: `None` until `capacity`
+    /// observations have accumulated since the last reset.
+    pub fn full_mean(&self) -> Option<f64> {
+        if self.is_full() {
+            self.mean()
+        } else {
+            None
+        }
+    }
+
+    /// Drop every observation (the window must warm up again).
+    pub fn clear(&mut self) {
+        self.values.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warms_up_then_rolls() {
+        let mut w = RollingWindow::new(2);
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), None);
+        assert_eq!(w.full_mean(), None);
+        w.push(1.0);
+        assert_eq!(w.mean(), Some(1.0));
+        assert_eq!(w.full_mean(), None, "half-filled window is not warmed up");
+        w.push(0.0);
+        assert!(w.is_full());
+        assert_eq!(w.full_mean(), Some(0.5));
+        w.push(0.0); // evicts the 1.0
+        assert_eq!(w.full_mean(), Some(0.0));
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn clear_requires_rewarming() {
+        let mut w = RollingWindow::new(2);
+        w.push(1.0);
+        w.push(1.0);
+        assert!(w.is_full());
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.full_mean(), None);
+        w.push(0.25);
+        assert_eq!(w.full_mean(), None);
+        w.push(0.75);
+        assert_eq!(w.full_mean(), Some(0.5));
+    }
+
+    #[test]
+    fn capacity_one_is_always_full_after_first_push() {
+        let mut w = RollingWindow::new(1);
+        w.push(0.9);
+        assert_eq!(w.full_mean(), Some(0.9));
+        w.push(0.1);
+        assert_eq!(w.full_mean(), Some(0.1));
+        assert_eq!(w.capacity(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive capacity")]
+    fn zero_capacity_panics() {
+        let _ = RollingWindow::new(0);
+    }
+}

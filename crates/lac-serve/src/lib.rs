@@ -10,7 +10,11 @@
 //! linger window. Checkpoints hot-swap atomically ([`registry`]):
 //! in-flight batches finish on the model they started with and no
 //! connection is dropped. A seeded load generator ([`loadgen`])
-//! produces the `BENCH_serve.json` latency/throughput benchmark.
+//! produces the `BENCH_serve.json` latency/throughput benchmark. A
+//! quality governor ([`governor`]) can close the loop on runtime
+//! approximation modes: it samples live batches, replays them through
+//! the exact datapath, and steps each app's mode ladder to hold a
+//! quality SLO at minimum area.
 //!
 //! # Quick start
 //!
@@ -43,6 +47,7 @@
 
 pub mod batch;
 pub mod client;
+pub mod governor;
 pub mod loadgen;
 pub mod protocol;
 pub mod registry;
@@ -50,6 +55,10 @@ pub mod server;
 
 pub use batch::BatchQueue;
 pub use client::Client;
+pub use governor::{
+    quality_score, run_closed_loop, should_sample, ClosedLoopConfig, ClosedLoopReport,
+    GovernorConfig, GovernorJob, GovernorSink, ModeStep, Observation, QualityGovernor,
+};
 pub use loadgen::{
     run_loadgen, run_sweep, write_bench, LoadgenConfig, LoadgenReport, SweepConfig,
 };

@@ -295,6 +295,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<Value, String> {
                 workers,
                 max_batch,
                 linger: Duration::from_micros(cfg.linger_us),
+                governor: None,
             };
             let running =
                 serve(registry, server_cfg, 0).map_err(|e| format!("start server: {e}"))?;

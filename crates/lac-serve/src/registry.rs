@@ -6,16 +6,44 @@
 //! the slot without waiting for in-flight inference: batches that
 //! resolved before the swap finish on the model they started with, and
 //! no connection is touched.
+//!
+//! Each slot also owns a [`ModeSelector`] that *outlives* the model in
+//! it: the quality governor's ladder position is a property of the live
+//! traffic, not of any one checkpoint, so a hot-swap installs the new
+//! model at the governor's current rung (clamped to the new ladder's
+//! length under the slot's write lock) instead of silently resetting to
+//! rung 0.
 
 use std::sync::{Arc, RwLock};
 
 use lac_apps::serving::ServeApp;
-use lac_core::ServingModel;
+use lac_core::{ModeSelector, ServingModel};
+
+struct Slot {
+    model: RwLock<Option<Arc<ServingModel>>>,
+    selector: Arc<ModeSelector>,
+}
+
+impl Default for Slot {
+    fn default() -> Self {
+        Slot { model: RwLock::new(None), selector: Arc::new(ModeSelector::new(0)) }
+    }
+}
+
+impl std::fmt::Debug for Slot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let occupied = self.model.read().map(|m| m.is_some()).unwrap_or(true);
+        f.debug_struct("Slot")
+            .field("occupied", &occupied)
+            .field("mode", &self.selector.current())
+            .finish()
+    }
+}
 
 /// The server's published models, one optional slot per [`ServeApp`].
 #[derive(Debug, Default)]
 pub struct Registry {
-    slots: [RwLock<Option<Arc<ServingModel>>>; 6],
+    slots: [Slot; 6],
 }
 
 impl Registry {
@@ -24,7 +52,7 @@ impl Registry {
         Registry::default()
     }
 
-    fn slot(&self, app: ServeApp) -> &RwLock<Option<Arc<ServingModel>>> {
+    fn slot(&self, app: ServeApp) -> &Slot {
         &self.slots[app.code() as usize]
     }
 
@@ -32,14 +60,51 @@ impl Registry {
     /// replaced (if any). In-flight batches holding the old `Arc`
     /// finish undisturbed.
     pub fn swap(&self, model: ServingModel) -> Option<Arc<ServingModel>> {
-        let app = model.app();
-        let mut slot = self.slot(app).write().unwrap_or_else(|e| e.into_inner());
-        slot.replace(Arc::new(model))
+        self.swap_shared(Arc::new(model))
+    }
+
+    /// [`swap`](Self::swap) for an already-shared model (lets a caller
+    /// alternate between prebuilt models without re-resolving LUTs).
+    ///
+    /// Mode handoff happens under the slot's write lock, so a swap and
+    /// a concurrent governor step serialize: a fresh slot starts at the
+    /// model's trained rung; an occupied slot keeps the selector's
+    /// position, clamped to the new ladder's length. The position is
+    /// never reset by a swap.
+    pub fn swap_shared(&self, model: Arc<ServingModel>) -> Option<Arc<ServingModel>> {
+        let slot = self.slot(model.app());
+        let mut guard = slot.model.write().unwrap_or_else(|e| e.into_inner());
+        if guard.is_none() {
+            // First install: adopt the checkpoint's trained rung. A
+            // swap into an occupied slot only ever clamps — runtime
+            // steps are the governor's alone.
+            slot.selector.initialize(model.trained_mode());
+        } else {
+            slot.selector.clamp_to(model.mode_count());
+        }
+        guard.replace(model)
     }
 
     /// The current model for `app`, or `None` if the slot is empty.
     pub fn resolve(&self, app: ServeApp) -> Option<Arc<ServingModel>> {
-        self.slot(app).read().unwrap_or_else(|e| e.into_inner()).clone()
+        self.slot(app).model.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// The current model for `app` plus the live runtime mode to run it
+    /// at (the slot's selector position, clamped to the model).
+    pub fn resolve_mode(&self, app: ServeApp) -> Option<(Arc<ServingModel>, usize)> {
+        let slot = self.slot(app);
+        let guard = slot.model.read().unwrap_or_else(|e| e.into_inner());
+        let model = guard.clone()?;
+        // Clamp defensively: the selector can never exceed the ladder
+        // installed under the same lock, but a stale read costs nothing.
+        let mode = slot.selector.current().min(model.mode_count() - 1);
+        Some((model, mode))
+    }
+
+    /// The slot's mode selector (shared with the governor).
+    pub fn selector(&self, app: ServeApp) -> Arc<ModeSelector> {
+        Arc::clone(&self.slot(app).selector)
     }
 
     /// Applications with a published model, in wire-code order.
@@ -51,6 +116,7 @@ impl Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lac_hw::ModeLadder;
 
     #[test]
     fn swap_publishes_and_returns_previous() {
@@ -71,5 +137,45 @@ mod tests {
         // model — exactly what an in-flight batch holds.
         assert!(Arc::ptr_eq(&old, &published));
         assert_eq!(reg.resolve(ServeApp::Blur).unwrap().mult_spec(), "ETM8-k4");
+    }
+
+    #[test]
+    fn first_install_starts_at_trained_rung() {
+        let reg = Registry::new();
+        let ladder = ModeLadder::auto("conv3x3", "mul8u_FTA").unwrap();
+        let model = ServingModel::untrained(ServeApp::Blur, "mul8u_FTA")
+            .unwrap()
+            .with_ladder(&ladder)
+            .unwrap();
+        let trained = model.trained_mode();
+        reg.swap(model);
+        let (resolved, mode) = reg.resolve_mode(ServeApp::Blur).unwrap();
+        assert_eq!(mode, trained);
+        assert_eq!(resolved.mode_spec(mode), "mul8u_FTA");
+    }
+
+    #[test]
+    fn swap_preserves_selector_position() {
+        let reg = Registry::new();
+        let ladder = ModeLadder::auto("conv3x3", "mul8u_FTA").unwrap();
+        let build = || {
+            ServingModel::untrained(ServeApp::Blur, "mul8u_FTA")
+                .unwrap()
+                .with_ladder(&ladder)
+                .unwrap()
+        };
+        reg.swap(build());
+        // A governor step moves the slot off the trained rung...
+        reg.selector(ServeApp::Blur).set_mode(1);
+        // ...and a hot-swap must install the new model *at that rung*.
+        reg.swap(build());
+        let (_, mode) = reg.resolve_mode(ServeApp::Blur).unwrap();
+        assert_eq!(mode, 1, "swap must not reset the governor's position");
+
+        // Swapping in a single-mode model clamps (the only legal move).
+        reg.swap(ServingModel::untrained(ServeApp::Blur, "mul8u_FTA").unwrap());
+        let (_, mode) = reg.resolve_mode(ServeApp::Blur).unwrap();
+        assert_eq!(mode, 0);
+        assert_eq!(reg.selector(ServeApp::Blur).current(), 0);
     }
 }

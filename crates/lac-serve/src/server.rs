@@ -23,22 +23,28 @@
 //! batched forward pass across the worker pool, and writes each
 //! connection's responses as a single coalesced write.
 //!
-//! Response bytes are a pure function of (model, payload): inference is
-//! per-sample with no cross-sample reduction. Worker count, batch size,
-//! and linger change only scheduling, never bytes — the serving
-//! determinism suite pins this.
+//! Response bytes are a pure function of (model, mode, payload):
+//! inference is per-sample with no cross-sample reduction. Worker
+//! count, batch size, and linger change only scheduling, never bytes —
+//! the serving determinism suite pins this.
+//!
+//! With a [`GovernorConfig`] set, the dispatcher also counts batches
+//! per app, hands a deterministic sample of them to the governor
+//! thread ([`crate::governor`]), and serves each batch at the ladder
+//! rung the governor last selected.
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 use lac_apps::serving::{ServeApp, ServeSample};
 use lac_core::ServingModel;
 
 use crate::batch::BatchQueue;
+use crate::governor::{self, GovernorConfig, GovernorJob};
 use crate::protocol::{FrameEvent, FrameReader, Request, Response, MAX_FRAME};
 use crate::registry::Registry;
 
@@ -51,6 +57,9 @@ pub struct ServerConfig {
     pub max_batch: usize,
     /// How long a partial batch waits for the head run to fill.
     pub linger: Duration,
+    /// Quality-governor knobs; `None` serves every batch at the
+    /// selector's (initially trained) mode with no sampling thread.
+    pub governor: Option<GovernorConfig>,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +68,7 @@ impl Default for ServerConfig {
             workers: 4,
             max_batch: 16,
             linger: Duration::from_micros(200),
+            governor: None,
         }
     }
 }
@@ -94,6 +104,9 @@ struct Shared {
     queue: BatchQueue<Pending>,
     cfg: ServerConfig,
     stop: AtomicBool,
+    /// Per-app dispatched-batch counters (governor sampling keys on
+    /// these, so the sample set depends only on batch arrival order).
+    batch_seq: [AtomicU64; 6],
 }
 
 impl Shared {
@@ -116,6 +129,7 @@ pub struct RunningServer {
     shared: Arc<Shared>,
     accept: Option<std::thread::JoinHandle<()>>,
     dispatcher: Option<std::thread::JoinHandle<()>>,
+    governor: Option<std::thread::JoinHandle<()>>,
     readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
 }
 
@@ -138,12 +152,25 @@ pub fn serve(
         queue: BatchQueue::new(),
         cfg,
         stop: AtomicBool::new(false),
+        batch_seq: Default::default(),
     });
     let readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
 
+    // The governor thread (if configured) scores sampled batches off
+    // the hot path; it exits when the dispatcher drops its sender.
+    let (governor_tx, governor_handle) = match shared.cfg.governor.clone() {
+        Some(gcfg) => {
+            let registry = Arc::clone(&shared.registry);
+            let workers = shared.cfg.workers;
+            let (tx, handle) = governor::spawn(gcfg, registry, workers)
+                .map_err(|e| std::io::Error::new(e.kind(), format!("governor log: {e}")))?;
+            (Some(tx), Some(handle))
+        }
+        None => (None, None),
+    };
     let dispatcher = {
         let shared = Arc::clone(&shared);
-        std::thread::spawn(move || dispatcher_loop(&shared))
+        std::thread::spawn(move || dispatcher_loop(&shared, governor_tx))
     };
     let accept = {
         let shared = Arc::clone(&shared);
@@ -156,6 +183,7 @@ pub fn serve(
         shared,
         accept: Some(accept),
         dispatcher: Some(dispatcher),
+        governor: governor_handle,
         readers,
     })
 }
@@ -179,6 +207,11 @@ impl RunningServer {
             let _ = h.join();
         }
         if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        // The dispatcher owned the governor's sender; with it gone the
+        // governor drains its queue and exits.
+        if let Some(h) = self.governor.take() {
             let _ = h.join();
         }
         let handles = {
@@ -310,13 +343,13 @@ fn handle_event(shared: &Shared, conn: &Arc<Conn>, event: FrameEvent) -> bool {
     false
 }
 
-fn dispatcher_loop(shared: &Shared) {
+fn dispatcher_loop(shared: &Shared, governor_tx: Option<mpsc::Sender<GovernorJob>>) {
     let cfg = &shared.cfg;
     while let Some((app, batch)) = shared.queue.pop_batch(cfg.max_batch, cfg.linger) {
-        // Resolve once per batch: a hot-swap between batches takes
-        // effect cleanly; a hot-swap during a batch lets it finish on
-        // the model it started with.
-        let Some(model) = shared.registry.resolve(app) else {
+        // Resolve model + runtime mode once per batch: a hot-swap or a
+        // governor step between batches takes effect cleanly; one
+        // during a batch lets it finish on the state it started with.
+        let Some((model, mode)) = shared.registry.resolve_mode(app) else {
             for p in &batch {
                 p.conn.send(&Response::Error {
                     id: p.id,
@@ -331,8 +364,22 @@ fn dispatcher_loop(shared: &Shared) {
             metas.push((p.conn, p.id));
             samples.push(p.sample);
         }
-        match model.infer(&samples, cfg.workers) {
+        match model.infer_mode(mode, &samples, cfg.workers) {
             Ok(outputs) => {
+                if let (Some(gcfg), Some(tx)) = (&cfg.governor, &governor_tx) {
+                    let seq =
+                        shared.batch_seq[app.code() as usize].fetch_add(1, Ordering::SeqCst);
+                    if governor::should_sample(gcfg.seed, app, seq, gcfg.sample_rate) {
+                        let _ = tx.send(GovernorJob {
+                            model: Arc::clone(&model),
+                            app,
+                            seq,
+                            mode,
+                            samples: samples.clone(),
+                            outputs: outputs.clone(),
+                        });
+                    }
+                }
                 // Coalesce each connection's responses into one write.
                 let mut per_conn: Vec<(Arc<Conn>, Vec<u8>)> = Vec::new();
                 for ((conn, id), values) in metas.into_iter().zip(outputs) {

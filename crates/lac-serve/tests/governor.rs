@@ -1,0 +1,317 @@
+//! Closed-loop governor tests: the determinism pin (byte-identical
+//! mode-transition traces across worker counts), fault response and
+//! recovery, FSM hysteresis edges, hot-swap/step position handoff, and
+//! a live governed-server smoke over TCP.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use lac_apps::serving::ServeApp;
+use lac_core::ServingModel;
+use lac_hw::ModeLadder;
+use lac_serve::{
+    loadgen, run_closed_loop, serve, Client, ClosedLoopConfig, GovernorConfig, Registry, Request,
+    Response, ServerConfig,
+};
+
+/// The bench/test ladder: the auto ladder minus ETM8-k4, whose
+/// *untrained* quality (~0.22) is far below every cheaper paper rung,
+/// which would wall off single-step probing. Quality decreases
+/// monotonically down this slice (1.0, ~0.998, ~0.88, ~0.14), so the
+/// governor's one-rung steps see a well-ordered quality/area tradeoff.
+fn test_ladder() -> ModeLadder {
+    ModeLadder::from_specs("mul8x8", ["exact8u", "mul8u_185Q", "mul8u_FTA", "mul8u_JV3"])
+        .expect("curated ladder")
+}
+
+/// A closed-loop scenario: blur trained at mul8u_FTA (~0.88 untrained
+/// quality), SLO 0.95 so the governor must settle one rung up at
+/// mul8u_185Q (~0.998, area 0.13 < exact 0.25), with a flip=0.05 fault
+/// window mid-run that crushes every approximate rung toward zero.
+fn scenario(threads: usize) -> ClosedLoopConfig {
+    let mut governor = GovernorConfig::new(0.95);
+    governor.margin = 0.005;
+    governor.sample_rate = 0.5;
+    governor.window = 2;
+    governor.dwell = 2;
+    governor.seed = 42;
+    ClosedLoopConfig {
+        app: ServeApp::Blur,
+        ladder: test_ladder(),
+        trained_spec: "mul8u_FTA".into(),
+        flip: 0.05,
+        fault_seed: 9,
+        fault_window: (30, 60),
+        batches: 96,
+        batch_size: 2,
+        threads,
+        traffic_seed: 5,
+        governor,
+    }
+}
+
+/// Tentpole acceptance pin: the full closed loop — seeded traffic,
+/// mid-run fault injection, hot-swaps, governor stepping — produces a
+/// byte-identical telemetry trace for worker counts 1, 2 and 4.
+#[test]
+fn closed_loop_trace_is_byte_identical_across_worker_counts() {
+    let base = run_closed_loop(&scenario(1)).expect("threads=1");
+    assert!(!base.trace.is_empty(), "governor must have sampled");
+    for threads in [2usize, 4] {
+        let run = run_closed_loop(&scenario(threads)).expect("threaded run");
+        assert_eq!(
+            base.trace_fingerprint, run.trace_fingerprint,
+            "trace fingerprint changed at threads={threads}"
+        );
+        assert_eq!(base.trace, run.trace, "trace bytes changed at threads={threads}");
+        assert_eq!(
+            base.mode_timeline, run.mode_timeline,
+            "mode timeline changed at threads={threads}"
+        );
+    }
+}
+
+/// Fault response: flip=0.05 drives quality below any reasonable SLO
+/// on every approximate rung, so the governor must step toward exact
+/// during the fault window and find its way back after it clears.
+#[test]
+fn governor_steps_toward_exact_under_faults_and_recovers() {
+    let report = run_closed_loop(&scenario(2)).expect("closed loop");
+
+    // Before the fault: settled at mul8u_185Q (rung 1) — FTA (~0.88)
+    // violates SLO 0.95, 185Q (~0.998) holds it.
+    assert_eq!(report.mode_before_fault, 1, "pre-fault settle at mul8u_185Q");
+
+    // During the fault every approximate rung is crushed: the governor
+    // must retreat all the way to the exact anchor.
+    assert_eq!(report.min_mode_during_fault, 0, "faults must drive the ladder to exact");
+    assert!(
+        report.min_mode_during_fault < report.mode_before_fault,
+        "fault response must step toward exact"
+    );
+
+    // After the fault clears it probes back down to the pre-fault rung.
+    let recovery = report.recovery_batches.expect("governor must recover after the fault clears");
+    assert!(recovery > 0, "recovery cannot be instant: a probe dwell must elapse");
+
+    // Settled state: holds the SLO at strictly lower area than
+    // always-exact (the acceptance criterion).
+    assert_eq!(report.settled_spec, "mul8u_185Q");
+    assert!(report.holds_slo, "settled rung must hold the SLO");
+    assert!(
+        report.settled_area < report.exact_area,
+        "settled area {} must beat always-exact {}",
+        report.settled_area,
+        report.exact_area
+    );
+
+    // The trace records both step directions with their reasons.
+    let steps: Vec<&String> =
+        report.trace.iter().filter(|l| l.contains("\"event\":\"step\"")).collect();
+    assert!(steps.iter().any(|l| l.contains("\"reason\":\"slo-violation\"")));
+    assert!(steps.iter().any(|l| l.contains("\"reason\":\"probe-approx\"")));
+}
+
+/// Hysteresis edges under constant traffic: no A→B→A round trip inside
+/// one dwell window, and a reverted probe doubles the dwell before the
+/// next one (exponential backoff, visible as growing gaps between
+/// probe-approx steps).
+#[test]
+fn hysteresis_forbids_round_trips_within_dwell_and_backs_off_probes() {
+    // No fault window: constant traffic at SLO 0.95 settles at 185Q and
+    // then probes FTA (which fails) at ever-longer intervals.
+    let mut cfg = scenario(1);
+    cfg.fault_window = (cfg.batches, cfg.batches); // never fires
+    cfg.batches = 160;
+    let report = run_closed_loop(&cfg).expect("steady traffic run");
+
+    // Parse steps out of the trace: (sampled-observation index, from, to).
+    let mut steps: Vec<(usize, usize, usize)> = Vec::new();
+    let mut obs_index = 0usize;
+    for line in &report.trace {
+        if line.contains("\"event\":\"sample\"") {
+            obs_index += 1;
+        } else if line.contains("\"event\":\"step\"") {
+            let field = |key: &str| -> usize {
+                let at = line.find(key).unwrap_or_else(|| panic!("{key} in {line}")) + key.len();
+                line[at..]
+                    .chars()
+                    .take_while(char::is_ascii_digit)
+                    .collect::<String>()
+                    .parse()
+                    .expect("numeric field")
+            };
+            steps.push((obs_index, field("\"from\":"), field("\"to\":")));
+        }
+    }
+    assert!(steps.len() >= 3, "expected repeated probe/revert cycles, got {steps:?}");
+
+    // Edge 1: no A→B→A inside one dwell window. Every revert (probe at
+    // obs i, violation back at obs j) must satisfy j - i >= window
+    // (the violation needs a fresh full window of evidence) and the
+    // *next* probe must wait at least the backed-off dwell.
+    let window = cfg.governor.window;
+    let dwell = cfg.governor.dwell;
+    for pair in steps.windows(2) {
+        let (i, _, to_a) = pair[0];
+        let (j, from_b, to_b) = pair[1];
+        assert_eq!(to_a, from_b, "steps must chain through the same rung");
+        if to_b < to_a {
+            // A revert: must not happen before a full window refilled.
+            assert!(j - i >= window, "revert after {} obs, window is {window}: {steps:?}", j - i);
+        } else {
+            // A (re-)probe: must respect at least the base dwell.
+            assert!(j - i >= dwell, "probe after {} obs, dwell is {dwell}: {steps:?}", j - i);
+        }
+    }
+
+    // Edge 2: exponential backoff — gaps between successive probes to
+    // the same rung strictly grow until the cap.
+    let probe_obs: Vec<usize> =
+        steps.iter().filter(|&&(_, from, to)| to > from).map(|&(i, _, _)| i).collect();
+    assert!(probe_obs.len() >= 2, "need repeated probes to see backoff: {steps:?}");
+    let gaps: Vec<usize> = probe_obs.windows(2).map(|w| w[1] - w[0]).collect();
+    assert!(
+        gaps.windows(2).all(|w| w[1] >= w[0]),
+        "probe gaps must be non-decreasing under constant rejection: {gaps:?}"
+    );
+    assert!(
+        gaps.last().unwrap() > gaps.first().unwrap(),
+        "backoff must actually grow the probe interval: {gaps:?}"
+    );
+}
+
+/// Satellite pin: a checkpoint hot-swap mid-traffic keeps the
+/// governor's current ladder position instead of resetting to the
+/// trained rung — and a swap to a shorter ladder clamps instead of
+/// leaving a dangling mode.
+#[test]
+fn hot_swap_mid_stepping_preserves_ladder_position() {
+    let ladder = test_ladder();
+    let model_a = Arc::new(
+        ServingModel::untrained(ServeApp::Blur, "mul8u_FTA")
+            .unwrap()
+            .with_ladder(&ladder)
+            .unwrap(),
+    );
+    let model_b = Arc::new(
+        ServingModel::untrained(ServeApp::Blur, "mul8u_185Q")
+            .unwrap()
+            .with_ladder(&ladder)
+            .unwrap(),
+    );
+
+    let registry = Arc::new(Registry::new());
+    registry.swap_shared(Arc::clone(&model_a));
+    // First install starts at the trained rung: FTA = rung 2.
+    assert_eq!(registry.selector(ServeApp::Blur).current(), 2);
+
+    // The governor (by convention the only set_mode caller) has stepped
+    // to rung 1 when a new checkpoint lands.
+    registry.selector(ServeApp::Blur).set_mode(1);
+    registry.swap_shared(Arc::clone(&model_b));
+    assert_eq!(
+        registry.selector(ServeApp::Blur).current(),
+        1,
+        "hot-swap must preserve the governed position, not reset to the trained rung"
+    );
+    let (resolved, mode) = registry.resolve_mode(ServeApp::Blur).unwrap();
+    assert_eq!(mode, 1);
+    assert_eq!(resolved.mode_spec(mode), "mul8u_185Q");
+
+    // Swapping in a model with a *shorter* ladder clamps the position.
+    registry.selector(ServeApp::Blur).set_mode(3);
+    let short = Arc::new(ServingModel::untrained(ServeApp::Blur, "mul8u_FTA").unwrap());
+    registry.swap_shared(short);
+    let (_, mode) = registry.resolve_mode(ServeApp::Blur).unwrap();
+    assert_eq!(mode, 0, "position must clamp to the new model's ladder");
+}
+
+/// The ladder is part of the closed loop's identity: the same scenario
+/// on a different ladder yields a different trace fingerprint, and the
+/// ladder fingerprint rides on the model.
+#[test]
+fn ladder_identity_feeds_the_trace_and_the_model() {
+    let ladder = test_ladder();
+    let model = ServingModel::untrained(ServeApp::Blur, "mul8u_FTA")
+        .unwrap()
+        .with_ladder(&ladder)
+        .unwrap();
+    assert_eq!(model.ladder_fingerprint(), Some(ladder.fingerprint()).as_deref());
+
+    let base = run_closed_loop(&scenario(1)).expect("curated ladder run");
+    let mut alt = scenario(1);
+    alt.ladder =
+        ModeLadder::from_specs("mul8x8", ["exact8u", "mul8u_185Q", "mul8u_FTA"]).unwrap();
+    let alt_report = run_closed_loop(&alt).expect("alt ladder run");
+    assert_ne!(
+        base.trace_fingerprint, alt_report.trace_fingerprint,
+        "the ladder must be observable in the trace"
+    );
+}
+
+/// Live smoke: a governed server samples real TCP traffic, steps the
+/// serving mode without dropping requests, and writes JSONL telemetry.
+#[test]
+fn governed_server_steps_live_traffic_and_logs_telemetry() {
+    let dir = std::env::temp_dir()
+        .join(format!("lac-governor-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("governor.jsonl");
+
+    let registry = Arc::new(Registry::new());
+    let ladder = test_ladder();
+    for app in ServeApp::ALL {
+        let model = ServingModel::untrained(app, "mul8u_FTA").expect(app.cli_id());
+        let model = model.with_ladder(&ladder).expect(app.cli_id());
+        registry.swap(model);
+    }
+
+    let mut governor = GovernorConfig::new(0.95);
+    governor.sample_rate = 1.0;
+    governor.window = 2;
+    governor.dwell = 2;
+    governor.log = Some(log.clone());
+    let cfg = ServerConfig {
+        workers: 2,
+        max_batch: 4,
+        linger: Duration::from_micros(200),
+        governor: Some(governor),
+    };
+    let server = serve(Arc::clone(&registry), cfg, 0).expect("bind");
+    let mut client = Client::connect(server.port()).expect("connect");
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    // Enough blur traffic for the window to fill and the FSM to step
+    // off the SLO-violating trained rung (FTA ~0.88 < 0.95).
+    for n in 0..24u64 {
+        let values = loadgen::payload(ServeApp::Blur, 3, n);
+        let req = Request::Infer { kernel: ServeApp::Blur.code(), id: n, values };
+        match client.round_trip(&req).unwrap() {
+            Response::Infer { id, values } => {
+                assert_eq!(id, n);
+                assert_eq!(values.len(), ServeApp::Blur.output_len());
+            }
+            other => panic!("expected infer reply, got {other:?}"),
+        }
+    }
+    server.shutdown();
+    server.join(); // joins the governor thread too: the log is complete
+
+    // Traffic can stop mid-probe, so the end position is 1 or 2 — but
+    // the governor must have acted: the log shows sampled batches and a
+    // step off the SLO-violating trained rung.
+    assert!(registry.selector(ServeApp::Blur).current() <= 2);
+    let text = std::fs::read_to_string(&log).expect("telemetry log written");
+    assert!(text.lines().any(|l| l.contains("\"event\":\"sample\"")), "sample events:\n{text}");
+    assert!(
+        text.lines()
+            .any(|l| l.contains("\"event\":\"step\"") && l.contains("\"reason\":\"slo-violation\"")),
+        "a violation step off the trained rung:\n{text}"
+    );
+    assert!(
+        text.lines().all(|l| !l.contains("time") && !l.contains("stamp")),
+        "telemetry must be wall-clock free"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -25,7 +25,8 @@ fn full_registry(spec: &str) -> Arc<Registry> {
 }
 
 fn start(registry: Arc<Registry>, workers: usize, max_batch: usize) -> RunningServer {
-    let cfg = ServerConfig { workers, max_batch, linger: Duration::from_micros(200) };
+    let cfg =
+        ServerConfig { workers, max_batch, linger: Duration::from_micros(200), governor: None };
     serve(registry, cfg, 0).expect("bind ephemeral port")
 }
 

@@ -133,6 +133,61 @@ else
     echo "bench_check: no ${serve_baseline}, skipping serve floor" >&2
 fi
 
+# Governor closed-loop gate: the quality-governed serving sweep is
+# fully deterministic (seeded traffic, seeded faults, wall-clock-free
+# telemetry), so a fresh run must match the committed
+# BENCH_governor.json contract exactly: every SLO cell holds its SLO
+# at a settled area strictly below always-exact, and fault recovery
+# takes no longer than the committed baseline says it does.
+governor_baseline="results/bench/BENCH_governor.json"
+if [[ -f "$governor_baseline" ]]; then
+    echo "== governor closed loop: fresh sweep vs ${governor_baseline}"
+    cargo build --release --offline -p lac-bench --bin governor_sweep
+    governor_fresh="$(mktemp)"
+    ./target/release/governor_sweep --out "$governor_fresh" >/dev/null
+    gov_field() {
+        # numeric-or-bool field for a bench id out of a governor report.
+        awk -v id="$2" -v key="$3" 'BEGIN{RS="{"} $0 ~ "\"id\":\""id"\"" {
+            if (match($0, "\""key"\":[a-z0-9.]+"))
+                print substr($0, RSTART+length(key)+3, RLENGTH-length(key)-3)
+        }' "$1"
+    }
+    for id in $(awk 'BEGIN{RS="\""} /^governor\// {print}' "$governor_baseline" | sort -u); do
+        holds="$(gov_field "$governor_fresh" "$id" holds_slo)"
+        settled="$(gov_field "$governor_fresh" "$id" settled_area)"
+        exact="$(gov_field "$governor_fresh" "$id" exact_area)"
+        recovery="$(gov_field "$governor_fresh" "$id" recovery_batches)"
+        base_recovery="$(gov_field "$governor_baseline" "$id" recovery_batches)"
+        if [[ -z "$holds" || -z "$settled" || -z "$exact" ]]; then
+            echo "bench_check: fresh governor sweep is missing cell ${id}" >&2
+            status=1
+            continue
+        fi
+        ok=1
+        [[ "$holds" == "true" ]] || { echo "bench_check: ${id} no longer holds its SLO" >&2; ok=0; }
+        awk -v s="$settled" -v e="$exact" 'BEGIN { exit !(s < e) }' || {
+            echo "bench_check: ${id} settled area ${settled} not below exact ${exact}" >&2; ok=0
+        }
+        if [[ -n "$base_recovery" && "$base_recovery" != "null" ]]; then
+            if [[ -z "$recovery" || "$recovery" == "null" ]]; then
+                echo "bench_check: ${id} no longer recovers after the fault window" >&2; ok=0
+            elif ! awk -v r="$recovery" -v b="$base_recovery" 'BEGIN { exit !(r <= b) }'; then
+                echo "bench_check: ${id} recovery ${recovery} batches, baseline ${base_recovery}" >&2
+                ok=0
+            fi
+        fi
+        if [[ $ok -eq 1 ]]; then
+            echo "governor: ${id} holds SLO at area ${settled} < ${exact}," \
+                 "recovery ${recovery:-n/a} batches: ok"
+        else
+            status=1
+        fi
+    done
+    rm -f "$governor_fresh"
+else
+    echo "bench_check: no ${governor_baseline}, skipping governor gate" >&2
+fi
+
 # Sweep-orchestrator wall-clock: fig3 in quick mode, cold cache, at
 # --jobs 1 vs --jobs $(nproc). On a multi-core box the parallel sweep
 # must not be slower than the serial one by more than the tolerance

@@ -93,6 +93,35 @@ echo "== serving suites (framing properties, determinism, hot-swap)"
 cargo test -q --offline -p lac-serve --test protocol_props
 cargo test -q --offline -p lac-serve --test serving
 
+# Governor ownership guard (DESIGN.md §9): runtime serving-mode state
+# has exactly one writer — the QualityGovernor FSM. Registry install
+# paths use the distinct initialize()/clamp_to() entry points; any
+# other set_mode( call in lac-serve means mode mutation grew a second
+# owner and the determinism pin no longer covers it.
+echo "== governor guard: only governor.rs calls set_mode in lac-serve"
+mode_writers=$(for f in crates/lac-serve/src/*.rs; do
+    [[ "$f" == "crates/lac-serve/src/governor.rs" ]] && continue
+    # Test modules (from a #[cfg(test)] line down) may simulate steps.
+    awk '/#\[cfg\(test\)\]/{exit} /set_mode\(/{print FILENAME": "$0}' "$f"
+done)
+if [[ -n "${mode_writers}" ]]; then
+    echo "verify: FAIL — set_mode( outside crates/lac-serve/src/governor.rs (only the QualityGovernor mutates serving mode state):" >&2
+    echo "${mode_writers}" >&2
+    exit 1
+fi
+
+# Quality-governor suites (DESIGN.md §9): ladder serialization
+# round-trips and fingerprints, selector/registry swap position
+# handoff, rolling-window metrics, FSM hysteresis edges, and the
+# closed-loop determinism pin (byte-identical mode-transition traces at
+# 1/2/4 workers with a seeded flip=0.05 fault mid-run). Named
+# explicitly so a filtered CI configuration cannot silently skip them.
+echo "== governor suites (ladder, rolling window, serving modes, closed loop)"
+cargo test -q --offline -p lac-hw ladder::
+cargo test -q --offline -p lac-metrics rolling::
+cargo test -q --offline -p lac-core serving::
+cargo test -q --offline -p lac-serve --test governor
+
 # End-to-end daemon smoke through the real binaries: train a tiny
 # checkpoint, serve it on an ephemeral port, round-trip seeded load,
 # then stop it with a SHUTDOWN frame and require a clean exit.
@@ -100,8 +129,42 @@ echo "== serve smoke: train -> serve -> loadgen -> hot-swap -> graceful shutdown
 cargo build --release --offline -p lac-cli
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
+
+# CLI convention smoke: governor flag usage errors must name the flag
+# and the offending value and exit 2 (runtime failures exit 1).
+check_usage_error() {
+    local flag="$1" value="$2"
+    set +e
+    local msg code
+    msg="$(./target/release/lac-cli serve nosuch.ck.json "$flag" "$value" 2>&1)"
+    code=$?
+    set -e
+    if [[ $code -ne 2 ]]; then
+        echo "verify: FAIL — \`serve $flag $value\` exited $code, usage errors must exit 2" >&2
+        exit 1
+    fi
+    if ! grep -qF -- "$flag" <<<"$msg"; then
+        echo "verify: FAIL — \`serve $flag $value\` error does not name $flag: $msg" >&2
+        exit 1
+    fi
+}
+check_usage_error --slo nine
+check_usage_error --slo 1.5
+check_usage_error --sample-rate 0
+check_usage_error --ladder ""
+# A ladder that omits the trained spec is also a --ladder usage error.
 ./target/release/lac-cli train blur ETM8-k4 --epochs 2 --train 4 --test 2 \
     --resume "$smoke_dir/blur.ck.json" >/dev/null
+set +e
+msg="$(./target/release/lac-cli serve "$smoke_dir/blur.ck.json" \
+    --slo 0.9 --ladder exact8u,mul8u_FTA 2>&1)"
+code=$?
+set -e
+if [[ $code -ne 2 ]] || ! grep -q -- "--ladder" <<<"$msg"; then
+    echo "verify: FAIL — trained-spec-free --ladder must be a usage error (exit 2, naming --ladder); got $code: $msg" >&2
+    exit 1
+fi
+
 ./target/release/lac-cli serve "$smoke_dir/blur.ck.json" --port 0 --workers 2 --batch 4 \
     >"$smoke_dir/serve.log" 2>&1 &
 serve_pid=$!
@@ -129,6 +192,42 @@ if ! wait "$serve_pid"; then
 fi
 grep -q "shut down cleanly" "$smoke_dir/serve.log" || {
     echo "verify: FAIL — serve daemon exited without the clean-shutdown message" >&2
+    exit 1
+}
+
+# Quality-governed serving smoke: the same daemon with --slo samples
+# every batch, replays it exactly, and streams JSONL telemetry.
+echo "== governed serve smoke: --slo + --ladder auto -> telemetry"
+./target/release/lac-cli serve "$smoke_dir/blur.ck.json" --port 0 --workers 2 --batch 4 \
+    --slo 0.95 --ladder auto --sample-rate 1 --gov-window 2 --gov-dwell 2 \
+    --governor-log "$smoke_dir/governor.jsonl" >"$smoke_dir/gov-serve.log" 2>&1 &
+serve_pid=$!
+port=""
+for _ in $(seq 1 100); do
+    port="$(sed -n 's/.*serving on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$smoke_dir/gov-serve.log")"
+    [[ -n "$port" ]] && break
+    sleep 0.1
+done
+if [[ -z "$port" ]]; then
+    echo "verify: FAIL — governed serve daemon never reported its port:" >&2
+    cat "$smoke_dir/gov-serve.log" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+./target/release/lac-cli loadgen --port "$port" --app blur --requests 12 --conns 2 --window 4
+./target/release/lac-cli loadgen --port "$port" --shutdown
+if ! wait "$serve_pid"; then
+    echo "verify: FAIL — governed serve daemon did not exit cleanly:" >&2
+    cat "$smoke_dir/gov-serve.log" >&2
+    exit 1
+fi
+grep -q "governor on: slo 0.95" "$smoke_dir/gov-serve.log" || {
+    echo "verify: FAIL — governed daemon never announced its governor" >&2
+    exit 1
+}
+grep -q '"event":"sample"' "$smoke_dir/governor.jsonl" || {
+    echo "verify: FAIL — governor telemetry has no sample events:" >&2
+    cat "$smoke_dir/governor.jsonl" >&2
     exit 1
 }
 
