@@ -83,13 +83,15 @@ usage:
                        [--log PATH]
   lac-cli sweep <app> [--jobs N] [--no-cache]
   lac-cli serve <checkpoint>... [--port N] [--workers N] [--batch N]
-                                [--linger-us N] [--slo X] [--ladder auto|SPECS]
+                                [--linger-us N] [--queue-cap N]
+                                [--deadline-default US] [--debug-opcodes]
+                                [--slo X] [--ladder auto|SPECS]
                                 [--sample-rate X] [--gov-window N]
                                 [--gov-dwell N] [--gov-seed N]
                                 [--governor-log PATH]
   lac-cli loadgen [--port N] [--app NAME] [--requests N] [--conns N]
-                  [--window N] [--seed N] [--sweep] [--out PATH]
-                  [--swap PATH] [--shutdown]
+                  [--window N] [--seed N] [--timeout S] [--chaos SPEC]
+                  [--sweep] [--out PATH] [--swap PATH] [--shutdown]
 
 apps: blur | edge | sharpen | jpeg | dft | inversek2j
 
@@ -115,9 +117,17 @@ samples `--sample-rate` of live batches, replays them through the
 exact datapath, and steps each app along its `--ladder` (auto = the
 catalog slice around the trained multiplier, most exact first) to hold
 the SLO at minimum area; `--governor-log` streams JSONL telemetry.
-`loadgen` drives a daemon with a seeded request stream
-and reports p50/p99 latency and throughput; `loadgen --sweep` runs the
-in-process (workers x batch) grid and writes `BENCH_serve.json`;
+`--queue-cap` bounds admission (over-cap requests are shed with a BUSY
+frame and a retry hint); `--deadline-default` drops requests still
+queued after that many microseconds with a `deadline:` error;
+`--debug-opcodes` accepts DEBUG_PANIC fault-injection frames (off by
+default).
+`loadgen` drives a daemon with a seeded request stream and reports
+p50/p99 latency and throughput; `--timeout S` caps the per-response
+wait; `--chaos \"seed=7,panics=1,oversized=2,drops=2,frags=2,\
+corrupt-swaps=1\"` injects seeded faults before the clean load pass;
+`loadgen --sweep` runs the in-process (workers x batch) grid and
+writes `BENCH_serve.json`;
 `loadgen --swap PATH` hot-swaps a checkpoint into a running daemon;
 `loadgen --shutdown` stops a daemon gracefully.";
 

@@ -16,8 +16,8 @@ use lac_apps::serving::ServeApp;
 use lac_core::ServingModel;
 use lac_hw::ModeLadder;
 use lac_serve::{
-    run_loadgen, run_sweep, serve, write_bench, GovernorConfig, LoadgenConfig, Registry,
-    ServerConfig, SweepConfig,
+    run_chaos, run_loadgen, run_sweep, serve, write_bench, ChaosPlan, GovernorConfig,
+    LoadgenConfig, Registry, ServerConfig, SweepConfig,
 };
 
 use crate::CliError;
@@ -50,6 +50,12 @@ pub struct ServeOpts {
     pub gov_seed: u64,
     /// JSONL telemetry path for governor events.
     pub governor_log: Option<String>,
+    /// Admission cap: queued requests beyond this are shed with `BUSY`.
+    pub queue_cap: usize,
+    /// Default per-request deadline (µs) for requests that carry none.
+    pub deadline_default_us: Option<u64>,
+    /// Accept debug opcodes (`DEBUG_PANIC`) for fault injection.
+    pub debug_opcodes: bool,
 }
 
 impl ServeOpts {
@@ -68,6 +74,9 @@ impl ServeOpts {
             gov_dwell: 8,
             gov_seed: 42,
             governor_log: None,
+            queue_cap: 1024,
+            deadline_default_us: None,
+            debug_opcodes: false,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -130,6 +139,21 @@ impl ServeOpts {
                     opts.gov_seed = parse_int("--gov-seed", value("--gov-seed")?)? as u64
                 }
                 "--governor-log" => opts.governor_log = Some(value("--governor-log")?.to_owned()),
+                "--queue-cap" => {
+                    opts.queue_cap = parse_int("--queue-cap", value("--queue-cap")?)?;
+                    if opts.queue_cap == 0 {
+                        return Err("--queue-cap must be positive".into());
+                    }
+                }
+                "--deadline-default" => {
+                    let us =
+                        parse_int("--deadline-default", value("--deadline-default")?)? as u64;
+                    if us == 0 {
+                        return Err("--deadline-default must be positive".into());
+                    }
+                    opts.deadline_default_us = Some(us);
+                }
+                "--debug-opcodes" => opts.debug_opcodes = true,
                 flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
                 path => opts.checkpoints.push(path.to_owned()),
             }
@@ -142,6 +166,7 @@ impl ServeOpts {
 }
 
 /// `serve <checkpoint>... [--port N] [--workers N] [--batch N] [--linger-us N]
+/// [--queue-cap N] [--deadline-default US] [--debug-opcodes]
 /// [--slo X [--ladder auto|SPEC,..] [--sample-rate X] [--gov-window N]
 /// [--gov-dwell N] [--gov-seed N] [--governor-log PATH]]`
 pub fn cmd_serve(args: &[String]) -> Result<(), CliError> {
@@ -196,16 +221,25 @@ pub fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         max_batch: opts.batch,
         linger: Duration::from_micros(opts.linger_us),
         governor,
+        queue_cap: opts.queue_cap,
+        default_deadline_us: opts.deadline_default_us,
+        debug_opcodes: opts.debug_opcodes,
+        ..ServerConfig::default()
     };
     let running = serve(registry, cfg, opts.port)
         .map_err(|e| CliError::Runtime(format!("cannot bind port {}: {e}", opts.port)))?;
     println!(
-        "serving on 127.0.0.1:{} (workers {}, batch {}, linger {}us); \
+        "serving on 127.0.0.1:{} (workers {}, batch {}, linger {}us, queue-cap {}{}{}); \
          send a SHUTDOWN frame to stop",
         running.port(),
         opts.workers,
         opts.batch,
-        opts.linger_us
+        opts.linger_us,
+        opts.queue_cap,
+        opts.deadline_default_us
+            .map(|us| format!(", deadline-default {us}us"))
+            .unwrap_or_default(),
+        if opts.debug_opcodes { ", debug opcodes ON" } else { "" }
     );
     if let Some(slo) = opts.slo {
         println!(
@@ -248,6 +282,10 @@ pub struct LoadgenOpts {
     pub swap: Option<String>,
     /// Where `--sweep` writes its JSON document.
     pub out: String,
+    /// Per-response receive timeout, seconds.
+    pub timeout_s: u64,
+    /// Fault-injection plan to run before the clean load pass.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl LoadgenOpts {
@@ -264,6 +302,8 @@ impl LoadgenOpts {
             shutdown: false,
             swap: None,
             out: "results/bench/BENCH_serve.json".into(),
+            timeout_s: lac_serve::DEFAULT_CLIENT_TIMEOUT.as_secs(),
+            chaos: None,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -300,6 +340,13 @@ impl LoadgenOpts {
                 "--shutdown" => opts.shutdown = true,
                 "--swap" => opts.swap = Some(value("--swap")?.to_owned()),
                 "--out" => opts.out = value("--out")?.to_owned(),
+                "--timeout" => {
+                    opts.timeout_s = parse_int("--timeout", value("--timeout")?)? as u64;
+                    if opts.timeout_s == 0 {
+                        return Err("--timeout must be positive".into());
+                    }
+                }
+                "--chaos" => opts.chaos = Some(ChaosPlan::parse(value("--chaos")?)?),
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -308,7 +355,8 @@ impl LoadgenOpts {
 }
 
 /// `loadgen [--port N] [--app NAME] [--requests N] [--conns N] [--window N]
-/// [--seed N] [--sweep] [--swap PATH] [--shutdown] [--out PATH]`
+/// [--seed N] [--timeout S] [--chaos SPEC] [--sweep] [--swap PATH]
+/// [--shutdown] [--out PATH]`
 pub fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
     let opts = LoadgenOpts::parse(args).map_err(CliError::Usage)?;
 
@@ -382,15 +430,31 @@ pub fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
         return Ok(());
     }
 
-    let report = run_loadgen(&LoadgenConfig {
+    let cfg = LoadgenConfig {
         port: opts.port,
         app: opts.app,
         requests: opts.requests,
         conns: opts.conns,
         window: opts.window,
         seed: opts.seed,
-    })
-    .map_err(CliError::Runtime)?;
+        timeout: Duration::from_secs(opts.timeout_s),
+    };
+    let report = if let Some(plan) = &opts.chaos {
+        let chaos = run_chaos(&cfg, plan).map_err(CliError::Runtime)?;
+        println!(
+            "chaos: {} panics ({} refused), {} oversized rejected, {} conns dropped, \
+             {} fragmented ok, {} corrupt swaps refused",
+            chaos.injected_panics,
+            chaos.refused_panics,
+            chaos.oversized_rejections,
+            chaos.dropped_conns,
+            chaos.fragmented_ok,
+            chaos.corrupt_swap_rejections
+        );
+        chaos.loadgen
+    } else {
+        run_loadgen(&cfg).map_err(CliError::Runtime)?
+    };
     println!(
         "{}: {} ok / {} err in {:.2}s  p50 {:.0}us  p99 {:.0}us  {:.0} req/s",
         report.app.cli_id(),
@@ -532,6 +596,58 @@ mod tests {
         assert!(err.contains("--swap"), "{err}");
         let o = LoadgenOpts::parse(&strs(&["--shutdown"])).unwrap();
         assert!(o.shutdown);
+    }
+
+    #[test]
+    fn serve_parses_resilience_flags() {
+        let o = ServeOpts::parse(&strs(&[
+            "a.json",
+            "--queue-cap",
+            "64",
+            "--deadline-default",
+            "5000",
+            "--debug-opcodes",
+        ]))
+        .unwrap();
+        assert_eq!(o.queue_cap, 64);
+        assert_eq!(o.deadline_default_us, Some(5000));
+        assert!(o.debug_opcodes);
+        // All optional, with safe defaults.
+        let o = ServeOpts::parse(&strs(&["a.json"])).unwrap();
+        assert_eq!(o.queue_cap, 1024);
+        assert_eq!(o.deadline_default_us, None);
+        assert!(!o.debug_opcodes);
+    }
+
+    #[test]
+    fn serve_resilience_usage_errors_name_flag_and_value() {
+        let err = ServeOpts::parse(&strs(&["a.json", "--queue-cap", "0"])).unwrap_err();
+        assert!(err.contains("--queue-cap"), "{err}");
+        let err = ServeOpts::parse(&strs(&["a.json", "--queue-cap", "deep"])).unwrap_err();
+        assert!(err.contains("--queue-cap") && err.contains("`deep`"), "{err}");
+        let err = ServeOpts::parse(&strs(&["a.json", "--deadline-default", "0"])).unwrap_err();
+        assert!(err.contains("--deadline-default"), "{err}");
+    }
+
+    #[test]
+    fn loadgen_parses_timeout_and_chaos() {
+        let o = LoadgenOpts::parse(&strs(&["--timeout", "5"])).unwrap();
+        assert_eq!(o.timeout_s, 5);
+        let o = LoadgenOpts::parse(&[]).unwrap();
+        assert_eq!(o.timeout_s, lac_serve::DEFAULT_CLIENT_TIMEOUT.as_secs());
+        let o = LoadgenOpts::parse(&strs(&["--chaos", "seed=3,panics=1,drops=2"])).unwrap();
+        let plan = o.chaos.unwrap();
+        assert_eq!((plan.seed, plan.panics, plan.drops), (3, 1, 2));
+    }
+
+    #[test]
+    fn loadgen_timeout_and_chaos_usage_errors() {
+        let err = LoadgenOpts::parse(&strs(&["--timeout", "0"])).unwrap_err();
+        assert!(err.contains("--timeout"), "{err}");
+        let err = LoadgenOpts::parse(&strs(&["--timeout", "forever"])).unwrap_err();
+        assert!(err.contains("--timeout") && err.contains("`forever`"), "{err}");
+        let err = LoadgenOpts::parse(&strs(&["--chaos", "meteors=9"])).unwrap_err();
+        assert!(err.contains("unknown key `meteors`"), "{err}");
     }
 
     #[test]

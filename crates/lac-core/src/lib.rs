@@ -74,4 +74,4 @@ pub use nas::single::{
     search_accuracy_constrained, search_accuracy_constrained_observed, search_single,
     search_single_observed, NasResult,
 };
-pub use serving::{ModeSelector, ServeError, ServingModel};
+pub use serving::{HealthSnapshot, ModeSelector, ServeError, ServingModel};

@@ -465,6 +465,35 @@ impl ServingModel {
     }
 }
 
+/// A point-in-time health reading of a serving daemon, carried on the
+/// extended `PING` reply.
+///
+/// All counters are cumulative since process start. `modes` lists
+/// `(app wire code, live runtime mode)` for every published model slot
+/// in wire-code order, so a monitoring client can watch the quality
+/// governor step ladders without a separate telemetry channel.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Requests currently admitted but not yet dispatched.
+    pub queue_depth: u32,
+    /// Requests refused with a `BUSY` frame because the queue was at
+    /// its admission cap.
+    pub shed: u64,
+    /// Requests dropped pre-dispatch with a `DEADLINE` error because
+    /// their deadline expired while queued.
+    pub expired: u64,
+    /// Dispatcher thread restarts performed by the panic supervisor.
+    pub dispatcher_restarts: u64,
+    /// Governor thread restarts performed by the panic supervisor.
+    pub governor_restarts: u64,
+    /// Connections condemned for reading too slowly (write buffer
+    /// overflow or write timeout).
+    pub slow_client_disconnects: u64,
+    /// `(app wire code, live mode)` per published slot, in wire-code
+    /// order.
+    pub modes: Vec<(u8, u8)>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,13 +35,20 @@
 //!   back).
 //! * [`hash`] — stable FNV-1a content hashing for the sweep
 //!   orchestrator's content-addressed result cache.
+//! * [`clock`] — a mockable monotonic microsecond clock so serving
+//!   deadlines are testable without wall-clock readings leaking into
+//!   committed artifacts.
+//! * [`supervise`] — a catch-unwind restart loop for long-running
+//!   service threads, with a structured `on_panic` decision point.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod bench;
+pub mod clock;
 pub mod hash;
 pub mod json;
 pub mod par;
 pub mod proptest;
 pub mod rng;
+pub mod supervise;

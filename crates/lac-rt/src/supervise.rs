@@ -1,0 +1,103 @@
+//! Panic supervision for long-running service threads.
+//!
+//! A panicking dispatcher must not take the daemon down with it. This
+//! module wraps a thread's main loop in [`catch_unwind`] and gives the
+//! caller a structured restart decision: [`supervise`] re-enters the
+//! body after every caught panic until either the body returns normally
+//! (graceful shutdown) or the `on_panic` callback declines the restart.
+//! The callback receives the rendered panic message so supervisors can
+//! convert a poisoned unit of work into structured per-request errors
+//! before the loop resumes.
+//!
+//! [`deliberate_panic`] is the one sanctioned way for supervised code to
+//! panic on purpose (fault injection via a debug opcode): keeping the
+//! `panic!` literal here lets crates under the no-`panic!` source gate
+//! inject faults without tripping it.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::par::panic_message;
+
+/// Run `body` under a panic supervisor.
+///
+/// `body` returning normally ends supervision (graceful exit). When
+/// `body` panics, the panic is caught, rendered with
+/// [`panic_message`], and handed to `on_panic`; returning `true`
+/// restarts `body`, `false` ends supervision. State captured by the
+/// closures survives restarts — torn invariants are the supervisor's
+/// responsibility to repair inside `on_panic`.
+pub fn supervise<B, P>(mut body: B, mut on_panic: P)
+where
+    B: FnMut(),
+    P: FnMut(&str) -> bool,
+{
+    loop {
+        match catch_unwind(AssertUnwindSafe(&mut body)) {
+            Ok(()) => return,
+            Err(payload) => {
+                if !on_panic(&panic_message(payload.as_ref())) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Panic on purpose, with `message` as the payload.
+///
+/// Exists so fault-injection sites in crates whose sources are gated
+/// against `panic!` literals can still poison a supervised thread.
+pub fn deliberate_panic(message: &str) -> ! {
+    panic!("{message}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graceful_return_ends_supervision_without_callbacks() {
+        let mut panics = 0;
+        supervise(
+            || {},
+            |_| {
+                panics += 1;
+                true
+            },
+        );
+        assert_eq!(panics, 0);
+    }
+
+    #[test]
+    fn panics_restart_until_callback_declines() {
+        let mut runs = 0;
+        let mut messages = Vec::new();
+        supervise(
+            || {
+                runs += 1;
+                deliberate_panic("boom");
+            },
+            |msg| {
+                messages.push(msg.to_owned());
+                messages.len() < 3
+            },
+        );
+        assert_eq!(runs, 3);
+        assert_eq!(messages, ["boom", "boom", "boom"]);
+    }
+
+    #[test]
+    fn body_can_recover_and_exit_after_a_restart() {
+        let mut attempt = 0;
+        supervise(
+            || {
+                attempt += 1;
+                if attempt == 1 {
+                    deliberate_panic("first attempt fails");
+                }
+            },
+            |_| true,
+        );
+        assert_eq!(attempt, 2);
+    }
+}

@@ -1,7 +1,8 @@
-//! The request batcher: a FIFO queue that coalesces same-kernel runs.
+//! The request batcher: a bounded FIFO queue that coalesces same-key
+//! runs.
 //!
-//! Readers push `(kernel, item)` pairs in arrival order; the dispatcher
-//! pops *batches*. A batch is the head run of consecutive same-kernel
+//! Readers push `(key, item)` pairs in arrival order; the dispatcher
+//! pops *batches*. A batch is the head run of consecutive same-key
 //! items, capped at `max_batch` — a pure function of the queue's
 //! arrival order, so batch composition is reproducible from a recorded
 //! arrival order alone, independent of thread scheduling. After the
@@ -9,63 +10,95 @@
 //! run fill up; lingering only ever adds items that arrive at the head
 //! of the queue, never reorders.
 //!
-//! Response bytes do not depend on batch composition (per-sample
-//! outputs are batch-invariant — see `lac_apps::serving::infer_batch`),
-//! so the linger window trades latency for throughput without touching
-//! determinism.
+//! The key is generic (`K: Copy + PartialEq`): the server batches on a
+//! composite of the kernel and a poison marker, so fault-injection
+//! probes never share a batch with real traffic.
+//!
+//! Admission is *bounded*: a queue built with
+//! [`BatchQueue::bounded`] refuses pushes past its depth cap with
+//! [`Admission::Busy`] instead of growing without limit — the caller
+//! turns that into a `BUSY` shed frame. Response bytes do not depend on
+//! batch composition (per-sample outputs are batch-invariant — see
+//! `lac_apps::serving::infer_batch`), so the linger window trades
+//! latency for throughput without touching determinism.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use lac_apps::serving::ServeApp;
+/// Outcome of a [`BatchQueue::push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The item was queued.
+    Admitted,
+    /// The queue is at its depth cap; the item was refused.
+    Busy {
+        /// Queue depth at the moment of refusal.
+        depth: usize,
+    },
+    /// The queue is closed (server draining); the item was refused.
+    Closed,
+}
 
-struct State<T> {
-    queue: VecDeque<(ServeApp, T)>,
+struct State<K, T> {
+    queue: VecDeque<(K, T)>,
     closed: bool,
 }
 
-/// A closeable multi-producer batch queue.
-pub struct BatchQueue<T> {
-    state: Mutex<State<T>>,
+/// A closeable, optionally depth-capped multi-producer batch queue.
+pub struct BatchQueue<K, T> {
+    state: Mutex<State<K, T>>,
     cv: Condvar,
+    cap: usize,
 }
 
-impl<T> Default for BatchQueue<T> {
+impl<K: Copy + PartialEq, T> Default for BatchQueue<K, T> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<T> std::fmt::Debug for BatchQueue<T> {
+impl<K, T> std::fmt::Debug for BatchQueue<K, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BatchQueue").finish_non_exhaustive()
+        f.debug_struct("BatchQueue").field("cap", &self.cap).finish_non_exhaustive()
     }
 }
 
-impl<T> BatchQueue<T> {
-    /// An empty, open queue.
+impl<K: Copy + PartialEq, T> BatchQueue<K, T> {
+    /// An empty, open, unbounded queue.
     pub fn new() -> Self {
+        Self::bounded(usize::MAX)
+    }
+
+    /// An empty, open queue that refuses pushes beyond `cap` queued
+    /// items. A cap of 0 refuses everything — useful for forcing the
+    /// shed path in tests.
+    pub fn bounded(cap: usize) -> Self {
         BatchQueue {
             state: Mutex::new(State { queue: VecDeque::new(), closed: false }),
             cv: Condvar::new(),
+            cap,
         }
     }
 
-    fn lock(&self) -> MutexGuard<'_, State<T>> {
+    fn lock(&self) -> MutexGuard<'_, State<K, T>> {
         // A poisoning panic in another holder must not cascade; the
         // queue's state is valid after any partial operation.
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Append one item. Items pushed after [`close`](Self::close) are
-    /// dropped.
-    pub fn push(&self, app: ServeApp, item: T) {
+    /// Try to append one item, reporting the admission decision.
+    pub fn push(&self, key: K, item: T) -> Admission {
         let mut s = self.lock();
-        if !s.closed {
-            s.queue.push_back((app, item));
-            self.cv.notify_one();
+        if s.closed {
+            return Admission::Closed;
         }
+        if s.queue.len() >= self.cap {
+            return Admission::Busy { depth: s.queue.len() };
+        }
+        s.queue.push_back((key, item));
+        self.cv.notify_one();
+        Admission::Admitted
     }
 
     /// Close the queue: wakes all poppers; pending items still drain.
@@ -84,37 +117,37 @@ impl<T> BatchQueue<T> {
         self.len() == 0
     }
 
-    /// Pop the next batch: the head run of consecutive same-kernel
-    /// items, at most `max_batch` of them.
+    /// Pop the next batch: the head run of consecutive same-key items,
+    /// at most `max_batch` of them.
     ///
     /// Blocks until at least one item is available. If the run is
     /// shorter than `max_batch`, waits up to `linger` for it to fill —
-    /// new same-kernel arrivals extend the batch; a different kernel at
-    /// the head ends it. Returns `None` once the queue is closed *and*
+    /// new same-key arrivals extend the batch; a different key at the
+    /// head ends it. Returns `None` once the queue is closed *and*
     /// drained.
-    pub fn pop_batch(&self, max_batch: usize, linger: Duration) -> Option<(ServeApp, Vec<T>)> {
+    pub fn pop_batch(&self, max_batch: usize, linger: Duration) -> Option<(K, Vec<T>)> {
         let max_batch = max_batch.max(1);
         let mut s = self.lock();
-        loop {
-            if !s.queue.is_empty() {
-                break;
+        let (key, first) = loop {
+            if let Some(head) = s.queue.pop_front() {
+                break head;
             }
             if s.closed {
                 return None;
             }
             s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
-        }
+        };
 
-        let (app, first) = s.queue.pop_front().expect("non-empty queue");
         let mut batch = vec![first];
         let deadline = Instant::now() + linger;
         loop {
             // Extend with the head run.
             while batch.len() < max_batch {
                 match s.queue.front() {
-                    Some((a, _)) if *a == app => {
-                        let (_, item) = s.queue.pop_front().expect("front checked");
-                        batch.push(item);
+                    Some((k, _)) if *k == key => {
+                        if let Some((_, item)) = s.queue.pop_front() {
+                            batch.push(item);
+                        }
                     }
                     _ => break,
                 }
@@ -140,13 +173,14 @@ impl<T> BatchQueue<T> {
                 break;
             }
         }
-        Some((app, batch))
+        Some((key, batch))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lac_apps::serving::ServeApp;
     use std::sync::Arc;
 
     const NO_LINGER: Duration = Duration::ZERO;
@@ -155,10 +189,10 @@ mod tests {
     fn pops_head_run_up_to_max_batch() {
         let q = BatchQueue::new();
         for i in 0..5 {
-            q.push(ServeApp::Blur, i);
+            assert_eq!(q.push(ServeApp::Blur, i), Admission::Admitted);
         }
-        q.push(ServeApp::Jpeg, 5);
-        q.push(ServeApp::Blur, 6);
+        assert_eq!(q.push(ServeApp::Jpeg, 5), Admission::Admitted);
+        assert_eq!(q.push(ServeApp::Blur, 6), Admission::Admitted);
 
         let (app, batch) = q.pop_batch(3, NO_LINGER).unwrap();
         assert_eq!((app, batch), (ServeApp::Blur, vec![0, 1, 2]));
@@ -171,11 +205,44 @@ mod tests {
     }
 
     #[test]
+    fn bounded_queue_sheds_at_cap_and_reports_depth() {
+        let q = BatchQueue::bounded(2);
+        assert_eq!(q.push(ServeApp::Blur, 0), Admission::Admitted);
+        assert_eq!(q.push(ServeApp::Blur, 1), Admission::Admitted);
+        assert_eq!(q.push(ServeApp::Blur, 2), Admission::Busy { depth: 2 });
+        assert_eq!(q.len(), 2, "refused items are not queued");
+        // Draining one batch frees capacity again.
+        let (_, batch) = q.pop_batch(8, NO_LINGER).unwrap();
+        assert_eq!(batch, vec![0, 1]);
+        assert_eq!(q.push(ServeApp::Blur, 3), Admission::Admitted);
+    }
+
+    #[test]
+    fn zero_cap_refuses_everything() {
+        let q: BatchQueue<ServeApp, u32> = BatchQueue::bounded(0);
+        assert_eq!(q.push(ServeApp::Blur, 1), Admission::Busy { depth: 0 });
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn generic_keys_split_batches() {
+        // The server keys batches on (kernel, poison marker); distinct
+        // keys never share a batch even with identical payload types.
+        let q: BatchQueue<(u8, bool), u32> = BatchQueue::new();
+        let _ = q.push((0, false), 1);
+        let _ = q.push((0, true), 2);
+        let _ = q.push((0, false), 3);
+        assert_eq!(q.pop_batch(8, NO_LINGER), Some(((0, false), vec![1])));
+        assert_eq!(q.pop_batch(8, NO_LINGER), Some(((0, true), vec![2])));
+        assert_eq!(q.pop_batch(8, NO_LINGER), Some(((0, false), vec![3])));
+    }
+
+    #[test]
     fn close_drains_then_ends() {
         let q = BatchQueue::new();
-        q.push(ServeApp::Dft, 1);
+        assert_eq!(q.push(ServeApp::Dft, 1), Admission::Admitted);
         q.close();
-        q.push(ServeApp::Dft, 2); // dropped: queue is closed
+        assert_eq!(q.push(ServeApp::Dft, 2), Admission::Closed);
         assert_eq!(q.pop_batch(8, NO_LINGER), Some((ServeApp::Dft, vec![1])));
         assert_eq!(q.pop_batch(8, NO_LINGER), None);
     }
@@ -183,12 +250,12 @@ mod tests {
     #[test]
     fn linger_fills_a_batch_from_late_arrivals() {
         let q = Arc::new(BatchQueue::new());
-        q.push(ServeApp::Blur, 0);
+        let _ = q.push(ServeApp::Blur, 0);
         let producer = {
             let q = Arc::clone(&q);
             std::thread::spawn(move || {
                 std::thread::sleep(Duration::from_millis(5));
-                q.push(ServeApp::Blur, 1);
+                let _ = q.push(ServeApp::Blur, 1);
             })
         };
         let (_, batch) = q.pop_batch(2, Duration::from_secs(5)).unwrap();
@@ -204,13 +271,13 @@ mod tests {
             std::thread::spawn(move || q.pop_batch(4, NO_LINGER))
         };
         std::thread::sleep(Duration::from_millis(5));
-        q.push(ServeApp::InverseK2j, 9);
+        let _ = q.push(ServeApp::InverseK2j, 9);
         assert_eq!(popper.join().unwrap(), Some((ServeApp::InverseK2j, vec![9])));
     }
 
     #[test]
     fn blocked_pop_wakes_on_close() {
-        let q: Arc<BatchQueue<u32>> = Arc::new(BatchQueue::new());
+        let q: Arc<BatchQueue<ServeApp, u32>> = Arc::new(BatchQueue::new());
         let popper = {
             let q = Arc::clone(&q);
             std::thread::spawn(move || q.pop_batch(4, NO_LINGER))

@@ -1,0 +1,1078 @@
+//! Seeded fault injection for the serving stack.
+//!
+//! Two harnesses share one [`ChaosPlan`] vocabulary:
+//!
+//! - [`run_resilience`] is a fully deterministic *in-process* replica of
+//!   the daemon's dispatch loop — real protocol frames through a real
+//!   [`FrameReader`], real bounded [`BatchQueue`] admission, real
+//!   [`ServingModel`] inference, real
+//!   [`supervise`](lac_rt::supervise::supervise) panic recovery — but
+//!   with a [`MockClock`] instead of wall time and seeded arrivals
+//!   instead of sockets. Its report (and the committed
+//!   `BENCH_resilience.json` built from it by `resilience_sweep`) is a
+//!   pure function of the config, byte-identical for every `--jobs` and
+//!   worker count.
+//! - [`run_chaos`] drives a *live* daemon over TCP: it front-loads the
+//!   plan's faults (dropped connections, oversized frames, fragmented
+//!   writes, `DEBUG_PANIC` pokes, a corrupt checkpoint swap) and then
+//!   runs a normal load-generator pass to show the server still serves
+//!   clean traffic to completion.
+//!
+//! Every fault count and placement comes from the plan's seed, so a
+//! failing chaos run reproduces exactly.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use lac_apps::serving::{ServeApp, ServeSample};
+use lac_core::ServingModel;
+use lac_rt::clock::{Clock, MockClock};
+use lac_rt::hash::fnv1a_64_hex;
+use lac_rt::json::Value;
+use lac_rt::rng::{RngExt, SeedableRng, StdRng};
+use lac_rt::supervise::{deliberate_panic, supervise};
+
+use crate::batch::{Admission, BatchQueue};
+use crate::client::Client;
+use crate::loadgen::{payload, run_loadgen, LoadgenConfig, LoadgenReport};
+use crate::protocol::{FrameEvent, FrameReader, Request, Response, MAX_FRAME_LEN};
+use crate::server::retry_after_hint;
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// Poison the dispatcher (the `DEBUG_PANIC` opcode).
+    Panic,
+    /// A frame header advertising more than [`MAX_FRAME_LEN`] bytes.
+    Oversized,
+    /// A client that vanishes mid-stream without reading its responses.
+    Drop,
+    /// A request written one byte at a time.
+    Fragment,
+    /// A checkpoint swap that must be refused (corrupt artifact).
+    CorruptSwap,
+}
+
+impl ChaosEvent {
+    /// Stable ordering rank for same-tick events.
+    fn rank(self) -> u8 {
+        match self {
+            ChaosEvent::Panic => 0,
+            ChaosEvent::Oversized => 1,
+            ChaosEvent::Drop => 2,
+            ChaosEvent::Fragment => 3,
+            ChaosEvent::CorruptSwap => 4,
+        }
+    }
+}
+
+/// A seeded schedule of faults to inject.
+///
+/// Parsed from the CLI spec syntax
+/// `seed=7,panics=1,oversized=2,drops=2,frags=2,corrupt-swaps=1`
+/// (any subset of keys; missing keys default to zero faults, seed 7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Seed for fault placement.
+    pub seed: u64,
+    /// Injected dispatcher panics.
+    pub panics: u32,
+    /// Oversized frame headers.
+    pub oversized: u32,
+    /// Connections dropped without reading responses.
+    pub drops: u32,
+    /// Requests written one byte at a time.
+    pub frags: u32,
+    /// Corrupt checkpoint swap attempts.
+    pub corrupt_swaps: u32,
+}
+
+impl Default for ChaosPlan {
+    fn default() -> Self {
+        ChaosPlan::none()
+    }
+}
+
+impl ChaosPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        ChaosPlan { seed: 7, panics: 0, oversized: 0, drops: 0, frags: 0, corrupt_swaps: 0 }
+    }
+
+    /// Whether the plan injects any fault at all.
+    pub fn is_empty(&self) -> bool {
+        self.panics == 0
+            && self.oversized == 0
+            && self.drops == 0
+            && self.frags == 0
+            && self.corrupt_swaps == 0
+    }
+
+    /// Parse the `key=value,key=value` CLI spec syntax.
+    pub fn parse(spec: &str) -> Result<ChaosPlan, String> {
+        let mut plan = ChaosPlan::none();
+        for token in spec.split(',') {
+            let token = token.trim();
+            if token.is_empty() {
+                continue;
+            }
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("chaos: `{token}` is not of the form key=value"))?;
+            let n: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("chaos: `{value}` is not a valid count for `{key}`"))?;
+            match key.trim() {
+                "seed" => plan.seed = n,
+                "panics" => plan.panics = n as u32,
+                "oversized" => plan.oversized = n as u32,
+                "drops" => plan.drops = n as u32,
+                "frags" => plan.frags = n as u32,
+                "corrupt-swaps" => plan.corrupt_swaps = n as u32,
+                other => {
+                    return Err(format!(
+                        "chaos: unknown key `{other}` (known: seed, panics, oversized, \
+                         drops, frags, corrupt-swaps)"
+                    ));
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Place every fault at a seeded tick in `[0, ticks)`, sorted by
+    /// `(tick, kind)`. Pure: the same plan and horizon always yield the
+    /// same schedule.
+    pub fn events(&self, ticks: u64) -> Vec<(u64, ChaosEvent)> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let span = ticks.max(1);
+        let mut out: Vec<(u64, ChaosEvent)> = Vec::new();
+        let kinds = [
+            (self.panics, ChaosEvent::Panic),
+            (self.oversized, ChaosEvent::Oversized),
+            (self.drops, ChaosEvent::Drop),
+            (self.frags, ChaosEvent::Fragment),
+            (self.corrupt_swaps, ChaosEvent::CorruptSwap),
+        ];
+        for (count, kind) in kinds {
+            for _ in 0..count {
+                out.push((rng.random_range(0..span), kind));
+            }
+        }
+        out.sort_by_key(|(tick, kind)| (*tick, kind.rank()));
+        out
+    }
+}
+
+/// Knobs for one deterministic in-process resilience run.
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Application under load.
+    pub app: ServeApp,
+    /// Multiplier spec for the untrained serving model.
+    pub spec: String,
+    /// Simulated scheduler ticks.
+    pub ticks: u64,
+    /// Simulated client connections.
+    pub conns: usize,
+    /// New requests per tick (round-robin across live connections).
+    pub arrivals_per_tick: usize,
+    /// Admission cap for the batch queue.
+    pub queue_cap: usize,
+    /// Dispatcher batch size cap.
+    pub max_batch: usize,
+    /// Batches dispatched per tick (the service rate).
+    pub batches_per_tick: usize,
+    /// Deadline attached to every request, µs from admission.
+    pub deadline_us: Option<u64>,
+    /// Mock-clock advance per tick, µs.
+    pub tick_us: u64,
+    /// Mock-clock advance per inferred sample, µs.
+    pub service_per_item_us: u64,
+    /// Payload-stream seed.
+    pub seed: u64,
+    /// Inference worker threads (outputs are invariant to this).
+    pub threads: usize,
+    /// Fault schedule.
+    pub chaos: ChaosPlan,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            app: ServeApp::Blur,
+            spec: "mul8u_FTA".to_owned(),
+            ticks: 32,
+            conns: 4,
+            arrivals_per_tick: 3,
+            queue_cap: 64,
+            max_batch: 8,
+            batches_per_tick: 2,
+            deadline_us: Some(5_000),
+            tick_us: 100,
+            service_per_item_us: 10,
+            seed: 42,
+            threads: 2,
+            chaos: ChaosPlan::none(),
+        }
+    }
+}
+
+/// What one in-process resilience run measured. Every field is a pure
+/// function of the [`ResilienceConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceReport {
+    /// Requests that reached admission (including poison probes).
+    pub offered: u64,
+    /// Requests answered with an infer response to a live connection.
+    pub completed: u64,
+    /// Requests refused with a `BUSY` frame at admission.
+    pub shed: u64,
+    /// Requests dropped pre-dispatch by their deadline.
+    pub expired: u64,
+    /// Dispatcher restarts after injected panics.
+    pub restarts: u64,
+    /// Connections dropped by the chaos schedule.
+    pub dropped_conns: u64,
+    /// Response frames that had no live connection to go to.
+    pub dropped_deliveries: u64,
+    /// Batches dispatched (including the poisoned ones).
+    pub batches: u64,
+    /// Worst-case batches from a panic to the next successful batch
+    /// (`None` when no panic was injected).
+    pub recovery_batches: Option<u64>,
+    /// Error frames delivered, counted by taxonomy class (the message
+    /// prefix before the first `:`).
+    pub taxonomy: BTreeMap<String, u64>,
+    /// FNV-1a hash of every response frame delivered to a live
+    /// connection, in delivery order.
+    pub fingerprint: String,
+}
+
+impl ResilienceReport {
+    /// Completed requests as a fraction of offered.
+    pub fn goodput(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.offered as f64
+    }
+
+    /// Shed requests as a fraction of offered.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.shed as f64 / self.offered as f64
+    }
+}
+
+/// Batch key of the simulated dispatcher: real traffic batches per
+/// kernel, poison probes dispatch alone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SimKey {
+    App(ServeApp),
+    Poison(u64),
+}
+
+/// One admitted simulated request.
+struct SimPending {
+    conn: usize,
+    id: u64,
+    sample: Option<ServeSample>,
+    expires_at: Option<u64>,
+}
+
+/// One simulated client connection.
+struct SimConn {
+    reader: FrameReader,
+    dropped: bool,
+    /// Write the next request one byte at a time.
+    frag_next: bool,
+}
+
+/// The taxonomy class of an error message: its prefix before `:`.
+fn class_of(message: &str) -> String {
+    match message.split_once(':') {
+        Some((class, _)) => class.to_owned(),
+        None => "other".to_owned(),
+    }
+}
+
+struct Sim {
+    model: ServingModel,
+    clock: MockClock,
+    queue: BatchQueue<SimKey, SimPending>,
+    conns: Vec<SimConn>,
+    default_deadline_us: Option<u64>,
+    max_batch: usize,
+    service_per_item_us: u64,
+    threads: usize,
+    poison_seq: u64,
+    // Delivered response frames, concatenated, for the fingerprint.
+    delivered: Vec<u8>,
+    offered: u64,
+    completed: u64,
+    shed: u64,
+    expired: u64,
+    restarts: u64,
+    dropped_conns: u64,
+    dropped_deliveries: u64,
+    batches: u64,
+    recovering: bool,
+    batches_since_restart: u64,
+    recovery_batches: Option<u64>,
+    taxonomy: BTreeMap<String, u64>,
+}
+
+impl Sim {
+    /// Encode and "deliver" a response: live connections accumulate the
+    /// frame into the fingerprint, dropped connections count the loss.
+    fn deliver(&mut self, conn: usize, resp: &Response) {
+        let bytes = match resp.encode() {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                let fallback = Response::Error { id: resp.id(), message: e };
+                match fallback.encode() {
+                    Ok(bytes) => bytes,
+                    Err(_) => return,
+                }
+            }
+        };
+        match resp {
+            Response::Infer { .. } => {}
+            Response::Busy { .. } => *self.taxonomy.entry("busy".to_owned()).or_insert(0) += 1,
+            Response::Error { message, .. } => {
+                *self.taxonomy.entry(class_of(message)).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+        if self.conns.get(conn).is_none_or(|c| c.dropped) {
+            self.dropped_deliveries += 1;
+            return;
+        }
+        if let Response::Infer { .. } = resp {
+            self.completed += 1;
+        }
+        self.delivered.extend_from_slice(&bytes);
+    }
+
+    /// First live connection at or after `salt % conns`.
+    fn pick_conn(&self, salt: u64) -> usize {
+        let n = self.conns.len().max(1);
+        let start = (salt as usize) % n;
+        for i in 0..n {
+            let c = (start + i) % n;
+            if !self.conns.get(c).is_none_or(|conn| conn.dropped) {
+                return c;
+            }
+        }
+        start
+    }
+
+    /// Admit one decoded request, mirroring the daemon's shed path.
+    fn admit(&mut self, app: ServeApp, pending: SimPending) {
+        self.offered += 1;
+        let (conn, id) = (pending.conn, pending.id);
+        match self.queue.push(SimKey::App(app), pending) {
+            Admission::Admitted => {}
+            Admission::Busy { depth } => {
+                self.shed += 1;
+                self.deliver(
+                    conn,
+                    &Response::Busy {
+                        id,
+                        depth: depth as u32,
+                        retry_after_us: retry_after_hint(depth),
+                    },
+                );
+            }
+            Admission::Closed => {
+                self.deliver(
+                    conn,
+                    &Response::Error {
+                        id,
+                        message: "shutdown: server is draining, request refused".to_owned(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Handle frame-reader events for connection `conn`, exactly as the
+    /// daemon's reader loop would.
+    fn handle_events(&mut self, conn: usize, events: Vec<FrameEvent>) {
+        for event in events {
+            match event {
+                FrameEvent::Oversized { advertised } => {
+                    self.deliver(
+                        conn,
+                        &Response::Error {
+                            id: 0,
+                            message: format!(
+                                "overflow: frame advertises {advertised} bytes, \
+                                 limit is {MAX_FRAME_LEN}; skipped"
+                            ),
+                        },
+                    );
+                }
+                FrameEvent::Frame(body) => match Request::parse(&body) {
+                    Err(e) => self.deliver(
+                        conn,
+                        &Response::Error { id: 0, message: format!("malformed request: {e}") },
+                    ),
+                    Ok(Request::Infer { kernel, id, values, deadline_us }) => {
+                        let Some(app) = ServeApp::from_code(kernel) else {
+                            self.deliver(
+                                conn,
+                                &Response::Error {
+                                    id,
+                                    message: format!("malformed request: unknown kernel {kernel}"),
+                                },
+                            );
+                            continue;
+                        };
+                        match app.decode(&values) {
+                            Err(e) => self.deliver(
+                                conn,
+                                &Response::Error {
+                                    id,
+                                    message: format!("malformed request: {e}"),
+                                },
+                            ),
+                            Ok(sample) => {
+                                let deadline = deadline_us.or(self.default_deadline_us);
+                                let expires_at =
+                                    deadline.map(|d| self.clock.now_us().saturating_add(d));
+                                self.admit(
+                                    app,
+                                    SimPending { conn, id, sample: Some(sample), expires_at },
+                                );
+                            }
+                        }
+                    }
+                    Ok(other) => {
+                        // The harness only generates infer frames; any
+                        // other opcode here is a decode bug.
+                        self.deliver(
+                            conn,
+                            &Response::Error {
+                                id: other.id(),
+                                message: "malformed request: unexpected opcode".to_owned(),
+                            },
+                        );
+                    }
+                },
+            }
+        }
+    }
+
+    /// Feed raw bytes into one connection's frame reader.
+    fn feed(&mut self, conn: usize, bytes: &[u8], fragmented: bool) {
+        let mut events = Vec::new();
+        if let Some(c) = self.conns.get_mut(conn) {
+            if fragmented {
+                for byte in bytes {
+                    c.reader.push(std::slice::from_ref(byte), &mut events);
+                }
+            } else {
+                c.reader.push(bytes, &mut events);
+            }
+        }
+        self.handle_events(conn, events);
+    }
+
+    /// Apply one scheduled fault at `tick`.
+    fn apply_event(&mut self, tick: u64, event: ChaosEvent) {
+        match event {
+            ChaosEvent::Drop => {
+                let c = self.pick_conn(tick);
+                if let Some(conn) = self.conns.get_mut(c) {
+                    if !conn.dropped {
+                        conn.dropped = true;
+                        self.dropped_conns += 1;
+                    }
+                }
+            }
+            ChaosEvent::Fragment => {
+                let c = self.pick_conn(tick);
+                if let Some(conn) = self.conns.get_mut(c) {
+                    conn.frag_next = true;
+                }
+            }
+            ChaosEvent::Oversized => {
+                let c = self.pick_conn(tick);
+                let advertised = (MAX_FRAME_LEN as u32).saturating_add(1);
+                self.feed(c, &advertised.to_le_bytes(), false);
+                // Complete the oversized body so the stream resyncs and
+                // later requests on this connection still parse.
+                self.feed(c, &vec![0u8; advertised as usize], false);
+            }
+            ChaosEvent::Panic => {
+                let c = self.pick_conn(tick);
+                let token = self.poison_seq;
+                self.poison_seq += 1;
+                let id = 0xFEED_0000_0000_0000 | token;
+                self.offered += 1;
+                let pending = SimPending { conn: c, id, sample: None, expires_at: None };
+                if let Admission::Busy { depth } = self.queue.push(SimKey::Poison(token), pending)
+                {
+                    self.shed += 1;
+                    self.deliver(
+                        c,
+                        &Response::Busy {
+                            id,
+                            depth: depth as u32,
+                            retry_after_us: retry_after_hint(depth),
+                        },
+                    );
+                }
+            }
+            ChaosEvent::CorruptSwap => {
+                // A corrupt checkpoint swap: the registry refuses the
+                // artifact and the connection gets a structured error.
+                let c = self.pick_conn(tick);
+                if let Err(e) = ServingModel::untrained(self.model.app(), "mul8u_CORRUPT") {
+                    self.deliver(
+                        c,
+                        &Response::Error {
+                            id: 0xC0_0000_0000_0000 | tick,
+                            message: format!("swap: corrupt checkpoint refused ({e})"),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Process one popped batch (runs under `supervise`; poison batches
+    /// unwind here).
+    fn process_batch(&mut self, key: SimKey, batch: &mut [SimPending]) {
+        if let SimKey::Poison(_) = key {
+            deliberate_panic("injected dispatcher panic (DEBUG_PANIC opcode)");
+        }
+        let now = self.clock.now_us();
+        let mut live: Vec<(usize, u64)> = Vec::new();
+        let mut samples: Vec<ServeSample> = Vec::new();
+        for p in batch.iter_mut() {
+            if p.expires_at.is_some_and(|t| now >= t) {
+                self.expired += 1;
+                self.deliver(
+                    p.conn,
+                    &Response::Error {
+                        id: p.id,
+                        message: "deadline: expired before dispatch".to_owned(),
+                    },
+                );
+                continue;
+            }
+            if let Some(sample) = p.sample.take() {
+                live.push((p.conn, p.id));
+                samples.push(sample);
+            }
+        }
+        if samples.is_empty() {
+            return;
+        }
+        self.clock.advance(self.service_per_item_us * samples.len() as u64);
+        let mode = self.model.trained_mode();
+        match self.model.infer_mode(mode, &samples, self.threads) {
+            Ok(outputs) => {
+                for ((conn, id), values) in live.into_iter().zip(outputs) {
+                    self.deliver(conn, &Response::Infer { id, values });
+                }
+                if self.recovering {
+                    let took = self.batches_since_restart;
+                    self.recovery_batches =
+                        Some(self.recovery_batches.map_or(took, |worst| worst.max(took)));
+                    self.recovering = false;
+                }
+            }
+            Err(e) => {
+                for (conn, id) in live {
+                    self.deliver(conn, &Response::Error { id, message: e.clone() });
+                }
+            }
+        }
+    }
+
+    /// Pop and process one batch; returns false when the queue is empty.
+    fn dispatch_batch(&mut self) -> bool {
+        if self.queue.is_empty() {
+            return false;
+        }
+        let Some((key, batch)) = self.queue.pop_batch(self.max_batch, Duration::ZERO) else {
+            return false;
+        };
+        self.batches += 1;
+        if self.recovering {
+            self.batches_since_restart += 1;
+        }
+        let metas: Vec<(usize, u64)> = batch.iter().map(|p| (p.conn, p.id)).collect();
+        let mut batch = batch;
+        let mut panicked: Option<String> = None;
+        supervise(
+            || self.process_batch(key, &mut batch),
+            |msg| {
+                panicked = Some(msg.to_owned());
+                false // the supervisor restarts the loop, not the batch
+            },
+        );
+        if let Some(msg) = panicked {
+            self.restarts += 1;
+            self.recovering = true;
+            self.batches_since_restart = 0;
+            for (conn, id) in metas {
+                self.deliver(
+                    conn,
+                    &Response::Error { id, message: format!("panic: dispatcher restarted: {msg}") },
+                );
+            }
+        }
+        true
+    }
+}
+
+/// Run one deterministic in-process resilience cell.
+///
+/// Wall-clock-free: time is a [`MockClock`] advanced by the simulated
+/// scheduler, so the report — fingerprint included — is byte-identical
+/// across machines, `--jobs`, and worker counts.
+pub fn run_resilience(cfg: &ResilienceConfig) -> Result<ResilienceReport, String> {
+    let model = ServingModel::untrained(cfg.app, &cfg.spec).map_err(|e| e.to_string())?;
+    let mut sim = Sim {
+        model,
+        clock: MockClock::new(0),
+        queue: BatchQueue::bounded(cfg.queue_cap),
+        conns: (0..cfg.conns.max(1))
+            .map(|_| SimConn { reader: FrameReader::new(), dropped: false, frag_next: false })
+            .collect(),
+        default_deadline_us: cfg.deadline_us,
+        max_batch: cfg.max_batch,
+        service_per_item_us: cfg.service_per_item_us,
+        threads: cfg.threads,
+        poison_seq: 0,
+        delivered: Vec::new(),
+        offered: 0,
+        completed: 0,
+        shed: 0,
+        expired: 0,
+        restarts: 0,
+        dropped_conns: 0,
+        dropped_deliveries: 0,
+        batches: 0,
+        recovering: false,
+        batches_since_restart: 0,
+        recovery_batches: None,
+        taxonomy: BTreeMap::new(),
+    };
+
+    let events = cfg.chaos.events(cfg.ticks);
+    let mut next_event = 0usize;
+    let mut arrival: u64 = 0;
+    for tick in 0..cfg.ticks {
+        sim.clock.advance(cfg.tick_us);
+        while next_event < events.len() && events[next_event].0 == tick {
+            sim.apply_event(tick, events[next_event].1);
+            next_event += 1;
+        }
+        for _ in 0..cfg.arrivals_per_tick {
+            let conn = sim.pick_conn(arrival);
+            if sim.conns.get(conn).is_none_or(|c| c.dropped) {
+                break; // every connection is gone; no more arrivals
+            }
+            let id = ((conn as u64) << 48) | arrival;
+            let request = Request::Infer {
+                kernel: cfg.app.code(),
+                id,
+                values: payload(cfg.app, cfg.seed, arrival),
+                deadline_us: None, // the per-cell default deadline applies
+            };
+            arrival += 1;
+            let Ok(bytes) = request.encode() else { continue };
+            let fragmented = sim.conns.get(conn).is_some_and(|c| c.frag_next);
+            if let Some(c) = sim.conns.get_mut(conn) {
+                c.frag_next = false;
+            }
+            sim.feed(conn, &bytes, fragmented);
+        }
+        for _ in 0..cfg.batches_per_tick {
+            if !sim.dispatch_batch() {
+                break;
+            }
+        }
+    }
+    // Drain whatever is still queued, as the daemon does on shutdown.
+    while sim.dispatch_batch() {}
+
+    Ok(ResilienceReport {
+        offered: sim.offered,
+        completed: sim.completed,
+        shed: sim.shed,
+        expired: sim.expired,
+        restarts: sim.restarts,
+        dropped_conns: sim.dropped_conns,
+        dropped_deliveries: sim.dropped_deliveries,
+        batches: sim.batches,
+        recovery_batches: sim.recovery_batches,
+        taxonomy: sim.taxonomy,
+        fingerprint: fnv1a_64_hex(&sim.delivered),
+    })
+}
+
+/// The storm plan used by the committed sweep: every fault kind at
+/// least once, seeded.
+pub fn storm_plan() -> ChaosPlan {
+    ChaosPlan { seed: 7, panics: 2, oversized: 2, drops: 1, frags: 3, corrupt_swaps: 1 }
+}
+
+/// The sweep grid: {light, heavy} load × {none, storm} chaos.
+pub fn resilience_cells(threads: usize) -> Vec<(String, ResilienceConfig)> {
+    let light = ResilienceConfig { threads, ..ResilienceConfig::default() };
+    let heavy = ResilienceConfig {
+        arrivals_per_tick: 12,
+        queue_cap: 16,
+        batches_per_tick: 1,
+        deadline_us: Some(400),
+        threads,
+        ..ResilienceConfig::default()
+    };
+    let mut cells = Vec::new();
+    for (load, base) in [("light", light), ("heavy", heavy)] {
+        for (weather, chaos) in [("none", ChaosPlan::none()), ("chaos", storm_plan())] {
+            let id = format!("resilience/{load}/{weather}");
+            cells.push((id, ResilienceConfig { chaos: chaos.clone(), ..base.clone() }));
+        }
+    }
+    cells
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+/// Run the full sweep grid and assemble the `BENCH_resilience.json`
+/// document. `jobs` parallelizes across cells; the document is
+/// byte-identical for every `jobs` and `threads` value.
+pub fn run_resilience_sweep(jobs: usize, threads: usize) -> Result<Value, String> {
+    let cells = resilience_cells(threads);
+    let reports = lac_rt::par::run_indexed(cells.len(), jobs, |i| run_resilience(&cells[i].1));
+    let mut benches = Vec::new();
+    for ((id, cfg), report) in cells.iter().zip(reports) {
+        let report = report.map_err(|e| format!("{id}: {e}"))?;
+        let errors: Vec<(String, Value)> = report
+            .taxonomy
+            .iter()
+            .map(|(class, count)| (class.clone(), Value::Num(*count as f64)))
+            .collect();
+        benches.push(Value::Obj(vec![
+            ("id".to_owned(), Value::Str(id.clone())),
+            ("offered".to_owned(), Value::Num(report.offered as f64)),
+            ("completed".to_owned(), Value::Num(report.completed as f64)),
+            ("shed".to_owned(), Value::Num(report.shed as f64)),
+            ("expired".to_owned(), Value::Num(report.expired as f64)),
+            ("restarts".to_owned(), Value::Num(report.restarts as f64)),
+            ("dropped_conns".to_owned(), Value::Num(report.dropped_conns as f64)),
+            (
+                "dropped_deliveries".to_owned(),
+                Value::Num(report.dropped_deliveries as f64),
+            ),
+            ("batches".to_owned(), Value::Num(report.batches as f64)),
+            (
+                "recovery_batches".to_owned(),
+                match report.recovery_batches {
+                    Some(n) => Value::Num(n as f64),
+                    None => Value::Null,
+                },
+            ),
+            ("goodput".to_owned(), Value::Num(round3(report.goodput()))),
+            ("shed_rate".to_owned(), Value::Num(round3(report.shed_rate()))),
+            ("errors".to_owned(), Value::Obj(errors)),
+            ("fingerprint".to_owned(), Value::Str(report.fingerprint.clone())),
+            ("queue_cap".to_owned(), Value::Num(cfg.queue_cap as f64)),
+            (
+                "deadline_us".to_owned(),
+                match cfg.deadline_us {
+                    Some(d) => Value::Num(d as f64),
+                    None => Value::Null,
+                },
+            ),
+        ]));
+    }
+    Ok(Value::Obj(vec![
+        ("suite".to_owned(), Value::Str("resilience".to_owned())),
+        ("app".to_owned(), Value::Str(ServeApp::Blur.cli_id().to_owned())),
+        ("spec".to_owned(), Value::Str("mul8u_FTA".to_owned())),
+        ("seed".to_owned(), Value::Num(42.0)),
+        ("benches".to_owned(), Value::Arr(benches)),
+    ]))
+}
+
+/// What one live chaos run observed.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// `DEBUG_PANIC` pokes acknowledged with a `panic:` error frame.
+    pub injected_panics: u64,
+    /// `DEBUG_PANIC` pokes refused (`debug:` — opcodes disabled).
+    pub refused_panics: u64,
+    /// Oversized headers answered with an `overflow:` error frame.
+    pub oversized_rejections: u64,
+    /// Connections dropped without reading their responses.
+    pub dropped_conns: u64,
+    /// Fragmented (byte-at-a-time) requests still answered.
+    pub fragmented_ok: u64,
+    /// Corrupt checkpoint swaps refused with an error frame.
+    pub corrupt_swap_rejections: u64,
+    /// The clean load-generator pass run after the faults.
+    pub loadgen: LoadgenReport,
+}
+
+/// One raw framed round trip over a fresh connection.
+fn raw_round_trip(port: u16, bytes: &[u8], timeout: Duration) -> Result<Response, String> {
+    let mut stream =
+        TcpStream::connect(("127.0.0.1", port)).map_err(|e| format!("chaos connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| format!("chaos timeout: {e}"))?;
+    stream.write_all(bytes).map_err(|e| format!("chaos write: {e}"))?;
+    let mut reader = FrameReader::new();
+    let mut events = Vec::new();
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        for event in events.drain(..) {
+            if let FrameEvent::Frame(body) = event {
+                return Response::parse(&body);
+            }
+        }
+        let n = stream.read(&mut buf).map_err(|e| format!("chaos read: {e}"))?;
+        if n == 0 {
+            return Err("chaos: server closed the connection".to_owned());
+        }
+        reader.push(&buf[..n], &mut events);
+    }
+}
+
+/// Drive a live daemon through the plan's faults, then run a clean
+/// load-generator pass to show service survived.
+pub fn run_chaos(cfg: &LoadgenConfig, plan: &ChaosPlan) -> Result<ChaosReport, String> {
+    let mut report = ChaosReport {
+        injected_panics: 0,
+        refused_panics: 0,
+        oversized_rejections: 0,
+        dropped_conns: 0,
+        fragmented_ok: 0,
+        corrupt_swap_rejections: 0,
+        loadgen: LoadgenReport {
+            app: cfg.app,
+            completed: 0,
+            errors: 0,
+            p50_us: 0.0,
+            p99_us: 0.0,
+            throughput_rps: 0.0,
+            elapsed_s: 0.0,
+        },
+    };
+
+    // Vanishing clients: send traffic, never read, drop the socket.
+    for i in 0..plan.drops {
+        let mut client = Client::connect(cfg.port).map_err(|e| format!("chaos connect: {e}"))?;
+        let request = Request::Infer {
+            kernel: cfg.app.code(),
+            id: 0xD0_0000 | u64::from(i),
+            values: payload(cfg.app, plan.seed, u64::from(i)),
+            deadline_us: None,
+        };
+        client.send(&request).map_err(|e| format!("chaos send: {e}"))?;
+        drop(client);
+        report.dropped_conns += 1;
+    }
+
+    // Oversized frame headers: the server must answer with a structured
+    // overflow error instead of buffering the advertised body.
+    for _ in 0..plan.oversized {
+        let header = ((MAX_FRAME_LEN as u32).saturating_add(1)).to_le_bytes();
+        let resp = raw_round_trip(cfg.port, &header, cfg.timeout)?;
+        match resp {
+            Response::Error { message, .. } if message.starts_with("overflow:") => {
+                report.oversized_rejections += 1;
+            }
+            other => return Err(format!("chaos: oversized header got {other:?}")),
+        }
+    }
+
+    // Fragmented writes: a valid request, one byte at a time.
+    for i in 0..plan.frags {
+        let id = 0xF0_0000 | u64::from(i);
+        let request = Request::Infer {
+            kernel: cfg.app.code(),
+            id,
+            values: payload(cfg.app, plan.seed ^ 0x5eed, u64::from(i)),
+            deadline_us: None,
+        };
+        let bytes = request.encode()?;
+        let mut stream =
+            TcpStream::connect(("127.0.0.1", cfg.port)).map_err(|e| format!("chaos connect: {e}"))?;
+        stream
+            .set_read_timeout(Some(cfg.timeout))
+            .map_err(|e| format!("chaos timeout: {e}"))?;
+        for byte in &bytes {
+            stream
+                .write_all(std::slice::from_ref(byte))
+                .map_err(|e| format!("chaos write: {e}"))?;
+        }
+        let mut reader = FrameReader::new();
+        let mut events = Vec::new();
+        let mut buf = [0u8; 64 * 1024];
+        let resp = loop {
+            if let Some(FrameEvent::Frame(body)) = events.first() {
+                break Response::parse(body)?;
+            }
+            events.clear();
+            let n = stream.read(&mut buf).map_err(|e| format!("chaos read: {e}"))?;
+            if n == 0 {
+                return Err("chaos: server closed the fragmented connection".to_owned());
+            }
+            reader.push(&buf[..n], &mut events);
+        };
+        match resp {
+            Response::Infer { id: got, .. } if got == id => report.fragmented_ok += 1,
+            other => return Err(format!("chaos: fragmented request got {other:?}")),
+        }
+    }
+
+    // Corrupt checkpoint swap: the registry must refuse it.
+    for i in 0..plan.corrupt_swaps {
+        let path = std::env::temp_dir()
+            .join(format!("lac-chaos-corrupt-{}-{i}.json", std::process::id()));
+        std::fs::write(&path, b"{ this is not a checkpoint")
+            .map_err(|e| format!("chaos: corrupt artifact: {e}"))?;
+        let request = Request::Swap {
+            id: 0xC0_0000 | u64::from(i),
+            path: path.to_string_lossy().into_owned(),
+        };
+        let resp = raw_round_trip(cfg.port, &request.encode()?, cfg.timeout);
+        let _ = std::fs::remove_file(&path);
+        match resp? {
+            Response::Error { .. } => report.corrupt_swap_rejections += 1,
+            other => return Err(format!("chaos: corrupt swap got {other:?}")),
+        }
+    }
+
+    // Dispatcher poison: requires the daemon to run with debug opcodes.
+    for i in 0..plan.panics {
+        let request = Request::DebugPanic { id: 0xBAD | (u64::from(i) << 16) };
+        match raw_round_trip(cfg.port, &request.encode()?, cfg.timeout)? {
+            Response::Error { message, .. } if message.starts_with("panic:") => {
+                report.injected_panics += 1;
+            }
+            Response::Error { message, .. } if message.starts_with("debug:") => {
+                report.refused_panics += 1;
+            }
+            other => return Err(format!("chaos: DEBUG_PANIC got {other:?}")),
+        }
+    }
+
+    // Finally: a clean load-generator pass. Whatever the faults did,
+    // the daemon must still serve ordinary traffic to completion.
+    report.loadgen = run_loadgen(cfg)?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_parses_full_spec() {
+        let plan =
+            ChaosPlan::parse("seed=9, panics=1, oversized=2, drops=3, frags=4, corrupt-swaps=5")
+                .unwrap();
+        assert_eq!(
+            plan,
+            ChaosPlan { seed: 9, panics: 1, oversized: 2, drops: 3, frags: 4, corrupt_swaps: 5 }
+        );
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn plan_parses_empty_and_partial_specs() {
+        assert_eq!(ChaosPlan::parse("").unwrap(), ChaosPlan::none());
+        assert!(ChaosPlan::parse("").unwrap().is_empty());
+        let plan = ChaosPlan::parse("panics=2").unwrap();
+        assert_eq!(plan.panics, 2);
+        assert_eq!(plan.seed, ChaosPlan::none().seed);
+    }
+
+    #[test]
+    fn plan_rejects_unknown_keys_and_bad_values() {
+        let err = ChaosPlan::parse("selfdestruct=1").unwrap_err();
+        assert!(err.contains("unknown key `selfdestruct`"), "{err}");
+        let err = ChaosPlan::parse("panics=lots").unwrap_err();
+        assert!(err.contains("not a valid count"), "{err}");
+        let err = ChaosPlan::parse("panics").unwrap_err();
+        assert!(err.contains("key=value"), "{err}");
+    }
+
+    #[test]
+    fn event_schedule_is_seeded_and_sorted() {
+        let plan = storm_plan();
+        let a = plan.events(32);
+        let b = plan.events(32);
+        assert_eq!(a, b, "same plan, same schedule");
+        assert_eq!(
+            a.len(),
+            (plan.panics + plan.oversized + plan.drops + plan.frags + plan.corrupt_swaps)
+                as usize
+        );
+        assert!(a.windows(2).all(|w| w[0].0 <= w[1].0), "sorted by tick");
+        assert!(a.iter().all(|(t, _)| *t < 32));
+        let other = ChaosPlan { seed: plan.seed + 1, ..plan };
+        assert_ne!(other.events(32), a, "different seed, different placement");
+    }
+
+    #[test]
+    fn quiet_cell_completes_everything() {
+        let report = run_resilience(&ResilienceConfig::default()).unwrap();
+        assert_eq!(report.completed, report.offered, "{report:?}");
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.expired, 0);
+        assert_eq!(report.restarts, 0);
+        assert!(report.taxonomy.is_empty(), "{:?}", report.taxonomy);
+        assert_eq!(report.recovery_batches, None);
+    }
+
+    #[test]
+    fn storm_cell_recovers_and_keeps_taxonomy() {
+        let cfg = ResilienceConfig { chaos: storm_plan(), ..ResilienceConfig::default() };
+        let report = run_resilience(&cfg).unwrap();
+        assert_eq!(report.restarts, u64::from(storm_plan().panics), "{report:?}");
+        assert!(report.taxonomy.contains_key("panic"), "{:?}", report.taxonomy);
+        assert!(report.taxonomy.contains_key("overflow"), "{:?}", report.taxonomy);
+        assert!(report.taxonomy.contains_key("swap"), "{:?}", report.taxonomy);
+        assert_eq!(report.dropped_conns, u64::from(storm_plan().drops));
+        assert!(report.completed > 0, "service continued after panics");
+        assert_eq!(report.recovery_batches, Some(1), "next batch after a panic succeeds");
+    }
+
+    #[test]
+    fn reports_are_invariant_to_threads() {
+        let base = ResilienceConfig { chaos: storm_plan(), ..ResilienceConfig::default() };
+        let one = run_resilience(&ResilienceConfig { threads: 1, ..base.clone() }).unwrap();
+        let four = run_resilience(&ResilienceConfig { threads: 4, ..base }).unwrap();
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn heavy_cell_sheds_deterministically() {
+        let cells = resilience_cells(2);
+        let heavy = cells.iter().find(|(id, _)| id == "resilience/heavy/none").unwrap();
+        let report = run_resilience(&heavy.1).unwrap();
+        assert!(report.shed > 0, "overload must shed: {report:?}");
+        assert!(report.taxonomy.contains_key("busy"));
+        let again = run_resilience(&heavy.1).unwrap();
+        assert_eq!(report, again);
+    }
+}

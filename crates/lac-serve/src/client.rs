@@ -35,9 +35,15 @@ impl Client {
         self.stream.set_read_timeout(timeout)
     }
 
-    /// Write one request frame; does not wait for the response.
+    /// Write one request frame; does not wait for the response. A
+    /// request that would exceed `MAX_FRAME_LEN` is refused with
+    /// [`std::io::ErrorKind::InvalidInput`] instead of being sent (the
+    /// server would only skip it).
     pub fn send(&mut self, request: &Request) -> std::io::Result<()> {
-        self.stream.write_all(&request.encode())
+        let bytes = request
+            .encode()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        self.stream.write_all(&bytes)
     }
 
     /// Block until the next response frame arrives and decode it.

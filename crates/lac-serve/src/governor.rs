@@ -414,20 +414,33 @@ impl QualityGovernor {
 }
 
 /// Spawn the daemon's governor thread: jobs arrive over a channel from
-/// the dispatcher; the thread exits when the sender drops.
+/// the dispatcher; the thread exits when the sender drops. The loop
+/// runs under a panic supervisor — a panicking observation (a torn
+/// model invariant, say) bumps `restarts` and restarts the loop with
+/// the governor state intact instead of silently losing quality
+/// control for the rest of the process.
 pub(crate) fn spawn(
     cfg: GovernorConfig,
     registry: Arc<Registry>,
     threads: usize,
+    restarts: Arc<std::sync::atomic::AtomicU64>,
 ) -> std::io::Result<(mpsc::Sender<GovernorJob>, std::thread::JoinHandle<()>)> {
     let mut governor = QualityGovernor::new(cfg, registry)?;
     let (tx, rx) = mpsc::channel::<GovernorJob>();
     let handle = std::thread::spawn(move || {
-        while let Ok(job) = rx.recv() {
-            // A replay failure only loses one telemetry sample; the
-            // batch itself was already answered.
-            let _ = governor.observe(&job, threads);
-        }
+        lac_rt::supervise::supervise(
+            || {
+                while let Ok(job) = rx.recv() {
+                    // A replay failure only loses one telemetry sample;
+                    // the batch itself was already answered.
+                    let _ = governor.observe(&job, threads);
+                }
+            },
+            |_msg| {
+                restarts.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                true
+            },
+        );
     });
     Ok((tx, handle))
 }

@@ -16,6 +16,18 @@
 //! the exact datapath, and steps each app's mode ladder to hold a
 //! quality SLO at minimum area.
 //!
+//! The daemon is hardened against overload and misbehaving peers
+//! ([`server`], [`chaos`]): admission is bounded (`BUSY` shed frames
+//! with a retry hint), requests carry optional deadlines dropped
+//! pre-dispatch once expired, slow readers get bounded write buffers
+//! and write timeouts instead of blocking dispatch, and the dispatcher
+//! and governor run under panic supervision — a poisoned batch becomes
+//! per-request error frames, the thread restarts, and the crash
+//! counters ride on the extended `PING` health reply. A seeded chaos
+//! harness ([`chaos`]) injects connection drops, fragmented writes,
+//! oversized frames, dispatcher panics and corrupt checkpoint swaps,
+//! and produces the deterministic `BENCH_resilience.json`.
+//!
 //! # Quick start
 //!
 //! ```
@@ -29,7 +41,12 @@
 //! let server = serve(registry, ServerConfig::default(), 0).unwrap();
 //!
 //! let mut client = Client::connect(server.port()).unwrap();
-//! let req = Request::Infer { kernel: ServeApp::InverseK2j.code(), id: 1, values: vec![0.6, 0.3] };
+//! let req = Request::Infer {
+//!     kernel: ServeApp::InverseK2j.code(),
+//!     id: 1,
+//!     values: vec![0.6, 0.3],
+//!     deadline_us: None,
+//! };
 //! match client.round_trip(&req).unwrap() {
 //!     Response::Infer { id, values } => {
 //!         assert_eq!(id, 1);
@@ -46,6 +63,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod batch;
+pub mod chaos;
 pub mod client;
 pub mod governor;
 pub mod loadgen;
@@ -53,7 +71,11 @@ pub mod protocol;
 pub mod registry;
 pub mod server;
 
-pub use batch::BatchQueue;
+pub use batch::{Admission, BatchQueue};
+pub use chaos::{
+    run_chaos, run_resilience, run_resilience_sweep, ChaosPlan, ChaosReport, ResilienceConfig,
+    ResilienceReport,
+};
 pub use client::Client;
 pub use governor::{
     quality_score, run_closed_loop, should_sample, ClosedLoopConfig, ClosedLoopReport,
@@ -61,7 +83,8 @@ pub use governor::{
 };
 pub use loadgen::{
     run_loadgen, run_sweep, write_bench, LoadgenConfig, LoadgenReport, SweepConfig,
+    DEFAULT_CLIENT_TIMEOUT,
 };
-pub use protocol::{FrameEvent, FrameReader, Request, Response, MAX_FRAME};
+pub use protocol::{FrameEvent, FrameReader, Request, Response, MAX_FRAME_LEN};
 pub use registry::Registry;
 pub use server::{serve, RunningServer, ServerConfig};

@@ -28,6 +28,12 @@ use crate::protocol::{Request, Response};
 use crate::registry::Registry;
 use crate::server::{serve, ServerConfig};
 
+/// How long a load-generator connection waits for a response before
+/// giving up. Shared with the serving test suites so "a reasonable
+/// client timeout" means one thing across the repo; the CLI overrides
+/// it with `--timeout`.
+pub const DEFAULT_CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
 /// Load-generator knobs.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
@@ -43,6 +49,8 @@ pub struct LoadgenConfig {
     pub window: usize,
     /// Payload-stream seed.
     pub seed: u64,
+    /// Per-response receive timeout.
+    pub timeout: Duration,
 }
 
 impl Default for LoadgenConfig {
@@ -54,6 +62,7 @@ impl Default for LoadgenConfig {
             conns: 4,
             window: 32,
             seed: 42,
+            timeout: DEFAULT_CLIENT_TIMEOUT,
         }
     }
 }
@@ -128,6 +137,7 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
                     kernel,
                     id: base | n,
                     values: payload(cfg.app, cfg.seed, base | n),
+                    deadline_us: None,
                 })
                 .collect()
         })
@@ -184,7 +194,7 @@ fn conn_worker(
 ) -> Result<(Vec<Duration>, usize), String> {
     let mut client =
         Client::connect(cfg.port).map_err(|e| format!("connect to port {}: {e}", cfg.port))?;
-    client.set_timeout(Some(Duration::from_secs(30))).map_err(|e| e.to_string())?;
+    client.set_timeout(Some(cfg.timeout)).map_err(|e| e.to_string())?;
 
     let count = reqs.len();
     let mut sent_at: Vec<Option<Instant>> = vec![None; count];
@@ -204,6 +214,12 @@ fn conn_worker(
         let resp = client.recv().map_err(|e| format!("recv: {e}"))?;
         let id = match resp {
             Response::Infer { id, .. } => id,
+            // A shed request is complete from the client's point of
+            // view: the server answered it (with back-pressure).
+            Response::Busy { id, .. } => {
+                errors += 1;
+                id
+            }
             Response::Error { id, message } => {
                 errors += 1;
                 if id == 0 {
@@ -295,7 +311,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<Value, String> {
                 workers,
                 max_batch,
                 linger: Duration::from_micros(cfg.linger_us),
-                governor: None,
+                ..ServerConfig::default()
             };
             let running =
                 serve(registry, server_cfg, 0).map_err(|e| format!("start server: {e}"))?;
@@ -306,6 +322,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<Value, String> {
                 conns: cfg.conns,
                 window: cfg.window,
                 seed: cfg.seed,
+                timeout: DEFAULT_CLIENT_TIMEOUT,
             };
             let mut best: Option<LoadgenReport> = None;
             let mut failure = None;

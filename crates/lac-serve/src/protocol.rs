@@ -11,33 +11,58 @@
 //! ([`Request::parse`] / [`Response::parse`]): the framing layer only
 //! finds frame boundaries in a byte stream (surviving partial reads and
 //! pipelined frames), while body parsing turns one complete frame into
-//! a typed message. A frame whose advertised length exceeds
-//! [`MAX_FRAME`] is reported as a [`FrameEvent::Oversized`] event and
-//! its advertised bytes are skipped, so the stream *resyncs* on the
-//! next frame instead of the connection dying; a frame with a garbage
+//! a typed message. [`MAX_FRAME_LEN`] bounds frames in *both*
+//! directions: a received frame advertising more is reported as a
+//! [`FrameEvent::Oversized`] event and its advertised bytes are skipped,
+//! so the stream *resyncs* on the next frame instead of the connection
+//! dying, and [`Request::encode`] / [`Response::encode`] refuse to build
+//! an over-limit outbound frame with a structured error instead of
+//! silently emitting bytes no peer would accept. A frame with a garbage
 //! body parses to an error that the server answers with an error frame.
+//!
+//! # Resilience extensions
+//!
+//! * `INFER` carries an optional trailing deadline (µs, relative to
+//!   admission); the dispatcher drops expired requests pre-dispatch
+//!   with a `deadline:` error.
+//! * [`Response::Busy`] is the admission-control shed frame: queue
+//!   depth at refusal plus a retry-after hint.
+//! * [`Response::Pong`] carries a full [`HealthSnapshot`] (queue depth,
+//!   shed/expired counters, supervisor restarts, live modes), turning
+//!   the liveness probe into a health probe.
+//! * [`Request::DebugPanic`] poisons the dispatcher on purpose — fault
+//!   injection for the chaos harness, honored only when the server was
+//!   started with debug opcodes enabled.
 
-/// Largest accepted frame body, in bytes (4 MiB — a full 32×32 image
-/// payload is ~8 KiB, so this is generous headroom, not a limit any
-/// well-formed client approaches).
-pub const MAX_FRAME: usize = 1 << 22;
+use lac_core::HealthSnapshot;
+
+/// Largest frame body, in bytes (4 MiB — a full 32×32 image payload is
+/// ~8 KiB, so this is generous headroom, not a limit any well-formed
+/// client approaches). Shared by the [`FrameReader`] resync path and
+/// the [`Request::encode`] / [`Response::encode`] frame writers.
+pub const MAX_FRAME_LEN: usize = 1 << 22;
 
 /// Request opcode: run inference on a payload.
 pub const OP_INFER: u8 = 0x01;
-/// Request opcode: liveness probe.
+/// Request opcode: liveness/health probe.
 pub const OP_PING: u8 = 0x02;
 /// Request opcode: hot-swap a checkpoint into the model registry.
 pub const OP_SWAP: u8 = 0x03;
 /// Request opcode: graceful shutdown.
 pub const OP_SHUTDOWN: u8 = 0x04;
+/// Request opcode: poison the dispatcher (chaos fault injection; only
+/// honored when the server runs with debug opcodes enabled).
+pub const OP_DEBUG_PANIC: u8 = 0x66;
 /// Response opcode: inference output.
 pub const OP_INFER_OK: u8 = 0x81;
-/// Response opcode: ping reply.
+/// Response opcode: ping reply with a health snapshot.
 pub const OP_PONG: u8 = 0x82;
 /// Response opcode: swap acknowledged.
 pub const OP_SWAPPED: u8 = 0x83;
 /// Response opcode: shutdown acknowledged.
 pub const OP_BYE: u8 = 0x84;
+/// Response opcode: request shed at admission (queue at cap).
+pub const OP_BUSY: u8 = 0x7D;
 /// Response opcode: per-request error (the connection stays open).
 pub const OP_ERROR: u8 = 0x7F;
 
@@ -52,8 +77,14 @@ pub enum Request {
         id: u64,
         /// Flat request payload.
         values: Vec<f64>,
+        /// Optional deadline in microseconds, measured from admission:
+        /// if the request is still queued this long after the server
+        /// accepts it, it is dropped pre-dispatch with a `deadline:`
+        /// error instead of wasting kernel time. Encoded as an optional
+        /// trailing `u64`, so deadline-less encoders stay compatible.
+        deadline_us: Option<u64>,
     },
-    /// Liveness probe.
+    /// Liveness/health probe.
     Ping {
         /// Correlation id.
         id: u64,
@@ -70,6 +101,13 @@ pub enum Request {
         /// Correlation id.
         id: u64,
     },
+    /// Poison the dispatcher thread (panic fault injection). Refused
+    /// with an error frame unless the server was started with debug
+    /// opcodes enabled.
+    DebugPanic {
+        /// Correlation id.
+        id: u64,
+    },
 }
 
 /// One server → client message.
@@ -82,10 +120,12 @@ pub enum Response {
         /// Flat output values.
         values: Vec<f64>,
     },
-    /// Ping reply.
+    /// Ping reply carrying the daemon's health snapshot.
     Pong {
         /// Echoed correlation id.
         id: u64,
+        /// Point-in-time daemon health.
+        health: HealthSnapshot,
     },
     /// A checkpoint was swapped in for the kernel with this wire code.
     Swapped {
@@ -99,12 +139,23 @@ pub enum Response {
         /// Echoed correlation id.
         id: u64,
     },
+    /// The request was shed at admission: the batch queue is at its
+    /// configured cap. The client should back off and retry.
+    Busy {
+        /// Echoed correlation id.
+        id: u64,
+        /// Queue depth at the moment of refusal.
+        depth: u32,
+        /// Server's estimate of when retrying could succeed (µs).
+        retry_after_us: u64,
+    },
     /// The request failed; the connection stays usable.
     Error {
         /// Echoed correlation id (0 when the request's id was
         /// unparseable).
         id: u64,
-        /// What went wrong.
+        /// What went wrong, prefixed with its taxonomy class
+        /// (`malformed:`, `deadline:`, `panic:`, `overflow:`, …).
         message: String,
     },
 }
@@ -124,12 +175,22 @@ fn put_f64s(out: &mut Vec<u8>, values: &[f64]) {
     }
 }
 
-/// Wrap a message body in a length-prefixed frame.
-fn frame(body: Vec<u8>) -> Vec<u8> {
+/// Wrap a message body in a length-prefixed frame, refusing over-limit
+/// bodies: a frame longer than [`MAX_FRAME_LEN`] would only be skipped
+/// by the peer's resync path, so building one is always a bug worth a
+/// structured error.
+fn frame(body: Vec<u8>) -> Result<Vec<u8>, String> {
+    if body.len() > MAX_FRAME_LEN {
+        return Err(format!(
+            "overflow: frame body is {} bytes, over MAX_FRAME_LEN ({} bytes)",
+            body.len(),
+            MAX_FRAME_LEN
+        ));
+    }
     let mut out = Vec::with_capacity(4 + body.len());
     put_u32(&mut out, body.len() as u32);
     out.extend_from_slice(&body);
-    out
+    Ok(out)
 }
 
 /// Sequential reader over a frame body.
@@ -183,6 +244,10 @@ impl<'a> Cursor<'a> {
             .collect())
     }
 
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
     fn done(&self, what: &str) -> Result<(), String> {
         if self.pos != self.bytes.len() {
             return Err(format!(
@@ -195,15 +260,31 @@ impl<'a> Cursor<'a> {
 }
 
 impl Request {
-    /// Encode as a complete frame (length prefix included).
-    pub fn encode(&self) -> Vec<u8> {
+    /// The correlation id the client chose for this request.
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Infer { id, .. }
+            | Request::Ping { id }
+            | Request::Swap { id, .. }
+            | Request::Shutdown { id }
+            | Request::DebugPanic { id } => *id,
+        }
+    }
+
+    /// Encode as a complete frame (length prefix included). Fails with
+    /// a structured error when the body would exceed
+    /// [`MAX_FRAME_LEN`].
+    pub fn encode(&self) -> Result<Vec<u8>, String> {
         let mut body = Vec::new();
         match self {
-            Request::Infer { kernel, id, values } => {
+            Request::Infer { kernel, id, values, deadline_us } => {
                 body.push(OP_INFER);
                 body.push(*kernel);
                 put_u64(&mut body, *id);
                 put_f64s(&mut body, values);
+                if let Some(d) = deadline_us {
+                    put_u64(&mut body, *d);
+                }
             }
             Request::Ping { id } => {
                 body.push(OP_PING);
@@ -219,6 +300,10 @@ impl Request {
                 body.push(OP_SHUTDOWN);
                 put_u64(&mut body, *id);
             }
+            Request::DebugPanic { id } => {
+                body.push(OP_DEBUG_PANIC);
+                put_u64(&mut body, *id);
+            }
         }
         frame(body)
     }
@@ -232,7 +317,11 @@ impl Request {
                 let kernel = c.u8("kernel code")?;
                 let id = c.u64("request id")?;
                 let values = c.f64s()?;
-                Request::Infer { kernel, id, values }
+                // Optional trailing deadline: exactly 8 more bytes.
+                // Anything else trailing is refused by done() below.
+                let deadline_us =
+                    if c.remaining() == 8 { Some(c.u64("deadline")?) } else { None };
+                Request::Infer { kernel, id, values, deadline_us }
             }
             OP_PING => Request::Ping { id: c.u64("request id")? },
             OP_SWAP => {
@@ -245,6 +334,7 @@ impl Request {
                 Request::Swap { id, path }
             }
             OP_SHUTDOWN => Request::Shutdown { id: c.u64("request id")? },
+            OP_DEBUG_PANIC => Request::DebugPanic { id: c.u64("request id")? },
             other => return Err(format!("unknown request opcode 0x{other:02x}")),
         };
         c.done("request")?;
@@ -253,8 +343,22 @@ impl Request {
 }
 
 impl Response {
-    /// Encode as a complete frame (length prefix included).
-    pub fn encode(&self) -> Vec<u8> {
+    /// The correlation id this response answers.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Infer { id, .. }
+            | Response::Pong { id, .. }
+            | Response::Swapped { id, .. }
+            | Response::Bye { id }
+            | Response::Busy { id, .. }
+            | Response::Error { id, .. } => *id,
+        }
+    }
+
+    /// Encode as a complete frame (length prefix included). Fails with
+    /// a structured error when the body would exceed
+    /// [`MAX_FRAME_LEN`].
+    pub fn encode(&self) -> Result<Vec<u8>, String> {
         let mut body = Vec::new();
         match self {
             Response::Infer { id, values } => {
@@ -262,9 +366,20 @@ impl Response {
                 put_u64(&mut body, *id);
                 put_f64s(&mut body, values);
             }
-            Response::Pong { id } => {
+            Response::Pong { id, health } => {
                 body.push(OP_PONG);
                 put_u64(&mut body, *id);
+                put_u32(&mut body, health.queue_depth);
+                put_u64(&mut body, health.shed);
+                put_u64(&mut body, health.expired);
+                put_u64(&mut body, health.dispatcher_restarts);
+                put_u64(&mut body, health.governor_restarts);
+                put_u64(&mut body, health.slow_client_disconnects);
+                body.push(health.modes.len() as u8);
+                for (app, mode) in &health.modes {
+                    body.push(*app);
+                    body.push(*mode);
+                }
             }
             Response::Swapped { id, kernel } => {
                 body.push(OP_SWAPPED);
@@ -274,6 +389,12 @@ impl Response {
             Response::Bye { id } => {
                 body.push(OP_BYE);
                 put_u64(&mut body, *id);
+            }
+            Response::Busy { id, depth, retry_after_us } => {
+                body.push(OP_BUSY);
+                put_u64(&mut body, *id);
+                put_u32(&mut body, *depth);
+                put_u64(&mut body, *retry_after_us);
             }
             Response::Error { id, message } => {
                 body.push(OP_ERROR);
@@ -295,13 +416,46 @@ impl Response {
                 let values = c.f64s()?;
                 Response::Infer { id, values }
             }
-            OP_PONG => Response::Pong { id: c.u64("response id")? },
+            OP_PONG => {
+                let id = c.u64("response id")?;
+                let queue_depth = c.u32("queue depth")?;
+                let shed = c.u64("shed count")?;
+                let expired = c.u64("expired count")?;
+                let dispatcher_restarts = c.u64("dispatcher restarts")?;
+                let governor_restarts = c.u64("governor restarts")?;
+                let slow_client_disconnects = c.u64("slow-client disconnects")?;
+                let n = c.u8("mode count")? as usize;
+                let mut modes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let app = c.u8("mode app code")?;
+                    let mode = c.u8("mode value")?;
+                    modes.push((app, mode));
+                }
+                Response::Pong {
+                    id,
+                    health: HealthSnapshot {
+                        queue_depth,
+                        shed,
+                        expired,
+                        dispatcher_restarts,
+                        governor_restarts,
+                        slow_client_disconnects,
+                        modes,
+                    },
+                }
+            }
             OP_SWAPPED => {
                 let id = c.u64("response id")?;
                 let kernel = c.u8("kernel code")?;
                 Response::Swapped { id, kernel }
             }
             OP_BYE => Response::Bye { id: c.u64("response id")? },
+            OP_BUSY => {
+                let id = c.u64("response id")?;
+                let depth = c.u32("queue depth")?;
+                let retry_after_us = c.u64("retry hint")?;
+                Response::Busy { id, depth, retry_after_us }
+            }
             OP_ERROR => {
                 let id = c.u64("response id")?;
                 let len = c.u32("message length")? as usize;
@@ -323,7 +477,7 @@ pub enum FrameEvent {
     /// A complete frame body, ready for [`Request::parse`] /
     /// [`Response::parse`].
     Frame(Vec<u8>),
-    /// A frame advertised more than [`MAX_FRAME`] bytes. The reader
+    /// A frame advertised more than [`MAX_FRAME_LEN`] bytes. The reader
     /// discards that many bytes and resyncs; the caller should answer
     /// with an error frame rather than close the connection.
     Oversized {
@@ -367,7 +521,7 @@ impl FrameReader {
                 return;
             }
             let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
-            if len as usize > MAX_FRAME {
+            if len as usize > MAX_FRAME_LEN {
                 out.push(FrameEvent::Oversized { advertised: len });
                 self.buf.drain(..4);
                 self.skip = len as usize;
@@ -399,23 +553,52 @@ mod tests {
         out
     }
 
+    fn health_fixture() -> HealthSnapshot {
+        HealthSnapshot {
+            queue_depth: 3,
+            shed: 17,
+            expired: 2,
+            dispatcher_restarts: 1,
+            governor_restarts: 0,
+            slow_client_disconnects: 4,
+            modes: vec![(0, 2), (3, 1)],
+        }
+    }
+
     #[test]
     fn requests_round_trip() {
         let reqs = [
-            Request::Infer { kernel: 3, id: 42, values: vec![1.5, -0.0, f64::NAN] },
+            Request::Infer {
+                kernel: 3,
+                id: 42,
+                values: vec![1.5, -0.0, f64::NAN],
+                deadline_us: None,
+            },
+            Request::Infer { kernel: 0, id: 9, values: vec![2.0], deadline_us: Some(12_345) },
             Request::Ping { id: u64::MAX },
             Request::Swap { id: 7, path: "results/ck.json".into() },
             Request::Shutdown { id: 0 },
+            Request::DebugPanic { id: 11 },
         ];
         for req in reqs {
-            let frame = req.encode();
+            let frame = req.encode().expect("encode");
             let mut r = FrameReader::new();
             let events = feed(&mut r, &frame);
             assert_eq!(events.len(), 1);
             let FrameEvent::Frame(body) = &events[0] else { panic!("expected frame") };
             let parsed = Request::parse(body).expect("parse");
             // NaN payloads survive bit-exactly, so compare encodings.
-            assert_eq!(parsed.encode(), frame);
+            assert_eq!(parsed.encode().expect("re-encode"), frame);
+        }
+    }
+
+    #[test]
+    fn deadline_survives_round_trip_exactly() {
+        for deadline_us in [None, Some(0u64), Some(1), Some(u64::MAX)] {
+            let req = Request::Infer { kernel: 1, id: 5, values: vec![1.0, 2.0], deadline_us };
+            let frame = req.encode().expect("encode");
+            let parsed = Request::parse(&frame[4..]).expect("parse");
+            assert_eq!(parsed, req);
         }
     }
 
@@ -423,21 +606,49 @@ mod tests {
     fn responses_round_trip() {
         let resps = [
             Response::Infer { id: 9, values: vec![2.5f64.powi(40), f64::INFINITY] },
-            Response::Pong { id: 1 },
+            Response::Pong { id: 1, health: HealthSnapshot::default() },
+            Response::Pong { id: 8, health: health_fixture() },
             Response::Swapped { id: 2, kernel: 5 },
             Response::Bye { id: 3 },
+            Response::Busy { id: 6, depth: 1024, retry_after_us: 50_000 },
             Response::Error { id: 0, message: "no model loaded".into() },
         ];
         for resp in resps {
-            let frame = resp.encode();
+            let frame = resp.encode().expect("encode");
             let body = &frame[4..];
-            assert_eq!(Response::parse(body).expect("parse").encode(), frame);
+            let parsed = Response::parse(body).expect("parse");
+            assert_eq!(parsed, resp);
+            assert_eq!(parsed.encode().expect("re-encode"), frame);
         }
     }
 
     #[test]
+    fn response_ids_are_exposed_uniformly() {
+        assert_eq!(Response::Bye { id: 3 }.id(), 3);
+        assert_eq!(Response::Busy { id: 6, depth: 0, retry_after_us: 0 }.id(), 6);
+        assert_eq!(Response::Pong { id: 1, health: HealthSnapshot::default() }.id(), 1);
+    }
+
+    #[test]
+    fn over_limit_outbound_frames_are_refused_structurally() {
+        // (MAX_FRAME_LEN / 8) f64s plus the header push the body over.
+        let req = Request::Infer {
+            kernel: 0,
+            id: 1,
+            values: vec![0.0; MAX_FRAME_LEN / 8],
+            deadline_us: None,
+        };
+        let err = req.encode().expect_err("over-limit encode must fail");
+        assert!(err.contains("MAX_FRAME_LEN"), "error names the limit: {err}");
+        assert!(err.starts_with("overflow:"), "taxonomy prefix: {err}");
+
+        let resp = Response::Error { id: 1, message: "x".repeat(MAX_FRAME_LEN + 1) };
+        assert!(resp.encode().expect_err("oversized error frame").contains("MAX_FRAME_LEN"));
+    }
+
+    #[test]
     fn byte_at_a_time_delivery() {
-        let frame = Request::Ping { id: 77 }.encode();
+        let frame = Request::Ping { id: 77 }.encode().expect("encode");
         let mut r = FrameReader::new();
         let mut events = Vec::new();
         for &b in &frame {
@@ -449,9 +660,9 @@ mod tests {
 
     #[test]
     fn pipelined_frames_in_one_read() {
-        let mut bytes = Request::Ping { id: 1 }.encode();
-        bytes.extend(Request::Shutdown { id: 2 }.encode());
-        bytes.extend(Request::Ping { id: 3 }.encode());
+        let mut bytes = Request::Ping { id: 1 }.encode().expect("encode");
+        bytes.extend(Request::Shutdown { id: 2 }.encode().expect("encode"));
+        bytes.extend(Request::Ping { id: 3 }.encode().expect("encode"));
         let mut r = FrameReader::new();
         let events = feed(&mut r, &bytes);
         assert_eq!(events.len(), 3);
@@ -459,16 +670,16 @@ mod tests {
 
     #[test]
     fn oversized_frame_resyncs() {
-        let advertised = (MAX_FRAME + 1) as u32;
+        let advertised = (MAX_FRAME_LEN + 1) as u32;
         let mut bytes = advertised.to_le_bytes().to_vec();
         bytes.extend(std::iter::repeat(0xAB).take(100)); // partial junk body
         let mut r = FrameReader::new();
         let events = feed(&mut r, &bytes);
         assert_eq!(events, vec![FrameEvent::Oversized { advertised }]);
         // Deliver the rest of the junk, then a healthy frame: it decodes.
-        let junk = vec![0xCD; MAX_FRAME + 1 - 100];
+        let junk = vec![0xCD; MAX_FRAME_LEN + 1 - 100];
         assert!(feed(&mut r, &junk).is_empty());
-        let healthy = Request::Ping { id: 5 }.encode();
+        let healthy = Request::Ping { id: 5 }.encode().expect("encode");
         let events = feed(&mut r, &healthy);
         assert_eq!(events.len(), 1);
         let FrameEvent::Frame(body) = &events[0] else { panic!("expected frame") };
@@ -485,9 +696,15 @@ mod tests {
         body.extend_from_slice(&7u64.to_le_bytes());
         body.extend_from_slice(&1000u32.to_le_bytes());
         assert!(Request::parse(&body).unwrap_err().contains("truncated"));
-        // Trailing bytes are refused.
-        let mut ok = Request::Ping { id: 1 }.encode()[4..].to_vec();
+        // Trailing bytes are refused: 1 extra byte is neither a bare
+        // infer nor an infer-with-deadline.
+        let req = Request::Infer { kernel: 0, id: 1, values: vec![], deadline_us: None };
+        let mut ok = req.encode().expect("encode")[4..].to_vec();
         ok.push(0);
         assert!(Request::parse(&ok).unwrap_err().contains("trailing"));
+        // And 7 trailing bytes (a torn deadline) are refused too.
+        let mut torn = req.encode().expect("encode")[4..].to_vec();
+        torn.extend_from_slice(&[0; 7]);
+        assert!(Request::parse(&torn).unwrap_err().contains("trailing"));
     }
 }

@@ -1,27 +1,54 @@
-//! The serving daemon: accept loop, per-connection readers, and the
-//! batching dispatcher.
+//! The serving daemon: accept loop, per-connection readers/writers, and
+//! the supervised batching dispatcher.
 //!
 //! # Architecture
 //!
 //! ```text
 //! accept loop ──spawns──▶ reader thread per connection
 //!                            │  parse frame → decode sample
+//!                            │  stamp deadline, bounded admission
 //!                            ▼
-//!                    BatchQueue (arrival order)
-//!                            │  head run of one kernel, ≤ max_batch
+//!               BatchQueue (arrival order, depth-capped)
+//!                            │  head run of one key, ≤ max_batch
 //!                            ▼
-//!                  dispatcher ── lac_rt::par pool (cfg.workers) ──▶
-//!                  one batched forward pass, responses coalesced
-//!                  into one write per connection per batch
+//!        supervised dispatcher ── lac_rt::par pool (cfg.workers) ──▶
+//!        deadline pass → one batched forward pass → responses
+//!        enqueued per connection (bounded outbox + writer thread)
 //! ```
 //!
 //! Readers do all per-request validation (framing, opcodes, payload
 //! decoding), answering malformed requests with error frames so only
 //! valid samples reach the queue. The dispatcher pops deterministic
-//! head-run batches, resolves the model `Arc` once per batch (so a
-//! concurrent hot-swap never splits a batch across models), runs the
-//! batched forward pass across the worker pool, and writes each
-//! connection's responses as a single coalesced write.
+//! head-run batches, drops expired requests with `deadline:` errors
+//! before spending kernel time, resolves the model `Arc` once per batch
+//! (so a concurrent hot-swap never splits a batch across models), runs
+//! the batched forward pass across the worker pool, and enqueues each
+//! connection's responses as one coalesced buffer.
+//!
+//! # Resilience
+//!
+//! * **Bounded admission** — the queue refuses pushes past
+//!   [`ServerConfig::queue_cap`]; shed requests get a
+//!   [`Response::Busy`] frame with the depth and a retry-after hint.
+//! * **Deadlines** — requests carry an optional relative deadline
+//!   (or inherit [`ServerConfig::default_deadline_us`]); the dispatcher
+//!   drops expired ones pre-dispatch. "Now" comes from the config's
+//!   [`Clock`], so tests and the chaos harness drive a mock.
+//! * **Slow-client protection** — responses go through a bounded
+//!   per-connection outbox drained by a writer thread with a write
+//!   timeout. A reader that stalls past the buffer or the timeout is
+//!   condemned (socket shut down, buffer discarded) without ever
+//!   blocking the dispatcher's fan-out.
+//! * **Panic supervision** — the dispatcher (and governor) run under
+//!   [`lac_rt::supervise::supervise`]: a panic converts the in-flight
+//!   batch into per-request `panic:` error frames, bumps a restart
+//!   counter, and restarts the thread. Injected panics
+//!   ([`Request::DebugPanic`], gated by
+//!   [`ServerConfig::debug_opcodes`]) are dispatched as solo poison
+//!   batches, so they can never take innocent requests down with them.
+//! * **Health** — `PING` answers with a full
+//!   [`lac_core::HealthSnapshot`]: queue depth, shed/expired counts,
+//!   restart counters, slow-client disconnects, and live per-app modes.
 //!
 //! Response bytes are a pure function of (model, mode, payload):
 //! inference is per-sample with no cross-sample reduction. Worker
@@ -34,19 +61,27 @@
 //! rung the governor last selected.
 
 use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, Weak};
 use std::time::Duration;
 
 use lac_apps::serving::{ServeApp, ServeSample};
-use lac_core::ServingModel;
+use lac_core::{HealthSnapshot, ServingModel};
+use lac_rt::clock::{Clock, MonotonicClock};
+use lac_rt::supervise::{deliberate_panic, supervise};
 
-use crate::batch::BatchQueue;
+use crate::batch::{Admission, BatchQueue};
 use crate::governor::{self, GovernorConfig, GovernorJob};
-use crate::protocol::{FrameEvent, FrameReader, Request, Response, MAX_FRAME};
+use crate::protocol::{FrameEvent, FrameReader, Request, Response, MAX_FRAME_LEN};
 use crate::registry::Registry;
+
+/// Per-queued-item term of the `BUSY` retry-after hint: a shed client
+/// is told to come back after roughly `depth × this` microseconds. A
+/// deliberate constant (not a wall-clock measurement) so the hint is a
+/// pure function of queue depth.
+const RETRY_HINT_PER_QUEUED_US: u64 = 100;
 
 /// Serving knobs.
 #[derive(Debug, Clone)]
@@ -60,6 +95,27 @@ pub struct ServerConfig {
     /// Quality-governor knobs; `None` serves every batch at the
     /// selector's (initially trained) mode with no sampling thread.
     pub governor: Option<GovernorConfig>,
+    /// Admission cap: requests arriving while this many are already
+    /// queued are shed with a `BUSY` frame instead of queued.
+    pub queue_cap: usize,
+    /// Deadline applied to requests that do not carry their own
+    /// (microseconds from admission); `None` means such requests never
+    /// expire.
+    pub default_deadline_us: Option<u64>,
+    /// Per-connection response buffer cap in bytes. Must exceed the
+    /// largest single response frame; a connection whose unsent backlog
+    /// would pass the cap is condemned as a slow client.
+    pub write_buf_cap: usize,
+    /// How long a connection's writer thread may block on one socket
+    /// write before the connection is condemned as a slow client.
+    pub write_timeout: Duration,
+    /// Honor [`Request::DebugPanic`] fault injection. Off by default;
+    /// the chaos harness and resilience tests switch it on.
+    pub debug_opcodes: bool,
+    /// Time source for deadline stamping and expiry. Defaults to the
+    /// real monotonic clock; tests and the chaos harness install a
+    /// [`lac_rt::clock::MockClock`].
+    pub clock: Arc<dyn Clock>,
 }
 
 impl Default for ServerConfig {
@@ -69,44 +125,173 @@ impl Default for ServerConfig {
             max_batch: 16,
             linger: Duration::from_micros(200),
             governor: None,
+            queue_cap: 1024,
+            default_deadline_us: None,
+            write_buf_cap: 1 << 20,
+            write_timeout: Duration::from_secs(2),
+            debug_opcodes: false,
+            clock: Arc::new(MonotonicClock::new()),
         }
     }
 }
 
-/// Write half of a connection; readers and the dispatcher share it.
+/// Retry-after hint for a request shed at `depth` queued items.
+pub(crate) fn retry_after_hint(depth: usize) -> u64 {
+    (depth as u64 + 1) * RETRY_HINT_PER_QUEUED_US
+}
+
+/// Unsent response bytes for one connection.
+struct Outbox {
+    buf: Vec<u8>,
+    /// No more bytes will be enqueued; the writer drains and exits.
+    closed: bool,
+    /// Condemned: buffered bytes are discarded and the socket is shut.
+    dead: bool,
+}
+
+/// Outcome of enqueueing bytes on a connection's outbox.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Enqueue {
+    /// Bytes buffered; the writer thread will deliver them.
+    Queued,
+    /// This enqueue pushed the backlog over the cap and condemned the
+    /// connection (first condemnation only — count it).
+    Condemned,
+    /// The connection is already condemned or closed; bytes dropped.
+    Dropped,
+}
+
+/// One connection's write side: a bounded outbox drained by a dedicated
+/// writer thread, so neither readers nor the dispatcher ever block on a
+/// slow peer's socket.
 struct Conn {
-    stream: Mutex<TcpStream>,
+    stream: TcpStream,
+    outbox: Mutex<Outbox>,
+    cv: Condvar,
+    cap: usize,
+}
+
+impl std::fmt::Debug for Conn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Conn").field("cap", &self.cap).finish_non_exhaustive()
+    }
 }
 
 impl Conn {
-    fn send_bytes(&self, bytes: &[u8]) {
-        let mut s = self.stream.lock().unwrap_or_else(|e| e.into_inner());
-        // A vanished peer is not a server error; its reader thread will
-        // see the close and exit.
-        let _ = s.write_all(bytes);
+    fn new(stream: TcpStream, cap: usize) -> Self {
+        Conn {
+            stream,
+            outbox: Mutex::new(Outbox { buf: Vec::new(), closed: false, dead: false }),
+            cv: Condvar::new(),
+            cap,
+        }
     }
 
-    fn send(&self, resp: &Response) {
-        self.send_bytes(&resp.encode());
+    fn lock_outbox(&self) -> MutexGuard<'_, Outbox> {
+        self.outbox.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Buffer `bytes` for the writer thread, condemning the connection
+    /// if its backlog would pass the cap.
+    fn enqueue(&self, bytes: &[u8]) -> Enqueue {
+        {
+            let mut o = self.lock_outbox();
+            if o.dead || o.closed {
+                return Enqueue::Dropped;
+            }
+            if o.buf.len() + bytes.len() <= self.cap {
+                o.buf.extend_from_slice(bytes);
+                self.cv.notify_one();
+                return Enqueue::Queued;
+            }
+        }
+        if self.condemn() {
+            Enqueue::Condemned
+        } else {
+            Enqueue::Dropped
+        }
+    }
+
+    /// Encode and buffer one response. An unencodable (over-limit)
+    /// response degrades to a structured error frame.
+    fn send(&self, resp: &Response) -> Enqueue {
+        let bytes = match resp.encode() {
+            Ok(b) => b,
+            Err(e) => match (Response::Error { id: resp.id(), message: e }).encode() {
+                Ok(b) => b,
+                Err(_) => return Enqueue::Dropped,
+            },
+        };
+        self.enqueue(&bytes)
+    }
+
+    /// Condemn the connection: discard the backlog and shut the socket
+    /// down so its reader exits too. Returns `true` on the first
+    /// condemnation (idempotent afterwards).
+    fn condemn(&self) -> bool {
+        {
+            let mut o = self.lock_outbox();
+            if o.dead {
+                return false;
+            }
+            o.dead = true;
+            o.buf = Vec::new();
+        }
+        let _ = self.stream.shutdown(Shutdown::Both);
+        self.cv.notify_all();
+        true
+    }
+
+    /// Drain-and-exit: the writer delivers what is buffered, then
+    /// stops. Later enqueues are dropped.
+    fn close(&self) {
+        self.lock_outbox().closed = true;
+        self.cv.notify_all();
     }
 }
 
-/// One validated inference request waiting for a batch.
+/// One validated request waiting for a batch. `sample` is `None` only
+/// for injected poison probes ([`Request::DebugPanic`]).
 struct Pending {
     id: u64,
-    sample: ServeSample,
+    sample: Option<ServeSample>,
     conn: Arc<Conn>,
+    /// Absolute expiry reading of the config clock, if any.
+    expires_at: Option<u64>,
+}
+
+/// Batch key: real traffic batches per kernel; every poison probe gets
+/// a unique key so it dispatches as a solo batch and can never take
+/// innocent requests down with it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BatchKey {
+    App(ServeApp),
+    Poison(u64),
 }
 
 #[derive(Debug)]
 struct Shared {
     registry: Arc<Registry>,
-    queue: BatchQueue<Pending>,
+    queue: BatchQueue<BatchKey, Pending>,
     cfg: ServerConfig,
     stop: AtomicBool,
     /// Per-app dispatched-batch counters (governor sampling keys on
     /// these, so the sample set depends only on batch arrival order).
     batch_seq: [AtomicU64; 6],
+    /// Unique keys for poison probes.
+    poison_seq: AtomicU64,
+    shed: AtomicU64,
+    expired: AtomicU64,
+    dispatcher_restarts: AtomicU64,
+    /// `Arc` so the governor thread can bump it from its supervisor.
+    governor_restarts: Arc<AtomicU64>,
+    slow_disconnects: AtomicU64,
+    /// The batch the dispatcher is currently working on; on a
+    /// dispatcher panic the supervisor converts these into `panic:`
+    /// error frames so no request silently vanishes.
+    inflight: Mutex<Vec<(Arc<Conn>, u64)>>,
+    /// Every accepted connection, for outbox close at join time.
+    conns: Mutex<Vec<Weak<Conn>>>,
 }
 
 impl Shared {
@@ -117,6 +302,32 @@ impl Shared {
 
     fn stopping(&self) -> bool {
         self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Enqueue one response, folding a slow-client condemnation into
+    /// the health counters.
+    fn send_counted(&self, conn: &Conn, resp: &Response) {
+        if conn.send(resp) == Enqueue::Condemned {
+            self.slow_disconnects.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn health(&self) -> HealthSnapshot {
+        let mut modes = Vec::new();
+        for app in self.registry.apps() {
+            if let Some((_, mode)) = self.registry.resolve_mode(app) {
+                modes.push((app.code(), mode as u8));
+            }
+        }
+        HealthSnapshot {
+            queue_depth: self.queue.len() as u32,
+            shed: self.shed.load(Ordering::SeqCst),
+            expired: self.expired.load(Ordering::SeqCst),
+            dispatcher_restarts: self.dispatcher_restarts.load(Ordering::SeqCst),
+            governor_restarts: self.governor_restarts.load(Ordering::SeqCst),
+            slow_client_disconnects: self.slow_disconnects.load(Ordering::SeqCst),
+            modes,
+        }
     }
 }
 
@@ -147,12 +358,21 @@ pub fn serve(
     let port = listener.local_addr()?.port();
     listener.set_nonblocking(true)?;
 
+    let governor_restarts = Arc::new(AtomicU64::new(0));
     let shared = Arc::new(Shared {
         registry,
-        queue: BatchQueue::new(),
+        queue: BatchQueue::bounded(cfg.queue_cap),
         cfg,
         stop: AtomicBool::new(false),
         batch_seq: Default::default(),
+        poison_seq: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        expired: AtomicU64::new(0),
+        dispatcher_restarts: AtomicU64::new(0),
+        governor_restarts,
+        slow_disconnects: AtomicU64::new(0),
+        inflight: Mutex::new(Vec::new()),
+        conns: Mutex::new(Vec::new()),
     });
     let readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
 
@@ -162,7 +382,8 @@ pub fn serve(
         Some(gcfg) => {
             let registry = Arc::clone(&shared.registry);
             let workers = shared.cfg.workers;
-            let (tx, handle) = governor::spawn(gcfg, registry, workers)
+            let restarts = Arc::clone(&shared.governor_restarts);
+            let (tx, handle) = governor::spawn(gcfg, registry, workers, restarts)
                 .map_err(|e| std::io::Error::new(e.kind(), format!("governor log: {e}")))?;
             (Some(tx), Some(handle))
         }
@@ -214,6 +435,18 @@ impl RunningServer {
         if let Some(h) = self.governor.take() {
             let _ = h.join();
         }
+        // The dispatcher has drained: close every surviving outbox so
+        // writer threads deliver what is buffered and exit, releasing
+        // their readers.
+        let conns = {
+            let mut c = self.shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *c)
+        };
+        for weak in conns {
+            if let Some(conn) = weak.upgrade() {
+                conn.close();
+            }
+        }
         let handles = {
             let mut r = self.readers.lock().unwrap_or_else(|e| e.into_inner());
             std::mem::take(&mut *r)
@@ -245,10 +478,42 @@ fn accept_loop(
     }
 }
 
-fn reader_loop(shared: &Shared, mut stream: TcpStream) {
+/// Drain one connection's outbox onto its socket until the outbox is
+/// closed (drain, then exit) or the connection is condemned. A write
+/// that fails — including one that blocks past the configured write
+/// timeout — condemns the connection.
+fn writer_loop(shared: &Shared, conn: &Conn) {
+    let _ = conn.stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    loop {
+        let chunk = {
+            let mut o = conn.lock_outbox();
+            while o.buf.is_empty() && !o.closed && !o.dead {
+                o = conn.cv.wait(o).unwrap_or_else(|e| e.into_inner());
+            }
+            if o.dead || o.buf.is_empty() {
+                return; // condemned, or closed and drained
+            }
+            std::mem::take(&mut o.buf)
+        };
+        if (&conn.stream).write_all(&chunk).is_err() {
+            if conn.condemn() {
+                shared.slow_disconnects.fetch_add(1, Ordering::SeqCst);
+            }
+            return;
+        }
+    }
+}
+
+fn reader_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
     let conn = match stream.try_clone() {
-        Ok(write_half) => Arc::new(Conn { stream: Mutex::new(write_half) }),
+        Ok(write_half) => Arc::new(Conn::new(write_half, shared.cfg.write_buf_cap)),
         Err(_) => return,
+    };
+    shared.conns.lock().unwrap_or_else(|e| e.into_inner()).push(Arc::downgrade(&conn));
+    let writer = {
+        let conn = Arc::clone(&conn);
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || writer_loop(&shared, &conn))
     };
     // Short read timeouts let the reader poll the stop flag while idle;
     // arriving bytes wake it immediately.
@@ -279,18 +544,29 @@ fn reader_loop(shared: &Shared, mut stream: TcpStream) {
             }
         }
     }
+    // Peer gone (EOF/error/condemned): drain what is buffered and let
+    // the writer exit. On server stop the outbox stays open — join()
+    // closes it once the dispatcher has fanned out the drained queue.
+    if !shared.stopping() {
+        conn.close();
+    }
+    let _ = writer.join();
 }
 
 /// Process one framing event; returns `true` on `SHUTDOWN`.
 fn handle_event(shared: &Shared, conn: &Arc<Conn>, event: FrameEvent) -> bool {
     let body = match event {
         FrameEvent::Oversized { advertised } => {
-            conn.send(&Response::Error {
-                id: 0,
-                message: format!(
-                    "frame advertises {advertised} bytes, limit is {MAX_FRAME}; skipped"
-                ),
-            });
+            shared.send_counted(
+                conn,
+                &Response::Error {
+                    id: 0,
+                    message: format!(
+                        "overflow: frame advertises {advertised} bytes, limit is \
+                         {MAX_FRAME_LEN}; skipped"
+                    ),
+                },
+            );
             return false;
         }
         FrameEvent::Frame(body) => body,
@@ -298,44 +574,76 @@ fn handle_event(shared: &Shared, conn: &Arc<Conn>, event: FrameEvent) -> bool {
     let request = match Request::parse(&body) {
         Ok(req) => req,
         Err(e) => {
-            conn.send(&Response::Error { id: 0, message: format!("malformed request: {e}") });
+            shared.send_counted(
+                conn,
+                &Response::Error { id: 0, message: format!("malformed request: {e}") },
+            );
             return false;
         }
     };
     match request {
-        Request::Ping { id } => conn.send(&Response::Pong { id }),
-        Request::Infer { kernel, id, values } => {
+        Request::Ping { id } => {
+            shared.send_counted(conn, &Response::Pong { id, health: shared.health() });
+        }
+        Request::Infer { kernel, id, values, deadline_us } => {
             let Some(app) = ServeApp::from_code(kernel) else {
-                conn.send(&Response::Error {
-                    id,
-                    message: format!("unknown kernel code {kernel}"),
-                });
+                shared.send_counted(
+                    conn,
+                    &Response::Error { id, message: format!("unknown kernel code {kernel}") },
+                );
                 return false;
             };
             if shared.registry.resolve(app).is_none() {
-                conn.send(&Response::Error {
-                    id,
-                    message: format!("no model loaded for kernel `{}`", app.cli_id()),
-                });
+                shared.send_counted(
+                    conn,
+                    &Response::Error {
+                        id,
+                        message: format!("no model loaded for kernel `{}`", app.cli_id()),
+                    },
+                );
                 return false;
             }
             match app.decode(&values) {
                 Ok(sample) => {
-                    shared.queue.push(app, Pending { id, sample, conn: Arc::clone(conn) })
+                    let deadline = deadline_us.or(shared.cfg.default_deadline_us);
+                    let expires_at =
+                        deadline.map(|d| shared.cfg.clock.now_us().saturating_add(d));
+                    let pending =
+                        Pending { id, sample: Some(sample), conn: Arc::clone(conn), expires_at };
+                    admit(shared, conn, id, BatchKey::App(app), pending);
                 }
-                Err(message) => conn.send(&Response::Error { id, message }),
+                Err(message) => shared.send_counted(conn, &Response::Error { id, message }),
             }
+        }
+        Request::DebugPanic { id } => {
+            if !shared.cfg.debug_opcodes {
+                shared.send_counted(
+                    conn,
+                    &Response::Error {
+                        id,
+                        message: "debug: DEBUG_PANIC refused (server started without debug \
+                                  opcodes)"
+                            .into(),
+                    },
+                );
+                return false;
+            }
+            let token = shared.poison_seq.fetch_add(1, Ordering::SeqCst);
+            let pending = Pending { id, sample: None, conn: Arc::clone(conn), expires_at: None };
+            admit(shared, conn, id, BatchKey::Poison(token), pending);
         }
         Request::Swap { id, path } => match ServingModel::load(Path::new(&path)) {
             Ok(model) => {
                 let code = model.app().code();
                 shared.registry.swap(model);
-                conn.send(&Response::Swapped { id, kernel: code });
+                shared.send_counted(conn, &Response::Swapped { id, kernel: code });
             }
-            Err(e) => conn.send(&Response::Error { id, message: e.to_string() }),
+            Err(e) => {
+                shared.send_counted(conn, &Response::Error { id, message: e.to_string() })
+            }
         },
         Request::Shutdown { id } => {
-            conn.send(&Response::Bye { id });
+            shared.send_counted(conn, &Response::Bye { id });
             shared.request_stop();
             return true;
         }
@@ -343,30 +651,136 @@ fn handle_event(shared: &Shared, conn: &Arc<Conn>, event: FrameEvent) -> bool {
     false
 }
 
+/// Push one pending request through bounded admission, answering the
+/// shed/drain cases with structured frames.
+fn admit(shared: &Shared, conn: &Conn, id: u64, key: BatchKey, pending: Pending) {
+    match shared.queue.push(key, pending) {
+        Admission::Admitted => {}
+        Admission::Busy { depth } => {
+            shared.shed.fetch_add(1, Ordering::SeqCst);
+            shared.send_counted(
+                conn,
+                &Response::Busy {
+                    id,
+                    depth: depth as u32,
+                    retry_after_us: retry_after_hint(depth),
+                },
+            );
+        }
+        Admission::Closed => {
+            shared.send_counted(
+                conn,
+                &Response::Error {
+                    id,
+                    message: "shutdown: server is draining, request refused".into(),
+                },
+            );
+        }
+    }
+}
+
+/// Remember the batch the dispatcher is about to work on, so a panic
+/// mid-batch can be converted into per-request errors.
+fn set_inflight(shared: &Shared, metas: &[(Arc<Conn>, u64)]) {
+    let mut inflight = shared.inflight.lock().unwrap_or_else(|e| e.into_inner());
+    inflight.clear();
+    inflight.extend(metas.iter().map(|(c, id)| (Arc::clone(c), *id)));
+}
+
+fn clear_inflight(shared: &Shared) {
+    shared.inflight.lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// The dispatcher under its panic supervisor: a panicking batch is
+/// converted into per-request `panic:` errors, the restart counter is
+/// bumped, and the loop resumes — the daemon never dies with the batch.
 fn dispatcher_loop(shared: &Shared, governor_tx: Option<mpsc::Sender<GovernorJob>>) {
+    supervise(
+        || dispatcher_run(shared, &governor_tx),
+        |msg| {
+            shared.dispatcher_restarts.fetch_add(1, Ordering::SeqCst);
+            let poisoned = {
+                let mut inflight = shared.inflight.lock().unwrap_or_else(|e| e.into_inner());
+                std::mem::take(&mut *inflight)
+            };
+            for (conn, id) in poisoned {
+                shared.send_counted(
+                    &conn,
+                    &Response::Error {
+                        id,
+                        message: format!("panic: dispatcher restarted: {msg}"),
+                    },
+                );
+            }
+            true
+        },
+    );
+}
+
+fn dispatcher_run(shared: &Shared, governor_tx: &Option<mpsc::Sender<GovernorJob>>) {
     let cfg = &shared.cfg;
-    while let Some((app, batch)) = shared.queue.pop_batch(cfg.max_batch, cfg.linger) {
+    while let Some((key, batch)) = shared.queue.pop_batch(cfg.max_batch, cfg.linger) {
+        let app = match key {
+            BatchKey::Poison(_) => {
+                // A poison probe is always a solo batch (unique key);
+                // record it as in-flight so the supervisor answers it
+                // with a structured `panic:` error frame.
+                let metas: Vec<(Arc<Conn>, u64)> =
+                    batch.iter().map(|p| (Arc::clone(&p.conn), p.id)).collect();
+                set_inflight(shared, &metas);
+                deliberate_panic("injected dispatcher panic (DEBUG_PANIC opcode)");
+            }
+            BatchKey::App(app) => app,
+        };
+        // Deadline pass: drop expired requests before spending kernel
+        // time on them. `now >= expires_at` so a zero deadline is
+        // deterministically expired at dispatch.
+        let now = cfg.clock.now_us();
+        let mut live = Vec::with_capacity(batch.len());
+        for p in batch {
+            if p.expires_at.is_some_and(|t| now >= t) {
+                shared.expired.fetch_add(1, Ordering::SeqCst);
+                shared.send_counted(
+                    &p.conn,
+                    &Response::Error {
+                        id: p.id,
+                        message: "deadline: expired before dispatch".into(),
+                    },
+                );
+            } else {
+                live.push(p);
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
         // Resolve model + runtime mode once per batch: a hot-swap or a
         // governor step between batches takes effect cleanly; one
         // during a batch lets it finish on the state it started with.
         let Some((model, mode)) = shared.registry.resolve_mode(app) else {
-            for p in &batch {
-                p.conn.send(&Response::Error {
-                    id: p.id,
-                    message: format!("no model loaded for kernel `{}`", app.cli_id()),
-                });
+            for p in &live {
+                shared.send_counted(
+                    &p.conn,
+                    &Response::Error {
+                        id: p.id,
+                        message: format!("no model loaded for kernel `{}`", app.cli_id()),
+                    },
+                );
             }
             continue;
         };
-        let mut metas = Vec::with_capacity(batch.len());
-        let mut samples = Vec::with_capacity(batch.len());
-        for p in batch {
-            metas.push((p.conn, p.id));
-            samples.push(p.sample);
+        let mut metas = Vec::with_capacity(live.len());
+        let mut samples = Vec::with_capacity(live.len());
+        for p in live {
+            if let Some(sample) = p.sample {
+                metas.push((p.conn, p.id));
+                samples.push(sample);
+            }
         }
+        set_inflight(shared, &metas);
         match model.infer_mode(mode, &samples, cfg.workers) {
             Ok(outputs) => {
-                if let (Some(gcfg), Some(tx)) = (&cfg.governor, &governor_tx) {
+                if let (Some(gcfg), Some(tx)) = (&cfg.governor, governor_tx) {
                     let seq =
                         shared.batch_seq[app.code() as usize].fetch_add(1, Ordering::SeqCst);
                     if governor::should_sample(gcfg.seed, app, seq, gcfg.sample_rate) {
@@ -380,24 +794,36 @@ fn dispatcher_loop(shared: &Shared, governor_tx: Option<mpsc::Sender<GovernorJob
                         });
                     }
                 }
-                // Coalesce each connection's responses into one write.
+                // Coalesce each connection's responses into one
+                // enqueue; the per-connection writer threads do the
+                // socket I/O, so a stalled peer never blocks this loop.
                 let mut per_conn: Vec<(Arc<Conn>, Vec<u8>)> = Vec::new();
                 for ((conn, id), values) in metas.into_iter().zip(outputs) {
-                    let frame = Response::Infer { id, values }.encode();
+                    let frame = match (Response::Infer { id, values }).encode() {
+                        Ok(b) => b,
+                        Err(e) => match (Response::Error { id, message: e }).encode() {
+                            Ok(b) => b,
+                            Err(_) => continue,
+                        },
+                    };
                     match per_conn.iter_mut().find(|(c, _)| Arc::ptr_eq(c, &conn)) {
                         Some((_, bytes)) => bytes.extend_from_slice(&frame),
                         None => per_conn.push((conn, frame)),
                     }
                 }
                 for (conn, bytes) in per_conn {
-                    conn.send_bytes(&bytes);
+                    if conn.enqueue(&bytes) == Enqueue::Condemned {
+                        shared.slow_disconnects.fetch_add(1, Ordering::SeqCst);
+                    }
                 }
             }
             Err(message) => {
                 for (conn, id) in metas {
-                    conn.send(&Response::Error { id, message: message.clone() });
+                    shared
+                        .send_counted(&conn, &Response::Error { id, message: message.clone() });
                 }
             }
         }
+        clear_inflight(shared);
     }
 }

@@ -277,6 +277,7 @@ fn governed_server_steps_live_traffic_and_logs_telemetry() {
         max_batch: 4,
         linger: Duration::from_micros(200),
         governor: Some(governor),
+        ..ServerConfig::default()
     };
     let server = serve(Arc::clone(&registry), cfg, 0).expect("bind");
     let mut client = Client::connect(server.port()).expect("connect");
@@ -286,7 +287,7 @@ fn governed_server_steps_live_traffic_and_logs_telemetry() {
     // off the SLO-violating trained rung (FTA ~0.88 < 0.95).
     for n in 0..24u64 {
         let values = loadgen::payload(ServeApp::Blur, 3, n);
-        let req = Request::Infer { kernel: ServeApp::Blur.code(), id: n, values };
+        let req = Request::Infer { kernel: ServeApp::Blur.code(), id: n, values, deadline_us: None };
         match client.round_trip(&req).unwrap() {
             Response::Infer { id, values } => {
                 assert_eq!(id, n);

@@ -12,7 +12,7 @@
 
 use lac_rt::proptest::prelude::*;
 
-use lac_serve::{FrameEvent, FrameReader, Request, Response, MAX_FRAME};
+use lac_serve::{FrameEvent, FrameReader, Request, Response, MAX_FRAME_LEN};
 
 /// Feed `stream` to a fresh reader in the chunk sizes given by `cuts`
 /// (cycled; 0 ⇒ 1 byte) and collect every event.
@@ -56,11 +56,12 @@ proptest! {
                 kernel: (i % 6) as u8,
                 id: i as u64 + 1,
                 values: values.clone(),
+                deadline_us: if i % 2 == 0 { None } else { Some(i as u64 * 1000) },
             })
             .collect();
         let mut stream = Vec::new();
         for r in &requests {
-            stream.extend_from_slice(&r.encode());
+            stream.extend_from_slice(&r.encode().expect("encode"));
         }
 
         let chunked = frames_of(decode_chunked(&stream, &cuts));
@@ -96,7 +97,7 @@ proptest! {
         junk_len in 0usize..200,
         cuts in collection::vec(0usize..32, 5),
     ) {
-        let advertised = MAX_FRAME as u32 + oversize_by;
+        let advertised = MAX_FRAME_LEN as u32 + oversize_by;
         let mut stream = Vec::new();
         stream.extend_from_slice(&advertised.to_le_bytes());
         // Only part of the advertised body ever arrives before the peer
@@ -104,12 +105,12 @@ proptest! {
         stream.extend(std::iter::repeat(0xAB).take(junk_len.min(advertised as usize)));
         let tail_start = stream.len();
         let good = Request::Ping { id: 77 };
-        stream.extend_from_slice(&good.encode());
+        stream.extend_from_slice(&good.encode().expect("encode"));
         // Pad the skipped region so the good frame lies beyond it.
         let events = if tail_start - 4 < advertised as usize {
             let mut padded = stream[..tail_start].to_vec();
             padded.extend(std::iter::repeat(0xCD).take(advertised as usize - (tail_start - 4)));
-            padded.extend_from_slice(&good.encode());
+            padded.extend_from_slice(&good.encode().expect("encode"));
             decode_chunked(&padded, &cuts)
         } else {
             decode_chunked(&stream, &cuts)
@@ -137,9 +138,9 @@ proptest! {
         bits in collection::vec(any::<u64>(), 6),
     ) {
         let values: Vec<f64> = bits.into_iter().map(f64::from_bits).collect();
-        let req = Request::Infer { kernel, id, values };
-        let frame = req.encode();
+        let req = Request::Infer { kernel, id, values, deadline_us: None };
+        let frame = req.encode().expect("encode");
         let parsed = Request::parse(&frame[4..]).expect("round-trip parses");
-        prop_assert_eq!(parsed.encode(), frame);
+        prop_assert_eq!(parsed.encode().expect("re-encode"), frame);
     }
 }

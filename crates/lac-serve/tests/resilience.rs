@@ -1,0 +1,355 @@
+//! Resilience integration suite for the hardened daemon: sweep
+//! determinism across parallelism, live panic supervision under
+//! traffic, bounded admission, deadline expiry, slow-client
+//! protection, and the live chaos harness.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Once};
+use std::time::{Duration, Instant};
+
+use lac_apps::serving::ServeApp;
+use lac_core::ServingModel;
+use lac_rt::clock::MockClock;
+use lac_serve::{
+    loadgen, run_chaos, run_resilience_sweep, serve, ChaosPlan, Client, LoadgenConfig, Registry,
+    Request, Response, RunningServer, ServerConfig,
+};
+
+/// The live panic tests deliberately poison the dispatcher; keep those
+/// expected unwinds from spraying backtraces over the test output while
+/// letting any *unexpected* panic print normally.
+fn silence_injected_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains("injected dispatcher panic") {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+fn full_registry(spec: &str) -> Arc<Registry> {
+    let registry = Arc::new(Registry::new());
+    for app in ServeApp::ALL {
+        registry.swap(ServingModel::untrained(app, spec).expect(app.cli_id()));
+    }
+    registry
+}
+
+fn start(cfg: ServerConfig) -> RunningServer {
+    serve(full_registry("mul8u_FTA"), cfg, 0).expect("bind ephemeral port")
+}
+
+fn connect(server: &RunningServer) -> Client {
+    let client = Client::connect(server.port()).expect("connect");
+    client.set_timeout(Some(lac_serve::DEFAULT_CLIENT_TIMEOUT)).expect("timeout");
+    client
+}
+
+fn ping_health(client: &mut Client, id: u64) -> lac_core::HealthSnapshot {
+    match client.round_trip(&Request::Ping { id }).expect("ping") {
+        Response::Pong { id: rid, health } => {
+            assert_eq!(rid, id);
+            health
+        }
+        other => panic!("expected pong, got {other:?}"),
+    }
+}
+
+fn infer(app: ServeApp, id: u64, seed: u64, deadline_us: Option<u64>) -> Request {
+    Request::Infer { kernel: app.code(), id, values: loadgen::payload(app, seed, id), deadline_us }
+}
+
+/// Acceptance gate: the resilience sweep is byte-identical for every
+/// `--jobs` value and worker-thread count in {1, 2, 4}.
+#[test]
+fn sweep_is_byte_identical_across_jobs_and_threads() {
+    silence_injected_panics();
+    let reference = run_resilience_sweep(1, 1).expect("sweep").to_json();
+    for (jobs, threads) in [(2usize, 2usize), (4, 4)] {
+        let doc = run_resilience_sweep(jobs, threads).expect("sweep").to_json();
+        assert_eq!(doc, reference, "jobs={jobs} threads={threads} diverged");
+    }
+}
+
+/// Run 12 blur round-trips on connection A; in the poisoned variant a
+/// second connection injects a dispatcher panic after the 6th. Returns
+/// A's encoded response frames plus the restart counter.
+fn blur_traffic(inject_panic: bool) -> (Vec<Vec<u8>>, u64) {
+    let server = start(ServerConfig {
+        workers: 2,
+        max_batch: 4,
+        linger: Duration::from_micros(200),
+        debug_opcodes: true,
+        ..ServerConfig::default()
+    });
+    let mut a = connect(&server);
+    let mut b = connect(&server);
+    let mut frames = Vec::new();
+    for i in 0..12u64 {
+        if inject_panic && i == 6 {
+            match b.round_trip(&Request::DebugPanic { id: 0xDEAD }).expect("poison round-trip") {
+                Response::Error { id, message } => {
+                    assert_eq!(id, 0xDEAD);
+                    assert!(
+                        message.starts_with("panic: dispatcher restarted:"),
+                        "unexpected poison reply: {message}"
+                    );
+                }
+                other => panic!("expected panic error frame, got {other:?}"),
+            }
+        }
+        let resp = a.round_trip(&infer(ServeApp::Blur, 500 + i, 7, None)).expect("infer");
+        assert!(matches!(resp, Response::Infer { .. }), "request {i}: {resp:?}");
+        frames.push(resp.encode().expect("encode response"));
+    }
+    let restarts = ping_health(&mut a, 1).dispatcher_restarts;
+    server.shutdown();
+    server.join();
+    (frames, restarts)
+}
+
+/// Acceptance gate: an injected dispatcher panic mid-traffic drops zero
+/// non-poisoned requests, the supervisor restarts the thread exactly
+/// once, and service continues byte-identically.
+#[test]
+fn injected_panic_mid_traffic_is_contained() {
+    silence_injected_panics();
+    let (clean, clean_restarts) = blur_traffic(false);
+    let (poisoned, poisoned_restarts) = blur_traffic(true);
+    assert_eq!(clean_restarts, 0, "baseline must not restart");
+    assert_eq!(poisoned_restarts, 1, "supervisor restarts exactly once");
+    assert_eq!(clean, poisoned, "responses must be byte-identical around the panic");
+}
+
+#[test]
+fn debug_panic_is_refused_without_the_flag() {
+    let server = start(ServerConfig::default());
+    let mut client = connect(&server);
+    match client.round_trip(&Request::DebugPanic { id: 3 }).expect("round-trip") {
+        Response::Error { id, message } => {
+            assert_eq!(id, 3);
+            assert!(message.starts_with("debug:"), "wrong taxonomy class: {message}");
+        }
+        other => panic!("expected debug refusal, got {other:?}"),
+    }
+    assert_eq!(ping_health(&mut client, 4).dispatcher_restarts, 0);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn zero_queue_cap_sheds_every_request_with_busy() {
+    let server = start(ServerConfig { queue_cap: 0, ..ServerConfig::default() });
+    let mut client = connect(&server);
+    for i in 0..3u64 {
+        match client.round_trip(&infer(ServeApp::InverseK2j, 40 + i, 1, None)).expect("infer") {
+            Response::Busy { id, depth, retry_after_us } => {
+                assert_eq!(id, 40 + i);
+                assert_eq!(depth, 0);
+                assert_eq!(retry_after_us, 100, "hint is (depth + 1) * 100");
+            }
+            other => panic!("expected busy, got {other:?}"),
+        }
+    }
+    let health = ping_health(&mut client, 50);
+    assert_eq!(health.shed, 3, "every infer was shed");
+    assert_eq!(health.queue_depth, 0);
+    server.shutdown();
+    server.join();
+}
+
+/// On a frozen mock clock expiry is exact: a zero deadline expires at
+/// dispatch (`now >= expires_at`), any positive deadline never does.
+#[test]
+fn deadline_expiry_is_deterministic_on_a_mock_clock() {
+    let clock = Arc::new(MockClock::new(1_000));
+    let server = start(ServerConfig { clock, ..ServerConfig::default() });
+    let mut client = connect(&server);
+
+    match client.round_trip(&infer(ServeApp::InverseK2j, 60, 1, Some(0))).expect("infer") {
+        Response::Error { id, message } => {
+            assert_eq!(id, 60);
+            assert_eq!(message, "deadline: expired before dispatch");
+        }
+        other => panic!("expected deadline error, got {other:?}"),
+    }
+    match client.round_trip(&infer(ServeApp::InverseK2j, 61, 1, Some(1))).expect("infer") {
+        Response::Infer { id, values } => {
+            assert_eq!(id, 61);
+            assert_eq!(values.len(), 2);
+        }
+        other => panic!("expected inference, got {other:?}"),
+    }
+    let health = ping_health(&mut client, 62);
+    assert_eq!(health.expired, 1);
+    server.shutdown();
+    server.join();
+}
+
+/// With a configured default deadline, a request that names no deadline
+/// inherits it; an explicit deadline overrides the default.
+#[test]
+fn default_deadline_applies_when_request_names_none() {
+    let clock = Arc::new(MockClock::new(5_000));
+    let server =
+        start(ServerConfig { default_deadline_us: Some(0), clock, ..ServerConfig::default() });
+    let mut client = connect(&server);
+
+    match client.round_trip(&infer(ServeApp::InverseK2j, 70, 1, None)).expect("infer") {
+        Response::Error { id, message } => {
+            assert_eq!(id, 70);
+            assert_eq!(message, "deadline: expired before dispatch");
+        }
+        other => panic!("expected inherited-deadline expiry, got {other:?}"),
+    }
+    match client.round_trip(&infer(ServeApp::InverseK2j, 71, 1, Some(10))).expect("infer") {
+        Response::Infer { id, .. } => assert_eq!(id, 71),
+        other => panic!("expected inference, got {other:?}"),
+    }
+    assert_eq!(ping_health(&mut client, 72).expired, 1);
+    server.shutdown();
+    server.join();
+}
+
+/// A peer that reads its response one byte at a time gets the complete
+/// frame, and a concurrent fast client is never blocked behind it.
+#[test]
+fn drip_feed_reader_gets_its_frame_and_blocks_nobody() {
+    let server = start(ServerConfig::default());
+
+    let mut slow = TcpStream::connect(("127.0.0.1", server.port())).expect("connect slow");
+    slow.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    let req = infer(ServeApp::InverseK2j, 80, 1, None).encode().expect("encode");
+    slow.write_all(&req).expect("send");
+
+    // The dispatcher keeps serving other connections while the slow
+    // peer has not consumed a single byte of its response.
+    let mut fast = connect(&server);
+    for i in 0..5u64 {
+        match fast.round_trip(&infer(ServeApp::InverseK2j, 90 + i, 2, None)).expect("infer") {
+            Response::Infer { id, .. } => assert_eq!(id, 90 + i),
+            other => panic!("expected inference, got {other:?}"),
+        }
+    }
+
+    // Drip-read the response: header (4) + opcode (1) + id (8) +
+    // count (4) + two f64 outputs (16) = 33 bytes, one byte per pause.
+    let mut bytes = Vec::with_capacity(33);
+    let mut one = [0u8; 1];
+    for _ in 0..33 {
+        slow.read_exact(&mut one).expect("drip byte");
+        bytes.push(one[0]);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(u32::from_le_bytes(bytes[0..4].try_into().unwrap()), 29, "body length");
+    match Response::parse(&bytes[4..]).expect("parse dripped frame") {
+        Response::Infer { id, values } => {
+            assert_eq!(id, 80);
+            assert_eq!(values.len(), 2);
+        }
+        other => panic!("expected inference, got {other:?}"),
+    }
+    server.shutdown();
+    server.join();
+}
+
+/// A peer that never reads is condemned once its bounded write buffer
+/// and write timeout are exhausted — without stalling dispatch.
+#[test]
+fn never_reading_peer_is_condemned_and_service_continues() {
+    let server = start(ServerConfig {
+        write_buf_cap: 16 * 1024,
+        write_timeout: Duration::from_millis(200),
+        ..ServerConfig::default()
+    });
+
+    // Pipeline far more response bytes than the outbox cap plus any
+    // kernel socket buffering (each blur reply is a 32x32 image, ~8KB),
+    // and never read a single one.
+    let mut stalled = TcpStream::connect(("127.0.0.1", server.port())).expect("connect stalled");
+    stalled.set_write_timeout(Some(Duration::from_secs(2))).expect("timeout");
+    for i in 0..600u64 {
+        let req = infer(ServeApp::Blur, i, 3, None).encode().expect("encode");
+        // Once the server condemns the connection our writes start
+        // failing — that is the mechanism working, not a test error.
+        if stalled.write_all(&req).is_err() {
+            break;
+        }
+    }
+
+    let mut watcher = connect(&server);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let health = ping_health(&mut watcher, 7);
+        if health.slow_client_disconnects >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "slow client was never condemned: {health:?}");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // Dispatch is alive and well for everyone else.
+    match watcher.round_trip(&infer(ServeApp::InverseK2j, 8, 1, None)).expect("infer") {
+        Response::Infer { id, .. } => assert_eq!(id, 8),
+        other => panic!("expected inference, got {other:?}"),
+    }
+
+    // The condemned socket is shut down: reads see EOF or a reset.
+    stalled.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    let mut buf = [0u8; 4096];
+    loop {
+        match stalled.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => continue, // drain whatever was already in flight
+        }
+    }
+    server.shutdown();
+    server.join();
+}
+
+/// Live chaos smoke: every fault in the plan lands, is answered with
+/// the right taxonomy class, and the trailing load run still completes
+/// every request.
+#[test]
+fn live_chaos_plan_executes_and_load_completes() {
+    silence_injected_panics();
+    let server = start(ServerConfig {
+        workers: 2,
+        max_batch: 8,
+        linger: Duration::from_micros(200),
+        debug_opcodes: true,
+        ..ServerConfig::default()
+    });
+    let cfg = LoadgenConfig {
+        port: server.port(),
+        app: ServeApp::Blur,
+        requests: 64,
+        conns: 2,
+        window: 8,
+        seed: 42,
+        timeout: lac_serve::DEFAULT_CLIENT_TIMEOUT,
+    };
+    let plan = ChaosPlan::parse("seed=5,panics=1,oversized=2,drops=2,frags=2,corrupt-swaps=1")
+        .expect("plan parses");
+    let report = run_chaos(&cfg, &plan).expect("chaos run");
+    assert_eq!(report.injected_panics, 1);
+    assert_eq!(report.refused_panics, 0);
+    assert_eq!(report.oversized_rejections, 2);
+    assert_eq!(report.dropped_conns, 2);
+    assert_eq!(report.fragmented_ok, 2);
+    assert_eq!(report.corrupt_swap_rejections, 1);
+    assert_eq!(report.loadgen.completed, 64, "chaos must not cost the load run any request");
+    assert_eq!(report.loadgen.errors, 0);
+    server.shutdown();
+    server.join();
+}

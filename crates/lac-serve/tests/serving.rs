@@ -25,14 +25,18 @@ fn full_registry(spec: &str) -> Arc<Registry> {
 }
 
 fn start(registry: Arc<Registry>, workers: usize, max_batch: usize) -> RunningServer {
-    let cfg =
-        ServerConfig { workers, max_batch, linger: Duration::from_micros(200), governor: None };
+    let cfg = ServerConfig {
+        workers,
+        max_batch,
+        linger: Duration::from_micros(200),
+        ..ServerConfig::default()
+    };
     serve(registry, cfg, 0).expect("bind ephemeral port")
 }
 
 fn connect(server: &RunningServer) -> Client {
     let client = Client::connect(server.port()).expect("connect");
-    client.set_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    client.set_timeout(Some(lac_serve::DEFAULT_CLIENT_TIMEOUT)).expect("timeout");
     client
 }
 
@@ -60,14 +64,17 @@ fn smoke_every_kernel_round_trips_and_shuts_down() {
     let mut client = connect(&server);
 
     match client.round_trip(&Request::Ping { id: 9 }).unwrap() {
-        Response::Pong { id } => assert_eq!(id, 9),
+        Response::Pong { id, health } => {
+            assert_eq!(id, 9);
+            assert_eq!(health.modes.len(), ServeApp::ALL.len(), "all slots published");
+        }
         other => panic!("expected pong, got {other:?}"),
     }
 
     for (i, app) in ServeApp::ALL.into_iter().enumerate() {
         let id = 100 + i as u64;
         let values = loadgen::payload(app, 1, i as u64);
-        let req = Request::Infer { kernel: app.code(), id, values };
+        let req = Request::Infer { kernel: app.code(), id, values, deadline_us: None };
         match client.round_trip(&req).unwrap() {
             Response::Infer { id: rid, values } => {
                 assert_eq!(rid, id, "{}", app.cli_id());
@@ -110,13 +117,15 @@ fn responses_are_identical_for_any_workers_and_batch() {
         // the queue sees the same arrival sequence every run.
         for &(app, n) in &arrivals {
             let values = loadgen::payload(app, 7, n);
-            client.send(&Request::Infer { kernel: app.code(), id: n, values }).unwrap();
+            client
+                .send(&Request::Infer { kernel: app.code(), id: n, values, deadline_us: None })
+                .unwrap();
         }
         let mut responses = BTreeMap::new();
         for _ in 0..arrivals.len() {
             match client.recv().unwrap() {
                 Response::Infer { id, values } => {
-                    let bytes = Response::Infer { id, values }.encode();
+                    let bytes = Response::Infer { id, values }.encode().expect("encode");
                     assert!(responses.insert(id, bytes).is_none(), "duplicate id {id}");
                 }
                 other => panic!("w{workers}/b{max_batch}: unexpected {other:?}"),
@@ -148,7 +157,12 @@ fn hot_swap_serves_new_model_without_dropping_connections() {
 
     let payload = loadgen::payload(ServeApp::Blur, 3, 0);
     let infer = |client: &mut Client, id: u64| {
-        let req = Request::Infer { kernel: ServeApp::Blur.code(), id, values: payload.clone() };
+        let req = Request::Infer {
+            kernel: ServeApp::Blur.code(),
+            id,
+            values: payload.clone(),
+            deadline_us: None,
+        };
         match client.round_trip(&req).unwrap() {
             Response::Infer { id: rid, values } => {
                 assert_eq!(rid, id);
@@ -217,7 +231,7 @@ fn malformed_requests_get_error_frames_not_disconnects() {
     let mut client = connect(&server);
 
     // Unknown kernel code.
-    let req = Request::Infer { kernel: 42, id: 1, values: vec![0.0; 4] };
+    let req = Request::Infer { kernel: 42, id: 1, values: vec![0.0; 4], deadline_us: None };
     match client.round_trip(&req).unwrap() {
         Response::Error { id, message } => {
             assert_eq!(id, 1);
@@ -227,7 +241,12 @@ fn malformed_requests_get_error_frames_not_disconnects() {
     }
 
     // Wrong payload length.
-    let req = Request::Infer { kernel: ServeApp::Blur.code(), id: 2, values: vec![1.0; 3] };
+    let req = Request::Infer {
+        kernel: ServeApp::Blur.code(),
+        id: 2,
+        values: vec![1.0; 3],
+        deadline_us: None,
+    };
     match client.round_trip(&req).unwrap() {
         Response::Error { id, message } => {
             assert_eq!(id, 2);
@@ -237,14 +256,24 @@ fn malformed_requests_get_error_frames_not_disconnects() {
     }
 
     // Out-of-range pixels.
-    let req = Request::Infer { kernel: ServeApp::Blur.code(), id: 3, values: vec![-5.0; 1024] };
+    let req = Request::Infer {
+        kernel: ServeApp::Blur.code(),
+        id: 3,
+        values: vec![-5.0; 1024],
+        deadline_us: None,
+    };
     match client.round_trip(&req).unwrap() {
         Response::Error { id, .. } => assert_eq!(id, 3),
         other => panic!("expected error, got {other:?}"),
     }
 
     // Unreachable inverse-kinematics target.
-    let req = Request::Infer { kernel: ServeApp::InverseK2j.code(), id: 4, values: vec![5.0, 5.0] };
+    let req = Request::Infer {
+        kernel: ServeApp::InverseK2j.code(),
+        id: 4,
+        values: vec![5.0, 5.0],
+        deadline_us: None,
+    };
     match client.round_trip(&req).unwrap() {
         Response::Error { id, message } => {
             assert_eq!(id, 4);
@@ -255,7 +284,7 @@ fn malformed_requests_get_error_frames_not_disconnects() {
 
     // The connection survived all of it.
     match client.round_trip(&Request::Ping { id: 5 }).unwrap() {
-        Response::Pong { id } => assert_eq!(id, 5),
+        Response::Pong { id, .. } => assert_eq!(id, 5),
         other => panic!("expected pong, got {other:?}"),
     }
 
@@ -273,6 +302,7 @@ fn loadgen_reports_full_completion() {
         conns: 3,
         window: 8,
         seed: 11,
+        timeout: lac_serve::DEFAULT_CLIENT_TIMEOUT,
     })
     .expect("loadgen run");
     assert_eq!(report.completed, 40);

@@ -188,6 +188,34 @@ else
     echo "bench_check: no ${governor_baseline}, skipping governor gate" >&2
 fi
 
+# Resilience gate: the chaos/overload sweep runs entirely on a mock
+# clock through the in-process harness, so its report is byte-exact —
+# no tolerances, no medians. A fresh run at --jobs 1 and at
+# --jobs $(nproc) must both reproduce the committed
+# BENCH_resilience.json bit for bit; any drift means either the
+# resilience mechanisms changed behavior (refresh the baseline
+# deliberately) or determinism broke (fix it). Refresh with:
+#   cargo run --release --offline -p lac-bench --bin resilience_sweep
+resilience_baseline="results/bench/BENCH_resilience.json"
+if [[ -f "$resilience_baseline" ]]; then
+    echo "== resilience sweep: byte-identity vs ${resilience_baseline} at --jobs 1 and --jobs $(nproc)"
+    cargo build --release --offline -p lac-bench --bin resilience_sweep
+    for jobs in 1 "$(nproc)"; do
+        resilience_fresh="$(mktemp)"
+        ./target/release/resilience_sweep --jobs "$jobs" --out "$resilience_fresh" >/dev/null
+        if cmp -s "$resilience_baseline" "$resilience_fresh"; then
+            echo "resilience: --jobs ${jobs} byte-identical to baseline: ok"
+        else
+            echo "bench_check: resilience sweep at --jobs ${jobs} diverged from ${resilience_baseline}:" >&2
+            diff "$resilience_baseline" "$resilience_fresh" | head -20 >&2 || true
+            status=1
+        fi
+        rm -f "$resilience_fresh"
+    done
+else
+    echo "bench_check: no ${resilience_baseline}, skipping resilience gate" >&2
+fi
+
 # Sweep-orchestrator wall-clock: fig3 in quick mode, cold cache, at
 # --jobs 1 vs --jobs $(nproc). On a multi-core box the parallel sweep
 # must not be slower than the serial one by more than the tolerance

@@ -36,6 +36,23 @@ if [[ -n "${engine_panics}" ]]; then
     exit 1
 fi
 
+# Panic-free serving guard: the hardened daemon reports failures as
+# structured error frames (taxonomy prefixes: malformed/overflow/
+# deadline/panic/busy/shutdown/debug/swap), never by unwinding — even
+# the injected chaos panic goes through lac-rt's deliberate_panic under
+# the supervisor. New unwrap()/panic! in non-test lac-serve code would
+# crash the dispatcher instead of answering the request. Doc-comment
+# lines and test modules (from a `#[cfg(test)]` line down) are exempt.
+echo "== serving guard: no unwrap()/panic! in lac-serve non-test code"
+serve_panics=$(for f in crates/lac-serve/src/*.rs; do
+    awk '/^[[:space:]]*\/\//{next} /#\[cfg\(test\)\]/{exit} /\.unwrap\(\)|panic!/{print FILENAME": "$0}' "$f"
+done)
+if [[ -n "${serve_panics}" ]]; then
+    echo "verify: FAIL — unwrap()/panic! in lac-serve non-test code (answer a structured error frame instead):" >&2
+    echo "${serve_panics}" >&2
+    exit 1
+fi
+
 echo "== cargo build --release --offline"
 cargo build --release --offline
 
@@ -92,6 +109,17 @@ cargo test -q --offline --test golden_seed jpeg_train_fixed
 echo "== serving suites (framing properties, determinism, hot-swap)"
 cargo test -q --offline -p lac-serve --test protocol_props
 cargo test -q --offline -p lac-serve --test serving
+
+# Resilience suites (DESIGN.md §10): bounded admission sheds with BUSY
+# frames, deadlines expire deterministically on a mock clock, slow
+# readers are condemned without stalling dispatch, an injected
+# dispatcher panic is supervised into error frames plus one restart
+# with byte-identical service around it, and the seeded chaos/overload
+# sweep is byte-identical for any --jobs value and worker count. Named
+# explicitly so a filtered CI configuration cannot silently skip them.
+echo "== resilience suites (chaos harness, admission, deadlines, supervision)"
+cargo test -q --offline -p lac-serve chaos::
+cargo test -q --offline -p lac-serve --test resilience
 
 # Governor ownership guard (DESIGN.md §9): runtime serving-mode state
 # has exactly one writer — the QualityGovernor FSM. Registry install
@@ -152,6 +180,29 @@ check_usage_error --slo nine
 check_usage_error --slo 1.5
 check_usage_error --sample-rate 0
 check_usage_error --ladder ""
+check_usage_error --queue-cap 0
+check_usage_error --deadline-default 0
+
+# Loadgen resilience flags follow the same convention: usage errors
+# name the flag (or the chaos spec key) and exit 2.
+check_loadgen_usage_error() {
+    local flag="$1" value="$2" needle="$3"
+    set +e
+    local msg code
+    msg="$(./target/release/lac-cli loadgen --port 1 "$flag" "$value" 2>&1)"
+    code=$?
+    set -e
+    if [[ $code -ne 2 ]]; then
+        echo "verify: FAIL — \`loadgen $flag $value\` exited $code, usage errors must exit 2" >&2
+        exit 1
+    fi
+    if ! grep -qF -- "$needle" <<<"$msg"; then
+        echo "verify: FAIL — \`loadgen $flag $value\` error does not mention $needle: $msg" >&2
+        exit 1
+    fi
+}
+check_loadgen_usage_error --timeout 0 "--timeout"
+check_loadgen_usage_error --chaos "bogus=1" "chaos: unknown key"
 # A ladder that omits the trained spec is also a --ladder usage error.
 ./target/release/lac-cli train blur ETM8-k4 --epochs 2 --train 4 --test 2 \
     --resume "$smoke_dir/blur.ck.json" >/dev/null
