@@ -35,13 +35,18 @@ pub enum Metric {
     Psnr,
     /// Mean relative error (lower is better).
     RelativeError,
+    /// Top-1 classification accuracy: the fraction of samples whose
+    /// output argmax matches the reference argmax (one-hot targets).
+    Accuracy,
 }
 
 impl Metric {
     /// Whether larger values of this metric mean better quality.
     pub fn direction(self) -> MetricDirection {
         match self {
-            Metric::Ssim { .. } | Metric::Psnr => MetricDirection::HigherIsBetter,
+            Metric::Ssim { .. } | Metric::Psnr | Metric::Accuracy => {
+                MetricDirection::HigherIsBetter
+            }
             Metric::RelativeError => MetricDirection::LowerIsBetter,
         }
     }
@@ -66,6 +71,28 @@ impl Metric {
                 }
                 total / outputs.len() as f64
             }
+            Metric::Accuracy => {
+                assert_eq!(outputs.len(), references.len(), "batch length mismatch");
+                assert!(!outputs.is_empty(), "empty batch");
+                let argmax = |v: &[f64]| {
+                    assert!(!v.is_empty(), "empty score vector");
+                    // First maximum wins on ties — deterministic for every
+                    // accumulation order that produces identical bits.
+                    let mut best = 0usize;
+                    for (i, &s) in v.iter().enumerate() {
+                        if s > v[best] {
+                            best = i;
+                        }
+                    }
+                    best
+                };
+                let hits = outputs
+                    .iter()
+                    .zip(references)
+                    .filter(|(o, r)| argmax(o) == argmax(r))
+                    .count();
+                hits as f64 / outputs.len() as f64
+            }
         }
     }
 
@@ -74,7 +101,7 @@ impl Metric {
     pub fn worst(self) -> f64 {
         match self {
             Metric::Ssim { .. } => -1.0,
-            Metric::Psnr => 0.0,
+            Metric::Psnr | Metric::Accuracy => 0.0,
             Metric::RelativeError => f64::INFINITY,
         }
     }
@@ -108,6 +135,16 @@ pub trait Kernel {
     /// descriptive — multi-hardware search treats both the same, but
     /// telemetry and hardware plans label them differently.
     fn stages_are_parallel(&self) -> bool {
+        false
+    }
+
+    /// Whether this kernel's serial stages are *network layers* (CNN
+    /// conv/dense layers, HEAM/ApproxDARTS-style) rather than algorithmic
+    /// pipeline stages. Purely descriptive, like
+    /// [`stages_are_parallel`](Kernel::stages_are_parallel): search treats
+    /// both the same, but hardware plans label per-layer assignments
+    /// distinctly. Ignored when `stages_are_parallel()` is true.
+    fn stages_are_layers(&self) -> bool {
         false
     }
 
@@ -223,7 +260,28 @@ mod tests {
             MetricDirection::HigherIsBetter
         );
         assert_eq!(Metric::Psnr.direction(), MetricDirection::HigherIsBetter);
+        assert_eq!(Metric::Accuracy.direction(), MetricDirection::HigherIsBetter);
         assert_eq!(Metric::RelativeError.direction(), MetricDirection::LowerIsBetter);
+    }
+
+    #[test]
+    fn metric_evaluate_accuracy() {
+        let out = vec![vec![0.2, 0.9, 0.1], vec![5.0, 1.0, 2.0], vec![0.0, 0.0, 1.0]];
+        let reference = vec![
+            vec![0.0, 1.0, 0.0], // hit
+            vec![0.0, 1.0, 0.0], // miss (argmax 0 vs 1)
+            vec![0.0, 0.0, 1.0], // hit
+        ];
+        let acc = Metric::Accuracy.evaluate(&out, &reference);
+        assert!((acc - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_ties_take_the_first_maximum() {
+        // All-equal scores argmax to index 0 in both vectors: a hit.
+        let out = vec![vec![3.0, 3.0]];
+        let reference = vec![vec![1.0, 1.0]];
+        assert_eq!(Metric::Accuracy.evaluate(&out, &reference), 1.0);
     }
 
     #[test]
@@ -244,6 +302,7 @@ mod tests {
     #[test]
     fn worst_scores() {
         assert_eq!(Metric::Psnr.worst(), 0.0);
+        assert_eq!(Metric::Accuracy.worst(), 0.0);
         assert_eq!(Metric::Ssim { width: 1, height: 1 }.worst(), -1.0);
         assert!(Metric::RelativeError.worst().is_infinite());
     }

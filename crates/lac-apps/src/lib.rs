@@ -14,6 +14,7 @@
 //! | JPEG / DCT (Q50) | [`JpegApp`] | 2 × 8×8 | PSNR |
 //! | DFT | [`DftApp`] | 2 × 12×12 (complex) | PSNR |
 //! | Inversek2j | [`InverseK2jApp`] | 4 | relative error |
+//! | CNN classifier | [`CnnApp`] | 2 × 3×3 + 4×256 | accuracy |
 //!
 //! # Quick start
 //!
@@ -38,6 +39,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cnn;
 mod dft;
 mod filters;
 mod fir;
@@ -46,6 +48,7 @@ mod jpeg;
 mod kernel;
 pub mod serving;
 
+pub use cnn::{CnnApp, TARGET_SCORE};
 pub use dft::{dft_matrices, DftApp, N as DFT_SIZE};
 pub use filters::{natural_signedness, output_shift, FilterApp, FilterKind, StageMode};
 pub use fir::{FirApp, FirKind, FirStageMode};

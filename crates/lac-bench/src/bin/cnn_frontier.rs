@@ -1,0 +1,244 @@
+//! CNN accuracy-vs-area frontier: the ApproxDARTS-style experiment over
+//! the CNN classifier ([`lac_apps::CnnApp`]).
+//!
+//! Three point families, one orchestrated job list:
+//!
+//! * **untrained uniform** — every Table I unit on all three layers with
+//!   the seeded initial weights (the "no LAC training" baseline);
+//! * **trained uniform** — the same grid after fixed-hardware LAC
+//!   training (the Fig. 3 flow on the CNN workload);
+//! * **per-layer NAS** — one binarized gate per layer (conv1, conv2,
+//!   dense) swept over mean-area budgets, producing mixed plans the
+//!   uniform grid cannot express.
+//!
+//! The committed report `results/bench/BENCH_cnn.json` is wall-clock
+//! free and byte-identical across worker counts (the scheduler's
+//! determinism contract); `scripts/bench_check.sh` regenerates it at
+//! `--jobs 1` and `--jobs $(nproc)` and checks that at least one
+//! per-layer plan strictly dominates the best trained uniform plan.
+//!
+//! Run with: `cargo run --release -p lac-bench --bin cnn_frontier
+//! [--jobs N] [--no-cache] [--out PATH]` (`LAC_QUICK=1` for a smoke run)
+
+use std::path::Path;
+
+use lac_bench::driver;
+use lac_bench::sched::{Job, JobOutcome, Sweep, UnitJob};
+use lac_bench::Report;
+use lac_hw::catalog;
+use lac_rt::json::Value;
+use lac_serve::write_bench;
+
+/// Mean-area budgets for the per-layer NAS cells, chosen to bracket the
+/// cheap 8-bit units (0.03–0.13): tight budgets price the better units
+/// out of some layers, which is where mixed plans appear.
+const DEFAULT_BUDGETS: [f64; 5] = [0.04, 0.05, 0.06, 0.08, 0.12];
+
+/// Gate-search iteration budget relative to one fixed training run:
+/// three gates over eleven candidates share the sampling budget.
+const EPOCH_FACTOR: usize = 4;
+
+/// Area-hinge shape: the gate loss is `1 - accuracy`, whose dynamic
+/// range (~0.1 between plans) is comparable to the area excesses, so a
+/// moderate hinge weight keeps violations uneconomical.
+const GAMMA: f64 = 0.9;
+const DELTA: f64 = 8.0;
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("cnn_frontier: {msg}");
+    eprintln!("usage: cnn_frontier [--jobs N] [--no-cache] [--budgets a1,a2,...] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn parse_budgets(value: &str) -> Vec<f64> {
+    value
+        .split(',')
+        .map(|tok| {
+            let b: f64 = tok.trim().parse().unwrap_or_else(|_| {
+                usage_error(&format!("invalid --budgets value `{tok}`: expected a number"))
+            });
+            if !(b > 0.0) {
+                usage_error(&format!("--budgets value `{tok}` is not positive"));
+            }
+            b
+        })
+        .collect()
+}
+
+/// Abort the report on a failed cell: the frontier is a committed
+/// baseline, so a half-populated document is worse than no document.
+fn require_ok<'a>(o: &'a JobOutcome) -> &'a Value {
+    match &o.value {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("cnn_frontier: cell `{}` failed: {e}", o.detail);
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let flags = lac_bench::sweep_flags();
+    let mut out = "results/bench/BENCH_cnn.json".to_owned();
+    let mut budgets: Vec<f64> = DEFAULT_BUDGETS.to_vec();
+    let mut it = flags.rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = it.next().unwrap_or_else(|| usage_error("--out needs a path")).clone();
+            }
+            "--budgets" => {
+                let value = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--budgets needs a comma-separated list"));
+                budgets = parse_budgets(value);
+            }
+            other => usage_error(&format!("unknown flag `{other}`")),
+        }
+    }
+    if budgets.is_empty() {
+        usage_error("--budgets list is empty");
+    }
+
+    let units: Vec<String> =
+        catalog::paper_multipliers().iter().map(|m| m.name().to_owned()).collect();
+    let areas: Vec<f64> = catalog::paper_multipliers().iter().map(|m| m.metadata().area).collect();
+
+    let mut jobs: Vec<Job> = Vec::new();
+    for u in &units {
+        jobs.push(Job::new(format!("untrained:{u}"), UnitJob::CnnUntrained { spec: u.clone() }));
+    }
+    for u in &units {
+        jobs.push(Job::new(format!("trained:{u}"), UnitJob::CnnFixed { spec: u.clone() }));
+    }
+    for &budget in &budgets {
+        jobs.push(Job::new(
+            format!("per-layer:area<={budget:.2}"),
+            UnitJob::CnnPerLayerNas {
+                epoch_factor: EPOCH_FACTOR,
+                area_threshold: budget,
+                gamma: GAMMA,
+                delta: DELTA,
+            },
+        ));
+    }
+    let outcomes = flags.configure(Sweep::new("cnn_frontier", jobs)).run();
+    let (untrained, rest) = outcomes.split_at(units.len());
+    let (trained, per_layer) = rest.split_at(units.len());
+
+    // The dominance anchor: the trained uniform plan with the highest
+    // accuracy, at the smallest area among ties.
+    let mut best_uniform: Option<(usize, f64)> = None; // (unit index, accuracy)
+    for (i, o) in trained.iter().enumerate() {
+        let after = require_ok(o).get("after").and_then(Value::as_f64).unwrap_or(f64::NAN);
+        let better = match best_uniform {
+            None => true,
+            Some((j, q)) => after > q || (after == q && areas[i] < areas[j]),
+        };
+        if better {
+            best_uniform = Some((i, after));
+        }
+    }
+    let (bu_idx, bu_quality) = best_uniform.expect("paper catalog is non-empty");
+    let bu_area = areas[bu_idx];
+
+    let mut report =
+        Report::new("cnn_frontier", &["point", "area", "untrained", "accuracy", "assignment"]);
+    let mut benches: Vec<Value> = Vec::new();
+    for (i, u) in units.iter().enumerate() {
+        let before = require_ok(&untrained[i])
+            .get("quality")
+            .and_then(Value::as_f64)
+            .unwrap_or(f64::NAN);
+        let after =
+            require_ok(&trained[i]).get("after").and_then(Value::as_f64).unwrap_or(f64::NAN);
+        report.row(&[
+            format!("uniform:{u}"),
+            format!("{:.3}", areas[i]),
+            format!("{before:.4}"),
+            format!("{after:.4}"),
+            "-".to_owned(),
+        ]);
+        benches.push(Value::Obj(vec![
+            ("id".into(), Value::Str(format!("cnn/uniform/{u}"))),
+            ("kind".into(), Value::Str("uniform".into())),
+            ("spec".into(), Value::Str(u.clone())),
+            ("area".into(), Value::Num(areas[i])),
+            ("untrained".into(), Value::Num(before)),
+            ("trained".into(), Value::Num(after)),
+        ]));
+    }
+
+    let mut any_dominates = false;
+    for (o, &budget) in per_layer.iter().zip(&budgets) {
+        let v = require_ok(o);
+        let quality = v.get("quality").and_then(Value::as_f64).unwrap_or(f64::NAN);
+        let area = v.get("area").and_then(Value::as_f64).unwrap_or(f64::NAN);
+        let assignment: Vec<String> = match v.get("assignment") {
+            Some(Value::Arr(items)) => {
+                items.iter().filter_map(|m| m.as_str().map(str::to_owned)).collect()
+            }
+            _ => Vec::new(),
+        };
+        // Strict Pareto dominance over the best trained uniform plan:
+        // no worse on both axes, strictly better on at least one.
+        let dominates = (quality >= bu_quality && area < bu_area)
+            || (quality > bu_quality && area <= bu_area);
+        any_dominates = any_dominates || dominates;
+        report.row(&[
+            format!("per-layer:area<={budget:.2}"),
+            format!("{area:.3}"),
+            "-".to_owned(),
+            format!("{quality:.4}"),
+            assignment.join("|"),
+        ]);
+        benches.push(Value::Obj(vec![
+            ("id".into(), Value::Str(format!("cnn/per-layer/area{budget:.2}"))),
+            ("kind".into(), Value::Str("per-layer".into())),
+            ("area_threshold".into(), Value::Num(budget)),
+            (
+                "assignment".into(),
+                Value::Arr(assignment.into_iter().map(Value::Str).collect()),
+            ),
+            ("area".into(), Value::Num(area)),
+            ("quality".into(), Value::Num(quality)),
+            ("dominates_best_uniform".into(), Value::Bool(dominates)),
+        ]));
+    }
+
+    let (sizing, lr) = driver::cnn_sizing();
+    println!("CNN accuracy-vs-area frontier (per-layer hardware search)\n");
+    report.emit();
+    println!(
+        "best uniform: {} (area {:.3}, accuracy {:.4}); per-layer dominates: {}",
+        units[bu_idx], bu_area, bu_quality, any_dominates
+    );
+
+    let doc = Value::Obj(vec![
+        ("suite".into(), Value::Str("cnn".into())),
+        ("app".into(), Value::Str("cnn-classifier".into())),
+        ("train".into(), Value::Num(sizing.train as f64)),
+        ("test".into(), Value::Num(sizing.test as f64)),
+        ("epochs".into(), Value::Num(sizing.epochs as f64)),
+        ("minibatch".into(), Value::Num(sizing.minibatch as f64)),
+        ("lr".into(), Value::Num(lr)),
+        ("seed".into(), Value::Num(lac_bench::seed() as f64)),
+        ("epoch_factor".into(), Value::Num(EPOCH_FACTOR as f64)),
+        ("gamma".into(), Value::Num(GAMMA)),
+        ("delta".into(), Value::Num(DELTA)),
+        (
+            "best_uniform".into(),
+            Value::Obj(vec![
+                ("spec".into(), Value::Str(units[bu_idx].clone())),
+                ("area".into(), Value::Num(bu_area)),
+                ("quality".into(), Value::Num(bu_quality)),
+            ]),
+        ),
+        ("benches".into(), Value::Arr(benches)),
+    ]);
+    if let Err(e) = write_bench(&doc, Path::new(&out)) {
+        eprintln!("cnn_frontier: write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}

@@ -14,7 +14,8 @@
 use std::sync::Arc;
 
 use lac_apps::{
-    DftApp, FilterApp, FilterKind, InverseK2jApp, JpegApp, JpegMode, Kernel, Metric, StageMode,
+    CnnApp, DftApp, FilterApp, FilterKind, InverseK2jApp, JpegApp, JpegMode, Kernel, Metric,
+    StageMode,
 };
 use lac_core::{
     brute_force_observed, greedy_multi_observed, search_accuracy_constrained_observed,
@@ -470,6 +471,104 @@ pub fn greedy_multi_pipeline_observed(
     with_pipeline(pipeline, threads, |kernel, train, test, cfg| {
         let cfg = cfg.clone().epochs(if quick() { 2 } else { (cfg.epochs / 4).max(1) });
         kernel.greedy_multi(train, test, &cfg, objective, obs)
+    })
+}
+
+/// Sizing and learning rate for the CNN classifier workload (96/32
+/// samples matching `CnnDataset::paper_split`). 160 epochs saturate the
+/// per-unit accuracies (40 epochs leave every unit undertrained and the
+/// frontier ranking noisy).
+pub fn cnn_sizing() -> (Sizing, f64) {
+    (Sizing::cnn(160, 8), 2.0)
+}
+
+/// Build the CNN kernel, dataset, and base config and hand them to
+/// `body`. The CNN sample type ([`lac_data::CnnSample`]) differs from
+/// both existing dispatch families, so the classifier gets its own
+/// monomorphization instead of an [`AppId`] arm.
+fn with_cnn<R>(
+    threads: usize,
+    body: impl FnOnce(
+        &CnnApp,
+        &[lac_data::CnnSample],
+        &[lac_data::CnnSample],
+        lac_core::TrainConfig,
+    ) -> R,
+) -> R {
+    let (sizing, lr) = cnn_sizing();
+    let cfg = sizing.config(lr).threads(threads);
+    let ds = sizing.cnn_dataset();
+    let kernel = CnnApp::paper();
+    body(&kernel, &ds.train, &ds.test, cfg)
+}
+
+/// Fixed-hardware LAC for the CNN classifier under a multiplier spec
+/// (same spec grammar and error contract as [`fixed_spec_observed`]).
+///
+/// # Errors
+///
+/// Returns a message naming the spec on catalog-lookup or fault-parse
+/// failure, or the rendered [`TrainError`] on divergence.
+pub fn cnn_fixed_observed(
+    spec: &str,
+    threads: usize,
+    obs: &mut dyn TrainObserver,
+) -> Result<FixedResult, String> {
+    with_cnn(threads, |kernel, train, test, cfg| {
+        let raw = lac_hw::catalog::by_spec(spec)?;
+        let mult = kernel.adapt(&raw);
+        train_fixed_observed(kernel, &mult, train, test, &cfg, obs).map_err(|e| e.to_string())
+    })
+}
+
+/// Untrained CNN accuracy for a multiplier spec: evaluate the seeded
+/// initial weights on the test split — the "no LAC training" baseline
+/// of the accuracy-vs-area frontier.
+///
+/// # Errors
+///
+/// Returns a message naming the spec when the catalog lookup or fault
+/// parse fails.
+pub fn cnn_untrained(spec: &str, threads: usize) -> Result<(String, f64), String> {
+    with_cnn(threads, |kernel, _train, test, cfg| {
+        let raw = lac_hw::catalog::by_spec(spec)?;
+        let mult = kernel.adapt(&raw);
+        let refs = lac_core::batch_references(kernel, test);
+        let mults: Vec<Arc<dyn Multiplier>> = vec![Arc::clone(&mult); kernel.num_stages()];
+        let coeffs = kernel.init_coeffs(&mults);
+        let q = lac_core::quality(kernel, &coeffs, &mults, test, &refs, cfg.effective_threads());
+        Ok((mult.name().to_owned(), q))
+    })
+}
+
+/// Per-layer hardware NAS over the CNN classifier: one binarized gate
+/// per layer (conv1/conv2/dense), `epoch_factor` × the fixed-training
+/// budget, with an `AreaConstrained` hinge at `area_threshold`.
+///
+/// The Table I candidates are pruned to the *feasible* set first: a unit
+/// whose area exceeds `num_stages × area_threshold` cannot appear in any
+/// assignment meeting the mean-area budget (even with zero-area units
+/// everywhere else), and keeping infeasible units in the supernet only
+/// dilutes the shared coefficients' training signal.
+pub fn cnn_per_layer_nas_observed(
+    epoch_factor: usize,
+    area_threshold: f64,
+    gamma: f64,
+    delta: f64,
+    threads: usize,
+    obs: &mut dyn TrainObserver,
+) -> MultiNasResult {
+    with_cnn(threads, |kernel, train, test, cfg| {
+        let cfg = cfg.clone().epochs(cfg.epochs * epoch_factor.max(1));
+        let objective = MultiObjective::AreaConstrained { area_threshold, gamma, delta };
+        let feasible = Constraint::Area(kernel.num_stages() as f64 * area_threshold);
+        let candidates = lac_core::prune(&adapted_catalog(kernel), feasible);
+        assert!(
+            !candidates.is_empty(),
+            "area threshold {area_threshold} admits no candidates for {}",
+            kernel.name()
+        );
+        search_multi_observed(kernel, &candidates, train, test, &cfg, 1.0, objective, obs)
     })
 }
 

@@ -24,7 +24,7 @@ use std::time::Instant;
 
 use lac_apps::Kernel;
 use lac_core::{ErrorEvent, JsonlObserver, NullObserver, TrainConfig, TrainObserver};
-use lac_data::{IkDataset, ImageDataset};
+use lac_data::{CnnDataset, IkDataset, ImageDataset};
 use lac_hw::Multiplier;
 
 /// True when `LAC_QUICK=1`: smoke-test sizes instead of paper sizes.
@@ -78,9 +78,26 @@ impl Sizing {
         }
     }
 
+    /// Paper-scale CNN classification sizing (96 train / 32 test,
+    /// matching [`CnnDataset::paper_split`]).
+    pub fn cnn(default_epochs: usize, default_minibatch: usize) -> Self {
+        let q = quick();
+        Sizing {
+            train: env_usize("LAC_TRAIN", if q { 24 } else { 96 }),
+            test: env_usize("LAC_TEST", if q { 8 } else { 32 }),
+            epochs: env_usize("LAC_EPOCHS", if q { (default_epochs / 4).max(4) } else { default_epochs }),
+            minibatch: default_minibatch,
+        }
+    }
+
     /// Build the image dataset for this sizing.
     pub fn image_dataset(&self) -> ImageDataset {
         ImageDataset::generate(self.train, self.test, 32, 32, seed())
+    }
+
+    /// Build the CNN classification dataset for this sizing.
+    pub fn cnn_dataset(&self) -> CnnDataset {
+        CnnDataset::generate(self.train, self.test, 16, 16, seed())
     }
 
     /// Build the Inversek2j dataset for this sizing.

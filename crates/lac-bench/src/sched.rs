@@ -135,6 +135,30 @@ pub enum UnitJob {
         /// OR-ed low bits of the Lower-OR Adder.
         or_bits: usize,
     },
+    /// Fixed-hardware LAC for the CNN classifier under one multiplier
+    /// spec (the trained points of the accuracy-vs-area frontier).
+    CnnFixed {
+        /// Catalog name with optional `!key=value` fault suffix.
+        spec: String,
+    },
+    /// Untrained CNN accuracy of one multiplier spec (seeded initial
+    /// weights — the frontier's "no LAC training" baseline).
+    CnnUntrained {
+        /// Catalog name with optional fault suffix.
+        spec: String,
+    },
+    /// Per-layer hardware NAS over the CNN classifier: one gate per
+    /// layer (conv1/conv2/dense) over the full Table I catalog.
+    CnnPerLayerNas {
+        /// Iteration budget as a multiple of the fixed-training epochs.
+        epoch_factor: usize,
+        /// Mean-area budget `a_th`.
+        area_threshold: f64,
+        /// Hinge safety factor γ.
+        gamma: f64,
+        /// Hinge weight δ.
+        delta: f64,
+    },
     /// A cell that panics with the given message on execution — the
     /// public probe for the sweep determinism/error-row tests.
     InjectedPanic {
@@ -214,6 +238,17 @@ impl UnitJob {
                 "adder-lac",
                 vec![("or_bits".to_owned(), Value::Num(*or_bits as f64))],
             ),
+            UnitJob::CnnFixed { spec } => obj("cnn-fixed", vec![spec_field(spec)]),
+            UnitJob::CnnUntrained { spec } => obj("cnn-untrained", vec![spec_field(spec)]),
+            UnitJob::CnnPerLayerNas { epoch_factor, area_threshold, gamma, delta } => obj(
+                "cnn-per-layer-nas",
+                vec![
+                    ("epoch_factor".to_owned(), Value::Num(*epoch_factor as f64)),
+                    ("area_threshold".to_owned(), Value::Num(*area_threshold)),
+                    ("gamma".to_owned(), Value::Num(*gamma)),
+                    ("delta".to_owned(), Value::Num(*delta)),
+                ],
+            ),
             UnitJob::InjectedPanic { message } => obj(
                 "injected-panic",
                 vec![("message".to_owned(), Value::Str(message.clone()))],
@@ -237,6 +272,12 @@ impl UnitJob {
                 pipeline.app_id()
             }
             UnitJob::Ablation { .. } | UnitJob::AdderLac { .. } => AppId::Blur,
+            UnitJob::CnnFixed { .. }
+            | UnitJob::CnnUntrained { .. }
+            | UnitJob::CnnPerLayerNas { .. } => {
+                let (sizing, lr) = driver::cnn_sizing();
+                return Some((sizing.config(lr), sizing.train, sizing.test));
+            }
             UnitJob::InjectedPanic { .. } => return None,
         };
         let (sizing, lr) = app.sizing();
@@ -642,6 +683,29 @@ fn execute(unit: &UnitJob, threads: usize, obs: &mut dyn TrainObserver) -> Resul
                 num("before", before),
                 num("after", after),
             ]))
+        }
+        UnitJob::CnnFixed { spec } => {
+            let r = driver::cnn_fixed_observed(spec, threads, obs)?;
+            Ok(Value::Obj(vec![
+                text("multiplier", &r.multiplier),
+                num("before", r.before),
+                num("after", r.after),
+            ]))
+        }
+        UnitJob::CnnUntrained { spec } => {
+            let (name, q) = driver::cnn_untrained(spec, threads)?;
+            Ok(Value::Obj(vec![text("multiplier", &name), num("quality", q)]))
+        }
+        UnitJob::CnnPerLayerNas { epoch_factor, area_threshold, gamma, delta } => {
+            let r = driver::cnn_per_layer_nas_observed(
+                *epoch_factor,
+                *area_threshold,
+                *gamma,
+                *delta,
+                threads,
+                obs,
+            );
+            Ok(multi_payload(&r))
         }
         UnitJob::InjectedPanic { message } => panic!("{}", message),
     }

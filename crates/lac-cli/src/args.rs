@@ -107,6 +107,7 @@ impl Options {
         let (default_epochs, default_lr, minibatch) = match app {
             "jpeg" => (160, 2.0, 8),
             "inversek2j" => (120, 50.0, 64),
+            "cnn" => (160, 2.0, 8),
             _ => (240, 2.0, 16),
         };
         let epochs = if self.epochs > 0 { self.epochs } else { default_epochs };
@@ -223,6 +224,8 @@ mod tests {
         assert_eq!(o.config("jpeg").epochs, 160);
         assert_eq!(o.config("blur").epochs, 240);
         assert_eq!(o.config("inversek2j").lr, 50.0);
+        assert_eq!(o.config("cnn").epochs, 160);
+        assert_eq!(o.config("cnn").minibatch, Some(8));
         // Explicit flags override.
         let o = Options::parse(&strs(&["--epochs", "5", "--lr", "9.0"])).unwrap();
         assert_eq!(o.config("jpeg").epochs, 5);

@@ -10,7 +10,8 @@
 //! lac-cli loadgen [opts]            seeded load generator / latency bench
 //! ```
 //!
-//! Applications: `blur`, `edge`, `sharpen`, `jpeg`, `dft`, `inversek2j`.
+//! Applications: `blur`, `edge`, `sharpen`, `jpeg`, `dft`, `inversek2j`,
+//! `cnn`.
 //! Options: `--epochs N`, `--lr X`, `--train N`, `--test N`, `--seed N`,
 //! `--patience N` (early stopping), `--log PATH` (per-epoch JSONL),
 //! `--area X` / `--power X` / `--delay X` (search budgets),
@@ -27,7 +28,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use lac_apps::{
-    DftApp, FilterApp, FilterKind, InverseK2jApp, JpegApp, JpegMode, Kernel, StageMode,
+    CnnApp, DftApp, FilterApp, FilterKind, InverseK2jApp, JpegApp, JpegMode, Kernel, StageMode,
 };
 use lac_core::{
     prune, search_single_observed, train_fixed_multistart_observed, train_fixed_observed,
@@ -93,7 +94,7 @@ usage:
                   [--window N] [--seed N] [--timeout S] [--chaos SPEC]
                   [--sweep] [--out PATH] [--swap PATH] [--shutdown]
 
-apps: blur | edge | sharpen | jpeg | dft | inversek2j
+apps: blur | edge | sharpen | jpeg | dft | inversek2j | cnn
 
 `--patience N` stops a training run after N epochs without a new best
 training loss; `--log PATH` streams one JSON object per epoch to PATH.
@@ -266,6 +267,12 @@ macro_rules! with_app {
                 let ($train, $test) = (ds.train, ds.test);
                 $body
             }
+            "cnn" => {
+                let $kernel = CnnApp::paper();
+                let ds = lac_data::CnnDataset::generate($opts.train, $opts.test, 16, 16, $opts.seed);
+                let ($train, $test) = (ds.train, ds.test);
+                $body
+            }
             other => return usage_err(format!("unknown application `{other}`")),
         }
     }};
@@ -339,23 +346,37 @@ fn cmd_sweep(app_name: &str, rest: &[String]) -> Result<(), CliError> {
     use lac_bench::driver::AppId;
     use lac_bench::sched::{Job, Sweep, UnitJob};
 
-    let Some(app) = AppId::parse(app_name) else {
-        return usage_err(format!("unknown application `{app_name}`"));
-    };
     let flags = lac_bench::parse_sweep_flags(rest).map_err(CliError::Usage)?;
     if let Some(extra) = flags.rest.first() {
         return usage_err(format!("sweep does not take `{extra}`"));
     }
 
-    let jobs: Vec<Job> = catalog::paper_multipliers()
-        .iter()
-        .map(|m| {
-            Job::new(
-                format!("{}:{}", app.display(), m.name()),
-                UnitJob::Fixed { app, spec: m.name().to_owned() },
-            )
-        })
-        .collect();
+    // The CNN classifier lives outside the six-app `AppId` figure grid;
+    // it sweeps through its dedicated job kind (same payload shape).
+    let jobs: Vec<Job> = if app_name == "cnn" {
+        catalog::paper_multipliers()
+            .iter()
+            .map(|m| {
+                Job::new(
+                    format!("cnn-classifier:{}", m.name()),
+                    UnitJob::CnnFixed { spec: m.name().to_owned() },
+                )
+            })
+            .collect()
+    } else {
+        let Some(app) = AppId::parse(app_name) else {
+            return usage_err(format!("unknown application `{app_name}`"));
+        };
+        catalog::paper_multipliers()
+            .iter()
+            .map(|m| {
+                Job::new(
+                    format!("{}:{}", app.display(), m.name()),
+                    UnitJob::Fixed { app, spec: m.name().to_owned() },
+                )
+            })
+            .collect()
+    };
     let outcomes = flags.configure(Sweep::new(format!("sweep-{app_name}"), jobs)).run();
 
     println!(

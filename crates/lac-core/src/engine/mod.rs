@@ -99,11 +99,11 @@ impl fmt::Display for TrainError {
 impl std::error::Error for TrainError {}
 
 /// A scalar "loss" view of a quality score, used as the gate training
-/// signal (lower is better): `1 - SSIM`, `-PSNR` (dB), or the relative
-/// error itself.
+/// signal (lower is better): `1 - SSIM`, `-PSNR` (dB), `1 - accuracy`,
+/// or the relative error itself.
 pub fn metric_loss(metric: Metric, q: f64) -> f64 {
     match metric {
-        Metric::Ssim { .. } => 1.0 - q,
+        Metric::Ssim { .. } | Metric::Accuracy => 1.0 - q,
         Metric::Psnr => -q,
         Metric::RelativeError => q,
     }

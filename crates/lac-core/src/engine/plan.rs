@@ -10,12 +10,15 @@
 //! * [`HardwarePlan::PerStage`] — one unit per serial pipeline stage
 //!   (JPEG's 3-stage layering, Fig. 12);
 //! * [`HardwarePlan::PerTap`] — one unit per kernel coefficient tap
-//!   (Gaussian blur's 9-tap parallel layering, Fig. 11).
+//!   (Gaussian blur's 9-tap parallel layering, Fig. 11);
+//! * [`HardwarePlan::PerLayer`] — one unit per network layer (the CNN
+//!   workload's conv/dense layering, HEAM/ApproxDARTS-style).
 //!
-//! `PerStage` and `PerTap` share a representation (the kernel decides
-//! whether its "stages" are pipeline stages or taps); the distinct arms
-//! keep call sites self-describing and leave room for arm-specific
-//! behavior (e.g. tap-granularity gate priors) without touching callers.
+//! `PerStage`, `PerTap` and `PerLayer` share a representation (the kernel
+//! decides whether its "stages" are pipeline stages, taps or layers); the
+//! distinct arms keep call sites self-describing and leave room for
+//! arm-specific behavior (e.g. tap-granularity gate priors) without
+//! touching callers.
 
 use std::sync::Arc;
 
@@ -30,6 +33,9 @@ pub enum HardwarePlan {
     PerStage(Vec<Arc<dyn Multiplier>>),
     /// One unit per parallel coefficient tap.
     PerTap(Vec<Arc<dyn Multiplier>>),
+    /// One unit per network layer (serial, like `PerStage`, but the
+    /// slots are conv/dense layers of a learned model).
+    PerLayer(Vec<Arc<dyn Multiplier>>),
 }
 
 impl std::fmt::Debug for HardwarePlan {
@@ -38,6 +44,7 @@ impl std::fmt::Debug for HardwarePlan {
             HardwarePlan::Uniform(m) => write!(f, "Uniform({})", m.name()),
             HardwarePlan::PerStage(v) => write!(f, "PerStage({:?})", names(v)),
             HardwarePlan::PerTap(v) => write!(f, "PerTap({:?})", names(v)),
+            HardwarePlan::PerLayer(v) => write!(f, "PerLayer({:?})", names(v)),
         }
     }
 }
@@ -73,7 +80,7 @@ impl HardwarePlan {
     pub fn materialize(&self, n_stages: usize) -> Vec<Arc<dyn Multiplier>> {
         match self {
             HardwarePlan::Uniform(m) => vec![Arc::clone(m); n_stages],
-            HardwarePlan::PerStage(v) | HardwarePlan::PerTap(v) => {
+            HardwarePlan::PerStage(v) | HardwarePlan::PerTap(v) | HardwarePlan::PerLayer(v) => {
                 assert_eq!(v.len(), n_stages, "plan/stage count mismatch");
                 v.clone()
             }
@@ -84,7 +91,9 @@ impl HardwarePlan {
     pub fn slots(&self) -> usize {
         match self {
             HardwarePlan::Uniform(_) => 1,
-            HardwarePlan::PerStage(v) | HardwarePlan::PerTap(v) => v.len(),
+            HardwarePlan::PerStage(v) | HardwarePlan::PerTap(v) | HardwarePlan::PerLayer(v) => {
+                v.len()
+            }
         }
     }
 
@@ -93,7 +102,7 @@ impl HardwarePlan {
     pub fn mean_area(&self) -> f64 {
         match self {
             HardwarePlan::Uniform(m) => m.metadata().area,
-            HardwarePlan::PerStage(v) | HardwarePlan::PerTap(v) => {
+            HardwarePlan::PerStage(v) | HardwarePlan::PerTap(v) | HardwarePlan::PerLayer(v) => {
                 assert!(!v.is_empty(), "empty hardware plan");
                 v.iter().map(|m| m.metadata().area).sum::<f64>() / v.len() as f64
             }
@@ -104,7 +113,7 @@ impl HardwarePlan {
     pub fn mean_delay(&self) -> Option<f64> {
         match self {
             HardwarePlan::Uniform(m) => m.metadata().delay,
-            HardwarePlan::PerStage(v) | HardwarePlan::PerTap(v) => {
+            HardwarePlan::PerStage(v) | HardwarePlan::PerTap(v) | HardwarePlan::PerLayer(v) => {
                 let mut sum = 0.0;
                 for m in v {
                     sum += m.metadata().delay?;
@@ -118,7 +127,7 @@ impl HardwarePlan {
     pub fn unit_names(&self) -> Vec<String> {
         match self {
             HardwarePlan::Uniform(m) => vec![m.name().to_owned()],
-            HardwarePlan::PerStage(v) | HardwarePlan::PerTap(v) => {
+            HardwarePlan::PerStage(v) | HardwarePlan::PerTap(v) | HardwarePlan::PerLayer(v) => {
                 v.iter().map(|m| m.name().to_owned()).collect()
             }
         }
@@ -179,6 +188,31 @@ mod tests {
         assert!(with.mean_delay().is_some());
         let without = HardwarePlan::PerStage(vec![unit("mul8u_FTA"), unit("DRUM16-6")]);
         assert_eq!(without.mean_delay(), None);
+    }
+
+    #[test]
+    fn per_layer_agrees_with_per_stage_on_the_same_units() {
+        // PerLayer is serial layering with a different label: every
+        // derived quantity must match a PerStage plan over the same units.
+        let units = || vec![unit("mul8u_FTA"), unit("DRUM16-6"), unit("mul8u_JV3")];
+        let layered = HardwarePlan::PerLayer(units());
+        let staged = HardwarePlan::PerStage(units());
+        assert_eq!(layered.slots(), staged.slots());
+        assert_eq!(layered.unit_names(), staged.unit_names());
+        assert_eq!(layered.mean_area().to_bits(), staged.mean_area().to_bits());
+        assert_eq!(layered.mean_delay(), staged.mean_delay());
+        let m = layered.materialize(3);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[2].name(), "mul8u_JV3");
+        let dbg = format!("{layered:?}");
+        assert!(dbg.contains("PerLayer") && dbg.contains("DRUM16-6"), "{dbg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "plan/stage count mismatch")]
+    fn per_layer_length_must_match_stages() {
+        let plan = HardwarePlan::PerLayer(vec![unit("mul8u_FTA")]);
+        let _ = plan.materialize(3);
     }
 
     #[test]

@@ -94,7 +94,7 @@ pub fn mean_area(candidates: &[Arc<dyn Multiplier>], choices: &[usize]) -> f64 {
 }
 
 /// The [`HardwarePlan`] of a per-stage candidate assignment, labeled
-/// `PerTap` or `PerStage` by the kernel's layering.
+/// `PerTap`, `PerLayer` or `PerStage` by the kernel's layering.
 pub(crate) fn assignment_plan<K: Kernel>(
     kernel: &K,
     candidates: &[Arc<dyn Multiplier>],
@@ -104,6 +104,8 @@ pub(crate) fn assignment_plan<K: Kernel>(
         choices.iter().map(|&c| Arc::clone(&candidates[c])).collect();
     if kernel.stages_are_parallel() {
         HardwarePlan::PerTap(mults)
+    } else if kernel.stages_are_layers() {
+        HardwarePlan::PerLayer(mults)
     } else {
         HardwarePlan::PerStage(mults)
     }

@@ -61,6 +61,16 @@ pub enum ServeError {
         /// The unrecognized kernel name.
         app: String,
     },
+    /// The recorded kernel is a real LAC application, but one with no
+    /// serving forward pass. Distinct from [`ServeError::UnknownApp`] so
+    /// a daemon log points at the app's serving gap instead of
+    /// suggesting the checkpoint is corrupt.
+    Unservable {
+        /// Checkpoint file path.
+        path: String,
+        /// The recognized-but-unservable kernel name.
+        app: String,
+    },
     /// The recorded multiplier spec no longer resolves via
     /// [`catalog::by_spec`].
     Multiplier {
@@ -104,6 +114,11 @@ impl std::fmt::Display for ServeError {
                 f,
                 "checkpoint `{path}` names kernel `{app}`, which is not a servable application"
             ),
+            ServeError::Unservable { path, app } => write!(
+                f,
+                "checkpoint `{path}` names kernel `{app}`, a training-only application \
+                 with no serving forward pass; train a servable app or extend ServeApp"
+            ),
             ServeError::Multiplier { path, spec, reason } => write!(
                 f,
                 "checkpoint `{path}` names multiplier spec `{spec}`, \
@@ -120,6 +135,12 @@ impl std::fmt::Display for ServeError {
 }
 
 impl std::error::Error for ServeError {}
+
+/// Kernel names that exist in `lac-apps` but have no [`ServeApp`]
+/// forward pass. Checkpoints naming one of these are refused with
+/// [`ServeError::Unservable`] — loading them through a `ServeApp` would
+/// silently mis-adapt the coefficients onto the wrong datapath.
+const TRAINING_ONLY_KERNELS: [&str; 3] = ["fir-lowpass9", "fir-highboost5", "cnn-classifier"];
 
 /// One immutable runtime mode: a rung's multiplier, fully adapted and
 /// LUT-wrapped for this model's kernel at load time.
@@ -259,9 +280,12 @@ impl ServingModel {
         let (app_name, spec) = ck.model().ok_or_else(|| ServeError::MissingModel {
             path: path.to_owned(),
         })?;
-        let app = ServeApp::parse(app_name).ok_or_else(|| ServeError::UnknownApp {
-            path: path.to_owned(),
-            app: app_name.to_owned(),
+        let app = ServeApp::parse(app_name).ok_or_else(|| {
+            if TRAINING_ONLY_KERNELS.contains(&app_name) {
+                ServeError::Unservable { path: path.to_owned(), app: app_name.to_owned() }
+            } else {
+                ServeError::UnknownApp { path: path.to_owned(), app: app_name.to_owned() }
+            }
         })?;
         let kernel = app.build();
         let unit = catalog::by_spec(spec).map_err(|reason| ServeError::Multiplier {
@@ -573,6 +597,32 @@ mod tests {
                 assert!(reason.contains("jpeg"), "reason: {reason}")
             }
             other => panic!("expected Shape error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn training_only_kernels_are_refused_as_unservable() {
+        // Real kernels with no serving forward must be refused with a
+        // structured error naming the app — not silently adapted onto a
+        // different app's datapath, and not lumped in with corrupt files.
+        let ck = fresh_checkpoint(ServeApp::Blur, "mul8u_FTA");
+        for app_name in ["cnn-classifier", "fir-lowpass9", "fir-highboost5"] {
+            let text = ck
+                .to_json()
+                .replace("\"app\":\"gaussian-blur\"", &format!("\"app\":\"{app_name}\""));
+            let relabeled = SessionCheckpoint::from_json(&text).unwrap();
+            match ServingModel::from_checkpoint(&relabeled, "train-only.ck.json") {
+                Err(ServeError::Unservable { path, app }) => {
+                    assert_eq!(path, "train-only.ck.json");
+                    assert_eq!(app, app_name);
+                    let shown = ServeError::Unservable { path, app }.to_string();
+                    assert!(
+                        shown.contains(app_name) && shown.contains("no serving forward pass"),
+                        "message names the app and the gap: {shown}"
+                    );
+                }
+                other => panic!("expected Unservable for {app_name}, got {other:?}"),
+            }
         }
     }
 

@@ -1,10 +1,14 @@
 //! Property-based tests of the trainers' stochastic machinery: gate
-//! sampling, batch evaluation determinism, and minibatch rotation.
+//! sampling, batch evaluation determinism, minibatch rotation, and the
+//! per-layer gate math behind [`HardwarePlan::PerLayer`].
 
+use std::sync::Arc;
+
+use lac_hw::{catalog, Multiplier};
 use lac_rt::proptest::prelude::*;
 use lac_rt::rng::{SeedableRng, StdRng};
 
-use lac_core::{BinaryGate, TrainConfig};
+use lac_core::{BinaryGate, HardwarePlan, TrainConfig};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -173,6 +177,120 @@ proptest! {
         let frozen = still.weights().to_vec();
         still.update_two_path(i, j, 1.25, 1.25);
         prop_assert_eq!(still.weights().to_vec(), frozen);
+    }
+}
+
+/// The catalog units used to build random per-layer plans below.
+const LAYER_UNITS: [&str; 4] = ["mul8u_FTA", "mul8u_JV3", "DRUM16-6", "mul8u_185Q"];
+
+fn layer_unit(idx: usize) -> Arc<dyn Multiplier> {
+    catalog::by_name(LAYER_UNITS[idx % LAYER_UNITS.len()]).expect("catalog unit")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Per-layer gate banks stay softmax-normalized: one gate per layer,
+    /// arbitrary single-path update history, every layer's probabilities
+    /// still form a distribution.
+    #[test]
+    fn per_layer_gate_bank_stays_normalized(
+        layers in 1usize..6,
+        k in 1usize..6,
+        losses in proptest::collection::vec(-10.0f64..10.0, 18),
+    ) {
+        let mut gates: Vec<BinaryGate> =
+            (0..layers).map(|_| BinaryGate::new(k, 0.6)).collect();
+        for (step, &loss) in losses.iter().enumerate() {
+            gates[step % layers].update_single_path(step % k, loss);
+        }
+        for gate in &gates {
+            let p = gate.probabilities();
+            prop_assert_eq!(p.len(), k);
+            prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    /// Annealing is monotone: when one candidate consistently scores a
+    /// strictly lower loss than everything else, each single-path update
+    /// on it moves its probability up (never down), so the gate anneals
+    /// toward the winner instead of oscillating.
+    #[test]
+    fn single_path_anneal_is_monotone_toward_the_winner(
+        k in 2usize..7,
+        winner in 0usize..7,
+        good in -4.0f64..0.0,
+        gap in 0.5f64..6.0,
+    ) {
+        let winner = winner % k;
+        let mut gate = BinaryGate::new(k, 0.4);
+        // Seed the baseline with the losers' loss so the winner's loss is
+        // below baseline from its first update onward.
+        gate.update_single_path((winner + 1) % k, good + gap);
+        let mut prev = gate.probabilities()[winner];
+        for _ in 0..24 {
+            gate.update_single_path(winner, good);
+            let p = gate.probabilities()[winner];
+            prop_assert!(
+                p >= prev - 1e-12,
+                "winner probability fell during anneal: {prev} -> {p}"
+            );
+            prev = p;
+        }
+        prop_assert_eq!(gate.best(), winner);
+    }
+
+    /// Argmax extraction through a per-layer plan agrees with the
+    /// per-stage implementation on single-layer degenerate cases: a
+    /// one-layer PerLayer plan built from a gate's argmax is
+    /// indistinguishable from the PerStage (and Uniform) plan over the
+    /// same unit.
+    #[test]
+    fn per_layer_argmax_matches_per_stage_on_single_layer(
+        weights in proptest::collection::vec(-8.0f64..8.0, 4),
+    ) {
+        let mut gate = BinaryGate::new(weights.len(), 0.5);
+        for (idx, &w) in weights.iter().enumerate() {
+            gate.nudge(idx, w);
+        }
+        let choice = gate.best();
+        prop_assert_eq!(choice, argmax(&gate.probabilities()));
+        let layered = HardwarePlan::PerLayer(vec![layer_unit(choice)]);
+        let staged = HardwarePlan::PerStage(vec![layer_unit(choice)]);
+        let uniform = HardwarePlan::uniform(&layer_unit(choice));
+        prop_assert_eq!(layered.slots(), staged.slots());
+        prop_assert_eq!(layered.unit_names(), staged.unit_names());
+        prop_assert_eq!(layered.mean_area().to_bits(), staged.mean_area().to_bits());
+        prop_assert_eq!(layered.mean_delay(), staged.mean_delay());
+        prop_assert_eq!(layered.mean_area().to_bits(), uniform.mean_area().to_bits());
+        let lm = layered.materialize(1);
+        let sm = staged.materialize(1);
+        prop_assert_eq!(lm.len(), 1);
+        prop_assert_eq!(lm[0].name(), sm[0].name());
+    }
+
+    /// Multi-layer per-layer plans report the same derived quantities as
+    /// a per-stage plan over the identical unit list (the label changes,
+    /// the math must not).
+    #[test]
+    fn per_layer_plan_math_matches_per_stage(
+        layers in 1usize..6,
+        raw in proptest::collection::vec(0usize..4, 5),
+    ) {
+        let choices = &raw[..layers];
+        let units = |c: &[usize]| c.iter().map(|&i| layer_unit(i)).collect::<Vec<_>>();
+        let layered = HardwarePlan::PerLayer(units(choices));
+        let staged = HardwarePlan::PerStage(units(choices));
+        prop_assert_eq!(layered.slots(), choices.len());
+        prop_assert_eq!(layered.unit_names(), staged.unit_names());
+        prop_assert_eq!(layered.mean_area().to_bits(), staged.mean_area().to_bits());
+        prop_assert_eq!(layered.mean_delay(), staged.mean_delay());
+        let lm = layered.materialize(choices.len());
+        let sm = staged.materialize(choices.len());
+        for (a, b) in lm.iter().zip(&sm) {
+            prop_assert_eq!(a.name(), b.name());
+        }
     }
 }
 

@@ -1,0 +1,213 @@
+//! Seeded synthetic image-classification dataset for the CNN workload.
+//!
+//! HEAM and ApproxDARTS evaluate learned approximate multipliers on DNN
+//! inference; neither CIFAR-10 nor MNIST can be redistributed here, so
+//! this module generates a deterministic substitute: small grayscale
+//! images whose class is an oriented texture family (horizontal stripes,
+//! vertical stripes, diagonal stripes, centered blob). The families are
+//! linearly separable enough for a 3-layer network to learn quickly, yet
+//! distinct enough that approximate-hardware error shows up as measurable
+//! accuracy loss — exactly the trade-off the accuracy-vs-area frontier
+//! sweeps.
+//!
+//! Everything is deterministic in the seed, following the conventions of
+//! [`synth_image`](crate::synth_image): train and test draw from disjoint
+//! seed namespaces, and pixels are integral in `[0, 255]` so they feed
+//! fixed-point datapaths directly.
+
+use lac_rt::rng::{RngExt, SeedableRng, StdRng};
+
+use crate::images::GrayImage;
+
+/// Number of texture classes produced by [`synth_class_image`].
+pub const CNN_CLASSES: usize = 4;
+
+/// One labeled classification sample: a grayscale image plus its class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CnnSample {
+    /// The input image (integral pixels in `[0, 255]`).
+    pub image: GrayImage,
+    /// Ground-truth class in `0..CNN_CLASSES`.
+    pub label: usize,
+}
+
+/// Generate one labeled texture image of the given size.
+///
+/// Deterministic in `(label, seed)`. Per-image nuisance parameters —
+/// stripe period, phase, contrast, background level and noise — are
+/// randomized so the classifier must learn the texture orientation, not
+/// a fixed template.
+///
+/// # Panics
+///
+/// Panics if `label >= CNN_CLASSES` or either dimension is below 4.
+///
+/// # Examples
+///
+/// ```
+/// use lac_data::{synth_class_image, CNN_CLASSES};
+///
+/// let s = synth_class_image(16, 16, 2, 7);
+/// assert_eq!(s.label, 2);
+/// assert_eq!(s.image.pixels().len(), 256);
+/// assert_eq!(s, synth_class_image(16, 16, 2, 7));
+/// ```
+pub fn synth_class_image(width: usize, height: usize, label: usize, seed: u64) -> CnnSample {
+    assert!(label < CNN_CLASSES, "label {label} out of range (classes: {CNN_CLASSES})");
+    assert!(width >= 4 && height >= 4, "class images must be at least 4x4, got {width}x{height}");
+    let mut rng = StdRng::seed_from_u64(
+        (seed ^ ((label as u64 + 1) << 56)).wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1),
+    );
+    let base: f64 = rng.random_range(70.0..150.0);
+    let amp: f64 = rng.random_range(60.0..100.0);
+    let period: f64 = rng.random_range(3.0..6.0);
+    let phase: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+    let cx: f64 = rng.random_range(width as f64 * 0.35..width as f64 * 0.65);
+    let cy: f64 = rng.random_range(height as f64 * 0.35..height as f64 * 0.65);
+    let sigma: f64 = rng.random_range(width as f64 / 6.0..width as f64 / 3.5);
+
+    let mut px = vec![0f64; width * height];
+    for y in 0..height {
+        for x in 0..width {
+            let v = match label {
+                // Oriented stripe families: only the axis differs.
+                0 => (x as f64 / period * std::f64::consts::TAU + phase).sin(),
+                1 => (y as f64 / period * std::f64::consts::TAU + phase).sin(),
+                2 => ((x as f64 + y as f64) / period * std::f64::consts::TAU + phase).sin(),
+                // A centered soft blob: no stripe frequency at all.
+                _ => {
+                    let d2 = ((x as f64 - cx).powi(2) + (y as f64 - cy).powi(2))
+                        / (2.0 * sigma * sigma);
+                    2.0 * (-d2).exp() - 1.0
+                }
+            };
+            px[y * width + x] = base + amp * v;
+        }
+    }
+
+    let noise_amp: f64 = rng.random_range(3.0..10.0);
+    for p in &mut px {
+        *p += rng.random_range(-noise_amp..noise_amp);
+        *p = p.round().clamp(0.0, 255.0);
+    }
+    CnnSample { image: GrayImage::from_pixels(width, height, px), label }
+}
+
+/// The labeled split used by the CNN workload: balanced classes, train
+/// and test drawn from disjoint seed namespaces.
+#[derive(Debug, Clone)]
+pub struct CnnDataset {
+    /// Training samples (labels cycle `0, 1, …, CNN_CLASSES-1, 0, …`).
+    pub train: Vec<CnnSample>,
+    /// Held-out test samples, same balanced cycling.
+    pub test: Vec<CnnSample>,
+}
+
+impl CnnDataset {
+    /// Generate the workload's default split: 96 train / 32 test at
+    /// 16×16 (class-balanced; 16×16 keeps the dense layer above a
+    /// thousand coefficients while training stays CI-sized).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lac_data::CnnDataset;
+    ///
+    /// let ds = CnnDataset::paper_split(42);
+    /// assert_eq!(ds.train.len(), 96);
+    /// assert_eq!(ds.test.len(), 32);
+    /// ```
+    pub fn paper_split(seed: u64) -> Self {
+        Self::generate(96, 32, 16, 16, seed)
+    }
+
+    /// Generate an arbitrary split with labels cycling round-robin.
+    pub fn generate(train: usize, test: usize, width: usize, height: usize, seed: u64) -> Self {
+        let train_samples = (0..train)
+            .map(|i| {
+                synth_class_image(width, height, i % CNN_CLASSES, seed ^ ((i as u64) << 1))
+            })
+            .collect();
+        let test_samples = (0..test)
+            .map(|i| {
+                synth_class_image(
+                    width,
+                    height,
+                    i % CNN_CLASSES,
+                    seed ^ 0xdead_0000 ^ ((i as u64) << 1),
+                )
+            })
+            .collect();
+        CnnDataset { train: train_samples, test: test_samples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_images_are_deterministic_in_seed() {
+        assert_eq!(synth_class_image(16, 16, 0, 5), synth_class_image(16, 16, 0, 5));
+        assert_ne!(synth_class_image(16, 16, 0, 5), synth_class_image(16, 16, 0, 6));
+        // Same seed, different label: different image family.
+        assert_ne!(
+            synth_class_image(16, 16, 0, 5).image,
+            synth_class_image(16, 16, 1, 5).image
+        );
+    }
+
+    #[test]
+    fn pixels_are_integral_u8_range() {
+        for label in 0..CNN_CLASSES {
+            let s = synth_class_image(16, 16, label, 11);
+            for &p in s.image.pixels() {
+                assert!((0.0..=255.0).contains(&p));
+                assert_eq!(p, p.round());
+            }
+        }
+    }
+
+    #[test]
+    fn stripe_classes_have_the_advertised_orientation() {
+        // Horizontal-stripe images vary along x, vertical along y: the
+        // mean absolute difference along the stripe axis dwarfs the one
+        // across it.
+        let axis_energy = |img: &GrayImage, along_x: bool| {
+            let mut sum = 0.0;
+            for y in 0..img.height() {
+                for x in 0..img.width() {
+                    let (nx, ny) = if along_x { (x + 1, y) } else { (x, y + 1) };
+                    if nx < img.width() && ny < img.height() {
+                        sum += (img.at(nx, ny) - img.at(x, y)).abs();
+                    }
+                }
+            }
+            sum
+        };
+        for seed in 0..6u64 {
+            let h = synth_class_image(16, 16, 0, seed).image;
+            assert!(axis_energy(&h, true) > 2.0 * axis_energy(&h, false), "seed {seed}");
+            let v = synth_class_image(16, 16, 1, seed).image;
+            assert!(axis_energy(&v, false) > 2.0 * axis_energy(&v, true), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dataset_is_balanced_and_namespaced() {
+        let ds = CnnDataset::paper_split(1);
+        assert_eq!(ds.train.len(), 96);
+        assert_eq!(ds.test.len(), 32);
+        for c in 0..CNN_CLASSES {
+            let n = ds.train.iter().filter(|s| s.label == c).count();
+            assert_eq!(n, 96 / CNN_CLASSES, "class {c} unbalanced");
+        }
+        assert_ne!(ds.train[0], ds.test[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn labels_are_bounds_checked() {
+        synth_class_image(16, 16, CNN_CLASSES, 0);
+    }
+}

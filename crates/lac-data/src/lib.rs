@@ -8,7 +8,9 @@
 //! * [`ImageDataset`] — CIFAR-like 32×32 grayscale images built from
 //!   gradients, blobs, hard edges and texture noise;
 //! * [`IkDataset`] — reachable 2-joint arm targets drawn exactly the way
-//!   the AxBench generator draws them.
+//!   the AxBench generator draws them;
+//! * [`CnnDataset`] — labeled oriented-texture images for the CNN
+//!   classification workload (class-balanced, disjoint seed namespaces).
 //!
 //! # Quick start
 //!
@@ -25,10 +27,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cnn;
 mod images;
 mod kinematics;
 mod signals;
 
+pub use cnn::{synth_class_image, CnnDataset, CnnSample, CNN_CLASSES};
 pub use images::{synth_image, GrayImage, ImageDataset};
 pub use kinematics::{
     forward_kinematics, inverse_kinematics, IkDataset, IkSample, LINK1, LINK2,

@@ -135,7 +135,9 @@ impl Cache {
         if e.tables.is_none() {
             // Second sighting: the operand really is fixed. Tabulate.
             e.tables = Some(tabulate(t, role, lut));
-            self.enforce_caps(idx);
+            // Eviction swap-removes entries, which can relocate the one
+            // just tabulated; return its final position, not `idx`.
+            return Some(self.enforce_caps(idx));
         }
         Some(idx)
     }
@@ -159,13 +161,15 @@ impl Cache {
     }
 
     /// Evict least-recently-used entries beyond the entry/byte caps,
-    /// never evicting `keep`.
-    fn enforce_caps(&mut self, keep: usize) {
+    /// never evicting `keep`. Returns `keep`'s position after eviction:
+    /// `swap_remove` backfills the victim slot with the last entry, so
+    /// the protected entry can move.
+    fn enforce_caps(&mut self, mut keep: usize) -> usize {
         loop {
             let total: usize =
                 self.entries.iter().map(|e| e.tables.as_ref().map_or(0, |t| t.data.len())).sum();
             if self.entries.len() <= MAX_ENTRIES && total <= MAX_TABLE_F64S {
-                return;
+                return keep;
             }
             let Some(victim) = self
                 .entries
@@ -175,9 +179,13 @@ impl Cache {
                 .min_by_key(|(_, e)| e.stamp)
                 .map(|(i, _)| i)
             else {
-                return;
+                return keep;
             };
+            let last = self.entries.len() - 1;
             let e = self.entries.swap_remove(victim);
+            if keep == last {
+                keep = victim;
+            }
             if let Some(t) = e.tables {
                 pool::give(t.data);
             }
@@ -251,6 +259,20 @@ fn matmul_fixed_lhs(t: &Tables, m: usize, k: usize, n: usize, b: &Tensor, lut: D
     let bcols: Vec<usize> = b.data().iter().map(|&v| lut.col(v)).collect();
     let mut out = Tensor::zeros(&[m, n]);
     let od = out.data_mut();
+    if n == 1 {
+        // Matrix–vector shape (the CNN dense head: [classes, h·w] × a
+        // flattened activation column): the tiled loop degenerates to
+        // one-element row slices, so accumulate each output scalar
+        // directly. Still ascending-p from 0.0 — bit-identical.
+        for (i, o) in od.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += t.data[t.slots[i * k + p] as usize * side + bcols[p]];
+            }
+            *o = acc;
+        }
+        return out;
+    }
     for j0 in (0..n).step_by(J_TILE) {
         let j1 = (j0 + J_TILE).min(n);
         for i in 0..m {
@@ -284,6 +306,17 @@ fn matmul_fixed_rhs(t: &Tables, m: usize, k: usize, n: usize, a: &Tensor, lut: D
     let acols: Vec<usize> = a.data().iter().map(|&v| lut.col(v)).collect();
     let mut out = Tensor::zeros(&[m, n]);
     let od = out.data_mut();
+    if n == 1 {
+        // Fixed column vector: out[i] = Σ_p col_p[acol[i, p]], ascending p.
+        for (i, o) in od.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += t.data[t.slots[p] as usize * side + acols[i * k + p]];
+            }
+            *o = acc;
+        }
+        return out;
+    }
     for j0 in (0..n).step_by(J_TILE) {
         let j1 = (j0 + J_TILE).min(n);
         for i in 0..m {
@@ -436,7 +469,9 @@ mod tests {
         for name in ["mul8u_FTA", "mul8u_JV3", "kulkarni8u", "exact8u"] {
             let unit = lut_unit(name);
             let lut = unit.as_lut().unwrap();
-            for (m, k, n) in [(8, 8, 8), (3, 7, 5), (1, 9, 4), (6, 1, 3), (5, 130, 2)] {
+            for (m, k, n) in
+                [(8, 8, 8), (3, 7, 5), (1, 9, 4), (6, 1, 3), (5, 130, 2), (4, 256, 1), (1, 1, 1)]
+            {
                 let a = tensor(3, m, k, 300.0);
                 let b = tensor(17, k, n, 300.0);
                 let reference = matmul_gather(&a, &b, lut);
@@ -533,6 +568,46 @@ mod tests {
             let _ = matmul_lut(&a, &b, lut);
         }
         CACHE.with(|c| assert!(c.borrow().entries.len() <= MAX_ENTRIES));
+    }
+
+    /// Regression: when a lookup tabulates the cache's *last* entry and
+    /// the byte cap trips, eviction `swap_remove`s a victim and backfills
+    /// its slot with that last entry — the index `lookup` returns must
+    /// follow the move. The stale index used to panic out of bounds.
+    #[test]
+    fn lookup_survives_eviction_relocating_the_tabulated_entry() {
+        let unit = LutMultiplier::maybe_wrap(lac_hw::signed_capable(
+            catalog::by_name("mul8u_FTA").unwrap(),
+        ));
+        let lut = unit.as_lut().unwrap();
+        // A permutation of every representable signed operand: tabulating
+        // such an entry costs side^2 f64s, so a handful exceed
+        // MAX_TABLE_F64S and force evictions mid-lookup. Multipliers are
+        // coprime with 511 so each row really has 511 distinct values.
+        let full = |mult: i64| {
+            let data = (0..511i64).map(|i| ((i * mult) % 511 - 255) as f64).collect::<Vec<_>>();
+            Tensor::from_vec(data, &[1, 511])
+        };
+        let col = |t: &Tensor| Tensor::from_vec(t.data().to_vec(), &[511, 1]);
+        for (ma, mb) in [(1, 3), (5, 9), (11, 13), (15, 17)] {
+            let a = full(ma);
+            let b = col(&full(mb));
+            for _ in 0..2 {
+                let got = matmul_lut(&a, &b, lut);
+                assert_eq!(got, matmul_gather(&a, &b, lut), "warm pair {ma}/{mb}");
+            }
+        }
+        // Fresh pair sighted once (candidates only, RHS pushed last),
+        // then the same RHS under new LHS operands: its tabulation blows
+        // the byte cap, the entry is relocated by eviction, and the
+        // kernel must still read the relocated tables.
+        let b = col(&full(19));
+        let _ = matmul_lut(&full(23), &b, lut);
+        for ma in [25i64, 27, 29] {
+            let a = full(ma);
+            let got = matmul_lut(&a, &b, lut);
+            assert_eq!(got, matmul_gather(&a, &b, lut), "relocated rhs, lhs {ma}");
+        }
     }
 
     #[test]

@@ -216,6 +216,56 @@ else
     echo "bench_check: no ${resilience_baseline}, skipping resilience gate" >&2
 fi
 
+# CNN frontier gate: the accuracy-vs-area frontier is fully
+# deterministic (seeded dataset, wall-clock-free scheduler), so a fresh
+# cold-cache run at --jobs 1 and --jobs $(nproc) must reproduce the
+# committed BENCH_cnn.json byte for byte. The committed numbers must
+# also keep the workload's own contract — LAC training never hurts a
+# uniform cell, and at least one per-layer plan strictly dominates the
+# best trained uniform plan — so a regression cannot be hidden by
+# re-baselining. Refresh deliberately with:
+#   cargo run --release --offline -p lac-bench --bin cnn_frontier
+cnn_baseline="results/bench/BENCH_cnn.json"
+if [[ -f "$cnn_baseline" ]]; then
+    echo "== cnn frontier: byte-identity (cold cache) at --jobs 1 and --jobs $(nproc) + dominance contract"
+    cargo build --release --offline -p lac-bench --bin cnn_frontier
+    for jobs in 1 "$(nproc)"; do
+        cnn_fresh="$(mktemp)"
+        cnn_results="$(mktemp -d)"
+        LAC_RESULTS="$cnn_results" ./target/release/cnn_frontier \
+            --jobs "$jobs" --out "$cnn_fresh" >/dev/null
+        if cmp -s "$cnn_baseline" "$cnn_fresh"; then
+            echo "cnn_frontier: --jobs ${jobs} byte-identical to baseline: ok"
+        else
+            echo "bench_check: cnn frontier at --jobs ${jobs} diverged from ${cnn_baseline}:" >&2
+            diff "$cnn_baseline" "$cnn_fresh" | head -20 >&2 || true
+            status=1
+        fi
+        rm -rf "$cnn_results"
+        rm -f "$cnn_fresh"
+    done
+    if awk 'BEGIN{RS="{"; bad=0}
+        /"kind":"uniform"/ {
+            if (match($0, /"untrained":[-0-9.eE]+/)) u=substr($0, RSTART+12, RLENGTH-12)
+            if (match($0, /"trained":[-0-9.eE]+/)) t=substr($0, RSTART+10, RLENGTH-10)
+            if (t+0 < u+0) bad=1
+        }
+        END{exit bad}' "$cnn_baseline"; then
+        echo "cnn_frontier: training never hurts a uniform cell: ok"
+    else
+        echo "bench_check: a committed uniform cnn cell got worse after training" >&2
+        status=1
+    fi
+    if grep -q '"dominates_best_uniform":true' "$cnn_baseline"; then
+        echo "cnn_frontier: a per-layer plan dominates the best uniform plan: ok"
+    else
+        echo "bench_check: no committed per-layer plan dominates the best uniform plan" >&2
+        status=1
+    fi
+else
+    echo "bench_check: no ${cnn_baseline}, skipping cnn frontier gate" >&2
+fi
+
 # Sweep-orchestrator wall-clock: fig3 in quick mode, cold cache, at
 # --jobs 1 vs --jobs $(nproc). On a multi-core box the parallel sweep
 # must not be slower than the serial one by more than the tolerance

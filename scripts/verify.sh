@@ -101,6 +101,19 @@ cargo test -q --offline --test matmul_equivalence
 cargo test -q --offline -p lac-tensor --lib matmul_fast::
 cargo test -q --offline --test golden_seed jpeg_train_fixed
 
+# CNN workload suites: the golden-seed pin for fixed-hardware CNN
+# training, per-layer gate-search invariance in the worker count,
+# bit-exact checkpoint/resume through a CNN session, the CNN-shape
+# rows of the equivalence battery, and the dataset/app/per-layer-plan
+# unit suites backing them. Named explicitly so a filtered CI
+# configuration cannot silently skip them.
+echo "== cnn workload suites (golden pin, per-layer search, resume)"
+cargo test -q --offline --test cnn_pipeline
+cargo test -q --offline --test matmul_equivalence cnn_shapes
+cargo test -q --offline -p lac-data cnn::
+cargo test -q --offline -p lac-apps cnn::
+cargo test -q --offline -p lac-core per_layer
+
 # Serving suites (DESIGN.md §8): framing survives partial reads,
 # pipelining, oversized and garbage frames; responses are byte-identical
 # for any worker count and max batch size given the same arrival order;

@@ -70,6 +70,87 @@ fn assert_paths_equivalent(raw: Arc<dyn Multiplier>, seed: u64) {
     }
 }
 
+/// Forward/grad bits of the fused dense-head op `approx_matmul_scale_round`
+/// — the exact node `CnnApp` records for its classifier layer.
+fn run_dense(
+    mult: &Arc<dyn Multiplier>,
+    a: &Tensor,
+    b: &Tensor,
+    c: f64,
+) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+    let g = Graph::new();
+    let va = g.var(a.clone());
+    let vb = g.var(b.clone());
+    let out = va.approx_matmul_scale_round(&vb, mult, c);
+    let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<u64>>();
+    let value = bits(&out.value());
+    let grads = g.backward(&out.sum());
+    (value, bits(&grads.get(&va)), bits(&grads.get(&vb)))
+}
+
+/// Forward/grad bits of `approx_conv2d_stacked` — the batched conv node
+/// the CNN layers record (images stacked vertically, shared 3x3 taps).
+fn run_conv_stacked(
+    mult: &Arc<dyn Multiplier>,
+    x: &Tensor,
+    k: &Tensor,
+    img_h: usize,
+) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+    let g = Graph::new();
+    let vx = g.var(x.clone());
+    let vk = g.var(k.clone());
+    let out = vx.approx_conv2d_stacked(&vk, mult, img_h);
+    let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<u64>>();
+    let value = bits(&out.value());
+    let grads = g.backward(&out.sum());
+    (value, bits(&grads.get(&vx)), bits(&grads.get(&vk)))
+}
+
+/// Scalar vs fast path at the CNN layer dimensions: the non-square dense
+/// head (classes x h*w times a flattened activation column, hitting the
+/// n == 1 matrix-vector kernels), the same shape through the fused
+/// scale-round node, and the batch-stacked 3x3 convolution. Repeats pin
+/// the fixed-operand tabulated kernels, not just the gather path.
+fn assert_cnn_shapes_equivalent(raw: Arc<dyn Multiplier>, seed: u64) {
+    let fast = LutMultiplier::maybe_wrap(Arc::clone(&raw));
+    let (lo, hi) = raw.operand_range();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Dense head: weights [4, 256] x flattened activations [256, 1].
+    // Fixed lhs (the trained weights) against varying activation columns
+    // — three sightings promote the weights to a tabulated row table.
+    let w = random_operand(&mut rng, 4, 256, lo, hi);
+    for rep in 0..3 {
+        let col = random_operand(&mut rng, 256, 1, lo, hi);
+        let scalar = run(&raw, &w, &col);
+        let lut = run(&fast, &w, &col);
+        assert_eq!(scalar, lut, "{}: dense matvec rep {rep}", raw.name());
+        // The fused datapath-shift node CnnApp actually records.
+        let scalar = run_dense(&raw, &w, &col, 2f64.powi(-4));
+        let lut = run_dense(&fast, &w, &col, 2f64.powi(-4));
+        assert_eq!(scalar, lut, "{}: dense scale-round rep {rep}", raw.name());
+    }
+    // Fixed rhs: one activation column against varying weight matrices
+    // (the converse fixed-operand cache, also an n == 1 kernel).
+    let col = random_operand(&mut rng, 256, 1, lo, hi);
+    for rep in 0..3 {
+        let w2 = random_operand(&mut rng, 4, 256, lo, hi);
+        let scalar = run(&raw, &w2, &col);
+        let lut = run(&fast, &w2, &col);
+        assert_eq!(scalar, lut, "{}: dense fixed-rhs rep {rep}", raw.name());
+    }
+
+    // Conv layers: three 16x16 images stacked vertically, one shared
+    // 3x3 tap tensor, same-padded — the CnnApp conv1/conv2 shape.
+    let taps = random_operand(&mut rng, 3, 3, lo, hi);
+    for rep in 0..2 {
+        let stacked = random_operand(&mut rng, 3 * 16, 16, lo, hi);
+        let scalar = run_conv_stacked(&raw, &stacked, &taps, 16);
+        let lut = run_conv_stacked(&fast, &stacked, &taps, 16);
+        assert_eq!(scalar, lut, "{}: stacked conv rep {rep}", raw.name());
+    }
+}
+
 #[test]
 fn every_catalog_unit_is_bit_identical_across_paths() {
     for name in catalog::PAPER_NAMES.iter().chain(catalog::EXTRA_NAMES.iter()) {
@@ -97,6 +178,39 @@ fn fault_injected_units_are_bit_identical_across_paths() {
     {
         let raw = catalog::by_spec(spec).expect("fault spec");
         assert_paths_equivalent(raw, 0xfa11);
+    }
+}
+
+/// CNN layer dimensions for every catalog unit: the dense head's
+/// non-square matrix-vector shapes and the batch-stacked convolution
+/// must be bit-identical across paths, values and gradients alike.
+#[test]
+fn every_catalog_unit_is_bit_identical_at_cnn_shapes() {
+    for name in catalog::PAPER_NAMES.iter().chain(catalog::EXTRA_NAMES.iter()) {
+        let raw = catalog::by_name(name).expect("catalog unit");
+        assert_cnn_shapes_equivalent(raw, 0xc221 ^ name.len() as u64);
+    }
+}
+
+/// The CNN app adapts units through the sign-magnitude wrapper (signed
+/// taps and coefficients); the signed tables must agree at CNN shapes.
+#[test]
+fn signed_adapters_are_bit_identical_at_cnn_shapes() {
+    for name in ["mul8u_FTA", "ETM8-k4", "mul8u_JV3", "kulkarni8u"] {
+        let raw = signed_capable(catalog::by_name(name).expect("catalog unit"));
+        assert_cnn_shapes_equivalent(raw, 0xc25e ^ name.len() as u64);
+    }
+}
+
+/// Fault-injected units at CNN shapes: the degraded LUTs must flow
+/// through the matvec and stacked-conv kernels bit-for-bit.
+#[test]
+fn fault_injected_units_are_bit_identical_at_cnn_shapes() {
+    for spec in
+        ["mul8u_FTA!seed=7,flip=0.01", "ETM8-k4!seed=7,flip=0.01", "mul8s_1KR3!seed=7,flip=0.05"]
+    {
+        let raw = catalog::by_spec(spec).expect("fault spec");
+        assert_cnn_shapes_equivalent(raw, 0xc2fa);
     }
 }
 
